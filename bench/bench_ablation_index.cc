@@ -1,0 +1,148 @@
+// Ablation: the AEU index choice — generalized prefix tree vs B+-tree vs
+// per-partition hash table (paper Section 4: "We decided to use a prefix
+// tree, because this index structure is order-preserving (applies not to a
+// hash table), in-memory optimized, and offers a high update performance
+// (does not apply to a B+-Tree).")
+//
+// Host-measured single-writer performance of the three candidates at
+// several sizes: random inserts, random lookups, and an ordered range
+// scan (which the hash table cannot serve at all).
+#include <cstdio>
+#include <cstring>
+#include <vector>
+
+#include "bench_util/report.h"
+#include "common/rng.h"
+#include "common/bit_util.h"
+#include "common/stopwatch.h"
+#include "numa/memory_manager.h"
+#include "storage/bplus_tree.h"
+#include "storage/hash_table.h"
+#include "storage/prefix_tree.h"
+
+using namespace eris;
+using namespace eris::bench;
+using storage::Key;
+using storage::Value;
+
+namespace {
+
+struct Numbers {
+  double insert_ns;
+  double lookup_ns;
+  double scan_ns_per_row;  // < 0: unsupported
+};
+
+template <typename BuildFn, typename LookupFn, typename ScanFn>
+Numbers Measure(uint64_t n, uint64_t lookups, BuildFn&& build,
+                LookupFn&& lookup, ScanFn&& scan) {
+  Xoshiro256 rng(42);
+  // The paper's workload: keys uniform in a dense domain (4x the key
+  // count). Note the duplicate draws: ~22% of inserts hit existing keys,
+  // identical for every structure.
+  std::vector<Key> keys(n);
+  for (auto& k : keys) k = rng.NextBounded(n * 4);
+  Stopwatch watch;
+  build(keys);
+  Numbers out;
+  out.insert_ns = watch.ElapsedNanos() / static_cast<double>(n);
+
+  std::vector<Key> probes(lookups);
+  for (auto& p : probes) p = keys[rng.NextBounded(n)];
+  watch.Restart();
+  uint64_t hits = lookup(probes);
+  out.lookup_ns = watch.ElapsedNanos() / static_cast<double>(lookups);
+  if (hits != lookups && hits != 0) std::printf("lookup miss anomaly\n");
+
+  watch.Restart();
+  uint64_t rows = scan();
+  out.scan_ns_per_row =
+      rows == 0 ? -1.0 : watch.ElapsedNanos() / static_cast<double>(rows);
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool quick = argc > 1 && std::strcmp(argv[1], "--quick") == 0;
+  Banner("Ablation",
+         "AEU index structure: prefix tree vs B+-tree vs hash table",
+         "Host-measured ns/op, single writer, dense key domain (paper setup); scan = "
+         "full ordered sweep.");
+  const uint64_t lookups = quick ? 200000 : 1000000;
+  Table table({"keys", "structure", "insert ns", "lookup ns",
+               "scan ns/row", "order-preserving"});
+  std::vector<uint64_t> sizes{1u << 18, 1u << 20};
+  if (!quick) sizes.push_back(1u << 22);
+  for (uint64_t n : sizes) {
+    {
+      numa::NodeMemoryManager mm(0);
+      storage::PrefixTree tree(
+          &mm, {.prefix_bits = 8,
+                .key_bits = static_cast<uint32_t>(Log2Ceil(n * 4))});
+      Numbers r = Measure(
+          n, lookups,
+          [&](const std::vector<Key>& keys) {
+            for (Key k : keys) tree.Upsert(k, k);
+          },
+          [&](const std::vector<Key>& probes) {
+            uint64_t hits = 0;
+            for (Key p : probes) hits += tree.Lookup(p).has_value();
+            return hits;
+          },
+          [&] {
+            uint64_t rows = 0;
+            tree.ForEach([&](Key, Value) { ++rows; });
+            return rows;
+          });
+      table.Row({HumanCount(n), "prefix tree", Fmt("%.0f", r.insert_ns),
+                 Fmt("%.0f", r.lookup_ns), Fmt("%.1f", r.scan_ns_per_row),
+                 "yes"});
+    }
+    {
+      numa::NodeMemoryManager mm(0);
+      storage::BPlusTree tree(&mm);
+      Numbers r = Measure(
+          n, lookups,
+          [&](const std::vector<Key>& keys) {
+            for (Key k : keys) tree.Upsert(k, k);
+          },
+          [&](const std::vector<Key>& probes) {
+            uint64_t hits = 0;
+            for (Key p : probes) hits += tree.Lookup(p).has_value();
+            return hits;
+          },
+          [&] {
+            uint64_t rows = 0;
+            tree.ForEach([&](Key, Value) { ++rows; });
+            return rows;
+          });
+      table.Row({HumanCount(n), "B+-tree", Fmt("%.0f", r.insert_ns),
+                 Fmt("%.0f", r.lookup_ns), Fmt("%.1f", r.scan_ns_per_row),
+                 "yes"});
+    }
+    {
+      numa::NodeMemoryManager mm(0);
+      storage::HashTable ht(&mm, 7);
+      Numbers r = Measure(
+          n, lookups,
+          [&](const std::vector<Key>& keys) {
+            for (Key k : keys) ht.Upsert(k, k);
+          },
+          [&](const std::vector<Key>& probes) {
+            uint64_t hits = 0;
+            for (Key p : probes) hits += ht.Lookup(p).has_value();
+            return hits;
+          },
+          [] { return uint64_t{0}; });  // no ordered scan
+      table.Row({HumanCount(n), "hash table", Fmt("%.0f", r.insert_ns),
+                 Fmt("%.0f", r.lookup_ns), "n/a", "no"});
+    }
+  }
+  table.Print();
+  std::printf(
+      "\nThe paper's choice: the prefix tree is order preserving (unlike "
+      "the hash table)\nand writes without sorted-array shifts or splits "
+      "(unlike the B+-tree), at lookup\ncosts comparable to both.\n");
+  return 0;
+}

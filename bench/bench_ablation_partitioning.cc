@@ -1,0 +1,116 @@
+// Ablation: range partitioning vs hash partitioning (paper Section 3.1:
+// "ERIS primarily uses range partitioning ... We decided against hash
+// partitioning, because it is not order preserving and thus disallows
+// efficient range scans and hinders an efficient load balancing.")
+//
+// On the AMD machine (simulated time): index range scans of decreasing
+// selectivity. Range partitioning touches only the owning AEUs; hash
+// partitioning multicasts every scan to all 64 AEUs and each one filters
+// its whole hash class.
+#include <cstdio>
+#include <cstring>
+#include <memory>
+
+#include "bench_util/drivers.h"
+#include "bench_util/report.h"
+#include "common/rng.h"
+
+using namespace eris;
+using namespace eris::bench;
+using core::Engine;
+using routing::KeyValue;
+using storage::Key;
+
+namespace {
+
+struct ScanCost {
+  uint64_t commands = 0;
+  double ms = 0;
+  uint64_t rows = 0;
+};
+
+ScanCost RunRangeScan(Engine& engine, storage::ObjectId idx,
+                      Engine::Session& session, Key lo, Key hi) {
+  engine.resource_usage().Reset();
+  routing::AggregateSink& sink = session.sink();
+  sink.Reset();
+  uint64_t commands =
+      session.endpoint().SendScanIndexRange(idx, lo, hi, {}, &sink);
+  session.Wait(commands);
+  ScanCost cost;
+  cost.commands = commands;
+  cost.ms = engine.resource_usage().CriticalTimeNs() / 1e6;
+  cost.rows = sink.hits();
+  return cost;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool quick = argc > 1 && std::strcmp(argv[1], "--quick") == 0;
+  Banner("Ablation", "Range partitioning vs hash partitioning (AMD)",
+         "Index range scans of decreasing selectivity; commands = AEUs the "
+         "scan must visit.");
+  const Key n = quick ? 1u << 19 : 1u << 21;
+
+  for (bool hashed : {false, true}) {
+    core::EngineOptions opts = SimEngineOptions(AmdMachine(), 512);
+    Engine engine(opts);
+    storage::PrefixTreeConfig cfg{8, KeyBitsFor(n, 8)};
+    storage::ObjectId idx = hashed
+                                ? engine.CreateHashedIndex("kv", n, cfg)
+                                : engine.CreateIndex("kv", n, cfg);
+    engine.Start();
+    auto session = engine.CreateSession();
+    {
+      std::vector<KeyValue> kvs;
+      for (Key k = 0; k < n;) {
+        kvs.clear();
+        for (int i = 0; i < 8192 && k < n; ++i, ++k) kvs.push_back({k, 1});
+        session->Insert(idx, kvs);
+      }
+    }
+    std::printf("--- %s partitioning\n", hashed ? "hash" : "range");
+    Table table({"scanned fraction", "rows", "AEUs visited", "modeled ms"});
+    for (uint32_t frac : {64u, 16u, 4u, 1u}) {
+      Key width = n / frac;
+      ScanCost cost = RunRangeScan(engine, idx, *session, 0, width);
+      table.Row({Fmt("1/%g", frac), FmtU(cost.rows), FmtU(cost.commands),
+                 Fmt("%.3f", cost.ms)});
+    }
+    table.Print();
+
+    // The workload that decides the design: many concurrent narrow range
+    // scans. Range partitioning spreads them (one owner each); hash
+    // partitioning interrupts every AEU for every scan.
+    {
+      engine.resource_usage().Reset();
+      routing::AggregateSink& sink = session->sink();
+      sink.Reset();
+      Xoshiro256 rng(7);
+      const int kScans = 256;
+      const Key kWidth = 256;
+      uint64_t commands = 0;
+      for (int i = 0; i < kScans; ++i) {
+        Key base = rng.NextBounded(n - kWidth);
+        commands += session->endpoint().SendScanIndexRange(
+            idx, base, base + kWidth, {}, &sink);
+      }
+      session->Wait(commands);
+      double ms = engine.resource_usage().CriticalTimeNs() / 1e6;
+      std::printf(
+          "  %d concurrent %llu-key scans: %llu commands routed, modeled "
+          "%.3f ms (%.0f scans/ms)\n\n",
+          kScans, static_cast<unsigned long long>(kWidth),
+          static_cast<unsigned long long>(commands), ms, kScans / ms);
+    }
+    engine.Stop();
+  }
+  std::printf(
+      "Range partitioning visits only the owners of the scanned interval; "
+      "hash\npartitioning multicasts every range scan to all AEUs, each "
+      "filtering its whole\nhash class — the cost that drove the paper's "
+      "choice. Hash partitioning's upside\n(uniform load without a "
+      "balancer) is covered by the hashed-partitioning tests.\n");
+  return 0;
+}

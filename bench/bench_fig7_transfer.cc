@@ -1,0 +1,94 @@
+// Figure 7: NUMA-aware partition transfer — "link" (same node: structural
+// splice through the shared per-node memory manager) vs "copy" (across
+// nodes: flatten to the exchange format, stream, rebuild).
+//
+// Reports (a) real host time of the two mechanisms at several partition
+// sizes — link must be orders of magnitude cheaper and size-independent —
+// and (b) modeled transfer time on the AMD machine (copy pays link
+// bandwidth, link does not).
+#include <cstdio>
+#include <cstring>
+
+#include "bench_util/report.h"
+#include "common/stopwatch.h"
+#include "numa/memory_manager.h"
+#include "sim/cost_model.h"
+#include "storage/partition.h"
+
+using namespace eris;
+using namespace eris::bench;
+using storage::DataObjectDesc;
+using storage::Key;
+using storage::Partition;
+
+namespace {
+
+DataObjectDesc IndexDesc() {
+  return DataObjectDesc::Index(0, "t", {.prefix_bits = 8, .key_bits = 32});
+}
+
+double LinkTransferMs(numa::NodeMemoryManager* mm, uint64_t keys) {
+  DataObjectDesc desc = IndexDesc();
+  Partition donor(desc, mm, {0, storage::kMaxKey});
+  Partition receiver(desc, mm, {0, storage::kMaxKey});
+  for (Key k = 0; k < keys; ++k) donor.Insert(k, k);
+  Stopwatch watch;
+  Partition moved = donor.ExtractRange(0, storage::kMaxKey);
+  receiver.Absorb(std::move(moved));
+  double ms = watch.ElapsedSeconds() * 1e3;
+  if (receiver.tuple_count() != keys) std::printf("link transfer lost data!\n");
+  return ms;
+}
+
+double CopyTransferMs(numa::NodeMemoryManager* src_mm,
+                      numa::NodeMemoryManager* dst_mm, uint64_t keys,
+                      uint64_t* stream_bytes) {
+  DataObjectDesc desc = IndexDesc();
+  Partition donor(desc, src_mm, {0, storage::kMaxKey});
+  for (Key k = 0; k < keys; ++k) donor.Insert(k, k);
+  Stopwatch watch;
+  std::vector<uint8_t> stream = donor.Flatten();
+  auto rebuilt = Partition::Rebuild(desc, dst_mm, {0, storage::kMaxKey}, 0,
+                                    stream);
+  double ms = watch.ElapsedSeconds() * 1e3;
+  *stream_bytes = stream.size();
+  if (!rebuilt.ok() || rebuilt->tuple_count() != keys) {
+    std::printf("copy transfer lost data!\n");
+  }
+  return ms;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool quick = argc > 1 && std::strcmp(argv[1], "--quick") == 0;
+  Banner("Figure 7", "NUMA-Aware Partition Transfer via Link And Copy",
+         "link = structural splice within a node's memory manager;\n"
+         "copy = flatten -> stream -> rebuild across nodes.");
+
+  numa::MemoryPool pool(2);
+  numa::Topology amd = numa::Topology::AmdMachine();
+  sim::CostModel model(amd);
+
+  Table table({"partition keys", "link (host ms)", "copy (host ms)",
+               "copy/link", "copy stream", "modeled copy on AMD 1-hop"});
+  std::vector<uint64_t> sizes{1u << 14, 1u << 16, 1u << 18};
+  if (!quick) sizes.push_back(1u << 20);
+  for (uint64_t keys : sizes) {
+    double link_ms = LinkTransferMs(&pool.manager(0), keys);
+    uint64_t stream_bytes = 0;
+    double copy_ms = CopyTransferMs(&pool.manager(0), &pool.manager(1), keys,
+                                    &stream_bytes);
+    // Modeled copy: stream the exchange format over one HT full link.
+    double modeled_ms = model.StreamNs(0, 4, stream_bytes) / 1e6;
+    table.Row({HumanCount(keys), Fmt("%.3f", link_ms), Fmt("%.2f", copy_ms),
+               Fmt("%.0fx", copy_ms / std::max(link_ms, 1e-6)),
+               HumanCount(stream_bytes), Fmt("%.2f ms", modeled_ms)});
+  }
+  table.Print();
+  std::printf(
+      "\nlink stays (near) constant in the partition size — it only "
+      "splices pointers;\ncopy grows linearly with the moved data and "
+      "additionally occupies interconnect links.\n");
+  return 0;
+}

@@ -1,0 +1,125 @@
+// Google-benchmark microbenchmarks of the full engine in thread mode —
+// real host time for the public Session operations. Complements
+// bench_micro_structures (raw data structures) and the modeled figure
+// benches.
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+#include "common/rng.h"
+#include "core/engine.h"
+
+namespace {
+
+using namespace eris;
+using core::Engine;
+using core::EngineOptions;
+using routing::KeyValue;
+using storage::Key;
+using storage::Value;
+
+/// Shared engine fixture: built once per benchmark binary run.
+struct EngineFixture {
+  EngineFixture() {
+    EngineOptions opts;
+    opts.topology = numa::Topology::DetectHost();
+    engine = std::make_unique<Engine>(opts);
+    idx = engine->CreateIndex("kv", 1u << 22,
+                              {.prefix_bits = 8, .key_bits = 22});
+    col = engine->CreateColumn("facts");
+    engine->Start();
+    auto session = engine->CreateSession();
+    std::vector<KeyValue> kvs;
+    Xoshiro256 rng(1);
+    for (Key k = 0; k < (1u << 20);) {
+      kvs.clear();
+      for (int i = 0; i < 16384 && k < (1u << 20); ++i, ++k) {
+        kvs.push_back({k * 4, k});
+      }
+      session->Insert(idx, kvs);
+    }
+    std::vector<Value> values(1u << 20);
+    for (auto& v : values) v = rng.NextBounded(10000);
+    session->Append(col, values);
+  }
+  ~EngineFixture() { engine->Stop(); }
+
+  static EngineFixture& Get() {
+    static EngineFixture fixture;
+    return fixture;
+  }
+
+  std::unique_ptr<Engine> engine;
+  storage::ObjectId idx;
+  storage::ObjectId col;
+};
+
+void BM_EngineLookupBatch(benchmark::State& state) {
+  EngineFixture& f = EngineFixture::Get();
+  auto session = f.engine->CreateSession();
+  Xoshiro256 rng(2);
+  const size_t batch = static_cast<size_t>(state.range(0));
+  std::vector<Key> keys(batch);
+  for (auto _ : state) {
+    for (auto& k : keys) k = rng.NextBounded(1u << 20) * 4;
+    benchmark::DoNotOptimize(session->Lookup(f.idx, keys));
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(batch));
+}
+BENCHMARK(BM_EngineLookupBatch)->Arg(64)->Arg(1024)->Arg(16384);
+
+void BM_EngineUpsertBatch(benchmark::State& state) {
+  EngineFixture& f = EngineFixture::Get();
+  auto session = f.engine->CreateSession();
+  Xoshiro256 rng(3);
+  const size_t batch = static_cast<size_t>(state.range(0));
+  std::vector<KeyValue> kvs(batch);
+  for (auto _ : state) {
+    for (auto& kv : kvs) {
+      kv.key = rng.NextBounded(1u << 20) * 4;
+      kv.value = rng.Next();
+    }
+    benchmark::DoNotOptimize(session->Upsert(f.idx, kvs));
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(batch));
+}
+BENCHMARK(BM_EngineUpsertBatch)->Arg(64)->Arg(1024)->Arg(16384);
+
+void BM_EngineColumnScan(benchmark::State& state) {
+  EngineFixture& f = EngineFixture::Get();
+  auto session = f.engine->CreateSession();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(session->ScanColumn(f.col, 100, 4999));
+  }
+  state.SetBytesProcessed(state.iterations() * (1ll << 20) * 8);
+}
+BENCHMARK(BM_EngineColumnScan);
+
+void BM_EngineIndexRangeScan(benchmark::State& state) {
+  EngineFixture& f = EngineFixture::Get();
+  auto session = f.engine->CreateSession();
+  Xoshiro256 rng(4);
+  const Key width = 1u << 14;
+  for (auto _ : state) {
+    Key lo = rng.NextBounded((1u << 22) - width);
+    benchmark::DoNotOptimize(session->ScanIndexRange(f.idx, lo, lo + width));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_EngineIndexRangeScan);
+
+void BM_EngineFence(benchmark::State& state) {
+  EngineFixture& f = EngineFixture::Get();
+  auto session = f.engine->CreateSession();
+  for (auto _ : state) {
+    session->Fence();
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_EngineFence);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,170 @@
+// Google-benchmark microbenchmarks of the storage building blocks:
+// prefix tree, CSB+-tree, hash table, column store, incoming buffer.
+// Real host time (not modeled); useful for regression tracking.
+#include <benchmark/benchmark.h>
+
+#include <optional>
+#include <vector>
+
+#include "common/rng.h"
+#include "numa/memory_manager.h"
+#include "routing/incoming_buffer.h"
+#include "storage/column_store.h"
+#include "storage/csb_tree.h"
+#include "storage/hash_table.h"
+#include "storage/prefix_tree.h"
+
+namespace {
+
+using namespace eris;
+using storage::Key;
+using storage::Value;
+
+void BM_PrefixTreeInsert(benchmark::State& state) {
+  numa::NodeMemoryManager mm(0);
+  const uint64_t n = static_cast<uint64_t>(state.range(0));
+  for (auto _ : state) {
+    state.PauseTiming();
+    storage::PrefixTree tree(&mm, {.prefix_bits = 8, .key_bits = 32});
+    Xoshiro256 rng(1);
+    state.ResumeTiming();
+    for (uint64_t i = 0; i < n; ++i) {
+      tree.Insert(rng.NextBounded(1u << 26), i);
+    }
+    benchmark::DoNotOptimize(tree.size());
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<int64_t>(n));
+}
+BENCHMARK(BM_PrefixTreeInsert)->Arg(10000)->Arg(100000);
+
+void BM_PrefixTreeLookup(benchmark::State& state) {
+  numa::NodeMemoryManager mm(0);
+  storage::PrefixTree tree(&mm, {.prefix_bits = 8, .key_bits = 32});
+  const uint64_t n = static_cast<uint64_t>(state.range(0));
+  Xoshiro256 rng(1);
+  std::vector<Key> keys;
+  for (uint64_t i = 0; i < n; ++i) {
+    Key k = rng.NextBounded(1u << 26);
+    tree.Insert(k, i);
+    keys.push_back(k);
+  }
+  size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(tree.Lookup(keys[i++ % keys.size()]));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_PrefixTreeLookup)->Arg(100000)->Arg(1000000);
+
+void BM_PrefixTreeBatchLookup(benchmark::State& state) {
+  // The paper's latency-hiding batch operation vs one-at-a-time probes:
+  // compare with BM_PrefixTreeLookup at the same tree size.
+  numa::NodeMemoryManager mm(0);
+  storage::PrefixTree tree(&mm, {.prefix_bits = 8, .key_bits = 32});
+  const uint64_t n = 1000000;
+  Xoshiro256 rng(1);
+  std::vector<Key> keys;
+  for (uint64_t i = 0; i < n; ++i) {
+    Key k = rng.NextBounded(1u << 26);
+    tree.Insert(k, i);
+    keys.push_back(k);
+  }
+  const size_t batch = 1024;
+  std::vector<Key> probes(batch);
+  std::vector<Value> values(batch);
+  std::vector<uint8_t> found_raw(batch);
+  auto* found = reinterpret_cast<bool*>(found_raw.data());
+  for (auto _ : state) {
+    for (auto& p : probes) p = keys[rng.NextBounded(n)];
+    benchmark::DoNotOptimize(tree.BatchLookup(probes, values.data(), found));
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<int64_t>(batch));
+}
+BENCHMARK(BM_PrefixTreeBatchLookup);
+
+void BM_PrefixTreeRangeScan(benchmark::State& state) {
+  numa::NodeMemoryManager mm(0);
+  storage::PrefixTree tree(&mm, {.prefix_bits = 8, .key_bits = 24});
+  for (Key k = 0; k < 1u << 20; ++k) tree.Insert(k, k);
+  for (auto _ : state) {
+    uint64_t sum = 0;
+    tree.RangeScan(1000, 1000 + (1u << 16),
+                   [&](Key, Value v) { sum += v; });
+    benchmark::DoNotOptimize(sum);
+  }
+  state.SetItemsProcessed(state.iterations() * (1 << 16));
+}
+BENCHMARK(BM_PrefixTreeRangeScan);
+
+void BM_PrefixTreeSplitOff(benchmark::State& state) {
+  numa::NodeMemoryManager mm(0);
+  for (auto _ : state) {
+    state.PauseTiming();
+    storage::PrefixTree tree(&mm, {.prefix_bits = 8, .key_bits = 24});
+    for (Key k = 0; k < 1u << 18; ++k) tree.Insert(k, k);
+    state.ResumeTiming();
+    storage::PrefixTree upper = tree.SplitOff(1u << 17);
+    benchmark::DoNotOptimize(upper.size());
+  }
+}
+BENCHMARK(BM_PrefixTreeSplitOff);
+
+void BM_CsbTreeLookup(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  std::vector<uint64_t> keys(n);
+  std::vector<uint32_t> payloads(n);
+  for (size_t i = 0; i < n; ++i) {
+    keys[i] = i * 977;
+    payloads[i] = static_cast<uint32_t>(i);
+  }
+  storage::CsbTree tree(keys, payloads);
+  Xoshiro256 rng(2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(tree.UpperBound(rng.NextBounded(n * 977)));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_CsbTreeLookup)->Arg(64)->Arg(512)->Arg(65536);
+
+void BM_HashTableUpsert(benchmark::State& state) {
+  numa::NodeMemoryManager mm(0);
+  storage::HashTable ht(&mm, 7);
+  Xoshiro256 rng(3);
+  for (auto _ : state) {
+    ht.Upsert(rng.NextBounded(1u << 20), 1);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_HashTableUpsert);
+
+void BM_ColumnScanSum(benchmark::State& state) {
+  numa::NodeMemoryManager mm(0);
+  storage::ColumnStore col(&mm);
+  Xoshiro256 rng(4);
+  const uint64_t n = 1u << 22;
+  for (uint64_t i = 0; i < n; ++i) col.Append(rng.Next() >> 1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(col.ScanSum(0, ~0ull >> 2));
+  }
+  state.SetBytesProcessed(state.iterations() * static_cast<int64_t>(n) * 8);
+}
+BENCHMARK(BM_ColumnScanSum);
+
+void BM_IncomingBufferWriteDrain(benchmark::State& state) {
+  routing::IncomingBufferPair buf(1 << 20);
+  std::vector<uint8_t> record(64, 0xAB);
+  for (auto _ : state) {
+    for (int i = 0; i < 1024; ++i) {
+      benchmark::DoNotOptimize(buf.TryWrite(record));
+    }
+    buf.Drain([](std::span<const uint8_t> region) {
+      benchmark::DoNotOptimize(region.size());
+    });
+  }
+  state.SetItemsProcessed(state.iterations() * 1024);
+}
+BENCHMARK(BM_IncomingBufferWriteDrain);
+
+}  // namespace
+
+BENCHMARK_MAIN();

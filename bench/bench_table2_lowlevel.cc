@@ -1,0 +1,96 @@
+// Table 1 & 2: machine specifications and per-distance memory read
+// bandwidth (GB/s) / read latency (ns) for the three evaluation machines.
+//
+// The remote values come from the topology presets (which encode the
+// paper's BenchIT measurements); additionally a small host micro-benchmark
+// measures the real local latency (pointer chase) and bandwidth
+// (sequential sum) of the reproduction machine for grounding.
+#include <cstdio>
+#include <map>
+#include <numeric>
+#include <tuple>
+#include <vector>
+
+#include "bench_util/machines.h"
+#include "bench_util/report.h"
+#include "common/rng.h"
+#include "common/stopwatch.h"
+
+using namespace eris;
+using namespace eris::bench;
+
+namespace {
+
+void PrintMachine(const MachineSpec& machine) {
+  const numa::Topology& t = machine.topology;
+  std::printf("--- %s: %u nodes x %u cores, %zu links, diameter %u, "
+              "LLC/node %.0f MiB\n",
+              machine.name.c_str(), t.num_nodes(), t.cores_per_node(),
+              t.num_links(), t.Diameter(),
+              machine.llc_bytes_per_node / 1024 / 1024);
+  // Group node pairs into distance classes.
+  std::map<std::tuple<uint32_t, double, double>, uint32_t> classes;
+  for (numa::NodeId s = 0; s < t.num_nodes(); ++s) {
+    for (numa::NodeId d = 0; d < t.num_nodes(); ++d) {
+      ++classes[{t.Hops(s, d), t.BandwidthGbps(s, d), t.LatencyNs(s, d)}];
+    }
+  }
+  Table table({"hops", "bandwidth (GB/s)", "latency (ns)", "node pairs"});
+  for (const auto& [key, count] : classes) {
+    auto [hops, bw, lat] = key;
+    table.Row({hops == 0 ? "local" : std::to_string(hops),
+               Fmt("%.1f", bw), Fmt("%.0f", lat), FmtU(count)});
+  }
+  table.Print();
+  std::printf("\n");
+}
+
+void HostMicrobench() {
+  std::printf("--- Reproduction host: measured local memory performance\n");
+  // Latency: pointer chase over a random permutation.
+  const size_t n = 1 << 22;  // 32 MiB of uint64 — beats the LLC
+  std::vector<uint64_t> chase(n);
+  std::iota(chase.begin(), chase.end(), 0);
+  Xoshiro256 rng(1);
+  for (size_t i = n - 1; i > 0; --i) {
+    std::swap(chase[i], chase[rng.NextBounded(i + 1)]);
+  }
+  // Build a cycle.
+  std::vector<uint64_t> next(n);
+  for (size_t i = 0; i + 1 < n; ++i) next[chase[i]] = chase[i + 1];
+  next[chase[n - 1]] = chase[0];
+  const uint64_t steps = 2'000'000;
+  uint64_t at = 0;
+  Stopwatch watch;
+  for (uint64_t i = 0; i < steps; ++i) at = next[at];
+  double lat_ns = watch.ElapsedNanos() / static_cast<double>(steps);
+  if (at == ~0ull) std::printf("?");  // keep the chase alive
+
+  // Bandwidth: sequential sum.
+  std::vector<uint64_t> data(n, 1);
+  watch.Restart();
+  uint64_t sum = 0;
+  for (int rep = 0; rep < 4; ++rep) {
+    for (size_t i = 0; i < n; ++i) sum += data[i];
+  }
+  double secs = watch.ElapsedSeconds();
+  double gbps = 4.0 * n * 8 / secs / 1e9;
+  if (sum == 0) std::printf("?");
+  Table table({"metric", "value"});
+  table.Row({"dependent-read latency", Fmt("%.0f ns", lat_ns)});
+  table.Row({"sequential read bandwidth (1 core)", Fmt("%.1f GB/s", gbps)});
+  table.Print();
+  std::printf("\n");
+}
+
+}  // namespace
+
+int main() {
+  Banner("Table 1/2", "NUMA machine specifications and per-distance memory "
+         "performance",
+         "Per-distance values encode the paper's BenchIT measurements into "
+         "the topology presets\nthat drive the cost model.");
+  for (const MachineSpec& m : AllMachines()) PrintMachine(m);
+  HostMicrobench();
+  return 0;
+}

@@ -1,0 +1,89 @@
+// Analytical scenario: a fact column with concurrent analytical scans and
+// a trickle of upserts — the workload class ERIS targets.
+//
+//   $ ./analytics_scan
+//
+// Shows scan sharing (several client threads fire full scans; the AEUs
+// coalesce scan commands that arrive in the same loop pass into one shared
+// physical pass under MVCC) and snapshot isolation (scans never block on
+// the concurrent appends and see a consistent prefix).
+#include <atomic>
+#include <cstdio>
+#include <thread>
+#include <vector>
+
+#include "core/engine.h"
+
+using eris::core::Engine;
+using eris::core::EngineOptions;
+using eris::core::ScanResult;
+using eris::storage::Value;
+
+int main() {
+  EngineOptions options;
+  options.topology = eris::numa::Topology::DetectHost();
+  Engine engine(options);
+  auto sales = engine.CreateColumn("sales");
+  engine.Start();
+
+  // Load 2M sale amounts.
+  {
+    auto loader = engine.CreateSession();
+    std::vector<Value> values;
+    values.reserve(1u << 16);
+    for (uint64_t i = 0; i < (2u << 20);) {
+      values.clear();
+      for (int j = 0; j < (1 << 16); ++j, ++i) values.push_back(i % 5000);
+      loader->Append(sales, values);
+    }
+  }
+
+  // 3 analysts scanning concurrently + 1 writer appending.
+  std::atomic<bool> stop{false};
+  std::atomic<uint64_t> scans_done{0};
+  std::vector<std::thread> analysts;
+  for (int a = 0; a < 3; ++a) {
+    analysts.emplace_back([&engine, sales, &stop, &scans_done, a] {
+      auto session = engine.CreateSession();
+      uint64_t last_rows = 0;
+      while (!stop.load()) {
+        ScanResult r = session->ScanColumn(sales, 1000, 3999);
+        // Snapshot isolation: row counts only ever grow (appends), and a
+        // scan always sees a consistent prefix.
+        if (r.rows < last_rows) {
+          std::printf("analyst %d: snapshot went backwards!\n", a);
+        }
+        last_rows = r.rows;
+        scans_done.fetch_add(1);
+      }
+    });
+  }
+  std::thread writer([&engine, sales, &stop] {
+    auto session = engine.CreateSession();
+    std::vector<Value> batch(1024);
+    while (!stop.load()) {
+      for (auto& v : batch) v = 2500;
+      session->Append(sales, batch);
+    }
+  });
+
+  std::this_thread::sleep_for(std::chrono::seconds(2));
+  stop.store(true);
+  for (auto& t : analysts) t.join();
+  writer.join();
+
+  uint64_t coalesced = 0;
+  for (eris::routing::AeuId a = 0; a < engine.num_aeus(); ++a) {
+    coalesced += engine.aeu(a).loop_stats().scans_coalesced;
+  }
+  auto session = engine.CreateSession();
+  ScanResult final_scan = session->ScanColumn(sales);
+  std::printf(
+      "completed %llu concurrent scans over %llu rows; %llu scan commands "
+      "answered by a shared pass (scan sharing)\n",
+      static_cast<unsigned long long>(scans_done.load()),
+      static_cast<unsigned long long>(final_scan.rows),
+      static_cast<unsigned long long>(coalesced));
+  engine.Stop();
+  return 0;
+}

@@ -1,0 +1,250 @@
+// Interactive ERIS shell: poke at a live engine from a terminal.
+//
+//   $ ./eris_cli
+//   eris> create-index kv 1048576
+//   eris> insert kv 42 420
+//   eris> lookup kv 42
+//   eris> create-column facts
+//   eris> append facts 1 2 3 4 5
+//   eris> scan facts
+//   eris> agg facts 2 4
+//   eris> rebalance kv
+//   eris> stats
+//   eris> help
+//
+// Also reads commands from stdin non-interactively:
+//   $ printf 'create-column c\nappend c 1 2 3\nscan c\n' | ./eris_cli
+#include <cstdio>
+#include <iostream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "query/query.h"
+
+using eris::core::BalanceAlgorithm;
+using eris::core::Engine;
+using eris::core::EngineOptions;
+using eris::core::LoadBalancerConfig;
+using eris::core::ScanResult;
+using eris::routing::KeyValue;
+using eris::storage::Key;
+using eris::storage::ObjectId;
+using eris::storage::Value;
+
+namespace {
+
+struct Shell {
+  Engine engine;
+  std::unique_ptr<Engine::Session> session;
+  std::unique_ptr<eris::query::QueryRunner> runner;
+  std::map<std::string, ObjectId> objects;
+
+  explicit Shell(EngineOptions opts) : engine(std::move(opts)) {
+    engine.Start();
+    session = engine.CreateSession();
+    runner = std::make_unique<eris::query::QueryRunner>(&engine);
+  }
+
+  bool Resolve(const std::string& name, ObjectId* id) {
+    auto it = objects.find(name);
+    if (it == objects.end()) {
+      std::printf("unknown object '%s'\n", name.c_str());
+      return false;
+    }
+    *id = it->second;
+    return true;
+  }
+};
+
+void PrintHelp() {
+  std::printf(
+      "commands:\n"
+      "  create-index <name> <domain>    range-partitioned prefix-tree "
+      "index over [0, domain)\n"
+      "  create-column <name>            physically partitioned append "
+      "column\n"
+      "  insert <index> <key> <value>    routed insert\n"
+      "  lookup <index> <key>...         point lookups\n"
+      "  erase <index> <key>...          routed erase\n"
+      "  range <index> <lo> <hi>         index range scan [lo, hi)\n"
+      "  append <column> <v>...          routed appends\n"
+      "  scan <column> [lo hi]           multicast column scan\n"
+      "  agg <column> [lo hi]            rows/sum/min/max/avg\n"
+      "  filter <column> <lo> <hi> <out> materialize matches into a new "
+      "column\n"
+      "  join <column> <index>           index-nested-loop join\n"
+      "  rebalance <object>              one One-Shot balancing cycle\n"
+      "  stats                           engine report\n"
+      "  help | quit\n");
+}
+
+bool HandleLine(Shell& shell, const std::string& line) {
+  std::istringstream in(line);
+  std::string cmd;
+  if (!(in >> cmd) || cmd.empty() || cmd[0] == '#') return true;
+  auto need = [&](auto& v) -> bool {
+    if (in >> v) return true;
+    std::printf("missing argument; try 'help'\n");
+    return false;
+  };
+  if (cmd == "quit" || cmd == "exit") return false;
+  if (cmd == "help") {
+    PrintHelp();
+  } else if (cmd == "create-index") {
+    std::string name;
+    Key domain;
+    if (!need(name) || !need(domain)) return true;
+    uint32_t bits = 1;
+    while ((Key{1} << bits) < domain && bits < 63) ++bits;
+    shell.objects[name] = shell.engine.CreateIndex(
+        name, domain, {.prefix_bits = 8, .key_bits = bits});
+    std::printf("index '%s' = object %u\n", name.c_str(),
+                shell.objects[name]);
+  } else if (cmd == "create-column") {
+    std::string name;
+    if (!need(name)) return true;
+    shell.objects[name] = shell.engine.CreateColumn(name);
+    std::printf("column '%s' = object %u\n", name.c_str(),
+                shell.objects[name]);
+  } else if (cmd == "insert") {
+    std::string name;
+    KeyValue kv;
+    ObjectId id;
+    if (!need(name) || !need(kv.key) || !need(kv.value)) return true;
+    if (!shell.Resolve(name, &id)) return true;
+    uint64_t n = shell.session->Insert(id, {&kv, 1});
+    std::printf("%s\n", n == 1 ? "inserted" : "key exists");
+  } else if (cmd == "lookup") {
+    std::string name;
+    ObjectId id;
+    if (!need(name) || !shell.Resolve(name, &id)) return true;
+    std::vector<Key> keys;
+    Key k;
+    while (in >> k) keys.push_back(k);
+    auto values = shell.session->LookupValues(id, keys);
+    for (size_t i = 0; i < keys.size(); ++i) {
+      if (values[i].has_value()) {
+        std::printf("  %llu -> %llu\n",
+                    static_cast<unsigned long long>(keys[i]),
+                    static_cast<unsigned long long>(*values[i]));
+      } else {
+        std::printf("  %llu -> <missing>\n",
+                    static_cast<unsigned long long>(keys[i]));
+      }
+    }
+  } else if (cmd == "erase") {
+    std::string name;
+    ObjectId id;
+    if (!need(name) || !shell.Resolve(name, &id)) return true;
+    std::vector<Key> keys;
+    Key k;
+    while (in >> k) keys.push_back(k);
+    std::printf("erased %llu\n", static_cast<unsigned long long>(
+                                     shell.session->Erase(id, keys)));
+  } else if (cmd == "range") {
+    std::string name;
+    Key lo, hi;
+    ObjectId id;
+    if (!need(name) || !need(lo) || !need(hi)) return true;
+    if (!shell.Resolve(name, &id)) return true;
+    ScanResult r = shell.session->ScanIndexRange(id, lo, hi);
+    std::printf("rows %llu, value sum %llu\n",
+                static_cast<unsigned long long>(r.rows),
+                static_cast<unsigned long long>(r.sum));
+  } else if (cmd == "append") {
+    std::string name;
+    ObjectId id;
+    if (!need(name) || !shell.Resolve(name, &id)) return true;
+    std::vector<Value> values;
+    Value v;
+    while (in >> v) values.push_back(v);
+    shell.session->Append(id, values);
+    std::printf("appended %zu\n", values.size());
+  } else if (cmd == "scan" || cmd == "agg") {
+    std::string name;
+    ObjectId id;
+    if (!need(name) || !shell.Resolve(name, &id)) return true;
+    Value lo = 0;
+    Value hi = ~Value{0};
+    in >> lo >> hi;
+    if (cmd == "scan") {
+      ScanResult r = shell.session->ScanColumn(id, lo, hi);
+      std::printf("rows %llu, sum %llu\n",
+                  static_cast<unsigned long long>(r.rows),
+                  static_cast<unsigned long long>(r.sum));
+    } else {
+      auto a = shell.runner->Aggregate(id, {lo, hi});
+      std::printf("rows %llu, sum %llu, min %llu, max %llu, avg %.2f\n",
+                  static_cast<unsigned long long>(a.rows),
+                  static_cast<unsigned long long>(a.sum),
+                  static_cast<unsigned long long>(a.min),
+                  static_cast<unsigned long long>(a.max), a.avg);
+    }
+  } else if (cmd == "filter") {
+    std::string name, out;
+    Value lo, hi;
+    ObjectId id;
+    if (!need(name) || !need(lo) || !need(hi) || !need(out)) return true;
+    if (!shell.Resolve(name, &id)) return true;
+    auto r = shell.runner->MaterializeFilter(id, {lo, hi}, out);
+    if (!r.ok()) {
+      std::printf("error: %s\n", r.status().ToString().c_str());
+    } else {
+      shell.objects[out] = r->object;
+      std::printf("materialized %llu rows into '%s'\n",
+                  static_cast<unsigned long long>(r->rows), out.c_str());
+    }
+  } else if (cmd == "join") {
+    std::string probe_name, index_name;
+    ObjectId probe, index;
+    if (!need(probe_name) || !need(index_name)) return true;
+    if (!shell.Resolve(probe_name, &probe) ||
+        !shell.Resolve(index_name, &index)) {
+      return true;
+    }
+    auto r = shell.runner->IndexJoin(probe, {}, index);
+    std::printf("probes %llu, matches %llu, matched value sum %llu\n",
+                static_cast<unsigned long long>(r.probes),
+                static_cast<unsigned long long>(r.matches),
+                static_cast<unsigned long long>(r.matched_sum));
+  } else if (cmd == "rebalance") {
+    std::string name;
+    ObjectId id;
+    if (!need(name) || !shell.Resolve(name, &id)) return true;
+    LoadBalancerConfig cfg;
+    cfg.algorithm = BalanceAlgorithm::kOneShot;
+    cfg.trigger_cv = 0.0;
+    cfg.min_total_accesses = 1;
+    std::printf("%s\n", shell.engine.RebalanceObject(id, cfg)
+                            ? "rebalanced"
+                            : "no imbalance / not balanceable");
+  } else if (cmd == "stats") {
+    std::printf("%s", shell.engine.StatsReport().c_str());
+  } else {
+    std::printf("unknown command '%s'; try 'help'\n", cmd.c_str());
+  }
+  return true;
+}
+
+}  // namespace
+
+int main() {
+  EngineOptions options;
+  options.topology = eris::numa::Topology::DetectHost();
+  Shell shell(std::move(options));
+  std::printf("ERIS shell — %u AEUs on %s. Type 'help'.\n",
+              shell.engine.num_aeus(),
+              shell.engine.topology().name().c_str());
+  std::string line;
+  while (true) {
+    std::printf("eris> ");
+    std::fflush(stdout);
+    if (!std::getline(std::cin, line)) break;
+    if (!HandleLine(shell, line)) break;
+  }
+  shell.engine.Stop();
+  std::printf("bye\n");
+  return 0;
+}

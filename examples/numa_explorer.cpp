@@ -1,0 +1,39 @@
+// NUMA topology explorer: prints the machine presets and runs a small
+// simulated-time what-if — "how would my lookup workload behave on the
+// paper's machines?" — without needing the hardware.
+//
+//   $ ./numa_explorer
+#include <cstdio>
+#include <vector>
+
+#include "bench_util/drivers.h"
+#include "bench_util/report.h"
+
+using namespace eris;
+using namespace eris::bench;
+
+int main() {
+  std::printf("Host topology: %s\n",
+              numa::Topology::DetectHost().ToString().c_str());
+  for (const MachineSpec& machine : AllMachines()) {
+    std::printf("%s\n", machine.topology.ToString().c_str());
+  }
+
+  std::printf(
+      "What-if: 256M-key index, random lookups, on each paper machine\n"
+      "(simulated time; ERIS vs the NUMA-agnostic shared index):\n\n");
+  Table table({"machine", "ERIS Mops/s", "shared Mops/s", "gain"});
+  for (const MachineSpec& machine : AllMachines()) {
+    PointOpsConfig cfg(machine);
+    cfg.num_keys = 256ull << 20;
+    cfg.ops = 1u << 16;
+    cfg.scale = 512;
+    RunResult eris = RunErisPointOps(cfg);
+    RunResult shared = RunSharedPointOps(cfg);
+    table.Row({machine.name, Fmt("%.0f", eris.mops()),
+               Fmt("%.0f", shared.mops()),
+               Fmt("%.2fx", eris.mops() / shared.mops())});
+  }
+  table.Print();
+  return 0;
+}

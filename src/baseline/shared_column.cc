@@ -1,0 +1,55 @@
+#include "baseline/shared_column.h"
+
+#include "common/logging.h"
+
+namespace eris::baseline {
+
+SharedColumn::SharedColumn(numa::MemoryPool* pool, Placement placement)
+    : pool_(pool), placement_(placement) {
+  ERIS_CHECK(pool != nullptr);
+}
+
+SharedColumn::~SharedColumn() {
+  for (const Segment& s : segments_) {
+    pool_->manager(s.home).Free(s.data, kSegmentValues * 8);
+  }
+}
+
+void SharedColumn::Append(storage::Value v) {
+  size_t offset = size_ % kSegmentValues;
+  if (offset == 0 && size_ == segments_.size() * kSegmentValues) {
+    numa::NodeId home = placement_ == Placement::kSingleNode
+                            ? 0
+                            : pool_->NextInterleavedNode();
+    auto* data = static_cast<storage::Value*>(
+        pool_->manager(home).Allocate(kSegmentValues * 8));
+    segments_.push_back(Segment{data, home});
+  }
+  segments_.back().data[offset] = v;
+  ++size_;
+}
+
+uint64_t SharedColumn::ScanSumSlice(uint64_t row_begin, uint64_t row_end,
+                                    storage::Value lo,
+                                    storage::Value hi) const {
+  uint64_t sum = 0;
+  row_end = std::min(row_end, size_);
+  for (uint64_t r = row_begin; r < row_end;) {
+    size_t seg = r / kSegmentValues;
+    size_t off = r % kSegmentValues;
+    size_t n = std::min<uint64_t>(kSegmentValues - off, row_end - r);
+    const storage::Value* data = segments_[seg].data + off;
+    for (size_t i = 0; i < n; ++i) {
+      storage::Value v = data[i];
+      sum += (v >= lo && v <= hi) ? v : 0;
+    }
+    r += n;
+  }
+  return sum;
+}
+
+numa::NodeId SharedColumn::HomeOfRow(uint64_t r) const {
+  return segments_[r / kSegmentValues].home;
+}
+
+}  // namespace eris::baseline

@@ -1,0 +1,56 @@
+// NUMA-agnostic shared column — the baseline for the scan experiments.
+//
+// One large column whose memory is placed either entirely on a single node
+// ("Single RAM" in Figure 9) or interleaved over all nodes ("Interleaved").
+// Worker threads scan disjoint row slices in parallel; no partitioning, no
+// locality.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "baseline/shared_tree.h"
+#include "numa/memory_manager.h"
+#include "storage/types.h"
+
+namespace eris::baseline {
+
+/// \brief Read-only shared column with explicit placement.
+class SharedColumn {
+ public:
+  static constexpr size_t kSegmentValues = 64 * 1024;
+
+  SharedColumn(numa::MemoryPool* pool, Placement placement);
+  ~SharedColumn();
+
+  SharedColumn(const SharedColumn&) = delete;
+  SharedColumn& operator=(const SharedColumn&) = delete;
+
+  /// Bulk append (single-threaded build phase).
+  void Append(storage::Value v);
+
+  uint64_t size() const { return size_; }
+  uint64_t memory_bytes() const { return segments_.size() * kSegmentValues * 8; }
+  Placement placement() const { return placement_; }
+
+  /// Sums values in [lo, hi] over rows [row_begin, row_end) — the slice a
+  /// worker thread scans.
+  uint64_t ScanSumSlice(uint64_t row_begin, uint64_t row_end,
+                        storage::Value lo, storage::Value hi) const;
+
+  /// Home node of row `r` under the placement (for the cost model).
+  numa::NodeId HomeOfRow(uint64_t r) const;
+
+ private:
+  struct Segment {
+    storage::Value* data;
+    numa::NodeId home;
+  };
+
+  numa::MemoryPool* pool_;
+  Placement placement_;
+  std::vector<Segment> segments_;
+  uint64_t size_ = 0;
+};
+
+}  // namespace eris::baseline

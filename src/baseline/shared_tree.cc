@@ -1,0 +1,114 @@
+#include "baseline/shared_tree.h"
+
+namespace eris::baseline {
+
+SharedTree::SharedTree(numa::MemoryPool* pool,
+                       storage::PrefixTreeConfig config, Placement placement)
+    : pool_(pool), config_(config), placement_(placement) {
+  ERIS_CHECK(pool != nullptr);
+  fanout_ = 1u << config.prefix_bits;
+  levels_ =
+      static_cast<uint32_t>(CeilDiv(config.key_bits, config.prefix_bits));
+}
+
+SharedTree::~SharedTree() {
+  // Node memory is drawn from per-node arenas; returning it block-by-block
+  // would require remembering each node's home manager. The benches destroy
+  // the whole MemoryPool after the run, which reclaims the arenas at once.
+}
+
+numa::NodeMemoryManager& SharedTree::NextManager() {
+  if (placement_ == Placement::kSingleNode) return pool_->manager(0);
+  return pool_->manager(pool_->NextInterleavedNode());
+}
+
+SharedTree::NodePtr SharedTree::NewNode(size_t bytes) {
+  // The per-node managers' thread caches make concurrent allocation cheap.
+  void* node = NextManager().Allocate(bytes);
+  std::memset(node, 0, bytes);
+  memory_bytes_.fetch_add(bytes, std::memory_order_relaxed);
+  return node;
+}
+
+bool SharedTree::Put(storage::Key key, storage::Value value, bool overwrite) {
+  // Publish the root if missing.
+  NodePtr node = root_.load(std::memory_order_acquire);
+  if (node == nullptr) {
+    NodePtr fresh = NewNode(levels_ == 1 ? LeafBytes() : InteriorBytes());
+    if (root_.compare_exchange_strong(node, fresh,
+                                      std::memory_order_acq_rel)) {
+      node = fresh;
+    }
+    // else: another thread won; `node` holds the winner. Fresh node leaks
+    // into the arena (freed with the pool).
+  }
+  for (uint32_t level = 0; !IsLeafLevel(level); ++level) {
+    auto* children = static_cast<NodePtr*>(node);
+    std::atomic_ref<NodePtr> slot(children[Digit(key, level)]);
+    NodePtr child = slot.load(std::memory_order_acquire);
+    if (child == nullptr) {
+      NodePtr fresh =
+          NewNode(IsLeafLevel(level + 1) ? LeafBytes() : InteriorBytes());
+      if (slot.compare_exchange_strong(child, fresh,
+                                       std::memory_order_acq_rel)) {
+        child = fresh;
+      }
+    }
+    node = child;
+  }
+  // Leaf: set the value, then publish the presence bit with release order.
+  auto* values = static_cast<storage::Value*>(node);
+  auto* bitmap = reinterpret_cast<uint64_t*>(values + fanout_);
+  uint32_t slot = Digit(key, levels_ - 1);
+  std::atomic_ref<uint64_t> word(bitmap[slot >> 6]);
+  uint64_t mask = uint64_t{1} << (slot & 63);
+  bool present = (word.load(std::memory_order_acquire) & mask) != 0;
+  if (present && !overwrite) return false;
+  if (present) {
+    std::atomic_ref<storage::Value>(values[slot])
+        .store(value, std::memory_order_release);
+    return false;
+  }
+  std::atomic_ref<storage::Value>(values[slot])
+      .store(value, std::memory_order_relaxed);
+  uint64_t prev = word.fetch_or(mask, std::memory_order_acq_rel);
+  if (prev & mask) {
+    // Concurrent insert of the same key: treat as overwrite.
+    if (overwrite) {
+      std::atomic_ref<storage::Value>(values[slot])
+          .store(value, std::memory_order_release);
+    }
+    return false;
+  }
+  size_.fetch_add(1, std::memory_order_relaxed);
+  return true;
+}
+
+bool SharedTree::Insert(storage::Key key, storage::Value value) {
+  return Put(key, value, /*overwrite=*/false);
+}
+
+bool SharedTree::Upsert(storage::Key key, storage::Value value) {
+  return Put(key, value, /*overwrite=*/true);
+}
+
+std::optional<storage::Value> SharedTree::Lookup(storage::Key key) const {
+  NodePtr node = root_.load(std::memory_order_acquire);
+  if (node == nullptr) return std::nullopt;
+  for (uint32_t level = 0; level + 1 < levels_; ++level) {
+    auto* children = static_cast<NodePtr*>(node);
+    node = std::atomic_ref<NodePtr>(children[Digit(key, level)])
+               .load(std::memory_order_acquire);
+    if (node == nullptr) return std::nullopt;
+  }
+  auto* values = static_cast<storage::Value*>(node);
+  auto* bitmap = reinterpret_cast<uint64_t*>(values + fanout_);
+  uint32_t slot = Digit(key, levels_ - 1);
+  uint64_t word = std::atomic_ref<uint64_t>(bitmap[slot >> 6])
+                      .load(std::memory_order_acquire);
+  if (!((word >> (slot & 63)) & 1)) return std::nullopt;
+  return std::atomic_ref<storage::Value>(values[slot])
+      .load(std::memory_order_acquire);
+}
+
+}  // namespace eris::baseline

@@ -1,0 +1,84 @@
+// NUMA-agnostic shared prefix tree — the paper's baseline.
+//
+// The same generalized prefix tree as storage::PrefixTree, but unpartitioned
+// and accessed by many threads concurrently, so updates synchronize with
+// atomic instructions (CAS child publication, release/acquire leaf bits)
+// instead of the data-oriented single-writer discipline. Node memory is
+// spread over the NUMA nodes according to the configured placement
+// (interleaved round-robin — the numactl --interleave=all setup of the
+// evaluation — or a single node).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <cstring>
+#include <optional>
+
+#include "common/bit_util.h"
+#include "common/logging.h"
+#include "numa/memory_manager.h"
+#include "storage/prefix_tree.h"
+#include "storage/types.h"
+
+namespace eris::baseline {
+
+enum class Placement : uint8_t {
+  kInterleaved = 0,  ///< allocations round-robin over all nodes
+  kSingleNode = 1,   ///< everything on node 0
+};
+
+/// \brief Latch-free concurrent prefix tree (insert/upsert/lookup).
+class SharedTree {
+ public:
+  SharedTree(numa::MemoryPool* pool, storage::PrefixTreeConfig config = {},
+             Placement placement = Placement::kInterleaved);
+  ~SharedTree();
+
+  SharedTree(const SharedTree&) = delete;
+  SharedTree& operator=(const SharedTree&) = delete;
+
+  /// Thread-safe insert; returns true when the key was new.
+  bool Insert(storage::Key key, storage::Value value);
+  /// Thread-safe insert-or-overwrite; returns true when the key was new.
+  bool Upsert(storage::Key key, storage::Value value);
+  /// Thread-safe lookup.
+  std::optional<storage::Value> Lookup(storage::Key key) const;
+
+  uint64_t size() const { return size_.load(std::memory_order_relaxed); }
+  uint64_t memory_bytes() const {
+    return memory_bytes_.load(std::memory_order_relaxed);
+  }
+  uint32_t levels() const { return levels_; }
+  const storage::PrefixTreeConfig& config() const { return config_; }
+  Placement placement() const { return placement_; }
+
+ private:
+  using NodePtr = void*;
+
+  uint32_t Digit(storage::Key key, uint32_t level) const {
+    uint32_t shift = (levels_ - 1 - level) * config_.prefix_bits;
+    return static_cast<uint32_t>((key >> shift) & (fanout_ - 1));
+  }
+  bool IsLeafLevel(uint32_t level) const { return level + 1 == levels_; }
+  size_t InteriorBytes() const { return sizeof(NodePtr) * fanout_; }
+  size_t LeafBytes() const {
+    return sizeof(storage::Value) * fanout_ +
+           sizeof(uint64_t) * ((fanout_ + 63) / 64);
+  }
+
+  numa::NodeMemoryManager& NextManager();
+  NodePtr NewNode(size_t bytes);
+
+  bool Put(storage::Key key, storage::Value value, bool overwrite);
+
+  numa::MemoryPool* pool_;
+  storage::PrefixTreeConfig config_;
+  Placement placement_;
+  uint32_t fanout_;
+  uint32_t levels_;
+  std::atomic<NodePtr> root_{nullptr};
+  std::atomic<uint64_t> size_{0};
+  std::atomic<uint64_t> memory_bytes_{0};
+};
+
+}  // namespace eris::baseline

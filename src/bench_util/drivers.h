@@ -1,0 +1,83 @@
+// Shared experiment drivers for the figure-reproduction benches.
+//
+// Every driver runs the *real* engine (or the real baseline structures) on
+// down-scaled data and reads modeled time from the deterministic cost
+// model: data sizes and the modeled LLC are divided by the same scale
+// factor, so cached fractions — and therefore throughput *ratios* and curve
+// shapes — match the paper's full-size runs. See DESIGN.md §2.
+#pragma once
+
+#include <cstdint>
+
+#include "bench_util/machines.h"
+#include "baseline/shared_column.h"
+#include "baseline/shared_tree.h"
+#include "core/engine.h"
+
+namespace eris::bench {
+
+/// Outcome of one modeled run.
+struct RunResult {
+  double sim_seconds = 0;   ///< modeled wall time of the workload phase
+  uint64_t ops = 0;         ///< operations executed (lookups/upserts/rows)
+  uint64_t link_bytes = 0;  ///< interconnect traffic of the workload phase
+  uint64_t mc_bytes = 0;    ///< memory-controller traffic
+
+  /// Paper-scale throughput: ops are counted at paper scale by multiplying
+  /// with the scale factor where appropriate (callers decide).
+  double mops() const { return sim_seconds > 0 ? ops / sim_seconds / 1e6 : 0; }
+  double link_gbps() const {
+    return sim_seconds > 0 ? link_bytes / sim_seconds / 1e9 : 0;
+  }
+  double mc_gbps() const {
+    return sim_seconds > 0 ? mc_bytes / sim_seconds / 1e9 : 0;
+  }
+};
+
+struct PointOpsConfig {
+  explicit PointOpsConfig(MachineSpec m) : machine(std::move(m)) {}
+
+  MachineSpec machine;
+  /// Paper-scale key count; the run materializes num_keys / scale keys in
+  /// the dense domain [0, num_keys / scale).
+  uint64_t num_keys = 1u << 30;
+  /// Number of point operations to execute (real, not scaled).
+  uint64_t ops = 1u << 19;
+  double scale = 512.0;
+  uint32_t prefix_bits = 8;
+  bool upserts = false;  ///< measure the upsert phase instead of lookups
+  uint64_t batch = 4096; ///< client submit batch
+  uint64_t seed = 42;
+};
+
+/// ERIS lookup/upsert throughput on a simulated machine.
+RunResult RunErisPointOps(const PointOpsConfig& cfg);
+
+/// NUMA-agnostic shared-index baseline (interleaved memory, atomic updates).
+RunResult RunSharedPointOps(const PointOpsConfig& cfg);
+
+struct ScanConfig {
+  explicit ScanConfig(MachineSpec m) : machine(std::move(m)) {}
+
+  MachineSpec machine;
+  /// Paper-scale column entries (8 B each); materialized count is /scale.
+  uint64_t entries = 1ull << 33;
+  double scale = 512.0;
+  uint32_t repeats = 3;  ///< scans per run (coalescing possible)
+  uint64_t seed = 7;
+};
+
+/// ERIS partitioned column scan (node-local partitions).
+RunResult RunErisScan(const ScanConfig& cfg);
+
+/// Shared scan over a column placed on one node or interleaved.
+RunResult RunSharedScan(const ScanConfig& cfg, baseline::Placement placement);
+
+/// Builds an engine configured for simulated-time experiments on `machine`
+/// with data sizes divided by `scale`.
+core::EngineOptions SimEngineOptions(const MachineSpec& machine, double scale);
+
+/// Key-domain bits for a dense domain of `keys` keys.
+uint32_t KeyBitsFor(uint64_t keys, uint32_t prefix_bits);
+
+}  // namespace eris::bench

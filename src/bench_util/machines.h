@@ -1,0 +1,40 @@
+// Evaluation machine registry (paper Table 1).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "numa/topology.h"
+
+namespace eris::bench {
+
+/// One evaluation platform: topology plus cache geometry.
+struct MachineSpec {
+  std::string name;
+  numa::Topology topology;
+  /// Last-level cache per multiprocessor in bytes (Table 1).
+  double llc_bytes_per_node = 0;
+};
+
+inline MachineSpec IntelMachine() {
+  return {"Intel  (4 nodes,  40 cores)", numa::Topology::IntelMachine(),
+          24.0 * 1024 * 1024};
+}
+
+inline MachineSpec AmdMachine() {
+  return {"AMD    (8 nodes,  64 cores)", numa::Topology::AmdMachine(),
+          12.0 * 1024 * 1024};
+}
+
+inline MachineSpec SgiMachine(uint32_t nodes = 64) {
+  return {"SGI    (" + std::to_string(nodes) + " nodes, " +
+              std::to_string(nodes * 8) + " cores)",
+          numa::Topology::SgiMachine(nodes), 20.0 * 1024 * 1024};
+}
+
+inline std::vector<MachineSpec> AllMachines() {
+  return {IntelMachine(), AmdMachine(), SgiMachine()};
+}
+
+}  // namespace eris::bench

@@ -1,0 +1,78 @@
+// Paper-style table printing for the benchmark binaries.
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace eris::bench {
+
+/// \brief Fixed-width text table, printed like the paper's result tables.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers)
+      : headers_(std::move(headers)) {}
+
+  Table& Row(std::vector<std::string> cells) {
+    rows_.push_back(std::move(cells));
+    return *this;
+  }
+
+  void Print() const {
+    std::vector<size_t> widths(headers_.size());
+    for (size_t c = 0; c < headers_.size(); ++c) widths[c] = headers_[c].size();
+    for (const auto& row : rows_) {
+      for (size_t c = 0; c < row.size() && c < widths.size(); ++c) {
+        widths[c] = std::max(widths[c], row[c].size());
+      }
+    }
+    auto print_row = [&](const std::vector<std::string>& row) {
+      std::printf("  ");
+      for (size_t c = 0; c < headers_.size(); ++c) {
+        const std::string& cell = c < row.size() ? row[c] : std::string();
+        std::printf("%-*s  ", static_cast<int>(widths[c]), cell.c_str());
+      }
+      std::printf("\n");
+    };
+    print_row(headers_);
+    size_t total = 2;
+    for (size_t w : widths) total += w + 2;
+    std::printf("  %s\n", std::string(total - 2, '-').c_str());
+    for (const auto& row : rows_) print_row(row);
+  }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// printf-style float formatting into std::string.
+inline std::string Fmt(const char* fmt, double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), fmt, v);
+  return buf;
+}
+inline std::string FmtU(uint64_t v) { return std::to_string(v); }
+
+/// Human-readable key/byte counts ("16M", "2G").
+inline std::string HumanCount(uint64_t v) {
+  if (v >= 1ull << 30 && v % (1ull << 30) == 0)
+    return std::to_string(v >> 30) + "G";
+  if (v >= 1ull << 20 && v % (1ull << 20) == 0)
+    return std::to_string(v >> 20) + "M";
+  if (v >= 1ull << 10 && v % (1ull << 10) == 0)
+    return std::to_string(v >> 10) + "K";
+  if (v >= 1000000000 && v % 1000000000 == 0)
+    return std::to_string(v / 1000000000) + "B";
+  if (v >= 1000000 && v % 1000000 == 0) return std::to_string(v / 1000000) + "M";
+  return std::to_string(v);
+}
+
+/// Standard experiment banner.
+inline void Banner(const char* id, const char* title, const char* note) {
+  std::printf("\n=== %s: %s ===\n", id, title);
+  if (note != nullptr && note[0] != '\0') std::printf("%s\n", note);
+  std::printf("\n");
+}
+
+}  // namespace eris::bench

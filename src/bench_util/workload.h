@@ -1,0 +1,109 @@
+// Workload generators for benches and examples.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+
+#include "common/logging.h"
+#include "common/rng.h"
+
+namespace eris::bench {
+
+/// \brief Zipfian key generator (Gray et al., "Quickly Generating
+/// Billion-Record Synthetic Databases").
+///
+/// Produces ranks in [0, n) where the frequency of rank r is proportional
+/// to 1 / (r+1)^theta. theta = 0 is uniform; theta ~ 0.99 is the classic
+/// YCSB skew. Ranks are scattered over the key domain with a fixed
+/// permutation hash so the hot keys are not clustered (pass scatter=false
+/// to keep rank order, which makes the hot set a contiguous range — the
+/// friendly case for ERIS' range-partitioned load balancer).
+class ZipfGenerator {
+ public:
+  ZipfGenerator(uint64_t n, double theta, uint64_t seed, bool scatter = true)
+      : n_(n), theta_(theta), scatter_(scatter), rng_(seed) {
+    ERIS_CHECK_GE(n, 1u);
+    ERIS_CHECK_GE(theta, 0.0);
+    ERIS_CHECK(theta < 1.0 || theta > 1.0) << "theta == 1 is singular";
+    zetan_ = Zeta(n, theta);
+    zeta2_ = Zeta(2, theta);
+    alpha_ = 1.0 / (1.0 - theta);
+    eta_ = (1.0 - std::pow(2.0 / static_cast<double>(n), 1.0 - theta)) /
+           (1.0 - zeta2_ / zetan_);
+  }
+
+  /// Next key in [0, n).
+  uint64_t Next() {
+    double u = rng_.NextDouble();
+    double uz = u * zetan_;
+    uint64_t rank;
+    if (uz < 1.0) {
+      rank = 0;
+    } else if (uz < 1.0 + std::pow(0.5, theta_)) {
+      rank = 1;
+    } else {
+      rank = static_cast<uint64_t>(
+          static_cast<double>(n_) *
+          std::pow(eta_ * u - eta_ + 1.0, alpha_));
+      if (rank >= n_) rank = n_ - 1;
+    }
+    return scatter_ ? Mix64(rank) % n_ : rank;
+  }
+
+  uint64_t domain() const { return n_; }
+  double theta() const { return theta_; }
+
+ private:
+  static double Zeta(uint64_t n, double theta) {
+    // Exact for small n; integral approximation beyond (the generator's
+    // shape is insensitive to the tail's fourth digit).
+    const uint64_t exact = std::min<uint64_t>(n, 10000);
+    double sum = 0;
+    for (uint64_t i = 1; i <= exact; ++i) {
+      sum += 1.0 / std::pow(static_cast<double>(i), theta);
+    }
+    if (n > exact) {
+      // integral of x^-theta from `exact` to n
+      double a = 1.0 - theta;
+      sum += (std::pow(static_cast<double>(n), a) -
+              std::pow(static_cast<double>(exact), a)) /
+             a;
+    }
+    return sum;
+  }
+
+  uint64_t n_;
+  double theta_;
+  bool scatter_;
+  Xoshiro256 rng_;
+  double zetan_;
+  double zeta2_;
+  double alpha_;
+  double eta_;
+};
+
+/// \brief Moving hot-window generator (the Figure 13 workload): uniform
+/// keys within a window that can be narrowed and shifted.
+class HotWindowGenerator {
+ public:
+  HotWindowGenerator(uint64_t domain, uint64_t seed)
+      : domain_(domain), hi_(domain), rng_(seed) {}
+
+  void SetWindow(uint64_t lo, uint64_t hi) {
+    ERIS_CHECK_LT(lo, hi);
+    ERIS_CHECK_LE(hi, domain_);
+    lo_ = lo;
+    hi_ = hi;
+  }
+
+  uint64_t Next() { return lo_ + rng_.NextBounded(hi_ - lo_); }
+  uint64_t domain() const { return domain_; }
+
+ private:
+  uint64_t domain_;
+  uint64_t lo_ = 0;
+  uint64_t hi_;
+  Xoshiro256 rng_;
+};
+
+}  // namespace eris::bench

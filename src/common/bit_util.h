@@ -1,0 +1,41 @@
+// Bit-manipulation helpers shared across modules.
+#pragma once
+
+#include <bit>
+#include <cstddef>
+#include <cstdint>
+
+namespace eris {
+
+/// True when v is a power of two (0 is not).
+constexpr bool IsPowerOfTwo(uint64_t v) { return v != 0 && (v & (v - 1)) == 0; }
+
+/// Smallest power of two >= v (v=0 yields 1).
+constexpr uint64_t NextPowerOfTwo(uint64_t v) {
+  return v <= 1 ? 1 : uint64_t{1} << (64 - std::countl_zero(v - 1));
+}
+
+/// floor(log2(v)); v must be non-zero.
+constexpr int Log2Floor(uint64_t v) { return 63 - std::countl_zero(v); }
+
+/// ceil(log2(v)); v must be non-zero.
+constexpr int Log2Ceil(uint64_t v) {
+  return v <= 1 ? 0 : 64 - std::countl_zero(v - 1);
+}
+
+/// ceil(a / b) for positive integers.
+constexpr uint64_t CeilDiv(uint64_t a, uint64_t b) { return (a + b - 1) / b; }
+
+/// Rounds v up to a multiple of `alignment` (power of two).
+constexpr uint64_t AlignUp(uint64_t v, uint64_t alignment) {
+  return (v + alignment - 1) & ~(alignment - 1);
+}
+
+/// Extracts `width` bits of `key` starting `shift` bits from the LSB.
+constexpr uint64_t ExtractBits(uint64_t key, int shift, int width) {
+  return (key >> shift) & ((width >= 64) ? ~0ULL : ((uint64_t{1} << width) - 1));
+}
+
+constexpr size_t kCacheLineSize = 64;
+
+}  // namespace eris

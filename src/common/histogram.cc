@@ -1,0 +1,88 @@
+#include "common/histogram.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "common/logging.h"
+
+namespace eris {
+
+Histogram::Histogram(double lo, double hi, size_t buckets)
+    : lo_(lo), width_((hi - lo) / static_cast<double>(buckets)),
+      counts_(buckets, 0) {
+  ERIS_CHECK_GT(hi, lo);
+  ERIS_CHECK_GT(buckets, 0u);
+}
+
+void Histogram::Add(double value, uint64_t weight) {
+  double idx = (value - lo_) / width_;
+  size_t i = idx <= 0 ? 0
+             : std::min(counts_.size() - 1, static_cast<size_t>(idx));
+  counts_[i] += weight;
+  total_count_ += weight;
+  sum_ += value * static_cast<double>(weight);
+  sum_sq_ += value * value * static_cast<double>(weight);
+}
+
+void Histogram::Clear() {
+  std::fill(counts_.begin(), counts_.end(), 0);
+  total_count_ = 0;
+  sum_ = 0;
+  sum_sq_ = 0;
+}
+
+void Histogram::Merge(const Histogram& other) {
+  ERIS_CHECK_EQ(counts_.size(), other.counts_.size());
+  ERIS_CHECK_EQ(lo_, other.lo_);
+  for (size_t i = 0; i < counts_.size(); ++i) counts_[i] += other.counts_[i];
+  total_count_ += other.total_count_;
+  sum_ += other.sum_;
+  sum_sq_ += other.sum_sq_;
+}
+
+double Histogram::Mean() const {
+  return total_count_ == 0 ? 0.0 : sum_ / static_cast<double>(total_count_);
+}
+
+double Histogram::StdDev() const {
+  if (total_count_ == 0) return 0.0;
+  double n = static_cast<double>(total_count_);
+  double mean = sum_ / n;
+  double var = sum_sq_ / n - mean * mean;
+  return var > 0 ? std::sqrt(var) : 0.0;
+}
+
+double Histogram::Quantile(double q) const {
+  if (total_count_ == 0) return lo_;
+  q = std::clamp(q, 0.0, 1.0);
+  uint64_t target = static_cast<uint64_t>(q * static_cast<double>(total_count_));
+  uint64_t cum = 0;
+  for (size_t i = 0; i < counts_.size(); ++i) {
+    if (cum + counts_[i] > target) {
+      double frac = counts_[i] == 0
+                        ? 0.0
+                        : static_cast<double>(target - cum) /
+                              static_cast<double>(counts_[i]);
+      return bucket_lo(i) + frac * width_;
+    }
+    cum += counts_[i];
+  }
+  return bucket_lo(counts_.size() - 1) + width_;
+}
+
+std::string Histogram::ToString(int bar_width) const {
+  std::ostringstream os;
+  uint64_t max_count = 1;
+  for (uint64_t c : counts_) max_count = std::max(max_count, c);
+  for (size_t i = 0; i < counts_.size(); ++i) {
+    int bar = static_cast<int>(static_cast<double>(counts_[i]) /
+                               static_cast<double>(max_count) * bar_width);
+    os << "[" << bucket_lo(i) << ", " << bucket_lo(i) + width_ << ") "
+       << std::string(static_cast<size_t>(bar), '#') << " " << counts_[i]
+       << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace eris

@@ -1,0 +1,51 @@
+// Fixed-bucket histogram used by the monitor and by benchmark reporting.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace eris {
+
+/// \brief Equi-width histogram over a value domain [lo, hi).
+///
+/// Used to approximate per-partition metric distributions (access frequency,
+/// execution time) that feed the load balancer, and to summarize benchmark
+/// latencies. Not thread-safe; each AEU owns its histograms.
+class Histogram {
+ public:
+  /// Creates `buckets` equal-width buckets covering [lo, hi). Values outside
+  /// the range are clamped into the first/last bucket.
+  Histogram(double lo, double hi, size_t buckets);
+
+  void Add(double value, uint64_t weight = 1);
+  void Clear();
+
+  /// Merges another histogram with identical geometry.
+  void Merge(const Histogram& other);
+
+  uint64_t total_count() const { return total_count_; }
+  size_t num_buckets() const { return counts_.size(); }
+  uint64_t bucket_count(size_t i) const { return counts_[i]; }
+  /// Inclusive lower bound of bucket i.
+  double bucket_lo(size_t i) const { return lo_ + i * width_; }
+
+  double Mean() const;
+  /// Population standard deviation of the bucketed distribution.
+  double StdDev() const;
+  /// Value at quantile q in [0,1], linear interpolation within a bucket.
+  double Quantile(double q) const;
+
+  /// Multi-line ASCII rendering for logs/benches.
+  std::string ToString(int bar_width = 40) const;
+
+ private:
+  double lo_;
+  double width_;
+  std::vector<uint64_t> counts_;
+  uint64_t total_count_ = 0;
+  double sum_ = 0;
+  double sum_sq_ = 0;
+};
+
+}  // namespace eris

@@ -1,0 +1,92 @@
+// Minimal leveled logging plus ERIS_CHECK assertions.
+//
+// Logging is intentionally tiny: benchmarks and the engine hot path must not
+// pay for logging infrastructure. Messages are composed into an ostringstream
+// and emitted under a global mutex so concurrent AEUs do not interleave.
+#pragma once
+
+#include <cstdlib>
+#include <sstream>
+#include <string>
+
+namespace eris {
+
+enum class LogLevel : int {
+  kDebug = 0,
+  kInfo = 1,
+  kWarning = 2,
+  kError = 3,
+  kFatal = 4,
+};
+
+namespace internal {
+
+/// Global minimum level; messages below it are discarded.
+LogLevel GetLogLevel();
+void SetLogLevel(LogLevel level);
+
+/// Emits one formatted line to stderr (thread-safe). Aborts for kFatal.
+void EmitLogMessage(LogLevel level, const char* file, int line,
+                    const std::string& message);
+
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line)
+      : level_(level), file_(file), line_(line) {}
+  ~LogMessage() { EmitLogMessage(level_, file_, line_, stream_.str()); }
+
+  template <typename T>
+  LogMessage& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  const char* file_;
+  int line_;
+  std::ostringstream stream_;
+};
+
+/// Swallows a streamed expression when the level is disabled.
+struct NullLog {
+  template <typename T>
+  NullLog& operator<<(const T&) { return *this; }
+};
+
+}  // namespace internal
+
+#define ERIS_LOG(level)                                               \
+  (::eris::LogLevel::k##level < ::eris::internal::GetLogLevel())      \
+      ? (void)0                                                       \
+      : (void)(::eris::internal::LogMessage(::eris::LogLevel::k##level, \
+                                            __FILE__, __LINE__))
+
+// ERIS_LOG is awkward for streaming with the ternary; provide the canonical
+// macro that supports `ERIS_DLOG(Info) << "x" << 1;`
+#define ERIS_DLOG(level)                                                  \
+  if (::eris::LogLevel::k##level >= ::eris::internal::GetLogLevel())     \
+  ::eris::internal::LogMessage(::eris::LogLevel::k##level, __FILE__, __LINE__)
+
+/// Fatal-on-false invariant check, active in all build types.
+#define ERIS_CHECK(cond)                                                   \
+  if (!(cond))                                                             \
+  ::eris::internal::LogMessage(::eris::LogLevel::kFatal, __FILE__,         \
+                               __LINE__)                                   \
+      << "Check failed: " #cond " "
+
+#define ERIS_CHECK_EQ(a, b) ERIS_CHECK((a) == (b))
+#define ERIS_CHECK_NE(a, b) ERIS_CHECK((a) != (b))
+#define ERIS_CHECK_LT(a, b) ERIS_CHECK((a) < (b))
+#define ERIS_CHECK_LE(a, b) ERIS_CHECK((a) <= (b))
+#define ERIS_CHECK_GT(a, b) ERIS_CHECK((a) > (b))
+#define ERIS_CHECK_GE(a, b) ERIS_CHECK((a) >= (b))
+
+#ifndef NDEBUG
+#define ERIS_DCHECK(cond) ERIS_CHECK(cond)
+#else
+#define ERIS_DCHECK(cond) \
+  while (false) ::eris::internal::NullLog() << !(cond)
+#endif
+
+}  // namespace eris

@@ -1,0 +1,51 @@
+// Low-overhead synchronization primitives used off the AEU hot path.
+//
+// The ERIS data path is latch-free by construction (private partitions,
+// CAS-managed incoming buffers). Spinlocks exist only for rarely contended
+// structures such as memory-manager arenas and the monitor snapshot.
+#pragma once
+
+#include <atomic>
+
+#if defined(__x86_64__) || defined(__i386__)
+#include <immintrin.h>
+#endif
+
+namespace eris {
+
+/// Issues a CPU pause/yield hint inside spin loops.
+inline void CpuRelax() {
+#if defined(__x86_64__) || defined(__i386__)
+  _mm_pause();
+#elif defined(__aarch64__)
+  asm volatile("yield");
+#else
+  std::atomic_thread_fence(std::memory_order_seq_cst);
+#endif
+}
+
+/// Test-and-test-and-set spinlock. Satisfies BasicLockable.
+class SpinLock {
+ public:
+  SpinLock() = default;
+  SpinLock(const SpinLock&) = delete;
+  SpinLock& operator=(const SpinLock&) = delete;
+
+  void lock() {
+    while (flag_.exchange(true, std::memory_order_acquire)) {
+      while (flag_.load(std::memory_order_relaxed)) CpuRelax();
+    }
+  }
+
+  bool try_lock() {
+    return !flag_.load(std::memory_order_relaxed) &&
+           !flag_.exchange(true, std::memory_order_acquire);
+  }
+
+  void unlock() { flag_.store(false, std::memory_order_release); }
+
+ private:
+  std::atomic<bool> flag_{false};
+};
+
+}  // namespace eris

@@ -1,0 +1,29 @@
+#include "common/status.h"
+
+namespace eris {
+
+std::string_view StatusCodeName(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk: return "ok";
+    case StatusCode::kInvalidArgument: return "invalid-argument";
+    case StatusCode::kNotFound: return "not-found";
+    case StatusCode::kAlreadyExists: return "already-exists";
+    case StatusCode::kOutOfRange: return "out-of-range";
+    case StatusCode::kResourceExhausted: return "resource-exhausted";
+    case StatusCode::kFailedPrecondition: return "failed-precondition";
+    case StatusCode::kUnimplemented: return "unimplemented";
+    case StatusCode::kInternal: return "internal";
+    case StatusCode::kIoError: return "io-error";
+  }
+  return "unknown";
+}
+
+std::string Status::ToString() const {
+  if (ok()) return "OK";
+  std::string out(StatusCodeName(code()));
+  out += ": ";
+  out += rep_->message;
+  return out;
+}
+
+}  // namespace eris

@@ -1,0 +1,198 @@
+// Status / Result error-handling primitives for ERIS.
+//
+// ERIS follows the Arrow/RocksDB convention of returning a Status (or a
+// Result<T> that carries either a value or a Status) instead of throwing
+// exceptions on expected failure paths. Exceptions are reserved for
+// programming errors surfaced through ERIS_CHECK.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <variant>
+
+namespace eris {
+
+/// Machine-readable classification of a failure.
+enum class StatusCode : uint8_t {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kAlreadyExists,
+  kOutOfRange,
+  kResourceExhausted,
+  kFailedPrecondition,
+  kUnimplemented,
+  kInternal,
+  kIoError,
+};
+
+/// \brief Returns the canonical lower-case name of a status code
+///        (e.g. "invalid-argument").
+std::string_view StatusCodeName(StatusCode code);
+
+/// \brief Outcome of an operation: OK, or a code plus human-readable message.
+///
+/// Status is cheap to copy in the OK case (a null pointer) and allocates only
+/// on failure, following the RocksDB/Arrow pattern.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() noexcept = default;
+
+  Status(StatusCode code, std::string message)
+      : rep_(code == StatusCode::kOk
+                 ? nullptr
+                 : new Rep{code, std::move(message)}) {}
+
+  Status(const Status& other) : rep_(other.rep_ ? new Rep(*other.rep_) : nullptr) {}
+  Status& operator=(const Status& other) {
+    if (this != &other) {
+      delete rep_;
+      rep_ = other.rep_ ? new Rep(*other.rep_) : nullptr;
+    }
+    return *this;
+  }
+  Status(Status&& other) noexcept : rep_(other.rep_) { other.rep_ = nullptr; }
+  Status& operator=(Status&& other) noexcept {
+    if (this != &other) {
+      delete rep_;
+      rep_ = other.rep_;
+      other.rep_ = nullptr;
+    }
+    return *this;
+  }
+  ~Status() { delete rep_; }
+
+  static Status Ok() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status Unimplemented(std::string msg) {
+    return Status(StatusCode::kUnimplemented, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status IoError(std::string msg) {
+    return Status(StatusCode::kIoError, std::move(msg));
+  }
+
+  bool ok() const noexcept { return rep_ == nullptr; }
+  StatusCode code() const noexcept {
+    return rep_ ? rep_->code : StatusCode::kOk;
+  }
+  /// Message of a non-OK status; empty for OK.
+  std::string_view message() const noexcept {
+    return rep_ ? std::string_view(rep_->message) : std::string_view();
+  }
+
+  bool IsInvalidArgument() const { return code() == StatusCode::kInvalidArgument; }
+  bool IsNotFound() const { return code() == StatusCode::kNotFound; }
+  bool IsAlreadyExists() const { return code() == StatusCode::kAlreadyExists; }
+  bool IsOutOfRange() const { return code() == StatusCode::kOutOfRange; }
+  bool IsResourceExhausted() const {
+    return code() == StatusCode::kResourceExhausted;
+  }
+  bool IsFailedPrecondition() const {
+    return code() == StatusCode::kFailedPrecondition;
+  }
+  bool IsUnimplemented() const { return code() == StatusCode::kUnimplemented; }
+  bool IsInternal() const { return code() == StatusCode::kInternal; }
+
+  /// "OK" or "<code-name>: <message>".
+  std::string ToString() const;
+
+  bool operator==(const Status& other) const {
+    return code() == other.code() && message() == other.message();
+  }
+
+ private:
+  struct Rep {
+    StatusCode code;
+    std::string message;
+  };
+  Rep* rep_ = nullptr;  // nullptr means OK.
+};
+
+inline std::ostream& operator<<(std::ostream& os, const Status& s) {
+  return os << s.ToString();
+}
+
+/// \brief Either a value of type T or a non-OK Status.
+///
+/// A moved-from or default Result is in the error state. Accessing the value
+/// of an error Result aborts (programming error).
+template <typename T>
+class Result {
+ public:
+  /// Error-state constructor (Internal status).
+  Result() : storage_(Status::Internal("uninitialized Result")) {}
+  Result(T value) : storage_(std::move(value)) {}  // NOLINT implicit
+  Result(Status status) : storage_(std::move(status)) {  // NOLINT implicit
+    if (std::get<Status>(storage_).ok()) {
+      storage_ = Status::Internal("Result constructed from OK status");
+    }
+  }
+
+  bool ok() const { return std::holds_alternative<T>(storage_); }
+
+  const Status& status() const {
+    static const Status kOk;
+    return ok() ? kOk : std::get<Status>(storage_);
+  }
+
+  T& value() & { return std::get<T>(storage_); }
+  const T& value() const& { return std::get<T>(storage_); }
+  T&& value() && { return std::move(std::get<T>(storage_)); }
+
+  T& operator*() & { return value(); }
+  const T& operator*() const& { return value(); }
+  T* operator->() { return &value(); }
+  const T* operator->() const { return &value(); }
+
+  /// Returns the value or `fallback` when in the error state.
+  T ValueOr(T fallback) const {
+    return ok() ? value() : std::move(fallback);
+  }
+
+ private:
+  std::variant<T, Status> storage_;
+};
+
+/// Propagates a non-OK Status out of the enclosing function.
+#define ERIS_RETURN_NOT_OK(expr)              \
+  do {                                        \
+    ::eris::Status _st = (expr);              \
+    if (!_st.ok()) return _st;                \
+  } while (0)
+
+/// Assigns the value of a Result expression or propagates its Status.
+#define ERIS_ASSIGN_OR_RETURN(lhs, expr)      \
+  auto ERIS_CONCAT_(_res_, __LINE__) = (expr);            \
+  if (!ERIS_CONCAT_(_res_, __LINE__).ok())                \
+    return ERIS_CONCAT_(_res_, __LINE__).status();        \
+  lhs = std::move(ERIS_CONCAT_(_res_, __LINE__)).value()
+
+#define ERIS_CONCAT_IMPL_(a, b) a##b
+#define ERIS_CONCAT_(a, b) ERIS_CONCAT_IMPL_(a, b)
+
+}  // namespace eris

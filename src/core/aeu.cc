@@ -1,0 +1,982 @@
+#include "core/aeu.h"
+
+#include <algorithm>
+#include <chrono>
+#include <thread>
+
+#include "common/stopwatch.h"
+#include "core/engine.h"
+#include "numa/pinning.h"
+#include "sim/index_model.h"
+
+namespace eris::core {
+
+namespace {
+
+bool IsControlCommand(routing::CommandType t) {
+  switch (t) {
+    case routing::CommandType::kBalanceRange:
+    case routing::CommandType::kBalancePhysical:
+    case routing::CommandType::kTransferRequest:
+    case routing::CommandType::kInstallPartition:
+      return true;
+    default:
+      return false;
+  }
+}
+
+sim::TreeShape ShapeOf(const storage::Partition& part) {
+  sim::TreeShape shape;
+  if (const storage::PrefixTree* tree = part.index()) {
+    shape.levels = tree->levels();
+    shape.fanout = 1u << tree->config().prefix_bits;
+    shape.keys = tree->size();
+    shape.bytes = tree->memory_bytes();
+  } else if (part.hash()) {
+    shape.levels = 1;
+    shape.fanout = 2;
+    shape.keys = part.hash()->size();
+    shape.bytes = part.hash()->memory_bytes();
+  }
+  return shape;
+}
+
+}  // namespace
+
+Aeu::Aeu(routing::AeuId id, Engine* engine)
+    : engine_(engine),
+      id_(id),
+      node_(engine->NodeOfAeu(id)),
+      endpoint_(&engine->router(), id, engine->NodeOfAeu(id)) {
+  // Objects may be registered while the loop runs (query-layer
+  // intermediates): reserving up front means AddPartition never
+  // reallocates under a concurrently reading loop. A command can only
+  // reference an object after its registration completed, so slot writes
+  // are ordered before the reads via the mailbox's release/acquire pair.
+  partitions_.reserve(routing::Router::kMaxObjects);
+}
+
+Aeu::~Aeu() = default;
+
+void Aeu::AddPartition(const storage::DataObjectDesc& desc,
+                       storage::KeyRange initial_range) {
+  ERIS_CHECK_EQ(desc.id, partitions_.size());
+  ERIS_CHECK_LT(partitions_.size(), routing::Router::kMaxObjects);
+  uint64_t salt = Mix64((static_cast<uint64_t>(desc.id) << 32) | id_);
+  partitions_.push_back(std::make_unique<storage::Partition>(
+      desc, &engine_->memory().manager(node_), initial_range, salt));
+}
+
+// ---------------------------------------------------------------------------
+// Loop
+// ---------------------------------------------------------------------------
+
+bool Aeu::RunLoopIteration() {
+  ++stats_.iterations;
+  uint64_t processed_before = stats_.commands_processed;
+
+  if (!deferred_.empty()) RetryDeferred();
+  bool drained = ProcessIncoming();
+  // Loop wrap-around: push out whatever the processing stage produced.
+  endpoint_.FlushAll();
+  ChargeRoutingCosts();
+
+  bool worked = drained || stats_.commands_processed != processed_before;
+  if (worked) {
+    idle_iterations_ = 0;
+  } else if (++idle_iterations_ == 64) {
+    // Idle: use the slack for storage maintenance (paper §6).
+    idle_iterations_ = 0;
+    RunMaintenance();
+  }
+  return worked;
+}
+
+void Aeu::RunMaintenance() {
+  uint64_t watermark =
+      engine_->snapshots().MinActive(engine_->oracle().ReadTs());
+  if (watermark == 0) return;
+  ++stats_.maintenance_runs;
+  for (auto& part : partitions_) {
+    storage::MvccColumn* column = part->mvcc_column();
+    if (column == nullptr || column->undo_chains() == 0) continue;
+    size_t before = column->undo_chains();
+    // A version overwritten at ts <= watermark is invisible to every
+    // snapshot >= watermark (the oldest one still active).
+    column->GarbageCollect(watermark);
+    stats_.versions_reclaimed += before - column->undo_chains();
+  }
+}
+
+bool Aeu::ProcessIncoming() {
+  size_t filled = engine_->router().mailbox(id_).Drain(
+      [&](std::span<const uint8_t> region) {
+        if (region.empty()) return;
+        GroupRecords(region);
+        ProcessGroups();
+      });
+  return filled > 0;
+}
+
+void Aeu::GroupRecords(std::span<const uint8_t> region) {
+  groups_.clear();
+  control_.clear();
+  size_t pos = 0;
+  while (pos + sizeof(routing::CommandHeader) <= region.size()) {
+    routing::CommandView view = routing::DecodeCommand(region.data() + pos);
+    pos += view.record_bytes();
+    ERIS_DCHECK(pos <= region.size()) << "corrupt record stream";
+    if (IsControlCommand(view.header.type)) {
+      control_.push_back(view);
+      continue;
+    }
+    // Group by (object, type): linear scan — the number of distinct groups
+    // per drain is tiny.
+    Group* group = nullptr;
+    for (Group& g : groups_) {
+      if (g.object == view.header.object && g.type == view.header.type) {
+        group = &g;
+        break;
+      }
+    }
+    if (group == nullptr) {
+      groups_.push_back(Group{view.header.object, view.header.type, {}});
+      group = &groups_.back();
+    }
+    group->commands.push_back(view);
+  }
+}
+
+void Aeu::ProcessGroups() {
+  for (const Group& g : groups_) {
+    Stopwatch watch;
+    group_ops_ = 0;
+    group_modeled_ns_ = 0;
+    switch (g.type) {
+      case routing::CommandType::kLookupBatch:
+        ProcessLookupGroup(g);
+        break;
+      case routing::CommandType::kInsertBatch:
+      case routing::CommandType::kUpsertBatch:
+        ProcessWriteGroup(g);
+        break;
+      case routing::CommandType::kEraseBatch:
+        ProcessEraseGroup(g);
+        break;
+      case routing::CommandType::kAppendBatch:
+        ProcessAppendGroup(g);
+        break;
+      case routing::CommandType::kScanColumn:
+        ProcessScanColumnGroup(g);
+        break;
+      case routing::CommandType::kScanIndexRange:
+        ProcessScanIndexGroup(g);
+        break;
+      case routing::CommandType::kScanStats:
+        ProcessScanStatsGroup(g);
+        break;
+      case routing::CommandType::kScanMaterialize:
+        ProcessScanMaterializeGroup(g);
+        break;
+      case routing::CommandType::kJoinProbe:
+        ProcessJoinProbeGroup(g);
+        break;
+      case routing::CommandType::kFence:
+        for (const routing::CommandView& cmd : g.commands) ProcessFence(cmd);
+        break;
+      default:
+        ERIS_CHECK(false) << "unexpected data command "
+                          << routing::CommandTypeName(g.type);
+    }
+    stats_.commands_processed += g.commands.size();
+    double exec_ns = engine_->sim_enabled()
+                         ? group_modeled_ns_
+                         : static_cast<double>(watch.ElapsedNanos());
+    RecordGroupMetrics(g.object, group_ops_, exec_ns);
+  }
+  // Balancing and transfer commands run after the data commands (the last
+  // stage of the AEU loop in Figure 3).
+  for (const routing::CommandView& cmd : control_) {
+    switch (cmd.header.type) {
+      case routing::CommandType::kBalanceRange:
+        HandleBalanceRange(cmd);
+        break;
+      case routing::CommandType::kBalancePhysical:
+        HandleBalancePhysical(cmd);
+        break;
+      case routing::CommandType::kTransferRequest:
+        HandleTransferRequest(cmd);
+        break;
+      case routing::CommandType::kInstallPartition:
+        HandleInstall(cmd);
+        break;
+      default:
+        ERIS_CHECK(false);
+    }
+    ++stats_.commands_processed;
+  }
+}
+
+void Aeu::RetryDeferred() {
+  std::vector<std::vector<uint8_t>> pending;
+  pending.swap(deferred_);
+  for (const std::vector<uint8_t>& record : pending) {
+    routing::CommandView view = routing::DecodeCommand(record.data());
+    Group g{view.header.object, view.header.type, {view}};
+    groups_.clear();
+    control_.clear();
+    if (IsControlCommand(view.header.type)) {
+      control_.push_back(view);
+    } else {
+      groups_.push_back(std::move(g));
+    }
+    ProcessGroups();
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Keyed command helpers
+// ---------------------------------------------------------------------------
+
+bool Aeu::InPendingRange(storage::ObjectId object, storage::Key key) const {
+  for (const PendingFetch& p : pending_fetches_) {
+    if (p.object == object && p.range.Contains(key)) return true;
+  }
+  return false;
+}
+
+bool Aeu::RangeOverlapsPending(storage::ObjectId object, storage::Key lo,
+                               storage::Key hi) const {
+  for (const PendingFetch& p : pending_fetches_) {
+    if (p.object != object) continue;
+    storage::Key p_hi = p.range.hi;
+    if (lo < p_hi && p.range.lo < hi) return true;
+  }
+  return false;
+}
+
+void Aeu::DeferCommand(const routing::CommandHeader& header,
+                       std::span<const uint8_t> payload) {
+  std::vector<uint8_t> record;
+  routing::EncodeCommand(header, payload, &record);
+  deferred_.push_back(std::move(record));
+  ++stats_.commands_deferred;
+}
+
+void Aeu::ProcessLookupGroup(const Group& g) {
+  storage::Partition* part = partition(g.object);
+  for (const routing::CommandView& cmd : g.commands) {
+    std::span<const storage::Key> keys = cmd.PayloadAs<storage::Key>();
+    routing::ResultSink* sink = cmd.header.sink;
+    // Classify keys: mine / in-flight (deferred) / no longer mine (forward).
+    scratch_keys_.clear();   // mine
+    static thread_local std::vector<storage::Key> pending_keys;
+    static thread_local std::vector<storage::Key> foreign_keys;
+    pending_keys.clear();
+    foreign_keys.clear();
+    for (storage::Key k : keys) {
+      // Pending check first: after a balancing command the declared range
+      // already covers data that is still in flight toward this AEU.
+      if (InPendingRange(g.object, k)) {
+        pending_keys.push_back(k);
+      } else if (part->range().Contains(k)) {
+        scratch_keys_.push_back(k);
+      } else {
+        foreign_keys.push_back(k);
+      }
+    }
+    if (!scratch_keys_.empty()) {
+      scratch_values_.resize(scratch_keys_.size());
+      // span<const bool> needs contiguous plain bools (std::vector<bool>
+      // is bit-packed), so keep a grow-only flat buffer.
+      static thread_local std::unique_ptr<bool[]> found_buf;
+      static thread_local size_t found_cap = 0;
+      if (found_cap < scratch_keys_.size()) {
+        found_cap = std::max<size_t>(scratch_keys_.size() * 2, 1024);
+        found_buf = std::make_unique<bool[]>(found_cap);
+      }
+      if (const storage::PrefixTree* tree = part->index()) {
+        // Batched probe: the group descends together with prefetching —
+        // the latency-hiding batch operation of the paper's Section 3.1.
+        tree->BatchLookup(scratch_keys_, scratch_values_.data(),
+                          found_buf.get());
+      } else {
+        for (size_t i = 0; i < scratch_keys_.size(); ++i) {
+          std::optional<storage::Value> v = part->Lookup(scratch_keys_[i]);
+          found_buf[i] = v.has_value();
+          scratch_values_[i] = v.value_or(0);
+        }
+      }
+      if (sink != nullptr) {
+        sink->OnLookupBatch(scratch_keys_, scratch_values_,
+                            {found_buf.get(), scratch_keys_.size()});
+        sink->OnCommandComplete(scratch_keys_.size());
+      }
+      group_ops_ += scratch_keys_.size();
+    }
+    if (!foreign_keys.empty()) {
+      // The partitioning moved under this command: forward to the current
+      // owners (completion units travel with the forwarded keys).
+      endpoint_.SendLookupBatch(g.object, foreign_keys, sink);
+      ++stats_.commands_forwarded;
+    }
+    if (!pending_keys.empty()) {
+      routing::CommandHeader h = cmd.header;
+      DeferCommand(h, {reinterpret_cast<const uint8_t*>(pending_keys.data()),
+                       pending_keys.size() * sizeof(storage::Key)});
+    }
+  }
+  ChargePointOps(g.object, group_ops_, /*is_write=*/false);
+}
+
+void Aeu::ProcessWriteGroup(const Group& g) {
+  storage::Partition* part = partition(g.object);
+  const bool overwrite = g.type == routing::CommandType::kUpsertBatch;
+  for (const routing::CommandView& cmd : g.commands) {
+    std::span<const routing::KeyValue> kvs =
+        cmd.PayloadAs<routing::KeyValue>();
+    routing::ResultSink* sink = cmd.header.sink;
+    scratch_kvs_.clear();  // foreign
+    static thread_local std::vector<routing::KeyValue> pending_kvs;
+    pending_kvs.clear();
+    uint64_t mine = 0;
+    uint64_t applied = 0;
+    for (const routing::KeyValue& kv : kvs) {
+      if (InPendingRange(g.object, kv.key)) {
+        pending_kvs.push_back(kv);
+      } else if (part->range().Contains(kv.key)) {
+        ++mine;
+        bool was_new = overwrite ? part->Upsert(kv.key, kv.value)
+                                 : part->Insert(kv.key, kv.value);
+        applied += was_new ? 1 : 0;
+      } else {
+        scratch_kvs_.push_back(kv);
+      }
+    }
+    if (mine > 0 && sink != nullptr) {
+      sink->OnWriteBatch(applied);
+      sink->OnCommandComplete(mine);
+    }
+    group_ops_ += mine;
+    if (!scratch_kvs_.empty()) {
+      endpoint_.SendWriteBatch(g.type, g.object, scratch_kvs_, sink);
+      ++stats_.commands_forwarded;
+    }
+    if (!pending_kvs.empty()) {
+      DeferCommand(cmd.header,
+                   {reinterpret_cast<const uint8_t*>(pending_kvs.data()),
+                    pending_kvs.size() * sizeof(routing::KeyValue)});
+    }
+  }
+  ChargePointOps(g.object, group_ops_, /*is_write=*/true);
+}
+
+void Aeu::ProcessEraseGroup(const Group& g) {
+  storage::Partition* part = partition(g.object);
+  for (const routing::CommandView& cmd : g.commands) {
+    std::span<const storage::Key> keys = cmd.PayloadAs<storage::Key>();
+    routing::ResultSink* sink = cmd.header.sink;
+    scratch_keys_.clear();
+    static thread_local std::vector<storage::Key> pending_keys;
+    pending_keys.clear();
+    uint64_t mine = 0;
+    uint64_t applied = 0;
+    for (storage::Key k : keys) {
+      if (InPendingRange(g.object, k)) {
+        pending_keys.push_back(k);
+      } else if (part->range().Contains(k)) {
+        ++mine;
+        applied += part->Erase(k) ? 1 : 0;
+      } else {
+        scratch_keys_.push_back(k);
+      }
+    }
+    if (mine > 0 && sink != nullptr) {
+      sink->OnWriteBatch(applied);
+      sink->OnCommandComplete(mine);
+    }
+    group_ops_ += mine;
+    if (!scratch_keys_.empty()) {
+      endpoint_.SendEraseBatch(g.object, scratch_keys_, sink);
+      ++stats_.commands_forwarded;
+    }
+    if (!pending_keys.empty()) {
+      DeferCommand(cmd.header,
+                   {reinterpret_cast<const uint8_t*>(pending_keys.data()),
+                    pending_keys.size() * sizeof(storage::Key)});
+    }
+  }
+  ChargePointOps(g.object, group_ops_, /*is_write=*/true);
+}
+
+void Aeu::ProcessAppendGroup(const Group& g) {
+  storage::Partition* part = partition(g.object);
+  uint64_t total_values = 0;
+  for (const routing::CommandView& cmd : g.commands) {
+    std::span<const storage::Value> values =
+        cmd.PayloadAs<storage::Value>();
+    uint64_t ts = engine_->oracle().NextWriteTs();
+    for (storage::Value v : values) part->ColumnAppend(v, ts);
+    total_values += values.size();
+    if (cmd.header.sink != nullptr) {
+      cmd.header.sink->OnWriteBatch(values.size());
+      cmd.header.sink->OnCommandComplete(1);
+    }
+  }
+  group_ops_ += total_values;
+  engine_->monitor().RecordSize(id_, g.object, part->tuple_count(),
+                                part->memory_bytes());
+  if (engine_->sim_enabled()) {
+    uint64_t bytes = total_values * sizeof(storage::Value);
+    sim::ResourceUsage& ru = engine_->resource_usage();
+    double ns = engine_->cost_model().StreamNs(node_, node_, bytes);
+    ru.AddComputeNs(id_, ns);
+    ru.AddMemoryTraffic(node_, node_, bytes);
+    group_modeled_ns_ += ns;
+  }
+}
+
+void Aeu::ProcessScanColumnGroup(const Group& g) {
+  storage::Partition* part = partition(g.object);
+  storage::MvccColumn* column = part->mvcc_column();
+  ERIS_CHECK(column != nullptr) << "column scan on keyed object";
+  struct Job {
+    routing::ScanParams params;
+    routing::ResultSink* sink;
+    uint64_t visible;
+    uint64_t rows = 0;
+    uint64_t sum = 0;
+  };
+  static thread_local std::vector<Job> jobs;
+  jobs.clear();
+  for (const routing::CommandView& cmd : g.commands) {
+    routing::ScanParams p = cmd.PayloadAs<routing::ScanParams>()[0];
+    Job job;
+    job.params = p;
+    job.sink = cmd.header.sink;
+    job.visible = p.snapshot_ts == ~uint64_t{0}
+                      ? column->size()
+                      : column->VisibleSize(p.snapshot_ts);
+    jobs.push_back(job);
+  }
+  // Scan sharing: one physical pass answers every coalesced command, with
+  // MVCC snapshots preserving each command's isolation.
+  const bool fast = column->undo_chains() == 0;
+  uint64_t max_visible = 0;
+  for (const Job& j : jobs) max_visible = std::max(max_visible, j.visible);
+  if (fast) {
+    column->column().ForEach([&](storage::TupleId tid, storage::Value v) {
+      if (tid >= max_visible) return;
+      for (Job& j : jobs) {
+        if (tid < j.visible && v >= j.params.lo && v <= j.params.hi) {
+          ++j.rows;
+          j.sum += v;
+        }
+      }
+    });
+  } else {
+    for (storage::TupleId tid = 0; tid < max_visible; ++tid) {
+      for (Job& j : jobs) {
+        if (tid >= j.visible) continue;
+        storage::Value v = column->Read(tid, j.params.snapshot_ts);
+        if (v >= j.params.lo && v <= j.params.hi) {
+          ++j.rows;
+          j.sum += v;
+        }
+      }
+    }
+  }
+  for (Job& j : jobs) {
+    if (j.sink != nullptr) {
+      j.sink->OnScanPartial(j.rows, j.sum);
+      j.sink->OnCommandComplete(1);
+    }
+  }
+  if (jobs.size() > 1) stats_.scans_coalesced += jobs.size() - 1;
+  group_ops_ += jobs.size();
+  engine_->monitor().RecordSize(id_, g.object, part->tuple_count(),
+                                part->memory_bytes());
+  if (engine_->sim_enabled()) {
+    sim::ResourceUsage& ru = engine_->resource_usage();
+    uint64_t bytes = max_visible * sizeof(storage::Value);
+    // The shared pass streams the column once regardless of the number of
+    // coalesced commands (the benefit of scan sharing); extra predicates
+    // cost a little CPU each.
+    double ns = engine_->cost_model().StreamNs(node_, node_, bytes) +
+                0.25 * static_cast<double>(bytes / 8) *
+                    static_cast<double>(jobs.size() - 1);
+    ru.AddComputeNs(id_, ns);
+    ru.AddMemoryTraffic(node_, node_, bytes);
+    group_modeled_ns_ += ns;
+  }
+}
+
+void Aeu::ProcessScanIndexGroup(const Group& g) {
+  storage::Partition* part = partition(g.object);
+  uint64_t visited_total = 0;
+  for (const routing::CommandView& cmd : g.commands) {
+    routing::IndexScanParams p =
+        cmd.PayloadAs<routing::IndexScanParams>()[0];
+    if (RangeOverlapsPending(g.object, p.key_lo, p.key_hi)) {
+      DeferCommand(cmd.header, {cmd.payload, cmd.header.payload_bytes});
+      continue;
+    }
+    uint64_t rows = 0;
+    uint64_t sum = 0;
+    uint64_t visited = part->IndexRangeScan(
+        p.key_lo, p.key_hi, [&](storage::Key, storage::Value v) {
+          if (v >= p.scan.lo && v <= p.scan.hi) {
+            ++rows;
+            sum += v;
+          }
+        });
+    visited_total += visited;
+    if (cmd.header.sink != nullptr) {
+      cmd.header.sink->OnScanPartial(rows, sum);
+      cmd.header.sink->OnCommandComplete(1);
+    }
+  }
+  group_ops_ += visited_total;
+  if (engine_->sim_enabled()) {
+    sim::ResourceUsage& ru = engine_->resource_usage();
+    const sim::CostModelParams& p = engine_->cost_model().params();
+    uint64_t bytes = visited_total * (sizeof(storage::Key) +
+                                      sizeof(storage::Value));
+    double ns = static_cast<double>(visited_total) * 2.0 * p.upper_hit_ns +
+                engine_->cost_model().StreamNs(node_, node_, bytes);
+    ru.AddComputeNs(id_, ns);
+    ru.AddMemoryTraffic(node_, node_, bytes);
+    group_modeled_ns_ += ns;
+  }
+}
+
+void Aeu::ProcessScanStatsGroup(const Group& g) {
+  storage::Partition* part = partition(g.object);
+  storage::MvccColumn* column = part->mvcc_column();
+  ERIS_CHECK(column != nullptr) << "stats scan on keyed object";
+  uint64_t scanned = 0;
+  for (const routing::CommandView& cmd : g.commands) {
+    routing::ScanParams p = cmd.PayloadAs<routing::ScanParams>()[0];
+    uint64_t visible = p.snapshot_ts == ~uint64_t{0}
+                           ? column->size()
+                           : column->VisibleSize(p.snapshot_ts);
+    uint64_t rows = 0;
+    uint64_t sum = 0;
+    storage::Value min = ~storage::Value{0};
+    storage::Value max = 0;
+    column->ScanSnapshot(p.snapshot_ts == ~uint64_t{0}
+                             ? engine_->oracle().ReadTs()
+                             : p.snapshot_ts,
+                         [&](storage::TupleId tid, storage::Value v) {
+                           if (tid >= visible) return;
+                           if (v < p.lo || v > p.hi) return;
+                           ++rows;
+                           sum += v;
+                           min = std::min(min, v);
+                           max = std::max(max, v);
+                         });
+    scanned += visible;
+    if (cmd.header.sink != nullptr) {
+      cmd.header.sink->OnScanStats(rows, sum, min, max);
+      cmd.header.sink->OnCommandComplete(1);
+    }
+  }
+  group_ops_ += g.commands.size();
+  if (engine_->sim_enabled()) {
+    uint64_t bytes = scanned * sizeof(storage::Value);
+    double ns = engine_->cost_model().StreamNs(node_, node_, bytes);
+    engine_->resource_usage().AddComputeNs(id_, ns);
+    engine_->resource_usage().AddMemoryTraffic(node_, node_, bytes);
+    group_modeled_ns_ += ns;
+  }
+}
+
+void Aeu::ProcessScanMaterializeGroup(const Group& g) {
+  storage::Partition* part = partition(g.object);
+  storage::MvccColumn* column = part->mvcc_column();
+  ERIS_CHECK(column != nullptr) << "materialize scan on keyed object";
+  static thread_local std::vector<storage::Value> matches;
+  for (const routing::CommandView& cmd : g.commands) {
+    routing::MaterializeParams p =
+        cmd.PayloadAs<routing::MaterializeParams>()[0];
+    uint64_t snapshot = p.scan.snapshot_ts == ~uint64_t{0}
+                            ? engine_->oracle().ReadTs()
+                            : p.scan.snapshot_ts;
+    matches.clear();
+    column->ScanSnapshot(snapshot, [&](storage::TupleId, storage::Value v) {
+      if (v >= p.scan.lo && v <= p.scan.hi) matches.push_back(v);
+    });
+    // Route the intermediate result onward: appends land in the
+    // destination owners' local memory (NUMA-local materialization). No
+    // sink: the caller synchronizes on Engine::Quiesce(), and the scan's
+    // own sink already reports the matched row count.
+    if (!matches.empty()) {
+      endpoint_.SendAppendBatch(p.dest_object, matches, nullptr);
+    }
+    if (cmd.header.sink != nullptr) {
+      cmd.header.sink->OnScanPartial(matches.size(), 0);
+      cmd.header.sink->OnCommandComplete(1);
+    }
+  }
+  group_ops_ += g.commands.size();
+  if (engine_->sim_enabled()) {
+    uint64_t bytes = column->size() * sizeof(storage::Value);
+    double ns = engine_->cost_model().StreamNs(node_, node_, bytes) *
+                static_cast<double>(g.commands.size());
+    engine_->resource_usage().AddComputeNs(id_, ns);
+    engine_->resource_usage().AddMemoryTraffic(node_, node_,
+                                               bytes * g.commands.size());
+    group_modeled_ns_ += ns;
+  }
+}
+
+void Aeu::ProcessJoinProbeGroup(const Group& g) {
+  storage::Partition* part = partition(g.object);
+  storage::MvccColumn* column = part->mvcc_column();
+  ERIS_CHECK(column != nullptr) << "join probe on keyed object";
+  static thread_local std::vector<storage::Key> probe_keys;
+  for (const routing::CommandView& cmd : g.commands) {
+    routing::JoinProbeParams p =
+        cmd.PayloadAs<routing::JoinProbeParams>()[0];
+    uint64_t snapshot = p.filter.snapshot_ts == ~uint64_t{0}
+                            ? engine_->oracle().ReadTs()
+                            : p.filter.snapshot_ts;
+    probe_keys.clear();
+    column->ScanSnapshot(snapshot, [&](storage::TupleId, storage::Value v) {
+      if (v >= p.filter.lo && v <= p.filter.hi) probe_keys.push_back(v);
+    });
+    // Index-nested-loop join, data-oriented: the probe values become
+    // routed lookup batches against the index; results flow to the
+    // query's lookup sink.
+    if (!probe_keys.empty()) {
+      endpoint_.SendLookupBatch(p.index_object, probe_keys, p.lookup_sink);
+    }
+    if (cmd.header.sink != nullptr) {
+      // Report how many probes were issued so the caller can wait for the
+      // matching number of lookup completion units.
+      cmd.header.sink->OnScanPartial(probe_keys.size(), 0);
+      cmd.header.sink->OnCommandComplete(1);
+    }
+  }
+  group_ops_ += g.commands.size();
+  if (engine_->sim_enabled()) {
+    uint64_t bytes = column->size() * sizeof(storage::Value);
+    double ns = engine_->cost_model().StreamNs(node_, node_, bytes) *
+                static_cast<double>(g.commands.size());
+    engine_->resource_usage().AddComputeNs(id_, ns);
+    engine_->resource_usage().AddMemoryTraffic(node_, node_,
+                                               bytes * g.commands.size());
+    group_modeled_ns_ += ns;
+  }
+}
+
+void Aeu::ProcessFence(const routing::CommandView& cmd) {
+  if (cmd.header.sink != nullptr) cmd.header.sink->OnCommandComplete(1);
+}
+
+// ---------------------------------------------------------------------------
+// Balancing
+// ---------------------------------------------------------------------------
+
+void Aeu::HandleBalanceRange(const routing::CommandView& cmd) {
+  const uint8_t* p = cmd.payload;
+  BalanceRangeHeader hdr;
+  std::memcpy(&hdr, p, sizeof(hdr));
+  storage::ObjectId object = cmd.header.object;
+  partition(object)->set_range(hdr.new_range);
+  if (hdr.num_fetches == 0) {
+    if (cmd.header.sink != nullptr) cmd.header.sink->OnCommandComplete(1);
+    return;
+  }
+  balance_tickets_.push_back(
+      BalanceTicket{object, cmd.header.sink, hdr.num_fetches});
+  for (uint32_t i = 0; i < hdr.num_fetches; ++i) {
+    FetchInstr f;
+    std::memcpy(&f, p + sizeof(hdr) + i * sizeof(FetchInstr), sizeof(f));
+    pending_fetches_.push_back(PendingFetch{object, f.range});
+    TransferRequest req;
+    req.range = f.range;
+    req.requester = id_;
+    req.is_physical = 0;
+    endpoint_.SendControl(f.source, routing::CommandType::kTransferRequest,
+                          object,
+                          {reinterpret_cast<const uint8_t*>(&req),
+                           sizeof(req)},
+                          nullptr);
+  }
+}
+
+void Aeu::HandleBalancePhysical(const routing::CommandView& cmd) {
+  const uint8_t* p = cmd.payload;
+  BalancePhysicalHeader hdr;
+  std::memcpy(&hdr, p, sizeof(hdr));
+  storage::ObjectId object = cmd.header.object;
+  if (hdr.num_fetches == 0) {
+    if (cmd.header.sink != nullptr) cmd.header.sink->OnCommandComplete(1);
+    return;
+  }
+  balance_tickets_.push_back(
+      BalanceTicket{object, cmd.header.sink, hdr.num_fetches});
+  for (uint32_t i = 0; i < hdr.num_fetches; ++i) {
+    PhysFetchInstr f;
+    std::memcpy(&f, p + sizeof(hdr) + i * sizeof(PhysFetchInstr), sizeof(f));
+    TransferRequest req;
+    req.tuples = f.tuples;
+    req.requester = id_;
+    req.is_physical = 1;
+    endpoint_.SendControl(f.source, routing::CommandType::kTransferRequest,
+                          object,
+                          {reinterpret_cast<const uint8_t*>(&req),
+                           sizeof(req)},
+                          nullptr);
+  }
+}
+
+void Aeu::HandleTransferRequest(const routing::CommandView& cmd) {
+  TransferRequest req;
+  std::memcpy(&req, cmd.payload, sizeof(req));
+  storage::ObjectId object = cmd.header.object;
+  storage::Partition* part = partition(object);
+  storage::Partition moved =
+      req.is_physical
+          ? part->SplitOffTail(std::min<uint64_t>(req.tuples,
+                                                  part->tuple_count()))
+          : part->ExtractRange(req.range.lo, req.range.hi);
+  if (!req.is_physical) {
+    // The donor's own balancing command may not have arrived yet; shrink
+    // the declared range now so commands for the extracted piece are
+    // forwarded instead of answered as local misses. Extracted pieces are
+    // always edge pieces of the declared range.
+    storage::KeyRange declared = part->range();
+    if (req.range.lo <= declared.lo && req.range.hi > declared.lo) {
+      declared.lo = req.range.hi;
+    } else if (req.range.hi >= declared.hi && req.range.lo < declared.hi) {
+      declared.hi = req.range.lo;
+    }
+    if (declared.lo <= declared.hi) part->set_range(declared);
+  }
+  engine_->monitor().RecordSize(id_, object, part->tuple_count(),
+                                part->memory_bytes());
+  const bool same_node = engine_->NodeOfAeu(req.requester) == node_;
+  if (same_node) {
+    // Link transfer: hand the partition over in place; both AEUs share the
+    // node's memory manager, so the receiver can splice the structures.
+    auto* heap = new storage::Partition(std::move(moved));
+    InstallHeader hdr;
+    hdr.range = req.range;
+    hdr.source = id_;
+    hdr.is_link = 1;
+    hdr.is_final = 1;
+    hdr.is_physical = req.is_physical;
+    hdr.linked = heap;
+    endpoint_.SendControl(req.requester,
+                          routing::CommandType::kInstallPartition, object,
+                          {reinterpret_cast<const uint8_t*>(&hdr),
+                           sizeof(hdr)},
+                          nullptr);
+    ++stats_.link_transfers;
+  } else {
+    SendCopyTransfer(object, req.range, req.requester,
+                     req.is_physical != 0, std::move(moved));
+    ++stats_.copy_transfers;
+  }
+}
+
+void Aeu::SendCopyTransfer(storage::ObjectId object, storage::KeyRange range,
+                           routing::AeuId requester, bool is_physical,
+                           storage::Partition&& part) {
+  // Flatten to the exchange format and stream it in chunks small enough
+  // for the incoming buffers.
+  const size_t kChunkEntries = 2048;
+  InstallHeader hdr;
+  hdr.range = range;
+  hdr.source = id_;
+  hdr.is_link = 0;
+  hdr.is_final = 0;
+  hdr.is_physical = is_physical ? 1 : 0;
+  hdr.linked = nullptr;
+
+  scratch_payload_.clear();
+  auto flush_chunk = [&](bool final) {
+    hdr.is_final = final ? 1 : 0;
+    std::vector<uint8_t> payload(sizeof(hdr) + scratch_payload_.size());
+    std::memcpy(payload.data(), &hdr, sizeof(hdr));
+    std::memcpy(payload.data() + sizeof(hdr), scratch_payload_.data(),
+                scratch_payload_.size());
+    endpoint_.SendControl(requester,
+                          routing::CommandType::kInstallPartition, object,
+                          payload, nullptr);
+    stats_.bytes_copied += payload.size();
+    scratch_payload_.clear();
+  };
+
+  if (is_physical) {
+    const storage::MvccColumn* column = part.mvcc_column();
+    uint64_t n = column->size();
+    uint64_t i = 0;
+    column->column().ForEach([&](storage::TupleId, storage::Value v) {
+      const auto* raw = reinterpret_cast<const uint8_t*>(&v);
+      scratch_payload_.insert(scratch_payload_.end(), raw, raw + sizeof(v));
+      ++i;
+      if (scratch_payload_.size() >= kChunkEntries * sizeof(v) && i < n) {
+        flush_chunk(false);
+      }
+    });
+  } else if (part.index() != nullptr) {
+    uint64_t n = part.index()->size();
+    uint64_t i = 0;
+    part.index()->ForEach([&](storage::Key k, storage::Value v) {
+      routing::KeyValue kv{k, v};
+      const auto* raw = reinterpret_cast<const uint8_t*>(&kv);
+      scratch_payload_.insert(scratch_payload_.end(), raw, raw + sizeof(kv));
+      ++i;
+      if (scratch_payload_.size() >= kChunkEntries * sizeof(kv) && i < n) {
+        flush_chunk(false);
+      }
+    });
+  } else {
+    part.hash()->ForEach([&](storage::Key k, storage::Value v) {
+      routing::KeyValue kv{k, v};
+      const auto* raw = reinterpret_cast<const uint8_t*>(&kv);
+      scratch_payload_.insert(scratch_payload_.end(), raw, raw + sizeof(kv));
+      if (scratch_payload_.size() >= kChunkEntries * sizeof(kv)) {
+        flush_chunk(false);
+      }
+    });
+  }
+  flush_chunk(true);  // final chunk (possibly empty)
+}
+
+void Aeu::HandleInstall(const routing::CommandView& cmd) {
+  InstallHeader hdr;
+  std::memcpy(&hdr, cmd.payload, sizeof(hdr));
+  storage::ObjectId object = cmd.header.object;
+  storage::Partition* part = partition(object);
+  if (hdr.is_link) {
+    auto* linked = static_cast<storage::Partition*>(hdr.linked);
+    storage::KeyRange keep = part->range();
+    part->Absorb(std::move(*linked), engine_->oracle().NextWriteTs());
+    part->set_range(keep);  // declared range was set by the balance command
+    delete linked;
+    ++stats_.link_transfers;
+  } else {
+    std::span<const uint8_t> entries(cmd.payload + sizeof(hdr),
+                                     cmd.header.payload_bytes - sizeof(hdr));
+    if (hdr.is_physical) {
+      uint64_t ts = engine_->oracle().NextWriteTs();
+      size_t n = entries.size() / sizeof(storage::Value);
+      for (size_t i = 0; i < n; ++i) {
+        storage::Value v;
+        std::memcpy(&v, entries.data() + i * sizeof(v), sizeof(v));
+        part->ColumnAppend(v, ts);
+      }
+    } else {
+      size_t n = entries.size() / sizeof(routing::KeyValue);
+      for (size_t i = 0; i < n; ++i) {
+        routing::KeyValue kv;
+        std::memcpy(&kv, entries.data() + i * sizeof(kv), sizeof(kv));
+        part->Upsert(kv.key, kv.value);
+      }
+    }
+  }
+  engine_->monitor().RecordSize(id_, object, part->tuple_count(),
+                                part->memory_bytes());
+  if (hdr.is_final) {
+    CompleteFetch(object, hdr.is_physical ? storage::KeyRange{0, 0}
+                                          : hdr.range);
+  }
+}
+
+void Aeu::CompleteFetch(storage::ObjectId object, storage::KeyRange range) {
+  // Drop the pending marker (physical transfers have no range marker).
+  for (size_t i = 0; i < pending_fetches_.size(); ++i) {
+    if (pending_fetches_[i].object == object &&
+        pending_fetches_[i].range.lo == range.lo &&
+        pending_fetches_[i].range.hi == range.hi) {
+      pending_fetches_.erase(pending_fetches_.begin() +
+                             static_cast<ptrdiff_t>(i));
+      break;
+    }
+  }
+  for (size_t i = 0; i < balance_tickets_.size(); ++i) {
+    BalanceTicket& t = balance_tickets_[i];
+    if (t.object != object) continue;
+    if (--t.outstanding == 0) {
+      if (t.sink != nullptr) t.sink->OnCommandComplete(1);
+      balance_tickets_.erase(balance_tickets_.begin() +
+                             static_cast<ptrdiff_t>(i));
+    }
+    break;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Monitoring & simulated costs
+// ---------------------------------------------------------------------------
+
+void Aeu::RecordGroupMetrics(storage::ObjectId object, uint64_t ops,
+                             double exec_ns) {
+  if (ops == 0) return;
+  engine_->monitor().RecordAccess(id_, object, ops, exec_ns);
+}
+
+void Aeu::ChargePointOps(storage::ObjectId object, uint64_t ops,
+                         bool is_write) {
+  if (!engine_->sim_enabled() || ops == 0) return;
+  storage::Partition* part = partition(object);
+  sim::TreeShape shape = ShapeOf(*part);
+  sim::PointOpCost cost = sim::BatchPointOpCost(
+      engine_->cost_model(), node_, node_, shape,
+      engine_->llc_budget_per_aeu(), ops, /*interleaved=*/false, is_write,
+      /*coherence_writes=*/false);
+  // Routed commands pay the routing layer's CPU cost (target lookup,
+  // buffer append/drain) — the overhead the shared baseline avoids.
+  cost.compute_ns += static_cast<double>(ops) *
+                     engine_->cost_model().params().routing_cpu_ns;
+  sim::ResourceUsage& ru = engine_->resource_usage();
+  ru.AddComputeNs(id_, cost.compute_ns);
+  ru.AddMemoryTraffic(node_, node_, cost.dram_bytes);
+  group_modeled_ns_ += cost.compute_ns;
+}
+
+void Aeu::ChargeRoutingCosts() {
+  if (!engine_->sim_enabled()) return;
+  const routing::EndpointStats& es = endpoint_.stats();
+  uint64_t delta_bytes = es.bytes_flushed - last_bytes_flushed_;
+  uint64_t delta_flushes = es.flushes - last_flushes_;
+  if (delta_bytes == 0 && delta_flushes == 0) return;
+  last_bytes_flushed_ = es.bytes_flushed;
+  last_flushes_ = es.flushes;
+  const sim::CostModelParams& p = engine_->cost_model().params();
+  double ns = static_cast<double>(delta_bytes) / p.copy_gbps +
+              static_cast<double>(delta_flushes) *
+                  engine_->cost_model().FlushOverheadNs(node_);
+  engine_->resource_usage().AddComputeNs(id_, ns);
+}
+
+// ---------------------------------------------------------------------------
+// Thread body
+// ---------------------------------------------------------------------------
+
+void Aeu::ThreadMain() {
+  if (engine_->options().pin_threads) {
+    numa::PinCurrentThreadToCore(id_).ok();
+  }
+  uint32_t idle = 0;
+  while (!engine_->stop_.load(std::memory_order_acquire)) {
+    if (RunLoopIteration()) {
+      idle = 0;
+      continue;
+    }
+    if (++idle > 64) {
+      std::this_thread::sleep_for(std::chrono::microseconds(50));
+    } else {
+      CpuRelax();
+    }
+  }
+  // Final drain so shutdown leaves no queued commands behind.
+  RunLoopIteration();
+  engine_->memory().manager(node_).FlushThisThreadCache();
+}
+
+}  // namespace eris::core

@@ -1,0 +1,174 @@
+// Autonomous Execution Unit: the worker at the heart of ERIS' data-oriented
+// architecture.
+//
+// Exactly one AEU runs per core. It exclusively owns one partition per data
+// object and executes the loop of Figure 3: (1) drain and group the
+// incoming data command buffer by object and command type — grouping lets
+// the AEU coalesce work, e.g. execute several scan commands in one shared
+// pass under MVCC, and probe lookup batches together to hide memory
+// latency —, (2) process the groups, (3) handle balancing and transfer
+// commands, then flush its outgoing buffers.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "core/balance_messages.h"
+#include "routing/router.h"
+#include "storage/partition.h"
+
+namespace eris::core {
+
+class Engine;
+
+/// Counters of one AEU's loop (private to the AEU, read by tests/benches
+/// between quiescent points).
+struct AeuLoopStats {
+  uint64_t iterations = 0;
+  uint64_t commands_processed = 0;
+  uint64_t elements_processed = 0;
+  uint64_t commands_forwarded = 0;
+  uint64_t commands_deferred = 0;
+  uint64_t scans_coalesced = 0;  ///< scan commands saved by scan sharing
+  uint64_t link_transfers = 0;
+  uint64_t copy_transfers = 0;
+  uint64_t bytes_copied = 0;     ///< copy-transfer payload bytes sent
+  uint64_t maintenance_runs = 0; ///< idle-time MVCC GC passes
+  uint64_t versions_reclaimed = 0;
+};
+
+/// \brief One worker, pinned to one core, owning its partitions.
+class Aeu {
+ public:
+  Aeu(routing::AeuId id, Engine* engine);
+  ~Aeu();
+
+  Aeu(const Aeu&) = delete;
+  Aeu& operator=(const Aeu&) = delete;
+
+  routing::AeuId id() const { return id_; }
+  numa::NodeId node() const { return node_; }
+
+  /// Registers the AEU's partition of a new data object (engine setup,
+  /// before the loop runs).
+  void AddPartition(const storage::DataObjectDesc& desc,
+                    storage::KeyRange initial_range);
+
+  storage::Partition* partition(storage::ObjectId object) {
+    return partitions_[object].get();
+  }
+  const storage::Partition* partition(storage::ObjectId object) const {
+    return partitions_[object].get();
+  }
+
+  /// One pass of the AEU loop. Returns true when any work was done.
+  bool RunLoopIteration();
+
+  /// Thread-mode body: pins to a core and loops until the engine stops.
+  void ThreadMain();
+
+  const AeuLoopStats& loop_stats() const { return stats_; }
+  routing::Endpoint& endpoint() { return endpoint_; }
+
+  /// Advisory: no undelivered outgoing commands and no deferred records.
+  /// Racy against a running loop; Engine::Quiesce() samples it stably.
+  bool IsQuiescent() const {
+    return deferred_.empty() && !endpoint_.HasPending();
+  }
+
+ private:
+  struct Group {
+    storage::ObjectId object;
+    routing::CommandType type;
+    std::vector<routing::CommandView> commands;
+  };
+
+  /// Drains the mailbox, groups records, processes them.
+  bool ProcessIncoming();
+  void GroupRecords(std::span<const uint8_t> region);
+  void ProcessGroups();
+  void RetryDeferred();
+
+  // --- data command handlers (one per group) ---
+  void ProcessLookupGroup(const Group& g);
+  void ProcessWriteGroup(const Group& g);   // insert/upsert
+  void ProcessEraseGroup(const Group& g);
+  void ProcessAppendGroup(const Group& g);
+  void ProcessScanColumnGroup(const Group& g);
+  void ProcessScanIndexGroup(const Group& g);
+  void ProcessScanStatsGroup(const Group& g);
+  void ProcessScanMaterializeGroup(const Group& g);
+  void ProcessJoinProbeGroup(const Group& g);
+  void ProcessFence(const routing::CommandView& cmd);
+
+  // --- balancing handlers ---
+  void HandleBalanceRange(const routing::CommandView& cmd);
+  void HandleBalancePhysical(const routing::CommandView& cmd);
+  void HandleTransferRequest(const routing::CommandView& cmd);
+  void HandleInstall(const routing::CommandView& cmd);
+  void CompleteFetch(storage::ObjectId object, storage::KeyRange range);
+
+  /// Key classification against own range & pending inbound ranges.
+  bool InPendingRange(storage::ObjectId object, storage::Key key) const;
+  bool RangeOverlapsPending(storage::ObjectId object, storage::Key lo,
+                            storage::Key hi) const;
+
+  /// Re-encodes a command with a subset payload into the deferred queue.
+  void DeferCommand(const routing::CommandHeader& header,
+                    std::span<const uint8_t> payload);
+
+  /// Sends the copy-transfer chunk stream for a flattened partition.
+  void SendCopyTransfer(storage::ObjectId object, storage::KeyRange range,
+                        routing::AeuId requester, bool is_physical,
+                        storage::Partition&& part);
+
+  /// Idle-time storage maintenance (paper §6): reclaims MVCC undo
+  /// versions no active snapshot can read.
+  void RunMaintenance();
+
+  // --- monitoring & sim accounting ---
+  void RecordGroupMetrics(storage::ObjectId object, uint64_t ops,
+                          double exec_ns);
+  void ChargePointOps(storage::ObjectId object, uint64_t ops, bool is_write);
+  void ChargeRoutingCosts();
+
+  Engine* engine_;
+  routing::AeuId id_;
+  numa::NodeId node_;
+  routing::Endpoint endpoint_;
+  std::vector<std::unique_ptr<storage::Partition>> partitions_;
+
+  // Balancing state.
+  struct PendingFetch {
+    storage::ObjectId object;
+    storage::KeyRange range;
+  };
+  struct BalanceTicket {
+    storage::ObjectId object;
+    routing::ResultSink* sink;
+    uint32_t outstanding;
+  };
+  std::vector<PendingFetch> pending_fetches_;
+  std::vector<BalanceTicket> balance_tickets_;
+  std::vector<std::vector<uint8_t>> deferred_;
+
+  // Scratch.
+  std::vector<Group> groups_;
+  std::vector<routing::CommandView> control_;
+  std::vector<storage::Key> scratch_keys_;
+  std::vector<storage::Value> scratch_values_;
+  std::vector<routing::KeyValue> scratch_kvs_;
+  std::vector<uint8_t> scratch_payload_;
+
+  AeuLoopStats stats_;
+  uint64_t last_bytes_flushed_ = 0;
+  uint32_t idle_iterations_ = 0;
+  uint64_t last_flushes_ = 0;
+  // Per-group accounting (set by the handlers, read by ProcessGroups).
+  uint64_t group_ops_ = 0;
+  double group_modeled_ns_ = 0;
+};
+
+}  // namespace eris::core

@@ -1,0 +1,74 @@
+// Payload structures of the load balancer's control commands.
+//
+// A balancing cycle turns a new target partitioning into a series of
+// balancing commands: every growing AEU receives its new key range plus a
+// set of fetch instructions naming the AEUs that hold the missing data; the
+// AEU then issues transfer requests, and the sources answer either with an
+// in-process partition handoff ("link", same NUMA node) or a serialized
+// partition stream ("copy", across nodes).
+#pragma once
+
+#include <cstdint>
+
+#include "routing/data_command.h"
+#include "storage/types.h"
+
+namespace eris::core {
+
+/// One fetch instruction inside a kBalanceRange payload.
+struct FetchInstr {
+  storage::KeyRange range;
+  routing::AeuId source = routing::kInvalidAeu;
+  uint32_t pad = 0;
+};
+static_assert(sizeof(FetchInstr) == 24);
+
+/// Header of a kBalanceRange payload; followed by FetchInstr[num_fetches].
+struct BalanceRangeHeader {
+  storage::KeyRange new_range;
+  uint32_t num_fetches = 0;
+  uint32_t pad = 0;
+};
+static_assert(sizeof(BalanceRangeHeader) == 24);
+
+/// One fetch instruction inside a kBalancePhysical payload.
+struct PhysFetchInstr {
+  uint64_t tuples = 0;
+  routing::AeuId source = routing::kInvalidAeu;
+  uint32_t pad = 0;
+};
+static_assert(sizeof(PhysFetchInstr) == 16);
+
+/// Header of a kBalancePhysical payload; followed by
+/// PhysFetchInstr[num_fetches].
+struct BalancePhysicalHeader {
+  uint32_t num_fetches = 0;
+  uint32_t pad = 0;
+};
+static_assert(sizeof(BalancePhysicalHeader) == 8);
+
+/// Payload of kTransferRequest.
+struct TransferRequest {
+  storage::KeyRange range;        ///< keyed objects: range to hand over
+  uint64_t tuples = 0;            ///< physical objects: tuple count
+  routing::AeuId requester = routing::kInvalidAeu;
+  uint32_t is_physical = 0;
+};
+static_assert(sizeof(TransferRequest) == 32);
+
+/// Fixed prefix of a kInstallPartition payload. For a link transfer,
+/// `linked` carries an in-process partition handoff (same NUMA node, zero
+/// copy); for a copy transfer the serialized partition stream follows this
+/// header in the payload.
+struct InstallHeader {
+  storage::KeyRange range;
+  routing::AeuId source = routing::kInvalidAeu;
+  uint8_t is_link = 0;      ///< 1 = in-process handoff, 0 = copy stream
+  uint8_t is_final = 0;     ///< 1 = last chunk of this transfer
+  uint8_t is_physical = 0;  ///< 1 = column values, 0 = key/value entries
+  uint8_t pad = 0;
+  void* linked = nullptr;  ///< storage::Partition* for link transfers
+};
+static_assert(sizeof(InstallHeader) == 32);
+
+}  // namespace eris::core

@@ -1,0 +1,500 @@
+#include "core/engine.h"
+
+#include <algorithm>
+#include <chrono>
+#include <sstream>
+#include <unordered_map>
+
+namespace eris::core {
+
+Engine::Engine(EngineOptions options) : options_(std::move(options)) {
+  num_aeus_ = options_.num_aeus != 0 ? options_.num_aeus
+                                     : options_.topology.total_cores();
+  memory_ = std::make_unique<numa::MemoryPool>(options_.topology.num_nodes());
+  std::vector<numa::NodeId> aeu_nodes(num_aeus_);
+  for (routing::AeuId a = 0; a < num_aeus_; ++a) aeu_nodes[a] = NodeOfAeu(a);
+  router_ = std::make_unique<routing::Router>(std::move(aeu_nodes),
+                                              options_.router);
+  // Pre-sized for the object cap so dynamic object creation never swaps
+  // the monitor under running AEUs.
+  monitor_ = std::make_unique<Monitor>(num_aeus_,
+                                       routing::Router::kMaxObjects);
+  objects_.reserve(routing::Router::kMaxObjects);
+  if (options_.sim.enabled) {
+    cost_model_ =
+        std::make_unique<sim::CostModel>(options_.topology, options_.sim.cost);
+    usage_ = std::make_unique<sim::ResourceUsage>(options_.topology,
+                                                  num_aeus_);
+    router_->set_resource_usage(usage_.get());
+    llc_budget_per_aeu_ = options_.sim.llc_bytes_per_node /
+                          options_.topology.cores_per_node();
+  }
+  aeus_.reserve(num_aeus_);
+  for (routing::AeuId a = 0; a < num_aeus_; ++a) {
+    aeus_.push_back(std::make_unique<Aeu>(a, this));
+  }
+}
+
+Engine::~Engine() { Stop(); }
+
+storage::ObjectId Engine::RegisterObject(storage::DataObjectDesc desc,
+                                         storage::Key domain_hi) {
+  // Objects may also be created while the engine runs (the query layer
+  // materializes intermediate results as new columns); registration is
+  // single-threaded per engine by contract.
+  desc.id = static_cast<storage::ObjectId>(objects_.size());
+  objects_.push_back(std::make_unique<storage::DataObjectDesc>(std::move(desc)));
+  const storage::DataObjectDesc& d = *objects_.back();
+  if (d.partitioning == storage::PartitioningKind::kRange) {
+    router_->RegisterRangeObject(d, domain_hi);
+    std::vector<routing::RangeEntry> entries =
+        router_->range_table(d.id)->Snapshot();
+    for (routing::AeuId a = 0; a < num_aeus_; ++a) {
+      storage::KeyRange range{
+          a == 0 ? storage::kMinKey : entries[a - 1].hi, entries[a].hi};
+      aeus_[a]->AddPartition(d, range);
+    }
+  } else if (d.partitioning == storage::PartitioningKind::kHashed) {
+    router_->RegisterHashedObject(d);
+    // Every partition may hold keys from the full domain (its hash class).
+    for (routing::AeuId a = 0; a < num_aeus_; ++a) {
+      aeus_[a]->AddPartition(d, storage::KeyRange{});
+    }
+  } else {
+    router_->RegisterPhysicalObject(d);
+    for (routing::AeuId a = 0; a < num_aeus_; ++a) {
+      aeus_[a]->AddPartition(d, storage::KeyRange{});
+    }
+  }
+  return d.id;
+}
+
+storage::ObjectId Engine::CreateIndex(std::string name,
+                                      storage::Key domain_hi,
+                                      storage::PrefixTreeConfig config) {
+  storage::DataObjectDesc desc =
+      storage::DataObjectDesc::Index(0, std::move(name), config);
+  desc.domain_hi = domain_hi;
+  return RegisterObject(std::move(desc), domain_hi);
+}
+
+storage::ObjectId Engine::CreateColumn(std::string name) {
+  storage::DataObjectDesc desc =
+      storage::DataObjectDesc::Column(0, std::move(name));
+  return RegisterObject(std::move(desc), storage::kMaxKey);
+}
+
+storage::ObjectId Engine::CreateHashedIndex(std::string name,
+                                            storage::Key domain_hi,
+                                            storage::PrefixTreeConfig config) {
+  storage::DataObjectDesc desc =
+      storage::DataObjectDesc::Index(0, std::move(name), config);
+  desc.partitioning = storage::PartitioningKind::kHashed;
+  desc.domain_hi = domain_hi;
+  return RegisterObject(std::move(desc), domain_hi);
+}
+
+storage::ObjectId Engine::CreateHashTable(std::string name,
+                                          storage::Key domain_hi) {
+  storage::DataObjectDesc desc =
+      storage::DataObjectDesc::Hash(0, std::move(name));
+  desc.domain_hi = domain_hi;
+  return RegisterObject(std::move(desc), domain_hi);
+}
+
+void Engine::Start() {
+  ERIS_CHECK(!started_);
+  started_ = true;
+  stop_.store(false, std::memory_order_release);
+  if (options_.mode == ExecutionMode::kThreads) {
+    threads_.reserve(num_aeus_);
+    for (routing::AeuId a = 0; a < num_aeus_; ++a) {
+      threads_.emplace_back([this, a] { aeus_[a]->ThreadMain(); });
+    }
+    if (options_.balancer_background) {
+      balancer_thread_ = std::thread([this] { BalancerThreadMain(); });
+    }
+  }
+}
+
+void Engine::Stop() {
+  if (!started_) return;
+  stop_.store(true, std::memory_order_release);
+  for (std::thread& t : threads_) {
+    if (t.joinable()) t.join();
+  }
+  threads_.clear();
+  if (balancer_thread_.joinable()) balancer_thread_.join();
+  started_ = false;
+}
+
+bool Engine::PumpAll() {
+  bool progress = false;
+  for (auto& aeu : aeus_) progress |= aeu->RunLoopIteration();
+  return progress;
+}
+
+void Engine::BalancerThreadMain() {
+  while (!stop_.load(std::memory_order_acquire)) {
+    std::this_thread::sleep_for(
+        std::chrono::milliseconds(options_.balancer.interval_ms));
+    if (stop_.load(std::memory_order_acquire)) break;
+    RebalanceAll();
+  }
+}
+
+void Engine::Quiesce() {
+  auto all_idle = [&] {
+    for (routing::AeuId a = 0; a < num_aeus_; ++a) {
+      if (router_->mailbox(a).PendingBytes() > 0) return false;
+      if (!aeus_[a]->IsQuiescent()) return false;
+    }
+    return true;
+  };
+  int stable = 0;
+  DriveUntil([&] {
+    if (all_idle()) {
+      ++stable;
+    } else {
+      stable = 0;
+    }
+    if (options_.mode == ExecutionMode::kThreads && started_) {
+      std::this_thread::yield();
+    }
+    return stable >= 4;
+  });
+}
+
+bool Engine::RebalanceAll() {
+  bool any = false;
+  for (storage::ObjectId o = 0; o < objects_.size(); ++o) {
+    any |= RebalanceObject(o, options_.balancer);
+  }
+  return any;
+}
+
+bool Engine::RebalanceObject(storage::ObjectId object,
+                             const LoadBalancerConfig& config) {
+  if (config.algorithm == BalanceAlgorithm::kNone) return false;
+  const storage::DataObjectDesc& desc = *objects_[object];
+  std::vector<PartitionMetrics> metrics = monitor_->SnapshotAndReset(object);
+
+  if (desc.partitioning == storage::PartitioningKind::kHashed) {
+    // Hash classes cannot be rebalanced by range — the paper's point.
+    return false;
+  }
+  if (desc.partitioning == storage::PartitioningKind::kRange) {
+    routing::RangePartitionTable* table = router_->range_table(object);
+    std::vector<routing::RangeEntry> entries = table->Snapshot();
+    std::vector<double> metric(entries.size());
+    uint64_t total = 0;
+    for (size_t i = 0; i < entries.size(); ++i) {
+      const PartitionMetrics& m = metrics[entries[i].owner];
+      metric[i] = config.metric == BalanceMetric::kExecutionTime
+                      ? m.exec_time_ns
+                      : static_cast<double>(m.accesses);
+      total += m.accesses;
+    }
+    if (total < config.min_total_accesses) return false;
+    if (CoefficientOfVariation(metric) <= config.trigger_cv) return false;
+    std::vector<storage::Key> new_his = ComputeTargetBoundaries(
+        entries, metric, config.algorithm, config.ma_window, desc.domain_hi);
+    RebalancePlan plan = BuildRangePlan(entries, new_his);
+    if (plan.empty()) return false;
+
+    // Install the new routing table first; AEUs forward straggler commands
+    // for ranges they no longer own and defer commands for data still in
+    // flight toward them.
+    table->Replace(plan.new_entries);
+    routing::AggregateSink sink;
+    routing::Endpoint ep(router_.get(), routing::kInvalidAeu, 0);
+    std::vector<uint8_t> payload;
+    for (const RebalancePlan::AeuPlan& ap : plan.aeus) {
+      payload.clear();
+      BalanceRangeHeader hdr;
+      hdr.new_range = ap.new_range;
+      hdr.num_fetches = static_cast<uint32_t>(ap.fetches.size());
+      payload.resize(sizeof(hdr) + ap.fetches.size() * sizeof(FetchInstr));
+      std::memcpy(payload.data(), &hdr, sizeof(hdr));
+      if (!ap.fetches.empty()) {
+        std::memcpy(payload.data() + sizeof(hdr), ap.fetches.data(),
+                    ap.fetches.size() * sizeof(FetchInstr));
+      }
+      ep.SendControl(ap.aeu, routing::CommandType::kBalanceRange, object,
+                     payload, &sink);
+    }
+    uint64_t expected = plan.aeus.size();
+    DriveUntil([&] {
+      if (ep.HasPending()) ep.FlushAll();
+      return sink.completed() >= expected;
+    });
+    return true;
+  }
+
+  // Physically partitioned object: balance tuple counts.
+  std::vector<uint64_t> tuples(num_aeus_);
+  uint64_t total = 0;
+  for (routing::AeuId a = 0; a < num_aeus_; ++a) {
+    tuples[a] = metrics[a].tuples;
+    total += tuples[a];
+  }
+  if (total == 0) return false;
+  std::vector<double> metric(tuples.begin(), tuples.end());
+  if (CoefficientOfVariation(metric) <= config.trigger_cv) return false;
+  std::vector<uint32_t> aeu_node(num_aeus_);
+  for (routing::AeuId a = 0; a < num_aeus_; ++a) aeu_node[a] = NodeOfAeu(a);
+  uint64_t min_tuples = std::max<uint64_t>(1, total / num_aeus_ / 64);
+  PhysicalPlan plan = BuildPhysicalPlan(tuples, aeu_node, min_tuples);
+  if (plan.empty()) return false;
+
+  routing::AggregateSink sink;
+  routing::Endpoint ep(router_.get(), routing::kInvalidAeu, 0);
+  std::vector<uint8_t> payload;
+  for (const PhysicalPlan::AeuPlan& ap : plan.aeus) {
+    payload.clear();
+    BalancePhysicalHeader hdr;
+    hdr.num_fetches = static_cast<uint32_t>(ap.fetches.size());
+    payload.resize(sizeof(hdr) + ap.fetches.size() * sizeof(PhysFetchInstr));
+    std::memcpy(payload.data(), &hdr, sizeof(hdr));
+    std::memcpy(payload.data() + sizeof(hdr), ap.fetches.data(),
+                ap.fetches.size() * sizeof(PhysFetchInstr));
+    ep.SendControl(ap.aeu, routing::CommandType::kBalancePhysical, object,
+                   payload, &sink);
+  }
+  uint64_t expected = plan.aeus.size();
+  DriveUntil([&] {
+    if (ep.HasPending()) ep.FlushAll();
+    return sink.completed() >= expected;
+  });
+  return true;
+}
+
+std::string Engine::StatsReport() {
+  std::ostringstream os;
+  os << "engine: " << options_.topology.name() << ", " << num_aeus_
+     << " AEUs, "
+     << (options_.mode == ExecutionMode::kThreads ? "threads" : "simulated")
+     << " mode\n";
+  for (numa::NodeId node = 0; node < options_.topology.num_nodes(); ++node) {
+    numa::MemoryStats m = memory_->manager(node).stats();
+    os << "  node " << node << ": " << m.bytes_in_use() / 1024
+       << " KiB in use, " << m.bytes_reserved / 1024 << " KiB reserved, "
+       << m.allocations << " allocations\n";
+  }
+  for (storage::ObjectId o = 0; o < objects_.size(); ++o) {
+    const storage::DataObjectDesc& d = *objects_[o];
+    uint64_t tuples = 0;
+    uint64_t bytes = 0;
+    for (routing::AeuId a = 0; a < num_aeus_; ++a) {
+      tuples += aeus_[a]->partition(o)->tuple_count();
+      bytes += aeus_[a]->partition(o)->memory_bytes();
+    }
+    os << "  object " << o << " '" << d.name << "': " << tuples
+       << " tuples, " << bytes / 1024 << " KiB";
+    if (d.partitioning == storage::PartitioningKind::kRange) {
+      os << ", " << router_->range_table(o)->size() << " ranges";
+    } else if (d.partitioning == storage::PartitioningKind::kPhysical) {
+      os << ", " << router_->bitmap_table(o)->count() << " holders";
+    } else {
+      os << ", hash partitioned";
+    }
+    os << "\n";
+  }
+  uint64_t commands = 0;
+  uint64_t forwarded = 0;
+  uint64_t deferred = 0;
+  uint64_t coalesced = 0;
+  uint64_t links = 0;
+  uint64_t copies = 0;
+  for (routing::AeuId a = 0; a < num_aeus_; ++a) {
+    const AeuLoopStats& st = aeus_[a]->loop_stats();
+    commands += st.commands_processed;
+    forwarded += st.commands_forwarded;
+    deferred += st.commands_deferred;
+    coalesced += st.scans_coalesced;
+    links += st.link_transfers;
+    copies += st.copy_transfers;
+  }
+  os << "  AEUs: " << commands << " commands processed, " << forwarded
+     << " forwarded, " << deferred << " deferred, " << coalesced
+     << " scans coalesced, " << links << " link / " << copies
+     << " copy transfers\n";
+  return os.str();
+}
+
+// ---------------------------------------------------------------------------
+// Session
+// ---------------------------------------------------------------------------
+
+Engine::Session::Session(Engine* engine, numa::NodeId node)
+    : engine_(engine),
+      endpoint_(&engine->router(), routing::kInvalidAeu, node) {}
+
+std::unique_ptr<Engine::Session> Engine::CreateSession() {
+  numa::NodeId node = static_cast<numa::NodeId>(
+      session_counter_.fetch_add(1, std::memory_order_relaxed) %
+      options_.topology.num_nodes());
+  return std::make_unique<Session>(this, node);
+}
+
+std::unique_ptr<Engine::Session> Engine::CreateSessionOnNode(
+    numa::NodeId node) {
+  return std::make_unique<Session>(this, node);
+}
+
+void Engine::Session::Wait(uint64_t expected) {
+  endpoint_.FlushAll();
+  engine_->DriveUntil([&] {
+    if (endpoint_.HasPending()) endpoint_.FlushAll();
+    return sink_.completed() >= expected;
+  });
+}
+
+uint64_t Engine::Session::Lookup(storage::ObjectId object,
+                                 std::span<const storage::Key> keys) {
+  sink_.Reset();
+  size_t expected = endpoint_.SendLookupBatch(object, keys, &sink_);
+  Wait(expected);
+  return sink_.hits();
+}
+
+namespace {
+
+/// Sink collecting per-key lookup results (for LookupValues).
+class CollectSink : public routing::ResultSink {
+ public:
+  void OnLookupBatch(std::span<const storage::Key> keys,
+                     std::span<const storage::Value> values,
+                     std::span<const bool> found) override {
+    std::lock_guard<SpinLock> guard(lock_);
+    for (size_t i = 0; i < keys.size(); ++i) {
+      results_[keys[i]] =
+          found[i] ? std::optional<storage::Value>(values[i]) : std::nullopt;
+    }
+  }
+  void OnCommandComplete(uint64_t units) override {
+    completed_.fetch_add(units, std::memory_order_release);
+  }
+  uint64_t completed() const {
+    return completed_.load(std::memory_order_acquire);
+  }
+  std::optional<storage::Value> Get(storage::Key key) const {
+    auto it = results_.find(key);
+    return it == results_.end() ? std::nullopt : it->second;
+  }
+
+ private:
+  SpinLock lock_;
+  std::unordered_map<storage::Key, std::optional<storage::Value>> results_;
+  std::atomic<uint64_t> completed_{0};
+};
+
+}  // namespace
+
+std::vector<std::optional<storage::Value>> Engine::Session::LookupValues(
+    storage::ObjectId object, std::span<const storage::Key> keys) {
+  CollectSink sink;
+  size_t expected = endpoint_.SendLookupBatch(object, keys, &sink);
+  endpoint_.FlushAll();
+  engine_->DriveUntil([&] {
+    if (endpoint_.HasPending()) endpoint_.FlushAll();
+    return sink.completed() >= expected;
+  });
+  std::vector<std::optional<storage::Value>> out;
+  out.reserve(keys.size());
+  for (storage::Key k : keys) out.push_back(sink.Get(k));
+  return out;
+}
+
+uint64_t Engine::Session::Insert(storage::ObjectId object,
+                                 std::span<const routing::KeyValue> kvs) {
+  sink_.Reset();
+  size_t expected = endpoint_.SendWriteBatch(
+      routing::CommandType::kInsertBatch, object, kvs, &sink_);
+  Wait(expected);
+  return sink_.hits();
+}
+
+uint64_t Engine::Session::Upsert(storage::ObjectId object,
+                                 std::span<const routing::KeyValue> kvs) {
+  sink_.Reset();
+  size_t expected = endpoint_.SendWriteBatch(
+      routing::CommandType::kUpsertBatch, object, kvs, &sink_);
+  Wait(expected);
+  return sink_.hits();
+}
+
+uint64_t Engine::Session::Erase(storage::ObjectId object,
+                                std::span<const storage::Key> keys) {
+  sink_.Reset();
+  size_t expected = endpoint_.SendEraseBatch(object, keys, &sink_);
+  Wait(expected);
+  return sink_.hits();
+}
+
+void Engine::Session::Append(storage::ObjectId object,
+                             std::span<const storage::Value> values) {
+  sink_.Reset();
+  size_t expected = endpoint_.SendAppendBatch(object, values, &sink_);
+  Wait(expected);
+}
+
+Engine::Session::ColumnStats Engine::Session::ScanStats(
+    storage::ObjectId object, storage::Value lo, storage::Value hi) {
+  sink_.Reset();
+  routing::ScanParams params;
+  params.lo = lo;
+  params.hi = hi;
+  params.snapshot_ts = engine_->oracle().ReadTs();
+  SnapshotTracker::Pin pin(&engine_->snapshots(), params.snapshot_ts);
+  size_t expected = endpoint_.SendScanStats(object, params, &sink_);
+  Wait(expected);
+  ColumnStats stats;
+  stats.rows = sink_.hits();
+  stats.sum = sink_.sum();
+  stats.min = sink_.min();
+  stats.max = sink_.max();
+  stats.avg = stats.rows > 0
+                  ? static_cast<double>(stats.sum) /
+                        static_cast<double>(stats.rows)
+                  : 0.0;
+  return stats;
+}
+
+ScanResult Engine::Session::ScanColumn(storage::ObjectId object,
+                                       storage::Value lo, storage::Value hi) {
+  sink_.Reset();
+  routing::ScanParams params;
+  params.lo = lo;
+  params.hi = hi;
+  params.snapshot_ts = engine_->oracle().ReadTs();
+  // Pin the snapshot so idle-time MVCC maintenance cannot reclaim the
+  // versions this scan reads.
+  SnapshotTracker::Pin pin(&engine_->snapshots(), params.snapshot_ts);
+  size_t expected = endpoint_.SendScanColumn(object, params, &sink_);
+  Wait(expected);
+  return ScanResult{sink_.hits(), sink_.sum()};
+}
+
+ScanResult Engine::Session::ScanIndexRange(storage::ObjectId object,
+                                           storage::Key key_lo,
+                                           storage::Key key_hi) {
+  sink_.Reset();
+  routing::ScanParams params;  // no value filter
+  size_t expected =
+      endpoint_.SendScanIndexRange(object, key_lo, key_hi, params, &sink_);
+  Wait(expected);
+  return ScanResult{sink_.hits(), sink_.sum()};
+}
+
+void Engine::Session::Fence() {
+  sink_.Reset();
+  uint64_t expected = 0;
+  for (routing::AeuId a = 0; a < engine_->num_aeus(); ++a) {
+    expected += endpoint_.SendControl(a, routing::CommandType::kFence, 0, {},
+                                      &sink_);
+  }
+  Wait(expected);
+}
+
+}  // namespace eris::core

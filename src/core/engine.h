@@ -1,0 +1,237 @@
+// Engine: the public façade of the ERIS storage engine.
+//
+// Owns the topology, the per-node memory managers, the routing layer, the
+// AEUs, the monitor and the load balancer; exposes data-object creation and
+// a Session for issuing storage operations (scan, lookup, insert/upsert)
+// from client threads.
+//
+// Two execution modes share all code: kThreads runs one pinned thread per
+// AEU and measures real time; kSimulated pumps the AEU loops cooperatively
+// and, with SimOptions.enabled, attributes modeled costs (per Table 2 of
+// the paper) to workers, links, and memory controllers so large NUMA
+// machines can be reproduced deterministically on any host.
+#pragma once
+
+#include <atomic>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/spinlock.h"
+#include "core/aeu.h"
+#include "core/load_balancer.h"
+#include "core/monitor.h"
+#include "core/options.h"
+#include "core/snapshot_tracker.h"
+#include "numa/memory_manager.h"
+#include "routing/router.h"
+#include "sim/cost_model.h"
+#include "sim/resource_usage.h"
+#include "storage/data_object.h"
+#include "storage/mvcc.h"
+
+namespace eris::core {
+
+/// Result of a scan operation.
+struct ScanResult {
+  uint64_t rows = 0;
+  uint64_t sum = 0;
+};
+
+/// \brief The ERIS storage engine.
+class Engine {
+ public:
+  explicit Engine(EngineOptions options);
+  ~Engine();
+
+  Engine(const Engine&) = delete;
+  Engine& operator=(const Engine&) = delete;
+
+  // --- Schema (before Start) --------------------------------------------
+  /// Creates a range-partitioned prefix-tree index over [0, domain_hi).
+  storage::ObjectId CreateIndex(std::string name, storage::Key domain_hi,
+                                storage::PrefixTreeConfig config = {});
+  /// Creates a physically partitioned append-only column.
+  storage::ObjectId CreateColumn(std::string name);
+  /// Creates a range-partitioned object stored as per-partition hash
+  /// tables (independent hash function per partition).
+  storage::ObjectId CreateHashTable(std::string name, storage::Key domain_hi);
+  /// Creates a *hash-partitioned* prefix-tree index (the partitioning the
+  /// paper argues against; kept for the ablation): lookups route by key
+  /// hash, every range scan multicasts to all AEUs, and the load balancer
+  /// skips the object (hash classes cannot be rebalanced by range).
+  storage::ObjectId CreateHashedIndex(std::string name,
+                                      storage::Key domain_hi,
+                                      storage::PrefixTreeConfig config = {});
+
+  /// Starts the AEUs (spawns threads in kThreads mode).
+  void Start();
+  /// Stops and joins all engine threads. Idempotent.
+  void Stop();
+  bool started() const { return started_; }
+
+  // --- Component access ---------------------------------------------------
+  const EngineOptions& options() const { return options_; }
+  const numa::Topology& topology() const { return options_.topology; }
+  routing::Router& router() { return *router_; }
+  numa::MemoryPool& memory() { return *memory_; }
+  Monitor& monitor() { return *monitor_; }
+  storage::TimestampOracle& oracle() { return oracle_; }
+  SnapshotTracker& snapshots() { return snapshots_; }
+  uint32_t num_aeus() const { return num_aeus_; }
+  Aeu& aeu(routing::AeuId a) { return *aeus_[a]; }
+  const storage::DataObjectDesc& object(storage::ObjectId id) const {
+    return *objects_[id];
+  }
+  size_t num_objects() const { return objects_.size(); }
+
+  /// NUMA node AEU `a` runs on.
+  numa::NodeId NodeOfAeu(routing::AeuId a) const {
+    return options_.topology.NodeOfCore(a % options_.topology.total_cores());
+  }
+
+  // --- Simulated-time accounting ------------------------------------------
+  bool sim_enabled() const { return options_.sim.enabled; }
+  const sim::CostModel& cost_model() const { return *cost_model_; }
+  sim::ResourceUsage& resource_usage() { return *usage_; }
+  /// Modeled LLC budget of one AEU (node LLC / cores per node).
+  double llc_budget_per_aeu() const { return llc_budget_per_aeu_; }
+
+  // --- Driving --------------------------------------------------------------
+  /// One cooperative pass over all AEUs (kSimulated; also usable in thread
+  /// mode before Start). Returns true when any AEU made progress.
+  bool PumpAll();
+
+  /// Blocks until pred() is true; in kSimulated mode progress is made by
+  /// pumping the AEUs inline.
+  template <typename Pred>
+  void DriveUntil(Pred&& pred) {
+    uint64_t idle = 0;
+    while (!pred()) {
+      if (options_.mode == ExecutionMode::kSimulated || !started_) {
+        if (PumpAll()) {
+          idle = 0;
+        } else {
+          ++idle;
+          ERIS_CHECK_LT(idle, 1u << 22)
+              << "engine quiesced without satisfying the wait condition";
+        }
+      } else {
+        std::this_thread::yield();
+      }
+    }
+  }
+
+  // --- Load balancing -----------------------------------------------------
+  /// Runs one synchronous balancing cycle for `object` with `config`.
+  /// Returns true when a rebalance was triggered and completed.
+  bool RebalanceObject(storage::ObjectId object,
+                       const LoadBalancerConfig& config);
+  /// Balancing cycle for every object with the engine's default config.
+  bool RebalanceAll();
+
+  /// Advisory barrier: returns once every AEU mailbox is empty and no AEU
+  /// holds undelivered or deferred commands, observed stably over several
+  /// passes. The query layer uses it after operators whose AEUs fan out
+  /// follow-up commands (materializing scans, join probes).
+  void Quiesce();
+
+  // --- Sessions -------------------------------------------------------------
+  /// \brief Client-side handle for issuing storage operations.
+  ///
+  /// One session per client thread (not thread-safe internally).
+  class Session {
+   public:
+    /// `node` is the NUMA node this client notionally runs on (used for
+    /// traffic attribution); CreateSession() assigns nodes round-robin.
+    explicit Session(Engine* engine, numa::NodeId node = 0);
+
+    /// Point lookups; returns the number of keys found.
+    uint64_t Lookup(storage::ObjectId object,
+                    std::span<const storage::Key> keys);
+    /// Point lookups returning each key's value (nullopt = miss), ordered
+    /// like `keys`.
+    std::vector<std::optional<storage::Value>> LookupValues(
+        storage::ObjectId object, std::span<const storage::Key> keys);
+    /// Returns the number of newly inserted keys.
+    uint64_t Insert(storage::ObjectId object,
+                    std::span<const routing::KeyValue> kvs);
+    /// Returns the number of newly inserted keys (existing were updated).
+    uint64_t Upsert(storage::ObjectId object,
+                    std::span<const routing::KeyValue> kvs);
+    uint64_t Erase(storage::ObjectId object,
+                   std::span<const storage::Key> keys);
+    /// Appends values to a column (spread over the AEUs' partitions).
+    void Append(storage::ObjectId object,
+                std::span<const storage::Value> values);
+    /// Full scan of a column with value filter [lo, hi] at the latest
+    /// snapshot.
+    ScanResult ScanColumn(storage::ObjectId object, storage::Value lo = 0,
+                          storage::Value hi = ~storage::Value{0});
+    /// Full-aggregate scan: rows, sum, min, max over the filtered column.
+    struct ColumnStats {
+      uint64_t rows = 0;
+      uint64_t sum = 0;
+      storage::Value min = ~storage::Value{0};
+      storage::Value max = 0;
+      double avg = 0;
+    };
+    ColumnStats ScanStats(storage::ObjectId object, storage::Value lo = 0,
+                          storage::Value hi = ~storage::Value{0});
+    /// Index range scan over key_lo <= key < key_hi.
+    ScanResult ScanIndexRange(storage::ObjectId object, storage::Key key_lo,
+                              storage::Key key_hi);
+    /// Barrier: returns once every AEU processed all commands this session
+    /// sent before the fence.
+    void Fence();
+
+    routing::Endpoint& endpoint() { return endpoint_; }
+    routing::AggregateSink& sink() { return sink_; }
+    /// Flushes and blocks until `expected` completion units arrived for
+    /// ops issued through sink() since the last Reset.
+    void Wait(uint64_t expected);
+
+   private:
+    Engine* engine_;
+    routing::Endpoint endpoint_;
+    routing::AggregateSink sink_;
+  };
+
+  std::unique_ptr<Session> CreateSession();
+
+  /// As CreateSession, pinning the client to a specific node.
+  std::unique_ptr<Session> CreateSessionOnNode(numa::NodeId node);
+
+  /// Multi-line human-readable engine report: per-node memory, per-AEU
+  /// loop statistics, data objects with partition sizes and table shapes.
+  std::string StatsReport();
+
+ private:
+  friend class Aeu;
+
+  storage::ObjectId RegisterObject(storage::DataObjectDesc desc,
+                                   storage::Key domain_hi);
+  void BalancerThreadMain();
+
+  EngineOptions options_;
+  uint32_t num_aeus_ = 0;
+  std::unique_ptr<numa::MemoryPool> memory_;
+  std::unique_ptr<routing::Router> router_;
+  std::unique_ptr<Monitor> monitor_;
+  std::unique_ptr<sim::CostModel> cost_model_;
+  std::unique_ptr<sim::ResourceUsage> usage_;
+  double llc_budget_per_aeu_ = 0;
+  storage::TimestampOracle oracle_;
+  SnapshotTracker snapshots_;
+
+  std::vector<std::unique_ptr<storage::DataObjectDesc>> objects_;
+  std::vector<std::unique_ptr<Aeu>> aeus_;
+  std::vector<std::thread> threads_;
+  std::thread balancer_thread_;
+  std::atomic<bool> stop_{false};
+  std::atomic<uint64_t> session_counter_{0};
+  bool started_ = false;
+};
+
+}  // namespace eris::core

@@ -1,0 +1,229 @@
+#include "core/load_balancer.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace eris::core {
+
+const char* BalanceAlgorithmName(BalanceAlgorithm a) {
+  switch (a) {
+    case BalanceAlgorithm::kNone: return "none";
+    case BalanceAlgorithm::kOneShot: return "one-shot";
+    case BalanceAlgorithm::kMovingAverage: return "moving-average";
+  }
+  return "?";
+}
+
+std::vector<double> MovingAverageSmooth(const std::vector<double>& metric,
+                                        uint32_t k) {
+  const size_t n = metric.size();
+  std::vector<double> out(n, 0.0);
+  for (size_t i = 0; i < n; ++i) {
+    size_t lo = i >= k ? i - k : 0;
+    size_t hi = std::min(n - 1, i + k);
+    double sum = 0;
+    for (size_t j = lo; j <= hi; ++j) sum += metric[j];
+    out[i] = sum / static_cast<double>(hi - lo + 1);
+  }
+  return out;
+}
+
+double CoefficientOfVariation(const std::vector<double>& metric) {
+  if (metric.empty()) return 0.0;
+  double n = static_cast<double>(metric.size());
+  double sum = 0;
+  for (double m : metric) sum += m;
+  if (sum <= 0) return 0.0;
+  double mean = sum / n;
+  double var = 0;
+  for (double m : metric) var += (m - mean) * (m - mean);
+  var /= n;
+  return std::sqrt(var) / mean;
+}
+
+std::vector<storage::Key> ComputeTargetBoundaries(
+    const std::vector<routing::RangeEntry>& current,
+    const std::vector<double>& metric, BalanceAlgorithm algorithm,
+    uint32_t ma_window, storage::Key domain_hi) {
+  const size_t n = current.size();
+  ERIS_CHECK_EQ(metric.size(), n);
+  std::vector<storage::Key> out(n);
+  for (size_t i = 0; i < n; ++i) out[i] = current[i].hi;
+  if (n <= 1 || algorithm == BalanceAlgorithm::kNone) return out;
+
+  double total = 0;
+  for (double m : metric) total += m;
+  if (total <= 0) return out;
+
+  // Target load share of each partition-position.
+  std::vector<double> shares(n, 1.0);
+  if (algorithm == BalanceAlgorithm::kMovingAverage) {
+    shares = MovingAverageSmooth(metric, ma_window);
+    // Never starve a partition to a zero-width range: a cold partition
+    // keeps at least a tenth of the average share, so the partitioning
+    // stays stable when the hot region later moves over it.
+    double mean_share = 0;
+    for (double v : shares) mean_share += v;
+    mean_share /= static_cast<double>(n);
+    for (double& v : shares) v = std::max(v, 0.1 * mean_share);
+  }
+  double share_total = 0;
+  for (double s : shares) share_total += s;
+  if (share_total <= 0) return out;
+
+  // Helper: lo bound of current range i.
+  auto lo_of = [&](size_t i) -> storage::Key {
+    return i == 0 ? storage::kMinKey : current[i - 1].hi;
+  };
+
+  // Piecewise-linear inverse of the measured cumulative distribution.
+  double cum_target = 0;
+  size_t r = 0;          // current source range
+  double cum_before_r = 0;
+  for (size_t j = 0; j + 1 < n; ++j) {
+    cum_target += shares[j] / share_total * total;
+    // Advance r until the target mass falls inside range r.
+    while (r + 1 < n && cum_before_r + metric[r] < cum_target) {
+      cum_before_r += metric[r];
+      ++r;
+    }
+    storage::Key lo = lo_of(r);
+    storage::Key hi = current[r].hi;
+    // The last range's hi is the kMaxKey routing sentinel; interpolate
+    // within the actual key domain instead.
+    if (hi == storage::kMaxKey && domain_hi != storage::kMaxKey) {
+      hi = std::max<storage::Key>(domain_hi, lo + 1);
+    }
+    storage::Key span = hi - lo;
+    double frac = metric[r] > 0
+                      ? (cum_target - cum_before_r) / metric[r]
+                      : 1.0;
+    frac = std::clamp(frac, 0.0, 1.0);
+    double off = frac * static_cast<double>(span);
+    storage::Key key_off = off >= static_cast<double>(span)
+                               ? span
+                               : static_cast<storage::Key>(off);
+    storage::Key boundary = lo + key_off;
+    // Keep boundaries strictly increasing and below the domain end.
+    storage::Key min_allowed = (j == 0 ? storage::kMinKey : out[j - 1]) + 1;
+    boundary = std::max(boundary, min_allowed);
+    if (boundary >= current.back().hi) boundary = current.back().hi - (n - 1 - j);
+    out[j] = boundary;
+  }
+  out[n - 1] = current.back().hi;  // kMaxKey
+  // Final monotonicity pass (defensive against clamping collisions).
+  for (size_t j = 1; j < n; ++j) {
+    if (out[j] <= out[j - 1]) out[j] = out[j - 1] + 1;
+  }
+  out[n - 1] = current.back().hi;
+  return out;
+}
+
+size_t RebalancePlan::num_fetches() const {
+  size_t c = 0;
+  for (const auto& a : aeus) c += a.fetches.size();
+  return c;
+}
+
+RebalancePlan BuildRangePlan(const std::vector<routing::RangeEntry>& current,
+                             const std::vector<storage::Key>& new_his) {
+  const size_t n = current.size();
+  ERIS_CHECK_EQ(new_his.size(), n);
+  RebalancePlan plan;
+  plan.new_entries.resize(n);
+  for (size_t i = 0; i < n; ++i) {
+    plan.new_entries[i].hi = new_his[i];
+    plan.new_entries[i].owner = current[i].owner;
+  }
+
+  auto old_lo = [&](size_t i) {
+    return i == 0 ? storage::kMinKey : current[i - 1].hi;
+  };
+  auto new_lo = [&](size_t i) {
+    return i == 0 ? storage::kMinKey : new_his[i - 1];
+  };
+
+  for (size_t i = 0; i < n; ++i) {
+    storage::KeyRange nr{new_lo(i), new_his[i]};
+    storage::KeyRange orng{old_lo(i), current[i].hi};
+    RebalancePlan::AeuPlan aeu_plan;
+    aeu_plan.aeu = current[i].owner;
+    aeu_plan.new_range = nr;
+    // Fetch every piece of the new range another AEU currently holds.
+    for (size_t j = 0; j < n; ++j) {
+      if (j == i) continue;
+      storage::Key piece_lo = std::max(nr.lo, old_lo(j));
+      storage::Key piece_hi = std::min(nr.hi, current[j].hi);
+      if (piece_lo < piece_hi) {
+        FetchInstr f;
+        f.range = {piece_lo, piece_hi};
+        f.source = current[j].owner;
+        aeu_plan.fetches.push_back(f);
+      }
+    }
+    bool changed = nr.lo != orng.lo || nr.hi != orng.hi;
+    if (changed || !aeu_plan.fetches.empty()) {
+      plan.aeus.push_back(std::move(aeu_plan));
+    }
+  }
+  if (plan.aeus.empty()) plan.new_entries.clear();
+  return plan;
+}
+
+PhysicalPlan BuildPhysicalPlan(const std::vector<uint64_t>& tuples,
+                               const std::vector<uint32_t>& aeu_node,
+                               uint64_t min_tuples) {
+  const size_t n = tuples.size();
+  ERIS_CHECK_EQ(aeu_node.size(), n);
+  PhysicalPlan plan;
+  if (n <= 1) return plan;
+  uint64_t total = 0;
+  for (uint64_t t : tuples) total += t;
+  uint64_t target = total / n;
+
+  // Signed imbalance per AEU (positive = surplus).
+  std::vector<int64_t> delta(n);
+  for (size_t i = 0; i < n; ++i)
+    delta[i] = static_cast<int64_t>(tuples[i]) - static_cast<int64_t>(target);
+
+  std::vector<std::vector<PhysFetchInstr>> fetches(n);
+  auto match = [&](size_t donor, size_t receiver) {
+    int64_t amount = std::min(delta[donor], -delta[receiver]);
+    if (amount < static_cast<int64_t>(min_tuples)) return;
+    delta[donor] -= amount;
+    delta[receiver] += amount;
+    PhysFetchInstr f;
+    f.tuples = static_cast<uint64_t>(amount);
+    f.source = static_cast<routing::AeuId>(donor);
+    fetches[receiver].push_back(f);
+  };
+
+  // Pass 1: match surplus to deficit within each node (cheap link moves).
+  for (size_t d = 0; d < n; ++d) {
+    if (delta[d] <= 0) continue;
+    for (size_t r = 0; r < n && delta[d] > 0; ++r) {
+      if (delta[r] < 0 && aeu_node[r] == aeu_node[d]) match(d, r);
+    }
+  }
+  // Pass 2: remaining imbalance crosses nodes (copy transfers).
+  for (size_t d = 0; d < n; ++d) {
+    if (delta[d] <= 0) continue;
+    for (size_t r = 0; r < n && delta[d] > 0; ++r) {
+      if (delta[r] < 0) match(d, r);
+    }
+  }
+
+  for (size_t r = 0; r < n; ++r) {
+    if (!fetches[r].empty()) {
+      PhysicalPlan::AeuPlan p;
+      p.aeu = static_cast<routing::AeuId>(r);
+      p.fetches = std::move(fetches[r]);
+      plan.aeus.push_back(std::move(p));
+    }
+  }
+  return plan;
+}
+
+}  // namespace eris::core

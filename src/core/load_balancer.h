@@ -1,0 +1,120 @@
+// Configurable NUMA-aware load balancing (paper Section 3.3).
+//
+// The adaption loop samples per-partition metrics (access frequency for
+// range-partitioned objects, physical size for physically partitioned
+// ones), checks the imbalance against a threshold, computes a target
+// partitioning with a configurable aggressiveness — One-Shot rebalances to
+// the fully balanced target at once, Moving-Average(k) smooths the measured
+// distribution over each partition's k neighbors per side and therefore
+// adapts gradually (MA over the full histogram degenerates to One-Shot) —
+// and derives the balancing and transfer commands to get there.
+//
+// This header contains the pure, deterministic parts (target computation
+// and plan building); the Engine owns the loop and command delivery.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/balance_messages.h"
+#include "routing/partition_table.h"
+#include "storage/types.h"
+
+namespace eris::core {
+
+enum class BalanceAlgorithm : uint8_t {
+  kNone = 0,       ///< balancing disabled (the Figure 13 baseline)
+  kOneShot,        ///< full rebalance per cycle: aggressive, fast recovery
+  kMovingAverage,  ///< MA-k smoothed target: gentle, slower recovery
+};
+
+const char* BalanceAlgorithmName(BalanceAlgorithm a);
+
+/// Which per-partition measurement drives range balancing (paper §3.3:
+/// access frequency is the primary metric; the execution time of the data
+/// commands is the additional one — it also captures different tree depths
+/// and cache-resident partitions).
+enum class BalanceMetric : uint8_t {
+  kAccessFrequency = 0,
+  kExecutionTime = 1,
+};
+
+struct LoadBalancerConfig {
+  BalanceAlgorithm algorithm = BalanceAlgorithm::kOneShot;
+  BalanceMetric metric = BalanceMetric::kAccessFrequency;
+  /// Neighbors per side in the moving average (MA-k).
+  uint32_t ma_window = 1;
+  /// Trigger: rebalance when the coefficient of variation (stddev/mean) of
+  /// the partition metric exceeds this.
+  double trigger_cv = 0.2;
+  /// Do not react to sample periods with fewer total accesses than this.
+  uint64_t min_total_accesses = 4096;
+  /// Sample period of the balancer loop in thread mode.
+  uint32_t interval_ms = 250;
+};
+
+/// Smoothed metric: s_i = mean of m_{i-k .. i+k} clamped to the histogram
+/// edges (the paper's MA-k).
+std::vector<double> MovingAverageSmooth(const std::vector<double>& metric,
+                                        uint32_t k);
+
+/// stddev / mean of the metric (0 when the metric sums to 0).
+double CoefficientOfVariation(const std::vector<double>& metric);
+
+/// \brief Computes the target partitioning for a range-partitioned object.
+///
+/// `current` is the ordered current partitioning, `metric[i]` the measured
+/// load of current range i. Returns the new exclusive upper bounds (same
+/// owner order, last bound = kMaxKey). Density within a range is assumed
+/// uniform; the target assigns each partition a load share proportional to
+/// its smoothed metric (uniform shares for One-Shot), so MA-k moves each
+/// boundary only part of the way — gentler drops, slower recovery.
+/// `domain_hi` bounds the interpolation inside the last range (whose table
+/// entry extends to kMaxKey as a routing sentinel).
+std::vector<storage::Key> ComputeTargetBoundaries(
+    const std::vector<routing::RangeEntry>& current,
+    const std::vector<double>& metric, BalanceAlgorithm algorithm,
+    uint32_t ma_window, storage::Key domain_hi = storage::kMaxKey);
+
+/// \brief A balancing cycle's worth of commands for one range object.
+struct RebalancePlan {
+  struct AeuPlan {
+    routing::AeuId aeu = routing::kInvalidAeu;
+    storage::KeyRange new_range;
+    std::vector<FetchInstr> fetches;
+  };
+  /// One entry per AEU whose range changed (superset of those who fetch).
+  std::vector<AeuPlan> aeus;
+  /// The table to install.
+  std::vector<routing::RangeEntry> new_entries;
+
+  bool empty() const { return aeus.empty(); }
+  /// Total key-space share moved (for stats/tests): number of fetches.
+  size_t num_fetches() const;
+};
+
+/// Derives per-AEU new ranges and fetch instructions from old and new
+/// boundaries (owners keep their position order).
+RebalancePlan BuildRangePlan(const std::vector<routing::RangeEntry>& current,
+                             const std::vector<storage::Key>& new_his);
+
+/// \brief A balancing cycle for a physically partitioned object.
+struct PhysicalPlan {
+  struct AeuPlan {
+    routing::AeuId aeu = routing::kInvalidAeu;
+    std::vector<PhysFetchInstr> fetches;
+  };
+  std::vector<AeuPlan> aeus;
+  bool empty() const { return aeus.empty(); }
+};
+
+/// Computes tuple-count transfers equalizing `tuples` across AEUs. Matching
+/// is NUMA-aware: surpluses are first matched to deficits on the same node
+/// ("link" transfers), remaining imbalance moves across nodes ("copy").
+/// `aeu_node[a]` gives the node of AEU a. Transfers below `min_tuples` are
+/// suppressed.
+PhysicalPlan BuildPhysicalPlan(const std::vector<uint64_t>& tuples,
+                               const std::vector<uint32_t>& aeu_node,
+                               uint64_t min_tuples = 1);
+
+}  // namespace eris::core

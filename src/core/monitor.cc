@@ -1,0 +1,53 @@
+#include "core/monitor.h"
+
+namespace eris::core {
+
+Monitor::Monitor(uint32_t num_aeus, uint32_t num_objects)
+    : num_aeus_(num_aeus),
+      num_objects_(num_objects),
+      cells_(static_cast<size_t>(num_aeus) * num_objects) {}
+
+void Monitor::RecordAccess(routing::AeuId aeu, storage::ObjectId object,
+                           uint64_t ops, double exec_ns) {
+  Cell& c = cell(aeu, object);
+  c.accesses.fetch_add(ops, std::memory_order_relaxed);
+  c.exec_ns_int.fetch_add(static_cast<uint64_t>(exec_ns),
+                          std::memory_order_relaxed);
+}
+
+void Monitor::RecordSize(routing::AeuId aeu, storage::ObjectId object,
+                         uint64_t tuples, uint64_t bytes) {
+  Cell& c = cell(aeu, object);
+  c.tuples.store(tuples, std::memory_order_relaxed);
+  c.bytes.store(bytes, std::memory_order_relaxed);
+}
+
+std::vector<PartitionMetrics> Monitor::SnapshotAndReset(
+    storage::ObjectId object) {
+  std::vector<PartitionMetrics> out(num_aeus_);
+  for (routing::AeuId a = 0; a < num_aeus_; ++a) {
+    Cell& c = cell(a, object);
+    out[a].accesses = c.accesses.exchange(0, std::memory_order_relaxed);
+    out[a].exec_time_ns = static_cast<double>(
+        c.exec_ns_int.exchange(0, std::memory_order_relaxed));
+    out[a].tuples = c.tuples.load(std::memory_order_relaxed);
+    out[a].bytes = c.bytes.load(std::memory_order_relaxed);
+  }
+  return out;
+}
+
+std::vector<PartitionMetrics> Monitor::Snapshot(
+    storage::ObjectId object) const {
+  std::vector<PartitionMetrics> out(num_aeus_);
+  for (routing::AeuId a = 0; a < num_aeus_; ++a) {
+    const Cell& c = cell(a, object);
+    out[a].accesses = c.accesses.load(std::memory_order_relaxed);
+    out[a].exec_time_ns =
+        static_cast<double>(c.exec_ns_int.load(std::memory_order_relaxed));
+    out[a].tuples = c.tuples.load(std::memory_order_relaxed);
+    out[a].bytes = c.bytes.load(std::memory_order_relaxed);
+  }
+  return out;
+}
+
+}  // namespace eris::core

@@ -1,0 +1,75 @@
+// Monitoring: per-(AEU, data object) load metrics feeding the balancer.
+//
+// Each AEU updates its own counters after every processing group; the load
+// balancer periodically snapshots a data object's distribution over all
+// AEUs and resets the access counters (frequencies are per sample period,
+// sizes are levels). Counter slots are cache-line padded per AEU so updates
+// never bounce lines between workers.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <vector>
+
+#include "common/logging.h"
+#include "routing/data_command.h"
+#include "storage/types.h"
+
+namespace eris::core {
+
+/// Metrics of one partition over the last sample period.
+struct PartitionMetrics {
+  uint64_t accesses = 0;      ///< keyed ops + scan commands touching it
+  double exec_time_ns = 0;    ///< total processing time spent on it
+  uint64_t tuples = 0;        ///< current tuple count (level)
+  uint64_t bytes = 0;         ///< current physical size (level)
+
+  double MeanExecNs() const {
+    return accesses == 0 ? 0.0 : exec_time_ns / static_cast<double>(accesses);
+  }
+};
+
+/// \brief Monitoring store: metrics[aeu][object].
+class Monitor {
+ public:
+  Monitor(uint32_t num_aeus, uint32_t num_objects);
+
+  /// Adds `ops` accesses taking `exec_ns` to (aeu, object).
+  void RecordAccess(routing::AeuId aeu, storage::ObjectId object,
+                    uint64_t ops, double exec_ns);
+
+  /// Publishes the current physical size of (aeu, object)'s partition.
+  void RecordSize(routing::AeuId aeu, storage::ObjectId object,
+                  uint64_t tuples, uint64_t bytes);
+
+  /// Snapshot of one object's distribution across AEUs; access counters and
+  /// execution times are reset (sizes are level metrics and persist).
+  std::vector<PartitionMetrics> SnapshotAndReset(storage::ObjectId object);
+
+  /// Read-only snapshot without reset.
+  std::vector<PartitionMetrics> Snapshot(storage::ObjectId object) const;
+
+  uint32_t num_aeus() const { return num_aeus_; }
+  uint32_t num_objects() const { return num_objects_; }
+
+ private:
+  struct alignas(64) Cell {
+    std::atomic<uint64_t> accesses{0};
+    std::atomic<uint64_t> exec_ns_int{0};  // nanoseconds, integer-accumulated
+    std::atomic<uint64_t> tuples{0};
+    std::atomic<uint64_t> bytes{0};
+  };
+
+  Cell& cell(routing::AeuId aeu, storage::ObjectId object) {
+    return cells_[static_cast<size_t>(aeu) * num_objects_ + object];
+  }
+  const Cell& cell(routing::AeuId aeu, storage::ObjectId object) const {
+    return cells_[static_cast<size_t>(aeu) * num_objects_ + object];
+  }
+
+  uint32_t num_aeus_;
+  uint32_t num_objects_;
+  std::vector<Cell> cells_;
+};
+
+}  // namespace eris::core

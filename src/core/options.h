@@ -1,0 +1,49 @@
+// Engine configuration.
+#pragma once
+
+#include <cstdint>
+
+#include "core/load_balancer.h"
+#include "numa/topology.h"
+#include "routing/router.h"
+#include "sim/cost_model.h"
+
+namespace eris::core {
+
+/// How AEUs execute.
+enum class ExecutionMode : uint8_t {
+  /// One pinned std::thread per AEU (production mode).
+  kThreads = 0,
+  /// AEU loops run cooperatively inside Engine::PumpAll()/DriveUntil();
+  /// deterministic and independent of host core count. Used with the
+  /// simulated-time accounting to reproduce the paper's large machines on
+  /// small hosts.
+  kSimulated = 1,
+};
+
+/// Simulated-time accounting (see eris::sim).
+struct SimOptions {
+  /// Master switch: when off, no modeled costs are recorded.
+  bool enabled = false;
+  sim::CostModelParams cost;
+  /// Modeled last-level cache per NUMA node. Benches that down-scale data
+  /// sizes scale this down by the same factor so cached fractions match.
+  double llc_bytes_per_node = 12.0 * 1024 * 1024;
+};
+
+struct EngineOptions {
+  numa::Topology topology = numa::Topology::DetectHost();
+  /// 0 = one AEU per core of the topology.
+  uint32_t num_aeus = 0;
+  ExecutionMode mode = ExecutionMode::kThreads;
+  /// Pin AEU threads to cores (thread mode; best effort).
+  bool pin_threads = true;
+  routing::RouterConfig router;
+  /// Load balancer defaults (used by RebalanceAll and the background loop).
+  LoadBalancerConfig balancer;
+  /// Run the periodic balancing loop on a background thread (thread mode).
+  bool balancer_background = false;
+  SimOptions sim;
+};
+
+}  // namespace eris::core

@@ -1,0 +1,65 @@
+// Active-snapshot tracking for MVCC garbage collection.
+//
+// Scans pin the snapshot timestamp they read at; undo versions older than
+// the oldest active snapshot are unreachable and can be reclaimed. The
+// paper's future work proposes using AEU idle time for "storage
+// maintenance and reorganization" — the AEU loop calls into this tracker
+// during idle iterations to pick a safe GC watermark.
+#pragma once
+
+#include <cstdint>
+#include <map>
+
+#include "common/spinlock.h"
+
+namespace eris::core {
+
+/// \brief Thread-safe registry of in-flight snapshot timestamps.
+class SnapshotTracker {
+ public:
+  /// Pins `ts`; pair with Unregister. Reentrant per timestamp.
+  void Register(uint64_t ts) {
+    std::lock_guard<SpinLock> guard(lock_);
+    ++active_[ts];
+  }
+
+  void Unregister(uint64_t ts) {
+    std::lock_guard<SpinLock> guard(lock_);
+    auto it = active_.find(ts);
+    if (it == active_.end()) return;
+    if (--it->second == 0) active_.erase(it);
+  }
+
+  /// Oldest pinned snapshot, or `fallback` when none is active. Versions
+  /// overwritten at or before the returned watermark are reclaimable.
+  uint64_t MinActive(uint64_t fallback) const {
+    std::lock_guard<SpinLock> guard(lock_);
+    return active_.empty() ? fallback : active_.begin()->first;
+  }
+
+  size_t active_count() const {
+    std::lock_guard<SpinLock> guard(lock_);
+    return active_.size();
+  }
+
+  /// RAII pin.
+  class Pin {
+   public:
+    Pin(SnapshotTracker* tracker, uint64_t ts) : tracker_(tracker), ts_(ts) {
+      tracker_->Register(ts_);
+    }
+    ~Pin() { tracker_->Unregister(ts_); }
+    Pin(const Pin&) = delete;
+    Pin& operator=(const Pin&) = delete;
+
+   private:
+    SnapshotTracker* tracker_;
+    uint64_t ts_;
+  };
+
+ private:
+  mutable SpinLock lock_;
+  std::map<uint64_t, uint32_t> active_;  // ts -> pin count
+};
+
+}  // namespace eris::core

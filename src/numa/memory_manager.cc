@@ -1,0 +1,175 @@
+#include "numa/memory_manager.h"
+
+#include <cstdlib>
+#include <mutex>
+#include <unordered_map>
+
+#include "common/bit_util.h"
+#include "common/logging.h"
+
+namespace eris::numa {
+
+namespace {
+std::atomic<uint64_t> g_next_manager_id{1};
+}  // namespace
+
+// Per-thread cache for one (thread, manager) pair. Keyed by the manager's
+// unique id — not its pointer — so that a manager destroyed and another
+// allocated at the same address can never resurrect stale cached blocks.
+struct NodeMemoryManager::ThreadCache {
+  std::vector<void*> blocks[kNumClasses];
+};
+
+// Owns all per-thread caches of this thread across managers. Entries are
+// heap-allocated ThreadCache objects keyed by manager id; they are freed when
+// the thread exits.
+struct NodeMemoryManager::ThreadCacheRegistry {
+  std::unordered_map<uint64_t, ThreadCache> caches;
+  static ThreadCacheRegistry& Get() {
+    static thread_local ThreadCacheRegistry registry;
+    return registry;
+  }
+};
+
+NodeMemoryManager::NodeMemoryManager(NodeId node)
+    : node_(node),
+      manager_id_(g_next_manager_id.fetch_add(1, std::memory_order_relaxed)) {}
+
+NodeMemoryManager::~NodeMemoryManager() {
+  for (void* chunk : arena_chunks_) std::free(chunk);
+}
+
+int NodeMemoryManager::SizeClassOf(size_t bytes) {
+  if (bytes > kMaxClassBytes) return -1;
+  size_t rounded = std::max(kMinClassBytes, NextPowerOfTwo(bytes));
+  return Log2Floor(rounded) - Log2Floor(kMinClassBytes);
+}
+
+NodeMemoryManager::ThreadCache& NodeMemoryManager::GetThreadCache() {
+  return ThreadCacheRegistry::Get().caches[manager_id_];
+}
+
+void* NodeMemoryManager::Allocate(size_t bytes) {
+  if (bytes == 0) bytes = 1;
+  allocations_.fetch_add(1, std::memory_order_relaxed);
+  bytes_allocated_.fetch_add(bytes, std::memory_order_relaxed);
+  int cls = SizeClassOf(bytes);
+  if (cls < 0) {
+    void* ptr = std::malloc(bytes);
+    ERIS_CHECK(ptr != nullptr) << "large allocation of " << bytes << " failed";
+    bytes_reserved_.fetch_add(bytes, std::memory_order_relaxed);
+    return ptr;
+  }
+  ThreadCache& cache = GetThreadCache();
+  std::vector<void*>& list = cache.blocks[cls];
+  if (list.empty()) {
+    void* batch[kThreadCacheBatch];
+    size_t got = CentralRefill(cls, batch, kThreadCacheBatch);
+    list.insert(list.end(), batch, batch + got);
+  }
+  void* ptr = list.back();
+  list.pop_back();
+  return ptr;
+}
+
+void NodeMemoryManager::Free(void* ptr, size_t bytes) {
+  if (ptr == nullptr) return;
+  if (bytes == 0) bytes = 1;
+  bytes_freed_.fetch_add(bytes, std::memory_order_relaxed);
+  int cls = SizeClassOf(bytes);
+  if (cls < 0) {
+    bytes_reserved_.fetch_sub(bytes, std::memory_order_relaxed);
+    std::free(ptr);
+    return;
+  }
+  ThreadCache& cache = GetThreadCache();
+  std::vector<void*>& list = cache.blocks[cls];
+  list.push_back(ptr);
+  if (list.size() > 2 * kThreadCacheBatch) {
+    // Flush the older half back to the central list.
+    CentralRelease(cls, list.data(), kThreadCacheBatch);
+    list.erase(list.begin(),
+               list.begin() + static_cast<ptrdiff_t>(kThreadCacheBatch));
+  }
+}
+
+size_t NodeMemoryManager::CentralRefill(int cls, void** out, size_t count) {
+  central_refills_.fetch_add(1, std::memory_order_relaxed);
+  CentralClass& central = central_[cls];
+  size_t got = 0;
+  {
+    std::lock_guard<SpinLock> guard(central.lock);
+    while (got < count && !central.free_blocks.empty()) {
+      out[got++] = central.free_blocks.back();
+      central.free_blocks.pop_back();
+    }
+  }
+  if (got == count) return got;
+  // Carve the remainder from the bump arena.
+  const size_t block_bytes = ClassBytes(cls);
+  std::lock_guard<SpinLock> guard(arena_lock_);
+  while (got < count) {
+    if (arena_pos_ + block_bytes > arena_end_) {
+      void* chunk = std::malloc(kArenaChunkBytes);
+      ERIS_CHECK(chunk != nullptr) << "arena chunk allocation failed";
+      arena_chunks_.push_back(chunk);
+      arena_pos_ = static_cast<char*>(chunk);
+      arena_end_ = arena_pos_ + kArenaChunkBytes;
+      bytes_reserved_.fetch_add(kArenaChunkBytes, std::memory_order_relaxed);
+    }
+    out[got++] = arena_pos_;
+    arena_pos_ += block_bytes;
+  }
+  return got;
+}
+
+void NodeMemoryManager::CentralRelease(int cls, void** blocks, size_t count) {
+  CentralClass& central = central_[cls];
+  std::lock_guard<SpinLock> guard(central.lock);
+  central.free_blocks.insert(central.free_blocks.end(), blocks,
+                             blocks + count);
+}
+
+void NodeMemoryManager::FlushThisThreadCache() {
+  auto& caches = ThreadCacheRegistry::Get().caches;
+  auto it = caches.find(manager_id_);
+  if (it == caches.end()) return;
+  for (int cls = 0; cls < static_cast<int>(kNumClasses); ++cls) {
+    std::vector<void*>& list = it->second.blocks[cls];
+    if (!list.empty()) CentralRelease(cls, list.data(), list.size());
+    list.clear();
+  }
+  caches.erase(it);
+}
+
+MemoryStats NodeMemoryManager::stats() const {
+  MemoryStats s;
+  s.bytes_reserved = bytes_reserved_.load(std::memory_order_relaxed);
+  s.bytes_allocated = bytes_allocated_.load(std::memory_order_relaxed);
+  s.bytes_freed = bytes_freed_.load(std::memory_order_relaxed);
+  s.allocations = allocations_.load(std::memory_order_relaxed);
+  s.central_refills = central_refills_.load(std::memory_order_relaxed);
+  return s;
+}
+
+MemoryPool::MemoryPool(uint32_t num_nodes) {
+  ERIS_CHECK_GE(num_nodes, 1u);
+  managers_.reserve(num_nodes);
+  for (NodeId n = 0; n < num_nodes; ++n)
+    managers_.push_back(std::make_unique<NodeMemoryManager>(n));
+}
+
+MemoryStats MemoryPool::TotalStats() const {
+  MemoryStats total;
+  for (const auto& m : managers_) {
+    MemoryStats s = m->stats();
+    total.bytes_reserved += s.bytes_reserved;
+    total.bytes_allocated += s.bytes_allocated;
+    total.bytes_freed += s.bytes_freed;
+    total.allocations += s.allocations;
+    total.central_refills += s.central_refills;
+  }
+  return total;
+}
+
+}  // namespace eris::numa

@@ -1,0 +1,34 @@
+#include "numa/pinning.h"
+
+#include <pthread.h>
+#include <sched.h>
+
+#include <cstring>
+#include <thread>
+
+namespace eris::numa {
+
+unsigned NumHardwareCores() {
+  unsigned n = std::thread::hardware_concurrency();
+  return n == 0 ? 1 : n;
+}
+
+Status PinCurrentThreadToCore(unsigned core) {
+  unsigned target = core % NumHardwareCores();
+  cpu_set_t set;
+  CPU_ZERO(&set);
+  CPU_SET(target, &set);
+  int rc = pthread_setaffinity_np(pthread_self(), sizeof(set), &set);
+  if (rc != 0) {
+    // Containers frequently restrict affinity; treat as best effort.
+    return Status::Ok();
+  }
+  return Status::Ok();
+}
+
+int CurrentCore() {
+  int cpu = sched_getcpu();
+  return cpu < 0 ? -1 : cpu;
+}
+
+}  // namespace eris::numa

@@ -1,0 +1,23 @@
+// Thread-to-core pinning (best effort).
+//
+// ERIS pins one AEU per hardware context. On hosts with fewer cores than
+// configured AEUs (or in simulated mode) pinning silently degrades to a
+// no-op so the engine stays functional everywhere.
+#pragma once
+
+#include "common/status.h"
+
+namespace eris::numa {
+
+/// Number of hardware execution contexts available to this process.
+unsigned NumHardwareCores();
+
+/// Pins the calling thread to `core` (modulo the available cores).
+/// Returns non-OK only on unexpected kernel errors; an out-of-range core is
+/// wrapped, not an error, so simulated topologies larger than the host work.
+Status PinCurrentThreadToCore(unsigned core);
+
+/// Core the calling thread currently runs on, or -1 when unknown.
+int CurrentCore();
+
+}  // namespace eris::numa

@@ -1,0 +1,381 @@
+#include "numa/topology.h"
+
+#include <algorithm>
+#include <deque>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <set>
+#include <sstream>
+#include <thread>
+#include <tuple>
+
+#include "common/logging.h"
+
+namespace eris::numa {
+
+namespace {
+
+// Widest-shortest-path search: among all minimum-hop paths from src, picks
+// for every destination the one maximizing the bottleneck link bandwidth
+// (deterministic tie-break on predecessor order, which `rotation` shifts to
+// discover alternative equal-hop paths). Fills hops/routes rows.
+void WidestShortestPaths(uint32_t num_nodes, const std::vector<LinkSpec>& links,
+                         NodeId src, uint32_t rotation,
+                         std::vector<uint32_t>* hops,
+                         std::vector<std::vector<LinkId>>* routes) {
+  constexpr uint32_t kUnreached = ~uint32_t{0};
+  std::vector<std::vector<std::pair<NodeId, LinkId>>> adj(num_nodes);
+  for (LinkId id = 0; id < links.size(); ++id) {
+    adj[links[id].a].emplace_back(links[id].b, id);
+    adj[links[id].b].emplace_back(links[id].a, id);
+  }
+  for (auto& neighbors : adj) {
+    if (!neighbors.empty()) {
+      std::rotate(neighbors.begin(),
+                  neighbors.begin() + rotation % neighbors.size(),
+                  neighbors.end());
+    }
+  }
+  std::vector<uint32_t> dist(num_nodes, kUnreached);
+  std::vector<double> width(num_nodes, 0.0);
+  std::vector<LinkId> via_link(num_nodes, 0);
+  std::vector<NodeId> via_node(num_nodes, src);
+  dist[src] = 0;
+  width[src] = 1e300;
+  std::deque<NodeId> frontier{src};
+  while (!frontier.empty()) {
+    NodeId u = frontier.front();
+    frontier.pop_front();
+    for (auto [v, link] : adj[u]) {
+      double w = std::min(width[u], links[link].bandwidth_gbps);
+      if (dist[v] == kUnreached) {
+        dist[v] = dist[u] + 1;
+        width[v] = w;
+        via_link[v] = link;
+        via_node[v] = u;
+        frontier.push_back(v);
+      } else if (dist[v] == dist[u] + 1 && w > width[v]) {
+        width[v] = w;
+        via_link[v] = link;
+        via_node[v] = u;
+      }  // equal width keeps the first-discovered predecessor
+    }
+  }
+  for (NodeId dst = 0; dst < num_nodes; ++dst) {
+    ERIS_CHECK(dist[dst] != kUnreached)
+        << "node " << dst << " unreachable from " << src;
+    (*hops)[dst] = dist[dst];
+    std::vector<LinkId>& route = (*routes)[dst];
+    route.clear();
+    for (NodeId v = dst; v != src; v = via_node[v]) route.push_back(via_link[v]);
+    std::reverse(route.begin(), route.end());
+  }
+}
+
+}  // namespace
+
+void Topology::ComputeRoutes() {
+  hops_.assign(num_nodes_, std::vector<uint32_t>(num_nodes_, 0));
+  routes_.assign(num_nodes_, std::vector<std::vector<std::vector<LinkId>>>(
+                                 num_nodes_, {{}}));
+  if (links_.empty()) return;  // flat machine: everything local
+  for (NodeId src = 0; src < num_nodes_; ++src) {
+    // Collect up to two distinct equal-hop routes per destination by
+    // rotating the neighbor exploration order.
+    for (uint32_t rotation = 0; rotation < 3; ++rotation) {
+      std::vector<uint32_t> hops(num_nodes_);
+      std::vector<std::vector<LinkId>> routes(num_nodes_);
+      WidestShortestPaths(num_nodes_, links_, src, rotation, &hops, &routes);
+      for (NodeId dst = 0; dst < num_nodes_; ++dst) {
+        if (rotation == 0) {
+          hops_[src][dst] = hops[dst];
+          routes_[src][dst].assign(1, std::move(routes[dst]));
+        } else if (hops[dst] == hops_[src][dst]) {
+          auto& alternatives = routes_[src][dst];
+          bool duplicate = false;
+          for (const auto& r : alternatives) duplicate |= r == routes[dst];
+          if (!duplicate) alternatives.push_back(std::move(routes[dst]));
+        }
+      }
+    }
+  }
+}
+
+uint32_t Topology::Diameter() const {
+  uint32_t d = 0;
+  for (const auto& row : hops_)
+    for (uint32_t h : row) d = std::max(d, h);
+  return d;
+}
+
+double Topology::AggregateLocalBandwidthGbps() const {
+  double total = 0;
+  for (NodeId n = 0; n < num_nodes_; ++n) total += bw_[n][n];
+  return total;
+}
+
+Topology Topology::Flat(uint32_t num_nodes, uint32_t cores_per_node) {
+  ERIS_CHECK_GE(num_nodes, 1u);
+  ERIS_CHECK_GE(cores_per_node, 1u);
+  Topology t;
+  t.name_ = "flat-" + std::to_string(num_nodes) + "x" +
+            std::to_string(cores_per_node);
+  t.num_nodes_ = num_nodes;
+  t.cores_per_node_ = cores_per_node;
+  // Uniform memory: model every access with the Intel machine's local
+  // characteristics so flat and NUMA configurations are comparable.
+  t.bw_.assign(num_nodes, std::vector<double>(num_nodes, 26.7));
+  t.lat_.assign(num_nodes, std::vector<double>(num_nodes, 129.0));
+  // Fully connect distinct nodes so routes exist (zero-cost links).
+  for (NodeId a = 0; a < num_nodes; ++a)
+    for (NodeId b = a + 1; b < num_nodes; ++b)
+      t.links_.push_back({a, b, 26.7, "uniform"});
+  t.ComputeRoutes();
+  return t;
+}
+
+Topology Topology::IntelMachine() {
+  Topology t;
+  t.name_ = "intel-4s";
+  t.num_nodes_ = 4;
+  t.cores_per_node_ = 10;
+  for (NodeId a = 0; a < 4; ++a)
+    for (NodeId b = a + 1; b < 4; ++b) t.links_.push_back({a, b, 10.7, "QPI"});
+  t.bw_.assign(4, std::vector<double>(4, 10.7));
+  t.lat_.assign(4, std::vector<double>(4, 193.0));
+  for (NodeId n = 0; n < 4; ++n) {
+    t.bw_[n][n] = 26.7;
+    t.lat_[n][n] = 129.0;
+  }
+  t.ComputeRoutes();
+  return t;
+}
+
+Topology Topology::AmdMachine() {
+  Topology t;
+  t.name_ = "amd-8n";
+  t.num_nodes_ = 8;
+  t.cores_per_node_ = 8;
+  // Wagner-graph wiring (ring + diagonals): 3-regular, diameter 2 — matches
+  // the paper's description of 1- and 2-hop HyperTransport routes.
+  // Diagonals (i, i+4) are the dedicated full-width links inside a package;
+  // ring edges are 8-bit sublinks, alternating single/dual population.
+  for (NodeId i = 0; i < 4; ++i)
+    t.links_.push_back({i, i + 4, 5.8, "HT full"});
+  for (NodeId i = 0; i < 8; ++i) {
+    NodeId j = (i + 1) % 8;
+    if (i % 2 == 0) {
+      t.links_.push_back({i, j, 4.2, "HT split,single"});
+    } else {
+      t.links_.push_back({i, j, 2.9, "HT split,dual"});
+    }
+  }
+  t.ComputeRoutes();
+  // Classify each pair by hop count and bottleneck link (Table 2).
+  t.bw_.assign(8, std::vector<double>(8, 0.0));
+  t.lat_.assign(8, std::vector<double>(8, 0.0));
+  for (NodeId s = 0; s < 8; ++s) {
+    for (NodeId d = 0; d < 8; ++d) {
+      if (s == d) {
+        t.bw_[s][d] = 16.4;
+        t.lat_[s][d] = 85.0;
+        continue;
+      }
+      double bottleneck = 1e300;
+      std::string_view kind = "HT full";
+      for (LinkId id : t.routes_[s][d].front()) {
+        if (t.links_[id].bandwidth_gbps < bottleneck) {
+          bottleneck = t.links_[id].bandwidth_gbps;
+          kind = t.links_[id].label;
+        }
+      }
+      if (t.hops_[s][d] == 1) {
+        if (kind == "HT full") {
+          t.bw_[s][d] = 5.8;
+          t.lat_[s][d] = 136.0;
+        } else if (kind == "HT split,single") {
+          t.bw_[s][d] = 4.2;
+          t.lat_[s][d] = 152.0;
+        } else {
+          t.bw_[s][d] = 2.9;
+          t.lat_[s][d] = 152.0;
+        }
+      } else {  // 2 hops
+        if (kind == "HT split,dual") {
+          t.bw_[s][d] = 1.8;
+        } else {
+          t.bw_[s][d] = 3.7;
+        }
+        t.lat_[s][d] = 196.0;
+      }
+    }
+  }
+  return t;
+}
+
+Topology Topology::SgiMachine(uint32_t num_nodes) {
+  num_nodes = std::clamp<uint32_t>(num_nodes, 1, 64);
+  Topology t;
+  t.name_ = "sgi-uv2000-" + std::to_string(num_nodes) + "n";
+  t.num_nodes_ = num_nodes;
+  t.cores_per_node_ = 8;
+
+  const uint32_t num_blades = (num_nodes + 1) / 2;
+  // Blade graph: per IRU (8 blades) a 3D hypercube enhanced with the four
+  // main diagonals (diameter 2); blade j of IRU k additionally connects to
+  // blade j of IRUs k+1 and k+2 (mod #IRUs).
+  const uint32_t num_irus = (num_blades + 7) / 8;
+  std::set<std::pair<uint32_t, uint32_t>> blade_edges;
+  auto add_edge = [&](uint32_t x, uint32_t y) {
+    if (x == y || x >= num_blades || y >= num_blades) return;
+    blade_edges.insert({std::min(x, y), std::max(x, y)});
+  };
+  for (uint32_t iru = 0; iru < num_irus; ++iru) {
+    uint32_t base = iru * 8;
+    for (uint32_t b = 0; b < 8; ++b) {
+      for (uint32_t bit = 0; bit < 3; ++bit) add_edge(base + b, base + (b ^ (1u << bit)));
+      add_edge(base + b, base + (b ^ 7u));  // enhancement diagonal
+    }
+    // Inter-IRU: each blade connects to its counterpart in the neighboring
+    // IRUs (a ring over IRUs), i.e. two blades in other IRUs. This yields
+    // the up-to-4-hop routes the paper measures.
+    for (uint32_t b = 0; b < 8; ++b) {
+      if (num_irus > 1) add_edge(base + b, ((iru + 1) % num_irus) * 8 + b);
+    }
+  }
+
+  // Node-level links: the intra-blade QPI/HARP connection plus one
+  // NUMALink6 per blade edge. For route attribution, inter-blade links are
+  // anchored at the even (first) node of each blade; distance classes are
+  // assigned from blade-level hop counts below, so this anchoring only
+  // affects which LinkSpec carries the counted traffic.
+  std::vector<LinkId> blade_qpi(num_blades, 0);
+  for (uint32_t blade = 0; blade < num_blades; ++blade) {
+    NodeId n0 = 2 * blade;
+    NodeId n1 = 2 * blade + 1;
+    if (n1 < num_nodes) {
+      blade_qpi[blade] = static_cast<LinkId>(t.links_.size());
+      t.links_.push_back({n0, n1, 9.5, "QPI-HARP"});
+    }
+  }
+  for (auto [x, y] : blade_edges) {
+    NodeId nx = 2 * x, ny = 2 * y;
+    if (nx < num_nodes && ny < num_nodes)
+      t.links_.push_back({nx, ny, 13.4, "NUMALink6"});
+  }
+  t.ComputeRoutes();
+
+  // Distance classes from blade-level hops (Table 2, SGI column).
+  auto blade_of = [](NodeId n) { return n / 2; };
+  // Compute blade hop counts by BFS over blade_edges.
+  std::vector<std::vector<uint32_t>> bhops(
+      num_blades, std::vector<uint32_t>(num_blades, ~0u));
+  {
+    std::vector<std::vector<uint32_t>> badj(num_blades);
+    for (auto [x, y] : blade_edges) {
+      badj[x].push_back(y);
+      badj[y].push_back(x);
+    }
+    for (uint32_t s = 0; s < num_blades; ++s) {
+      bhops[s][s] = 0;
+      std::deque<uint32_t> q{s};
+      while (!q.empty()) {
+        uint32_t u = q.front();
+        q.pop_front();
+        for (uint32_t v : badj[u]) {
+          if (bhops[s][v] == ~0u) {
+            bhops[s][v] = bhops[s][u] + 1;
+            q.push_back(v);
+          }
+        }
+      }
+    }
+  }
+  t.bw_.assign(num_nodes, std::vector<double>(num_nodes, 0.0));
+  t.lat_.assign(num_nodes, std::vector<double>(num_nodes, 0.0));
+  for (NodeId s = 0; s < num_nodes; ++s) {
+    for (NodeId d = 0; d < num_nodes; ++d) {
+      if (s == d) {
+        t.bw_[s][d] = 36.2;
+        t.lat_[s][d] = 81.0;
+      } else if (blade_of(s) == blade_of(d)) {
+        t.bw_[s][d] = 9.5;
+        t.lat_[s][d] = 400.0;
+      } else {
+        uint32_t h = std::min<uint32_t>(4, bhops[blade_of(s)][blade_of(d)]);
+        static constexpr double kBw[5] = {0, 7.5, 7.5, 7.1, 6.5};
+        static constexpr double kLat[5] = {0, 510.0, 630.0, 750.0, 870.0};
+        t.bw_[s][d] = kBw[h];
+        t.lat_[s][d] = kLat[h];
+      }
+    }
+  }
+  return t;
+}
+
+Topology Topology::DetectHost() {
+  namespace fs = std::filesystem;
+  const fs::path base("/sys/devices/system/node");
+  std::vector<uint32_t> cpus_per_node;
+  std::error_code ec;
+  for (uint32_t n = 0;; ++n) {
+    fs::path node_dir = base / ("node" + std::to_string(n));
+    if (!fs::exists(node_dir, ec)) break;
+    uint32_t cpus = 0;
+    for (const auto& entry : fs::directory_iterator(node_dir, ec)) {
+      const std::string name = entry.path().filename().string();
+      if (name.rfind("cpu", 0) == 0 &&
+          name.find_first_not_of("0123456789", 3) == std::string::npos) {
+        ++cpus;
+      }
+    }
+    cpus_per_node.push_back(cpus);
+  }
+  if (cpus_per_node.empty()) {
+    uint32_t hw = std::max(1u, std::thread::hardware_concurrency());
+    return Flat(1, hw);
+  }
+  uint32_t num_nodes = static_cast<uint32_t>(cpus_per_node.size());
+  uint32_t cores = std::max(1u, *std::min_element(cpus_per_node.begin(),
+                                                  cpus_per_node.end()));
+  if (num_nodes == 1) return Flat(1, cores);
+  // Multi-node host without calibration data: assume full connectivity with
+  // generic 1-hop penalties (QPI-class numbers).
+  Topology t;
+  t.name_ = "host-" + std::to_string(num_nodes) + "n";
+  t.num_nodes_ = num_nodes;
+  t.cores_per_node_ = cores;
+  for (NodeId a = 0; a < num_nodes; ++a)
+    for (NodeId b = a + 1; b < num_nodes; ++b)
+      t.links_.push_back({a, b, 10.0, "host-link"});
+  t.bw_.assign(num_nodes, std::vector<double>(num_nodes, 10.0));
+  t.lat_.assign(num_nodes, std::vector<double>(num_nodes, 190.0));
+  for (NodeId n = 0; n < num_nodes; ++n) {
+    t.bw_[n][n] = 25.0;
+    t.lat_[n][n] = 120.0;
+  }
+  t.ComputeRoutes();
+  return t;
+}
+
+std::string Topology::ToString() const {
+  // Group node pairs into distance classes, print like Table 2.
+  std::map<std::tuple<uint32_t, double, double>, uint32_t> classes;
+  for (NodeId s = 0; s < num_nodes_; ++s)
+    for (NodeId d = 0; d < num_nodes_; ++d)
+      ++classes[{hops_[s][d], bw_[s][d], lat_[s][d]}];
+  std::ostringstream os;
+  os << name_ << ": " << num_nodes_ << " nodes x " << cores_per_node_
+     << " cores, " << links_.size() << " links, diameter " << Diameter()
+     << "\n";
+  os << "  hops  bandwidth(GB/s)  latency(ns)  node-pairs\n";
+  for (const auto& [key, count] : classes) {
+    auto [hops, bw, lat] = key;
+    os << "  " << hops << "     " << bw << "             " << lat << "        "
+       << count << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace eris::numa

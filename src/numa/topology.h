@@ -1,0 +1,128 @@
+// NUMA topology model: nodes, cores, interconnect links, and the measured
+// per-distance bandwidth/latency characteristics that drive both the engine's
+// placement decisions and the eris::sim cost model.
+//
+// Presets encode the three evaluation machines of the ERIS paper (Table 1/2):
+// a fully connected 4-node Intel box, an 8-node AMD box with full/split
+// HyperTransport links, and a 64-node SGI UV 2000 (blades of 2 nodes, an
+// enhanced-hypercube of blades per IRU, 4 IRUs). On machines we cannot model
+// exactly, distance classes are assigned per hop count computed by BFS over
+// the explicit link graph; the class->(bandwidth, latency) mapping uses the
+// paper's measured values.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "numa/types.h"
+
+namespace eris::numa {
+
+/// One physical interconnect link between two nodes.
+struct LinkSpec {
+  NodeId a = 0;
+  NodeId b = 0;
+  /// Per-direction transmit bandwidth in GB/s.
+  double bandwidth_gbps = 0.0;
+  /// Human-readable class, e.g. "QPI", "HT full", "NUMALink6".
+  std::string label;
+};
+
+/// \brief Immutable description of a NUMA machine.
+///
+/// Provides node/core counts, per-node-pair read bandwidth (GB/s) and read
+/// latency (ns), hop counts, and the link route between any two nodes (used
+/// by sim::LinkCounters to attribute traffic to physical links).
+class Topology {
+ public:
+  /// Uniform-memory machine: every access is "local". Used for the
+  /// NUMA-agnostic baseline and for hosts without NUMA.
+  static Topology Flat(uint32_t num_nodes, uint32_t cores_per_node);
+
+  /// 4x Intel Xeon E7-4860, fully connected via QPI (Table 1/2).
+  static Topology IntelMachine();
+
+  /// 4-socket AMD Opteron 6274 with dual-node packages: 8 nodes connected by
+  /// full and split HyperTransport links, including 2-hop routes (Table 1/2).
+  static Topology AmdMachine();
+
+  /// SGI UV 2000: blades of 2 nodes behind a HARP hub, 8 blades per IRU in a
+  /// 3D enhanced hypercube, blades also linked to their counterparts in two
+  /// other IRUs. `num_nodes` may be reduced (e.g. for scalability sweeps);
+  /// it is rounded up to a multiple of 2 and capped at 64.
+  static Topology SgiMachine(uint32_t num_nodes = 64);
+
+  /// Reads the host topology from /sys/devices/system/node; falls back to
+  /// Flat(1, hardware_concurrency) when unavailable.
+  static Topology DetectHost();
+
+  const std::string& name() const { return name_; }
+  uint32_t num_nodes() const { return num_nodes_; }
+  uint32_t cores_per_node() const { return cores_per_node_; }
+  uint32_t total_cores() const { return num_nodes_ * cores_per_node_; }
+
+  NodeId NodeOfCore(CoreId core) const { return core / cores_per_node_; }
+  CoreId FirstCoreOfNode(NodeId node) const { return node * cores_per_node_; }
+
+  /// Read latency in nanoseconds for a core on `src` touching memory homed
+  /// at `dst`.
+  double LatencyNs(NodeId src, NodeId dst) const { return lat_[src][dst]; }
+
+  /// Achievable read bandwidth in GB/s for node `src` streaming from `dst`
+  /// (all cores of src issuing concurrent sequential reads, per Table 2).
+  double BandwidthGbps(NodeId src, NodeId dst) const { return bw_[src][dst]; }
+
+  /// Local-memory bandwidth of one node.
+  double LocalBandwidthGbps(NodeId node) const { return bw_[node][node]; }
+
+  /// Number of interconnect hops between nodes (0 = local).
+  uint32_t Hops(NodeId src, NodeId dst) const { return hops_[src][dst]; }
+
+  /// Maximum hop count in the machine.
+  uint32_t Diameter() const;
+
+  size_t num_links() const { return links_.size(); }
+  const LinkSpec& link(LinkId id) const { return links_[id]; }
+
+  /// Primary route: ordered list of links a memory access from `src` to
+  /// `dst` traverses (empty for local access).
+  const std::vector<LinkId>& Route(NodeId src, NodeId dst) const {
+    return routes_[src][dst].front();
+  }
+
+  /// All computed equal-hop routes between the pair (at least one; up to
+  /// three). Traffic accounting spreads bytes across them, modeling the
+  /// adaptive routing of real interconnects.
+  const std::vector<std::vector<LinkId>>& Routes(NodeId src,
+                                                 NodeId dst) const {
+    return routes_[src][dst];
+  }
+
+  /// Sum of local bandwidth over all nodes — the machine's aggregate
+  /// memory-controller capability.
+  double AggregateLocalBandwidthGbps() const;
+
+  /// Multi-line summary (distance classes with bandwidth/latency), in the
+  /// style of Table 2 of the paper.
+  std::string ToString() const;
+
+ private:
+  Topology() = default;
+
+  /// Computes hops_ and routes_ via BFS over links_; entries where no path
+  /// exists get hop count 0 for src==dst and are an error otherwise.
+  void ComputeRoutes();
+
+  std::string name_;
+  uint32_t num_nodes_ = 0;
+  uint32_t cores_per_node_ = 0;
+  std::vector<LinkSpec> links_;
+  std::vector<std::vector<double>> bw_;    // [src][dst] GB/s
+  std::vector<std::vector<double>> lat_;   // [src][dst] ns
+  std::vector<std::vector<uint32_t>> hops_;
+  // routes_[src][dst]: deduplicated equal-hop paths (>= 1 entry per pair).
+  std::vector<std::vector<std::vector<std::vector<LinkId>>>> routes_;
+};
+
+}  // namespace eris::numa

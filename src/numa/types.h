@@ -1,0 +1,17 @@
+// Fundamental identifier types for the NUMA layer.
+#pragma once
+
+#include <cstdint>
+
+namespace eris::numa {
+
+/// Index of a multiprocessor (a NUMA node) within a Topology.
+using NodeId = uint32_t;
+/// Global core index within a Topology (node-major: node * cores_per_node + i).
+using CoreId = uint32_t;
+/// Index of an interconnect link within a Topology.
+using LinkId = uint32_t;
+
+inline constexpr NodeId kInvalidNode = ~NodeId{0};
+
+}  // namespace eris::numa

@@ -1,0 +1,91 @@
+#include "query/query.h"
+
+namespace eris::query {
+
+using core::Engine;
+using routing::AggregateSink;
+
+QueryRunner::QueryRunner(Engine* engine)
+    : engine_(engine), session_(engine->CreateSession()) {
+  ERIS_CHECK(engine != nullptr);
+}
+
+AggregateResult QueryRunner::Aggregate(storage::ObjectId column,
+                                       Filter filter) {
+  Engine::Session::ColumnStats stats =
+      session_->ScanStats(column, filter.lo, filter.hi);
+  AggregateResult result;
+  result.rows = stats.rows;
+  result.sum = stats.sum;
+  result.min = stats.min;
+  result.max = stats.max;
+  result.avg = stats.avg;
+  return result;
+}
+
+Result<MaterializeResult> QueryRunner::MaterializeFilter(
+    storage::ObjectId column, Filter filter, std::string result_name) {
+  if (engine_->object(column).container != storage::ContainerKind::kColumn) {
+    return Status::InvalidArgument("MaterializeFilter requires a column");
+  }
+  storage::ObjectId dest = engine_->CreateColumn(std::move(result_name));
+
+  routing::MaterializeParams params;
+  params.scan.lo = filter.lo;
+  params.scan.hi = filter.hi;
+  params.scan.snapshot_ts = engine_->oracle().ReadTs();
+  params.dest_object = dest;
+
+  AggregateSink& sink = session_->sink();
+  sink.Reset();
+  size_t scan_cmds =
+      session_->endpoint().SendScanMaterialize(column, params, &sink);
+  // Phase 1: every owner finished scanning and routed its matches. The
+  // sink's hit counter then holds the total matched rows; the routed
+  // appends complete with one unit per append command, so phase 2 waits
+  // until the destination physically holds every match.
+  session_->Wait(scan_cmds);
+  uint64_t rows = sink.hits();
+  engine_->Quiesce();
+
+  MaterializeResult result;
+  result.object = dest;
+  result.rows = rows;
+  return result;
+}
+
+JoinResult QueryRunner::IndexJoin(storage::ObjectId probe_column,
+                                  Filter probe_filter,
+                                  storage::ObjectId index) {
+  ERIS_CHECK(engine_->object(index).partitioning ==
+             storage::PartitioningKind::kRange)
+      << "join target must be a keyed object";
+
+  // Two sinks: the probe sink sees the scan completions and the number of
+  // issued lookups; the lookup sink collects the join matches.
+  AggregateSink lookup_sink;
+  routing::JoinProbeParams params;
+  params.filter.lo = probe_filter.lo;
+  params.filter.hi = probe_filter.hi;
+  params.filter.snapshot_ts = engine_->oracle().ReadTs();
+  params.index_object = index;
+  params.lookup_sink = &lookup_sink;
+
+  AggregateSink& probe_sink = session_->sink();
+  probe_sink.Reset();
+  size_t scan_cmds =
+      session_->endpoint().SendJoinProbe(probe_column, params, &probe_sink);
+  session_->Wait(scan_cmds);
+  uint64_t probes = probe_sink.hits();
+
+  // The AEUs routed `probes` lookup elements; each completes exactly once.
+  engine_->DriveUntil([&] { return lookup_sink.completed() >= probes; });
+
+  JoinResult result;
+  result.probes = probes;
+  result.matches = lookup_sink.hits();
+  result.matched_sum = lookup_sink.sum();
+  return result;
+}
+
+}  // namespace eris::query

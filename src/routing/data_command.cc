@@ -1,0 +1,45 @@
+#include "routing/data_command.h"
+
+namespace eris::routing {
+
+const char* CommandTypeName(CommandType t) {
+  switch (t) {
+    case CommandType::kLookupBatch: return "lookup-batch";
+    case CommandType::kInsertBatch: return "insert-batch";
+    case CommandType::kUpsertBatch: return "upsert-batch";
+    case CommandType::kEraseBatch: return "erase-batch";
+    case CommandType::kAppendBatch: return "append-batch";
+    case CommandType::kScanColumn: return "scan-column";
+    case CommandType::kScanIndexRange: return "scan-index-range";
+    case CommandType::kBalanceRange: return "balance-range";
+    case CommandType::kBalancePhysical: return "balance-physical";
+    case CommandType::kTransferRequest: return "transfer-request";
+    case CommandType::kInstallPartition: return "install-partition";
+    case CommandType::kFence: return "fence";
+    case CommandType::kScanStats: return "scan-stats";
+    case CommandType::kScanMaterialize: return "scan-materialize";
+    case CommandType::kJoinProbe: return "join-probe";
+  }
+  return "unknown";
+}
+
+void EncodeCommand(CommandHeader header, std::span<const uint8_t> payload,
+                   std::vector<uint8_t>* out) {
+  header.payload_bytes = static_cast<uint32_t>(payload.size());
+  size_t padded = AlignUp(payload.size(), 8);
+  size_t pos = out->size();
+  ERIS_DCHECK(pos % 8 == 0) << "records must stay 8-byte aligned";
+  out->resize(pos + sizeof(CommandHeader) + padded);
+  std::memcpy(out->data() + pos, &header, sizeof(CommandHeader));
+  if (!payload.empty()) {
+    std::memcpy(out->data() + pos + sizeof(CommandHeader), payload.data(),
+                payload.size());
+  }
+  // Zero the pad bytes for determinism.
+  if (padded != payload.size()) {
+    std::memset(out->data() + pos + sizeof(CommandHeader) + payload.size(), 0,
+                padded - payload.size());
+  }
+}
+
+}  // namespace eris::routing

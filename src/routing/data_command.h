@@ -1,0 +1,257 @@
+// Data commands: the unit of work routed between AEUs.
+//
+// A data command consists of a storage operation type, a data object
+// identifier, a reference to a result sink (callback), and a data segment
+// with the operation's parameters (a batch of keys for lookups, key/value
+// pairs for upserts, filter bounds for scans). Commands are encoded as
+// variable-length records, moved through the routing layer's buffers as raw
+// bytes, and decoded by the receiving AEU.
+//
+// Record layout: CommandHeader followed by `payload_bytes` of payload.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <cstring>
+#include <span>
+#include <vector>
+
+#include "common/bit_util.h"
+#include "common/logging.h"
+#include "storage/types.h"
+
+namespace eris::routing {
+
+/// AEU identifier (dense, 0..num_aeus-1).
+using AeuId = uint32_t;
+inline constexpr AeuId kInvalidAeu = ~AeuId{0};
+
+enum class CommandType : uint8_t {
+  kLookupBatch = 0,   ///< payload: Key[]
+  kInsertBatch,       ///< payload: KeyValue[]
+  kUpsertBatch,       ///< payload: KeyValue[]
+  kEraseBatch,        ///< payload: Key[]
+  kAppendBatch,       ///< payload: Value[] (column append)
+  kScanColumn,        ///< payload: ScanParams (multicast)
+  kScanIndexRange,    ///< payload: ScanParams (range partitions)
+  kBalanceRange,      ///< payload: BalanceRangeParams (+ transfer list)
+  kBalancePhysical,   ///< payload: BalancePhysicalParams
+  kTransferRequest,   ///< payload: TransferRequestParams
+  kInstallPartition,  ///< payload: InstallParams + serialized partition
+  kFence,             ///< barrier: acknowledge via sink
+  // Query-processing commands (the paper's future-work layer):
+  kScanStats,         ///< payload: ScanParams; full aggregates via OnScanStats
+  kScanMaterialize,   ///< payload: MaterializeParams; routes matches onward
+  kJoinProbe,         ///< payload: JoinProbeParams; routes index lookups
+};
+
+const char* CommandTypeName(CommandType t);
+
+struct KeyValue {
+  storage::Key key;
+  storage::Value value;
+};
+
+/// Filter and snapshot parameters of a scan command.
+struct ScanParams {
+  storage::Value lo = 0;
+  storage::Value hi = ~storage::Value{0};
+  uint64_t snapshot_ts = ~uint64_t{0};
+};
+
+/// Payload of kScanIndexRange: key interval plus value filter/snapshot.
+struct IndexScanParams {
+  storage::Key key_lo = 0;
+  storage::Key key_hi = ~storage::Key{0};  // exclusive
+  ScanParams scan;
+};
+
+/// Payload of kScanMaterialize: filter the local column partition and route
+/// the matching values as appends into `dest_object` (NUMA-local
+/// materialization of intermediate results).
+struct MaterializeParams {
+  ScanParams scan;
+  uint32_t dest_object = 0;
+  uint32_t pad = 0;
+};
+
+class ResultSink;
+
+/// Payload of kJoinProbe: treat the filtered values of the local column
+/// partition as keys and route lookup batches into `index_object`; lookup
+/// results are delivered to `lookup_sink` (in-process pointer, like the
+/// header's callback reference).
+struct JoinProbeParams {
+  ScanParams filter;
+  uint32_t index_object = 0;
+  uint32_t pad = 0;
+  ResultSink* lookup_sink = nullptr;
+};
+
+/// \brief Receives the results of data commands issued by one query.
+///
+/// Implementations must be thread-safe: every AEU owning an involved
+/// partition calls into the sink. The routing layer guarantees exactly one
+/// OnCommandComplete per delivered command.
+class ResultSink {
+ public:
+  virtual ~ResultSink() = default;
+
+  /// Lookup batch processed: parallel arrays of the probed keys, result
+  /// values, and hit flags.
+  virtual void OnLookupBatch(std::span<const storage::Key> keys,
+                             std::span<const storage::Value> values,
+                             std::span<const bool> found) {
+    (void)keys;
+    (void)values;
+    (void)found;
+  }
+
+  /// Scan over one partition finished with `rows` matching rows summing to
+  /// `sum`.
+  virtual void OnScanPartial(uint64_t rows, uint64_t sum) {
+    (void)rows;
+    (void)sum;
+  }
+
+  /// Write batch processed; `applied` entries took effect.
+  virtual void OnWriteBatch(uint64_t applied) { (void)applied; }
+
+  /// Full aggregates of a kScanStats command over one partition.
+  virtual void OnScanStats(uint64_t rows, uint64_t sum, storage::Value min,
+                           storage::Value max) {
+    (void)rows;
+    (void)sum;
+    (void)min;
+    (void)max;
+  }
+
+  /// Completion units: keyed batches complete per element (so forwarding a
+  /// command during rebalancing preserves the total), scans and appends per
+  /// command. The units delivered for a query sum to the value the Send*
+  /// call returned.
+  virtual void OnCommandComplete(uint64_t units) = 0;
+};
+
+/// Aggregate sink: counts rows/hits/sums and completion. The standard sink
+/// for benchmarks and most queries.
+class AggregateSink : public ResultSink {
+ public:
+  void OnLookupBatch(std::span<const storage::Key>,
+                     std::span<const storage::Value> values,
+                     std::span<const bool> found) override {
+    uint64_t hits = 0;
+    uint64_t sum = 0;
+    for (size_t i = 0; i < found.size(); ++i) {
+      if (found[i]) {
+        ++hits;
+        sum += values[i];
+      }
+    }
+    hits_.fetch_add(hits, std::memory_order_relaxed);
+    sum_.fetch_add(sum, std::memory_order_relaxed);
+    probes_.fetch_add(found.size(), std::memory_order_relaxed);
+  }
+  void OnScanPartial(uint64_t rows, uint64_t sum) override {
+    hits_.fetch_add(rows, std::memory_order_relaxed);
+    sum_.fetch_add(sum, std::memory_order_relaxed);
+  }
+  void OnWriteBatch(uint64_t applied) override {
+    hits_.fetch_add(applied, std::memory_order_relaxed);
+  }
+  void OnScanStats(uint64_t rows, uint64_t sum, storage::Value min,
+                   storage::Value max) override {
+    hits_.fetch_add(rows, std::memory_order_relaxed);
+    sum_.fetch_add(sum, std::memory_order_relaxed);
+    if (rows > 0) {
+      // Lock-free min/max merge.
+      uint64_t cur = min_.load(std::memory_order_relaxed);
+      while (min < cur &&
+             !min_.compare_exchange_weak(cur, min, std::memory_order_relaxed)) {
+      }
+      cur = max_.load(std::memory_order_relaxed);
+      while (max > cur &&
+             !max_.compare_exchange_weak(cur, max, std::memory_order_relaxed)) {
+      }
+    }
+  }
+  void OnCommandComplete(uint64_t units) override {
+    completed_.fetch_add(units, std::memory_order_release);
+  }
+
+  /// Completion units delivered so far.
+  uint64_t completed() const {
+    return completed_.load(std::memory_order_acquire);
+  }
+  uint64_t hits() const { return hits_.load(std::memory_order_relaxed); }
+  uint64_t sum() const { return sum_.load(std::memory_order_relaxed); }
+  uint64_t probes() const { return probes_.load(std::memory_order_relaxed); }
+
+  storage::Value min() const { return min_.load(std::memory_order_relaxed); }
+  storage::Value max() const { return max_.load(std::memory_order_relaxed); }
+
+  void Reset() {
+    completed_ = 0;
+    hits_ = 0;
+    sum_ = 0;
+    probes_ = 0;
+    min_ = ~storage::Value{0};
+    max_ = 0;
+  }
+
+ private:
+  std::atomic<uint64_t> completed_{0};
+  std::atomic<uint64_t> hits_{0};
+  std::atomic<uint64_t> sum_{0};
+  std::atomic<uint64_t> probes_{0};
+  std::atomic<storage::Value> min_{~storage::Value{0}};
+  std::atomic<storage::Value> max_{0};
+};
+
+/// Fixed-size command header preceding the payload in every record.
+struct CommandHeader {
+  CommandType type = CommandType::kFence;
+  uint8_t reserved = 0;
+  uint16_t object = 0;
+  AeuId source = kInvalidAeu;
+  uint32_t payload_bytes = 0;
+  uint32_t pad = 0;
+  /// In-process reference to the result sink (the paper's "reference to a
+  /// callback function"); null for engine-internal commands.
+  ResultSink* sink = nullptr;
+};
+static_assert(sizeof(CommandHeader) == 24);
+static_assert(std::is_trivially_copyable_v<CommandHeader>);
+
+/// Decoded command record: header by value, payload in place.
+/// Payloads are always padded to 8 bytes, and buffers are 8-byte aligned,
+/// so typed payload views are correctly aligned.
+struct CommandView {
+  CommandHeader header;
+  const uint8_t* payload = nullptr;
+
+  template <typename T>
+  std::span<const T> PayloadAs() const {
+    static_assert(alignof(T) <= 8);
+    ERIS_DCHECK(header.payload_bytes % sizeof(T) == 0);
+    return {reinterpret_cast<const T*>(payload),
+            header.payload_bytes / sizeof(T)};
+  }
+  size_t record_bytes() const {
+    return sizeof(CommandHeader) + AlignUp(header.payload_bytes, 8);
+  }
+};
+
+/// Serializes header+payload into `out` (appending), padding to 8 bytes.
+void EncodeCommand(CommandHeader header, std::span<const uint8_t> payload,
+                   std::vector<uint8_t>* out);
+
+/// Parses one record at `data` (which must hold a full record).
+inline CommandView DecodeCommand(const uint8_t* data) {
+  CommandView v;
+  std::memcpy(&v.header, data, sizeof(CommandHeader));
+  v.payload = data + sizeof(CommandHeader);
+  return v;
+}
+
+}  // namespace eris::routing

@@ -1,0 +1,164 @@
+// Per-source outgoing buffers: the local pre-buffering stage of the
+// NUMA-optimized data command routing.
+//
+// Each command source (an AEU, or a client endpoint) owns one unicast
+// buffer per target AEU, a single multicast buffer holding each multicast
+// command once, and per-target multicast reference lists. All buffers live
+// in the source's local memory and are private — no concurrency control.
+// Flushing copies a target's unicast bytes plus its referenced multicast
+// commands into the target's incoming buffer with a single latch-free
+// reservation, which reduces contention on the incoming buffers and turns
+// many small remote writes into one large sequential copy (hiding remote
+// latency behind bandwidth). Deliveries larger than an incoming buffer are
+// consumed incrementally at record granularity.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "routing/data_command.h"
+
+namespace eris::routing {
+
+/// \brief Outgoing buffer set of one command source.
+class OutgoingSet {
+ public:
+  explicit OutgoingSet(uint32_t num_targets) : targets_(num_targets) {}
+
+  uint32_t num_targets() const {
+    return static_cast<uint32_t>(targets_.size());
+  }
+
+  /// Encodes a unicast command into `target`'s buffer.
+  void AppendUnicast(AeuId target, const CommandHeader& header,
+                     std::span<const uint8_t> payload) {
+    EncodeCommand(header, payload, &targets_[target].unicast);
+  }
+
+  /// Encodes a multicast command once and records references for `targets`.
+  void AppendMulticast(std::span<const AeuId> targets,
+                       const CommandHeader& header,
+                       std::span<const uint8_t> payload) {
+    uint32_t offset = static_cast<uint32_t>(multicast_data_.size());
+    EncodeCommand(header, payload, &multicast_data_);
+    uint32_t len = static_cast<uint32_t>(multicast_data_.size()) - offset;
+    for (AeuId t : targets) {
+      targets_[t].refs.push_back({offset, len});
+      ++live_refs_;
+    }
+  }
+
+  /// Bytes pending for `target` (unicast + referenced multicast).
+  size_t PendingBytes(AeuId target) const {
+    const TargetState& ts = targets_[target];
+    size_t bytes = ts.unicast.size() - ts.unicast_head;
+    for (size_t i = ts.refs_head; i < ts.refs.size(); ++i)
+      bytes += ts.refs[i].len;
+    return bytes;
+  }
+
+  bool HasPending(AeuId target) const {
+    const TargetState& ts = targets_[target];
+    return ts.unicast_head < ts.unicast.size() ||
+           ts.refs_head < ts.refs.size();
+  }
+
+  bool HasAnyPending() const {
+    for (AeuId t = 0; t < num_targets(); ++t) {
+      if (HasPending(t)) return true;
+    }
+    return false;
+  }
+
+  /// Consumption cursor returned by GatherUpTo and passed to Consume.
+  struct Consumption {
+    size_t unicast_bytes = 0;
+    size_t refs = 0;
+    size_t total_bytes = 0;
+  };
+
+  /// Gathers whole records for `target`, up to `max_bytes` in total, into
+  /// `pieces` (spans valid until the next mutation). A single record larger
+  /// than max_bytes is a configuration error (incoming buffers must exceed
+  /// the maximum record size).
+  Consumption GatherUpTo(AeuId target, size_t max_bytes,
+                         std::vector<std::span<const uint8_t>>* pieces) const {
+    pieces->clear();
+    Consumption consumed;
+    const TargetState& ts = targets_[target];
+    // Unicast: walk records and cut at the byte budget.
+    size_t pos = ts.unicast_head;
+    while (pos < ts.unicast.size()) {
+      CommandView v = DecodeCommand(ts.unicast.data() + pos);
+      size_t rec = v.record_bytes();
+      if (consumed.total_bytes + rec > max_bytes) break;
+      pos += rec;
+      consumed.total_bytes += rec;
+    }
+    consumed.unicast_bytes = pos - ts.unicast_head;
+    if (consumed.unicast_bytes > 0) {
+      pieces->push_back(std::span<const uint8_t>(
+          ts.unicast.data() + ts.unicast_head, consumed.unicast_bytes));
+    }
+    // Multicast references, one piece each.
+    for (size_t i = ts.refs_head; i < ts.refs.size(); ++i) {
+      const Ref& r = ts.refs[i];
+      if (consumed.total_bytes + r.len > max_bytes) break;
+      pieces->push_back(std::span<const uint8_t>(
+          multicast_data_.data() + r.offset, r.len));
+      consumed.total_bytes += r.len;
+      ++consumed.refs;
+    }
+    ERIS_CHECK(consumed.total_bytes > 0 || !HasPending(target))
+        << "a single command record exceeds the incoming buffer capacity";
+    return consumed;
+  }
+
+  /// Marks a GatherUpTo result delivered; reclaims buffers when drained.
+  void Consume(AeuId target, const Consumption& consumed) {
+    TargetState& ts = targets_[target];
+    ts.unicast_head += consumed.unicast_bytes;
+    if (ts.unicast_head == ts.unicast.size()) {
+      ts.unicast.clear();
+      ts.unicast_head = 0;
+    }
+    ts.refs_head += consumed.refs;
+    if (ts.refs_head == ts.refs.size()) {
+      ts.refs.clear();
+      ts.refs_head = 0;
+    }
+    live_refs_ -= consumed.refs;
+    if (live_refs_ == 0 && !multicast_data_.empty()) {
+      bool any = false;
+      for (const TargetState& t : targets_) any |= !t.refs.empty();
+      if (!any) multicast_data_.clear();
+    }
+  }
+
+  /// Total bytes buffered across targets (multicast counted once).
+  size_t TotalBufferedBytes() const {
+    size_t bytes = multicast_data_.size();
+    for (const TargetState& ts : targets_)
+      bytes += ts.unicast.size() - ts.unicast_head;
+    return bytes;
+  }
+
+ private:
+  struct Ref {
+    uint32_t offset;
+    uint32_t len;
+  };
+  struct TargetState {
+    std::vector<uint8_t> unicast;
+    size_t unicast_head = 0;
+    std::vector<Ref> refs;
+    size_t refs_head = 0;
+  };
+
+  std::vector<TargetState> targets_;
+  std::vector<uint8_t> multicast_data_;
+  size_t live_refs_ = 0;
+};
+
+}  // namespace eris::routing

@@ -1,0 +1,140 @@
+#include "routing/partition_table.h"
+
+#include <algorithm>
+
+namespace eris::routing {
+
+std::shared_ptr<const RangePartitionTable::Rep> RangePartitionTable::MakeRep(
+    std::vector<RangeEntry> entries) {
+  ERIS_CHECK(!entries.empty());
+  for (size_t i = 1; i < entries.size(); ++i)
+    ERIS_CHECK_LT(entries[i - 1].hi, entries[i].hi)
+        << "range entries must be strictly increasing";
+  ERIS_CHECK_EQ(entries.back().hi, storage::kMaxKey)
+      << "partition table must cover the whole key domain";
+  auto rep = std::make_shared<Rep>();
+  std::vector<uint64_t> keys(entries.size());
+  std::vector<uint32_t> payloads(entries.size());
+  for (size_t i = 0; i < entries.size(); ++i) {
+    keys[i] = entries[i].hi;
+    payloads[i] = entries[i].owner;
+  }
+  rep->entries = std::move(entries);
+  rep->tree = storage::CsbTree(keys, payloads);
+  return rep;
+}
+
+RangePartitionTable::RangePartitionTable(std::vector<RangeEntry> entries)
+    : rep_(MakeRep(std::move(entries))) {}
+
+std::vector<RangeEntry> RangePartitionTable::UniformEntries(
+    std::span<const AeuId> aeus, storage::Key domain_hi) {
+  ERIS_CHECK(!aeus.empty());
+  std::vector<RangeEntry> entries(aeus.size());
+  storage::Key step = domain_hi / aeus.size();
+  ERIS_CHECK_GT(step, 0u) << "domain smaller than AEU count";
+  for (size_t i = 0; i < aeus.size(); ++i) {
+    entries[i].hi = (i + 1 == aeus.size()) ? storage::kMaxKey
+                                           : static_cast<storage::Key>(
+                                                 (i + 1) * step);
+    entries[i].owner = aeus[i];
+  }
+  return entries;
+}
+
+AeuId RangePartitionTable::OwnerOf(storage::Key key) const {
+  auto rep = Load();
+  // First hi strictly greater than key owns [prev_hi, hi).
+  size_t i = rep->tree.UpperBound(key);
+  if (i >= rep->tree.size()) i = rep->tree.size() - 1;  // key == kMaxKey
+  return rep->tree.payload(i);
+}
+
+void RangePartitionTable::OwnersOf(std::span<const storage::Key> keys,
+                                   AeuId* owners) const {
+  auto rep = Load();
+  const size_t n = rep->tree.size();
+  for (size_t k = 0; k < keys.size(); ++k) {
+    size_t i = rep->tree.UpperBound(keys[k]);
+    if (i >= n) i = n - 1;
+    owners[k] = rep->tree.payload(i);
+  }
+}
+
+std::vector<AeuId> RangePartitionTable::OwnersOfRange(storage::Key lo,
+                                                      storage::Key hi) const {
+  auto rep = Load();
+  std::vector<AeuId> owners;
+  if (lo >= hi) return owners;
+  size_t first = rep->tree.UpperBound(lo);
+  if (first >= rep->tree.size()) first = rep->tree.size() - 1;
+  for (size_t i = first; i < rep->tree.size(); ++i) {
+    owners.push_back(rep->tree.payload(i));
+    // Entry i covers up to rep key(i) exclusive; stop once it reaches hi.
+    if (rep->tree.key(i) >= hi) break;
+  }
+  std::sort(owners.begin(), owners.end());
+  owners.erase(std::unique(owners.begin(), owners.end()), owners.end());
+  return owners;
+}
+
+std::vector<RangeEntry> RangePartitionTable::Snapshot() const {
+  return Load()->entries;
+}
+
+void RangePartitionTable::Replace(std::vector<RangeEntry> entries) {
+  rep_.store(MakeRep(std::move(entries)), std::memory_order_release);
+}
+
+size_t RangePartitionTable::size() const { return Load()->entries.size(); }
+
+size_t RangePartitionTable::memory_bytes() const {
+  auto rep = Load();
+  return rep->entries.size() * sizeof(RangeEntry) + rep->tree.memory_bytes();
+}
+
+BitmapPartitionTable::BitmapPartitionTable(uint32_t num_aeus)
+    : num_aeus_(num_aeus), words_((num_aeus + 63) / 64) {
+  for (auto& w : words_) w.store(0, std::memory_order_relaxed);
+}
+
+void BitmapPartitionTable::Set(AeuId aeu, bool present) {
+  ERIS_DCHECK(aeu < num_aeus_);
+  uint64_t mask = uint64_t{1} << (aeu & 63);
+  if (present) {
+    words_[aeu >> 6].fetch_or(mask, std::memory_order_acq_rel);
+  } else {
+    words_[aeu >> 6].fetch_and(~mask, std::memory_order_acq_rel);
+  }
+}
+
+bool BitmapPartitionTable::Test(AeuId aeu) const {
+  ERIS_DCHECK(aeu < num_aeus_);
+  return (words_[aeu >> 6].load(std::memory_order_acquire) >>
+          (aeu & 63)) &
+         1;
+}
+
+std::vector<AeuId> BitmapPartitionTable::Owners() const {
+  std::vector<AeuId> owners;
+  for (uint32_t w = 0; w < words_.size(); ++w) {
+    uint64_t bits = words_[w].load(std::memory_order_acquire);
+    while (bits != 0) {
+      int b = std::countr_zero(bits);
+      bits &= bits - 1;
+      AeuId aeu = (w << 6) + static_cast<uint32_t>(b);
+      if (aeu < num_aeus_) owners.push_back(aeu);
+    }
+  }
+  return owners;
+}
+
+uint32_t BitmapPartitionTable::count() const {
+  uint32_t c = 0;
+  for (const auto& w : words_)
+    c += static_cast<uint32_t>(
+        std::popcount(w.load(std::memory_order_acquire)));
+  return c;
+}
+
+}  // namespace eris::routing

@@ -1,0 +1,97 @@
+// Partition tables: the routing layer's map from data to AEUs.
+//
+// Range-partitioned objects use a RangePartitionTable mapping key intervals
+// to owning AEUs, stored in a CSB+-tree (fast for sparse boundaries, scales
+// with the number of AEUs). Physically partitioned objects use a
+// BitmapPartitionTable that only records which AEUs hold a partition.
+//
+// Both tables are small, frequently read, and rarely updated (only by the
+// load balancer); readers are wait-free via an atomically swapped immutable
+// snapshot, so lookups never take a latch and the table stays cached in
+// every multiprocessor.
+#pragma once
+
+#include <atomic>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "common/logging.h"
+#include "routing/data_command.h"
+#include "storage/csb_tree.h"
+#include "storage/types.h"
+
+namespace eris::routing {
+
+/// One range entry: keys in [previous hi, hi) belong to `owner`.
+struct RangeEntry {
+  storage::Key hi;  ///< exclusive upper bound; last entry must be kMaxKey
+  AeuId owner;
+};
+
+/// \brief Immutable-snapshot range partition table.
+class RangePartitionTable {
+ public:
+  /// Builds the initial table. Entries must be sorted by strictly
+  /// increasing `hi` and the final `hi` must be storage::kMaxKey so the
+  /// whole domain is covered.
+  explicit RangePartitionTable(std::vector<RangeEntry> entries);
+
+  /// Entries uniformly splitting [0, domain_hi) over `aeus` (the engine's
+  /// default initial partitioning); the last range extends to kMaxKey.
+  static std::vector<RangeEntry> UniformEntries(std::span<const AeuId> aeus,
+                                                storage::Key domain_hi);
+
+  /// Owner of `key`. Wait-free.
+  AeuId OwnerOf(storage::Key key) const;
+
+  /// Batch variant used by the router's step-1 batch lookup.
+  void OwnersOf(std::span<const storage::Key> keys, AeuId* owners) const;
+
+  /// Owners covering [lo, hi): ascending, deduplicated.
+  std::vector<AeuId> OwnersOfRange(storage::Key lo, storage::Key hi) const;
+
+  /// Current entries (copy of the immutable snapshot).
+  std::vector<RangeEntry> Snapshot() const;
+
+  /// Atomically replaces the table (load balancer only).
+  void Replace(std::vector<RangeEntry> entries);
+
+  /// Number of ranges.
+  size_t size() const;
+
+  /// Bytes of the active search structure.
+  size_t memory_bytes() const;
+
+ private:
+  struct Rep {
+    std::vector<RangeEntry> entries;
+    storage::CsbTree tree;  // keys = hi bounds, payloads = owners
+  };
+  static std::shared_ptr<const Rep> MakeRep(std::vector<RangeEntry> entries);
+  std::shared_ptr<const Rep> Load() const {
+    return rep_.load(std::memory_order_acquire);
+  }
+
+  std::atomic<std::shared_ptr<const Rep>> rep_;
+};
+
+/// \brief Presence bitmap for physically partitioned objects.
+class BitmapPartitionTable {
+ public:
+  explicit BitmapPartitionTable(uint32_t num_aeus);
+
+  void Set(AeuId aeu, bool present);
+  bool Test(AeuId aeu) const;
+
+  /// All AEUs currently holding a partition, ascending.
+  std::vector<AeuId> Owners() const;
+  uint32_t count() const;
+  uint32_t num_aeus() const { return num_aeus_; }
+
+ private:
+  uint32_t num_aeus_;
+  std::vector<std::atomic<uint64_t>> words_;
+};
+
+}  // namespace eris::routing

@@ -1,0 +1,366 @@
+#include "routing/router.h"
+
+#include <algorithm>
+
+#include "common/rng.h"
+
+namespace eris::routing {
+
+Router::Router(std::vector<numa::NodeId> aeu_nodes, RouterConfig config)
+    : aeu_nodes_(std::move(aeu_nodes)), config_(config) {
+  ERIS_CHECK(!aeu_nodes_.empty());
+  // Objects can be registered while the engine runs (query-layer
+  // intermediates); reserving up front keeps readers safe from
+  // reallocation.
+  objects_.reserve(kMaxObjects);
+  mailboxes_.reserve(aeu_nodes_.size());
+  for (size_t i = 0; i < aeu_nodes_.size(); ++i) {
+    mailboxes_.push_back(
+        std::make_unique<IncomingBufferPair>(config_.incoming_capacity_bytes));
+  }
+}
+
+void Router::RegisterRangeObject(const storage::DataObjectDesc& desc,
+                                 storage::Key domain_hi) {
+  ERIS_CHECK_EQ(desc.id, objects_.size())
+      << "objects must be registered with consecutive ids";
+  ERIS_CHECK_LT(objects_.size(), kMaxObjects);
+  ERIS_CHECK(desc.partitioning == storage::PartitioningKind::kRange);
+  auto routing = std::make_unique<ObjectRouting>();
+  routing->kind = storage::PartitioningKind::kRange;
+  std::vector<AeuId> all(num_aeus());
+  for (AeuId a = 0; a < num_aeus(); ++a) all[a] = a;
+  routing->range = std::make_unique<RangePartitionTable>(
+      RangePartitionTable::UniformEntries(all, domain_hi));
+  objects_.push_back(std::move(routing));
+}
+
+void Router::RegisterPhysicalObject(const storage::DataObjectDesc& desc) {
+  ERIS_CHECK_EQ(desc.id, objects_.size())
+      << "objects must be registered with consecutive ids";
+  ERIS_CHECK_LT(objects_.size(), kMaxObjects);
+  ERIS_CHECK(desc.partitioning == storage::PartitioningKind::kPhysical);
+  auto routing = std::make_unique<ObjectRouting>();
+  routing->kind = storage::PartitioningKind::kPhysical;
+  routing->bitmap = std::make_unique<BitmapPartitionTable>(num_aeus());
+  // Physically partitioned objects start spread over every AEU.
+  for (AeuId a = 0; a < num_aeus(); ++a) routing->bitmap->Set(a, true);
+  objects_.push_back(std::move(routing));
+}
+
+void Router::RegisterHashedObject(const storage::DataObjectDesc& desc) {
+  ERIS_CHECK_EQ(desc.id, objects_.size())
+      << "objects must be registered with consecutive ids";
+  ERIS_CHECK_LT(objects_.size(), kMaxObjects);
+  ERIS_CHECK(desc.partitioning == storage::PartitioningKind::kHashed);
+  auto routing = std::make_unique<ObjectRouting>();
+  routing->kind = storage::PartitioningKind::kHashed;
+  objects_.push_back(std::move(routing));
+}
+
+void Router::OwnersOfKeys(storage::ObjectId object,
+                          std::span<const storage::Key> keys,
+                          AeuId* owners) const {
+  const ObjectRouting& routing = *objects_[object];
+  if (routing.kind == storage::PartitioningKind::kHashed) {
+    const uint64_t n = num_aeus();
+    for (size_t i = 0; i < keys.size(); ++i) {
+      owners[i] = static_cast<AeuId>(Mix64(keys[i]) % n);
+    }
+    return;
+  }
+  ERIS_CHECK(routing.range != nullptr) << "keyed command on non-keyed object";
+  routing.range->OwnersOf(keys, owners);
+}
+
+std::vector<AeuId> Router::OwnersOfKeyRange(storage::ObjectId object,
+                                            storage::Key lo,
+                                            storage::Key hi) const {
+  const ObjectRouting& routing = *objects_[object];
+  if (routing.kind == storage::PartitioningKind::kHashed) {
+    // Hash partitioning is not order preserving: a range scan must visit
+    // every partition (the cost the paper avoids with range partitioning).
+    std::vector<AeuId> all(num_aeus());
+    for (AeuId a = 0; a < num_aeus(); ++a) all[a] = a;
+    return all;
+  }
+  ERIS_CHECK(routing.range != nullptr);
+  return routing.range->OwnersOfRange(lo, hi);
+}
+
+AeuId Router::PickAppendTarget(storage::ObjectId object) {
+  ObjectRouting& routing = *objects_[object];
+  ERIS_CHECK(routing.bitmap != nullptr);
+  std::vector<AeuId> owners = routing.bitmap->Owners();
+  ERIS_CHECK(!owners.empty()) << "physical object with no partitions";
+  uint64_t c =
+      routing.append_cursor.fetch_add(1, std::memory_order_relaxed);
+  return owners[c % owners.size()];
+}
+
+Endpoint::Endpoint(Router* router, AeuId source, numa::NodeId node)
+    : router_(router),
+      source_(source),
+      node_(node),
+      outgoing_(router->num_aeus()) {}
+
+void Endpoint::Unicast(AeuId target, const CommandHeader& header,
+                       std::span<const uint8_t> payload) {
+  outgoing_.AppendUnicast(target, header, payload);
+  ++stats_.commands_routed;
+  if (outgoing_.PendingBytes(target) >=
+      router_->config().flush_threshold_bytes) {
+    FlushTarget(target);
+  }
+}
+
+void Endpoint::Multicast(std::span<const AeuId> targets,
+                         const CommandHeader& header,
+                         std::span<const uint8_t> payload) {
+  outgoing_.AppendMulticast(targets, header, payload);
+  stats_.commands_routed += targets.size();
+  for (AeuId t : targets) {
+    if (outgoing_.PendingBytes(t) >= router_->config().flush_threshold_bytes) {
+      FlushTarget(t);
+    }
+  }
+}
+
+bool Endpoint::FlushTarget(AeuId target) {
+  IncomingBufferPair& mailbox = router_->mailbox(target);
+  while (outgoing_.HasPending(target)) {
+    OutgoingSet::Consumption consumed =
+        outgoing_.GatherUpTo(target, mailbox.capacity(), &pieces_);
+    if (consumed.total_bytes == 0) return true;  // nothing deliverable
+    if (!mailbox.TryWriteGather(pieces_)) {
+      ++stats_.flush_retries;
+      return false;
+    }
+    ++stats_.flushes;
+    stats_.bytes_flushed += consumed.total_bytes;
+    if (sim::ResourceUsage* usage = router_->resource_usage()) {
+      usage->AddRoutedBytes(node_, router_->NodeOfAeu(target),
+                            consumed.total_bytes);
+    }
+    outgoing_.Consume(target, consumed);
+  }
+  return true;
+}
+
+bool Endpoint::FlushAll() {
+  bool all_delivered = true;
+  for (AeuId t = 0; t < outgoing_.num_targets(); ++t) {
+    if (outgoing_.HasPending(t)) all_delivered &= FlushTarget(t);
+  }
+  return all_delivered;
+}
+
+namespace {
+inline storage::Key KeyOf(storage::Key k) { return k; }
+inline storage::Key KeyOf(const KeyValue& kv) { return kv.key; }
+
+template <typename T>
+std::span<const uint8_t> AsBytes(std::span<const T> s) {
+  return {reinterpret_cast<const uint8_t*>(s.data()), s.size_bytes()};
+}
+}  // namespace
+
+template <typename E>
+size_t Endpoint::SendKeyed(CommandType type, storage::ObjectId object,
+                           std::span<const E> elements, ResultSink* sink) {
+  const size_t n = elements.size();
+  if (n == 0) return 0;
+
+  // Step 1: batch lookup of responsible AEUs (range table or key hash).
+  owners_.resize(n);
+  static thread_local std::vector<storage::Key> keys_scratch;
+  keys_scratch.resize(n);
+  for (size_t i = 0; i < n; ++i) keys_scratch[i] = KeyOf(elements[i]);
+  router_->OwnersOfKeys(object, keys_scratch, owners_.data());
+
+  // Step 2: split per target. Stable counting sort of indices by owner
+  // (targets can number in the hundreds; only touched buckets are visited).
+  group_order_.resize(n);
+  static thread_local std::vector<uint32_t> bucket_count;
+  bucket_count.assign(router_->num_aeus() + 1, 0);
+  for (size_t i = 0; i < n; ++i) bucket_count[owners_[i] + 1]++;
+  for (size_t a = 1; a < bucket_count.size(); ++a)
+    bucket_count[a] += bucket_count[a - 1];
+  for (size_t i = 0; i < n; ++i)
+    group_order_[bucket_count[owners_[i]]++] = static_cast<uint32_t>(i);
+
+  const size_t max_elems = router_->config().max_batch_elements;
+  CommandHeader header;
+  header.type = type;
+  header.object = static_cast<uint16_t>(object);
+  header.source = source_;
+  header.sink = sink;
+
+  size_t pos = 0;
+  static thread_local std::vector<uint8_t> chunk_bytes;
+  while (pos < n) {
+    AeuId target = owners_[group_order_[pos]];
+    size_t end = pos;
+    chunk_bytes.clear();
+    while (end < n && owners_[group_order_[end]] == target &&
+           end - pos < max_elems) {
+      const E& e = elements[group_order_[end]];
+      const auto* raw = reinterpret_cast<const uint8_t*>(&e);
+      chunk_bytes.insert(chunk_bytes.end(), raw, raw + sizeof(E));
+      ++end;
+    }
+    Unicast(target, header, chunk_bytes);
+    pos = end;
+  }
+  // Keyed batches complete per element; the caller waits for n units.
+  return n;
+}
+
+size_t Endpoint::SendLookupBatch(storage::ObjectId object,
+                                 std::span<const storage::Key> keys,
+                                 ResultSink* sink) {
+  return SendKeyed<storage::Key>(CommandType::kLookupBatch, object, keys,
+                                 sink);
+}
+
+size_t Endpoint::SendWriteBatch(CommandType type, storage::ObjectId object,
+                                std::span<const KeyValue> kvs,
+                                ResultSink* sink) {
+  ERIS_CHECK(type == CommandType::kInsertBatch ||
+             type == CommandType::kUpsertBatch);
+  return SendKeyed<KeyValue>(type, object, kvs, sink);
+}
+
+size_t Endpoint::SendEraseBatch(storage::ObjectId object,
+                                std::span<const storage::Key> keys,
+                                ResultSink* sink) {
+  return SendKeyed<storage::Key>(CommandType::kEraseBatch, object, keys,
+                                 sink);
+}
+
+size_t Endpoint::SendAppendBatch(storage::ObjectId object,
+                                 std::span<const storage::Value> values,
+                                 ResultSink* sink) {
+  CommandHeader header;
+  header.type = CommandType::kAppendBatch;
+  header.object = static_cast<uint16_t>(object);
+  header.source = source_;
+  header.sink = sink;
+  const size_t max_elems = router_->config().max_batch_elements;
+  size_t commands = 0;
+  for (size_t pos = 0; pos < values.size(); pos += max_elems) {
+    size_t len = std::min(max_elems, values.size() - pos);
+    AeuId target = router_->PickAppendTarget(object);
+    Unicast(target, header, AsBytes(values.subspan(pos, len)));
+    ++commands;
+  }
+  return commands;
+}
+
+size_t Endpoint::SendScanColumn(storage::ObjectId object,
+                                const ScanParams& params, ResultSink* sink) {
+  BitmapPartitionTable* bitmap = router_->bitmap_table(object);
+  ERIS_CHECK(bitmap != nullptr) << "column scan on non-physical object";
+  std::vector<AeuId> owners = bitmap->Owners();
+  if (owners.empty()) return 0;
+  CommandHeader header;
+  header.type = CommandType::kScanColumn;
+  header.object = static_cast<uint16_t>(object);
+  header.source = source_;
+  header.sink = sink;
+  std::span<const ScanParams> one(&params, 1);
+  Multicast(owners, header, AsBytes(one));
+  return owners.size();
+}
+
+namespace {
+template <typename P>
+std::span<const uint8_t> OneAsBytes(const P& p) {
+  return {reinterpret_cast<const uint8_t*>(&p), sizeof(P)};
+}
+}  // namespace
+
+size_t Endpoint::SendScanStats(storage::ObjectId object,
+                               const ScanParams& params, ResultSink* sink) {
+  BitmapPartitionTable* bitmap = router_->bitmap_table(object);
+  ERIS_CHECK(bitmap != nullptr) << "stats scan on non-physical object";
+  std::vector<AeuId> owners = bitmap->Owners();
+  if (owners.empty()) return 0;
+  CommandHeader header;
+  header.type = CommandType::kScanStats;
+  header.object = static_cast<uint16_t>(object);
+  header.source = source_;
+  header.sink = sink;
+  Multicast(owners, header, OneAsBytes(params));
+  return owners.size();
+}
+
+size_t Endpoint::SendScanMaterialize(storage::ObjectId object,
+                                     const MaterializeParams& params,
+                                     ResultSink* sink) {
+  BitmapPartitionTable* bitmap = router_->bitmap_table(object);
+  ERIS_CHECK(bitmap != nullptr) << "materialize scan on non-physical object";
+  std::vector<AeuId> owners = bitmap->Owners();
+  if (owners.empty()) return 0;
+  CommandHeader header;
+  header.type = CommandType::kScanMaterialize;
+  header.object = static_cast<uint16_t>(object);
+  header.source = source_;
+  header.sink = sink;
+  Multicast(owners, header, OneAsBytes(params));
+  return owners.size();
+}
+
+size_t Endpoint::SendJoinProbe(storage::ObjectId object,
+                               const JoinProbeParams& params,
+                               ResultSink* sink) {
+  BitmapPartitionTable* bitmap = router_->bitmap_table(object);
+  ERIS_CHECK(bitmap != nullptr) << "join probe on non-physical object";
+  std::vector<AeuId> owners = bitmap->Owners();
+  if (owners.empty()) return 0;
+  CommandHeader header;
+  header.type = CommandType::kJoinProbe;
+  header.object = static_cast<uint16_t>(object);
+  header.source = source_;
+  header.sink = sink;
+  Multicast(owners, header, OneAsBytes(params));
+  return owners.size();
+}
+
+size_t Endpoint::SendScanIndexRange(storage::ObjectId object, storage::Key lo,
+                                    storage::Key hi, const ScanParams& params,
+                                    ResultSink* sink) {
+  std::vector<AeuId> owners = router_->OwnersOfKeyRange(object, lo, hi);
+  if (owners.empty()) return 0;
+  IndexScanParams scan_params;
+  scan_params.key_lo = lo;
+  scan_params.key_hi = hi;
+  scan_params.scan = params;
+  CommandHeader header;
+  header.type = CommandType::kScanIndexRange;
+  header.object = static_cast<uint16_t>(object);
+  header.source = source_;
+  header.sink = sink;
+  std::span<const IndexScanParams> one(&scan_params, 1);
+  if (owners.size() == 1) {
+    Unicast(owners[0], header, AsBytes(one));
+  } else {
+    Multicast(owners, header, AsBytes(one));
+  }
+  return owners.size();
+}
+
+size_t Endpoint::SendControl(AeuId target, CommandType type,
+                             storage::ObjectId object,
+                             std::span<const uint8_t> payload,
+                             ResultSink* sink) {
+  CommandHeader header;
+  header.type = type;
+  header.object = static_cast<uint16_t>(object);
+  header.source = source_;
+  header.sink = sink;
+  Unicast(target, header, payload);
+  return 1;
+}
+
+}  // namespace eris::routing

@@ -1,0 +1,221 @@
+// The NUMA-optimized high-throughput data command routing layer.
+//
+// The Router owns one incoming double buffer per AEU (the mailbox) and the
+// partition tables of every registered data object. Command sources — AEUs
+// during query processing, and client threads at the engine frontend —
+// route through a private Endpoint that implements the three-step protocol
+// of the paper's Figure 4:
+//   (1) batch lookup of the responsible AEUs in the partition table,
+//   (2) write commands (split per target) into private outgoing buffers;
+//       multi-target commands go to the multicast buffer with per-target
+//       references,
+//   (3) when an outgoing buffer exceeds the configured size or the source's
+//       processing loop wraps around, copy it into the target's incoming
+//       buffer in one latch-free reservation.
+#pragma once
+
+#include <atomic>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "numa/topology.h"
+#include "routing/data_command.h"
+#include "routing/incoming_buffer.h"
+#include "routing/outgoing.h"
+#include "routing/partition_table.h"
+#include "sim/resource_usage.h"
+#include "storage/data_object.h"
+
+namespace eris::routing {
+
+struct RouterConfig {
+  /// Flush an outgoing buffer to its target once it holds this many bytes.
+  /// This is the paper's "outgoing buffer size" knob (Figure 5).
+  size_t flush_threshold_bytes = 32 * 1024;
+  /// Capacity of each of the two incoming buffers per AEU.
+  size_t incoming_capacity_bytes = 1 << 21;
+  /// Keyed batches are split into per-target chunks of at most this many
+  /// elements before encoding.
+  size_t max_batch_elements = 1024;
+};
+
+/// Statistics of one endpoint (private, unsynchronized).
+struct EndpointStats {
+  uint64_t commands_routed = 0;
+  uint64_t bytes_flushed = 0;
+  uint64_t flushes = 0;
+  uint64_t flush_retries = 0;  ///< deliveries rejected by a full incoming buffer
+};
+
+class Router;
+
+/// \brief Private routing front of one command source.
+///
+/// Not thread-safe; create one Endpoint per source thread.
+class Endpoint {
+ public:
+  /// `source` is the sending AEU (or kInvalidAeu for clients); `node` is
+  /// the NUMA node the source runs on (for traffic attribution).
+  Endpoint(Router* router, AeuId source, numa::NodeId node);
+
+  /// Routes a lookup batch, splitting keys by owning AEU.
+  /// Returns the number of completion units (= keys.size()).
+  size_t SendLookupBatch(storage::ObjectId object,
+                         std::span<const storage::Key> keys,
+                         ResultSink* sink);
+
+  /// Routes insert/upsert key-value batches (type kInsertBatch or
+  /// kUpsertBatch), splitting by owner.
+  size_t SendWriteBatch(CommandType type, storage::ObjectId object,
+                        std::span<const KeyValue> kvs, ResultSink* sink);
+
+  /// Routes an erase batch, splitting by owner.
+  size_t SendEraseBatch(storage::ObjectId object,
+                        std::span<const storage::Key> keys, ResultSink* sink);
+
+  /// Appends values to a physically partitioned column; the router spreads
+  /// consecutive calls round-robin over the AEUs holding partitions.
+  size_t SendAppendBatch(storage::ObjectId object,
+                         std::span<const storage::Value> values,
+                         ResultSink* sink);
+
+  /// Multicasts a full-column scan to every AEU holding a partition.
+  size_t SendScanColumn(storage::ObjectId object, const ScanParams& params,
+                        ResultSink* sink);
+
+  /// Multicasts a full-aggregate scan (rows/sum/min/max via OnScanStats).
+  size_t SendScanStats(storage::ObjectId object, const ScanParams& params,
+                       ResultSink* sink);
+
+  /// Multicasts a materializing scan: every owner filters its partition and
+  /// routes the matches as appends into `params.dest_object`.
+  size_t SendScanMaterialize(storage::ObjectId object,
+                             const MaterializeParams& params,
+                             ResultSink* sink);
+
+  /// Multicasts a join probe: every owner of the probe column routes its
+  /// filtered values as lookups into `params.index_object`.
+  size_t SendJoinProbe(storage::ObjectId object, const JoinProbeParams& params,
+                       ResultSink* sink);
+
+  /// Multicasts an index range scan to the AEUs owning [lo, hi).
+  size_t SendScanIndexRange(storage::ObjectId object, storage::Key lo,
+                            storage::Key hi, const ScanParams& params,
+                            ResultSink* sink);
+
+  /// Sends an engine-internal control command to one AEU.
+  size_t SendControl(AeuId target, CommandType type, storage::ObjectId object,
+                     std::span<const uint8_t> payload, ResultSink* sink);
+
+  /// Delivers every pending outgoing buffer whose target accepts it.
+  /// Returns true when everything was delivered.
+  bool FlushAll();
+
+  /// True when some outgoing buffer still holds undelivered commands.
+  bool HasPending() const { return outgoing_.HasAnyPending(); }
+
+  const EndpointStats& stats() const { return stats_; }
+  AeuId source() const { return source_; }
+
+ private:
+  /// Encodes into the target buffer and flushes it when over threshold.
+  void Unicast(AeuId target, const CommandHeader& header,
+               std::span<const uint8_t> payload);
+  void Multicast(std::span<const AeuId> targets, const CommandHeader& header,
+                 std::span<const uint8_t> payload);
+  /// Splits a keyed batch by owner and unicasts the chunks; returns the
+  /// number of completion units (elements). E must start with its key.
+  template <typename E>
+  size_t SendKeyed(CommandType type, storage::ObjectId object,
+                   std::span<const E> elements, ResultSink* sink);
+
+  bool FlushTarget(AeuId target);
+
+  Router* router_;
+  AeuId source_;
+  numa::NodeId node_;
+  OutgoingSet outgoing_;
+  EndpointStats stats_;
+  // Scratch (reused across calls to avoid allocation in the hot path).
+  std::vector<AeuId> owners_;
+  std::vector<std::span<const uint8_t>> pieces_;
+  std::vector<uint32_t> group_order_;
+};
+
+/// \brief Shared routing state: mailboxes + partition tables.
+class Router {
+ public:
+  /// Upper bound on registered data objects (tables can be created while
+  /// the engine runs; the registry never reallocates).
+  static constexpr size_t kMaxObjects = 256;
+
+  /// `aeu_nodes[a]` is the NUMA node AEU `a` runs on.
+  Router(std::vector<numa::NodeId> aeu_nodes, RouterConfig config = {});
+
+  uint32_t num_aeus() const {
+    return static_cast<uint32_t>(aeu_nodes_.size());
+  }
+  numa::NodeId NodeOfAeu(AeuId a) const { return aeu_nodes_[a]; }
+  const RouterConfig& config() const { return config_; }
+
+  IncomingBufferPair& mailbox(AeuId a) { return *mailboxes_[a]; }
+
+  /// Registers a data object's routing. Range-partitioned objects start
+  /// with a uniform partitioning of [0, domain_hi) over all AEUs.
+  void RegisterRangeObject(const storage::DataObjectDesc& desc,
+                           storage::Key domain_hi);
+  void RegisterPhysicalObject(const storage::DataObjectDesc& desc);
+  /// Hash-partitioned keyed object: owner = Mix64(key) % num_aeus.
+  void RegisterHashedObject(const storage::DataObjectDesc& desc);
+
+  /// Owner lookup across partitioning kinds (range table or key hash).
+  void OwnersOfKeys(storage::ObjectId object,
+                    std::span<const storage::Key> keys, AeuId* owners) const;
+
+  /// AEUs an index range scan over [lo, hi) must visit: the owning subset
+  /// for range partitioning, every AEU for hash partitioning.
+  std::vector<AeuId> OwnersOfKeyRange(storage::ObjectId object,
+                                      storage::Key lo,
+                                      storage::Key hi) const;
+
+  RangePartitionTable* range_table(storage::ObjectId object) {
+    return objects_[object]->range.get();
+  }
+  const RangePartitionTable* range_table(storage::ObjectId object) const {
+    return objects_[object]->range.get();
+  }
+  BitmapPartitionTable* bitmap_table(storage::ObjectId object) {
+    return objects_[object]->bitmap.get();
+  }
+  storage::PartitioningKind partitioning(storage::ObjectId object) const {
+    return objects_[object]->kind;
+  }
+  size_t num_objects() const { return objects_.size(); }
+
+  /// Round-robin target selection for appends to physical objects.
+  AeuId PickAppendTarget(storage::ObjectId object);
+
+  /// Optional simulated-traffic accounting: flushed bytes are charged to
+  /// the route between source and target nodes.
+  void set_resource_usage(sim::ResourceUsage* usage) { usage_ = usage; }
+  sim::ResourceUsage* resource_usage() const { return usage_; }
+
+ private:
+  struct ObjectRouting {
+    storage::PartitioningKind kind = storage::PartitioningKind::kRange;
+    std::unique_ptr<RangePartitionTable> range;
+    std::unique_ptr<BitmapPartitionTable> bitmap;
+    std::atomic<uint64_t> append_cursor{0};
+  };
+
+  friend class Endpoint;
+
+  std::vector<numa::NodeId> aeu_nodes_;
+  RouterConfig config_;
+  std::vector<std::unique_ptr<IncomingBufferPair>> mailboxes_;
+  std::vector<std::unique_ptr<ObjectRouting>> objects_;
+  sim::ResourceUsage* usage_ = nullptr;
+};
+
+}  // namespace eris::routing

@@ -1,0 +1,197 @@
+#include "sim/cache_sim.h"
+
+#include <algorithm>
+
+#include "common/bit_util.h"
+
+namespace eris::sim {
+
+const char* LineStateName(LineState s) {
+  switch (s) {
+    case LineState::kInvalid: return "I";
+    case LineState::kShared: return "S";
+    case LineState::kExclusive: return "E";
+    case LineState::kModified: return "M";
+    case LineState::kForward: return "F";
+  }
+  return "?";
+}
+
+CacheSim::CacheSim(uint32_t num_caches, CacheSimConfig config)
+    : config_(config) {
+  ERIS_CHECK_LE(num_caches, 64u) << "directory bitmask limited to 64 caches";
+  ERIS_CHECK(IsPowerOfTwo(config.line_bytes));
+  line_shift_ = Log2Floor(config.line_bytes);
+  uint64_t lines = config.capacity_bytes / config.line_bytes;
+  num_sets_ = static_cast<uint32_t>(
+      std::max<uint64_t>(1, lines / config.associativity));
+  caches_.resize(num_caches);
+  stats_.resize(num_caches);
+  for (auto& c : caches_)
+    c.ways.assign(static_cast<size_t>(num_sets_) * config.associativity, {});
+}
+
+CacheSim::Way* CacheSim::FindWay(uint32_t cache, uint64_t line) {
+  Cache& c = caches_[cache];
+  size_t set = (line % num_sets_) * config_.associativity;
+  for (uint32_t w = 0; w < config_.associativity; ++w) {
+    Way& way = c.ways[set + w];
+    if (way.state != LineState::kInvalid && way.tag == line) return &way;
+  }
+  return nullptr;
+}
+
+CacheSim::Way* CacheSim::VictimWay(uint32_t cache, uint64_t line) {
+  Cache& c = caches_[cache];
+  size_t set = (line % num_sets_) * config_.associativity;
+  Way* victim = &c.ways[set];
+  for (uint32_t w = 0; w < config_.associativity; ++w) {
+    Way& way = c.ways[set + w];
+    if (way.state == LineState::kInvalid) return &way;
+    if (way.lru < victim->lru) victim = &way;
+  }
+  return victim;
+}
+
+void CacheSim::DropHolder(uint64_t line, uint32_t cache) {
+  auto it = directory_.find(line);
+  if (it == directory_.end()) return;
+  it->second.holders &= ~(uint64_t{1} << cache);
+  if (it->second.holders == 0) directory_.erase(it);
+}
+
+LineState CacheSim::StateIn(uint32_t cache, uint64_t line) {
+  Way* way = FindWay(cache, line);
+  return way ? way->state : LineState::kInvalid;
+}
+
+void CacheSim::SetState(uint32_t cache, uint64_t line, LineState state) {
+  Way* way = FindWay(cache, line);
+  if (way == nullptr) return;
+  if (state == LineState::kInvalid) {
+    way->state = LineState::kInvalid;
+    DropHolder(line, cache);
+  } else {
+    way->state = state;
+  }
+}
+
+AccessResult CacheSim::Access(uint32_t cache, uint64_t addr, bool write) {
+  const uint64_t line = addr >> line_shift_;
+  Cache& c = caches_[cache];
+  CacheStats& st = stats_[cache];
+  Way* way = FindWay(cache, line);
+  AccessResult result;
+
+  if (way != nullptr) {
+    // ---- Hit ----
+    result.hit = true;
+    result.state_at_hit = way->state;
+    st.hits_by_state[static_cast<int>(way->state)]++;
+    way->lru = ++c.tick;
+    if (write) {
+      st.write_hits++;
+      if (way->state == LineState::kShared ||
+          way->state == LineState::kForward) {
+        // Upgrade: invalidate every other holder.
+        uint64_t holders = directory_[line].holders;
+        for (uint32_t other = 0; other < caches_.size(); ++other) {
+          if (other != cache && (holders & (uint64_t{1} << other))) {
+            stats_[other].invalidations_received++;
+            SetState(other, line, LineState::kInvalid);
+          }
+        }
+        directory_[line].holders = uint64_t{1} << cache;
+      }
+      way->state = LineState::kModified;
+    } else {
+      st.read_hits++;
+    }
+    return result;
+  }
+
+  // ---- Miss ----
+  result.hit = false;
+  if (write) {
+    st.write_misses++;
+  } else {
+    st.read_misses++;
+  }
+
+  uint64_t holders = 0;
+  auto dir_it = directory_.find(line);
+  if (dir_it != directory_.end()) holders = dir_it->second.holders;
+
+  if (write) {
+    // Read-for-ownership: invalidate all current holders.
+    for (uint32_t other = 0; other < caches_.size(); ++other) {
+      if (holders & (uint64_t{1} << other)) {
+        if (StateIn(other, line) == LineState::kModified)
+          stats_[other].writebacks++;
+        stats_[other].invalidations_received++;
+        SetState(other, line, LineState::kInvalid);
+      }
+    }
+    holders = 0;
+  } else if (holders != 0) {
+    // Another cache supplies the data. Previous M writes back; previous
+    // E/M/F holders downgrade to S; the requester becomes the new Forward.
+    for (uint32_t other = 0; other < caches_.size(); ++other) {
+      if (holders & (uint64_t{1} << other)) {
+        LineState s = StateIn(other, line);
+        if (s == LineState::kModified) stats_[other].writebacks++;
+        if (s == LineState::kModified || s == LineState::kExclusive ||
+            s == LineState::kForward) {
+          SetState(other, line, LineState::kShared);
+        }
+      }
+    }
+  }
+
+  // Install into this cache, evicting the LRU way if needed.
+  Way* victim = VictimWay(cache, line);
+  if (victim->state != LineState::kInvalid) {
+    if (victim->state == LineState::kModified) st.writebacks++;
+    DropHolder(victim->tag, cache);
+  }
+  victim->tag = line;
+  victim->lru = ++c.tick;
+  if (write) {
+    victim->state = LineState::kModified;
+  } else if (holders == 0) {
+    victim->state = LineState::kExclusive;
+  } else {
+    victim->state = LineState::kForward;
+  }
+  directory_[line].holders = holders | (uint64_t{1} << cache);
+  return result;
+}
+
+CacheStats CacheSim::TotalStats() const {
+  CacheStats total;
+  for (const auto& s : stats_) {
+    total.read_hits += s.read_hits;
+    total.read_misses += s.read_misses;
+    total.write_hits += s.write_hits;
+    total.write_misses += s.write_misses;
+    for (int i = 0; i < 5; ++i) total.hits_by_state[i] += s.hits_by_state[i];
+    total.invalidations_received += s.invalidations_received;
+    total.writebacks += s.writebacks;
+  }
+  return total;
+}
+
+double CacheSim::HitFraction(std::initializer_list<LineState> states) const {
+  CacheStats total = TotalStats();
+  uint64_t hits = total.hits();
+  if (hits == 0) return 0.0;
+  uint64_t selected = 0;
+  for (LineState s : states) selected += total.hits_by_state[static_cast<int>(s)];
+  return static_cast<double>(selected) / static_cast<double>(hits);
+}
+
+void CacheSim::ResetStats() {
+  for (auto& s : stats_) s = CacheStats{};
+}
+
+}  // namespace eris::sim

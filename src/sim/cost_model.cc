@@ -1,0 +1,22 @@
+#include "sim/cost_model.h"
+
+namespace eris::sim {
+
+CostModel::CostModel(const numa::Topology& topology, CostModelParams params)
+    : topology_(&topology), params_(params) {
+  const uint32_t n = topology.num_nodes();
+  interleaved_lat_.resize(n);
+  interleaved_bw_.resize(n);
+  for (numa::NodeId src = 0; src < n; ++src) {
+    double lat_sum = 0;
+    double inv_bw_sum = 0;
+    for (numa::NodeId home = 0; home < n; ++home) {
+      lat_sum += topology.LatencyNs(src, home);
+      inv_bw_sum += 1.0 / topology.BandwidthGbps(src, home);
+    }
+    interleaved_lat_[src] = lat_sum / n;
+    interleaved_bw_[src] = static_cast<double>(n) / inv_bw_sum;
+  }
+}
+
+}  // namespace eris::sim

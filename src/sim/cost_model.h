@@ -1,0 +1,101 @@
+// Deterministic memory-access cost model derived from a Topology.
+//
+// Converts storage-level access patterns (dependent pointer chases, batched
+// independent reads, sequential streams) into modeled nanoseconds using the
+// per-distance latency/bandwidth values the paper measured (Table 2). The
+// model deliberately stays simple and explainable: every term corresponds to
+// a mechanism the paper names (remote latency, link bandwidth, batching to
+// hide latency, cache hits, coherence overhead on shared writes).
+#pragma once
+
+#include <cstdint>
+
+#include "numa/topology.h"
+
+namespace eris::sim {
+
+struct CostModelParams {
+  /// LLC hit service time.
+  double llc_hit_ns = 18.0;
+  /// Upper-cache (L1/L2) hit service time for very hot lines.
+  double upper_hit_ns = 4.0;
+  /// Memory-level parallelism achievable for *batched independent* reads —
+  /// how many outstanding misses a core overlaps. Batching data commands
+  /// (the AEU "group" stage) buys this overlap across operations, but each
+  /// tree traversal is a dependent chain, so the effective overlap is well
+  /// below the hardware's miss-queue depth.
+  double batch_mlp = 4.0;
+  /// Additional latency per write to a cache line shared with other caches
+  /// (invalidation round). Models the atomic-instruction degradation of the
+  /// NUMA-agnostic shared index.
+  double coherence_write_penalty_ns = 120.0;
+  /// Fixed CPU cost per executed data command (dispatch, callback).
+  double command_cpu_ns = 14.0;
+  /// CPU cost per routed data command element: partition-table lookup,
+  /// outgoing-buffer append, incoming-buffer drain and dispatch.
+  double routing_cpu_ns = 30.0;
+  /// Cache line size used for traffic accounting.
+  uint32_t line_bytes = 64;
+  /// Local memcpy bandwidth (GB/s) for buffer-flush copies.
+  double copy_gbps = 12.0;
+};
+
+/// \brief Analytic per-access costs on a given machine.
+class CostModel {
+ public:
+  explicit CostModel(const numa::Topology& topology,
+                     CostModelParams params = {});
+
+  const numa::Topology& topology() const { return *topology_; }
+  const CostModelParams& params() const { return params_; }
+
+  /// One step of a dependent pointer chase: full latency, no overlap.
+  double DependentReadNs(numa::NodeId src, numa::NodeId home) const {
+    return topology_->LatencyNs(src, home);
+  }
+
+  /// `count` independent reads issued as a batch: latency divided by the
+  /// achievable memory-level parallelism.
+  double BatchedReadNs(numa::NodeId src, numa::NodeId home,
+                       uint64_t count) const {
+    return topology_->LatencyNs(src, home) * static_cast<double>(count) /
+           params_.batch_mlp;
+  }
+
+  /// Streaming `bytes` sequentially from `home` into `src`: bandwidth-bound.
+  double StreamNs(numa::NodeId src, numa::NodeId home, uint64_t bytes) const {
+    return static_cast<double>(bytes) / topology_->BandwidthGbps(src, home);
+  }
+
+  /// Average dependent-read latency when lines are interleaved round-robin
+  /// over all nodes (the numactl --interleave=all baseline).
+  double InterleavedReadNs(numa::NodeId src) const {
+    return interleaved_lat_[src];
+  }
+
+  /// Average streaming bandwidth (GB/s) from interleaved memory: harmonic
+  /// mean over homes, since each stride alternates across homes.
+  double InterleavedBandwidthGbps(numa::NodeId src) const {
+    return interleaved_bw_[src];
+  }
+
+  double InterleavedStreamNs(numa::NodeId src, uint64_t bytes) const {
+    return static_cast<double>(bytes) / interleaved_bw_[src];
+  }
+
+  /// Fixed cost of delivering one outgoing-buffer flush into a (typically
+  /// remote) incoming buffer: the latch-free descriptor CAS plus the first
+  /// line transfer — a round trip at remote latency. Small outgoing buffers
+  /// pay this per command; large ones amortize it (the Figure 5 mechanism).
+  double FlushOverheadNs(numa::NodeId src) const {
+    return 2.0 * interleaved_lat_[src];
+  }
+
+ private:
+  const numa::Topology* topology_;
+  CostModelParams params_;
+  std::vector<double> interleaved_lat_;
+  std::vector<double> interleaved_bw_;
+};
+
+}  // namespace eris::sim

@@ -1,0 +1,82 @@
+// Energy model over the resource-usage accounting (paper future work).
+//
+// The paper's conclusions name energy awareness as the next research
+// direction for the data-oriented architecture: "AEUs always run at full
+// speed and are thus consuming a high amount of energy ... we want to
+// investigate the impact of frequency scaling, different scheduling
+// policies, foreign memory accesses, and load balancing on the energy
+// consumption." This model quantifies exactly those levers on top of the
+// deterministic resource accounting: per-core busy/idle split over the
+// run's critical time, DRAM energy per byte, interconnect energy per byte
+// (foreign accesses), and an optional idle-DVFS mode that lowers the idle
+// floor — which makes load balancing an energy feature: a balanced run
+// shortens the critical path and converts idle-burn into completion.
+#pragma once
+
+#include "sim/resource_usage.h"
+
+namespace eris::sim {
+
+struct EnergyParams {
+  /// Power draw of one core while executing (full speed, the AEU default).
+  double core_busy_watts = 6.0;
+  /// Idle power of a core at nominal frequency (AEU spinning on its loop).
+  double core_idle_watts = 2.0;
+  /// Idle power with frequency scaling / idle states enabled.
+  double core_idle_dvfs_watts = 0.6;
+  /// DRAM energy per byte moved through a memory controller.
+  double dram_nj_per_byte = 0.47;
+  /// Interconnect energy per byte crossing a link (foreign accesses).
+  double link_nj_per_byte = 1.1;
+  /// Static (uncore, board) power per NUMA node.
+  double node_static_watts = 20.0;
+};
+
+/// Energy breakdown of one measured window (joules).
+struct EnergyBreakdown {
+  double busy = 0;     ///< cores, active cycles
+  double idle = 0;     ///< cores, idle cycles within the critical time
+  double dram = 0;     ///< memory-controller traffic
+  double link = 0;     ///< interconnect traffic
+  double static_ = 0;  ///< per-node static power over the window
+
+  double total() const { return busy + idle + dram + link + static_; }
+};
+
+/// \brief Computes the energy of the workload window captured in `usage`.
+class EnergyModel {
+ public:
+  explicit EnergyModel(EnergyParams params = {}) : params_(params) {}
+
+  /// Breakdown over usage's critical time. `dvfs_idle` selects the
+  /// frequency-scaled idle floor (the paper's proposed mitigation for
+  /// always-full-speed AEUs).
+  EnergyBreakdown Compute(const ResourceUsage& usage,
+                          bool dvfs_idle = false) const {
+    EnergyBreakdown e;
+    const double window_s = usage.CriticalTimeNs() / 1e9;
+    const uint32_t workers = usage.num_workers();
+    const double idle_watts =
+        dvfs_idle ? params_.core_idle_dvfs_watts : params_.core_idle_watts;
+    for (uint32_t w = 0; w < workers; ++w) {
+      double busy_s = usage.WorkerComputeNs(w) / 1e9;
+      busy_s = std::min(busy_s, window_s);
+      e.busy += busy_s * params_.core_busy_watts;
+      e.idle += (window_s - busy_s) * idle_watts;
+    }
+    e.dram = static_cast<double>(usage.TotalMemCtrlBytes()) *
+             params_.dram_nj_per_byte * 1e-9;
+    e.link = static_cast<double>(usage.TotalLinkBytes()) *
+             params_.link_nj_per_byte * 1e-9;
+    e.static_ = window_s * params_.node_static_watts *
+                usage.topology().num_nodes();
+    return e;
+  }
+
+  const EnergyParams& params() const { return params_; }
+
+ private:
+  EnergyParams params_;
+};
+
+}  // namespace eris::sim

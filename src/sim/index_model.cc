@@ -1,0 +1,78 @@
+#include "sim/index_model.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace eris::sim {
+
+double CachedLevels(const TreeShape& shape, double cache_budget_bytes) {
+  if (shape.levels == 0 || shape.bytes == 0) return 0.0;
+  double budget = cache_budget_bytes;
+  double cached = 0.0;
+  for (uint32_t level = 0; level < shape.levels; ++level) {
+    // Bytes at this level: the leaf level holds almost everything; each
+    // level up shrinks by the fanout.
+    double level_bytes =
+        static_cast<double>(shape.bytes) /
+        std::pow(static_cast<double>(shape.fanout),
+                 static_cast<double>(shape.levels - 1 - level));
+    if (level_bytes <= budget) {
+      cached += 1.0;
+      budget -= level_bytes;
+    } else {
+      cached += budget / level_bytes;
+      break;
+    }
+  }
+  return std::min<double>(cached, shape.levels);
+}
+
+PointOpCost BatchPointOpCost(const CostModel& model, numa::NodeId src,
+                             numa::NodeId home, const TreeShape& shape,
+                             double cache_budget_bytes, uint64_t count,
+                             bool interleaved, bool is_write,
+                             bool coherence_writes) {
+  PointOpCost cost;
+  if (count == 0 || shape.levels == 0) return cost;
+  const CostModelParams& p = model.params();
+  double cached = CachedLevels(shape, cache_budget_bytes);
+  double uncached = static_cast<double>(shape.levels) - cached;
+  double n = static_cast<double>(count);
+
+  double hit_ns = cached * p.upper_hit_ns;
+  double miss_lat = interleaved ? model.InterleavedReadNs(src)
+                                : model.DependentReadNs(src, home);
+  // Within one operation the level accesses are dependent (pointer chase),
+  // but a batch of operations overlaps up to batch_mlp chases.
+  double miss_ns = uncached * miss_lat / p.batch_mlp;
+  double write_ns = 0;
+  if (is_write) {
+    // Dirtying the leaf line: store + eventual writeback.
+    write_ns = 0.5 * miss_lat / p.batch_mlp;
+    if (coherence_writes) {
+      // Invalidation round for the leaf line plus contended upper levels.
+      write_ns += p.coherence_write_penalty_ns;
+    }
+  }
+  cost.compute_ns = n * (hit_ns + miss_ns + write_ns + p.command_cpu_ns);
+
+  double miss_lines = n * uncached;
+  if (is_write) miss_lines += 0.5 * n;  // writebacks of dirtied leaf lines
+  cost.dram_bytes = static_cast<uint64_t>(miss_lines * p.line_bytes);
+  if (interleaved) {
+    // With round-robin line placement, (nodes-1)/nodes of misses are remote.
+    uint32_t nodes = model.topology().num_nodes();
+    cost.remote_bytes = static_cast<uint64_t>(
+        static_cast<double>(cost.dram_bytes) *
+        (nodes > 0 ? static_cast<double>(nodes - 1) / nodes : 0.0));
+    if (is_write && coherence_writes) {
+      // Ownership transfers of written lines add link traffic.
+      cost.remote_bytes += static_cast<uint64_t>(n) * p.line_bytes;
+    }
+  } else if (src != home) {
+    cost.remote_bytes = cost.dram_bytes;
+  }
+  return cost;
+}
+
+}  // namespace eris::sim

@@ -1,0 +1,56 @@
+// Analytic cost model for prefix-tree index operations.
+//
+// Converts a tree's shape into modeled per-operation costs under a given
+// cache budget. The key mechanism (paper Sections 4.2.1/4.2.3): the upper
+// tree levels are tiny and stay cache resident; lower levels miss to memory.
+// ERIS partitions give every AEU a private subtree, so the aggregate cache
+// of the machine holds the union of all partitions' upper levels — adding
+// multiprocessors adds cache, which is what makes ERIS' lookup scaling
+// superlinear. The shared index replicates the same hot upper levels into
+// every cache (Shared/Forward lines), so its effective cache does not grow
+// with the node count and it becomes memory bound earlier.
+#pragma once
+
+#include <cstdint>
+
+#include "sim/cost_model.h"
+
+namespace eris::sim {
+
+/// Geometry of one prefix tree (or one partition's subtree).
+struct TreeShape {
+  uint32_t levels = 0;   ///< tree depth including the leaf level
+  uint32_t fanout = 256; ///< children per interior node
+  uint64_t keys = 0;     ///< entries stored
+  uint64_t bytes = 0;    ///< total node memory
+};
+
+/// \brief Number of tree levels (from the root, fractional) that fit into
+///        `cache_budget_bytes`.
+///
+/// Level d (root = 0) holds roughly bytes/fanout^(levels-1-d): node count
+/// shrinks by the fanout per level upward. The returned value is clamped to
+/// [0, levels] and the boundary level is covered fractionally.
+double CachedLevels(const TreeShape& shape, double cache_budget_bytes);
+
+/// \brief Modeled time for a batch of `count` point operations (lookup or
+///        upsert) against a tree whose memory is homed at `home`.
+///
+/// Per operation: cached levels cost upper_hit_ns each; uncached levels are
+/// independent reads overlapped with the batch MLP at the latency of
+/// (src -> home). When `interleaved` is set, the uncached accesses pay the
+/// average interleaved latency of `src` instead (the NUMA-agnostic shared
+/// index), and `coherence_writes` adds the invalidation penalty per write
+/// to lines replicated in other caches.
+struct PointOpCost {
+  double compute_ns = 0;       ///< time charged to the issuing worker
+  uint64_t dram_bytes = 0;     ///< memory-controller traffic generated
+  uint64_t remote_bytes = 0;   ///< portion of dram_bytes crossing links
+};
+PointOpCost BatchPointOpCost(const CostModel& model, numa::NodeId src,
+                             numa::NodeId home, const TreeShape& shape,
+                             double cache_budget_bytes, uint64_t count,
+                             bool interleaved, bool is_write,
+                             bool coherence_writes);
+
+}  // namespace eris::sim

@@ -1,0 +1,130 @@
+#include "sim/resource_usage.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "common/logging.h"
+
+namespace eris::sim {
+
+ResourceUsage::ResourceUsage(const numa::Topology& topology,
+                             uint32_t num_workers)
+    : topology_(&topology),
+      compute_ns_(num_workers),
+      link_bytes_(topology.num_links()),
+      mc_bytes_(topology.num_nodes()) {
+  Reset();
+}
+
+void ResourceUsage::AddComputeNs(uint32_t worker, double ns) {
+  ERIS_DCHECK(worker < compute_ns_.size());
+  // Workers own their slot; a relaxed read-modify-write is sufficient.
+  auto& slot = compute_ns_[worker].v;
+  double cur = slot.load(std::memory_order_relaxed);
+  while (!slot.compare_exchange_weak(cur, cur + ns,
+                                     std::memory_order_relaxed)) {
+  }
+}
+
+void ResourceUsage::AddMemoryTraffic(numa::NodeId src, numa::NodeId dst,
+                                     uint64_t bytes) {
+  mc_bytes_[dst].fetch_add(bytes, std::memory_order_relaxed);
+  AddLinkTraffic(src, dst, bytes);
+}
+
+void ResourceUsage::AddLinkTraffic(numa::NodeId src, numa::NodeId dst,
+                                   uint64_t bytes) {
+  // Spread over the equal-hop routes, modeling adaptive interconnect
+  // routing.
+  const auto& routes = topology_->Routes(src, dst);
+  uint64_t share = bytes / routes.size();
+  for (const auto& route : routes) {
+    for (numa::LinkId id : route)
+      link_bytes_[id].fetch_add(share, std::memory_order_relaxed);
+  }
+}
+
+void ResourceUsage::AddRoutedBytes(numa::NodeId src, numa::NodeId dst,
+                                   uint64_t bytes) {
+  // The flush memcpy writes into the target's incoming buffer: the
+  // destination memory controller and the route links carry the bytes (the
+  // source side reads freshly written outgoing buffers from its caches).
+  mc_bytes_[dst].fetch_add(bytes, std::memory_order_relaxed);
+  AddLinkTraffic(src, dst, bytes);
+}
+
+void ResourceUsage::Reset() {
+  for (auto& c : compute_ns_) c.v.store(0.0, std::memory_order_relaxed);
+  for (auto& b : link_bytes_) b.store(0, std::memory_order_relaxed);
+  for (auto& b : mc_bytes_) b.store(0, std::memory_order_relaxed);
+}
+
+double ResourceUsage::WorkerComputeNs(uint32_t worker) const {
+  return compute_ns_[worker].v.load(std::memory_order_relaxed);
+}
+
+double ResourceUsage::MaxWorkerComputeNs() const {
+  double mx = 0;
+  for (const auto& c : compute_ns_)
+    mx = std::max(mx, c.v.load(std::memory_order_relaxed));
+  return mx;
+}
+
+uint64_t ResourceUsage::LinkBytes(numa::LinkId link) const {
+  return link_bytes_[link].load(std::memory_order_relaxed);
+}
+
+uint64_t ResourceUsage::MemCtrlBytes(numa::NodeId node) const {
+  return mc_bytes_[node].load(std::memory_order_relaxed);
+}
+
+uint64_t ResourceUsage::TotalLinkBytes() const {
+  uint64_t total = 0;
+  for (const auto& b : link_bytes_) total += b.load(std::memory_order_relaxed);
+  return total;
+}
+
+uint64_t ResourceUsage::TotalMemCtrlBytes() const {
+  uint64_t total = 0;
+  for (const auto& b : mc_bytes_) total += b.load(std::memory_order_relaxed);
+  return total;
+}
+
+double ResourceUsage::LinkTimeNs() const {
+  // Links are full duplex; byte counters are direction-less, so a link
+  // moves up to 2x its per-direction bandwidth worth of counted bytes.
+  constexpr double kDuplexFactor = 2.0;
+  double mx = 0;
+  for (numa::LinkId id = 0; id < link_bytes_.size(); ++id) {
+    double gbps = topology_->link(id).bandwidth_gbps * kDuplexFactor;
+    if (gbps <= 0) continue;
+    double ns = static_cast<double>(LinkBytes(id)) / gbps;  // bytes/GBps = ns
+    mx = std::max(mx, ns);
+  }
+  return mx;
+}
+
+double ResourceUsage::MemCtrlTimeNs() const {
+  double mx = 0;
+  for (numa::NodeId n = 0; n < topology_->num_nodes(); ++n) {
+    double gbps = topology_->LocalBandwidthGbps(n);
+    double ns = static_cast<double>(MemCtrlBytes(n)) / gbps;
+    mx = std::max(mx, ns);
+  }
+  return mx;
+}
+
+double ResourceUsage::CriticalTimeNs() const {
+  return std::max({MaxWorkerComputeNs(), LinkTimeNs(), MemCtrlTimeNs()});
+}
+
+std::string ResourceUsage::ToString() const {
+  std::ostringstream os;
+  os << "compute max " << MaxWorkerComputeNs() / 1e6 << " ms, link time "
+     << LinkTimeNs() / 1e6 << " ms, mc time " << MemCtrlTimeNs() / 1e6
+     << " ms; total link bytes " << TotalLinkBytes() << ", total mc bytes "
+     << TotalMemCtrlBytes();
+  return os.str();
+}
+
+}  // namespace eris::sim

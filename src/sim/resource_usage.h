@@ -1,0 +1,80 @@
+// Bottleneck accounting for deterministic performance simulation.
+//
+// The simulated-time mode of ERIS models throughput by bottleneck analysis:
+// every worker accumulates modeled compute/stall nanoseconds, every memory
+// transfer adds bytes to the memory controller of the home node and to every
+// interconnect link on the route between accessor and home. The simulated
+// wall time of an experiment is the maximum over all resources of
+// (work on resource / capacity of resource); throughput = work / time.
+// This reproduces the phenomena the paper measures with hardware counters
+// (link saturation, memory-controller limits) without NUMA hardware.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "numa/topology.h"
+
+namespace eris::sim {
+
+/// \brief Thread-safe accumulator of per-resource work.
+///
+/// Slots: one compute slot per worker, one byte counter per interconnect
+/// link, one byte counter per node memory controller.
+class ResourceUsage {
+ public:
+  ResourceUsage(const numa::Topology& topology, uint32_t num_workers);
+
+  /// Adds modeled busy time to worker `worker`.
+  void AddComputeNs(uint32_t worker, double ns);
+
+  /// Adds `bytes` of traffic to every link on the route src->dst and to the
+  /// memory controller of `dst`. A local access (src == dst) touches only
+  /// the memory controller.
+  void AddMemoryTraffic(numa::NodeId src, numa::NodeId dst, uint64_t bytes);
+
+  /// Command-routing traffic: charges the route links and the destination
+  /// memory controller (the flush writes into the target's incoming
+  /// buffer; the source reads its just-written outgoing buffer from cache).
+  void AddRoutedBytes(numa::NodeId src, numa::NodeId dst, uint64_t bytes);
+
+  /// Link-only traffic, spread over all equal-hop routes of the pair.
+  void AddLinkTraffic(numa::NodeId src, numa::NodeId dst, uint64_t bytes);
+
+  void Reset();
+
+  /// Simulated elapsed time: max over all resources.
+  double CriticalTimeNs() const;
+
+  double WorkerComputeNs(uint32_t worker) const;
+  double MaxWorkerComputeNs() const;
+  uint64_t LinkBytes(numa::LinkId link) const;
+  uint64_t MemCtrlBytes(numa::NodeId node) const;
+  uint64_t TotalLinkBytes() const;
+  uint64_t TotalMemCtrlBytes() const;
+
+  /// Time the most loaded link needs for its bytes.
+  double LinkTimeNs() const;
+  /// Time the most loaded memory controller needs for its bytes.
+  double MemCtrlTimeNs() const;
+
+  const numa::Topology& topology() const { return *topology_; }
+  uint32_t num_workers() const { return static_cast<uint32_t>(compute_ns_.size()); }
+
+  /// Human-readable resource report (top links/controllers).
+  std::string ToString() const;
+
+ private:
+  struct alignas(64) PaddedDouble {
+    std::atomic<double> v{0.0};
+  };
+
+  const numa::Topology* topology_;
+  std::vector<PaddedDouble> compute_ns_;
+  std::vector<std::atomic<uint64_t>> link_bytes_;
+  std::vector<std::atomic<uint64_t>> mc_bytes_;
+};
+
+}  // namespace eris::sim

@@ -1,0 +1,149 @@
+#include "storage/column_store.h"
+
+namespace eris::storage {
+
+ColumnStore::ColumnStore(numa::NodeMemoryManager* memory) : memory_(memory) {
+  ERIS_CHECK(memory != nullptr);
+}
+
+ColumnStore::~ColumnStore() { Clear(); }
+
+ColumnStore::ColumnStore(ColumnStore&& other) noexcept
+    : memory_(other.memory_),
+      segments_(std::move(other.segments_)),
+      size_(other.size_) {
+  other.segments_.clear();
+  other.size_ = 0;
+}
+
+ColumnStore& ColumnStore::operator=(ColumnStore&& other) noexcept {
+  if (this != &other) {
+    Clear();
+    memory_ = other.memory_;
+    segments_ = std::move(other.segments_);
+    size_ = other.size_;
+    other.segments_.clear();
+    other.size_ = 0;
+  }
+  return *this;
+}
+
+void ColumnStore::Clear() {
+  for (Value* seg : segments_)
+    memory_->Free(seg, kSegmentCapacity * sizeof(Value));
+  segments_.clear();
+  size_ = 0;
+}
+
+Value* ColumnStore::NewSegment() {
+  return static_cast<Value*>(
+      memory_->Allocate(kSegmentCapacity * sizeof(Value)));
+}
+
+TupleId ColumnStore::Append(Value v) {
+  size_t offset = size_ % kSegmentCapacity;
+  if (offset == 0 && size_ == segments_.size() * kSegmentCapacity)
+    segments_.push_back(NewSegment());
+  segments_.back()[offset] = v;
+  return size_++;
+}
+
+void ColumnStore::AppendBatch(std::span<const Value> values) {
+  size_t i = 0;
+  while (i < values.size()) {
+    size_t offset = size_ % kSegmentCapacity;
+    if (offset == 0 && size_ == segments_.size() * kSegmentCapacity) {
+      segments_.push_back(NewSegment());
+    }
+    size_t room = kSegmentCapacity - offset;
+    size_t n = std::min(room, values.size() - i);
+    std::memcpy(segments_.back() + offset, values.data() + i,
+                n * sizeof(Value));
+    size_ += n;
+    i += n;
+  }
+}
+
+uint64_t ColumnStore::ScanSum(Value lo, Value hi) const {
+  uint64_t sum = 0;
+  for (size_t s = 0; s < segments_.size(); ++s) {
+    const Value* seg = segments_[s];
+    size_t n = SegmentSize(s);
+    for (size_t i = 0; i < n; ++i) {
+      Value v = seg[i];
+      // Branch-free predicated add keeps the loop bandwidth-bound.
+      sum += (v >= lo && v <= hi) ? v : 0;
+    }
+  }
+  return sum;
+}
+
+uint64_t ColumnStore::ScanCount(Value lo, Value hi) const {
+  uint64_t count = 0;
+  for (size_t s = 0; s < segments_.size(); ++s) {
+    const Value* seg = segments_[s];
+    size_t n = SegmentSize(s);
+    for (size_t i = 0; i < n; ++i) {
+      count += (seg[i] >= lo && seg[i] <= hi) ? 1 : 0;
+    }
+  }
+  return count;
+}
+
+uint64_t ColumnStore::ScanCollect(Value lo, Value hi,
+                                  std::vector<TupleId>* out) const {
+  uint64_t count = 0;
+  TupleId tid = 0;
+  for (size_t s = 0; s < segments_.size(); ++s) {
+    const Value* seg = segments_[s];
+    size_t n = SegmentSize(s);
+    for (size_t i = 0; i < n; ++i, ++tid) {
+      if (seg[i] >= lo && seg[i] <= hi) {
+        out->push_back(tid);
+        ++count;
+      }
+    }
+  }
+  return count;
+}
+
+ColumnStore ColumnStore::SplitTail(TupleId from_tid) {
+  ColumnStore tail(memory_);
+  if (from_tid >= size_) return tail;
+  if (from_tid % kSegmentCapacity == 0) {
+    // Structural move of whole segments.
+    size_t first_seg = from_tid / kSegmentCapacity;
+    tail.segments_.assign(segments_.begin() + static_cast<ptrdiff_t>(first_seg),
+                          segments_.end());
+    tail.size_ = size_ - from_tid;
+    segments_.resize(first_seg);
+    size_ = from_tid;
+    return tail;
+  }
+  // Unaligned boundary: copy the tail values, then truncate.
+  for (TupleId t = from_tid; t < size_; ++t) tail.Append(Get(t));
+  // Free now-unused whole segments past the boundary.
+  size_t needed_segs = static_cast<size_t>(eris::CeilDiv(from_tid, kSegmentCapacity));
+  if (from_tid == 0) needed_segs = 0;
+  for (size_t s = needed_segs; s < segments_.size(); ++s)
+    memory_->Free(segments_[s], kSegmentCapacity * sizeof(Value));
+  segments_.resize(needed_segs);
+  size_ = from_tid;
+  return tail;
+}
+
+void ColumnStore::Absorb(ColumnStore&& other) {
+  if (other.size_ == 0) return;
+  if (other.memory_ == memory_ && size_ % kSegmentCapacity == 0) {
+    segments_.insert(segments_.end(), other.segments_.begin(),
+                     other.segments_.end());
+    size_ += other.size_;
+    other.segments_.clear();
+    other.size_ = 0;
+    return;
+  }
+  other.ForEach([this](TupleId, Value v) { Append(v); });
+  other.Clear();
+}
+
+}  // namespace eris::storage

@@ -1,0 +1,115 @@
+// Segmented append-only column store.
+//
+// A column is a sequence of fixed-size segments allocated from the owning
+// NUMA node's memory manager. Segments make the load balancer's transfers
+// cheap: intra-node "link" transfer moves segment pointers, inter-node
+// "copy" transfer streams raw segment payloads. Scans run directly over the
+// contiguous segment arrays (bandwidth-bound, the paper's Figure 9 workload).
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <span>
+#include <vector>
+
+#include "common/bit_util.h"
+#include "common/logging.h"
+#include "numa/memory_manager.h"
+#include "storage/types.h"
+
+namespace eris::storage {
+
+/// \brief Single-writer append-only column of 64-bit values.
+class ColumnStore {
+ public:
+  /// Values per segment. 64K entries = 512 KiB per segment.
+  static constexpr size_t kSegmentCapacity = 64 * 1024;
+
+  explicit ColumnStore(numa::NodeMemoryManager* memory);
+  ~ColumnStore();
+
+  ColumnStore(ColumnStore&& other) noexcept;
+  ColumnStore& operator=(ColumnStore&& other) noexcept;
+  ColumnStore(const ColumnStore&) = delete;
+  ColumnStore& operator=(const ColumnStore&) = delete;
+
+  /// Appends one value; returns its tuple id.
+  TupleId Append(Value v);
+
+  /// Appends a batch of values.
+  void AppendBatch(std::span<const Value> values);
+
+  /// Value at tuple id `tid` (must be < size()).
+  Value Get(TupleId tid) const {
+    ERIS_DCHECK(tid < size_);
+    return segments_[tid / kSegmentCapacity][tid % kSegmentCapacity];
+  }
+
+  /// Overwrites the value at `tid` (used by the MVCC layer's in-place
+  /// current version).
+  void Set(TupleId tid, Value v) {
+    ERIS_DCHECK(tid < size_);
+    segments_[tid / kSegmentCapacity][tid % kSegmentCapacity] = v;
+  }
+
+  uint64_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+  uint64_t memory_bytes() const {
+    return segments_.size() * kSegmentCapacity * sizeof(Value);
+  }
+  size_t num_segments() const { return segments_.size(); }
+  numa::NodeMemoryManager* memory_manager() const { return memory_; }
+
+  /// Applies fn(tid, value) to every tuple. Runs over raw segment arrays.
+  template <typename Fn>
+  void ForEach(Fn&& fn) const {
+    TupleId tid = 0;
+    for (size_t s = 0; s < segments_.size(); ++s) {
+      const Value* seg = segments_[s];
+      size_t n = SegmentSize(s);
+      for (size_t i = 0; i < n; ++i) fn(tid++, seg[i]);
+    }
+  }
+
+  /// Sums all values in [lo, hi] — the scan kernel used by the benches;
+  /// deliberately simple so it is memory-bandwidth-bound.
+  uint64_t ScanSum(Value lo, Value hi) const;
+
+  /// Counts values in [lo, hi].
+  uint64_t ScanCount(Value lo, Value hi) const;
+
+  /// Collects tuple ids with value in [lo, hi] into `out`; returns count.
+  uint64_t ScanCollect(Value lo, Value hi, std::vector<TupleId>* out) const;
+
+  /// Detaches the trailing segments holding tuple ids >= `from_tid`
+  /// (rounded down to a segment boundary internally is NOT done — from_tid
+  /// must be segment aligned for a structural move; otherwise values are
+  /// copied). Returns a column owning the moved tail.
+  ColumnStore SplitTail(TupleId from_tid);
+
+  /// Appends all tuples of `other` to this column. When both columns share
+  /// a memory manager and this column's size is segment-aligned, segments
+  /// are relinked without copying.
+  void Absorb(ColumnStore&& other);
+
+  /// Raw read access to segment `s` (for serialization and scans).
+  std::span<const Value> Segment(size_t s) const {
+    return {segments_[s], SegmentSize(s)};
+  }
+
+  void Clear();
+
+ private:
+  size_t SegmentSize(size_t s) const {
+    return s + 1 == segments_.size()
+               ? size_ - (segments_.size() - 1) * kSegmentCapacity
+               : kSegmentCapacity;
+  }
+  Value* NewSegment();
+
+  numa::NodeMemoryManager* memory_;
+  std::vector<Value*> segments_;
+  uint64_t size_ = 0;
+};
+
+}  // namespace eris::storage

@@ -1,0 +1,86 @@
+#include "storage/csb_tree.h"
+
+#include <algorithm>
+
+namespace eris::storage {
+
+CsbTree::CsbTree(std::span<const uint64_t> keys,
+                 std::span<const uint32_t> payloads) {
+  ERIS_CHECK_EQ(keys.size(), payloads.size());
+  leaf_keys_.assign(keys.begin(), keys.end());
+  payloads_.assign(payloads.begin(), payloads.end());
+  for (size_t i = 1; i < leaf_keys_.size(); ++i)
+    ERIS_CHECK_LT(leaf_keys_[i - 1], leaf_keys_[i])
+        << "CsbTree keys must be strictly increasing";
+  if (leaf_keys_.size() <= kNodeKeys) return;  // root searches leaves directly
+
+  // Build internal levels bottom-up. The lowest internal level's node i
+  // covers leaf groups [i*K, ...]; a "child" of that level is one group of
+  // up to kNodeKeys leaf entries.
+  size_t num_children = (leaf_keys_.size() + kNodeKeys - 1) / kNodeKeys;
+  // first_key_of_child for the leaf groups:
+  std::vector<uint64_t> child_first_key(num_children);
+  for (size_t g = 0; g < num_children; ++g)
+    child_first_key[g] = leaf_keys_[g * kNodeKeys];
+
+  while (true) {
+    size_t num_nodes = (num_children + kNodeKeys - 1) / kNodeKeys;
+    std::vector<Node> level(num_nodes);
+    std::vector<uint64_t> next_first_key(num_nodes);
+    for (size_t n = 0; n < num_nodes; ++n) {
+      size_t first = n * kNodeKeys;
+      size_t count = std::min<size_t>(kNodeKeys, num_children - first);
+      Node& node = level[n];
+      node.first_child = static_cast<uint32_t>(first);
+      node.num_children = static_cast<uint16_t>(count);
+      for (size_t c = 1; c < count; ++c)
+        node.keys[c - 1] = child_first_key[first + c];
+      next_first_key[n] = child_first_key[first];
+    }
+    levels_.push_back(std::move(level));
+    if (num_nodes == 1) break;
+    num_children = num_nodes;
+    child_first_key = std::move(next_first_key);
+  }
+  // Levels were built bottom-up; reverse so levels_[0] is the root.
+  std::reverse(levels_.begin(), levels_.end());
+}
+
+size_t CsbTree::LowerBound(uint64_t needle) const {
+  if (leaf_keys_.empty()) return 0;
+  if (levels_.empty()) {
+    return static_cast<size_t>(
+        std::lower_bound(leaf_keys_.begin(), leaf_keys_.end(), needle) -
+        leaf_keys_.begin());
+  }
+  // Descend: pick the last child whose first key is <= needle.
+  uint32_t child = 0;
+  for (size_t lvl = 0; lvl < levels_.size(); ++lvl) {
+    const Node& node = levels_[lvl][child];
+    uint32_t pos = 0;
+    while (pos + 1 < node.num_children && node.keys[pos] <= needle) ++pos;
+    child = node.first_child + pos;
+  }
+  // `child` is now a leaf group index.
+  size_t begin = static_cast<size_t>(child) * kNodeKeys;
+  size_t end = std::min(begin + kNodeKeys, leaf_keys_.size());
+  size_t i = begin;
+  while (i < end && leaf_keys_[i] < needle) ++i;
+  if (i == end && end < leaf_keys_.size()) return end;
+  return i;
+}
+
+size_t CsbTree::UpperBound(uint64_t needle) const {
+  size_t i = LowerBound(needle);
+  if (i < leaf_keys_.size() && leaf_keys_[i] == needle) ++i;
+  return i;
+}
+
+size_t CsbTree::memory_bytes() const {
+  size_t bytes = leaf_keys_.size() * sizeof(uint64_t) +
+                 payloads_.size() * sizeof(uint32_t);
+  for (const auto& level : levels_) bytes += level.size() * sizeof(Node);
+  return bytes;
+}
+
+}  // namespace eris::storage

@@ -1,0 +1,71 @@
+// Cache-Sensitive B+-Tree (CSB+-Tree, Rao & Ross SIGMOD'00).
+//
+// ERIS stores its range partition tables in a CSB+-Tree: it outperforms a
+// flat array for sparsely distributed boundaries and scales with the number
+// of AEUs, and its read path is cache friendly because all children of a
+// node are contiguous, so a node stores a single first-child index instead
+// of one pointer per child.
+//
+// The partition-table usage pattern is read-heavy (every routed command) and
+// update-rare (only during load balancing), so this implementation is a
+// static search structure bulk-built from sorted (key, payload) pairs;
+// updates rebuild (the RangePartitionTable wrapper keeps the mutable view).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/logging.h"
+
+namespace eris::storage {
+
+/// \brief Static CSB+-tree mapping sorted uint64 boundaries to uint32
+///        payloads with upper-bound search.
+class CsbTree {
+ public:
+  /// Keys per node; children per internal node = kNodeKeys + 1 at most, but
+  /// we use a full multiway layout where each internal node covers up to
+  /// kNodeKeys children with kNodeKeys separator keys (first-key-of-child).
+  static constexpr uint32_t kNodeKeys = 16;
+
+  CsbTree() = default;
+
+  /// Builds from strictly increasing keys and their payloads.
+  CsbTree(std::span<const uint64_t> keys, std::span<const uint32_t> payloads);
+
+  /// Index of the first key > `needle`, or size() when none.
+  /// With keys = exclusive upper bounds of ranges, this is the range owner.
+  size_t UpperBound(uint64_t needle) const;
+
+  /// Index of the first key >= `needle`, or size() when none.
+  size_t LowerBound(uint64_t needle) const;
+
+  /// Payload at entry index i.
+  uint32_t payload(size_t i) const { return payloads_[i]; }
+  uint64_t key(size_t i) const { return leaf_keys_[i]; }
+  size_t size() const { return leaf_keys_.size(); }
+  bool empty() const { return leaf_keys_.empty(); }
+
+  /// Bytes used by the search structure (for stats/benches).
+  size_t memory_bytes() const;
+
+  /// Number of levels including the leaf array.
+  uint32_t levels() const { return static_cast<uint32_t>(levels_.size()) + 1; }
+
+ private:
+  struct Node {
+    // First key of each covered child except the first (separators).
+    uint64_t keys[kNodeKeys - 1];
+    uint32_t first_child = 0;  // index into the next-lower level
+    uint16_t num_children = 0;
+  };
+
+  // levels_[0] is the root level (single node); the last internal level's
+  // children index into the leaf arrays in groups of kNodeKeys.
+  std::vector<std::vector<Node>> levels_;
+  std::vector<uint64_t> leaf_keys_;
+  std::vector<uint32_t> payloads_;
+};
+
+}  // namespace eris::storage

@@ -1,0 +1,62 @@
+// Data-object metadata.
+#pragma once
+
+#include <string>
+
+#include "storage/prefix_tree.h"
+#include "storage/types.h"
+
+namespace eris::storage {
+
+/// \brief Schema-level description of a data object (a table column or an
+///        index) stored in ERIS.
+///
+/// The container kind fixes the physical representation of every partition;
+/// the partitioning kind fixes how the object is split over AEUs and which
+/// partition-table flavor routes its commands:
+///  * kRange  -> range partition table (CSB+-tree), order preserving.
+///  * kPhysical -> bitmap partition table, multicast full scans, balanced by
+///    physical partition size.
+struct DataObjectDesc {
+  ObjectId id = 0;
+  std::string name;
+  ContainerKind container = ContainerKind::kIndex;
+  PartitioningKind partitioning = PartitioningKind::kRange;
+  /// Tree geometry for kIndex containers.
+  PrefixTreeConfig index_config;
+  /// Exclusive upper bound of the key domain (range-partitioned objects).
+  /// The load balancer interpolates boundaries within this domain.
+  Key domain_hi = kMaxKey;
+
+  /// The canonical pairing used throughout the paper: indexes and hash
+  /// tables are range partitioned (hash tables use per-partition hash
+  /// functions), whole-scan columns are physically partitioned.
+  static DataObjectDesc Index(ObjectId id, std::string name,
+                              PrefixTreeConfig config = {}) {
+    DataObjectDesc d;
+    d.id = id;
+    d.name = std::move(name);
+    d.container = ContainerKind::kIndex;
+    d.partitioning = PartitioningKind::kRange;
+    d.index_config = config;
+    return d;
+  }
+  static DataObjectDesc Column(ObjectId id, std::string name) {
+    DataObjectDesc d;
+    d.id = id;
+    d.name = std::move(name);
+    d.container = ContainerKind::kColumn;
+    d.partitioning = PartitioningKind::kPhysical;
+    return d;
+  }
+  static DataObjectDesc Hash(ObjectId id, std::string name) {
+    DataObjectDesc d;
+    d.id = id;
+    d.name = std::move(name);
+    d.container = ContainerKind::kHash;
+    d.partitioning = PartitioningKind::kRange;
+    return d;
+  }
+};
+
+}  // namespace eris::storage

@@ -1,0 +1,158 @@
+#include "storage/hash_table.h"
+
+#include <cstring>
+
+namespace eris::storage {
+
+HashTable::HashTable(numa::NodeMemoryManager* memory, uint64_t salt,
+                     size_t initial_capacity)
+    : memory_(memory), salt_(salt) {
+  ERIS_CHECK(memory != nullptr);
+  AllocateArrays(NextPowerOfTwo(std::max<size_t>(16, initial_capacity)));
+}
+
+HashTable::~HashTable() { FreeArrays(); }
+
+HashTable::HashTable(HashTable&& other) noexcept
+    : memory_(other.memory_),
+      salt_(other.salt_),
+      capacity_(other.capacity_),
+      size_(other.size_),
+      keys_(other.keys_),
+      values_(other.values_),
+      states_(other.states_) {
+  other.capacity_ = 0;
+  other.size_ = 0;
+  other.keys_ = nullptr;
+  other.values_ = nullptr;
+  other.states_ = nullptr;
+}
+
+HashTable& HashTable::operator=(HashTable&& other) noexcept {
+  if (this != &other) {
+    FreeArrays();
+    memory_ = other.memory_;
+    salt_ = other.salt_;
+    capacity_ = other.capacity_;
+    size_ = other.size_;
+    keys_ = other.keys_;
+    values_ = other.values_;
+    states_ = other.states_;
+    other.capacity_ = 0;
+    other.size_ = 0;
+    other.keys_ = nullptr;
+    other.values_ = nullptr;
+    other.states_ = nullptr;
+  }
+  return *this;
+}
+
+void HashTable::AllocateArrays(size_t capacity) {
+  capacity_ = capacity;
+  keys_ = static_cast<Key*>(memory_->Allocate(capacity * sizeof(Key)));
+  values_ = static_cast<Value*>(memory_->Allocate(capacity * sizeof(Value)));
+  states_ = static_cast<SlotState*>(memory_->Allocate(capacity));
+  std::memset(states_, 0, capacity);
+}
+
+void HashTable::FreeArrays() {
+  if (capacity_ == 0) return;
+  memory_->Free(keys_, capacity_ * sizeof(Key));
+  memory_->Free(values_, capacity_ * sizeof(Value));
+  memory_->Free(states_, capacity_);
+  capacity_ = 0;
+  keys_ = nullptr;
+  values_ = nullptr;
+  states_ = nullptr;
+}
+
+void HashTable::Clear() {
+  std::memset(states_, 0, capacity_);
+  size_ = 0;
+}
+
+size_t HashTable::FindSlot(Key key, bool* found) const {
+  size_t i = Slot(key);
+  while (states_[i] == SlotState::kFull) {
+    if (keys_[i] == key) {
+      *found = true;
+      return i;
+    }
+    i = (i + 1) & (capacity_ - 1);
+  }
+  *found = false;
+  return i;
+}
+
+void HashTable::Grow() {
+  size_t old_capacity = capacity_;
+  Key* old_keys = keys_;
+  Value* old_values = values_;
+  SlotState* old_states = states_;
+  AllocateArrays(old_capacity * 2);
+  size_ = 0;
+  for (size_t i = 0; i < old_capacity; ++i) {
+    if (old_states[i] == SlotState::kFull) Insert(old_keys[i], old_values[i]);
+  }
+  memory_->Free(old_keys, old_capacity * sizeof(Key));
+  memory_->Free(old_values, old_capacity * sizeof(Value));
+  memory_->Free(old_states, old_capacity);
+}
+
+bool HashTable::Insert(Key key, Value value) {
+  if (size_ * 10 >= capacity_ * 7) Grow();  // load factor 0.7
+  bool found = false;
+  size_t i = FindSlot(key, &found);
+  if (found) return false;
+  keys_[i] = key;
+  values_[i] = value;
+  states_[i] = SlotState::kFull;
+  ++size_;
+  return true;
+}
+
+bool HashTable::Upsert(Key key, Value value) {
+  if (size_ * 10 >= capacity_ * 7) Grow();
+  bool found = false;
+  size_t i = FindSlot(key, &found);
+  keys_[i] = key;
+  values_[i] = value;
+  if (!found) {
+    states_[i] = SlotState::kFull;
+    ++size_;
+  }
+  return !found;
+}
+
+std::optional<Value> HashTable::Lookup(Key key) const {
+  bool found = false;
+  size_t i = FindSlot(key, &found);
+  if (!found) return std::nullopt;
+  return values_[i];
+}
+
+bool HashTable::Erase(Key key) {
+  bool found = false;
+  size_t i = FindSlot(key, &found);
+  if (!found) return false;
+  // Backward-shift deletion.
+  states_[i] = SlotState::kEmpty;
+  --size_;
+  size_t j = (i + 1) & (capacity_ - 1);
+  while (states_[j] == SlotState::kFull) {
+    size_t home = Slot(keys_[j]);
+    // Can slot j's entry legally move into the hole at i?
+    bool between = (i <= j) ? (home <= i || home > j) : (home <= i && home > j);
+    if (between) {
+      keys_[i] = keys_[j];
+      values_[i] = values_[j];
+      states_[i] = SlotState::kFull;
+      states_[j] = SlotState::kEmpty;
+      i = j;
+    }
+    j = (j + 1) & (capacity_ - 1);
+  }
+  return true;
+}
+
+}  // namespace eris::storage

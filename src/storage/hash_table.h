@@ -1,0 +1,83 @@
+// Per-partition open-addressing hash table.
+//
+// ERIS primarily range-partitions data objects, but supports hash tables by
+// using an independent hash function per partition: the *routing* still uses
+// the order-preserving range partition table on the key, while the storage
+// within a partition is a hash table (useful for point-lookup-only objects
+// and for materializing join hash tables NUMA-locally).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "common/bit_util.h"
+#include "common/logging.h"
+#include "common/rng.h"
+#include "numa/memory_manager.h"
+#include "storage/types.h"
+
+namespace eris::storage {
+
+/// \brief Single-writer linear-probing hash table mapping Key -> Value.
+///
+/// The hash function is salted per instance (= per partition), which spreads
+/// probe sequences differently in every partition.
+class HashTable {
+ public:
+  explicit HashTable(numa::NodeMemoryManager* memory, uint64_t salt = 0,
+                     size_t initial_capacity = 1024);
+  ~HashTable();
+
+  HashTable(HashTable&& other) noexcept;
+  HashTable& operator=(HashTable&& other) noexcept;
+  HashTable(const HashTable&) = delete;
+  HashTable& operator=(const HashTable&) = delete;
+
+  /// Inserts key if absent; returns true when new.
+  bool Insert(Key key, Value value);
+  /// Inserts or overwrites; returns true when the key was new.
+  bool Upsert(Key key, Value value);
+  std::optional<Value> Lookup(Key key) const;
+  /// Removes a key (backward-shift deletion keeps probe chains intact).
+  bool Erase(Key key);
+
+  /// Applies fn(key, value) to every entry (unspecified order).
+  template <typename Fn>
+  void ForEach(Fn&& fn) const {
+    for (size_t i = 0; i < capacity_; ++i) {
+      if (states_[i] == SlotState::kFull) fn(keys_[i], values_[i]);
+    }
+  }
+
+  uint64_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+  size_t capacity() const { return capacity_; }
+  uint64_t memory_bytes() const {
+    return capacity_ * (sizeof(Key) + sizeof(Value) + 1);
+  }
+  uint64_t salt() const { return salt_; }
+  numa::NodeMemoryManager* memory_manager() const { return memory_; }
+
+  void Clear();
+
+ private:
+  enum class SlotState : uint8_t { kEmpty = 0, kFull = 1 };
+
+  size_t Slot(Key key) const {
+    return static_cast<size_t>(Mix64(key ^ salt_)) & (capacity_ - 1);
+  }
+  void Grow();
+  void AllocateArrays(size_t capacity);
+  void FreeArrays();
+  size_t FindSlot(Key key, bool* found) const;
+
+  numa::NodeMemoryManager* memory_;
+  uint64_t salt_;
+  size_t capacity_ = 0;
+  uint64_t size_ = 0;
+  Key* keys_ = nullptr;
+  Value* values_ = nullptr;
+  SlotState* states_ = nullptr;
+};
+
+}  // namespace eris::storage

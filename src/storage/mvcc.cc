@@ -1,0 +1,99 @@
+#include "storage/mvcc.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace eris::storage {
+
+TupleId MvccColumn::Append(Value v, uint64_t ts) {
+  ERIS_DCHECK(ts >= last_ts_) << "single-writer commits must be monotonic";
+  last_ts_ = ts;
+  TupleId tid = column_.Append(v);
+  if (!frontier_.empty() && frontier_.back().first == ts) {
+    frontier_.back().second = column_.size();
+  } else {
+    frontier_.emplace_back(ts, column_.size());
+  }
+  return tid;
+}
+
+void MvccColumn::Update(TupleId tid, Value v, uint64_t ts) {
+  ERIS_DCHECK(ts >= last_ts_);
+  last_ts_ = ts;
+  Value old = column_.Get(tid);
+  undo_[tid].push_back(UndoEntry{ts, old});
+  column_.Set(tid, v);
+}
+
+Value MvccColumn::Read(TupleId tid, uint64_t snapshot_ts) const {
+  auto it = undo_.find(tid);
+  if (it != undo_.end()) {
+    // Chains are oldest-overwrite first: the first entry whose overwrite
+    // happened *after* the snapshot still holds the visible value.
+    for (const UndoEntry& e : it->second) {
+      if (e.overwritten_at > snapshot_ts) return e.old_value;
+    }
+  }
+  return column_.Get(tid);
+}
+
+uint64_t MvccColumn::VisibleSize(uint64_t snapshot_ts) const {
+  // Largest frontier entry with ts <= snapshot_ts.
+  auto it = std::upper_bound(
+      frontier_.begin(), frontier_.end(), snapshot_ts,
+      [](uint64_t ts, const auto& entry) { return ts < entry.first; });
+  if (it == frontier_.begin()) return 0;
+  return std::min(std::prev(it)->second, column_.size());
+}
+
+void MvccColumn::AbsorbColumn(ColumnStore&& other, uint64_t ts) {
+  if (other.size() == 0) return;
+  last_ts_ = std::max(last_ts_, ts);
+  column_.Absorb(std::move(other));
+  if (!frontier_.empty() && frontier_.back().first >= ts) {
+    // Keep the frontier sorted: fold into the newest checkpoint.
+    frontier_.back().second = column_.size();
+  } else {
+    frontier_.emplace_back(ts, column_.size());
+  }
+}
+
+uint64_t MvccColumn::ScanSum(uint64_t snapshot_ts, Value lo, Value hi) const {
+  uint64_t n = VisibleSize(snapshot_ts);
+  if (undo_.empty() && n == column_.size()) {
+    return column_.ScanSum(lo, hi);
+  }
+  uint64_t sum = 0;
+  for (TupleId tid = 0; tid < n; ++tid) {
+    Value v = Read(tid, snapshot_ts);
+    sum += (v >= lo && v <= hi) ? v : 0;
+  }
+  return sum;
+}
+
+void MvccColumn::GarbageCollect(uint64_t watermark) {
+  for (auto it = undo_.begin(); it != undo_.end();) {
+    std::vector<UndoEntry>& chain = it->second;
+    // An entry overwritten at ts <= watermark is invisible to every snapshot
+    // >= watermark.
+    auto keep_from = std::find_if(
+        chain.begin(), chain.end(),
+        [&](const UndoEntry& e) { return e.overwritten_at > watermark; });
+    chain.erase(chain.begin(), keep_from);
+    if (chain.empty()) {
+      it = undo_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  // Compact the frontier: checkpoints below the watermark collapse into one.
+  auto it = std::upper_bound(
+      frontier_.begin(), frontier_.end(), watermark,
+      [](uint64_t ts, const auto& entry) { return ts < entry.first; });
+  if (it != frontier_.begin() && std::distance(frontier_.begin(), it) > 1) {
+    frontier_.erase(frontier_.begin(), std::prev(it));
+  }
+}
+
+}  // namespace eris::storage

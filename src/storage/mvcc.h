@@ -1,0 +1,106 @@
+// Lightweight multiversioning for scan sharing.
+//
+// Analytical workloads are read-mostly; ERIS therefore avoids locking and
+// latching entirely and uses a non-blocking multiversion scheme so an AEU
+// can coalesce several scan commands into a single shared scan while
+// concurrent upserts proceed: each scan reads a consistent snapshot
+// timestamp, and updated tuples keep their overwritten values in an undo
+// chain until no active snapshot can read them.
+//
+// Partitions are single-writer (the owning AEU), so version chains need no
+// synchronization; only the timestamp oracle is shared and atomic.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "storage/column_store.h"
+#include "storage/types.h"
+
+namespace eris::storage {
+
+/// Monotonic logical-timestamp source shared by all AEUs of an engine.
+class TimestampOracle {
+ public:
+  /// Allocates a new write timestamp.
+  uint64_t NextWriteTs() { return next_.fetch_add(1, std::memory_order_relaxed); }
+  /// Snapshot timestamp: sees exactly the writes with ts <= ReadTs(),
+  /// i.e. everything committed so far and nothing issued afterwards.
+  uint64_t ReadTs() const {
+    return next_.load(std::memory_order_relaxed) - 1;
+  }
+
+ private:
+  std::atomic<uint64_t> next_{1};
+};
+
+/// \brief Column partition with snapshot reads.
+///
+/// The underlying ColumnStore always holds the newest version in place;
+/// overwritten values move into per-tuple undo chains. Tuple visibility for
+/// appends uses an append frontier (appends are monotonic in commit ts
+/// because the partition has a single writer).
+class MvccColumn {
+ public:
+  explicit MvccColumn(numa::NodeMemoryManager* memory) : column_(memory) {}
+
+  /// Appends a tuple committed at `ts`; `ts` must be >= every prior ts.
+  TupleId Append(Value v, uint64_t ts);
+
+  /// Overwrites tuple `tid` at commit timestamp `ts`.
+  void Update(TupleId tid, Value v, uint64_t ts);
+
+  /// Value of `tid` as of snapshot `snapshot_ts` (sees writes with
+  /// ts <= snapshot_ts). `tid` must be visible at that snapshot.
+  Value Read(TupleId tid, uint64_t snapshot_ts) const;
+
+  /// Number of tuples visible at `snapshot_ts` (clamped to the current
+  /// column size: structural splits may leave the frontier ahead of the
+  /// physically present tuples).
+  uint64_t VisibleSize(uint64_t snapshot_ts) const;
+
+  /// Splices `other`'s tuples in as one commit at `ts` (used by partition
+  /// transfers, which move raw column segments without version metadata).
+  void AbsorbColumn(ColumnStore&& other, uint64_t ts);
+
+  /// Applies fn(tid, value) over the snapshot.
+  template <typename Fn>
+  void ScanSnapshot(uint64_t snapshot_ts, Fn&& fn) const {
+    uint64_t n = VisibleSize(snapshot_ts);
+    if (undo_.empty()) {
+      // Fast path: no updated tuples, scan the raw column.
+      for (TupleId tid = 0; tid < n; ++tid) fn(tid, column_.Get(tid));
+      return;
+    }
+    for (TupleId tid = 0; tid < n; ++tid) fn(tid, Read(tid, snapshot_ts));
+  }
+
+  /// Sum of snapshot-visible values within [lo, hi] — the shared-scan kernel.
+  uint64_t ScanSum(uint64_t snapshot_ts, Value lo, Value hi) const;
+
+  /// Drops undo versions no snapshot >= `watermark` can read and forgets
+  /// append-frontier checkpoints older than the watermark.
+  void GarbageCollect(uint64_t watermark);
+
+  const ColumnStore& column() const { return column_; }
+  ColumnStore& column() { return column_; }
+  uint64_t size() const { return column_.size(); }
+  size_t undo_chains() const { return undo_.size(); }
+
+ private:
+  struct UndoEntry {
+    uint64_t overwritten_at;  ///< commit ts of the write that replaced it
+    Value old_value;
+  };
+
+  ColumnStore column_;
+  /// (commit ts, column size after that commit); ascending in both fields.
+  std::vector<std::pair<uint64_t, uint64_t>> frontier_;
+  /// Undo chains, oldest overwrite first.
+  std::unordered_map<TupleId, std::vector<UndoEntry>> undo_;
+  uint64_t last_ts_ = 0;
+};
+
+}  // namespace eris::storage

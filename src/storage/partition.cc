@@ -1,0 +1,235 @@
+#include "storage/partition.h"
+
+#include <cstring>
+
+namespace eris::storage {
+
+Partition::Partition(const DataObjectDesc& desc,
+                     numa::NodeMemoryManager* memory, KeyRange range,
+                     uint64_t hash_salt)
+    : desc_(&desc), memory_(memory), range_(range), hash_salt_(hash_salt) {
+  switch (desc.container) {
+    case ContainerKind::kIndex:
+      index_ = std::make_unique<PrefixTree>(memory, desc.index_config);
+      break;
+    case ContainerKind::kColumn:
+      mvcc_ = std::make_unique<MvccColumn>(memory);
+      break;
+    case ContainerKind::kHash:
+      hash_ = std::make_unique<HashTable>(memory, hash_salt);
+      break;
+  }
+}
+
+bool Partition::Insert(Key key, Value value) {
+  ERIS_DCHECK(range_.Contains(key));
+  if (index_) return index_->Insert(key, value);
+  ERIS_CHECK(hash_ != nullptr) << "keyed insert on a column partition";
+  return hash_->Insert(key, value);
+}
+
+bool Partition::Upsert(Key key, Value value) {
+  ERIS_DCHECK(range_.Contains(key));
+  if (index_) return index_->Upsert(key, value);
+  ERIS_CHECK(hash_ != nullptr) << "keyed upsert on a column partition";
+  return hash_->Upsert(key, value);
+}
+
+std::optional<Value> Partition::Lookup(Key key) const {
+  if (index_) return index_->Lookup(key);
+  ERIS_CHECK(hash_ != nullptr) << "keyed lookup on a column partition";
+  return hash_->Lookup(key);
+}
+
+bool Partition::Erase(Key key) {
+  if (index_) return index_->Erase(key);
+  ERIS_CHECK(hash_ != nullptr) << "keyed erase on a column partition";
+  return hash_->Erase(key);
+}
+
+TupleId Partition::ColumnAppend(Value v, uint64_t ts) {
+  ERIS_CHECK(mvcc_ != nullptr) << "column append on a keyed partition";
+  return mvcc_->Append(v, ts);
+}
+
+void Partition::ColumnUpdate(TupleId tid, Value v, uint64_t ts) {
+  ERIS_CHECK(mvcc_ != nullptr);
+  mvcc_->Update(tid, v, ts);
+}
+
+uint64_t Partition::ColumnScanSum(uint64_t snapshot_ts, Value lo,
+                                  Value hi) const {
+  ERIS_CHECK(mvcc_ != nullptr);
+  return mvcc_->ScanSum(snapshot_ts, lo, hi);
+}
+
+uint64_t Partition::tuple_count() const {
+  if (index_) return index_->size();
+  if (mvcc_) return mvcc_->size();
+  return hash_->size();
+}
+
+uint64_t Partition::memory_bytes() const {
+  if (index_) return index_->memory_bytes();
+  if (mvcc_) return mvcc_->column().memory_bytes();
+  return hash_->memory_bytes();
+}
+
+Partition Partition::SplitOffRange(Key boundary) {
+  ERIS_CHECK(desc_->partitioning == PartitioningKind::kRange);
+  ERIS_CHECK(range_.Contains(boundary)) << "split boundary outside partition";
+  Partition upper(*desc_, memory_, KeyRange{boundary, range_.hi}, hash_salt_);
+  if (index_) {
+    *upper.index_ = index_->SplitOff(boundary);
+  } else {
+    // Hash partitions are not order preserving internally; split by moving
+    // matching keys (the range criterion still applies to routing).
+    std::vector<std::pair<Key, Value>> moved;
+    hash_->ForEach([&](Key k, Value v) {
+      if (k >= boundary) moved.emplace_back(k, v);
+    });
+    for (auto& [k, v] : moved) {
+      hash_->Erase(k);
+      upper.hash_->Insert(k, v);
+    }
+  }
+  range_.hi = boundary;
+  return upper;
+}
+
+Partition Partition::ExtractRange(Key lo, Key hi) {
+  Partition out(*desc_, memory_, KeyRange{lo, hi}, hash_salt_);
+  if (index_) {
+    PrefixTree upper = index_->SplitOff(lo);  // keys >= lo
+    if (hi != kMaxKey) {
+      PrefixTree rest = upper.SplitOff(hi);  // keys >= hi stay here
+      index_->Absorb(std::move(rest));
+    }
+    *out.index_ = std::move(upper);
+    return out;
+  }
+  ERIS_CHECK(hash_ != nullptr) << "ExtractRange on a column partition";
+  std::vector<std::pair<Key, Value>> moved;
+  hash_->ForEach([&](Key k, Value v) {
+    if (k >= lo && (k < hi || hi == kMaxKey)) moved.emplace_back(k, v);
+  });
+  for (auto& [k, v] : moved) {
+    hash_->Erase(k);
+    out.hash_->Insert(k, v);
+  }
+  return out;
+}
+
+Partition Partition::SplitOffTail(uint64_t tuples) {
+  ERIS_CHECK(mvcc_ != nullptr) << "physical split requires a column";
+  ERIS_CHECK_LE(tuples, mvcc_->size());
+  Partition tail(*desc_, memory_, range_, hash_salt_);
+  TupleId from = mvcc_->size() - tuples;
+  // The MVCC metadata (frontier, undo) does not migrate: balancing happens
+  // between scan epochs, so the transferred tail is materialized at its
+  // latest version. This matches the paper's staging-table reasoning.
+  ColumnStore moved = mvcc_->column().SplitTail(from);
+  tail.mvcc_->column().Absorb(std::move(moved));
+  return tail;
+}
+
+void Partition::Absorb(Partition&& other, uint64_t ts) {
+  ERIS_CHECK_EQ(desc_->id, other.desc_->id);
+  if (index_) {
+    index_->Absorb(std::move(*other.index_));
+    // Extend the range to cover the absorbed interval.
+    range_.lo = std::min(range_.lo, other.range_.lo);
+    range_.hi = std::max(range_.hi, other.range_.hi);
+    return;
+  }
+  if (mvcc_) {
+    mvcc_->AbsorbColumn(std::move(other.mvcc_->column()), ts);
+    return;
+  }
+  other.hash_->ForEach([this](Key k, Value v) { hash_->Upsert(k, v); });
+  other.hash_->Clear();
+  range_.lo = std::min(range_.lo, other.range_.lo);
+  range_.hi = std::max(range_.hi, other.range_.hi);
+}
+
+namespace {
+template <typename T>
+void AppendRaw(std::vector<uint8_t>* out, T v) {
+  size_t pos = out->size();
+  out->resize(pos + sizeof(T));
+  std::memcpy(out->data() + pos, &v, sizeof(T));
+}
+template <typename T>
+T ReadRaw(std::span<const uint8_t> in, size_t* pos) {
+  T v;
+  std::memcpy(&v, in.data() + *pos, sizeof(T));
+  *pos += sizeof(T);
+  return v;
+}
+}  // namespace
+
+std::vector<uint8_t> Partition::Flatten() const {
+  std::vector<uint8_t> out;
+  AppendRaw<uint32_t>(&out, static_cast<uint32_t>(desc_->container));
+  AppendRaw<uint64_t>(&out, tuple_count());
+  if (index_) {
+    out.reserve(out.size() + index_->size() * 16);
+    index_->ForEach([&](Key k, Value v) {
+      AppendRaw<uint64_t>(&out, k);
+      AppendRaw<uint64_t>(&out, v);
+    });
+  } else if (mvcc_) {
+    out.reserve(out.size() + mvcc_->size() * 8);
+    // Latest version; see SplitOffTail for the epoch argument.
+    mvcc_->column().ForEach(
+        [&](TupleId, Value v) { AppendRaw<uint64_t>(&out, v); });
+  } else {
+    out.reserve(out.size() + hash_->size() * 16);
+    hash_->ForEach([&](Key k, Value v) {
+      AppendRaw<uint64_t>(&out, k);
+      AppendRaw<uint64_t>(&out, v);
+    });
+  }
+  return out;
+}
+
+Result<Partition> Partition::Rebuild(const DataObjectDesc& desc,
+                                     numa::NodeMemoryManager* memory,
+                                     KeyRange range, uint64_t hash_salt,
+                                     std::span<const uint8_t> stream) {
+  if (stream.size() < 12) {
+    return Status::InvalidArgument("partition stream shorter than header");
+  }
+  size_t pos = 0;
+  auto kind = static_cast<ContainerKind>(ReadRaw<uint32_t>(stream, &pos));
+  uint64_t count = ReadRaw<uint64_t>(stream, &pos);
+  if (kind != desc.container) {
+    return Status::InvalidArgument("container kind mismatch in stream");
+  }
+  size_t entry_bytes = kind == ContainerKind::kColumn ? 8 : 16;
+  if (stream.size() - pos < count * entry_bytes) {
+    return Status::InvalidArgument("partition stream truncated");
+  }
+  Partition p(desc, memory, range, hash_salt);
+  const uint32_t key_bits = desc.index_config.key_bits;
+  for (uint64_t i = 0; i < count; ++i) {
+    if (kind == ContainerKind::kColumn) {
+      p.mvcc_->column().Append(ReadRaw<uint64_t>(stream, &pos));
+    } else {
+      Key k = ReadRaw<uint64_t>(stream, &pos);
+      Value v = ReadRaw<uint64_t>(stream, &pos);
+      if (kind == ContainerKind::kIndex) {
+        if (key_bits < 64 && (k >> key_bits) != 0) {
+          return Status::InvalidArgument(
+              "stream key outside the index key domain");
+        }
+        p.index_->Upsert(k, v);
+      } else {
+        p.hash_->Upsert(k, v);
+      }
+    }
+  }
+  return p;
+}
+
+}  // namespace eris::storage

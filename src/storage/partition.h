@@ -1,0 +1,131 @@
+// Partition: the unit of data ownership, balancing, and transfer.
+//
+// Every AEU exclusively owns one partition per data object. A partition
+// wraps the container appropriate for its object (prefix-tree index, MVCC
+// column, or salted hash table), knows its key range (range partitioning)
+// and exposes the three operations the load balancer needs: structural
+// split, structural absorb ("link" transfer within a node) and
+// flatten/rebuild to an exchange stream ("copy" transfer across nodes).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "common/status.h"
+#include "numa/memory_manager.h"
+#include "storage/column_store.h"
+#include "storage/data_object.h"
+#include "storage/hash_table.h"
+#include "storage/mvcc.h"
+#include "storage/prefix_tree.h"
+#include "storage/types.h"
+
+namespace eris::storage {
+
+/// \brief One AEU's slice of a data object.
+class Partition {
+ public:
+  /// Creates an empty partition of `desc` covering `range`, with all memory
+  /// coming from `memory` (the owning node's manager). `hash_salt` selects
+  /// the per-partition hash function for kHash containers.
+  Partition(const DataObjectDesc& desc, numa::NodeMemoryManager* memory,
+            KeyRange range, uint64_t hash_salt = 0);
+
+  Partition(Partition&&) noexcept = default;
+  Partition& operator=(Partition&&) noexcept = default;
+
+  const DataObjectDesc& desc() const { return *desc_; }
+  const KeyRange& range() const { return range_; }
+  void set_range(KeyRange range) { range_ = range; }
+  numa::NodeMemoryManager* memory_manager() const { return memory_; }
+
+  // --- Keyed operations (kIndex / kHash) -------------------------------
+  bool Insert(Key key, Value value);
+  bool Upsert(Key key, Value value);
+  std::optional<Value> Lookup(Key key) const;
+  bool Erase(Key key);
+
+  /// Keyed range scan: fn(key, value) over lo <= key < hi. Ordered for
+  /// kIndex; a kHash partition filters its whole table (unordered, the
+  /// per-container cost the paper's index choice avoids).
+  template <typename Fn>
+  uint64_t IndexRangeScan(Key lo, Key hi, Fn&& fn) const {
+    if (index_ != nullptr) {
+      return index_->RangeScan(lo, hi, std::forward<Fn>(fn));
+    }
+    ERIS_CHECK(hash_ != nullptr) << "range scan on a column partition";
+    uint64_t visited = 0;
+    hash_->ForEach([&](Key k, Value v) {
+      if (k >= lo && k < hi) {
+        fn(k, v);
+        ++visited;
+      }
+    });
+    return visited;
+  }
+
+  // --- Column operations (kColumn) --------------------------------------
+  TupleId ColumnAppend(Value v, uint64_t ts);
+  void ColumnUpdate(TupleId tid, Value v, uint64_t ts);
+  uint64_t ColumnScanSum(uint64_t snapshot_ts, Value lo, Value hi) const;
+
+  // --- Size & stats ------------------------------------------------------
+  uint64_t tuple_count() const;
+  uint64_t memory_bytes() const;
+
+  // --- Load balancing ----------------------------------------------------
+  /// Range split: moves every entry with key >= boundary into the returned
+  /// partition and shrinks this partition's range to [lo, boundary).
+  /// kIndex/kHash only.
+  Partition SplitOffRange(Key boundary);
+
+  /// Physical split: moves the trailing `tuples` tuples into the returned
+  /// partition (kColumn only).
+  Partition SplitOffTail(uint64_t tuples);
+
+  /// Extracts every entry with lo <= key < hi (hi == kMaxKey extracts to
+  /// the end of the domain inclusive) into the returned partition, without
+  /// touching this partition's declared range. Used by transfer requests,
+  /// where the donor's declared range was already updated by its balancing
+  /// command. kIndex/kHash only.
+  Partition ExtractRange(Key lo, Key hi);
+
+  /// Structural merge of an adjacent/disjoint partition of the same object.
+  /// Cheap (pointer splicing) when both partitions live on the same node.
+  /// `ts` is the commit timestamp a column absorb becomes visible at
+  /// (ignored for keyed containers).
+  void Absorb(Partition&& other, uint64_t ts = 0);
+
+  // --- Copy transfer (exchange format) -----------------------------------
+  /// Serializes the partition payload into a flat byte stream.
+  /// Format: u32 container kind, u64 count, then count * 16 bytes
+  /// (key,value) for keyed containers or count * 8 bytes for columns.
+  std::vector<uint8_t> Flatten() const;
+
+  /// Rebuilds a partition from `Flatten()` output into `memory`.
+  static Result<Partition> Rebuild(const DataObjectDesc& desc,
+                                   numa::NodeMemoryManager* memory,
+                                   KeyRange range, uint64_t hash_salt,
+                                   std::span<const uint8_t> stream);
+
+  /// Direct container access for tests, benches and the AEU fast paths.
+  PrefixTree* index() { return index_.get(); }
+  const PrefixTree* index() const { return index_.get(); }
+  MvccColumn* mvcc_column() { return mvcc_.get(); }
+  const MvccColumn* mvcc_column() const { return mvcc_.get(); }
+  HashTable* hash() { return hash_.get(); }
+  const HashTable* hash() const { return hash_.get(); }
+
+ private:
+  const DataObjectDesc* desc_;
+  numa::NodeMemoryManager* memory_;
+  KeyRange range_;
+  uint64_t hash_salt_ = 0;
+  std::unique_ptr<PrefixTree> index_;
+  std::unique_ptr<MvccColumn> mvcc_;
+  std::unique_ptr<HashTable> hash_;
+};
+
+}  // namespace eris::storage

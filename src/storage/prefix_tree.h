@@ -1,0 +1,227 @@
+// Generalized prefix tree (trie) index — the paper's index structure [7].
+//
+// Order preserving, in-memory optimized, high update throughput. Keys are
+// fixed-width integers interpreted as a big-endian digit string of
+// `prefix_bits`-wide digits; each digit selects a child in an interior node,
+// the last digit selects a slot in a leaf node (value array + presence
+// bitmap). All node memory comes from the owning NUMA node's memory manager,
+// which makes the load balancer's "link" transfer (structural splice between
+// AEUs of the same node) safe and cheap.
+//
+// The tree is single-writer: each partition belongs to exactly one AEU, so
+// no latching is needed (the data-oriented architecture's core invariant).
+// The NUMA-agnostic baseline uses its own CAS-based variant
+// (baseline/shared_tree.h).
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "common/bit_util.h"
+#include "common/logging.h"
+#include "numa/memory_manager.h"
+#include "storage/types.h"
+
+namespace eris::storage {
+
+struct PrefixTreeConfig {
+  /// Digit width in bits; fanout is 2^prefix_bits. The paper's default is 8.
+  uint32_t prefix_bits = 8;
+  /// Number of significant key bits. Dense domains use fewer bits for a
+  /// shallower tree (e.g. 32 for up to 4G keys).
+  uint32_t key_bits = 64;
+};
+
+/// \brief Single-writer generalized prefix tree mapping Key -> Value.
+class PrefixTree {
+ public:
+  PrefixTree(numa::NodeMemoryManager* memory, PrefixTreeConfig config = {});
+  ~PrefixTree();
+
+  PrefixTree(PrefixTree&& other) noexcept;
+  PrefixTree& operator=(PrefixTree&& other) noexcept;
+  PrefixTree(const PrefixTree&) = delete;
+  PrefixTree& operator=(const PrefixTree&) = delete;
+
+  /// Inserts key if absent. Returns true when a new key was added.
+  bool Insert(Key key, Value value);
+
+  /// Inserts or overwrites. Returns true when the key was new.
+  bool Upsert(Key key, Value value);
+
+  /// Removes a key. Returns true when it existed.
+  bool Erase(Key key);
+
+  std::optional<Value> Lookup(Key key) const;
+
+  /// Looks up a batch; out[i]/found[i] describe keys[i]. Returns #found.
+  /// Batching amortizes per-call overhead and lets the AEU hide memory
+  /// latency (the paper's command-grouping optimization).
+  size_t BatchLookup(std::span<const Key> keys, Value* out, bool* found) const;
+
+  /// As Lookup, additionally appending the address of every visited tree
+  /// node to `trace` (for the cache simulator).
+  std::optional<Value> LookupTraced(Key key,
+                                    std::vector<const void*>* trace) const;
+
+  /// Applies fn(key, value) to every entry with lo <= key < hi in ascending
+  /// key order. Returns the number of entries visited.
+  template <typename Fn>
+  uint64_t RangeScan(Key lo, Key hi, Fn&& fn) const {
+    if (root_ == nullptr || lo >= hi) return 0;
+    return ScanRec(root_, 0, 0, lo, hi - 1, fn);
+  }
+
+  /// Applies fn(key, value) to every entry in ascending key order.
+  template <typename Fn>
+  void ForEach(Fn&& fn) const {
+    RangeScan(kMinKey, kMaxKey, fn);
+    // kMaxKey itself is a valid key; RangeScan's hi is exclusive.
+    if (auto v = Lookup(kMaxKey)) fn(kMaxKey, *v);
+  }
+
+  /// Splits off every entry with key >= boundary into a newly returned tree
+  /// (same configuration and memory manager). Structural: moves whole
+  /// subtrees, O(depth * fanout) plus the split path.
+  PrefixTree SplitOff(Key boundary);
+
+  /// Steals all entries of `other` into this tree. When both trees share a
+  /// memory manager the merge splices subtrees without copying ("link"
+  /// transfer); otherwise entries are re-inserted ("copy" semantics).
+  /// Key sets should be disjoint; on collision the other value wins.
+  void Absorb(PrefixTree&& other);
+
+  uint64_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+  /// Bytes of node memory currently allocated by this tree.
+  uint64_t memory_bytes() const { return memory_bytes_; }
+  uint32_t levels() const { return levels_; }
+  const PrefixTreeConfig& config() const { return config_; }
+  numa::NodeMemoryManager* memory_manager() const { return memory_; }
+
+  /// Smallest key in the tree (nullopt when empty).
+  std::optional<Key> MinKey() const;
+  /// Largest key in the tree (nullopt when empty).
+  std::optional<Key> MaxKey() const;
+
+  void Clear();
+
+ private:
+  // Nodes are raw allocations:
+  //  * interior: fanout_ child pointers (void*), null = absent.
+  //  * leaf:     fanout_ Values followed by fanout_/64 presence bitmap words.
+  using NodePtr = void*;
+
+  uint32_t fanout() const { return fanout_; }
+  size_t InteriorBytes() const { return sizeof(NodePtr) * fanout_; }
+  size_t LeafBytes() const {
+    return sizeof(Value) * fanout_ + sizeof(uint64_t) * BitmapWords();
+  }
+  size_t BitmapWords() const { return (fanout_ + 63) / 64; }
+
+  NodePtr* Children(NodePtr node) const {
+    return static_cast<NodePtr*>(node);
+  }
+  Value* LeafValues(NodePtr node) const { return static_cast<Value*>(node); }
+  uint64_t* LeafBitmap(NodePtr node) const {
+    return reinterpret_cast<uint64_t*>(static_cast<Value*>(node) + fanout_);
+  }
+  bool LeafTest(NodePtr leaf, uint32_t slot) const {
+    return (LeafBitmap(leaf)[slot >> 6] >> (slot & 63)) & 1;
+  }
+  void LeafSet(NodePtr leaf, uint32_t slot) const {
+    LeafBitmap(leaf)[slot >> 6] |= uint64_t{1} << (slot & 63);
+  }
+  void LeafClear(NodePtr leaf, uint32_t slot) const {
+    LeafBitmap(leaf)[slot >> 6] &= ~(uint64_t{1} << (slot & 63));
+  }
+
+  /// Digit of `key` at level d (0 = most significant digit).
+  uint32_t Digit(Key key, uint32_t level) const {
+    uint32_t shift = (levels_ - 1 - level) * config_.prefix_bits;
+    return static_cast<uint32_t>((key >> shift) & (fanout_ - 1));
+  }
+  /// Bits of `key` strictly below level d's digit.
+  Key BitsBelow(Key key, uint32_t level) const {
+    uint32_t shift = (levels_ - 1 - level) * config_.prefix_bits;
+    return shift >= 64 ? 0 : key & ((Key{1} << shift) - 1);
+  }
+
+  bool IsLeafLevel(uint32_t level) const { return level + 1 == levels_; }
+
+  /// Number of entries in the subtree rooted at `node` (at `level`).
+  uint64_t CountRec(NodePtr node, uint32_t level) const;
+
+  NodePtr NewInterior();
+  NodePtr NewLeaf();
+  void FreeNode(NodePtr node, uint32_t level);
+  void FreeRec(NodePtr node, uint32_t level);
+
+  /// Core of Insert/Upsert.
+  bool Put(Key key, Value value, bool overwrite);
+
+  /// Moves all entries with key >= boundary out of `node` into a returned
+  /// sibling node (or null); `moved` accumulates the entry count.
+  NodePtr SplitRec(NodePtr node, uint32_t level, Key boundary,
+                   uint64_t* moved);
+
+  /// Splices `theirs` into `mine`; both from the same manager. Returns the
+  /// merged node. `absorbed` accumulates entries added to this tree.
+  NodePtr MergeRec(NodePtr mine, NodePtr theirs, uint32_t level,
+                   uint64_t* absorbed);
+
+  template <typename Fn>
+  uint64_t ScanRec(NodePtr node, uint32_t level, Key prefix, Key lo,
+                   Key hi_inclusive, Fn&& fn) const {
+    const uint32_t shift = (levels_ - 1 - level) * config_.prefix_bits;
+    // Digit bounds for this subtree given the query interval.
+    uint32_t from = 0;
+    uint32_t to = fanout_ - 1;
+    // The subtree covers keys [prefix, prefix | ones(shift + digit bits)).
+    // Clamp the digit range by comparing against the query bounds.
+    auto digit_of = [&](Key k) {
+      return static_cast<uint32_t>((k >> shift) & (fanout_ - 1));
+    };
+    Key subtree_span_mask =
+        shift + config_.prefix_bits >= 64
+            ? ~Key{0}
+            : ((Key{1} << (shift + config_.prefix_bits)) - 1);
+    Key sub_lo = prefix;
+    Key sub_hi = prefix | subtree_span_mask;
+    if (lo > sub_lo) from = digit_of(lo);
+    if (hi_inclusive < sub_hi) to = digit_of(hi_inclusive);
+    uint64_t visited = 0;
+    if (IsLeafLevel(level)) {
+      for (uint32_t slot = from; slot <= to; ++slot) {
+        if (!LeafTest(node, slot)) continue;
+        Key key = prefix | (static_cast<Key>(slot) << shift);
+        if (key < lo || key > hi_inclusive) continue;
+        fn(key, LeafValues(node)[slot]);
+        ++visited;
+      }
+      return visited;
+    }
+    for (uint32_t slot = from; slot <= to; ++slot) {
+      NodePtr child = Children(node)[slot];
+      if (child == nullptr) continue;
+      Key child_prefix = prefix | (static_cast<Key>(slot) << shift);
+      // Only the boundary children need further clamping; interior ones are
+      // fully contained, but passing lo/hi is still correct.
+      visited += ScanRec(child, level + 1, child_prefix, lo, hi_inclusive, fn);
+    }
+    return visited;
+  }
+
+  numa::NodeMemoryManager* memory_;
+  PrefixTreeConfig config_;
+  uint32_t fanout_ = 0;
+  uint32_t levels_ = 0;
+  NodePtr root_ = nullptr;
+  uint64_t size_ = 0;
+  uint64_t memory_bytes_ = 0;
+};
+
+}  // namespace eris::storage

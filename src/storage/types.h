@@ -1,0 +1,54 @@
+// Fundamental storage-layer types.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+namespace eris::storage {
+
+/// Keys and values are fixed-width 64-bit integers (the paper's workloads
+/// are integer key/value; wider tuples live in additional columns).
+using Key = uint64_t;
+using Value = uint64_t;
+
+/// Identifier of a data object (table/index) within an engine.
+using ObjectId = uint32_t;
+
+/// Position of a tuple inside a column partition.
+using TupleId = uint64_t;
+
+inline constexpr Key kMinKey = 0;
+inline constexpr Key kMaxKey = std::numeric_limits<Key>::max();
+
+/// Physical representation of a data object's partitions.
+enum class ContainerKind : uint8_t {
+  kIndex = 0,   ///< order-preserving prefix tree
+  kColumn = 1,  ///< append-only column store
+  kHash = 2,    ///< per-partition hash table (not order preserving)
+};
+
+/// How a data object is split across AEUs.
+enum class PartitioningKind : uint8_t {
+  /// Range partitioning on the key attribute (order preserving; supports
+  /// lookups, range scans, and range-based load balancing).
+  kRange = 0,
+  /// Physical-size partitioning for objects that are only ever scanned in
+  /// their entirety (no partitioning attribute; multicast distribution).
+  kPhysical = 1,
+  /// Hash partitioning on the key attribute. The paper decides against it
+  /// for ERIS — it is not order preserving, so range scans must visit
+  /// every partition and ranges cannot be rebalanced. Implemented here to
+  /// quantify that trade-off (see bench_ablation_partitioning).
+  kHashed = 2,
+};
+
+/// Half-open key interval [lo, hi).
+struct KeyRange {
+  Key lo = kMinKey;
+  Key hi = kMaxKey;  // exclusive; kMaxKey means "to the end of the domain"
+
+  bool Contains(Key k) const { return k >= lo && (k < hi || hi == kMaxKey); }
+  bool Empty() const { return lo >= hi; }
+};
+
+}  // namespace eris::storage

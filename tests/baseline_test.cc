@@ -1,0 +1,185 @@
+// Tests for the NUMA-agnostic baseline structures.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <map>
+#include <thread>
+
+#include "baseline/shared_column.h"
+#include "baseline/shared_tree.h"
+#include "common/rng.h"
+
+namespace eris::baseline {
+namespace {
+
+using storage::Key;
+using storage::Value;
+
+TEST(SharedTreeTest, BasicInsertLookup) {
+  numa::MemoryPool pool(2);
+  SharedTree tree(&pool, {.prefix_bits = 8, .key_bits = 16});
+  EXPECT_TRUE(tree.Insert(1, 10));
+  EXPECT_FALSE(tree.Insert(1, 20));
+  EXPECT_EQ(tree.Lookup(1), std::optional<Value>(10));
+  EXPECT_EQ(tree.Lookup(2), std::nullopt);
+  EXPECT_EQ(tree.size(), 1u);
+}
+
+TEST(SharedTreeTest, UpsertOverwrites) {
+  numa::MemoryPool pool(1);
+  SharedTree tree(&pool, {.prefix_bits = 8, .key_bits = 16});
+  tree.Upsert(7, 70);
+  tree.Upsert(7, 71);
+  EXPECT_EQ(tree.Lookup(7), std::optional<Value>(71));
+  EXPECT_EQ(tree.size(), 1u);
+}
+
+TEST(SharedTreeTest, SingleLevelTree) {
+  numa::MemoryPool pool(1);
+  SharedTree tree(&pool, {.prefix_bits = 8, .key_bits = 8});
+  EXPECT_EQ(tree.levels(), 1u);
+  for (Key k = 0; k < 256; ++k) tree.Insert(k, k);
+  EXPECT_EQ(tree.size(), 256u);
+  EXPECT_EQ(tree.Lookup(255), std::optional<Value>(255));
+}
+
+TEST(SharedTreeTest, ConcurrentInsertsAllLand) {
+  numa::MemoryPool pool(2);
+  SharedTree tree(&pool, {.prefix_bits = 8, .key_bits = 24});
+  constexpr int kThreads = 4;
+  constexpr Key kPerThread = 20000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&tree, t] {
+      for (Key i = 0; i < kPerThread; ++i) {
+        Key k = static_cast<Key>(t) * kPerThread + i;
+        EXPECT_TRUE(tree.Insert(k, k * 2));
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(tree.size(), kThreads * kPerThread);
+  Xoshiro256 rng(4);
+  for (int probe = 0; probe < 10000; ++probe) {
+    Key k = rng.NextBounded(kThreads * kPerThread);
+    EXPECT_EQ(tree.Lookup(k), std::optional<Value>(k * 2));
+  }
+}
+
+TEST(SharedTreeTest, ConcurrentSameKeyInsertCountsOnce) {
+  numa::MemoryPool pool(1);
+  SharedTree tree(&pool, {.prefix_bits = 8, .key_bits = 16});
+  std::atomic<uint64_t> wins{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&] {
+      for (Key k = 0; k < 5000; ++k) {
+        if (tree.Insert(k, k)) wins.fetch_add(1);
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(wins.load(), 5000u);
+  EXPECT_EQ(tree.size(), 5000u);
+}
+
+TEST(SharedTreeTest, ReadersDuringWrites) {
+  numa::MemoryPool pool(2);
+  SharedTree tree(&pool, {.prefix_bits = 8, .key_bits = 20});
+  std::atomic<bool> stop{false};
+  std::thread writer([&] {
+    for (Key k = 0; k < 100000 && !stop.load(); ++k) tree.Insert(k, k + 1);
+    stop.store(true);
+  });
+  std::thread reader([&] {
+    Xoshiro256 rng(1);
+    while (!stop.load(std::memory_order_relaxed)) {
+      Key k = rng.NextBounded(100000);
+      auto v = tree.Lookup(k);
+      if (v.has_value()) {
+        EXPECT_EQ(*v, k + 1);  // never a torn value
+      }
+    }
+  });
+  writer.join();
+  reader.join();
+}
+
+TEST(SharedTreeTest, PlacementSpreadsOrConcentratesMemory) {
+  numa::MemoryPool pool(4);
+  {
+    SharedTree tree(&pool, {.prefix_bits = 8, .key_bits = 24},
+                    Placement::kInterleaved);
+    for (Key k = 0; k < 100000; ++k) tree.Insert(k * 131, k);
+    int nodes_used = 0;
+    for (numa::NodeId n = 0; n < 4; ++n) {
+      if (pool.manager(n).stats().bytes_in_use() > 0) ++nodes_used;
+    }
+    EXPECT_EQ(nodes_used, 4);
+  }
+  numa::MemoryPool pool2(4);
+  {
+    SharedTree tree(&pool2, {.prefix_bits = 8, .key_bits = 24},
+                    Placement::kSingleNode);
+    for (Key k = 0; k < 100000; ++k) tree.Insert(k * 131, k);
+    EXPECT_GT(pool2.manager(0).stats().bytes_in_use(), 0u);
+    for (numa::NodeId n = 1; n < 4; ++n) {
+      EXPECT_EQ(pool2.manager(n).stats().bytes_in_use(), 0u);
+    }
+  }
+}
+
+TEST(SharedColumnTest, AppendScan) {
+  numa::MemoryPool pool(2);
+  SharedColumn col(&pool, Placement::kInterleaved);
+  uint64_t expect = 0;
+  for (Value v = 1; v <= 100000; ++v) {
+    col.Append(v);
+    expect += v;
+  }
+  EXPECT_EQ(col.size(), 100000u);
+  EXPECT_EQ(col.ScanSumSlice(0, col.size(), 0, ~0ull), expect);
+}
+
+TEST(SharedColumnTest, SliceSumsCompose) {
+  numa::MemoryPool pool(2);
+  SharedColumn col(&pool, Placement::kSingleNode);
+  for (Value v = 0; v < 200000; ++v) col.Append(v % 97);
+  uint64_t whole = col.ScanSumSlice(0, col.size(), 0, ~0ull);
+  uint64_t parts = 0;
+  for (uint64_t begin = 0; begin < col.size(); begin += 77777) {
+    parts += col.ScanSumSlice(begin, begin + 77777, 0, ~0ull);
+  }
+  EXPECT_EQ(whole, parts);
+}
+
+TEST(SharedColumnTest, FilterBounds) {
+  numa::MemoryPool pool(1);
+  SharedColumn col(&pool, Placement::kSingleNode);
+  for (Value v = 1; v <= 100; ++v) col.Append(v);
+  EXPECT_EQ(col.ScanSumSlice(0, 100, 10, 20),
+            (10u + 20u) * 11 / 2);
+}
+
+TEST(SharedColumnTest, HomeNodesFollowPlacement) {
+  numa::MemoryPool pool(4);
+  SharedColumn inter(&pool, Placement::kInterleaved);
+  for (uint64_t i = 0; i < SharedColumn::kSegmentValues * 4; ++i) {
+    inter.Append(1);
+  }
+  std::set<numa::NodeId> homes;
+  for (uint64_t s = 0; s < 4; ++s) {
+    homes.insert(inter.HomeOfRow(s * SharedColumn::kSegmentValues));
+  }
+  EXPECT_EQ(homes.size(), 4u);
+
+  SharedColumn single(&pool, Placement::kSingleNode);
+  for (uint64_t i = 0; i < SharedColumn::kSegmentValues * 2; ++i) {
+    single.Append(1);
+  }
+  EXPECT_EQ(single.HomeOfRow(0), 0u);
+  EXPECT_EQ(single.HomeOfRow(SharedColumn::kSegmentValues), 0u);
+}
+
+}  // namespace
+}  // namespace eris::baseline

@@ -1,0 +1,185 @@
+// Tests for the B+-tree comparator (ablation structure).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <vector>
+
+#include "common/rng.h"
+#include "numa/memory_manager.h"
+#include "storage/bplus_tree.h"
+
+namespace eris::storage {
+namespace {
+
+class BPlusTreeTest : public ::testing::Test {
+ protected:
+  numa::NodeMemoryManager mm_{0};
+};
+
+TEST_F(BPlusTreeTest, EmptyTree) {
+  BPlusTree tree(&mm_);
+  EXPECT_TRUE(tree.empty());
+  EXPECT_EQ(tree.Lookup(1), std::nullopt);
+  EXPECT_EQ(tree.RangeScan(0, kMaxKey, [](Key, Value) {}), 0u);
+  EXPECT_FALSE(tree.Erase(1));
+}
+
+TEST_F(BPlusTreeTest, InsertLookupUpsert) {
+  BPlusTree tree(&mm_);
+  EXPECT_TRUE(tree.Insert(5, 50));
+  EXPECT_FALSE(tree.Insert(5, 51));
+  EXPECT_EQ(tree.Lookup(5), std::optional<Value>(50));
+  EXPECT_FALSE(tree.Upsert(5, 52));
+  EXPECT_EQ(tree.Lookup(5), std::optional<Value>(52));
+  EXPECT_EQ(tree.size(), 1u);
+}
+
+TEST_F(BPlusTreeTest, LeafSplitsPreserveOrder) {
+  BPlusTree tree(&mm_);
+  // Force several leaf splits with ascending keys.
+  for (Key k = 0; k < 1000; ++k) tree.Insert(k, k * 2);
+  EXPECT_EQ(tree.size(), 1000u);
+  EXPECT_GT(tree.height(), 1u);
+  for (Key k = 0; k < 1000; ++k) {
+    ASSERT_EQ(tree.Lookup(k), std::optional<Value>(k * 2)) << k;
+  }
+}
+
+TEST_F(BPlusTreeTest, DescendingInserts) {
+  BPlusTree tree(&mm_);
+  for (Key k = 1000; k-- > 0;) tree.Insert(k, k);
+  for (Key k = 0; k < 1000; ++k) {
+    ASSERT_EQ(tree.Lookup(k), std::optional<Value>(k));
+  }
+}
+
+TEST_F(BPlusTreeTest, InnerSplitsDeepTree) {
+  BPlusTree tree(&mm_);
+  // > 64*64 keys forces inner splits (and likely a height-3 tree).
+  const Key n = 64 * 64 * 3;
+  for (Key k = 0; k < n; ++k) tree.Insert(k * 7 % (n * 7), k);
+  EXPECT_GE(tree.height(), 3u);
+  EXPECT_EQ(tree.size(), n);
+}
+
+TEST_F(BPlusTreeTest, RangeScanSortedAndBounded) {
+  BPlusTree tree(&mm_);
+  for (Key k = 0; k < 5000; k += 5) tree.Insert(k, k);
+  std::vector<Key> seen;
+  uint64_t count = tree.RangeScan(100, 1000, [&](Key k, Value v) {
+    EXPECT_EQ(k, v);
+    seen.push_back(k);
+  });
+  EXPECT_EQ(count, seen.size());
+  EXPECT_TRUE(std::is_sorted(seen.begin(), seen.end()));
+  EXPECT_EQ(seen.front(), 100u);
+  EXPECT_EQ(seen.back(), 995u);
+  EXPECT_EQ(seen.size(), 180u);
+}
+
+TEST_F(BPlusTreeTest, ForEachWalksLeafChain) {
+  BPlusTree tree(&mm_);
+  Xoshiro256 rng(6);
+  std::map<Key, Value> reference;
+  for (int i = 0; i < 3000; ++i) {
+    Key k = rng.NextBounded(1u << 20);
+    reference[k] = i;
+    tree.Upsert(k, i);
+  }
+  auto it = reference.begin();
+  uint64_t visited = 0;
+  tree.ForEach([&](Key k, Value v) {
+    ASSERT_NE(it, reference.end());
+    EXPECT_EQ(k, it->first);
+    EXPECT_EQ(v, it->second);
+    ++it;
+    ++visited;
+  });
+  EXPECT_EQ(visited, reference.size());
+}
+
+TEST_F(BPlusTreeTest, EraseAndRescan) {
+  BPlusTree tree(&mm_);
+  for (Key k = 0; k < 2000; ++k) tree.Insert(k, k);
+  for (Key k = 0; k < 2000; k += 2) EXPECT_TRUE(tree.Erase(k));
+  EXPECT_EQ(tree.size(), 1000u);
+  uint64_t count = tree.RangeScan(0, kMaxKey, [&](Key k, Value) {
+    EXPECT_EQ(k % 2, 1u);
+  });
+  EXPECT_EQ(count, 1000u);
+}
+
+TEST_F(BPlusTreeTest, MemoryReleasedOnClear) {
+  BPlusTree tree(&mm_);
+  for (Key k = 0; k < 100000; ++k) tree.Insert(k, k);
+  EXPECT_GT(tree.memory_bytes(), 0u);
+  tree.Clear();
+  EXPECT_EQ(tree.memory_bytes(), 0u);
+  EXPECT_EQ(mm_.stats().bytes_in_use(), 0u);
+}
+
+TEST_F(BPlusTreeTest, MoveSemantics) {
+  BPlusTree a(&mm_);
+  a.Insert(1, 10);
+  BPlusTree b = std::move(a);
+  EXPECT_EQ(b.Lookup(1), std::optional<Value>(10));
+  EXPECT_EQ(a.size(), 0u);  // NOLINT bugprone-use-after-move
+}
+
+class BPlusTreePropertyTest : public ::testing::TestWithParam<uint64_t> {
+ protected:
+  numa::NodeMemoryManager mm_{0};
+};
+
+TEST_P(BPlusTreePropertyTest, RandomOpsMatchStdMap) {
+  BPlusTree tree(&mm_);
+  std::map<Key, Value> reference;
+  Xoshiro256 rng(GetParam());
+  const Key domain = 1 + rng.NextBounded(1u << 22);
+  for (int i = 0; i < 20000; ++i) {
+    Key k = rng.NextBounded(domain);
+    switch (rng.NextBounded(4)) {
+      case 0: {
+        bool expect_new = reference.find(k) == reference.end();
+        EXPECT_EQ(tree.Insert(k, i), expect_new);
+        if (expect_new) reference[k] = i;
+        break;
+      }
+      case 1: {
+        bool expect_new = reference.find(k) == reference.end();
+        EXPECT_EQ(tree.Upsert(k, i), expect_new);
+        reference[k] = i;
+        break;
+      }
+      case 2:
+        EXPECT_EQ(tree.Erase(k), reference.erase(k) > 0);
+        break;
+      default: {
+        auto it = reference.find(k);
+        auto got = tree.Lookup(k);
+        if (it == reference.end()) {
+          EXPECT_EQ(got, std::nullopt);
+        } else {
+          EXPECT_EQ(got, std::optional<Value>(it->second));
+        }
+      }
+    }
+    ASSERT_EQ(tree.size(), reference.size());
+  }
+  // Final ordered sweep.
+  auto it = reference.begin();
+  tree.ForEach([&](Key k, Value v) {
+    ASSERT_NE(it, reference.end());
+    EXPECT_EQ(k, it->first);
+    EXPECT_EQ(v, it->second);
+    ++it;
+  });
+  EXPECT_EQ(it, reference.end());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BPlusTreePropertyTest,
+                         ::testing::Values(1, 2, 3, 17, 99, 12345));
+
+}  // namespace
+}  // namespace eris::storage

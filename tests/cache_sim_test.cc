@@ -1,0 +1,151 @@
+// Tests for the MESIF directory cache simulator.
+#include <gtest/gtest.h>
+
+#include "sim/cache_sim.h"
+
+namespace eris::sim {
+namespace {
+
+CacheSimConfig SmallCache() {
+  CacheSimConfig c;
+  c.capacity_bytes = 4096;  // 64 lines
+  c.associativity = 4;
+  c.line_bytes = 64;
+  return c;
+}
+
+TEST(CacheSimTest, ColdMissThenHit) {
+  CacheSim sim(1, SmallCache());
+  AccessResult r1 = sim.Read(0, 0x1000);
+  EXPECT_FALSE(r1.hit);
+  AccessResult r2 = sim.Read(0, 0x1000);
+  EXPECT_TRUE(r2.hit);
+  EXPECT_EQ(r2.state_at_hit, LineState::kExclusive);
+  EXPECT_EQ(sim.stats(0).read_misses, 1u);
+  EXPECT_EQ(sim.stats(0).read_hits, 1u);
+}
+
+TEST(CacheSimTest, SameLineDifferentOffsetsHit) {
+  CacheSim sim(1, SmallCache());
+  sim.Read(0, 0x1000);
+  EXPECT_TRUE(sim.Read(0, 0x1004).hit);
+  EXPECT_TRUE(sim.Read(0, 0x103F).hit);
+  EXPECT_FALSE(sim.Read(0, 0x1040).hit);  // next line
+}
+
+TEST(CacheSimTest, SecondReaderGetsForwardFirstDowngradesToShared) {
+  CacheSim sim(2, SmallCache());
+  sim.Read(0, 0x2000);  // cache 0: E
+  sim.Read(1, 0x2000);  // cache 1 misses, gets F; cache 0 downgrades to S
+  AccessResult r0 = sim.Read(0, 0x2000);
+  AccessResult r1 = sim.Read(1, 0x2000);
+  EXPECT_TRUE(r0.hit);
+  EXPECT_EQ(r0.state_at_hit, LineState::kShared);
+  EXPECT_TRUE(r1.hit);
+  EXPECT_EQ(r1.state_at_hit, LineState::kForward);
+}
+
+TEST(CacheSimTest, WriteUpgradesInvalidatesOthers) {
+  CacheSim sim(2, SmallCache());
+  sim.Read(0, 0x3000);
+  sim.Read(1, 0x3000);
+  AccessResult w = sim.Write(0, 0x3000);  // hit on S -> upgrade to M
+  EXPECT_TRUE(w.hit);
+  EXPECT_EQ(sim.stats(1).invalidations_received, 1u);
+  // Cache 1 must miss now.
+  EXPECT_FALSE(sim.Read(1, 0x3000).hit);
+}
+
+TEST(CacheSimTest, WriteMissRfoInvalidates) {
+  CacheSim sim(2, SmallCache());
+  sim.Read(1, 0x4000);
+  AccessResult w = sim.Write(0, 0x4000);
+  EXPECT_FALSE(w.hit);
+  EXPECT_EQ(sim.stats(1).invalidations_received, 1u);
+  AccessResult r = sim.Read(0, 0x4000);
+  EXPECT_TRUE(r.hit);
+  EXPECT_EQ(r.state_at_hit, LineState::kModified);
+}
+
+TEST(CacheSimTest, ModifiedWritebackOnRemoteRead) {
+  CacheSim sim(2, SmallCache());
+  sim.Write(0, 0x5000);
+  sim.Read(1, 0x5000);  // forces writeback + downgrade of cache 0
+  EXPECT_EQ(sim.stats(0).writebacks, 1u);
+  AccessResult r0 = sim.Read(0, 0x5000);
+  EXPECT_EQ(r0.state_at_hit, LineState::kShared);
+}
+
+TEST(CacheSimTest, LruEvictionWithinSet) {
+  CacheSimConfig cfg;
+  cfg.capacity_bytes = 4 * 64;  // one set, 4 ways
+  cfg.associativity = 4;
+  cfg.line_bytes = 64;
+  CacheSim sim(1, cfg);
+  for (uint64_t i = 0; i < 4; ++i) sim.Read(0, i * 64);
+  for (uint64_t i = 0; i < 4; ++i) EXPECT_TRUE(sim.Read(0, i * 64).hit);
+  sim.Read(0, 4 * 64);                   // evicts line 0 (LRU)
+  EXPECT_FALSE(sim.Read(0, 0).hit);      // line 0 gone
+  EXPECT_TRUE(sim.Read(0, 4 * 64).hit);  // newcomer resident
+}
+
+TEST(CacheSimTest, EvictionRemovesDirectoryEntry) {
+  CacheSimConfig cfg;
+  cfg.capacity_bytes = 4 * 64;
+  cfg.associativity = 4;
+  cfg.line_bytes = 64;
+  CacheSim sim(2, cfg);
+  sim.Read(0, 0);
+  for (uint64_t i = 1; i <= 4; ++i) sim.Read(0, i * 64);  // evict line 0
+  // Cache 1 reading line 0 must get Exclusive (no other holder).
+  sim.Read(1, 0);
+  EXPECT_EQ(sim.Read(1, 0).state_at_hit, LineState::kExclusive);
+}
+
+TEST(CacheSimTest, PrivateWorkingSetsHitModifiedExclusive) {
+  // The ERIS pattern: every cache works on disjoint lines.
+  CacheSim sim(4, SmallCache());
+  for (uint32_t c = 0; c < 4; ++c) {
+    uint64_t base = c * 0x10000;
+    for (int rep = 0; rep < 10; ++rep) {
+      for (uint64_t i = 0; i < 8; ++i) sim.Read(c, base + i * 64);
+    }
+  }
+  double me = sim.HitFraction({LineState::kModified, LineState::kExclusive});
+  EXPECT_GT(me, 0.95);
+}
+
+TEST(CacheSimTest, SharedWorkingSetHitsSharedForward) {
+  // The shared-index pattern: all caches read the same hot lines.
+  CacheSim sim(4, SmallCache());
+  for (int rep = 0; rep < 10; ++rep) {
+    for (uint32_t c = 0; c < 4; ++c) {
+      for (uint64_t i = 0; i < 8; ++i) sim.Read(c, i * 64);
+    }
+  }
+  double sf = sim.HitFraction({LineState::kShared, LineState::kForward});
+  EXPECT_GT(sf, 0.7);
+}
+
+TEST(CacheSimTest, TotalStatsSumCaches) {
+  CacheSim sim(2, SmallCache());
+  sim.Read(0, 0);
+  sim.Read(1, 64);
+  sim.Read(0, 0);
+  CacheStats total = sim.TotalStats();
+  EXPECT_EQ(total.read_misses, 2u);
+  EXPECT_EQ(total.read_hits, 1u);
+  EXPECT_EQ(total.accesses(), 3u);
+  EXPECT_NEAR(total.miss_ratio(), 2.0 / 3.0, 1e-9);
+}
+
+TEST(CacheSimTest, ResetStatsKeepsContents) {
+  CacheSim sim(1, SmallCache());
+  sim.Read(0, 0x100);
+  sim.ResetStats();
+  EXPECT_EQ(sim.stats(0).accesses(), 0u);
+  EXPECT_TRUE(sim.Read(0, 0x100).hit);  // line still cached
+}
+
+}  // namespace
+}  // namespace eris::sim

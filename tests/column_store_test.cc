@@ -1,0 +1,176 @@
+// Tests for the segmented column store.
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <vector>
+
+#include "common/rng.h"
+#include "numa/memory_manager.h"
+#include "storage/column_store.h"
+
+namespace eris::storage {
+namespace {
+
+class ColumnStoreTest : public ::testing::Test {
+ protected:
+  numa::NodeMemoryManager mm_{0};
+};
+
+TEST_F(ColumnStoreTest, AppendGet) {
+  ColumnStore col(&mm_);
+  EXPECT_TRUE(col.empty());
+  EXPECT_EQ(col.Append(10), 0u);
+  EXPECT_EQ(col.Append(20), 1u);
+  EXPECT_EQ(col.size(), 2u);
+  EXPECT_EQ(col.Get(0), 10u);
+  EXPECT_EQ(col.Get(1), 20u);
+}
+
+TEST_F(ColumnStoreTest, SetOverwrites) {
+  ColumnStore col(&mm_);
+  col.Append(1);
+  col.Set(0, 99);
+  EXPECT_EQ(col.Get(0), 99u);
+}
+
+TEST_F(ColumnStoreTest, CrossesSegmentBoundaries) {
+  ColumnStore col(&mm_);
+  const uint64_t n = ColumnStore::kSegmentCapacity * 2 + 17;
+  for (uint64_t i = 0; i < n; ++i) col.Append(i);
+  EXPECT_EQ(col.size(), n);
+  EXPECT_EQ(col.num_segments(), 3u);
+  for (uint64_t i = 0; i < n; i += 997) EXPECT_EQ(col.Get(i), i);
+  EXPECT_EQ(col.Get(n - 1), n - 1);
+}
+
+TEST_F(ColumnStoreTest, AppendBatchMatchesIndividual) {
+  ColumnStore a(&mm_);
+  ColumnStore b(&mm_);
+  std::vector<Value> values(150000);
+  Xoshiro256 rng(5);
+  for (auto& v : values) v = rng.Next();
+  for (Value v : values) a.Append(v);
+  b.AppendBatch(values);
+  ASSERT_EQ(a.size(), b.size());
+  for (uint64_t i = 0; i < a.size(); i += 1009) EXPECT_EQ(a.Get(i), b.Get(i));
+}
+
+TEST_F(ColumnStoreTest, ScanSumAndCount) {
+  ColumnStore col(&mm_);
+  for (Value v = 1; v <= 100; ++v) col.Append(v);
+  EXPECT_EQ(col.ScanSum(1, 100), 5050u);
+  EXPECT_EQ(col.ScanSum(10, 20), (10u + 20u) * 11 / 2);
+  EXPECT_EQ(col.ScanCount(50, 59), 10u);
+  EXPECT_EQ(col.ScanCount(1000, 2000), 0u);
+}
+
+TEST_F(ColumnStoreTest, ScanCollectGathersTids) {
+  ColumnStore col(&mm_);
+  for (Value v = 0; v < 100; ++v) col.Append(v % 10);
+  std::vector<TupleId> out;
+  EXPECT_EQ(col.ScanCollect(3, 3, &out), 10u);
+  for (TupleId tid : out) EXPECT_EQ(col.Get(tid), 3u);
+}
+
+TEST_F(ColumnStoreTest, SplitTailAligned) {
+  ColumnStore col(&mm_);
+  const uint64_t cap = ColumnStore::kSegmentCapacity;
+  for (uint64_t i = 0; i < cap * 3; ++i) col.Append(i);
+  ColumnStore tail = col.SplitTail(cap);
+  EXPECT_EQ(col.size(), cap);
+  EXPECT_EQ(tail.size(), cap * 2);
+  EXPECT_EQ(tail.Get(0), cap);
+  EXPECT_EQ(col.Get(cap - 1), cap - 1);
+}
+
+TEST_F(ColumnStoreTest, SplitTailUnaligned) {
+  ColumnStore col(&mm_);
+  for (uint64_t i = 0; i < 100000; ++i) col.Append(i);
+  ColumnStore tail = col.SplitTail(12345);
+  EXPECT_EQ(col.size(), 12345u);
+  EXPECT_EQ(tail.size(), 100000u - 12345u);
+  EXPECT_EQ(tail.Get(0), 12345u);
+  EXPECT_EQ(tail.Get(tail.size() - 1), 99999u);
+}
+
+TEST_F(ColumnStoreTest, SplitTailPastEndIsEmpty) {
+  ColumnStore col(&mm_);
+  col.Append(1);
+  ColumnStore tail = col.SplitTail(10);
+  EXPECT_TRUE(tail.empty());
+  EXPECT_EQ(col.size(), 1u);
+}
+
+TEST_F(ColumnStoreTest, AbsorbStructuralWhenAligned) {
+  ColumnStore a(&mm_);
+  ColumnStore b(&mm_);
+  const uint64_t cap = ColumnStore::kSegmentCapacity;
+  for (uint64_t i = 0; i < cap; ++i) a.Append(i);
+  for (uint64_t i = 0; i < 100; ++i) b.Append(1000000 + i);
+  a.Absorb(std::move(b));
+  EXPECT_EQ(a.size(), cap + 100);
+  EXPECT_EQ(a.Get(cap), 1000000u);
+  // Appends continue correctly after a structural absorb.
+  a.Append(42);
+  EXPECT_EQ(a.Get(a.size() - 1), 42u);
+}
+
+TEST_F(ColumnStoreTest, AbsorbCopiesWhenUnaligned) {
+  ColumnStore a(&mm_);
+  ColumnStore b(&mm_);
+  a.Append(1);  // a is unaligned now
+  for (uint64_t i = 0; i < 10; ++i) b.Append(i);
+  a.Absorb(std::move(b));
+  EXPECT_EQ(a.size(), 11u);
+  EXPECT_EQ(a.Get(1), 0u);
+  EXPECT_EQ(a.Get(10), 9u);
+}
+
+TEST_F(ColumnStoreTest, SplitAbsorbRoundTrip) {
+  ColumnStore col(&mm_);
+  Xoshiro256 rng(1);
+  std::vector<Value> ref;
+  for (int i = 0; i < 200000; ++i) {
+    Value v = rng.Next();
+    ref.push_back(v);
+    col.Append(v);
+  }
+  uint64_t sum_before = col.ScanSum(0, kMaxKey);
+  ColumnStore tail = col.SplitTail(77777);
+  col.Absorb(std::move(tail));
+  EXPECT_EQ(col.size(), ref.size());
+  EXPECT_EQ(col.ScanSum(0, kMaxKey), sum_before);
+}
+
+TEST_F(ColumnStoreTest, ClearReleasesMemory) {
+  ColumnStore col(&mm_);
+  for (uint64_t i = 0; i < 200000; ++i) col.Append(i);
+  EXPECT_GT(col.memory_bytes(), 0u);
+  col.Clear();
+  EXPECT_EQ(col.size(), 0u);
+  EXPECT_EQ(mm_.stats().bytes_in_use(), 0u);
+}
+
+TEST_F(ColumnStoreTest, ForEachVisitsInOrder) {
+  ColumnStore col(&mm_);
+  for (Value v = 0; v < 1000; ++v) col.Append(v * 3);
+  TupleId expected = 0;
+  col.ForEach([&](TupleId tid, Value v) {
+    EXPECT_EQ(tid, expected);
+    EXPECT_EQ(v, expected * 3);
+    ++expected;
+  });
+  EXPECT_EQ(expected, 1000u);
+}
+
+TEST_F(ColumnStoreTest, SegmentSpansAreConsistent) {
+  ColumnStore col(&mm_);
+  const uint64_t n = ColumnStore::kSegmentCapacity + 500;
+  for (uint64_t i = 0; i < n; ++i) col.Append(i);
+  EXPECT_EQ(col.Segment(0).size(), ColumnStore::kSegmentCapacity);
+  EXPECT_EQ(col.Segment(1).size(), 500u);
+  EXPECT_EQ(col.Segment(1)[0], ColumnStore::kSegmentCapacity);
+}
+
+}  // namespace
+}  // namespace eris::storage

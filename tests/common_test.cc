@@ -1,0 +1,202 @@
+// Unit tests for the common module: Status/Result, rng, bit utilities,
+// histogram, spinlock.
+#include <gtest/gtest.h>
+
+#include <set>
+#include <thread>
+#include <vector>
+
+#include "common/bit_util.h"
+#include "common/histogram.h"
+#include "common/rng.h"
+#include "common/spinlock.h"
+#include "common/status.h"
+
+namespace eris {
+namespace {
+
+TEST(StatusTest, OkIsDefault) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_EQ(s.ToString(), "OK");
+  EXPECT_TRUE(s.message().empty());
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status s = Status::NotFound("key 42");
+  EXPECT_FALSE(s.ok());
+  EXPECT_TRUE(s.IsNotFound());
+  EXPECT_EQ(s.message(), "key 42");
+  EXPECT_EQ(s.ToString(), "not-found: key 42");
+}
+
+TEST(StatusTest, CopyAndMoveSemantics) {
+  Status s = Status::Internal("boom");
+  Status copy = s;
+  EXPECT_EQ(copy, s);
+  Status moved = std::move(s);
+  EXPECT_TRUE(moved.IsInternal());
+  EXPECT_TRUE(s.ok());  // moved-from is OK  // NOLINT bugprone-use-after-move
+}
+
+TEST(StatusTest, AllConstructorsProduceMatchingPredicates) {
+  EXPECT_TRUE(Status::InvalidArgument("x").IsInvalidArgument());
+  EXPECT_TRUE(Status::AlreadyExists("x").IsAlreadyExists());
+  EXPECT_TRUE(Status::OutOfRange("x").IsOutOfRange());
+  EXPECT_TRUE(Status::ResourceExhausted("x").IsResourceExhausted());
+  EXPECT_TRUE(Status::FailedPrecondition("x").IsFailedPrecondition());
+  EXPECT_TRUE(Status::Unimplemented("x").IsUnimplemented());
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r = 42;
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, 42);
+  EXPECT_EQ(r.ValueOr(0), 42);
+}
+
+TEST(ResultTest, HoldsStatus) {
+  Result<int> r = Status::NotFound("nope");
+  EXPECT_FALSE(r.ok());
+  EXPECT_TRUE(r.status().IsNotFound());
+  EXPECT_EQ(r.ValueOr(-1), -1);
+}
+
+TEST(ResultTest, MoveOutValue) {
+  Result<std::vector<int>> r = std::vector<int>{1, 2, 3};
+  std::vector<int> v = std::move(r).value();
+  EXPECT_EQ(v.size(), 3u);
+}
+
+TEST(BitUtilTest, PowersOfTwo) {
+  EXPECT_TRUE(IsPowerOfTwo(1));
+  EXPECT_TRUE(IsPowerOfTwo(64));
+  EXPECT_FALSE(IsPowerOfTwo(0));
+  EXPECT_FALSE(IsPowerOfTwo(65));
+  EXPECT_EQ(NextPowerOfTwo(0), 1u);
+  EXPECT_EQ(NextPowerOfTwo(1), 1u);
+  EXPECT_EQ(NextPowerOfTwo(17), 32u);
+  EXPECT_EQ(NextPowerOfTwo(64), 64u);
+}
+
+TEST(BitUtilTest, Logs) {
+  EXPECT_EQ(Log2Floor(1), 0);
+  EXPECT_EQ(Log2Floor(255), 7);
+  EXPECT_EQ(Log2Ceil(1), 0);
+  EXPECT_EQ(Log2Ceil(255), 8);
+  EXPECT_EQ(Log2Ceil(256), 8);
+}
+
+TEST(BitUtilTest, AlignAndDiv) {
+  EXPECT_EQ(AlignUp(0, 8), 0u);
+  EXPECT_EQ(AlignUp(1, 8), 8u);
+  EXPECT_EQ(AlignUp(8, 8), 8u);
+  EXPECT_EQ(CeilDiv(10, 3), 4u);
+  EXPECT_EQ(CeilDiv(9, 3), 3u);
+}
+
+TEST(BitUtilTest, ExtractBits) {
+  EXPECT_EQ(ExtractBits(0xABCD, 8, 8), 0xABu);
+  EXPECT_EQ(ExtractBits(0xABCD, 0, 8), 0xCDu);
+  EXPECT_EQ(ExtractBits(~0ULL, 0, 64), ~0ULL);
+}
+
+TEST(RngTest, SplitMixDeterministic) {
+  SplitMix64 a(7);
+  SplitMix64 b(7);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.Next(), b.Next());
+}
+
+TEST(RngTest, XoshiroBoundedStaysInBounds) {
+  Xoshiro256 rng(1234);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(rng.NextBounded(97), 97u);
+  }
+}
+
+TEST(RngTest, XoshiroRoughlyUniform) {
+  Xoshiro256 rng(99);
+  std::vector<int> buckets(10, 0);
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) buckets[rng.NextBounded(10)]++;
+  for (int count : buckets) {
+    EXPECT_GT(count, n / 10 * 0.9);
+    EXPECT_LT(count, n / 10 * 1.1);
+  }
+}
+
+TEST(RngTest, DoubleInUnitInterval) {
+  Xoshiro256 rng(5);
+  for (int i = 0; i < 1000; ++i) {
+    double d = rng.NextDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(HistogramTest, BasicCountsAndMean) {
+  Histogram h(0, 100, 10);
+  for (int i = 0; i < 100; ++i) h.Add(i);
+  EXPECT_EQ(h.total_count(), 100u);
+  for (size_t b = 0; b < 10; ++b) EXPECT_EQ(h.bucket_count(b), 10u);
+  EXPECT_NEAR(h.Mean(), 49.5, 0.01);
+}
+
+TEST(HistogramTest, ClampsOutOfRange) {
+  Histogram h(0, 10, 5);
+  h.Add(-5);
+  h.Add(100);
+  EXPECT_EQ(h.bucket_count(0), 1u);
+  EXPECT_EQ(h.bucket_count(4), 1u);
+}
+
+TEST(HistogramTest, QuantileInterpolates) {
+  Histogram h(0, 100, 100);
+  for (int i = 0; i < 100; ++i) h.Add(i + 0.5);
+  EXPECT_NEAR(h.Quantile(0.5), 50, 2);
+  EXPECT_NEAR(h.Quantile(0.9), 90, 2);
+}
+
+TEST(HistogramTest, StdDevOfConstantIsZero) {
+  Histogram h(0, 10, 10);
+  for (int i = 0; i < 50; ++i) h.Add(5);
+  EXPECT_NEAR(h.StdDev(), 0.0, 1e-9);
+}
+
+TEST(HistogramTest, MergeAddsCounts) {
+  Histogram a(0, 10, 10);
+  Histogram b(0, 10, 10);
+  a.Add(1);
+  b.Add(2);
+  a.Merge(b);
+  EXPECT_EQ(a.total_count(), 2u);
+}
+
+TEST(SpinLockTest, MutualExclusion) {
+  SpinLock lock;
+  int counter = 0;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < 10000; ++i) {
+        std::lock_guard<SpinLock> guard(lock);
+        ++counter;
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(counter, 40000);
+}
+
+TEST(SpinLockTest, TryLock) {
+  SpinLock lock;
+  EXPECT_TRUE(lock.try_lock());
+  EXPECT_FALSE(lock.try_lock());
+  lock.unlock();
+  EXPECT_TRUE(lock.try_lock());
+  lock.unlock();
+}
+
+}  // namespace
+}  // namespace eris

@@ -1,0 +1,111 @@
+// Tests for the CSB+-tree used by range partition tables.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "common/rng.h"
+#include "storage/csb_tree.h"
+
+namespace eris::storage {
+namespace {
+
+CsbTree Build(const std::vector<uint64_t>& keys) {
+  std::vector<uint32_t> payloads(keys.size());
+  for (size_t i = 0; i < keys.size(); ++i)
+    payloads[i] = static_cast<uint32_t>(i * 10);
+  return CsbTree(keys, payloads);
+}
+
+TEST(CsbTreeTest, EmptyTree) {
+  CsbTree tree;
+  EXPECT_TRUE(tree.empty());
+  EXPECT_EQ(tree.LowerBound(5), 0u);
+  EXPECT_EQ(tree.UpperBound(5), 0u);
+}
+
+TEST(CsbTreeTest, SingleEntry) {
+  CsbTree tree = Build({100});
+  EXPECT_EQ(tree.LowerBound(50), 0u);
+  EXPECT_EQ(tree.LowerBound(100), 0u);
+  EXPECT_EQ(tree.UpperBound(100), 1u);
+  EXPECT_EQ(tree.LowerBound(150), 1u);
+  EXPECT_EQ(tree.payload(0), 0u);
+}
+
+TEST(CsbTreeTest, SmallTreeIsLeafOnly) {
+  std::vector<uint64_t> keys;
+  for (uint64_t k = 0; k < CsbTree::kNodeKeys; ++k) keys.push_back(k * 5);
+  CsbTree tree = Build(keys);
+  EXPECT_EQ(tree.levels(), 1u);
+  for (uint64_t k = 0; k < keys.size(); ++k) {
+    EXPECT_EQ(tree.LowerBound(k * 5), k);
+    EXPECT_EQ(tree.LowerBound(k * 5 + 1), k + 1);
+  }
+}
+
+TEST(CsbTreeTest, MultiLevelStructure) {
+  std::vector<uint64_t> keys;
+  for (uint64_t k = 0; k < 10000; ++k) keys.push_back(k * 3);
+  CsbTree tree = Build(keys);
+  EXPECT_GT(tree.levels(), 2u);
+  EXPECT_EQ(tree.size(), 10000u);
+}
+
+class CsbTreeSizeTest : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(CsbTreeSizeTest, MatchesStdLowerUpperBound) {
+  size_t n = GetParam();
+  eris::Xoshiro256 rng(n);
+  std::vector<uint64_t> keys;
+  uint64_t next = 0;
+  for (size_t i = 0; i < n; ++i) {
+    next += 1 + rng.NextBounded(1000);
+    keys.push_back(next);
+  }
+  CsbTree tree = Build(keys);
+  ASSERT_EQ(tree.size(), n);
+  for (int probe = 0; probe < 2000; ++probe) {
+    uint64_t needle = rng.NextBounded(next + 2000);
+    size_t expect_lb = static_cast<size_t>(
+        std::lower_bound(keys.begin(), keys.end(), needle) - keys.begin());
+    size_t expect_ub = static_cast<size_t>(
+        std::upper_bound(keys.begin(), keys.end(), needle) - keys.begin());
+    EXPECT_EQ(tree.LowerBound(needle), expect_lb) << "needle " << needle;
+    EXPECT_EQ(tree.UpperBound(needle), expect_ub) << "needle " << needle;
+  }
+  // Exact keys as needles (boundary cases).
+  for (size_t i = 0; i < n; i += std::max<size_t>(1, n / 100)) {
+    EXPECT_EQ(tree.LowerBound(keys[i]), i);
+    EXPECT_EQ(tree.UpperBound(keys[i]), i + 1);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, CsbTreeSizeTest,
+                         ::testing::Values(1, 2, 15, 16, 17, 255, 256, 257,
+                                           1000, 4096, 100000));
+
+TEST(CsbTreeTest, PayloadsFollowEntries) {
+  CsbTree tree = Build({10, 20, 30});
+  EXPECT_EQ(tree.payload(tree.UpperBound(5)), 0u);
+  EXPECT_EQ(tree.payload(tree.UpperBound(10)), 10u);
+  EXPECT_EQ(tree.payload(tree.UpperBound(25)), 20u);
+}
+
+TEST(CsbTreeTest, MemoryScalesWithSize) {
+  std::vector<uint64_t> keys;
+  for (uint64_t k = 0; k < 512; ++k) keys.push_back(k);
+  CsbTree big = Build(keys);
+  CsbTree small = Build({1, 2, 3});
+  EXPECT_GT(big.memory_bytes(), small.memory_bytes());
+}
+
+TEST(CsbTreeTest, MaxKeySentinel) {
+  CsbTree tree = Build({100, ~uint64_t{0}});
+  EXPECT_EQ(tree.UpperBound(~uint64_t{0} - 1), 1u);
+  EXPECT_EQ(tree.UpperBound(500), 1u);
+  EXPECT_EQ(tree.UpperBound(50), 0u);
+}
+
+}  // namespace
+}  // namespace eris::storage

@@ -1,0 +1,161 @@
+// Randomized differential test: the full engine against an in-memory
+// reference model, under interleaved writes, reads, scans, and rebalances
+// with randomly chosen balancing algorithms — in both execution modes.
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "common/rng.h"
+#include "core/engine.h"
+
+namespace eris::core {
+namespace {
+
+using routing::KeyValue;
+using storage::Key;
+using storage::ObjectId;
+using storage::Value;
+
+struct Chaos {
+  ExecutionMode mode;
+  uint64_t seed;
+};
+
+class DifferentialTest : public ::testing::TestWithParam<Chaos> {};
+
+TEST_P(DifferentialTest, EngineMatchesReferenceUnderChaos) {
+  const Chaos chaos = GetParam();
+  EngineOptions opts;
+  opts.topology = numa::Topology::Flat(2, 2);
+  opts.mode = chaos.mode;
+  Engine engine(opts);
+  const Key n = 1u << 15;
+  ObjectId idx = engine.CreateIndex("kv", n,
+                                    {.prefix_bits = 8, .key_bits = 15});
+  ObjectId col = engine.CreateColumn("facts");
+  engine.Start();
+  auto session = engine.CreateSession();
+
+  std::map<Key, Value> ref_index;
+  std::vector<Value> ref_column;
+  Xoshiro256 rng(chaos.seed);
+
+  for (int round = 0; round < 40; ++round) {
+    switch (rng.NextBounded(7)) {
+      case 0: {  // insert batch
+        std::vector<KeyValue> kvs;
+        for (int i = 0; i < 400; ++i) {
+          kvs.push_back({rng.NextBounded(n), rng.Next()});
+        }
+        uint64_t inserted = session->Insert(idx, kvs);
+        uint64_t expect = 0;
+        for (const KeyValue& kv : kvs) {
+          if (ref_index.emplace(kv.key, kv.value).second) ++expect;
+        }
+        ASSERT_EQ(inserted, expect) << "round " << round;
+        break;
+      }
+      case 1: {  // upsert batch (last write wins within the batch)
+        std::vector<KeyValue> kvs;
+        for (int i = 0; i < 400; ++i) {
+          kvs.push_back({rng.NextBounded(n), rng.Next()});
+        }
+        session->Upsert(idx, kvs);
+        for (const KeyValue& kv : kvs) ref_index[kv.key] = kv.value;
+        break;
+      }
+      case 2: {  // erase batch
+        std::vector<Key> keys;
+        for (int i = 0; i < 200; ++i) keys.push_back(rng.NextBounded(n));
+        uint64_t erased = session->Erase(idx, keys);
+        uint64_t expect = 0;
+        for (Key k : keys) expect += ref_index.erase(k);
+        ASSERT_EQ(erased, expect) << "round " << round;
+        break;
+      }
+      case 3: {  // lookup batch with value verification
+        std::vector<Key> keys;
+        for (int i = 0; i < 300; ++i) keys.push_back(rng.NextBounded(n));
+        auto values = session->LookupValues(idx, keys);
+        for (size_t i = 0; i < keys.size(); ++i) {
+          auto it = ref_index.find(keys[i]);
+          if (it == ref_index.end()) {
+            ASSERT_EQ(values[i], std::nullopt) << keys[i];
+          } else {
+            ASSERT_EQ(values[i], std::optional<Value>(it->second)) << keys[i];
+          }
+        }
+        break;
+      }
+      case 4: {  // index range scan row count
+        Key lo = rng.NextBounded(n);
+        Key hi = lo + 1 + rng.NextBounded(n - lo);
+        ScanResult r = session->ScanIndexRange(idx, lo, hi);
+        uint64_t expect = static_cast<uint64_t>(
+            std::distance(ref_index.lower_bound(lo),
+                          ref_index.lower_bound(hi)));
+        ASSERT_EQ(r.rows, expect) << "round " << round;
+        break;
+      }
+      case 5: {  // column append + full scan
+        std::vector<Value> values;
+        for (int i = 0; i < 500; ++i) values.push_back(rng.NextBounded(1000));
+        session->Append(col, values);
+        ref_column.insert(ref_column.end(), values.begin(), values.end());
+        ScanResult r = session->ScanColumn(col);
+        uint64_t expect_sum = 0;
+        for (Value v : ref_column) expect_sum += v;
+        ASSERT_EQ(r.rows, ref_column.size()) << "round " << round;
+        ASSERT_EQ(r.sum, expect_sum) << "round " << round;
+        break;
+      }
+      default: {  // rebalance with a random algorithm
+        LoadBalancerConfig cfg;
+        cfg.algorithm = rng.NextBounded(2) == 0
+                            ? BalanceAlgorithm::kOneShot
+                            : BalanceAlgorithm::kMovingAverage;
+        cfg.ma_window = 1 + static_cast<uint32_t>(rng.NextBounded(4));
+        cfg.trigger_cv = 0.01;
+        cfg.min_total_accesses = 1;
+        engine.RebalanceObject(idx, cfg);
+        engine.RebalanceObject(col, cfg);
+        break;
+      }
+    }
+  }
+
+  // Final exhaustive verification of the index.
+  std::vector<Key> all_keys;
+  for (const auto& [k, v] : ref_index) all_keys.push_back(k);
+  auto values = session->LookupValues(idx, all_keys);
+  for (size_t i = 0; i < all_keys.size(); ++i) {
+    ASSERT_EQ(values[i], std::optional<Value>(ref_index[all_keys[i]]));
+  }
+  uint64_t total_tuples = 0;
+  for (routing::AeuId a = 0; a < engine.num_aeus(); ++a) {
+    total_tuples += engine.aeu(a).partition(idx)->tuple_count();
+  }
+  EXPECT_EQ(total_tuples, ref_index.size());
+  engine.Stop();
+}
+
+std::vector<Chaos> AllChaos() {
+  std::vector<Chaos> out;
+  for (ExecutionMode mode :
+       {ExecutionMode::kSimulated, ExecutionMode::kThreads}) {
+    for (uint64_t seed : {1ull, 7ull, 1234ull}) out.push_back({mode, seed});
+  }
+  return out;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    ModesAndSeeds, DifferentialTest, ::testing::ValuesIn(AllChaos()),
+    [](const auto& info) {
+      return std::string(info.param.mode == ExecutionMode::kSimulated
+                             ? "Simulated"
+                             : "Threads") +
+             "Seed" + std::to_string(info.param.seed);
+    });
+
+}  // namespace
+}  // namespace eris::core

@@ -1,0 +1,87 @@
+// Tests for the energy model (future-work extension).
+#include <gtest/gtest.h>
+
+#include "sim/energy.h"
+
+namespace eris::sim {
+namespace {
+
+TEST(EnergyModelTest, ZeroWindowZeroEnergy) {
+  numa::Topology topo = numa::Topology::Flat(1, 2);
+  ResourceUsage usage(topo, 2);
+  EnergyModel model;
+  EnergyBreakdown e = model.Compute(usage);
+  EXPECT_DOUBLE_EQ(e.total(), 0.0);
+}
+
+TEST(EnergyModelTest, BusyCoreCostsMoreThanIdle) {
+  numa::Topology topo = numa::Topology::Flat(1, 2);
+  ResourceUsage usage(topo, 2);
+  usage.AddComputeNs(0, 1e9);  // worker 0 busy for the whole 1 s window
+  EnergyModel model;
+  EnergyBreakdown e = model.Compute(usage);
+  // worker 0: 1 s busy; worker 1: 1 s idle.
+  EXPECT_NEAR(e.busy, model.params().core_busy_watts, 1e-9);
+  EXPECT_NEAR(e.idle, model.params().core_idle_watts, 1e-9);
+  EXPECT_GT(e.busy, e.idle);
+}
+
+TEST(EnergyModelTest, DvfsLowersIdleOnly) {
+  numa::Topology topo = numa::Topology::Flat(1, 4);
+  ResourceUsage usage(topo, 4);
+  usage.AddComputeNs(0, 1e9);
+  EnergyModel model;
+  EnergyBreakdown nominal = model.Compute(usage, false);
+  EnergyBreakdown dvfs = model.Compute(usage, true);
+  EXPECT_DOUBLE_EQ(nominal.busy, dvfs.busy);
+  EXPECT_LT(dvfs.idle, nominal.idle);
+  EXPECT_LT(dvfs.total(), nominal.total());
+}
+
+TEST(EnergyModelTest, TrafficEnergyScalesWithBytes) {
+  numa::Topology topo = numa::Topology::IntelMachine();
+  ResourceUsage usage(topo, 4);
+  usage.AddComputeNs(0, 1e6);
+  usage.AddMemoryTraffic(0, 1, 1'000'000'000);  // 1 GB remote
+  EnergyModel model;
+  EnergyBreakdown e = model.Compute(usage);
+  EXPECT_NEAR(e.dram, model.params().dram_nj_per_byte, 1e-6);
+  EXPECT_GT(e.link, 0.0);
+}
+
+TEST(EnergyModelTest, BalancedRunBeatsImbalancedAtSameWork) {
+  // The load-balancing energy argument: the same total busy work finishes
+  // in a quarter of the wall time when spread over 4 workers, so the idle
+  // and static energy shrink.
+  numa::Topology topo = numa::Topology::Flat(1, 4);
+  EnergyModel model;
+
+  ResourceUsage imbalanced(topo, 4);
+  imbalanced.AddComputeNs(0, 4e8);  // all work on one core
+  EnergyBreakdown e_imb = model.Compute(imbalanced);
+
+  ResourceUsage balanced(topo, 4);
+  for (uint32_t w = 0; w < 4; ++w) balanced.AddComputeNs(w, 1e8);
+  EnergyBreakdown e_bal = model.Compute(balanced);
+
+  EXPECT_DOUBLE_EQ(e_imb.busy, e_bal.busy);  // same work
+  EXPECT_LT(e_bal.idle, e_imb.idle);
+  EXPECT_LT(e_bal.static_, e_imb.static_);
+  EXPECT_LT(e_bal.total(), e_imb.total());
+}
+
+TEST(EnergyModelTest, BusyClampedToWindow) {
+  // A worker's busy time can never exceed the window (defensive: the
+  // critical time is the max, so equality is the bound).
+  numa::Topology topo = numa::Topology::Flat(1, 2);
+  ResourceUsage usage(topo, 2);
+  usage.AddComputeNs(0, 5e8);
+  usage.AddComputeNs(1, 1e9);
+  EnergyModel model;
+  EnergyBreakdown e = model.Compute(usage);
+  double expect_busy = (0.5 + 1.0) * model.params().core_busy_watts;
+  EXPECT_NEAR(e.busy, expect_busy, 1e-9);
+}
+
+}  // namespace
+}  // namespace eris::sim

@@ -1,0 +1,331 @@
+// End-to-end tests of the Engine façade in both execution modes.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+#include <vector>
+
+#include "common/rng.h"
+#include "core/engine.h"
+
+namespace eris::core {
+namespace {
+
+using routing::KeyValue;
+using storage::Key;
+using storage::ObjectId;
+using storage::Value;
+
+EngineOptions SimOptionsFor(uint32_t nodes, uint32_t cores) {
+  EngineOptions opts;
+  opts.topology = numa::Topology::Flat(nodes, cores);
+  opts.mode = ExecutionMode::kSimulated;
+  return opts;
+}
+
+class EngineModeTest : public ::testing::TestWithParam<ExecutionMode> {
+ protected:
+  EngineOptions MakeOptions() {
+    EngineOptions opts;
+    opts.topology = numa::Topology::Flat(2, 2);
+    opts.mode = GetParam();
+    return opts;
+  }
+};
+
+TEST_P(EngineModeTest, InsertLookupRoundTrip) {
+  Engine engine(MakeOptions());
+  ObjectId idx = engine.CreateIndex("kv", 1u << 20,
+                                    {.prefix_bits = 8, .key_bits = 20});
+  engine.Start();
+  auto session = engine.CreateSession();
+
+  std::vector<KeyValue> kvs;
+  for (Key k = 0; k < 10000; ++k) kvs.push_back({k * 7 % (1u << 20), k});
+  uint64_t inserted = session->Insert(idx, kvs);
+  // Keys collide modulo the domain; inserted <= kvs.size().
+  EXPECT_GT(inserted, 0u);
+  EXPECT_LE(inserted, kvs.size());
+
+  std::vector<Key> keys;
+  for (const KeyValue& kv : kvs) keys.push_back(kv.key);
+  EXPECT_EQ(session->Lookup(idx, keys), keys.size());
+
+  std::vector<Key> missing{1u << 19 | 12345, 999999};
+  // These keys may or may not exist depending on the modulo pattern;
+  // lookups on definitely-absent keys:
+  std::vector<Key> absent;
+  for (Key k = 0; k < 100; ++k) {
+    Key candidate = (k * 7919 + 13) % (1u << 20);
+    bool used = false;
+    for (const KeyValue& kv : kvs) {
+      if (kv.key == candidate) {
+        used = true;
+        break;
+      }
+    }
+    if (!used) absent.push_back(candidate);
+  }
+  EXPECT_EQ(session->Lookup(idx, absent), 0u);
+  engine.Stop();
+}
+
+TEST_P(EngineModeTest, LookupValuesReturnsPerKeyResults) {
+  Engine engine(MakeOptions());
+  ObjectId idx = engine.CreateIndex("kv", 1u << 16,
+                                    {.prefix_bits = 4, .key_bits = 16});
+  engine.Start();
+  auto session = engine.CreateSession();
+  std::vector<KeyValue> kvs{{100, 1}, {200, 2}, {65000, 3}};
+  session->Insert(idx, kvs);
+  std::vector<Key> probe{100, 101, 200, 65000};
+  auto results = session->LookupValues(idx, probe);
+  ASSERT_EQ(results.size(), 4u);
+  EXPECT_EQ(results[0], std::optional<Value>(1));
+  EXPECT_EQ(results[1], std::nullopt);
+  EXPECT_EQ(results[2], std::optional<Value>(2));
+  EXPECT_EQ(results[3], std::optional<Value>(3));
+  engine.Stop();
+}
+
+TEST_P(EngineModeTest, UpsertOverwrites) {
+  Engine engine(MakeOptions());
+  ObjectId idx = engine.CreateIndex("kv", 1u << 16,
+                                    {.prefix_bits = 8, .key_bits = 16});
+  engine.Start();
+  auto session = engine.CreateSession();
+  std::vector<KeyValue> kvs{{1, 10}, {2, 20}};
+  EXPECT_EQ(session->Upsert(idx, kvs), 2u);  // both new
+  std::vector<KeyValue> again{{1, 11}, {3, 30}};
+  EXPECT_EQ(session->Upsert(idx, again), 1u);  // only key 3 is new
+  auto results = session->LookupValues(idx, std::vector<Key>{1, 2, 3});
+  EXPECT_EQ(results[0], std::optional<Value>(11));
+  EXPECT_EQ(results[1], std::optional<Value>(20));
+  EXPECT_EQ(results[2], std::optional<Value>(30));
+  engine.Stop();
+}
+
+TEST_P(EngineModeTest, EraseRemovesKeys) {
+  Engine engine(MakeOptions());
+  ObjectId idx = engine.CreateIndex("kv", 1u << 16,
+                                    {.prefix_bits = 8, .key_bits = 16});
+  engine.Start();
+  auto session = engine.CreateSession();
+  std::vector<KeyValue> kvs;
+  for (Key k = 0; k < 1000; ++k) kvs.push_back({k, k});
+  session->Insert(idx, kvs);
+  std::vector<Key> to_erase;
+  for (Key k = 0; k < 1000; k += 2) to_erase.push_back(k);
+  EXPECT_EQ(session->Erase(idx, to_erase), to_erase.size());
+  std::vector<Key> all;
+  for (Key k = 0; k < 1000; ++k) all.push_back(k);
+  EXPECT_EQ(session->Lookup(idx, all), 500u);
+  engine.Stop();
+}
+
+TEST_P(EngineModeTest, ColumnAppendAndScan) {
+  Engine engine(MakeOptions());
+  ObjectId col = engine.CreateColumn("facts");
+  engine.Start();
+  auto session = engine.CreateSession();
+  std::vector<Value> values;
+  uint64_t expected_sum = 0;
+  for (Value v = 1; v <= 20000; ++v) {
+    values.push_back(v);
+    expected_sum += v;
+  }
+  session->Append(col, values);
+  ScanResult full = session->ScanColumn(col);
+  EXPECT_EQ(full.rows, values.size());
+  EXPECT_EQ(full.sum, expected_sum);
+
+  // Filtered scan.
+  ScanResult filtered = session->ScanColumn(col, 1, 100);
+  EXPECT_EQ(filtered.rows, 100u);
+  EXPECT_EQ(filtered.sum, 100u * 101 / 2);
+  engine.Stop();
+}
+
+TEST_P(EngineModeTest, IndexRangeScan) {
+  Engine engine(MakeOptions());
+  ObjectId idx = engine.CreateIndex("kv", 1u << 20,
+                                    {.prefix_bits = 8, .key_bits = 20});
+  engine.Start();
+  auto session = engine.CreateSession();
+  std::vector<KeyValue> kvs;
+  for (Key k = 0; k < 50000; ++k) kvs.push_back({k, 1});
+  session->Insert(idx, kvs);
+  ScanResult r = session->ScanIndexRange(idx, 1000, 2000);
+  EXPECT_EQ(r.rows, 1000u);
+  EXPECT_EQ(r.sum, 1000u);
+  // Scan crossing many partitions.
+  ScanResult all = session->ScanIndexRange(idx, 0, 50000);
+  EXPECT_EQ(all.rows, 50000u);
+  engine.Stop();
+}
+
+TEST_P(EngineModeTest, FenceCompletes) {
+  Engine engine(MakeOptions());
+  engine.CreateIndex("kv", 1u << 16, {.prefix_bits = 8, .key_bits = 16});
+  engine.Start();
+  auto session = engine.CreateSession();
+  session->Fence();  // must not hang
+  engine.Stop();
+}
+
+INSTANTIATE_TEST_SUITE_P(Modes, EngineModeTest,
+                         ::testing::Values(ExecutionMode::kSimulated,
+                                           ExecutionMode::kThreads),
+                         [](const auto& info) {
+                           return info.param == ExecutionMode::kSimulated
+                                      ? "Simulated"
+                                      : "Threads";
+                         });
+
+TEST(EngineLifecycleTest, StopIsIdempotentAndRestartWorks) {
+  EngineOptions opts;
+  opts.topology = numa::Topology::Flat(1, 2);
+  opts.mode = ExecutionMode::kThreads;
+  Engine engine(opts);
+  ObjectId idx = engine.CreateIndex("kv", 1u << 10,
+                                    {.prefix_bits = 5, .key_bits = 10});
+  engine.Start();
+  {
+    auto session = engine.CreateSession();
+    std::vector<KeyValue> kvs{{1, 10}};
+    session->Insert(idx, kvs);
+  }
+  engine.Stop();
+  engine.Stop();  // idempotent
+  EXPECT_FALSE(engine.started());
+  // Restart: data survives, new commands process.
+  engine.Start();
+  auto session = engine.CreateSession();
+  EXPECT_EQ(session->Lookup(idx, std::vector<Key>{1}), 1u);
+  std::vector<KeyValue> more{{2, 20}};
+  session->Insert(idx, more);
+  EXPECT_EQ(session->Lookup(idx, std::vector<Key>{2}), 1u);
+  engine.Stop();
+}
+
+TEST(EngineConfigTest, NumAeusOverride) {
+  EngineOptions opts = SimOptionsFor(2, 4);
+  opts.num_aeus = 3;  // fewer AEUs than cores
+  Engine engine(opts);
+  EXPECT_EQ(engine.num_aeus(), 3u);
+  ObjectId idx = engine.CreateIndex("kv", 300,
+                                    {.prefix_bits = 5, .key_bits = 10});
+  engine.Start();
+  auto session = engine.CreateSession();
+  std::vector<KeyValue> kvs;
+  for (Key k = 0; k < 300; ++k) kvs.push_back({k, k});
+  EXPECT_EQ(session->Insert(idx, kvs), 300u);
+  // Exactly three partitions share the domain.
+  uint64_t total = 0;
+  for (routing::AeuId a = 0; a < 3; ++a) {
+    total += engine.aeu(a).partition(idx)->tuple_count();
+    EXPECT_GT(engine.aeu(a).partition(idx)->tuple_count(), 0u);
+  }
+  EXPECT_EQ(total, 300u);
+  engine.Stop();
+}
+
+TEST(EngineKeyedHashObjectTest, RangeScanOverHashContainer) {
+  // A kHash *container* with range *partitioning* (the paper's pairing for
+  // hash tables): range scans remain answerable, unordered per partition.
+  EngineOptions opts = SimOptionsFor(2, 2);
+  Engine engine(opts);
+  ObjectId ht = engine.CreateHashTable("ht", 1u << 12);
+  engine.Start();
+  auto session = engine.CreateSession();
+  std::vector<KeyValue> kvs;
+  for (Key k = 0; k < 4096; ++k) kvs.push_back({k, 1});
+  session->Insert(ht, kvs);
+  ScanResult r = session->ScanIndexRange(ht, 100, 1100);
+  EXPECT_EQ(r.rows, 1000u);
+  engine.Stop();
+}
+
+TEST(EngineSessionTest, SessionsRoundRobinOverNodes) {
+  EngineOptions opts = SimOptionsFor(4, 1);
+  opts.sim.enabled = true;
+  Engine engine(opts);
+  ObjectId col = engine.CreateColumn("c");
+  engine.Start();
+  // Four sessions on four nodes: their routed appends originate from all
+  // nodes (observable through destination-spread traffic being nonzero on
+  // several links once sources differ).
+  std::vector<std::unique_ptr<Engine::Session>> sessions;
+  for (int i = 0; i < 4; ++i) sessions.push_back(engine.CreateSession());
+  for (auto& s : sessions) s->Append(col, std::vector<Value>{1, 2, 3});
+  ScanResult r = sessions[0]->ScanColumn(col);
+  EXPECT_EQ(r.rows, 12u);
+  engine.Stop();
+}
+
+TEST(EngineStatsTest, ReportMentionsObjectsAndCounters) {
+  EngineOptions opts = SimOptionsFor(2, 2);
+  Engine engine(opts);
+  engine.CreateIndex("orders", 1u << 16, {.prefix_bits = 8, .key_bits = 16});
+  engine.CreateColumn("amounts");
+  engine.Start();
+  auto session = engine.CreateSession();
+  std::vector<KeyValue> kvs{{1, 1}, {2, 2}};
+  session->Insert(0, kvs);
+  std::string report = engine.StatsReport();
+  EXPECT_NE(report.find("orders"), std::string::npos);
+  EXPECT_NE(report.find("amounts"), std::string::npos);
+  EXPECT_NE(report.find("2 tuples"), std::string::npos);
+  EXPECT_NE(report.find("commands processed"), std::string::npos);
+  engine.Stop();
+}
+
+TEST(EngineSimTest, SimulatedCostsAccumulate) {
+  EngineOptions opts = SimOptionsFor(4, 2);
+  opts.sim.enabled = true;
+  Engine engine(opts);
+  ObjectId idx = engine.CreateIndex("kv", 1u << 20,
+                                    {.prefix_bits = 8, .key_bits = 20});
+  engine.Start();
+  auto session = engine.CreateSession();
+  std::vector<KeyValue> kvs;
+  for (Key k = 0; k < 20000; ++k) kvs.push_back({k * 13 % (1u << 20), k});
+  session->Upsert(idx, kvs);
+  EXPECT_GT(engine.resource_usage().CriticalTimeNs(), 0.0);
+  EXPECT_GT(engine.resource_usage().TotalMemCtrlBytes(), 0u);
+  engine.Stop();
+}
+
+TEST(EngineSimTest, LargerMachineFinishesFasterOnSameWork) {
+  // Scalability in simulated time: 8 nodes must beat 2 nodes.
+  double times[2];
+  int i = 0;
+  for (uint32_t nodes : {2u, 8u}) {
+    EngineOptions opts;
+    opts.topology = numa::Topology::SgiMachine(nodes);
+    opts.mode = ExecutionMode::kSimulated;
+    opts.sim.enabled = true;
+    Engine engine(opts);
+    ObjectId idx = engine.CreateIndex("kv", 1u << 22,
+                                      {.prefix_bits = 8, .key_bits = 22});
+    engine.Start();
+    auto session = engine.CreateSession();
+    std::vector<KeyValue> kvs;
+    Xoshiro256 rng(7);
+    for (int k = 0; k < 50000; ++k) {
+      Key key = rng.NextBounded(1u << 22);
+      kvs.push_back({key, 1});
+    }
+    session->Upsert(idx, kvs);
+    engine.resource_usage().Reset();
+    std::vector<Key> probes;
+    for (int k = 0; k < 100000; ++k) probes.push_back(rng.NextBounded(1u << 22));
+    session->Lookup(idx, probes);
+    times[i++] = engine.resource_usage().CriticalTimeNs();
+    engine.Stop();
+  }
+  EXPECT_LT(times[1], times[0]);
+}
+
+}  // namespace
+}  // namespace eris::core

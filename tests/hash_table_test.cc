@@ -1,0 +1,139 @@
+// Tests for the per-partition linear-probing hash table.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <vector>
+
+#include "common/rng.h"
+#include "numa/memory_manager.h"
+#include "storage/hash_table.h"
+
+namespace eris::storage {
+namespace {
+
+class HashTableTest : public ::testing::Test {
+ protected:
+  numa::NodeMemoryManager mm_{0};
+};
+
+TEST_F(HashTableTest, InsertLookup) {
+  HashTable ht(&mm_);
+  EXPECT_TRUE(ht.Insert(1, 10));
+  EXPECT_FALSE(ht.Insert(1, 20));
+  EXPECT_EQ(ht.Lookup(1), std::optional<Value>(10));
+  EXPECT_EQ(ht.Lookup(2), std::nullopt);
+  EXPECT_EQ(ht.size(), 1u);
+}
+
+TEST_F(HashTableTest, UpsertOverwrites) {
+  HashTable ht(&mm_);
+  EXPECT_TRUE(ht.Upsert(5, 1));
+  EXPECT_FALSE(ht.Upsert(5, 2));
+  EXPECT_EQ(ht.Lookup(5), std::optional<Value>(2));
+}
+
+TEST_F(HashTableTest, EraseWithBackwardShift) {
+  HashTable ht(&mm_);
+  for (Key k = 0; k < 1000; ++k) ht.Insert(k, k);
+  for (Key k = 0; k < 1000; k += 3) EXPECT_TRUE(ht.Erase(k));
+  for (Key k = 0; k < 1000; ++k) {
+    if (k % 3 == 0) {
+      EXPECT_EQ(ht.Lookup(k), std::nullopt);
+    } else {
+      EXPECT_EQ(ht.Lookup(k), std::optional<Value>(k)) << k;
+    }
+  }
+}
+
+TEST_F(HashTableTest, GrowsPastInitialCapacity) {
+  HashTable ht(&mm_, 0, 16);
+  for (Key k = 0; k < 10000; ++k) ht.Insert(k * 7, k);
+  EXPECT_EQ(ht.size(), 10000u);
+  EXPECT_GT(ht.capacity(), 10000u);
+  for (Key k = 0; k < 10000; k += 111) {
+    EXPECT_EQ(ht.Lookup(k * 7), std::optional<Value>(k));
+  }
+}
+
+TEST_F(HashTableTest, SaltChangesLayoutNotSemantics) {
+  HashTable a(&mm_, 1);
+  HashTable b(&mm_, 2);
+  for (Key k = 0; k < 100; ++k) {
+    a.Insert(k, k);
+    b.Insert(k, k);
+  }
+  for (Key k = 0; k < 100; ++k) {
+    EXPECT_EQ(a.Lookup(k), b.Lookup(k));
+  }
+  EXPECT_EQ(a.salt(), 1u);
+  EXPECT_EQ(b.salt(), 2u);
+}
+
+TEST_F(HashTableTest, ForEachVisitsEverything) {
+  HashTable ht(&mm_);
+  std::map<Key, Value> reference;
+  for (Key k = 100; k < 200; ++k) {
+    ht.Insert(k, k * 2);
+    reference[k] = k * 2;
+  }
+  std::map<Key, Value> seen;
+  ht.ForEach([&](Key k, Value v) { seen[k] = v; });
+  EXPECT_EQ(seen, reference);
+}
+
+TEST_F(HashTableTest, ClearEmpties) {
+  HashTable ht(&mm_);
+  ht.Insert(1, 1);
+  ht.Clear();
+  EXPECT_EQ(ht.size(), 0u);
+  EXPECT_EQ(ht.Lookup(1), std::nullopt);
+}
+
+TEST_F(HashTableTest, RandomizedAgainstStdMap) {
+  HashTable ht(&mm_, 42, 16);
+  std::map<Key, Value> reference;
+  Xoshiro256 rng(8);
+  for (int i = 0; i < 30000; ++i) {
+    Key k = rng.NextBounded(2000);
+    switch (rng.NextBounded(4)) {
+      case 0: {
+        bool was_new = ht.Upsert(k, i);
+        EXPECT_EQ(was_new, reference.find(k) == reference.end());
+        reference[k] = i;
+        break;
+      }
+      case 1: {
+        bool was_new = ht.Insert(k, i);
+        bool expect_new = reference.find(k) == reference.end();
+        EXPECT_EQ(was_new, expect_new);
+        if (expect_new) reference[k] = i;
+        break;
+      }
+      case 2: {
+        EXPECT_EQ(ht.Erase(k), reference.erase(k) > 0);
+        break;
+      }
+      default: {
+        auto it = reference.find(k);
+        auto got = ht.Lookup(k);
+        if (it == reference.end()) {
+          EXPECT_EQ(got, std::nullopt);
+        } else {
+          EXPECT_EQ(got, std::optional<Value>(it->second));
+        }
+      }
+    }
+    EXPECT_EQ(ht.size(), reference.size());
+  }
+}
+
+TEST_F(HashTableTest, MoveTransfersOwnership) {
+  HashTable a(&mm_);
+  a.Insert(3, 30);
+  HashTable b = std::move(a);
+  EXPECT_EQ(b.Lookup(3), std::optional<Value>(30));
+  EXPECT_EQ(a.size(), 0u);  // NOLINT bugprone-use-after-move
+}
+
+}  // namespace
+}  // namespace eris::storage

@@ -1,0 +1,134 @@
+// Tests for the analytic index cost model: the mechanism behind the paper's
+// superlinear ERIS scaling and the shared index's early memory-bound regime.
+#include <gtest/gtest.h>
+
+#include "sim/index_model.h"
+
+namespace eris::sim {
+namespace {
+
+TreeShape Shape(uint32_t levels, uint64_t bytes, uint64_t keys = 1000000) {
+  TreeShape s;
+  s.levels = levels;
+  s.fanout = 256;
+  s.keys = keys;
+  s.bytes = bytes;
+  return s;
+}
+
+TEST(CachedLevelsTest, ZeroBudgetCachesNothing) {
+  EXPECT_DOUBLE_EQ(CachedLevels(Shape(4, 1 << 20), 0.0), 0.0);
+}
+
+TEST(CachedLevelsTest, HugeBudgetCachesEverything) {
+  EXPECT_DOUBLE_EQ(CachedLevels(Shape(4, 1 << 20), 1e18), 4.0);
+}
+
+TEST(CachedLevelsTest, UpperLevelsCheapLowerExpensive) {
+  // 4 levels over 16 MiB: level bytes from root: 1KiB, 256KiB... no —
+  // bytes/fanout^(L-1-d): d=0 -> 16MiB/256^3, d=3 -> 16MiB.
+  TreeShape s = Shape(4, 16 << 20);
+  double one_kib = CachedLevels(s, 1024.0);
+  double mid = CachedLevels(s, 70000.0);
+  double big = CachedLevels(s, static_cast<double>(17 << 20));
+  EXPECT_GT(one_kib, 1.9);   // root and second level are tiny (< 300 B)
+  EXPECT_LT(one_kib, 2.5);
+  EXPECT_GT(mid, one_kib);
+  EXPECT_GT(big, 3.0);
+  EXPECT_LE(big, 4.0);
+}
+
+TEST(CachedLevelsTest, MonotoneInBudget) {
+  TreeShape s = Shape(5, 1ull << 28);
+  double prev = -1;
+  for (double budget = 0; budget < 1e9; budget = budget * 2 + 1024) {
+    double c = CachedLevels(s, budget);
+    EXPECT_GE(c, prev);
+    prev = c;
+  }
+}
+
+TEST(CachedLevelsTest, BiggerTreeCachesFewerLevels) {
+  double budget = 1 << 20;
+  double small = CachedLevels(Shape(4, 1 << 22), budget);
+  double large = CachedLevels(Shape(4, 1 << 30), budget);
+  EXPECT_GT(small, large);
+}
+
+TEST(PointOpCostTest, LocalBeatsInterleaved) {
+  numa::Topology topo = numa::Topology::AmdMachine();
+  CostModel model(topo);
+  TreeShape s = Shape(4, 1 << 26);
+  PointOpCost local = BatchPointOpCost(model, 0, 0, s, 1 << 20, 1000, false,
+                                       false, false);
+  PointOpCost inter = BatchPointOpCost(model, 0, 0, s, 1 << 20, 1000, true,
+                                       false, false);
+  EXPECT_LT(local.compute_ns, inter.compute_ns);
+  EXPECT_EQ(local.remote_bytes, 0u);
+  EXPECT_GT(inter.remote_bytes, 0u);
+}
+
+TEST(PointOpCostTest, CoherenceWritePenaltyApplies) {
+  numa::Topology topo = numa::Topology::AmdMachine();
+  CostModel model(topo);
+  TreeShape s = Shape(4, 1 << 26);
+  PointOpCost plain = BatchPointOpCost(model, 0, 0, s, 1 << 20, 1000, true,
+                                       true, false);
+  PointOpCost coherent = BatchPointOpCost(model, 0, 0, s, 1 << 20, 1000, true,
+                                          true, true);
+  EXPECT_GT(coherent.compute_ns, plain.compute_ns);
+  EXPECT_GT(coherent.remote_bytes, plain.remote_bytes);
+}
+
+TEST(PointOpCostTest, MoreCacheMakesOpsCheaper) {
+  numa::Topology topo = numa::Topology::SgiMachine(8);
+  CostModel model(topo);
+  TreeShape s = Shape(4, 1 << 26);
+  PointOpCost small_cache =
+      BatchPointOpCost(model, 0, 0, s, 1 << 16, 1000, false, false, false);
+  PointOpCost big_cache =
+      BatchPointOpCost(model, 0, 0, s, 1 << 24, 1000, false, false, false);
+  EXPECT_LT(big_cache.compute_ns, small_cache.compute_ns);
+  EXPECT_LT(big_cache.dram_bytes, small_cache.dram_bytes);
+}
+
+TEST(PointOpCostTest, CostScalesLinearlyWithCount) {
+  numa::Topology topo = numa::Topology::IntelMachine();
+  CostModel model(topo);
+  TreeShape s = Shape(4, 1 << 26);
+  PointOpCost one =
+      BatchPointOpCost(model, 0, 0, s, 1 << 20, 100, false, false, false);
+  PointOpCost ten =
+      BatchPointOpCost(model, 0, 0, s, 1 << 20, 1000, false, false, false);
+  EXPECT_NEAR(ten.compute_ns / one.compute_ns, 10.0, 0.01);
+}
+
+TEST(PointOpCostTest, ZeroCountIsFree) {
+  numa::Topology topo = numa::Topology::IntelMachine();
+  CostModel model(topo);
+  PointOpCost c = BatchPointOpCost(model, 0, 0, Shape(4, 1 << 20), 1 << 20, 0,
+                                   false, false, false);
+  EXPECT_DOUBLE_EQ(c.compute_ns, 0.0);
+  EXPECT_EQ(c.dram_bytes, 0u);
+}
+
+TEST(PointOpCostTest, PartitionedAggregateCacheBeatsShared) {
+  // The superlinear-scaling mechanism: with n nodes, each ERIS partition is
+  // 1/n of the data but every node contributes its own LLC, while the
+  // shared index replicates the same hot set in every LLC. Per-op cost of a
+  // partition of size B/n under budget C must be lower than a shared tree
+  // of size B under the same per-node budget C.
+  numa::Topology topo = numa::Topology::SgiMachine(16);
+  CostModel model(topo);
+  double llc = 20e6;
+  uint64_t total_bytes = 1ull << 34;
+  PointOpCost eris = BatchPointOpCost(
+      model, 0, 0, Shape(4, total_bytes / 16), llc / 8, 1000, false, false,
+      false);
+  PointOpCost shared = BatchPointOpCost(
+      model, 0, 0, Shape(4, total_bytes), llc / 8, 1000, true, false, false);
+  EXPECT_LT(eris.compute_ns, shared.compute_ns);
+}
+
+}  // namespace
+}  // namespace eris::sim

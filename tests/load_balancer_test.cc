@@ -1,0 +1,228 @@
+// Tests for the load balancing algorithms: MA smoothing, target boundary
+// computation (the Figure 6 scenario), and plan building.
+#include <gtest/gtest.h>
+
+#include "core/load_balancer.h"
+
+namespace eris::core {
+namespace {
+
+using routing::RangeEntry;
+using storage::Key;
+using storage::kMaxKey;
+
+std::vector<RangeEntry> UniformEntries(size_t n, Key domain) {
+  std::vector<RangeEntry> entries(n);
+  for (size_t i = 0; i < n; ++i) {
+    entries[i].hi = i + 1 == n ? kMaxKey : static_cast<Key>((i + 1) * domain / n);
+    entries[i].owner = static_cast<routing::AeuId>(i);
+  }
+  return entries;
+}
+
+TEST(MovingAverageTest, WindowZeroIsIdentity) {
+  std::vector<double> m{1, 2, 3, 4};
+  EXPECT_EQ(MovingAverageSmooth(m, 0), m);
+}
+
+TEST(MovingAverageTest, Window1AveragesNeighbors) {
+  std::vector<double> m{0, 0, 12, 0, 0};
+  auto s = MovingAverageSmooth(m, 1);
+  EXPECT_DOUBLE_EQ(s[0], 0.0);
+  EXPECT_DOUBLE_EQ(s[1], 4.0);
+  EXPECT_DOUBLE_EQ(s[2], 4.0);
+  EXPECT_DOUBLE_EQ(s[3], 4.0);
+  EXPECT_DOUBLE_EQ(s[4], 0.0);
+}
+
+TEST(MovingAverageTest, EdgesUseClampedWindow) {
+  std::vector<double> m{6, 0, 0};
+  auto s = MovingAverageSmooth(m, 1);
+  EXPECT_DOUBLE_EQ(s[0], 3.0);  // mean of {6, 0}
+}
+
+TEST(MovingAverageTest, FullWindowEqualsGlobalMean) {
+  // The paper: MA7 over 8 partitions equals One-Shot.
+  std::vector<double> m{0, 0, 25, 25, 25, 25, 0, 0};
+  auto s = MovingAverageSmooth(m, 7);
+  for (double v : s) EXPECT_DOUBLE_EQ(v, 12.5);
+}
+
+TEST(CoefficientOfVariationTest, UniformIsZero) {
+  EXPECT_DOUBLE_EQ(CoefficientOfVariation({5, 5, 5, 5}), 0.0);
+  EXPECT_DOUBLE_EQ(CoefficientOfVariation({}), 0.0);
+  EXPECT_DOUBLE_EQ(CoefficientOfVariation({0, 0}), 0.0);
+}
+
+TEST(CoefficientOfVariationTest, SkewIsPositive) {
+  double cv = CoefficientOfVariation({0, 0, 100, 0});
+  EXPECT_GT(cv, 1.0);
+}
+
+TEST(TargetBoundariesTest, BalancedLoadKeepsBoundaries) {
+  auto entries = UniformEntries(4, 1000);
+  std::vector<double> metric{10, 10, 10, 10};
+  auto his = ComputeTargetBoundaries(entries, metric,
+                                     BalanceAlgorithm::kOneShot, 0);
+  for (size_t i = 0; i < 4; ++i) EXPECT_EQ(his[i], entries[i].hi);
+}
+
+TEST(TargetBoundariesTest, OneShotFullyBalancesFigure6Scenario) {
+  // Figure 6: partitions 3-6 of 8 each carry 25% of the load.
+  auto entries = UniformEntries(8, 8000);
+  std::vector<double> metric{0, 0, 25, 25, 25, 25, 0, 0};
+  auto his = ComputeTargetBoundaries(entries, metric,
+                                     BalanceAlgorithm::kOneShot, 0);
+  // The loaded region is [2000, 6000); after One-Shot each partition gets
+  // 12.5% of the mass, i.e. boundaries every 500 keys inside that region.
+  EXPECT_EQ(his[7], kMaxKey);
+  // Partition 0 absorbs everything up to 1/8 of the load mass: its new hi
+  // must lie inside the hot region.
+  EXPECT_GT(his[0], 2000u);
+  EXPECT_LE(his[0], 2600u);
+  // Boundaries strictly increase.
+  for (size_t i = 1; i < 8; ++i) EXPECT_GT(his[i], his[i - 1]);
+  // The hot region [2000,6000) is split roughly evenly among all 8.
+  for (size_t i = 0; i + 1 < 8; ++i) {
+    EXPECT_GE(his[i], 2000u + i * 450);
+    EXPECT_LE(his[i], 2600u + i * 520);
+  }
+}
+
+TEST(TargetBoundariesTest, MaMovesLessThanOneShot) {
+  auto entries = UniformEntries(8, 8000);
+  std::vector<double> metric{0, 0, 25, 25, 25, 25, 0, 0};
+  auto oneshot = ComputeTargetBoundaries(entries, metric,
+                                         BalanceAlgorithm::kOneShot, 0);
+  auto ma1 = ComputeTargetBoundaries(entries, metric,
+                                     BalanceAlgorithm::kMovingAverage, 1);
+  // MA1 boundary 0 stays closer to the original (1000) than One-Shot's.
+  EXPECT_LT(std::abs(static_cast<long>(ma1[0]) - 1000),
+            std::abs(static_cast<long>(oneshot[0]) - 1000));
+}
+
+TEST(TargetBoundariesTest, MaFullWindowEqualsOneShot) {
+  auto entries = UniformEntries(8, 8000);
+  std::vector<double> metric{0, 0, 25, 25, 25, 25, 0, 0};
+  auto oneshot = ComputeTargetBoundaries(entries, metric,
+                                         BalanceAlgorithm::kOneShot, 0);
+  auto ma7 = ComputeTargetBoundaries(entries, metric,
+                                     BalanceAlgorithm::kMovingAverage, 7);
+  EXPECT_EQ(oneshot, ma7);
+}
+
+TEST(TargetBoundariesTest, ZeroMetricNoChange) {
+  auto entries = UniformEntries(4, 1000);
+  std::vector<double> metric{0, 0, 0, 0};
+  auto his = ComputeTargetBoundaries(entries, metric,
+                                     BalanceAlgorithm::kOneShot, 0);
+  for (size_t i = 0; i < 4; ++i) EXPECT_EQ(his[i], entries[i].hi);
+}
+
+TEST(TargetBoundariesTest, BoundariesAlwaysStrictlyIncreasing) {
+  // Pathological metrics must not produce overlapping ranges.
+  auto entries = UniformEntries(6, 600);
+  for (std::vector<double> metric :
+       {std::vector<double>{100, 0, 0, 0, 0, 0},
+        std::vector<double>{0, 0, 0, 0, 0, 100},
+        std::vector<double>{1e9, 1, 1, 1, 1, 1e9},
+        std::vector<double>{0, 1e-9, 0, 1e9, 0, 0}}) {
+    for (auto algo :
+         {BalanceAlgorithm::kOneShot, BalanceAlgorithm::kMovingAverage}) {
+      auto his = ComputeTargetBoundaries(entries, metric, algo, 1);
+      for (size_t i = 1; i < his.size(); ++i) {
+        EXPECT_GT(his[i], his[i - 1]);
+      }
+      EXPECT_EQ(his.back(), kMaxKey);
+    }
+  }
+}
+
+TEST(BuildRangePlanTest, NoChangeYieldsEmptyPlan) {
+  auto entries = UniformEntries(4, 1000);
+  std::vector<Key> same{entries[0].hi, entries[1].hi, entries[2].hi,
+                        entries[3].hi};
+  RebalancePlan plan = BuildRangePlan(entries, same);
+  EXPECT_TRUE(plan.empty());
+}
+
+TEST(BuildRangePlanTest, FetchesCoverMovedPieces) {
+  auto entries = UniformEntries(4, 1000);  // 250 each
+  // Shift the first boundary right: AEU 0 grows by [250, 400) from AEU 1.
+  std::vector<Key> his{400, 500, 750, kMaxKey};
+  RebalancePlan plan = BuildRangePlan(entries, his);
+  ASSERT_FALSE(plan.empty());
+  const RebalancePlan::AeuPlan* aeu0 = nullptr;
+  for (const auto& ap : plan.aeus) {
+    if (ap.aeu == 0) aeu0 = &ap;
+  }
+  ASSERT_NE(aeu0, nullptr);
+  ASSERT_EQ(aeu0->fetches.size(), 1u);
+  EXPECT_EQ(aeu0->fetches[0].range.lo, 250u);
+  EXPECT_EQ(aeu0->fetches[0].range.hi, 400u);
+  EXPECT_EQ(aeu0->fetches[0].source, 1u);
+  // AEU 1 shrinks on both sides but fetches nothing.
+  for (const auto& ap : plan.aeus) {
+    if (ap.aeu == 1) EXPECT_TRUE(ap.fetches.empty());
+  }
+}
+
+TEST(BuildRangePlanTest, MultiSourceFetch) {
+  auto entries = UniformEntries(4, 1000);
+  // AEU 0 takes over almost everything.
+  std::vector<Key> his{900, 950, 980, kMaxKey};
+  RebalancePlan plan = BuildRangePlan(entries, his);
+  const RebalancePlan::AeuPlan* aeu0 = nullptr;
+  for (const auto& ap : plan.aeus) {
+    if (ap.aeu == 0) aeu0 = &ap;
+  }
+  ASSERT_NE(aeu0, nullptr);
+  EXPECT_EQ(aeu0->fetches.size(), 3u);  // pieces from AEUs 1, 2, 3
+}
+
+TEST(BuildPhysicalPlanTest, BalancedInputNoPlan) {
+  PhysicalPlan plan = BuildPhysicalPlan({100, 100, 100}, {0, 0, 0});
+  EXPECT_TRUE(plan.empty());
+}
+
+TEST(BuildPhysicalPlanTest, PrefersIntraNodeMatches) {
+  // AEUs 0,1 on node 0; AEUs 2,3 on node 1. AEU 0 has everything.
+  PhysicalPlan plan =
+      BuildPhysicalPlan({4000, 0, 0, 0}, {0, 0, 1, 1}, 1);
+  ASSERT_EQ(plan.aeus.size(), 3u);
+  for (const auto& ap : plan.aeus) {
+    ASSERT_EQ(ap.fetches.size(), 1u);
+    EXPECT_EQ(ap.fetches[0].source, 0u);
+    EXPECT_EQ(ap.fetches[0].tuples, 1000u);
+  }
+  // The first receiver in the plan is the same-node AEU 1.
+  EXPECT_EQ(plan.aeus[0].aeu, 1u);
+}
+
+TEST(BuildPhysicalPlanTest, SuppressesTinyTransfers) {
+  PhysicalPlan plan = BuildPhysicalPlan({102, 98, 100}, {0, 0, 0}, 10);
+  EXPECT_TRUE(plan.empty());
+}
+
+TEST(BuildPhysicalPlanTest, ConservesTuples) {
+  std::vector<uint64_t> tuples{5000, 1000, 0, 2000, 12000, 0};
+  std::vector<uint32_t> nodes{0, 0, 1, 1, 2, 2};
+  PhysicalPlan plan = BuildPhysicalPlan(tuples, nodes, 1);
+  // Apply the plan and verify balance.
+  for (const auto& ap : plan.aeus) {
+    for (const auto& f : ap.fetches) {
+      tuples[ap.aeu] += f.tuples;
+      tuples[f.source] -= f.tuples;
+    }
+  }
+  uint64_t total = 0;
+  for (uint64_t t : tuples) total += t;
+  EXPECT_EQ(total, 20000u);
+  for (uint64_t t : tuples) {
+    EXPECT_GE(t, total / 6 - total / 60);
+    EXPECT_LE(t, total / 6 + total / 60 + 5);
+  }
+}
+
+}  // namespace
+}  // namespace eris::core

@@ -1,0 +1,171 @@
+// Tests for the per-node memory managers with thread-local caching.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <set>
+#include <thread>
+#include <vector>
+
+#include "numa/memory_manager.h"
+
+namespace eris::numa {
+namespace {
+
+TEST(NodeMemoryManagerTest, AllocatesUsableMemory) {
+  NodeMemoryManager mm(0);
+  void* p = mm.Allocate(100);
+  ASSERT_NE(p, nullptr);
+  std::memset(p, 0xAB, 100);
+  mm.Free(p, 100);
+  mm.FlushThisThreadCache();
+}
+
+TEST(NodeMemoryManagerTest, ReusesFreedBlocks) {
+  NodeMemoryManager mm(0);
+  void* a = mm.Allocate(64);
+  mm.Free(a, 64);
+  void* b = mm.Allocate(64);
+  EXPECT_EQ(a, b);  // thread cache returns the most recently freed block
+  mm.Free(b, 64);
+  mm.FlushThisThreadCache();
+}
+
+TEST(NodeMemoryManagerTest, DistinctBlocksWhileLive) {
+  NodeMemoryManager mm(0);
+  std::set<void*> blocks;
+  for (int i = 0; i < 1000; ++i) {
+    void* p = mm.Allocate(48);
+    EXPECT_TRUE(blocks.insert(p).second) << "duplicate live block";
+  }
+  for (void* p : blocks) mm.Free(p, 48);
+  mm.FlushThisThreadCache();
+}
+
+TEST(NodeMemoryManagerTest, LargeAllocationsBypassClasses) {
+  NodeMemoryManager mm(0);
+  size_t big = NodeMemoryManager::kMaxClassBytes + 1;
+  void* p = mm.Allocate(big);
+  ASSERT_NE(p, nullptr);
+  std::memset(p, 0, big);
+  MemoryStats s = mm.stats();
+  EXPECT_GE(s.bytes_reserved, big);
+  mm.Free(p, big);
+}
+
+TEST(NodeMemoryManagerTest, StatsTrackUsage) {
+  NodeMemoryManager mm(3);
+  EXPECT_EQ(mm.node(), 3u);
+  void* p = mm.Allocate(128);
+  MemoryStats s = mm.stats();
+  EXPECT_EQ(s.allocations, 1u);
+  EXPECT_EQ(s.bytes_allocated, 128u);
+  EXPECT_EQ(s.bytes_in_use(), 128u);
+  mm.Free(p, 128);
+  s = mm.stats();
+  EXPECT_EQ(s.bytes_in_use(), 0u);
+  mm.FlushThisThreadCache();
+}
+
+TEST(NodeMemoryManagerTest, ZeroByteAllocationWorks) {
+  NodeMemoryManager mm(0);
+  void* p = mm.Allocate(0);
+  ASSERT_NE(p, nullptr);
+  mm.Free(p, 0);
+  mm.FlushThisThreadCache();
+}
+
+TEST(NodeMemoryManagerTest, TypedNewDelete) {
+  NodeMemoryManager mm(0);
+  struct Widget {
+    int x;
+    explicit Widget(int v) : x(v) {}
+  };
+  Widget* w = mm.New<Widget>(7);
+  EXPECT_EQ(w->x, 7);
+  mm.Delete(w);
+  mm.FlushThisThreadCache();
+}
+
+TEST(NodeMemoryManagerTest, ConcurrentAllocFree) {
+  NodeMemoryManager mm(0);
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&mm] {
+      std::vector<void*> mine;
+      for (int round = 0; round < 50; ++round) {
+        for (int i = 0; i < 200; ++i) {
+          void* p = mm.Allocate(256);
+          std::memset(p, 1, 256);
+          mine.push_back(p);
+        }
+        for (void* p : mine) mm.Free(p, 256);
+        mine.clear();
+      }
+      mm.FlushThisThreadCache();
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(mm.stats().bytes_in_use(), 0u);
+}
+
+TEST(NodeMemoryManagerTest, CrossThreadFreeFlowsBack) {
+  // Allocate on one thread, free on another: blocks land in the second
+  // thread's cache and drain to the central lists on flush.
+  NodeMemoryManager mm(0);
+  std::vector<void*> blocks;
+  for (int i = 0; i < 100; ++i) blocks.push_back(mm.Allocate(512));
+  std::thread other([&] {
+    for (void* p : blocks) mm.Free(p, 512);
+    mm.FlushThisThreadCache();
+  });
+  other.join();
+  EXPECT_EQ(mm.stats().bytes_in_use(), 0u);
+  mm.FlushThisThreadCache();
+}
+
+TEST(MemoryPoolTest, OneManagerPerNode) {
+  MemoryPool pool(4);
+  EXPECT_EQ(pool.num_nodes(), 4u);
+  for (NodeId n = 0; n < 4; ++n) EXPECT_EQ(pool.manager(n).node(), n);
+}
+
+TEST(MemoryPoolTest, InterleaveCyclesNodes) {
+  MemoryPool pool(3);
+  std::vector<NodeId> seq;
+  for (int i = 0; i < 6; ++i) seq.push_back(pool.NextInterleavedNode());
+  EXPECT_EQ(seq, (std::vector<NodeId>{0, 1, 2, 0, 1, 2}));
+}
+
+TEST(MemoryPoolTest, TotalStatsAggregate) {
+  MemoryPool pool(2);
+  void* a = pool.manager(0).Allocate(64);
+  void* b = pool.manager(1).Allocate(64);
+  EXPECT_EQ(pool.TotalStats().bytes_in_use(), 128u);
+  pool.manager(0).Free(a, 64);
+  pool.manager(1).Free(b, 64);
+  pool.manager(0).FlushThisThreadCache();
+  pool.manager(1).FlushThisThreadCache();
+}
+
+class SizeClassTest : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(SizeClassTest, RoundTripAtEverySize) {
+  NodeMemoryManager mm(0);
+  size_t bytes = GetParam();
+  std::vector<void*> blocks;
+  for (int i = 0; i < 64; ++i) {
+    void* p = mm.Allocate(bytes);
+    std::memset(p, 0x5A, bytes);
+    blocks.push_back(p);
+  }
+  for (void* p : blocks) mm.Free(p, bytes);
+  EXPECT_EQ(mm.stats().bytes_in_use(), 0u);
+  mm.FlushThisThreadCache();
+}
+
+INSTANTIATE_TEST_SUITE_P(AllClasses, SizeClassTest,
+                         ::testing::Values(1, 15, 16, 17, 31, 64, 100, 1024,
+                                           4096, 65536, 65537, 1 << 20));
+
+}  // namespace
+}  // namespace eris::numa

@@ -1,0 +1,68 @@
+// Tests for the monitoring component.
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "core/monitor.h"
+
+namespace eris::core {
+namespace {
+
+TEST(MonitorTest, RecordAndSnapshot) {
+  Monitor monitor(4, 2);
+  monitor.RecordAccess(1, 0, 100, 5000.0);
+  monitor.RecordAccess(1, 0, 50, 2500.0);
+  monitor.RecordSize(1, 0, 1234, 98765);
+
+  auto snap = monitor.Snapshot(0);
+  ASSERT_EQ(snap.size(), 4u);
+  EXPECT_EQ(snap[1].accesses, 150u);
+  EXPECT_DOUBLE_EQ(snap[1].exec_time_ns, 7500.0);
+  EXPECT_EQ(snap[1].tuples, 1234u);
+  EXPECT_EQ(snap[1].bytes, 98765u);
+  EXPECT_EQ(snap[0].accesses, 0u);
+  EXPECT_NEAR(snap[1].MeanExecNs(), 50.0, 0.01);
+}
+
+TEST(MonitorTest, SnapshotAndResetClearsFrequenciesKeepsSizes) {
+  Monitor monitor(2, 1);
+  monitor.RecordAccess(0, 0, 10, 100.0);
+  monitor.RecordSize(0, 0, 42, 84);
+  auto first = monitor.SnapshotAndReset(0);
+  EXPECT_EQ(first[0].accesses, 10u);
+  auto second = monitor.SnapshotAndReset(0);
+  EXPECT_EQ(second[0].accesses, 0u);       // frequency resets per period
+  EXPECT_EQ(second[0].tuples, 42u);        // size is a level metric
+  EXPECT_EQ(second[0].bytes, 84u);
+}
+
+TEST(MonitorTest, ObjectsAreIndependent) {
+  Monitor monitor(2, 3);
+  monitor.RecordAccess(0, 1, 7, 70.0);
+  EXPECT_EQ(monitor.Snapshot(0)[0].accesses, 0u);
+  EXPECT_EQ(monitor.Snapshot(1)[0].accesses, 7u);
+  EXPECT_EQ(monitor.Snapshot(2)[0].accesses, 0u);
+}
+
+TEST(MonitorTest, MeanExecOfIdlePartitionIsZero) {
+  Monitor monitor(1, 1);
+  EXPECT_DOUBLE_EQ(monitor.Snapshot(0)[0].MeanExecNs(), 0.0);
+}
+
+TEST(MonitorTest, ConcurrentRecordersDoNotLoseCounts) {
+  Monitor monitor(4, 1);
+  std::vector<std::thread> threads;
+  for (uint32_t aeu = 0; aeu < 4; ++aeu) {
+    threads.emplace_back([&monitor, aeu] {
+      for (int i = 0; i < 10000; ++i) monitor.RecordAccess(aeu, 0, 1, 2.0);
+    });
+  }
+  for (auto& t : threads) t.join();
+  auto snap = monitor.Snapshot(0);
+  for (uint32_t aeu = 0; aeu < 4; ++aeu) {
+    EXPECT_EQ(snap[aeu].accesses, 10000u);
+  }
+}
+
+}  // namespace
+}  // namespace eris::core

@@ -1,0 +1,121 @@
+// Tests for the MVCC layer: snapshot visibility, undo chains, GC.
+#include <gtest/gtest.h>
+
+#include "numa/memory_manager.h"
+#include "storage/mvcc.h"
+
+namespace eris::storage {
+namespace {
+
+class MvccTest : public ::testing::Test {
+ protected:
+  numa::NodeMemoryManager mm_{0};
+};
+
+TEST_F(MvccTest, OracleMonotonic) {
+  TimestampOracle oracle;
+  uint64_t a = oracle.NextWriteTs();
+  uint64_t b = oracle.NextWriteTs();
+  EXPECT_LT(a, b);
+  // A snapshot sees exactly the writes issued so far...
+  EXPECT_EQ(oracle.ReadTs(), b);
+  // ...and never a write issued after it was taken.
+  uint64_t snapshot = oracle.ReadTs();
+  EXPECT_GT(oracle.NextWriteTs(), snapshot);
+}
+
+TEST_F(MvccTest, AppendVisibility) {
+  MvccColumn col(&mm_);
+  col.Append(10, 5);
+  col.Append(20, 7);
+  EXPECT_EQ(col.VisibleSize(4), 0u);
+  EXPECT_EQ(col.VisibleSize(5), 1u);
+  EXPECT_EQ(col.VisibleSize(6), 1u);
+  EXPECT_EQ(col.VisibleSize(7), 2u);
+  EXPECT_EQ(col.VisibleSize(100), 2u);
+}
+
+TEST_F(MvccTest, SameTsAppendsShareFrontierEntry) {
+  MvccColumn col(&mm_);
+  for (int i = 0; i < 10; ++i) col.Append(i, 3);
+  EXPECT_EQ(col.VisibleSize(2), 0u);
+  EXPECT_EQ(col.VisibleSize(3), 10u);
+}
+
+TEST_F(MvccTest, UpdateCreatesVersionChain) {
+  MvccColumn col(&mm_);
+  TupleId tid = col.Append(100, 1);
+  col.Update(tid, 200, 5);
+  col.Update(tid, 300, 9);
+  EXPECT_EQ(col.Read(tid, 1), 100u);
+  EXPECT_EQ(col.Read(tid, 4), 100u);
+  EXPECT_EQ(col.Read(tid, 5), 200u);
+  EXPECT_EQ(col.Read(tid, 8), 200u);
+  EXPECT_EQ(col.Read(tid, 9), 300u);
+  EXPECT_EQ(col.Read(tid, 100), 300u);
+  EXPECT_EQ(col.undo_chains(), 1u);
+}
+
+TEST_F(MvccTest, ScanSnapshotSeesConsistentState) {
+  MvccColumn col(&mm_);
+  for (Value v = 0; v < 10; ++v) col.Append(v, 1);
+  // At ts 5, overwrite tuple 3.
+  col.Update(3, 999, 5);
+  uint64_t sum_old = 0;
+  col.ScanSnapshot(4, [&](TupleId, Value v) { sum_old += v; });
+  EXPECT_EQ(sum_old, 45u);  // 0..9
+  uint64_t sum_new = 0;
+  col.ScanSnapshot(5, [&](TupleId, Value v) { sum_new += v; });
+  EXPECT_EQ(sum_new, 45u - 3 + 999);
+}
+
+TEST_F(MvccTest, ScanSumFastAndSlowPathsAgree) {
+  MvccColumn col(&mm_);
+  for (Value v = 1; v <= 1000; ++v) col.Append(v, 1);
+  uint64_t fast = col.ScanSum(10, 1, 1000);
+  EXPECT_EQ(fast, 1000u * 1001 / 2);
+  col.Update(0, 0, 20);  // forces the slow path afterwards
+  EXPECT_EQ(col.ScanSum(10, 1, 1000), 1000u * 1001 / 2);  // old snapshot
+  EXPECT_EQ(col.ScanSum(20, 1, 1000), 1000u * 1001 / 2 - 1);
+}
+
+TEST_F(MvccTest, GarbageCollectDropsOldVersions) {
+  MvccColumn col(&mm_);
+  TupleId tid = col.Append(1, 1);
+  col.Update(tid, 2, 5);
+  col.Update(tid, 3, 10);
+  EXPECT_EQ(col.undo_chains(), 1u);
+  col.GarbageCollect(5);  // drops the version overwritten at ts 5
+  EXPECT_EQ(col.Read(tid, 7), 2u);   // still correct
+  EXPECT_EQ(col.Read(tid, 20), 3u);
+  col.GarbageCollect(11);  // everything old is unreachable now
+  EXPECT_EQ(col.undo_chains(), 0u);
+  EXPECT_EQ(col.Read(tid, 20), 3u);
+}
+
+TEST_F(MvccTest, AbsorbColumnMakesTuplesVisibleAtTs) {
+  numa::NodeMemoryManager mm2(0);
+  MvccColumn a(&mm_);
+  a.Append(1, 1);
+  ColumnStore b(&mm_);
+  for (Value v = 0; v < 100; ++v) b.Append(v);
+  a.AbsorbColumn(std::move(b), 7);
+  EXPECT_EQ(a.VisibleSize(6), 1u);
+  EXPECT_EQ(a.VisibleSize(7), 101u);
+  EXPECT_EQ(a.size(), 101u);
+}
+
+TEST_F(MvccTest, VisibleSizeClampedAfterSplit) {
+  MvccColumn col(&mm_);
+  for (Value v = 0; v < 1000; ++v) col.Append(v, 1);
+  ColumnStore tail = col.column().SplitTail(400);
+  EXPECT_EQ(col.size(), 400u);
+  // Frontier says 1000 but only 400 remain physically.
+  EXPECT_EQ(col.VisibleSize(10), 400u);
+  uint64_t rows = 0;
+  col.ScanSnapshot(10, [&](TupleId, Value) { ++rows; });
+  EXPECT_EQ(rows, 400u);
+}
+
+}  // namespace
+}  // namespace eris::storage

@@ -1,0 +1,131 @@
+// Tests for range and bitmap partition tables.
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "routing/partition_table.h"
+
+namespace eris::routing {
+namespace {
+
+using storage::Key;
+using storage::kMaxKey;
+
+TEST(RangePartitionTableTest, UniformEntriesCoverDomain) {
+  std::vector<AeuId> aeus{0, 1, 2, 3};
+  auto entries = RangePartitionTable::UniformEntries(aeus, 1000);
+  ASSERT_EQ(entries.size(), 4u);
+  EXPECT_EQ(entries[0].hi, 250u);
+  EXPECT_EQ(entries[1].hi, 500u);
+  EXPECT_EQ(entries[2].hi, 750u);
+  EXPECT_EQ(entries.back().hi, kMaxKey);
+}
+
+TEST(RangePartitionTableTest, OwnerOfRespectsBoundaries) {
+  RangePartitionTable table({{100, 7}, {200, 8}, {kMaxKey, 9}});
+  EXPECT_EQ(table.OwnerOf(0), 7u);
+  EXPECT_EQ(table.OwnerOf(99), 7u);
+  EXPECT_EQ(table.OwnerOf(100), 8u);
+  EXPECT_EQ(table.OwnerOf(199), 8u);
+  EXPECT_EQ(table.OwnerOf(200), 9u);
+  EXPECT_EQ(table.OwnerOf(kMaxKey), 9u);
+}
+
+TEST(RangePartitionTableTest, BatchOwnersMatchScalar) {
+  RangePartitionTable table({{10, 0}, {20, 1}, {30, 2}, {kMaxKey, 3}});
+  std::vector<Key> keys{0, 9, 10, 19, 25, 30, 1000, kMaxKey};
+  std::vector<AeuId> owners(keys.size());
+  table.OwnersOf(keys, owners.data());
+  for (size_t i = 0; i < keys.size(); ++i) {
+    EXPECT_EQ(owners[i], table.OwnerOf(keys[i]));
+  }
+}
+
+TEST(RangePartitionTableTest, OwnersOfRange) {
+  RangePartitionTable table({{10, 0}, {20, 1}, {30, 2}, {kMaxKey, 3}});
+  EXPECT_EQ(table.OwnersOfRange(0, 10), (std::vector<AeuId>{0}));
+  EXPECT_EQ(table.OwnersOfRange(5, 15), (std::vector<AeuId>{0, 1}));
+  EXPECT_EQ(table.OwnersOfRange(0, kMaxKey), (std::vector<AeuId>{0, 1, 2, 3}));
+  EXPECT_EQ(table.OwnersOfRange(25, 26), (std::vector<AeuId>{2}));
+  EXPECT_TRUE(table.OwnersOfRange(10, 10).empty());
+}
+
+TEST(RangePartitionTableTest, OwnersOfRangeDeduplicates) {
+  // The same AEU owning several ranges appears once.
+  RangePartitionTable table({{10, 0}, {20, 1}, {30, 0}, {kMaxKey, 1}});
+  EXPECT_EQ(table.OwnersOfRange(0, kMaxKey), (std::vector<AeuId>{0, 1}));
+}
+
+TEST(RangePartitionTableTest, ReplaceSwapsAtomically) {
+  RangePartitionTable table({{100, 0}, {kMaxKey, 1}});
+  EXPECT_EQ(table.OwnerOf(50), 0u);
+  table.Replace({{50, 0}, {kMaxKey, 1}});
+  EXPECT_EQ(table.OwnerOf(50), 1u);
+  EXPECT_EQ(table.size(), 2u);
+}
+
+TEST(RangePartitionTableTest, ConcurrentReadsDuringReplace) {
+  RangePartitionTable table({{1000, 0}, {kMaxKey, 1}});
+  std::atomic<bool> stop{false};
+  std::thread reader([&] {
+    while (!stop.load()) {
+      AeuId owner = table.OwnerOf(500);
+      EXPECT_TRUE(owner == 0 || owner == 1);
+    }
+  });
+  for (int i = 0; i < 2000; ++i) {
+    table.Replace({{static_cast<Key>(400 + i % 300), 0}, {kMaxKey, 1}});
+  }
+  stop.store(true);
+  reader.join();
+}
+
+TEST(RangePartitionTableTest, SnapshotReflectsCurrent) {
+  RangePartitionTable table({{5, 3}, {kMaxKey, 4}});
+  auto snap = table.Snapshot();
+  ASSERT_EQ(snap.size(), 2u);
+  EXPECT_EQ(snap[0].hi, 5u);
+  EXPECT_EQ(snap[0].owner, 3u);
+}
+
+TEST(RangePartitionTableTest, ManyRangesUseTreeSearch) {
+  std::vector<RangeEntry> entries;
+  for (uint32_t i = 0; i < 512; ++i) {
+    entries.push_back({static_cast<Key>((i + 1) * 100), i});
+  }
+  entries.back().hi = kMaxKey;
+  RangePartitionTable table(entries);
+  for (uint32_t i = 0; i < 511; ++i) {
+    EXPECT_EQ(table.OwnerOf(i * 100), i);
+    EXPECT_EQ(table.OwnerOf(i * 100 + 99), i);
+  }
+  EXPECT_GT(table.memory_bytes(), 0u);
+}
+
+TEST(BitmapPartitionTableTest, SetTestClear) {
+  BitmapPartitionTable bitmap(100);
+  EXPECT_FALSE(bitmap.Test(5));
+  bitmap.Set(5, true);
+  bitmap.Set(99, true);
+  EXPECT_TRUE(bitmap.Test(5));
+  EXPECT_TRUE(bitmap.Test(99));
+  EXPECT_EQ(bitmap.count(), 2u);
+  bitmap.Set(5, false);
+  EXPECT_FALSE(bitmap.Test(5));
+  EXPECT_EQ(bitmap.count(), 1u);
+}
+
+TEST(BitmapPartitionTableTest, OwnersAscending) {
+  BitmapPartitionTable bitmap(130);
+  for (AeuId a : {3u, 64u, 65u, 129u}) bitmap.Set(a, true);
+  EXPECT_EQ(bitmap.Owners(), (std::vector<AeuId>{3, 64, 65, 129}));
+}
+
+TEST(BitmapPartitionTableTest, EmptyHasNoOwners) {
+  BitmapPartitionTable bitmap(10);
+  EXPECT_TRUE(bitmap.Owners().empty());
+  EXPECT_EQ(bitmap.count(), 0u);
+}
+
+}  // namespace
+}  // namespace eris::routing

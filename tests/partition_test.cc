@@ -1,0 +1,200 @@
+// Tests for Partition: dispatch, split/extract/absorb, flatten/rebuild.
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "numa/memory_manager.h"
+#include "storage/partition.h"
+
+namespace eris::storage {
+namespace {
+
+class PartitionTest : public ::testing::Test {
+ protected:
+  numa::NodeMemoryManager mm_{0};
+  DataObjectDesc index_desc_ =
+      DataObjectDesc::Index(0, "idx", {.prefix_bits = 8, .key_bits = 16});
+  DataObjectDesc column_desc_ = DataObjectDesc::Column(0, "col");
+  DataObjectDesc hash_desc_ = DataObjectDesc::Hash(0, "hash");
+};
+
+TEST_F(PartitionTest, IndexDispatch) {
+  Partition p(index_desc_, &mm_, {0, kMaxKey});
+  EXPECT_TRUE(p.Insert(10, 100));
+  EXPECT_TRUE(p.Upsert(20, 200));
+  EXPECT_EQ(p.Lookup(10), std::optional<Value>(100));
+  EXPECT_TRUE(p.Erase(10));
+  EXPECT_EQ(p.tuple_count(), 1u);
+  EXPECT_GT(p.memory_bytes(), 0u);
+  EXPECT_NE(p.index(), nullptr);
+  EXPECT_EQ(p.mvcc_column(), nullptr);
+}
+
+TEST_F(PartitionTest, HashDispatch) {
+  Partition p(hash_desc_, &mm_, {0, kMaxKey}, /*hash_salt=*/7);
+  EXPECT_TRUE(p.Insert(10, 100));
+  EXPECT_EQ(p.Lookup(10), std::optional<Value>(100));
+  EXPECT_NE(p.hash(), nullptr);
+  EXPECT_EQ(p.hash()->salt(), 7u);
+}
+
+TEST_F(PartitionTest, ColumnDispatch) {
+  Partition p(column_desc_, &mm_, {});
+  p.ColumnAppend(5, 1);
+  p.ColumnAppend(6, 2);
+  EXPECT_EQ(p.tuple_count(), 2u);
+  EXPECT_EQ(p.ColumnScanSum(10, 0, kMaxKey), 11u);
+  p.ColumnUpdate(0, 50, 3);
+  EXPECT_EQ(p.ColumnScanSum(2, 0, kMaxKey), 11u);
+  EXPECT_EQ(p.ColumnScanSum(3, 0, kMaxKey), 56u);
+}
+
+TEST_F(PartitionTest, IndexRangeScan) {
+  Partition p(index_desc_, &mm_, {0, kMaxKey});
+  for (Key k = 0; k < 100; ++k) p.Insert(k, k);
+  uint64_t sum = 0;
+  uint64_t n = p.IndexRangeScan(10, 20, [&](Key, Value v) { sum += v; });
+  EXPECT_EQ(n, 10u);
+  EXPECT_EQ(sum, 145u);  // 10+..+19
+}
+
+TEST_F(PartitionTest, HashRangeScanFiltersWholeTable) {
+  Partition p(hash_desc_, &mm_, {0, kMaxKey});
+  for (Key k = 0; k < 100; ++k) p.Insert(k, k * 2);
+  uint64_t sum = 0;
+  uint64_t n = p.IndexRangeScan(10, 20, [&](Key k, Value v) {
+    EXPECT_GE(k, 10u);
+    EXPECT_LT(k, 20u);
+    sum += v;
+  });
+  EXPECT_EQ(n, 10u);
+  EXPECT_EQ(sum, 2u * (10 + 11 + 12 + 13 + 14 + 15 + 16 + 17 + 18 + 19));
+}
+
+TEST_F(PartitionTest, SplitOffRangeIndex) {
+  Partition p(index_desc_, &mm_, {0, 1000});
+  for (Key k = 0; k < 1000; ++k) p.Insert(k, k);
+  Partition upper = p.SplitOffRange(600);
+  EXPECT_EQ(p.range().hi, 600u);
+  EXPECT_EQ(upper.range().lo, 600u);
+  EXPECT_EQ(p.tuple_count(), 600u);
+  EXPECT_EQ(upper.tuple_count(), 400u);
+}
+
+TEST_F(PartitionTest, ExtractRangeMiddle) {
+  Partition p(index_desc_, &mm_, {0, kMaxKey});
+  for (Key k = 0; k < 1000; ++k) p.Insert(k, k);
+  Partition mid = p.ExtractRange(300, 700);
+  EXPECT_EQ(mid.tuple_count(), 400u);
+  EXPECT_EQ(p.tuple_count(), 600u);
+  EXPECT_EQ(p.Lookup(299), std::optional<Value>(299));
+  EXPECT_EQ(p.Lookup(300), std::nullopt);
+  EXPECT_EQ(p.Lookup(700), std::optional<Value>(700));
+  EXPECT_EQ(mid.Lookup(300), std::optional<Value>(300));
+  EXPECT_EQ(mid.Lookup(699), std::optional<Value>(699));
+}
+
+TEST_F(PartitionTest, ExtractRangeToDomainEnd) {
+  Partition p(index_desc_, &mm_, {0, kMaxKey});
+  p.Insert(100, 1);
+  p.Insert(65535, 2);  // max for 16-bit keys
+  Partition tail = p.ExtractRange(50000, kMaxKey);
+  EXPECT_EQ(tail.tuple_count(), 1u);
+  EXPECT_EQ(tail.Lookup(65535), std::optional<Value>(2));
+  EXPECT_EQ(p.tuple_count(), 1u);
+}
+
+TEST_F(PartitionTest, ExtractRangeHash) {
+  Partition p(hash_desc_, &mm_, {0, kMaxKey});
+  for (Key k = 0; k < 100; ++k) p.Insert(k, k);
+  Partition mid = p.ExtractRange(40, 60);
+  EXPECT_EQ(mid.tuple_count(), 20u);
+  EXPECT_EQ(p.tuple_count(), 80u);
+  EXPECT_EQ(mid.Lookup(45), std::optional<Value>(45));
+  EXPECT_EQ(p.Lookup(45), std::nullopt);
+}
+
+TEST_F(PartitionTest, AbsorbIndexExtendsRange) {
+  Partition a(index_desc_, &mm_, {0, 500});
+  Partition b(index_desc_, &mm_, {500, 1000});
+  for (Key k = 0; k < 500; ++k) a.Insert(k, k);
+  for (Key k = 500; k < 1000; ++k) b.Insert(k, k);
+  a.Absorb(std::move(b));
+  EXPECT_EQ(a.tuple_count(), 1000u);
+  EXPECT_EQ(a.range().lo, 0u);
+  EXPECT_EQ(a.range().hi, 1000u);
+}
+
+TEST_F(PartitionTest, SplitOffTailColumn) {
+  Partition p(column_desc_, &mm_, {});
+  for (Value v = 0; v < 1000; ++v) p.ColumnAppend(v, 1);
+  Partition tail = p.SplitOffTail(300);
+  EXPECT_EQ(p.tuple_count(), 700u);
+  EXPECT_EQ(tail.tuple_count(), 300u);
+}
+
+TEST_F(PartitionTest, FlattenRebuildIndex) {
+  Partition p(index_desc_, &mm_, {0, kMaxKey});
+  Xoshiro256 rng(2);
+  for (int i = 0; i < 2000; ++i) p.Upsert(rng.NextBounded(1u << 16), i);
+  std::vector<uint8_t> stream = p.Flatten();
+  Result<Partition> rebuilt =
+      Partition::Rebuild(index_desc_, &mm_, {0, kMaxKey}, 0, stream);
+  ASSERT_TRUE(rebuilt.ok());
+  EXPECT_EQ(rebuilt->tuple_count(), p.tuple_count());
+  p.index()->ForEach([&](Key k, Value v) {
+    EXPECT_EQ(rebuilt->Lookup(k), std::optional<Value>(v));
+  });
+}
+
+TEST_F(PartitionTest, FlattenRebuildColumn) {
+  Partition p(column_desc_, &mm_, {});
+  for (Value v = 0; v < 500; ++v) p.ColumnAppend(v * 2, 1);
+  std::vector<uint8_t> stream = p.Flatten();
+  Result<Partition> rebuilt =
+      Partition::Rebuild(column_desc_, &mm_, {}, 0, stream);
+  ASSERT_TRUE(rebuilt.ok());
+  EXPECT_EQ(rebuilt->tuple_count(), 500u);
+  EXPECT_EQ(rebuilt->mvcc_column()->column().Get(10), 20u);
+}
+
+TEST_F(PartitionTest, FlattenRebuildHash) {
+  Partition p(hash_desc_, &mm_, {0, kMaxKey}, 3);
+  for (Key k = 0; k < 100; ++k) p.Insert(k, k + 7);
+  std::vector<uint8_t> stream = p.Flatten();
+  Result<Partition> rebuilt =
+      Partition::Rebuild(hash_desc_, &mm_, {0, kMaxKey}, 99, stream);
+  ASSERT_TRUE(rebuilt.ok());
+  for (Key k = 0; k < 100; ++k) {
+    EXPECT_EQ(rebuilt->Lookup(k), std::optional<Value>(k + 7));
+  }
+}
+
+TEST_F(PartitionTest, RebuildRejectsGarbage) {
+  std::vector<uint8_t> garbage{1, 2, 3};
+  Result<Partition> r =
+      Partition::Rebuild(index_desc_, &mm_, {0, kMaxKey}, 0, garbage);
+  EXPECT_FALSE(r.ok());
+  EXPECT_TRUE(r.status().IsInvalidArgument());
+}
+
+TEST_F(PartitionTest, RebuildRejectsKindMismatch) {
+  Partition p(index_desc_, &mm_, {0, kMaxKey});
+  p.Insert(1, 1);
+  std::vector<uint8_t> stream = p.Flatten();
+  Result<Partition> r =
+      Partition::Rebuild(column_desc_, &mm_, {}, 0, stream);
+  EXPECT_FALSE(r.ok());
+}
+
+TEST_F(PartitionTest, RebuildRejectsTruncatedStream) {
+  Partition p(index_desc_, &mm_, {0, kMaxKey});
+  for (Key k = 0; k < 10; ++k) p.Insert(k, k);
+  std::vector<uint8_t> stream = p.Flatten();
+  stream.resize(stream.size() - 8);
+  Result<Partition> r =
+      Partition::Rebuild(index_desc_, &mm_, {0, kMaxKey}, 0, stream);
+  EXPECT_FALSE(r.ok());
+}
+
+}  // namespace
+}  // namespace eris::storage

@@ -1,0 +1,357 @@
+// Tests for the generalized prefix tree: point ops, range scans, structural
+// split/absorb, and property sweeps across geometries.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <vector>
+
+#include "common/rng.h"
+#include "numa/memory_manager.h"
+#include "storage/prefix_tree.h"
+
+namespace eris::storage {
+namespace {
+
+class PrefixTreeTest : public ::testing::Test {
+ protected:
+  numa::NodeMemoryManager mm_{0};
+};
+
+TEST_F(PrefixTreeTest, EmptyTree) {
+  PrefixTree tree(&mm_);
+  EXPECT_TRUE(tree.empty());
+  EXPECT_EQ(tree.size(), 0u);
+  EXPECT_EQ(tree.Lookup(42), std::nullopt);
+  EXPECT_EQ(tree.MinKey(), std::nullopt);
+  EXPECT_EQ(tree.MaxKey(), std::nullopt);
+  EXPECT_EQ(tree.RangeScan(0, kMaxKey, [](Key, Value) {}), 0u);
+}
+
+TEST_F(PrefixTreeTest, InsertLookup) {
+  PrefixTree tree(&mm_);
+  EXPECT_TRUE(tree.Insert(1, 100));
+  EXPECT_TRUE(tree.Insert(2, 200));
+  EXPECT_FALSE(tree.Insert(1, 999));  // duplicate: keeps original
+  EXPECT_EQ(tree.size(), 2u);
+  EXPECT_EQ(tree.Lookup(1), std::optional<Value>(100));
+  EXPECT_EQ(tree.Lookup(2), std::optional<Value>(200));
+  EXPECT_EQ(tree.Lookup(3), std::nullopt);
+}
+
+TEST_F(PrefixTreeTest, UpsertOverwrites) {
+  PrefixTree tree(&mm_);
+  EXPECT_TRUE(tree.Upsert(5, 50));
+  EXPECT_FALSE(tree.Upsert(5, 55));
+  EXPECT_EQ(tree.Lookup(5), std::optional<Value>(55));
+  EXPECT_EQ(tree.size(), 1u);
+}
+
+TEST_F(PrefixTreeTest, EraseRemoves) {
+  PrefixTree tree(&mm_);
+  tree.Insert(7, 70);
+  EXPECT_TRUE(tree.Erase(7));
+  EXPECT_FALSE(tree.Erase(7));
+  EXPECT_EQ(tree.Lookup(7), std::nullopt);
+  EXPECT_EQ(tree.size(), 0u);
+}
+
+TEST_F(PrefixTreeTest, ExtremeKeys) {
+  PrefixTree tree(&mm_);
+  tree.Insert(kMinKey, 1);
+  tree.Insert(kMaxKey, 2);
+  EXPECT_EQ(tree.Lookup(kMinKey), std::optional<Value>(1));
+  EXPECT_EQ(tree.Lookup(kMaxKey), std::optional<Value>(2));
+  EXPECT_EQ(tree.MinKey(), std::optional<Key>(kMinKey));
+  EXPECT_EQ(tree.MaxKey(), std::optional<Key>(kMaxKey));
+}
+
+TEST_F(PrefixTreeTest, RangeScanOrderedAndBounded) {
+  PrefixTree tree(&mm_, {.prefix_bits = 4, .key_bits = 16});
+  for (Key k = 0; k < 1000; k += 3) tree.Insert(k, k * 2);
+  std::vector<Key> seen;
+  uint64_t n = tree.RangeScan(100, 200, [&](Key k, Value v) {
+    EXPECT_EQ(v, k * 2);
+    seen.push_back(k);
+  });
+  EXPECT_EQ(n, seen.size());
+  EXPECT_TRUE(std::is_sorted(seen.begin(), seen.end()));
+  for (Key k : seen) {
+    EXPECT_GE(k, 100u);
+    EXPECT_LT(k, 200u);
+  }
+  // 102, 105, ..., 198 -> 33 keys.
+  EXPECT_EQ(seen.size(), 33u);
+}
+
+TEST_F(PrefixTreeTest, ForEachVisitsAllSorted) {
+  PrefixTree tree(&mm_, {.prefix_bits = 8, .key_bits = 32});
+  Xoshiro256 rng(11);
+  std::map<Key, Value> reference;
+  for (int i = 0; i < 5000; ++i) {
+    Key k = rng.NextBounded(1u << 31);
+    reference[k] = i;
+    tree.Upsert(k, i);
+  }
+  std::vector<std::pair<Key, Value>> out;
+  tree.ForEach([&](Key k, Value v) { out.emplace_back(k, v); });
+  ASSERT_EQ(out.size(), reference.size());
+  auto it = reference.begin();
+  for (const auto& [k, v] : out) {
+    EXPECT_EQ(k, it->first);
+    EXPECT_EQ(v, it->second);
+    ++it;
+  }
+}
+
+TEST_F(PrefixTreeTest, SplitOffMovesUpperKeys) {
+  PrefixTree tree(&mm_, {.prefix_bits = 4, .key_bits = 16});
+  for (Key k = 0; k < 1000; ++k) tree.Insert(k, k);
+  PrefixTree upper = tree.SplitOff(600);
+  EXPECT_EQ(tree.size(), 600u);
+  EXPECT_EQ(upper.size(), 400u);
+  for (Key k = 0; k < 1000; ++k) {
+    if (k < 600) {
+      EXPECT_EQ(tree.Lookup(k), std::optional<Value>(k));
+      EXPECT_EQ(upper.Lookup(k), std::nullopt);
+    } else {
+      EXPECT_EQ(tree.Lookup(k), std::nullopt);
+      EXPECT_EQ(upper.Lookup(k), std::optional<Value>(k));
+    }
+  }
+}
+
+TEST_F(PrefixTreeTest, SplitAtUnalignedBoundary) {
+  PrefixTree tree(&mm_, {.prefix_bits = 8, .key_bits = 16});
+  for (Key k = 0; k < 4096; ++k) tree.Insert(k, 1);
+  PrefixTree upper = tree.SplitOff(1234);  // not a digit boundary
+  EXPECT_EQ(tree.size(), 1234u);
+  EXPECT_EQ(upper.size(), 4096u - 1234u);
+  EXPECT_EQ(tree.MaxKey(), std::optional<Key>(1233));
+  EXPECT_EQ(upper.MinKey(), std::optional<Key>(1234));
+}
+
+TEST_F(PrefixTreeTest, SplitAtMinKeyMovesEverything) {
+  PrefixTree tree(&mm_, {.prefix_bits = 4, .key_bits = 8});
+  for (Key k = 0; k < 100; ++k) tree.Insert(k, k);
+  PrefixTree all = tree.SplitOff(kMinKey);
+  EXPECT_EQ(tree.size(), 0u);
+  EXPECT_EQ(all.size(), 100u);
+}
+
+TEST_F(PrefixTreeTest, AbsorbSplicesDisjointTrees) {
+  PrefixTree a(&mm_, {.prefix_bits = 4, .key_bits = 16});
+  PrefixTree b(&mm_, {.prefix_bits = 4, .key_bits = 16});
+  for (Key k = 0; k < 500; ++k) a.Insert(k, k);
+  for (Key k = 500; k < 1000; ++k) b.Insert(k, k);
+  a.Absorb(std::move(b));
+  EXPECT_EQ(a.size(), 1000u);
+  for (Key k = 0; k < 1000; ++k) {
+    EXPECT_EQ(a.Lookup(k), std::optional<Value>(k));
+  }
+}
+
+TEST_F(PrefixTreeTest, SplitThenAbsorbRestores) {
+  PrefixTree tree(&mm_, {.prefix_bits = 4, .key_bits = 16});
+  Xoshiro256 rng(3);
+  std::map<Key, Value> reference;
+  for (int i = 0; i < 3000; ++i) {
+    Key k = rng.NextBounded(1u << 16);
+    reference[k] = i;
+    tree.Upsert(k, i);
+  }
+  uint64_t before = tree.size();
+  PrefixTree upper = tree.SplitOff(30000);
+  tree.Absorb(std::move(upper));
+  EXPECT_EQ(tree.size(), before);
+  for (const auto& [k, v] : reference) {
+    EXPECT_EQ(tree.Lookup(k), std::optional<Value>(v));
+  }
+}
+
+TEST_F(PrefixTreeTest, AbsorbAcrossManagersCopies) {
+  numa::NodeMemoryManager other_mm(1);
+  PrefixTree a(&mm_, {.prefix_bits = 4, .key_bits = 16});
+  PrefixTree b(&other_mm, {.prefix_bits = 4, .key_bits = 16});
+  a.Insert(1, 1);
+  b.Insert(2, 2);
+  a.Absorb(std::move(b));
+  EXPECT_EQ(a.size(), 2u);
+  EXPECT_EQ(a.Lookup(2), std::optional<Value>(2));
+}
+
+TEST_F(PrefixTreeTest, BatchLookup) {
+  PrefixTree tree(&mm_, {.prefix_bits = 8, .key_bits = 16});
+  for (Key k = 0; k < 100; k += 2) tree.Insert(k, k + 1);
+  std::vector<Key> keys{0, 1, 2, 3, 98, 99};
+  std::vector<Value> values(keys.size());
+  std::vector<uint8_t> found_raw(keys.size());
+  bool found[6];
+  size_t hits = tree.BatchLookup(keys, values.data(), found);
+  EXPECT_EQ(hits, 3u);
+  EXPECT_TRUE(found[0]);
+  EXPECT_FALSE(found[1]);
+  EXPECT_TRUE(found[2]);
+  EXPECT_EQ(values[0], 1u);
+  EXPECT_EQ(values[2], 3u);
+  (void)found_raw;
+}
+
+TEST_F(PrefixTreeTest, BatchLookupMatchesScalarLookup) {
+  PrefixTree tree(&mm_, {.prefix_bits = 8, .key_bits = 24});
+  Xoshiro256 rng(21);
+  for (int i = 0; i < 20000; ++i) tree.Upsert(rng.NextBounded(1u << 24), i);
+  // Probe sizes around the internal group size, including 0 and odd tails.
+  for (size_t probe_count : {0u, 1u, 15u, 16u, 17u, 1000u}) {
+    std::vector<Key> probes(probe_count);
+    for (auto& p : probes) p = rng.NextBounded(1u << 24);
+    std::vector<Value> values(probe_count);
+    std::vector<uint8_t> found_raw(probe_count);
+    auto* found = reinterpret_cast<bool*>(found_raw.data());
+    size_t hits = tree.BatchLookup(probes, values.data(), found);
+    size_t expect_hits = 0;
+    for (size_t i = 0; i < probe_count; ++i) {
+      auto v = tree.Lookup(probes[i]);
+      EXPECT_EQ(found[i], v.has_value()) << probes[i];
+      if (v.has_value()) {
+        EXPECT_EQ(values[i], *v);
+        ++expect_hits;
+      }
+    }
+    EXPECT_EQ(hits, expect_hits);
+  }
+}
+
+TEST_F(PrefixTreeTest, BatchLookupOnEmptyTree) {
+  PrefixTree tree(&mm_, {.prefix_bits = 8, .key_bits = 16});
+  std::vector<Key> probes{1, 2, 3};
+  Value values[3];
+  bool found[3];
+  EXPECT_EQ(tree.BatchLookup(probes, values, found), 0u);
+  for (bool f : found) EXPECT_FALSE(f);
+}
+
+TEST_F(PrefixTreeTest, BatchLookupSingleLevelTree) {
+  PrefixTree tree(&mm_, {.prefix_bits = 8, .key_bits = 8});
+  for (Key k = 0; k < 256; k += 2) tree.Insert(k, k);
+  std::vector<Key> probes;
+  for (Key k = 0; k < 256; ++k) probes.push_back(k);
+  std::vector<Value> values(256);
+  std::vector<uint8_t> found_raw(256);
+  auto* found = reinterpret_cast<bool*>(found_raw.data());
+  EXPECT_EQ(tree.BatchLookup(probes, values.data(), found), 128u);
+}
+
+TEST_F(PrefixTreeTest, LookupTracedReportsDepth) {
+  PrefixTree tree(&mm_, {.prefix_bits = 8, .key_bits = 32});
+  tree.Insert(12345, 1);
+  std::vector<const void*> trace;
+  EXPECT_EQ(tree.LookupTraced(12345, &trace), std::optional<Value>(1));
+  EXPECT_EQ(trace.size(), tree.levels());
+}
+
+TEST_F(PrefixTreeTest, MemoryAccounting) {
+  PrefixTree tree(&mm_, {.prefix_bits = 8, .key_bits = 16});
+  EXPECT_EQ(tree.memory_bytes(), 0u);
+  tree.Insert(1, 1);
+  uint64_t after_one = tree.memory_bytes();
+  EXPECT_GT(after_one, 0u);
+  tree.Clear();
+  EXPECT_EQ(tree.memory_bytes(), 0u);
+  EXPECT_EQ(mm_.stats().bytes_in_use(), 0u);
+}
+
+TEST_F(PrefixTreeTest, MoveSemantics) {
+  PrefixTree a(&mm_, {.prefix_bits = 4, .key_bits = 8});
+  a.Insert(9, 90);
+  PrefixTree b = std::move(a);
+  EXPECT_EQ(b.Lookup(9), std::optional<Value>(90));
+  EXPECT_EQ(a.size(), 0u);  // NOLINT bugprone-use-after-move
+}
+
+// Property sweep: dense + random workloads across geometries.
+struct Geometry {
+  uint32_t prefix_bits;
+  uint32_t key_bits;
+};
+
+class PrefixTreeGeometryTest : public ::testing::TestWithParam<Geometry> {
+ protected:
+  numa::NodeMemoryManager mm_{0};
+};
+
+TEST_P(PrefixTreeGeometryTest, RandomUpsertLookupEraseAgainstStdMap) {
+  auto [prefix_bits, key_bits] = GetParam();
+  PrefixTree tree(&mm_, {.prefix_bits = prefix_bits, .key_bits = key_bits});
+  EXPECT_EQ(tree.levels(), (key_bits + prefix_bits - 1) / prefix_bits);
+  Xoshiro256 rng(prefix_bits * 1000 + key_bits);
+  std::map<Key, Value> reference;
+  const Key domain = key_bits >= 64 ? kMaxKey : (Key{1} << key_bits) - 1;
+  for (int i = 0; i < 4000; ++i) {
+    Key k = rng.NextBounded(domain) ;
+    int op = static_cast<int>(rng.NextBounded(3));
+    if (op == 0) {
+      bool was_new = tree.Upsert(k, i);
+      EXPECT_EQ(was_new, reference.find(k) == reference.end());
+      reference[k] = i;
+    } else if (op == 1) {
+      auto expect = reference.find(k);
+      auto got = tree.Lookup(k);
+      if (expect == reference.end()) {
+        EXPECT_EQ(got, std::nullopt);
+      } else {
+        EXPECT_EQ(got, std::optional<Value>(expect->second));
+      }
+    } else {
+      bool existed = reference.erase(k) > 0;
+      EXPECT_EQ(tree.Erase(k), existed);
+    }
+    EXPECT_EQ(tree.size(), reference.size());
+  }
+  // Final full verification in sorted order.
+  std::vector<Key> keys;
+  tree.ForEach([&](Key k, Value) { keys.push_back(k); });
+  EXPECT_TRUE(std::is_sorted(keys.begin(), keys.end()));
+  EXPECT_EQ(keys.size(), reference.size());
+}
+
+TEST_P(PrefixTreeGeometryTest, SplitPropertyAtRandomBoundaries) {
+  auto [prefix_bits, key_bits] = GetParam();
+  const Key domain = key_bits >= 64 ? kMaxKey : (Key{1} << key_bits) - 1;
+  Xoshiro256 rng(99 + prefix_bits);
+  for (int round = 0; round < 5; ++round) {
+    PrefixTree tree(&mm_, {.prefix_bits = prefix_bits, .key_bits = key_bits});
+    std::vector<Key> keys;
+    for (int i = 0; i < 800; ++i) {
+      Key k = rng.NextBounded(domain);
+      if (tree.Insert(k, k)) keys.push_back(k);
+    }
+    Key boundary = rng.NextBounded(domain);
+    PrefixTree upper = tree.SplitOff(boundary);
+    uint64_t expect_upper = 0;
+    for (Key k : keys) {
+      if (k >= boundary) ++expect_upper;
+    }
+    EXPECT_EQ(upper.size(), expect_upper);
+    EXPECT_EQ(tree.size(), keys.size() - expect_upper);
+    for (Key k : keys) {
+      const PrefixTree& holder = k >= boundary ? upper : tree;
+      const PrefixTree& non_holder = k >= boundary ? tree : upper;
+      EXPECT_EQ(holder.Lookup(k), std::optional<Value>(k));
+      EXPECT_EQ(non_holder.Lookup(k), std::nullopt);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Geometries, PrefixTreeGeometryTest,
+    ::testing::Values(Geometry{4, 16}, Geometry{8, 16}, Geometry{8, 32},
+                      Geometry{8, 64}, Geometry{6, 30}, Geometry{10, 40},
+                      Geometry{16, 32}, Geometry{1, 8}),
+    [](const auto& info) {
+      return "p" + std::to_string(info.param.prefix_bits) + "k" +
+             std::to_string(info.param.key_bits);
+    });
+
+}  // namespace
+}  // namespace eris::storage

@@ -1,0 +1,214 @@
+// Tests for the query-processing layer (filtered aggregation, NUMA-local
+// materialization, index-nested-loop join) in both execution modes.
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "query/query.h"
+
+namespace eris::query {
+namespace {
+
+using core::Engine;
+using core::EngineOptions;
+using core::ExecutionMode;
+using routing::KeyValue;
+using storage::Key;
+using storage::ObjectId;
+using storage::Value;
+
+class QueryTest : public ::testing::TestWithParam<ExecutionMode> {
+ protected:
+  EngineOptions MakeOptions() {
+    EngineOptions opts;
+    opts.topology = numa::Topology::Flat(2, 2);
+    opts.mode = GetParam();
+    return opts;
+  }
+};
+
+TEST_P(QueryTest, AggregateComputesAllStats) {
+  Engine engine(MakeOptions());
+  ObjectId col = engine.CreateColumn("facts");
+  engine.Start();
+  QueryRunner runner(&engine);
+  std::vector<Value> values;
+  for (Value v = 1; v <= 1000; ++v) values.push_back(v);
+  runner.session().Append(col, values);
+
+  AggregateResult all = runner.Aggregate(col);
+  EXPECT_EQ(all.rows, 1000u);
+  EXPECT_EQ(all.sum, 1000u * 1001 / 2);
+  EXPECT_EQ(all.min, 1u);
+  EXPECT_EQ(all.max, 1000u);
+  EXPECT_NEAR(all.avg, 500.5, 0.01);
+
+  AggregateResult filtered = runner.Aggregate(col, {100, 199});
+  EXPECT_EQ(filtered.rows, 100u);
+  EXPECT_EQ(filtered.min, 100u);
+  EXPECT_EQ(filtered.max, 199u);
+  engine.Stop();
+}
+
+TEST_P(QueryTest, AggregateEmptyFilter) {
+  Engine engine(MakeOptions());
+  ObjectId col = engine.CreateColumn("facts");
+  engine.Start();
+  QueryRunner runner(&engine);
+  runner.session().Append(col, std::vector<Value>{5, 6, 7});
+  AggregateResult none = runner.Aggregate(col, {100, 200});
+  EXPECT_EQ(none.rows, 0u);
+  EXPECT_EQ(none.sum, 0u);
+  engine.Stop();
+}
+
+TEST_P(QueryTest, MaterializeFilterCreatesLocalIntermediates) {
+  Engine engine(MakeOptions());
+  ObjectId col = engine.CreateColumn("facts");
+  engine.Start();
+  QueryRunner runner(&engine);
+  std::vector<Value> values;
+  for (Value v = 0; v < 50000; ++v) values.push_back(v % 100);
+  runner.session().Append(col, values);
+
+  auto result = runner.MaterializeFilter(col, {10, 19}, "matches");
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->rows, 5000u);  // 10 of 100 residues, 500 each
+
+  // The materialized column is a first-class object: scan it.
+  AggregateResult check = runner.Aggregate(result->object);
+  EXPECT_EQ(check.rows, 5000u);
+  EXPECT_EQ(check.min, 10u);
+  EXPECT_EQ(check.max, 19u);
+
+  // Intermediates are spread over the AEUs, not concentrated.
+  uint32_t holders = 0;
+  for (routing::AeuId a = 0; a < engine.num_aeus(); ++a) {
+    if (engine.aeu(a).partition(result->object)->tuple_count() > 0) ++holders;
+  }
+  EXPECT_GT(holders, 1u);
+  engine.Stop();
+}
+
+TEST_P(QueryTest, MaterializeRejectsNonColumn) {
+  Engine engine(MakeOptions());
+  ObjectId idx = engine.CreateIndex("kv", 1u << 16,
+                                    {.prefix_bits = 8, .key_bits = 16});
+  engine.Start();
+  QueryRunner runner(&engine);
+  auto result = runner.MaterializeFilter(idx, {}, "out");
+  EXPECT_FALSE(result.ok());
+  EXPECT_TRUE(result.status().IsInvalidArgument());
+  engine.Stop();
+}
+
+TEST_P(QueryTest, IndexJoinCountsMatches) {
+  Engine engine(MakeOptions());
+  ObjectId idx = engine.CreateIndex("dim", 1u << 16,
+                                    {.prefix_bits = 8, .key_bits = 16});
+  ObjectId probe = engine.CreateColumn("fact_fk");
+  engine.Start();
+  QueryRunner runner(&engine);
+
+  // Dimension: even keys 0..9998 -> value = key * 2.
+  std::vector<KeyValue> kvs;
+  for (Key k = 0; k < 10000; k += 2) kvs.push_back({k, k * 2});
+  runner.session().Insert(idx, kvs);
+
+  // Facts: foreign keys 0..9999 once each (half will match).
+  std::vector<Value> fks;
+  for (Value v = 0; v < 10000; ++v) fks.push_back(v);
+  runner.session().Append(probe, fks);
+
+  JoinResult join = runner.IndexJoin(probe, {0, 9999}, idx);
+  EXPECT_EQ(join.probes, 10000u);
+  EXPECT_EQ(join.matches, 5000u);
+  uint64_t expected_sum = 0;
+  for (Key k = 0; k < 10000; k += 2) expected_sum += k * 2;
+  EXPECT_EQ(join.matched_sum, expected_sum);
+  engine.Stop();
+}
+
+TEST_P(QueryTest, IndexJoinWithProbeFilter) {
+  Engine engine(MakeOptions());
+  ObjectId idx = engine.CreateIndex("dim", 1u << 16,
+                                    {.prefix_bits = 8, .key_bits = 16});
+  ObjectId probe = engine.CreateColumn("fact_fk");
+  engine.Start();
+  QueryRunner runner(&engine);
+  std::vector<KeyValue> kvs;
+  for (Key k = 0; k < 1000; ++k) kvs.push_back({k, 1});
+  runner.session().Insert(idx, kvs);
+  std::vector<Value> fks;
+  for (Value v = 0; v < 2000; ++v) fks.push_back(v);
+  runner.session().Append(probe, fks);
+
+  // Only probe values in [500, 1499]: 1000 probes, 500 match (500..999).
+  JoinResult join = runner.IndexJoin(probe, {500, 1499}, idx);
+  EXPECT_EQ(join.probes, 1000u);
+  EXPECT_EQ(join.matches, 500u);
+  engine.Stop();
+}
+
+TEST_P(QueryTest, PipelineMaterializeThenJoin) {
+  // Compose operators: filter a fact column, then join the intermediate
+  // against a dimension index.
+  Engine engine(MakeOptions());
+  ObjectId idx = engine.CreateIndex("dim", 1u << 16,
+                                    {.prefix_bits = 8, .key_bits = 16});
+  ObjectId facts = engine.CreateColumn("facts");
+  engine.Start();
+  QueryRunner runner(&engine);
+  std::vector<KeyValue> kvs;
+  for (Key k = 0; k < 4096; ++k) kvs.push_back({k, 7});
+  runner.session().Insert(idx, kvs);
+  std::vector<Value> values;
+  Xoshiro256 rng(4);
+  uint64_t in_range = 0;
+  for (int i = 0; i < 30000; ++i) {
+    Value v = rng.NextBounded(1u << 14);
+    values.push_back(v);
+    if (v >= 1024 && v <= 3071) ++in_range;
+  }
+  runner.session().Append(facts, values);
+
+  auto mat = runner.MaterializeFilter(facts, {1024, 3071}, "hot_facts");
+  ASSERT_TRUE(mat.ok());
+  EXPECT_EQ(mat->rows, in_range);
+  JoinResult join = runner.IndexJoin(mat->object, {}, idx);
+  EXPECT_EQ(join.probes, in_range);
+  EXPECT_EQ(join.matches, in_range);  // all keys 1024..3071 exist in dim
+  engine.Stop();
+}
+
+TEST_P(QueryTest, DynamicObjectCreationWhileRunning) {
+  Engine engine(MakeOptions());
+  ObjectId col = engine.CreateColumn("base");
+  engine.Start();
+  QueryRunner runner(&engine);
+  runner.session().Append(col, std::vector<Value>{1, 2, 3});
+  // Create additional objects after Start(), exercise them immediately.
+  for (int i = 0; i < 5; ++i) {
+    ObjectId extra = engine.CreateColumn("extra" + std::to_string(i));
+    runner.session().Append(extra, std::vector<Value>{10, 20});
+    EXPECT_EQ(runner.Aggregate(extra).rows, 2u);
+    ObjectId extra_idx = engine.CreateIndex(
+        "xidx" + std::to_string(i), 1u << 10,
+        {.prefix_bits = 5, .key_bits = 10});
+    std::vector<KeyValue> kv{{1, 1}};
+    runner.session().Insert(extra_idx, kv);
+    EXPECT_EQ(runner.session().Lookup(extra_idx, std::vector<Key>{1}), 1u);
+  }
+  engine.Stop();
+}
+
+INSTANTIATE_TEST_SUITE_P(Modes, QueryTest,
+                         ::testing::Values(ExecutionMode::kSimulated,
+                                           ExecutionMode::kThreads),
+                         [](const auto& info) {
+                           return info.param == ExecutionMode::kSimulated
+                                      ? "Simulated"
+                                      : "Threads";
+                         });
+
+}  // namespace
+}  // namespace eris::query

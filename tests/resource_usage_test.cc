@@ -1,0 +1,158 @@
+// Tests for the bottleneck-analysis resource accounting and cost model.
+#include <gtest/gtest.h>
+
+#include "sim/cost_model.h"
+#include "sim/resource_usage.h"
+
+namespace eris::sim {
+namespace {
+
+TEST(ResourceUsageTest, ComputeTimeIsMaxOverWorkers) {
+  numa::Topology topo = numa::Topology::Flat(1, 4);
+  ResourceUsage usage(topo, 4);
+  usage.AddComputeNs(0, 100);
+  usage.AddComputeNs(1, 300);
+  usage.AddComputeNs(1, 200);
+  EXPECT_DOUBLE_EQ(usage.MaxWorkerComputeNs(), 500.0);
+  EXPECT_DOUBLE_EQ(usage.WorkerComputeNs(0), 100.0);
+  EXPECT_DOUBLE_EQ(usage.CriticalTimeNs(), 500.0);
+}
+
+TEST(ResourceUsageTest, LocalTrafficTouchesOnlyMemCtrl) {
+  numa::Topology topo = numa::Topology::IntelMachine();
+  ResourceUsage usage(topo, 4);
+  usage.AddMemoryTraffic(2, 2, 1000);
+  EXPECT_EQ(usage.MemCtrlBytes(2), 1000u);
+  EXPECT_EQ(usage.TotalLinkBytes(), 0u);
+}
+
+TEST(ResourceUsageTest, RemoteTrafficChargesRouteLinks) {
+  numa::Topology topo = numa::Topology::IntelMachine();
+  ResourceUsage usage(topo, 4);
+  usage.AddMemoryTraffic(0, 3, 640);
+  EXPECT_EQ(usage.MemCtrlBytes(3), 640u);
+  // Fully connected: exactly one link carries the traffic.
+  EXPECT_EQ(usage.TotalLinkBytes(), 640u);
+}
+
+TEST(ResourceUsageTest, MultiHopTrafficChargesEveryLink) {
+  numa::Topology topo = numa::Topology::AmdMachine();
+  // Find a 2-hop pair.
+  numa::NodeId a = 0;
+  numa::NodeId b = 0;
+  for (numa::NodeId x = 0; x < 8 && b == 0; ++x) {
+    for (numa::NodeId y = 0; y < 8; ++y) {
+      if (topo.Hops(x, y) == 2) {
+        a = x;
+        b = y;
+        break;
+      }
+    }
+  }
+  ASSERT_EQ(topo.Hops(a, b), 2u);
+  ResourceUsage usage(topo, 8);
+  usage.AddMemoryTraffic(a, b, 100);
+  EXPECT_EQ(usage.TotalLinkBytes(), 200u);  // both hops charged
+}
+
+TEST(ResourceUsageTest, LinkTimeUsesBottleneckLink) {
+  numa::Topology topo = numa::Topology::IntelMachine();
+  ResourceUsage usage(topo, 4);
+  // QPI is 10.7 GB/s per direction; counters are direction-less, so the
+  // model grants 2x per link.
+  usage.AddMemoryTraffic(0, 1, 2 * 10'700);
+  EXPECT_NEAR(usage.LinkTimeNs(), 1000.0, 1.0);
+}
+
+TEST(ResourceUsageTest, MemCtrlTimeUsesLocalBandwidth) {
+  numa::Topology topo = numa::Topology::IntelMachine();
+  ResourceUsage usage(topo, 4);
+  usage.AddMemoryTraffic(0, 0, 26'700);  // local bw 26.7 GB/s
+  EXPECT_NEAR(usage.MemCtrlTimeNs(), 1000.0, 1.0);
+}
+
+TEST(ResourceUsageTest, ResetClearsEverything) {
+  numa::Topology topo = numa::Topology::IntelMachine();
+  ResourceUsage usage(topo, 2);
+  usage.AddComputeNs(0, 10);
+  usage.AddMemoryTraffic(0, 1, 100);
+  usage.Reset();
+  EXPECT_DOUBLE_EQ(usage.CriticalTimeNs(), 0.0);
+  EXPECT_EQ(usage.TotalLinkBytes(), 0u);
+  EXPECT_EQ(usage.TotalMemCtrlBytes(), 0u);
+}
+
+TEST(ResourceUsageTest, RoutedBytesChargeDestinationController) {
+  numa::Topology topo = numa::Topology::IntelMachine();
+  ResourceUsage usage(topo, 2);
+  usage.AddRoutedBytes(0, 1, 100);
+  EXPECT_EQ(usage.MemCtrlBytes(0), 0u);  // source reads from cache
+  EXPECT_EQ(usage.MemCtrlBytes(1), 100u);
+  EXPECT_EQ(usage.TotalLinkBytes(), 100u);
+}
+
+TEST(ResourceUsageTest, MultiRouteSpreadConservesBytesPerHop) {
+  // SGI pairs with several equal-hop routes: the spread shares must sum to
+  // (roughly) bytes * hops across all links.
+  numa::Topology topo = numa::Topology::SgiMachine(16);
+  numa::NodeId far = 0;
+  for (numa::NodeId d = 0; d < topo.num_nodes(); ++d) {
+    if (topo.Hops(0, d) >= 3) far = d;
+  }
+  ASSERT_GE(topo.Hops(0, far), 3u);
+  size_t routes = topo.Routes(0, far).size();
+  ASSERT_GE(routes, 1u);
+  ResourceUsage usage(topo, 1);
+  const uint64_t bytes = 900000;  // divisible by 1..4 routes
+  usage.AddMemoryTraffic(0, far, bytes);
+  uint64_t per_hop = bytes / routes * topo.Hops(0, far) * routes;
+  EXPECT_NEAR(static_cast<double>(usage.TotalLinkBytes()),
+              static_cast<double>(per_hop), bytes * 0.01);
+}
+
+TEST(CostModelTest, LocalAndRemoteLatency) {
+  numa::Topology topo = numa::Topology::IntelMachine();
+  CostModel model(topo);
+  EXPECT_DOUBLE_EQ(model.DependentReadNs(0, 0), 129.0);
+  EXPECT_DOUBLE_EQ(model.DependentReadNs(0, 1), 193.0);
+}
+
+TEST(CostModelTest, BatchingDividesByMlp) {
+  numa::Topology topo = numa::Topology::IntelMachine();
+  CostModelParams params;
+  params.batch_mlp = 8.0;
+  CostModel model(topo, params);
+  EXPECT_NEAR(model.BatchedReadNs(0, 0, 80), 129.0 * 10, 0.01);
+}
+
+TEST(CostModelTest, StreamIsBandwidthBound) {
+  numa::Topology topo = numa::Topology::IntelMachine();
+  CostModel model(topo);
+  // 26.7 GB/s local: 26.7 bytes per ns.
+  EXPECT_NEAR(model.StreamNs(0, 0, 26'700), 1000.0, 0.5);
+  EXPECT_NEAR(model.StreamNs(0, 1, 10'700), 1000.0, 0.5);
+}
+
+TEST(CostModelTest, InterleavedAveragesOverNodes) {
+  numa::Topology topo = numa::Topology::IntelMachine();
+  CostModel model(topo);
+  // (129 + 3*193) / 4 = 177.
+  EXPECT_NEAR(model.InterleavedReadNs(0), 177.0, 0.01);
+  // Harmonic mean of {26.7, 10.7, 10.7, 10.7}.
+  double expected_bw = 4.0 / (1 / 26.7 + 3 / 10.7);
+  EXPECT_NEAR(model.InterleavedBandwidthGbps(0), expected_bw, 0.01);
+}
+
+TEST(CostModelTest, InterleavedWorseThanLocalBetterThanWorstRemote) {
+  for (const numa::Topology& topo :
+       {numa::Topology::AmdMachine(), numa::Topology::SgiMachine(16)}) {
+    CostModel model(topo);
+    for (numa::NodeId n = 0; n < topo.num_nodes(); ++n) {
+      EXPECT_GT(model.InterleavedReadNs(n), topo.LatencyNs(n, n));
+      EXPECT_LT(model.InterleavedBandwidthGbps(n), topo.BandwidthGbps(n, n));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace eris::sim

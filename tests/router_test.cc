@@ -1,0 +1,224 @@
+// Tests for the routing layer: endpoints, unicast/multicast, flushing, and
+// command encoding.
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "routing/router.h"
+
+namespace eris::routing {
+namespace {
+
+using storage::Key;
+using storage::kMaxKey;
+
+storage::DataObjectDesc IndexDesc(storage::ObjectId id) {
+  return storage::DataObjectDesc::Index(id, "idx");
+}
+storage::DataObjectDesc ColumnDesc(storage::ObjectId id) {
+  return storage::DataObjectDesc::Column(id, "col");
+}
+
+/// Drains a mailbox into decoded command copies.
+struct DrainedCommand {
+  CommandHeader header;
+  std::vector<uint8_t> payload;
+};
+std::vector<DrainedCommand> DrainMailbox(IncomingBufferPair& mailbox) {
+  std::vector<DrainedCommand> out;
+  mailbox.Drain([&](std::span<const uint8_t> region) {
+    size_t pos = 0;
+    while (pos + sizeof(CommandHeader) <= region.size()) {
+      CommandView v = DecodeCommand(region.data() + pos);
+      pos += v.record_bytes();
+      out.push_back({v.header,
+                     {v.payload, v.payload + v.header.payload_bytes}});
+    }
+  });
+  return out;
+}
+
+TEST(EncodeDecodeTest, RoundTrip) {
+  CommandHeader h;
+  h.type = CommandType::kLookupBatch;
+  h.object = 3;
+  h.source = 7;
+  std::vector<uint8_t> payload{1, 2, 3, 4, 5};
+  std::vector<uint8_t> buf;
+  EncodeCommand(h, payload, &buf);
+  EXPECT_EQ(buf.size() % 8, 0u);
+  CommandView v = DecodeCommand(buf.data());
+  EXPECT_EQ(v.header.type, CommandType::kLookupBatch);
+  EXPECT_EQ(v.header.object, 3);
+  EXPECT_EQ(v.header.source, 7u);
+  EXPECT_EQ(v.header.payload_bytes, 5u);
+  EXPECT_EQ(v.payload[4], 5);
+  EXPECT_EQ(v.record_bytes(), sizeof(CommandHeader) + 8);
+}
+
+TEST(EncodeDecodeTest, SequentialRecordsParse) {
+  std::vector<uint8_t> buf;
+  for (uint8_t i = 0; i < 10; ++i) {
+    CommandHeader h;
+    h.type = CommandType::kFence;
+    h.object = i;
+    std::vector<uint8_t> payload(i);  // varying sizes incl. 0
+    EncodeCommand(h, payload, &buf);
+  }
+  size_t pos = 0;
+  int count = 0;
+  while (pos < buf.size()) {
+    CommandView v = DecodeCommand(buf.data() + pos);
+    EXPECT_EQ(v.header.object, count);
+    pos += v.record_bytes();
+    ++count;
+  }
+  EXPECT_EQ(count, 10);
+}
+
+class RouterTest : public ::testing::Test {
+ protected:
+  RouterTest() : router_({0, 0, 1, 1}, MakeConfig()) {
+    router_.RegisterRangeObject(IndexDesc(0), 1u << 20);
+  }
+  static RouterConfig MakeConfig() {
+    RouterConfig cfg;
+    cfg.flush_threshold_bytes = 1 << 14;
+    return cfg;
+  }
+  Router router_;
+};
+
+TEST_F(RouterTest, LookupSplitsByOwner) {
+  Endpoint ep(&router_, kInvalidAeu, 0);
+  // 4 AEUs over [0, 1M): ranges of 256K each.
+  std::vector<Key> keys{0, 300000, 600000, 900000, 1, 2};
+  size_t units = ep.SendLookupBatch(0, keys, nullptr);
+  EXPECT_EQ(units, keys.size());
+  ep.FlushAll();
+  std::map<AeuId, size_t> per_target;
+  for (AeuId a = 0; a < 4; ++a) {
+    for (const auto& cmd : DrainMailbox(router_.mailbox(a))) {
+      EXPECT_EQ(cmd.header.type, CommandType::kLookupBatch);
+      per_target[a] += cmd.payload.size() / sizeof(Key);
+    }
+  }
+  EXPECT_EQ(per_target[0], 3u);  // keys 0, 1, 2
+  EXPECT_EQ(per_target[1], 1u);
+  EXPECT_EQ(per_target[2], 1u);
+  EXPECT_EQ(per_target[3], 1u);
+}
+
+TEST_F(RouterTest, BatchesSplitAtMaxElements) {
+  RouterConfig cfg;
+  cfg.max_batch_elements = 10;
+  Router router({0}, cfg);
+  router.RegisterRangeObject(IndexDesc(0), 1000);
+  Endpoint ep(&router, kInvalidAeu, 0);
+  std::vector<Key> keys(35, 5);
+  ep.SendLookupBatch(0, keys, nullptr);
+  ep.FlushAll();
+  auto cmds = DrainMailbox(router.mailbox(0));
+  EXPECT_EQ(cmds.size(), 4u);  // 10+10+10+5
+}
+
+TEST_F(RouterTest, ThresholdTriggersEagerFlush) {
+  Endpoint ep(&router_, kInvalidAeu, 0);
+  // Push enough commands at one target to cross the 16 KiB threshold.
+  std::vector<Key> keys(4096, 1);  // all owned by AEU 0
+  ep.SendLookupBatch(0, keys, nullptr);
+  // Data must already be in the mailbox without an explicit FlushAll.
+  EXPECT_GT(router_.mailbox(0).PendingBytes(), 0u);
+}
+
+TEST_F(RouterTest, MulticastScanReachesAllOwners) {
+  Router router({0, 1, 2}, MakeConfig());
+  router.RegisterPhysicalObject(ColumnDesc(0));
+  Endpoint ep(&router, kInvalidAeu, 0);
+  ScanParams params;
+  params.lo = 5;
+  size_t units = ep.SendScanColumn(0, params, nullptr);
+  EXPECT_EQ(units, 3u);
+  ep.FlushAll();
+  for (AeuId a = 0; a < 3; ++a) {
+    auto cmds = DrainMailbox(router.mailbox(a));
+    ASSERT_EQ(cmds.size(), 1u) << "aeu " << a;
+    EXPECT_EQ(cmds[0].header.type, CommandType::kScanColumn);
+    ScanParams p;
+    std::memcpy(&p, cmds[0].payload.data(), sizeof(p));
+    EXPECT_EQ(p.lo, 5u);
+  }
+}
+
+TEST_F(RouterTest, IndexRangeScanTargetsOwnersOnly) {
+  Endpoint ep(&router_, kInvalidAeu, 0);
+  // [0, 300000) covers AEUs 0 and 1 only.
+  size_t units = ep.SendScanIndexRange(0, 0, 300000, {}, nullptr);
+  EXPECT_EQ(units, 2u);
+  ep.FlushAll();
+  EXPECT_GT(router_.mailbox(0).PendingBytes(), 0u);
+  EXPECT_GT(router_.mailbox(1).PendingBytes(), 0u);
+  EXPECT_EQ(router_.mailbox(2).PendingBytes(), 0u);
+  EXPECT_EQ(router_.mailbox(3).PendingBytes(), 0u);
+}
+
+TEST_F(RouterTest, AppendRoundRobinsOverOwners) {
+  Router router({0, 1}, MakeConfig());
+  router.RegisterPhysicalObject(ColumnDesc(0));
+  Endpoint ep(&router, kInvalidAeu, 0);
+  RouterConfig cfg = router.config();
+  std::vector<storage::Value> values(cfg.max_batch_elements * 4, 1);
+  ep.SendAppendBatch(0, values, nullptr);
+  ep.FlushAll();
+  EXPECT_EQ(DrainMailbox(router.mailbox(0)).size(), 2u);
+  EXPECT_EQ(DrainMailbox(router.mailbox(1)).size(), 2u);
+}
+
+TEST_F(RouterTest, FlushRetriesWhenMailboxFull) {
+  RouterConfig cfg;
+  cfg.incoming_capacity_bytes = 256;
+  cfg.flush_threshold_bytes = 64;
+  Router router({0}, cfg);
+  router.RegisterRangeObject(IndexDesc(0), 1000);
+  Endpoint ep(&router, kInvalidAeu, 0);
+  // Overrun the tiny mailbox.
+  for (int i = 0; i < 100; ++i) {
+    std::vector<Key> keys(4, 1);
+    ep.SendLookupBatch(0, keys, nullptr);
+  }
+  EXPECT_FALSE(ep.FlushAll());
+  EXPECT_TRUE(ep.HasPending());
+  EXPECT_GT(ep.stats().flush_retries, 0u);
+  // Draining unblocks delivery.
+  while (ep.HasPending()) {
+    router.mailbox(0).Drain([](std::span<const uint8_t>) {});
+    ep.FlushAll();
+  }
+  EXPECT_FALSE(ep.HasPending());
+}
+
+TEST_F(RouterTest, StatsCountRoutedCommands) {
+  Endpoint ep(&router_, 2, 1);
+  std::vector<Key> keys{1, 300000};
+  ep.SendLookupBatch(0, keys, nullptr);
+  EXPECT_EQ(ep.stats().commands_routed, 2u);
+  EXPECT_EQ(ep.source(), 2u);
+}
+
+TEST_F(RouterTest, SimAccountingChargesRoutes) {
+  // Router over 2 nodes with a resource tracker: a flush from node 0 to an
+  // AEU on node 1 must add link traffic.
+  numa::Topology topo = numa::Topology::Flat(2, 1);
+  sim::ResourceUsage usage(topo, 2);
+  Router router({0, 1}, MakeConfig());
+  router.set_resource_usage(&usage);
+  router.RegisterRangeObject(IndexDesc(0), 1000);
+  Endpoint ep(&router, 0, 0);
+  std::vector<Key> keys{900};  // owned by AEU 1 on node 1
+  ep.SendLookupBatch(0, keys, nullptr);
+  ep.FlushAll();
+  EXPECT_GT(usage.TotalLinkBytes(), 0u);
+}
+
+}  // namespace
+}  // namespace eris::routing

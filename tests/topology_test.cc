@@ -1,0 +1,225 @@
+// Tests for the NUMA topology model and the machine presets (Table 1/2).
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "numa/pinning.h"
+#include "numa/topology.h"
+
+namespace eris::numa {
+namespace {
+
+TEST(FlatTopologyTest, EverythingLocal) {
+  Topology t = Topology::Flat(4, 2);
+  EXPECT_EQ(t.num_nodes(), 4u);
+  EXPECT_EQ(t.cores_per_node(), 2u);
+  EXPECT_EQ(t.total_cores(), 8u);
+  for (NodeId a = 0; a < 4; ++a) {
+    for (NodeId b = 0; b < 4; ++b) {
+      EXPECT_DOUBLE_EQ(t.BandwidthGbps(a, b), t.BandwidthGbps(0, 0));
+      EXPECT_DOUBLE_EQ(t.LatencyNs(a, b), t.LatencyNs(0, 0));
+    }
+  }
+}
+
+TEST(IntelTopologyTest, MatchesTable2) {
+  Topology t = Topology::IntelMachine();
+  EXPECT_EQ(t.num_nodes(), 4u);
+  EXPECT_EQ(t.cores_per_node(), 10u);
+  EXPECT_DOUBLE_EQ(t.BandwidthGbps(0, 0), 26.7);
+  EXPECT_DOUBLE_EQ(t.LatencyNs(0, 0), 129.0);
+  // Fully connected: every remote pair is one hop.
+  for (NodeId a = 0; a < 4; ++a) {
+    for (NodeId b = 0; b < 4; ++b) {
+      if (a == b) continue;
+      EXPECT_EQ(t.Hops(a, b), 1u);
+      EXPECT_DOUBLE_EQ(t.BandwidthGbps(a, b), 10.7);
+      EXPECT_DOUBLE_EQ(t.LatencyNs(a, b), 193.0);
+    }
+  }
+  EXPECT_EQ(t.Diameter(), 1u);
+}
+
+TEST(AmdTopologyTest, MatchesTable2Classes) {
+  Topology t = Topology::AmdMachine();
+  EXPECT_EQ(t.num_nodes(), 8u);
+  EXPECT_EQ(t.cores_per_node(), 8u);
+  EXPECT_DOUBLE_EQ(t.BandwidthGbps(3, 3), 16.4);
+  EXPECT_DOUBLE_EQ(t.LatencyNs(3, 3), 85.0);
+  EXPECT_EQ(t.Diameter(), 2u);
+
+  // The six bandwidth classes of Table 2 must all appear.
+  std::set<double> bw_classes;
+  std::set<double> lat_classes;
+  for (NodeId a = 0; a < 8; ++a) {
+    for (NodeId b = 0; b < 8; ++b) {
+      bw_classes.insert(t.BandwidthGbps(a, b));
+      lat_classes.insert(t.LatencyNs(a, b));
+    }
+  }
+  EXPECT_EQ(bw_classes, (std::set<double>{16.4, 5.8, 4.2, 2.9, 3.7, 1.8}));
+  EXPECT_EQ(lat_classes, (std::set<double>{85.0, 136.0, 152.0, 196.0}));
+
+  // Package siblings communicate over the dedicated full link.
+  for (NodeId i = 0; i < 4; ++i) {
+    EXPECT_DOUBLE_EQ(t.BandwidthGbps(i, i + 4), 5.8);
+    EXPECT_DOUBLE_EQ(t.LatencyNs(i, i + 4), 136.0);
+  }
+}
+
+TEST(AmdTopologyTest, WorstCaseDisparityMatchesPaper) {
+  // Paper: "disparities ... are a factor of 9.1 in bandwidth and 2.3 in
+  // latency" on the AMD machine.
+  Topology t = Topology::AmdMachine();
+  double min_bw = 1e300;
+  double max_lat = 0;
+  for (NodeId a = 0; a < 8; ++a) {
+    for (NodeId b = 0; b < 8; ++b) {
+      if (a == b) continue;
+      min_bw = std::min(min_bw, t.BandwidthGbps(a, b));
+      max_lat = std::max(max_lat, t.LatencyNs(a, b));
+    }
+  }
+  EXPECT_NEAR(t.BandwidthGbps(0, 0) / min_bw, 9.1, 0.05);
+  EXPECT_NEAR(max_lat / t.LatencyNs(0, 0), 2.3, 0.05);
+}
+
+TEST(SgiTopologyTest, FullMachine) {
+  Topology t = Topology::SgiMachine();
+  EXPECT_EQ(t.num_nodes(), 64u);
+  EXPECT_EQ(t.cores_per_node(), 8u);
+  EXPECT_EQ(t.total_cores(), 512u);
+  EXPECT_DOUBLE_EQ(t.BandwidthGbps(0, 0), 36.2);
+  EXPECT_DOUBLE_EQ(t.LatencyNs(0, 0), 81.0);
+  // Blade sibling.
+  EXPECT_DOUBLE_EQ(t.BandwidthGbps(0, 1), 9.5);
+  EXPECT_DOUBLE_EQ(t.LatencyNs(0, 1), 400.0);
+}
+
+TEST(SgiTopologyTest, WorstCaseDisparityMatchesPaper) {
+  // Paper: factor 5.5 in bandwidth and 10.7 in latency on the SGI machine.
+  Topology t = Topology::SgiMachine();
+  double min_bw = 1e300;
+  double max_lat = 0;
+  for (NodeId a = 0; a < 64; ++a) {
+    for (NodeId b = 0; b < 64; ++b) {
+      if (a == b) continue;
+      min_bw = std::min(min_bw, t.BandwidthGbps(a, b));
+      max_lat = std::max(max_lat, t.LatencyNs(a, b));
+    }
+  }
+  EXPECT_NEAR(t.BandwidthGbps(0, 0) / min_bw, 5.5, 0.2);
+  EXPECT_NEAR(max_lat / t.LatencyNs(0, 0), 10.7, 0.2);
+}
+
+TEST(SgiTopologyTest, PartialMachinesWork) {
+  for (uint32_t nodes : {1u, 2u, 3u, 7u, 16u, 33u, 64u}) {
+    Topology t = Topology::SgiMachine(nodes);
+    EXPECT_EQ(t.num_nodes(), nodes);
+    // Every pair must have finite bandwidth and latency.
+    for (NodeId a = 0; a < nodes; ++a) {
+      for (NodeId b = 0; b < nodes; ++b) {
+        EXPECT_GT(t.BandwidthGbps(a, b), 0.0) << a << "->" << b;
+        EXPECT_GT(t.LatencyNs(a, b), 0.0);
+      }
+    }
+  }
+}
+
+TEST(SgiTopologyTest, LatencyGrowsWithNumaLinkHops) {
+  Topology t = Topology::SgiMachine();
+  // Remote latencies must be one of the paper's classes and grow with hops.
+  std::set<double> lats;
+  for (NodeId b = 2; b < 64; b += 2) lats.insert(t.LatencyNs(0, b));
+  for (double lat : lats) {
+    EXPECT_TRUE(lat == 510.0 || lat == 630.0 || lat == 750.0 || lat == 870.0)
+        << lat;
+  }
+}
+
+TEST(TopologyTest, RoutesConsistentWithHops) {
+  for (const Topology& t :
+       {Topology::IntelMachine(), Topology::AmdMachine(),
+        Topology::SgiMachine(16)}) {
+    for (NodeId a = 0; a < t.num_nodes(); ++a) {
+      for (NodeId b = 0; b < t.num_nodes(); ++b) {
+        const auto& route = t.Route(a, b);
+        if (a == b) {
+          EXPECT_TRUE(route.empty());
+        } else {
+          EXPECT_GE(route.size(), 1u);
+          // Route must form a connected path from a to b.
+          NodeId at = a;
+          for (LinkId id : route) {
+            const LinkSpec& l = t.link(id);
+            EXPECT_TRUE(l.a == at || l.b == at);
+            at = (l.a == at) ? l.b : l.a;
+          }
+          EXPECT_EQ(at, b);
+        }
+      }
+    }
+  }
+}
+
+TEST(TopologyTest, AggregateBandwidthSumsLocal) {
+  Topology t = Topology::IntelMachine();
+  EXPECT_DOUBLE_EQ(t.AggregateLocalBandwidthGbps(), 4 * 26.7);
+}
+
+TEST(TopologyTest, DetectHostDoesNotCrash) {
+  Topology t = Topology::DetectHost();
+  EXPECT_GE(t.num_nodes(), 1u);
+  EXPECT_GE(t.total_cores(), 1u);
+}
+
+TEST(TopologyTest, HopsAndLatencySymmetric) {
+  for (const Topology& t :
+       {Topology::IntelMachine(), Topology::AmdMachine(),
+        Topology::SgiMachine(32)}) {
+    for (NodeId a = 0; a < t.num_nodes(); ++a) {
+      for (NodeId b = 0; b < t.num_nodes(); ++b) {
+        EXPECT_EQ(t.Hops(a, b), t.Hops(b, a));
+        EXPECT_DOUBLE_EQ(t.LatencyNs(a, b), t.LatencyNs(b, a));
+        EXPECT_DOUBLE_EQ(t.BandwidthGbps(a, b), t.BandwidthGbps(b, a));
+      }
+    }
+  }
+}
+
+TEST(TopologyTest, AlternateRoutesShareEndpointsAndHops) {
+  Topology t = Topology::SgiMachine(64);
+  for (NodeId a = 0; a < 8; ++a) {
+    for (NodeId b = 56; b < 64; ++b) {
+      if (a == b) continue;
+      const auto& routes = t.Routes(a, b);
+      ASSERT_GE(routes.size(), 1u);
+      for (const auto& route : routes) {
+        // Every alternative is a valid path of the same hop count.
+        EXPECT_EQ(route.size(), t.Routes(a, b).front().size());
+        NodeId at = a;
+        for (LinkId id : route) {
+          const LinkSpec& l = t.link(id);
+          ASSERT_TRUE(l.a == at || l.b == at);
+          at = (l.a == at) ? l.b : l.a;
+        }
+        EXPECT_EQ(at, b);
+      }
+    }
+  }
+}
+
+TEST(PinningTest, PinningIsBestEffortAndNeverFails) {
+  EXPECT_TRUE(eris::numa::PinCurrentThreadToCore(0).ok());
+  EXPECT_TRUE(eris::numa::PinCurrentThreadToCore(12345).ok());  // wraps
+  EXPECT_GE(eris::numa::NumHardwareCores(), 1u);
+}
+
+TEST(TopologyTest, ToStringMentionsName) {
+  Topology t = Topology::AmdMachine();
+  std::string s = t.ToString();
+  EXPECT_NE(s.find("amd-8n"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace eris::numa

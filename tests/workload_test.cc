@@ -1,0 +1,102 @@
+// Tests for the benchmark workload generators.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <vector>
+
+#include "bench_util/workload.h"
+
+namespace eris::bench {
+namespace {
+
+TEST(ZipfGeneratorTest, StaysInDomain) {
+  ZipfGenerator gen(1000, 0.9, 1);
+  for (int i = 0; i < 100000; ++i) {
+    EXPECT_LT(gen.Next(), 1000u);
+  }
+}
+
+TEST(ZipfGeneratorTest, Deterministic) {
+  ZipfGenerator a(5000, 0.8, 42);
+  ZipfGenerator b(5000, 0.8, 42);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(a.Next(), b.Next());
+}
+
+TEST(ZipfGeneratorTest, ThetaZeroIsRoughlyUniform) {
+  // scatter=false: the Mix64 scattering permutes ranks, which on a tiny
+  // domain collides; the uniformity property belongs to the rank stream.
+  ZipfGenerator gen(10, 0.0, 7, /*scatter=*/false);
+  std::vector<int> counts(10, 0);
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) counts[gen.Next()]++;
+  for (int c : counts) {
+    EXPECT_GT(c, n / 10 * 0.9);
+    EXPECT_LT(c, n / 10 * 1.1);
+  }
+}
+
+TEST(ZipfGeneratorTest, HighThetaConcentratesMass) {
+  // Without scattering, rank 0 is the hottest key.
+  ZipfGenerator gen(100000, 0.99, 3, /*scatter=*/false);
+  std::map<uint64_t, int> counts;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) counts[gen.Next()]++;
+  // Rank 0 gets ~ 1/zeta(n) of the mass: several percent.
+  EXPECT_GT(counts[0], n / 50);
+  // The top-10 ranks together dominate any random tail key.
+  int top = 0;
+  for (uint64_t r = 0; r < 10; ++r) top += counts[r];
+  EXPECT_GT(top, n / 8);
+}
+
+TEST(ZipfGeneratorTest, ScatterSpreadsHotKeys) {
+  ZipfGenerator gen(1u << 20, 0.99, 3, /*scatter=*/true);
+  // The two hottest keys must not be adjacent after scattering.
+  std::map<uint64_t, int> counts;
+  for (int i = 0; i < 100000; ++i) counts[gen.Next()]++;
+  std::vector<std::pair<int, uint64_t>> by_count;
+  for (auto& [k, c] : counts) by_count.push_back({c, k});
+  std::sort(by_count.rbegin(), by_count.rend());
+  ASSERT_GE(by_count.size(), 2u);
+  uint64_t k0 = by_count[0].second;
+  uint64_t k1 = by_count[1].second;
+  EXPECT_GT(std::max(k0, k1) - std::min(k0, k1), 1000u);
+}
+
+TEST(ZipfGeneratorTest, MoreSkewMoreConcentration) {
+  auto top_share = [](double theta) {
+    ZipfGenerator gen(100000, theta, 11, /*scatter=*/false);
+    std::map<uint64_t, int> counts;
+    const int n = 100000;
+    for (int i = 0; i < n; ++i) counts[gen.Next()]++;
+    int top = 0;
+    for (uint64_t r = 0; r < 100; ++r) top += counts[r];
+    return static_cast<double>(top) / n;
+  };
+  EXPECT_LT(top_share(0.5), top_share(0.9));
+  EXPECT_LT(top_share(0.9), top_share(1.2));
+}
+
+TEST(HotWindowGeneratorTest, RespectsWindow) {
+  HotWindowGenerator gen(10000, 5);
+  gen.SetWindow(2000, 3000);
+  for (int i = 0; i < 10000; ++i) {
+    uint64_t k = gen.Next();
+    EXPECT_GE(k, 2000u);
+    EXPECT_LT(k, 3000u);
+  }
+  gen.SetWindow(0, 10000);
+  bool saw_low = false;
+  bool saw_high = false;
+  for (int i = 0; i < 10000; ++i) {
+    uint64_t k = gen.Next();
+    saw_low |= k < 2000;
+    saw_high |= k >= 3000;
+  }
+  EXPECT_TRUE(saw_low);
+  EXPECT_TRUE(saw_high);
+}
+
+}  // namespace
+}  // namespace eris::bench
