@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_parttable.dir/bench_ablation_parttable.cc.o"
+  "CMakeFiles/bench_ablation_parttable.dir/bench_ablation_parttable.cc.o.d"
+  "bench_ablation_parttable"
+  "bench_ablation_parttable.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_parttable.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_skew.dir/bench_ext_skew.cc.o"
+  "CMakeFiles/bench_ext_skew.dir/bench_ext_skew.cc.o.d"
+  "bench_ext_skew"
+  "bench_ext_skew.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_skew.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig10_l3miss.dir/bench_fig10_l3miss.cc.o"
+  "CMakeFiles/bench_fig10_l3miss.dir/bench_fig10_l3miss.cc.o.d"
+  "bench_fig10_l3miss"
+  "bench_fig10_l3miss.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig10_l3miss.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

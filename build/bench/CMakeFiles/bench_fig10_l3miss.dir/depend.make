@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_fig10_l3miss.
+# This may be replaced when dependencies are built.

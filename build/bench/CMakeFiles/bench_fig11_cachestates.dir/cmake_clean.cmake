@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig11_cachestates.dir/bench_fig11_cachestates.cc.o"
+  "CMakeFiles/bench_fig11_cachestates.dir/bench_fig11_cachestates.cc.o.d"
+  "bench_fig11_cachestates"
+  "bench_fig11_cachestates.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig11_cachestates.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

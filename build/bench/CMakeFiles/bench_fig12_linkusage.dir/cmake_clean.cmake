@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig12_linkusage.dir/bench_fig12_linkusage.cc.o"
+  "CMakeFiles/bench_fig12_linkusage.dir/bench_fig12_linkusage.cc.o.d"
+  "bench_fig12_linkusage"
+  "bench_fig12_linkusage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig12_linkusage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

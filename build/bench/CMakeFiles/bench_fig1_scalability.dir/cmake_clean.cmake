@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig1_scalability.dir/bench_fig1_scalability.cc.o"
+  "CMakeFiles/bench_fig1_scalability.dir/bench_fig1_scalability.cc.o.d"
+  "bench_fig1_scalability"
+  "bench_fig1_scalability.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig1_scalability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_fig5_routing.cc" "bench/CMakeFiles/bench_fig5_routing.dir/bench_fig5_routing.cc.o" "gcc" "bench/CMakeFiles/bench_fig5_routing.dir/bench_fig5_routing.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/bench_util/CMakeFiles/eris_bench_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/query/CMakeFiles/eris_query.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/eris_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/baseline/CMakeFiles/eris_baseline.dir/DependInfo.cmake"
+  "/root/repo/build/src/routing/CMakeFiles/eris_routing.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/eris_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/eris_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/numa/CMakeFiles/eris_numa.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/eris_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig6_balancing.dir/bench_fig6_balancing.cc.o"
+  "CMakeFiles/bench_fig6_balancing.dir/bench_fig6_balancing.cc.o.d"
+  "bench_fig6_balancing"
+  "bench_fig6_balancing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6_balancing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

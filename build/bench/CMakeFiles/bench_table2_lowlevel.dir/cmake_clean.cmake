@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table2_lowlevel.dir/bench_table2_lowlevel.cc.o"
+  "CMakeFiles/bench_table2_lowlevel.dir/bench_table2_lowlevel.cc.o.d"
+  "bench_table2_lowlevel"
+  "bench_table2_lowlevel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_lowlevel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dynamic_rebalance.dir/dynamic_rebalance.cpp.o"
+  "CMakeFiles/dynamic_rebalance.dir/dynamic_rebalance.cpp.o.d"
+  "dynamic_rebalance"
+  "dynamic_rebalance.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dynamic_rebalance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eris_cli.dir/eris_cli.cpp.o"
+  "CMakeFiles/eris_cli.dir/eris_cli.cpp.o.d"
+  "eris_cli"
+  "eris_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eris_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

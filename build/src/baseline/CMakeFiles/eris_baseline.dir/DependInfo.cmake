@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baseline/shared_column.cc" "src/baseline/CMakeFiles/eris_baseline.dir/shared_column.cc.o" "gcc" "src/baseline/CMakeFiles/eris_baseline.dir/shared_column.cc.o.d"
+  "/root/repo/src/baseline/shared_tree.cc" "src/baseline/CMakeFiles/eris_baseline.dir/shared_tree.cc.o" "gcc" "src/baseline/CMakeFiles/eris_baseline.dir/shared_tree.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/eris_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/numa/CMakeFiles/eris_numa.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/eris_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/eris_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

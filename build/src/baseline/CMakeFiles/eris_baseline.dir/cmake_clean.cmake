@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eris_baseline.dir/shared_column.cc.o"
+  "CMakeFiles/eris_baseline.dir/shared_column.cc.o.d"
+  "CMakeFiles/eris_baseline.dir/shared_tree.cc.o"
+  "CMakeFiles/eris_baseline.dir/shared_tree.cc.o.d"
+  "liberis_baseline.a"
+  "liberis_baseline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eris_baseline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "liberis_baseline.a"
+)

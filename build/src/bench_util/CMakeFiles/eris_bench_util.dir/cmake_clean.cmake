@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eris_bench_util.dir/drivers.cc.o"
+  "CMakeFiles/eris_bench_util.dir/drivers.cc.o.d"
+  "liberis_bench_util.a"
+  "liberis_bench_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eris_bench_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

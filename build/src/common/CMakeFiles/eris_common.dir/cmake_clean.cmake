@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eris_common.dir/histogram.cc.o"
+  "CMakeFiles/eris_common.dir/histogram.cc.o.d"
+  "CMakeFiles/eris_common.dir/logging.cc.o"
+  "CMakeFiles/eris_common.dir/logging.cc.o.d"
+  "CMakeFiles/eris_common.dir/status.cc.o"
+  "CMakeFiles/eris_common.dir/status.cc.o.d"
+  "liberis_common.a"
+  "liberis_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eris_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/aeu.cc" "src/core/CMakeFiles/eris_core.dir/aeu.cc.o" "gcc" "src/core/CMakeFiles/eris_core.dir/aeu.cc.o.d"
+  "/root/repo/src/core/engine.cc" "src/core/CMakeFiles/eris_core.dir/engine.cc.o" "gcc" "src/core/CMakeFiles/eris_core.dir/engine.cc.o.d"
+  "/root/repo/src/core/load_balancer.cc" "src/core/CMakeFiles/eris_core.dir/load_balancer.cc.o" "gcc" "src/core/CMakeFiles/eris_core.dir/load_balancer.cc.o.d"
+  "/root/repo/src/core/monitor.cc" "src/core/CMakeFiles/eris_core.dir/monitor.cc.o" "gcc" "src/core/CMakeFiles/eris_core.dir/monitor.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/eris_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/numa/CMakeFiles/eris_numa.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/eris_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/eris_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/routing/CMakeFiles/eris_routing.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eris_core.dir/aeu.cc.o"
+  "CMakeFiles/eris_core.dir/aeu.cc.o.d"
+  "CMakeFiles/eris_core.dir/engine.cc.o"
+  "CMakeFiles/eris_core.dir/engine.cc.o.d"
+  "CMakeFiles/eris_core.dir/load_balancer.cc.o"
+  "CMakeFiles/eris_core.dir/load_balancer.cc.o.d"
+  "CMakeFiles/eris_core.dir/monitor.cc.o"
+  "CMakeFiles/eris_core.dir/monitor.cc.o.d"
+  "liberis_core.a"
+  "liberis_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eris_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eris_numa.dir/memory_manager.cc.o"
+  "CMakeFiles/eris_numa.dir/memory_manager.cc.o.d"
+  "CMakeFiles/eris_numa.dir/pinning.cc.o"
+  "CMakeFiles/eris_numa.dir/pinning.cc.o.d"
+  "CMakeFiles/eris_numa.dir/topology.cc.o"
+  "CMakeFiles/eris_numa.dir/topology.cc.o.d"
+  "liberis_numa.a"
+  "liberis_numa.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eris_numa.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eris_query.dir/query.cc.o"
+  "CMakeFiles/eris_query.dir/query.cc.o.d"
+  "liberis_query.a"
+  "liberis_query.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eris_query.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

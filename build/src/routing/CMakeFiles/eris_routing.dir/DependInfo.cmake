@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/routing/data_command.cc" "src/routing/CMakeFiles/eris_routing.dir/data_command.cc.o" "gcc" "src/routing/CMakeFiles/eris_routing.dir/data_command.cc.o.d"
+  "/root/repo/src/routing/incoming_buffer.cc" "src/routing/CMakeFiles/eris_routing.dir/incoming_buffer.cc.o" "gcc" "src/routing/CMakeFiles/eris_routing.dir/incoming_buffer.cc.o.d"
+  "/root/repo/src/routing/partition_table.cc" "src/routing/CMakeFiles/eris_routing.dir/partition_table.cc.o" "gcc" "src/routing/CMakeFiles/eris_routing.dir/partition_table.cc.o.d"
+  "/root/repo/src/routing/router.cc" "src/routing/CMakeFiles/eris_routing.dir/router.cc.o" "gcc" "src/routing/CMakeFiles/eris_routing.dir/router.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/eris_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/numa/CMakeFiles/eris_numa.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/eris_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/eris_storage.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

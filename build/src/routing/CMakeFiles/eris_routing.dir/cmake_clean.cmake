@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eris_routing.dir/data_command.cc.o"
+  "CMakeFiles/eris_routing.dir/data_command.cc.o.d"
+  "CMakeFiles/eris_routing.dir/incoming_buffer.cc.o"
+  "CMakeFiles/eris_routing.dir/incoming_buffer.cc.o.d"
+  "CMakeFiles/eris_routing.dir/partition_table.cc.o"
+  "CMakeFiles/eris_routing.dir/partition_table.cc.o.d"
+  "CMakeFiles/eris_routing.dir/router.cc.o"
+  "CMakeFiles/eris_routing.dir/router.cc.o.d"
+  "liberis_routing.a"
+  "liberis_routing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eris_routing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

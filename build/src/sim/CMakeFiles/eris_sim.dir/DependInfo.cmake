@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/cache_sim.cc" "src/sim/CMakeFiles/eris_sim.dir/cache_sim.cc.o" "gcc" "src/sim/CMakeFiles/eris_sim.dir/cache_sim.cc.o.d"
+  "/root/repo/src/sim/cost_model.cc" "src/sim/CMakeFiles/eris_sim.dir/cost_model.cc.o" "gcc" "src/sim/CMakeFiles/eris_sim.dir/cost_model.cc.o.d"
+  "/root/repo/src/sim/index_model.cc" "src/sim/CMakeFiles/eris_sim.dir/index_model.cc.o" "gcc" "src/sim/CMakeFiles/eris_sim.dir/index_model.cc.o.d"
+  "/root/repo/src/sim/resource_usage.cc" "src/sim/CMakeFiles/eris_sim.dir/resource_usage.cc.o" "gcc" "src/sim/CMakeFiles/eris_sim.dir/resource_usage.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/eris_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/numa/CMakeFiles/eris_numa.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

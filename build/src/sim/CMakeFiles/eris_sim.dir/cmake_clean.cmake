@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eris_sim.dir/cache_sim.cc.o"
+  "CMakeFiles/eris_sim.dir/cache_sim.cc.o.d"
+  "CMakeFiles/eris_sim.dir/cost_model.cc.o"
+  "CMakeFiles/eris_sim.dir/cost_model.cc.o.d"
+  "CMakeFiles/eris_sim.dir/index_model.cc.o"
+  "CMakeFiles/eris_sim.dir/index_model.cc.o.d"
+  "CMakeFiles/eris_sim.dir/resource_usage.cc.o"
+  "CMakeFiles/eris_sim.dir/resource_usage.cc.o.d"
+  "liberis_sim.a"
+  "liberis_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eris_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

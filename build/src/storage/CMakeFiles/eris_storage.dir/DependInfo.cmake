@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/storage/bplus_tree.cc" "src/storage/CMakeFiles/eris_storage.dir/bplus_tree.cc.o" "gcc" "src/storage/CMakeFiles/eris_storage.dir/bplus_tree.cc.o.d"
+  "/root/repo/src/storage/column_store.cc" "src/storage/CMakeFiles/eris_storage.dir/column_store.cc.o" "gcc" "src/storage/CMakeFiles/eris_storage.dir/column_store.cc.o.d"
+  "/root/repo/src/storage/csb_tree.cc" "src/storage/CMakeFiles/eris_storage.dir/csb_tree.cc.o" "gcc" "src/storage/CMakeFiles/eris_storage.dir/csb_tree.cc.o.d"
+  "/root/repo/src/storage/hash_table.cc" "src/storage/CMakeFiles/eris_storage.dir/hash_table.cc.o" "gcc" "src/storage/CMakeFiles/eris_storage.dir/hash_table.cc.o.d"
+  "/root/repo/src/storage/mvcc.cc" "src/storage/CMakeFiles/eris_storage.dir/mvcc.cc.o" "gcc" "src/storage/CMakeFiles/eris_storage.dir/mvcc.cc.o.d"
+  "/root/repo/src/storage/partition.cc" "src/storage/CMakeFiles/eris_storage.dir/partition.cc.o" "gcc" "src/storage/CMakeFiles/eris_storage.dir/partition.cc.o.d"
+  "/root/repo/src/storage/prefix_tree.cc" "src/storage/CMakeFiles/eris_storage.dir/prefix_tree.cc.o" "gcc" "src/storage/CMakeFiles/eris_storage.dir/prefix_tree.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/eris_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/numa/CMakeFiles/eris_numa.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eris_storage.dir/bplus_tree.cc.o"
+  "CMakeFiles/eris_storage.dir/bplus_tree.cc.o.d"
+  "CMakeFiles/eris_storage.dir/column_store.cc.o"
+  "CMakeFiles/eris_storage.dir/column_store.cc.o.d"
+  "CMakeFiles/eris_storage.dir/csb_tree.cc.o"
+  "CMakeFiles/eris_storage.dir/csb_tree.cc.o.d"
+  "CMakeFiles/eris_storage.dir/hash_table.cc.o"
+  "CMakeFiles/eris_storage.dir/hash_table.cc.o.d"
+  "CMakeFiles/eris_storage.dir/mvcc.cc.o"
+  "CMakeFiles/eris_storage.dir/mvcc.cc.o.d"
+  "CMakeFiles/eris_storage.dir/partition.cc.o"
+  "CMakeFiles/eris_storage.dir/partition.cc.o.d"
+  "CMakeFiles/eris_storage.dir/prefix_tree.cc.o"
+  "CMakeFiles/eris_storage.dir/prefix_tree.cc.o.d"
+  "liberis_storage.a"
+  "liberis_storage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eris_storage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aeu_test.dir/aeu_test.cc.o"
+  "CMakeFiles/aeu_test.dir/aeu_test.cc.o.d"
+  "aeu_test"
+  "aeu_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aeu_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

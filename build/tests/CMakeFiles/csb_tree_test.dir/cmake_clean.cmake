@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/csb_tree_test.dir/csb_tree_test.cc.o"
+  "CMakeFiles/csb_tree_test.dir/csb_tree_test.cc.o.d"
+  "csb_tree_test"
+  "csb_tree_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/csb_tree_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hashed_partitioning_test.dir/hashed_partitioning_test.cc.o"
+  "CMakeFiles/hashed_partitioning_test.dir/hashed_partitioning_test.cc.o.d"
+  "hashed_partitioning_test"
+  "hashed_partitioning_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hashed_partitioning_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

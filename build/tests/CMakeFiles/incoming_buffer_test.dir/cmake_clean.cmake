@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/incoming_buffer_test.dir/incoming_buffer_test.cc.o"
+  "CMakeFiles/incoming_buffer_test.dir/incoming_buffer_test.cc.o.d"
+  "incoming_buffer_test"
+  "incoming_buffer_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/incoming_buffer_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/outgoing_test.dir/outgoing_test.cc.o"
+  "CMakeFiles/outgoing_test.dir/outgoing_test.cc.o.d"
+  "outgoing_test"
+  "outgoing_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/outgoing_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

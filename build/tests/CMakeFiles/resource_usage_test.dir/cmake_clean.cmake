@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/resource_usage_test.dir/resource_usage_test.cc.o"
+  "CMakeFiles/resource_usage_test.dir/resource_usage_test.cc.o.d"
+  "resource_usage_test"
+  "resource_usage_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/resource_usage_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
