@@ -1,0 +1,23 @@
+#!/usr/bin/env bash
+# Tier-1 verification: build and run the full test suite in both kernel
+# configurations so the AVX2 and the scalar-fallback scan paths stay green.
+#
+#   build/         default config (ERIS_ENABLE_AVX2=ON, runtime-dispatched)
+#   build-scalar/  forced scalar kernels (-DERIS_ENABLE_AVX2=OFF)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+JOBS="${JOBS:-$(nproc)}"
+
+echo "=== tier-1: default build (AVX2 kernels, runtime-dispatched) ==="
+cmake -B build -S .
+cmake --build build -j"$JOBS"
+ctest --test-dir build --output-on-failure -j"$JOBS"
+
+echo "=== tier-1: scalar-fallback build (-DERIS_ENABLE_AVX2=OFF) ==="
+cmake -B build-scalar -S . -DERIS_ENABLE_AVX2=OFF \
+      -DERIS_BUILD_BENCHMARKS=OFF -DERIS_BUILD_EXAMPLES=OFF
+cmake --build build-scalar -j"$JOBS"
+ctest --test-dir build-scalar --output-on-failure -j"$JOBS"
+
+echo "=== tier-1: both configurations green ==="

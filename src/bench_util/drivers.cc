@@ -181,7 +181,15 @@ RunResult RunErisScan(const ScanConfig& cfg) {
     for (uint64_t done = 0; done < n;) {
       size_t m = std::min<uint64_t>(values.size(), n - done);
       values.resize(m);
-      for (auto& v : values) v = rng.Next() >> 1;
+      if (cfg.clustered) {
+        // Dense ascending values: each partition's segments cover narrow,
+        // disjoint value bands, the shape zone maps exploit.
+        for (size_t i = 0; i < m; ++i) {
+          values[i] = (done + i) * ((1ull << 63) / std::max<uint64_t>(n, 1));
+        }
+      } else {
+        for (auto& v : values) v = rng.Next() >> 1;
+      }
       session->Append(col, values);
       done += m;
     }
@@ -189,7 +197,7 @@ RunResult RunErisScan(const ScanConfig& cfg) {
   engine.resource_usage().Reset();
   uint64_t rows = 0;
   for (uint32_t r = 0; r < cfg.repeats; ++r) {
-    rows += session->ScanColumn(col).rows;
+    rows += session->ScanColumn(col, cfg.lo, cfg.hi).rows;
   }
   RunResult result;
   result.ops = rows;

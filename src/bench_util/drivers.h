@@ -65,6 +65,15 @@ struct ScanConfig {
   double scale = 512.0;
   uint32_t repeats = 3;  ///< scans per run (coalescing possible)
   uint64_t seed = 7;
+  /// Inclusive value filter of the scan (defaults to a full scan). Column
+  /// values are uniform in [0, 2^63), so hi = sel * 2^63 yields
+  /// selectivity sel.
+  storage::Value lo = 0;
+  storage::Value hi = ~storage::Value{0};
+  /// Fill the column with sorted (clustered) values instead of uniform
+  /// random ones: every selective scan then skips most segments via the
+  /// per-segment zone maps.
+  bool clustered = false;
 };
 
 /// ERIS partitioned column scan (node-local partitions).

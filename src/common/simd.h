@@ -1,0 +1,261 @@
+// Portable SIMD kernels for the vectorized scan pipeline.
+//
+// Every kernel exists in two flavors with identical semantics: an
+// always-compiled scalar loop (the fallback and the reference for the
+// differential tests) and an AVX2 implementation compiled behind the
+// ERIS_ENABLE_AVX2 CMake option. The AVX2 variants carry a function-level
+// target attribute, so no global -mavx2 flag is needed and the binary still
+// runs on non-AVX2 hosts: the public dispatch functions pick the widest
+// implementation the executing CPU supports, once, at first use.
+//
+// All kernels operate on raw uint64_t blocks with an *inclusive* unsigned
+// range predicate lo <= v <= hi — the contract of ColumnStore's scans. An
+// empty range (lo > hi) matches nothing.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#if defined(ERIS_ENABLE_AVX2) && defined(__x86_64__) && \
+    (defined(__GNUC__) || defined(__clang__))
+#define ERIS_SIMD_AVX2 1
+#include <immintrin.h>
+#else
+#define ERIS_SIMD_AVX2 0
+#endif
+
+namespace eris::simd {
+
+// ---------------------------------------------------------------------------
+// Scalar reference kernels (always compiled)
+// ---------------------------------------------------------------------------
+
+inline uint64_t SumAllScalar(const uint64_t* data, size_t n) {
+  uint64_t sum = 0;
+  for (size_t i = 0; i < n; ++i) sum += data[i];
+  return sum;
+}
+
+inline uint64_t ScanSumScalar(const uint64_t* data, size_t n, uint64_t lo,
+                              uint64_t hi) {
+  uint64_t sum = 0;
+  for (size_t i = 0; i < n; ++i) {
+    uint64_t v = data[i];
+    sum += (v >= lo && v <= hi) ? v : 0;
+  }
+  return sum;
+}
+
+inline uint64_t ScanCountScalar(const uint64_t* data, size_t n, uint64_t lo,
+                                uint64_t hi) {
+  uint64_t count = 0;
+  for (size_t i = 0; i < n; ++i) {
+    count += (data[i] >= lo && data[i] <= hi) ? 1 : 0;
+  }
+  return count;
+}
+
+inline void ScanSumCountScalar(const uint64_t* data, size_t n, uint64_t lo,
+                               uint64_t hi, uint64_t* sum, uint64_t* count) {
+  uint64_t s = 0;
+  uint64_t c = 0;
+  for (size_t i = 0; i < n; ++i) {
+    uint64_t v = data[i];
+    bool match = v >= lo && v <= hi;
+    s += match ? v : 0;
+    c += match ? 1 : 0;
+  }
+  *sum = s;
+  *count = c;
+}
+
+/// Writes base + i for every matching element into `out` (which must have
+/// room for at least the number of matches); returns the match count.
+inline uint64_t ScanCollectScalar(const uint64_t* data, size_t n, uint64_t lo,
+                                  uint64_t hi, uint64_t base, uint64_t* out) {
+  uint64_t count = 0;
+  for (size_t i = 0; i < n; ++i) {
+    if (data[i] >= lo && data[i] <= hi) out[count++] = base + i;
+  }
+  return count;
+}
+
+// ---------------------------------------------------------------------------
+// AVX2 kernels (compiled when ERIS_ENABLE_AVX2; selected at runtime)
+// ---------------------------------------------------------------------------
+
+#if ERIS_SIMD_AVX2
+
+namespace internal {
+
+// AVX2 has no unsigned 64-bit compare; bias both sides by 2^63 so the
+// signed compare orders unsigned operands correctly.
+__attribute__((target("avx2"))) inline __m256i BiasU64(__m256i v) {
+  return _mm256_xor_si256(v, _mm256_set1_epi64x(
+                                 static_cast<long long>(0x8000000000000000ull)));
+}
+
+// All-ones per lane where lo <= v <= hi (unsigned, inclusive).
+__attribute__((target("avx2"))) inline __m256i RangeMaskU64(
+    __m256i v_biased, __m256i lo_biased, __m256i hi_biased) {
+  __m256i below = _mm256_cmpgt_epi64(lo_biased, v_biased);  // v < lo
+  __m256i above = _mm256_cmpgt_epi64(v_biased, hi_biased);  // v > hi
+  __m256i outside = _mm256_or_si256(below, above);
+  return _mm256_xor_si256(outside, _mm256_set1_epi64x(-1));
+}
+
+__attribute__((target("avx2"))) inline uint64_t HorizontalSumU64(__m256i v) {
+  alignas(32) uint64_t lanes[4];
+  _mm256_store_si256(reinterpret_cast<__m256i*>(lanes), v);
+  return lanes[0] + lanes[1] + lanes[2] + lanes[3];
+}
+
+}  // namespace internal
+
+__attribute__((target("avx2"))) inline uint64_t SumAllAvx2(
+    const uint64_t* data, size_t n) {
+  __m256i acc = _mm256_setzero_si256();
+  size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    __m256i v = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(data + i));
+    acc = _mm256_add_epi64(acc, v);
+  }
+  uint64_t sum = internal::HorizontalSumU64(acc);
+  for (; i < n; ++i) sum += data[i];
+  return sum;
+}
+
+__attribute__((target("avx2"))) inline void ScanSumCountAvx2(
+    const uint64_t* data, size_t n, uint64_t lo, uint64_t hi, uint64_t* sum,
+    uint64_t* count) {
+  const __m256i lo_b = internal::BiasU64(_mm256_set1_epi64x(
+      static_cast<long long>(lo)));
+  const __m256i hi_b = internal::BiasU64(_mm256_set1_epi64x(
+      static_cast<long long>(hi)));
+  __m256i sum_acc = _mm256_setzero_si256();
+  __m256i cnt_acc = _mm256_setzero_si256();
+  size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    __m256i v = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(data + i));
+    __m256i mask = internal::RangeMaskU64(internal::BiasU64(v), lo_b, hi_b);
+    sum_acc = _mm256_add_epi64(sum_acc, _mm256_and_si256(mask, v));
+    // Matching lanes are all-ones == -1: subtracting adds 1 per match.
+    cnt_acc = _mm256_sub_epi64(cnt_acc, mask);
+  }
+  uint64_t s = internal::HorizontalSumU64(sum_acc);
+  uint64_t c = internal::HorizontalSumU64(cnt_acc);
+  for (; i < n; ++i) {
+    uint64_t v = data[i];
+    bool match = v >= lo && v <= hi;
+    s += match ? v : 0;
+    c += match ? 1 : 0;
+  }
+  *sum = s;
+  *count = c;
+}
+
+__attribute__((target("avx2"))) inline uint64_t ScanSumAvx2(
+    const uint64_t* data, size_t n, uint64_t lo, uint64_t hi) {
+  uint64_t sum;
+  uint64_t count;
+  ScanSumCountAvx2(data, n, lo, hi, &sum, &count);
+  return sum;
+}
+
+__attribute__((target("avx2"))) inline uint64_t ScanCountAvx2(
+    const uint64_t* data, size_t n, uint64_t lo, uint64_t hi) {
+  uint64_t sum;
+  uint64_t count;
+  ScanSumCountAvx2(data, n, lo, hi, &sum, &count);
+  return count;
+}
+
+__attribute__((target("avx2"))) inline uint64_t ScanCollectAvx2(
+    const uint64_t* data, size_t n, uint64_t lo, uint64_t hi, uint64_t base,
+    uint64_t* out) {
+  const __m256i lo_b = internal::BiasU64(_mm256_set1_epi64x(
+      static_cast<long long>(lo)));
+  const __m256i hi_b = internal::BiasU64(_mm256_set1_epi64x(
+      static_cast<long long>(hi)));
+  uint64_t count = 0;
+  size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    __m256i v = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(data + i));
+    __m256i mask = internal::RangeMaskU64(internal::BiasU64(v), lo_b, hi_b);
+    int bits = _mm256_movemask_pd(_mm256_castsi256_pd(mask));
+    while (bits != 0) {
+      int lane = __builtin_ctz(static_cast<unsigned>(bits));
+      out[count++] = base + i + static_cast<uint64_t>(lane);
+      bits &= bits - 1;
+    }
+  }
+  for (; i < n; ++i) {
+    if (data[i] >= lo && data[i] <= hi) out[count++] = base + i;
+  }
+  return count;
+}
+
+#endif  // ERIS_SIMD_AVX2
+
+// ---------------------------------------------------------------------------
+// Runtime dispatch
+// ---------------------------------------------------------------------------
+
+/// True when the AVX2 kernels are compiled in and the executing CPU
+/// supports them.
+inline bool HaveAvx2() {
+#if ERIS_SIMD_AVX2
+  static const bool have = __builtin_cpu_supports("avx2");
+  return have;
+#else
+  return false;
+#endif
+}
+
+/// Name of the kernel set the dispatchers resolve to ("avx2" / "scalar").
+inline const char* BackendName() { return HaveAvx2() ? "avx2" : "scalar"; }
+
+/// Unconditional sum of `n` values (the zone-map fully-covered fast path).
+inline uint64_t SumAll(const uint64_t* data, size_t n) {
+#if ERIS_SIMD_AVX2
+  if (HaveAvx2()) return SumAllAvx2(data, n);
+#endif
+  return SumAllScalar(data, n);
+}
+
+inline uint64_t ScanSum(const uint64_t* data, size_t n, uint64_t lo,
+                        uint64_t hi) {
+#if ERIS_SIMD_AVX2
+  if (HaveAvx2()) return ScanSumAvx2(data, n, lo, hi);
+#endif
+  return ScanSumScalar(data, n, lo, hi);
+}
+
+inline uint64_t ScanCount(const uint64_t* data, size_t n, uint64_t lo,
+                          uint64_t hi) {
+#if ERIS_SIMD_AVX2
+  if (HaveAvx2()) return ScanCountAvx2(data, n, lo, hi);
+#endif
+  return ScanCountScalar(data, n, lo, hi);
+}
+
+inline void ScanSumCount(const uint64_t* data, size_t n, uint64_t lo,
+                         uint64_t hi, uint64_t* sum, uint64_t* count) {
+#if ERIS_SIMD_AVX2
+  if (HaveAvx2()) {
+    ScanSumCountAvx2(data, n, lo, hi, sum, count);
+    return;
+  }
+#endif
+  ScanSumCountScalar(data, n, lo, hi, sum, count);
+}
+
+inline uint64_t ScanCollect(const uint64_t* data, size_t n, uint64_t lo,
+                            uint64_t hi, uint64_t base, uint64_t* out) {
+#if ERIS_SIMD_AVX2
+  if (HaveAvx2()) return ScanCollectAvx2(data, n, lo, hi, base, out);
+#endif
+  return ScanCollectScalar(data, n, lo, hi, base, out);
+}
+
+}  // namespace eris::simd

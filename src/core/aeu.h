@@ -32,6 +32,7 @@ struct AeuLoopStats {
   uint64_t commands_forwarded = 0;
   uint64_t commands_deferred = 0;
   uint64_t scans_coalesced = 0;  ///< scan commands saved by scan sharing
+  uint64_t zone_segments_skipped = 0;  ///< per-job segment skips via zone maps
   uint64_t link_transfers = 0;
   uint64_t copy_transfers = 0;
   uint64_t bytes_copied = 0;     ///< copy-transfer payload bytes sent

@@ -1,5 +1,8 @@
 #include "storage/column_store.h"
 
+#include <algorithm>
+#include <numeric>
+
 namespace eris::storage {
 
 ColumnStore::ColumnStore(numa::NodeMemoryManager* memory) : memory_(memory) {
@@ -11,8 +14,10 @@ ColumnStore::~ColumnStore() { Clear(); }
 ColumnStore::ColumnStore(ColumnStore&& other) noexcept
     : memory_(other.memory_),
       segments_(std::move(other.segments_)),
+      zones_(std::move(other.zones_)),
       size_(other.size_) {
   other.segments_.clear();
+  other.zones_.clear();
   other.size_ = 0;
 }
 
@@ -21,8 +26,10 @@ ColumnStore& ColumnStore::operator=(ColumnStore&& other) noexcept {
     Clear();
     memory_ = other.memory_;
     segments_ = std::move(other.segments_);
+    zones_ = std::move(other.zones_);
     size_ = other.size_;
     other.segments_.clear();
+    other.zones_.clear();
     other.size_ = 0;
   }
   return *this;
@@ -32,6 +39,7 @@ void ColumnStore::Clear() {
   for (Value* seg : segments_)
     memory_->Free(seg, kSegmentCapacity * sizeof(Value));
   segments_.clear();
+  zones_.clear();
   size_ = 0;
 }
 
@@ -42,9 +50,12 @@ Value* ColumnStore::NewSegment() {
 
 TupleId ColumnStore::Append(Value v) {
   size_t offset = size_ % kSegmentCapacity;
-  if (offset == 0 && size_ == segments_.size() * kSegmentCapacity)
+  if (offset == 0 && size_ == segments_.size() * kSegmentCapacity) {
     segments_.push_back(NewSegment());
+    zones_.emplace_back();
+  }
   segments_.back()[offset] = v;
+  Widen(&zones_.back(), v);
   return size_++;
 }
 
@@ -54,11 +65,13 @@ void ColumnStore::AppendBatch(std::span<const Value> values) {
     size_t offset = size_ % kSegmentCapacity;
     if (offset == 0 && size_ == segments_.size() * kSegmentCapacity) {
       segments_.push_back(NewSegment());
+      zones_.emplace_back();
     }
     size_t room = kSegmentCapacity - offset;
     size_t n = std::min(room, values.size() - i);
     std::memcpy(segments_.back() + offset, values.data() + i,
                 n * sizeof(Value));
+    Widen(&zones_.back(), values.data() + i, n);
     size_ += n;
     i += n;
   }
@@ -67,13 +80,11 @@ void ColumnStore::AppendBatch(std::span<const Value> values) {
 uint64_t ColumnStore::ScanSum(Value lo, Value hi) const {
   uint64_t sum = 0;
   for (size_t s = 0; s < segments_.size(); ++s) {
-    const Value* seg = segments_[s];
+    const ZoneMap& z = zones_[s];
+    if (z.Excludes(lo, hi)) continue;
     size_t n = SegmentSize(s);
-    for (size_t i = 0; i < n; ++i) {
-      Value v = seg[i];
-      // Branch-free predicated add keeps the loop bandwidth-bound.
-      sum += (v >= lo && v <= hi) ? v : 0;
-    }
+    sum += z.CoveredBy(lo, hi) ? simd::SumAll(segments_[s], n)
+                               : simd::ScanSum(segments_[s], n, lo, hi);
   }
   return sum;
 }
@@ -81,42 +92,78 @@ uint64_t ColumnStore::ScanSum(Value lo, Value hi) const {
 uint64_t ColumnStore::ScanCount(Value lo, Value hi) const {
   uint64_t count = 0;
   for (size_t s = 0; s < segments_.size(); ++s) {
-    const Value* seg = segments_[s];
+    const ZoneMap& z = zones_[s];
+    if (z.Excludes(lo, hi)) continue;
     size_t n = SegmentSize(s);
-    for (size_t i = 0; i < n; ++i) {
-      count += (seg[i] >= lo && seg[i] <= hi) ? 1 : 0;
-    }
+    count += z.CoveredBy(lo, hi) ? n : simd::ScanCount(segments_[s], n, lo, hi);
   }
   return count;
 }
 
-uint64_t ColumnStore::ScanCollect(Value lo, Value hi,
-                                  std::vector<TupleId>* out) const {
-  uint64_t count = 0;
-  TupleId tid = 0;
-  for (size_t s = 0; s < segments_.size(); ++s) {
-    const Value* seg = segments_[s];
-    size_t n = SegmentSize(s);
-    for (size_t i = 0; i < n; ++i, ++tid) {
-      if (seg[i] >= lo && seg[i] <= hi) {
-        out->push_back(tid);
-        ++count;
-      }
+void ColumnStore::ScanSumCountPrefix(Value lo, Value hi, uint64_t limit,
+                                     uint64_t* sum, uint64_t* count) const {
+  limit = std::min(limit, size_);
+  uint64_t total_sum = 0;
+  uint64_t total_count = 0;
+  for (size_t s = 0; s * kSegmentCapacity < limit; ++s) {
+    size_t n = static_cast<size_t>(
+        std::min<uint64_t>(SegmentSize(s), limit - s * kSegmentCapacity));
+    const ZoneMap& z = zones_[s];
+    if (z.Excludes(lo, hi)) continue;
+    if (z.CoveredBy(lo, hi)) {
+      total_sum += simd::SumAll(segments_[s], n);
+      total_count += n;
+    } else {
+      uint64_t seg_sum = 0;
+      uint64_t seg_count = 0;
+      simd::ScanSumCount(segments_[s], n, lo, hi, &seg_sum, &seg_count);
+      total_sum += seg_sum;
+      total_count += seg_count;
     }
   }
-  return count;
+  *sum = total_sum;
+  *count = total_count;
+}
+
+uint64_t ColumnStore::ScanCollect(Value lo, Value hi,
+                                  std::vector<TupleId>* out) const {
+  uint64_t total = 0;
+  for (size_t s = 0; s < segments_.size(); ++s) {
+    const ZoneMap& z = zones_[s];
+    if (z.Excludes(lo, hi)) continue;
+    size_t n = SegmentSize(s);
+    TupleId base = s * kSegmentCapacity;
+    size_t old = out->size();
+    if (z.CoveredBy(lo, hi)) {
+      out->resize(old + n);
+      std::iota(out->begin() + static_cast<ptrdiff_t>(old), out->end(), base);
+      total += n;
+      continue;
+    }
+    // Count first, then collect into the exactly-sized tail: two streams of
+    // one cache-resident segment beat per-match push_back reallocation.
+    uint64_t matches = simd::ScanCount(segments_[s], n, lo, hi);
+    if (matches == 0) continue;
+    out->resize(old + matches);
+    simd::ScanCollect(segments_[s], n, lo, hi, base, out->data() + old);
+    total += matches;
+  }
+  return total;
 }
 
 ColumnStore ColumnStore::SplitTail(TupleId from_tid) {
   ColumnStore tail(memory_);
   if (from_tid >= size_) return tail;
   if (from_tid % kSegmentCapacity == 0) {
-    // Structural move of whole segments.
+    // Structural move of whole segments (zones travel with them).
     size_t first_seg = from_tid / kSegmentCapacity;
     tail.segments_.assign(segments_.begin() + static_cast<ptrdiff_t>(first_seg),
                           segments_.end());
+    tail.zones_.assign(zones_.begin() + static_cast<ptrdiff_t>(first_seg),
+                       zones_.end());
     tail.size_ = size_ - from_tid;
     segments_.resize(first_seg);
+    zones_.resize(first_seg);
     size_ = from_tid;
     return tail;
   }
@@ -128,7 +175,11 @@ ColumnStore ColumnStore::SplitTail(TupleId from_tid) {
   for (size_t s = needed_segs; s < segments_.size(); ++s)
     memory_->Free(segments_[s], kSegmentCapacity * sizeof(Value));
   segments_.resize(needed_segs);
+  zones_.resize(needed_segs);
   size_ = from_tid;
+  // The kept boundary segment lost its tail values: rebuild its zone so it
+  // is exact again (and loses any Set-induced over-approximation).
+  if (!segments_.empty()) RebuildZone(segments_.size() - 1);
   return tail;
 }
 
@@ -137,8 +188,10 @@ void ColumnStore::Absorb(ColumnStore&& other) {
   if (other.memory_ == memory_ && size_ % kSegmentCapacity == 0) {
     segments_.insert(segments_.end(), other.segments_.begin(),
                      other.segments_.end());
+    zones_.insert(zones_.end(), other.zones_.begin(), other.zones_.end());
     size_ += other.size_;
     other.segments_.clear();
+    other.zones_.clear();
     other.size_ = 0;
     return;
   }

@@ -14,10 +14,26 @@
 
 #include "common/bit_util.h"
 #include "common/logging.h"
+#include "common/simd.h"
 #include "numa/memory_manager.h"
 #include "storage/types.h"
 
 namespace eris::storage {
+
+/// Per-segment min/max synopsis. A scan skips a whole segment when its zone
+/// cannot intersect the predicate range, and sums it without per-element
+/// predication when the zone is fully contained in the range. Zones are
+/// conservative: `Set` only widens them (an overwrite never shrinks the
+/// synopsis), so they may over-approximate but never miss a value.
+struct ZoneMap {
+  Value min = ~Value{0};
+  Value max = 0;  // min > max <=> no value recorded yet
+
+  bool Excludes(Value lo, Value hi) const { return max < lo || min > hi; }
+  bool CoveredBy(Value lo, Value hi) const {
+    return min <= max && min >= lo && max <= hi;
+  }
+};
 
 /// \brief Single-writer append-only column of 64-bit values.
 class ColumnStore {
@@ -46,10 +62,12 @@ class ColumnStore {
   }
 
   /// Overwrites the value at `tid` (used by the MVCC layer's in-place
-  /// current version).
+  /// current version). Widens the segment's zone map; it is rebuilt exactly
+  /// the next time the segment is split or absorbed.
   void Set(TupleId tid, Value v) {
     ERIS_DCHECK(tid < size_);
     segments_[tid / kSegmentCapacity][tid % kSegmentCapacity] = v;
+    Widen(&zones_[tid / kSegmentCapacity], v);
   }
 
   uint64_t size() const { return size_; }
@@ -71,14 +89,23 @@ class ColumnStore {
     }
   }
 
-  /// Sums all values in [lo, hi] — the scan kernel used by the benches;
-  /// deliberately simple so it is memory-bandwidth-bound.
+  /// Sums all values in [lo, hi]. Segment-at-a-time over the vectorized
+  /// kernels (common/simd.h); zone maps skip non-intersecting segments and
+  /// drop the predicate for fully-covered ones, keeping the hot loop
+  /// memory-bandwidth-bound.
   uint64_t ScanSum(Value lo, Value hi) const;
 
   /// Counts values in [lo, hi].
   uint64_t ScanCount(Value lo, Value hi) const;
 
-  /// Collects tuple ids with value in [lo, hi] into `out`; returns count.
+  /// Sum and count of values in [lo, hi] over the tuple prefix [0, limit)
+  /// in one pass (the MVCC visible-prefix scan; limit is clamped to size()).
+  void ScanSumCountPrefix(Value lo, Value hi, uint64_t limit, uint64_t* sum,
+                          uint64_t* count) const;
+
+  /// Collects tuple ids with value in [lo, hi] into `out` (appended);
+  /// returns the match count. Each segment is counted first so `out` grows
+  /// by exact resize instead of per-match push_back.
   uint64_t ScanCollect(Value lo, Value hi, std::vector<TupleId>* out) const;
 
   /// Detaches the trailing segments holding tuple ids >= `from_tid`
@@ -97,6 +124,9 @@ class ColumnStore {
     return {segments_[s], SegmentSize(s)};
   }
 
+  /// Min/max synopsis of segment `s` (conservative after Set overwrites).
+  const ZoneMap& zone(size_t s) const { return zones_[s]; }
+
   void Clear();
 
  private:
@@ -107,8 +137,22 @@ class ColumnStore {
   }
   Value* NewSegment();
 
+  static void Widen(ZoneMap* z, Value v) {
+    if (v < z->min) z->min = v;
+    if (v > z->max) z->max = v;
+  }
+  static void Widen(ZoneMap* z, const Value* data, size_t n) {
+    for (size_t i = 0; i < n; ++i) Widen(z, data[i]);
+  }
+  /// Recomputes segment `s`'s zone exactly from its current contents.
+  void RebuildZone(size_t s) {
+    zones_[s] = ZoneMap{};
+    Widen(&zones_[s], segments_[s], SegmentSize(s));
+  }
+
   numa::NodeMemoryManager* memory_;
   std::vector<Value*> segments_;
+  std::vector<ZoneMap> zones_;  ///< parallel to segments_
   uint64_t size_ = 0;
 };
 

@@ -60,16 +60,32 @@ void MvccColumn::AbsorbColumn(ColumnStore&& other, uint64_t ts) {
 }
 
 uint64_t MvccColumn::ScanSum(uint64_t snapshot_ts, Value lo, Value hi) const {
-  uint64_t n = VisibleSize(snapshot_ts);
-  if (undo_.empty() && n == column_.size()) {
-    return column_.ScanSum(lo, hi);
-  }
   uint64_t sum = 0;
+  uint64_t rows = 0;
+  ScanSumCount(snapshot_ts, lo, hi, &sum, &rows);
+  return sum;
+}
+
+void MvccColumn::ScanSumCount(uint64_t snapshot_ts, Value lo, Value hi,
+                              uint64_t* sum, uint64_t* rows) const {
+  uint64_t n = VisibleSize(snapshot_ts);
+  if (undo_.empty()) {
+    // No versioned tuples: the visible prefix of the raw column is exactly
+    // the snapshot, so the vectorized segment kernels apply.
+    column_.ScanSumCountPrefix(lo, hi, n, sum, rows);
+    return;
+  }
+  uint64_t s = 0;
+  uint64_t c = 0;
   for (TupleId tid = 0; tid < n; ++tid) {
     Value v = Read(tid, snapshot_ts);
-    sum += (v >= lo && v <= hi) ? v : 0;
+    if (v >= lo && v <= hi) {
+      s += v;
+      ++c;
+    }
   }
-  return sum;
+  *sum = s;
+  *rows = c;
 }
 
 void MvccColumn::GarbageCollect(uint64_t watermark) {

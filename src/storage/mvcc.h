@@ -80,6 +80,13 @@ class MvccColumn {
   /// Sum of snapshot-visible values within [lo, hi] — the shared-scan kernel.
   uint64_t ScanSum(uint64_t snapshot_ts, Value lo, Value hi) const;
 
+  /// Sum and row count of snapshot-visible values within [lo, hi] in one
+  /// pass. With no undo chains this runs the vectorized segment kernels
+  /// over the visible prefix (zone maps included); otherwise it falls back
+  /// to the per-tuple versioned read.
+  void ScanSumCount(uint64_t snapshot_ts, Value lo, Value hi, uint64_t* sum,
+                    uint64_t* rows) const;
+
   /// Drops undo versions no snapshot >= `watermark` can read and forgets
   /// append-frontier checkpoints older than the watermark.
   void GarbageCollect(uint64_t watermark);
