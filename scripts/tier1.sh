@@ -1,9 +1,19 @@
 #!/usr/bin/env bash
 # Tier-1 verification: build and run the full test suite in both kernel
-# configurations so the AVX2 and the scalar-fallback scan paths stay green.
+# configurations so the AVX2 and the scalar-fallback scan paths stay green,
+# then run the concurrency suites under ThreadSanitizer.
 #
 #   build/         default config (ERIS_ENABLE_AVX2=ON, runtime-dispatched)
 #   build-scalar/  forced scalar kernels (-DERIS_ENABLE_AVX2=OFF)
+#   build-tsan/    -DERIS_SANITIZE=thread, tests labeled `tsan` only
+#
+# Environment knobs:
+#   JOBS=N                parallelism (default: nproc)
+#   ERIS_HARNESS_SEEDS=N  seed-sweep length for the concurrency harness in
+#                         the TSan stage (default here: 6; TSan is ~10x
+#                         slower than a native build)
+#   ERIS_TIER1_ASAN=1     additionally run the whole suite under
+#                         ASan+UBSan (-DERIS_SANITIZE=address)
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -20,4 +30,25 @@ cmake -B build-scalar -S . -DERIS_ENABLE_AVX2=OFF \
 cmake --build build-scalar -j"$JOBS"
 ctest --test-dir build-scalar --output-on-failure -j"$JOBS"
 
-echo "=== tier-1: both configurations green ==="
+echo "=== tier-1: TSan build (-DERIS_SANITIZE=thread), concurrency suites ==="
+cmake -B build-tsan -S . -DERIS_SANITIZE=thread \
+      -DERIS_BUILD_BENCHMARKS=OFF -DERIS_BUILD_EXAMPLES=OFF
+# Only the tsan-labeled suites run here; build just their targets.
+cmake --build build-tsan -j"$JOBS" --target \
+      mvcc_test incoming_buffer_test partition_table_test router_test \
+      engine_test rebalance_test aeu_test outgoing_test stress_test \
+      concurrency_harness_test
+# tsan.supp is applied through each test's TSAN_OPTIONS ctest property
+# (set by tests/CMakeLists.txt when ERIS_SANITIZE=thread).
+ERIS_HARNESS_SEEDS="${ERIS_HARNESS_SEEDS:-6}" \
+  ctest --test-dir build-tsan -L tsan --output-on-failure -j"$JOBS"
+
+if [[ "${ERIS_TIER1_ASAN:-0}" == "1" ]]; then
+  echo "=== tier-1: ASan+UBSan build (-DERIS_SANITIZE=address) ==="
+  cmake -B build-asan -S . -DERIS_SANITIZE=address \
+        -DERIS_BUILD_BENCHMARKS=OFF -DERIS_BUILD_EXAMPLES=OFF
+  cmake --build build-asan -j"$JOBS"
+  ctest --test-dir build-asan --output-on-failure -j"$JOBS"
+fi
+
+echo "=== tier-1: all configurations green ==="

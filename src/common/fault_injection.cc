@@ -1,0 +1,149 @@
+#include "common/fault_injection.h"
+
+#include <thread>
+
+#include "common/rng.h"
+#include "common/spinlock.h"
+
+namespace eris::fi {
+
+namespace internal {
+std::atomic<uint32_t> g_armed{0};
+}  // namespace internal
+
+const char* PointName(Point p) {
+  switch (p) {
+    case Point::kIncomingReserve:   return "incoming.reserve";
+    case Point::kIncomingCopy:      return "incoming.copy";
+    case Point::kIncomingRelease:   return "incoming.release";
+    case Point::kIncomingSwap:      return "incoming.swap";
+    case Point::kIncomingDrainWait: return "incoming.drain_wait";
+    case Point::kRouterUnicast:     return "router.unicast";
+    case Point::kRouterMulticast:   return "router.multicast";
+    case Point::kRouterFlush:       return "router.flush";
+    case Point::kTransferApply:     return "transfer.apply";
+    case Point::kBalanceApply:      return "balance.apply";
+    case Point::kAeuLoop:           return "aeu.loop";
+    case Point::kNumPoints:         break;
+  }
+  return "?";
+}
+
+FaultInjector& FaultInjector::Global() {
+  static FaultInjector instance;
+  return instance;
+}
+
+namespace {
+/// Per-thread deterministic stream, re-seeded when the injector's epoch
+/// advances (EnableChaos/Reset) so reused threads follow the new seed.
+struct ThreadStream {
+  uint64_t epoch = 0;
+  Xoshiro256 rng{0};
+};
+thread_local ThreadStream t_stream;
+}  // namespace
+
+uint64_t FaultInjector::NextU64() {
+  uint64_t epoch = epoch_.load(std::memory_order_acquire);
+  if (t_stream.epoch != epoch) {
+    uint64_t ordinal =
+        thread_ordinal_.fetch_add(1, std::memory_order_relaxed);
+    t_stream.rng = Xoshiro256(seed_ ^ Mix64(ordinal + 1) ^ Mix64(epoch));
+    t_stream.epoch = epoch;
+  }
+  return t_stream.rng.Next();
+}
+
+double FaultInjector::NextDouble() {
+  return static_cast<double>(NextU64() >> 11) * 0x1.0p-53;
+}
+
+void FaultInjector::EnableChaos(uint64_t seed, double perturb_probability) {
+  seed_ = seed;
+  perturb_probability_.store(perturb_probability, std::memory_order_relaxed);
+  chaos_.store(true, std::memory_order_relaxed);
+  epoch_.fetch_add(1, std::memory_order_release);
+  internal::g_armed.store(1, std::memory_order_release);
+}
+
+void FaultInjector::SetFailProbability(Point p, double probability) {
+  points_[static_cast<uint32_t>(p)].fail_probability.store(
+      probability, std::memory_order_relaxed);
+  internal::g_armed.store(1, std::memory_order_release);
+}
+
+void FaultInjector::SetHook(Point p, std::function<void()> hook) {
+  uint32_t i = static_cast<uint32_t>(p);
+  hooks_[i] = std::move(hook);
+  hook_set_[i].store(static_cast<bool>(hooks_[i]),
+                     std::memory_order_release);
+  internal::g_armed.store(1, std::memory_order_release);
+}
+
+void FaultInjector::Reset() {
+  internal::g_armed.store(0, std::memory_order_release);
+  chaos_.store(false, std::memory_order_relaxed);
+  perturb_probability_.store(0.0, std::memory_order_relaxed);
+  for (PointState& s : points_) {
+    s.visits.store(0, std::memory_order_relaxed);
+    s.perturbs.store(0, std::memory_order_relaxed);
+    s.failures.store(0, std::memory_order_relaxed);
+    s.fail_probability.store(0.0, std::memory_order_relaxed);
+  }
+  for (uint32_t i = 0; i < kNumPoints; ++i) {
+    hooks_[i] = nullptr;
+    hook_set_[i].store(false, std::memory_order_relaxed);
+  }
+  epoch_.fetch_add(1, std::memory_order_release);
+}
+
+PointStats FaultInjector::Stats(Point p) const {
+  const PointState& s = points_[static_cast<uint32_t>(p)];
+  PointStats out;
+  out.visits = s.visits.load(std::memory_order_relaxed);
+  out.perturbs = s.perturbs.load(std::memory_order_relaxed);
+  out.failures = s.failures.load(std::memory_order_relaxed);
+  return out;
+}
+
+uint64_t FaultInjector::TotalInjections() const {
+  uint64_t total = 0;
+  for (const PointState& s : points_) {
+    total += s.perturbs.load(std::memory_order_relaxed) +
+             s.failures.load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+void FaultInjector::Visit(Point p) {
+  uint32_t i = static_cast<uint32_t>(p);
+  PointState& s = points_[i];
+  s.visits.fetch_add(1, std::memory_order_relaxed);
+  if (hook_set_[i].load(std::memory_order_acquire)) {
+    hooks_[i]();
+  }
+  if (!chaos_.load(std::memory_order_relaxed)) return;
+  double prob = perturb_probability_.load(std::memory_order_relaxed);
+  if (prob <= 0.0 || NextDouble() >= prob) return;
+  s.perturbs.fetch_add(1, std::memory_order_relaxed);
+  // Alternate between a scheduler yield (coarse reordering) and a short
+  // random spin (fine-grained window widening around CAS sequences).
+  uint64_t r = NextU64();
+  if ((r & 1) != 0) {
+    std::this_thread::yield();
+  } else {
+    uint32_t spins = 1u + static_cast<uint32_t>((r >> 1) & 0xFF);
+    for (uint32_t k = 0; k < spins; ++k) CpuRelax();
+  }
+}
+
+bool FaultInjector::ShouldFail(Point p) {
+  PointState& s = points_[static_cast<uint32_t>(p)];
+  double prob = s.fail_probability.load(std::memory_order_relaxed);
+  if (prob <= 0.0 || NextDouble() >= prob) return false;
+  s.failures.fetch_add(1, std::memory_order_relaxed);
+  return true;
+}
+
+}  // namespace eris::fi

@@ -1,0 +1,162 @@
+// Seeded fault injection and schedule perturbation for the latch-free core.
+//
+// The engine's correctness-critical machinery — the 64-bit CAS descriptor on
+// the double incoming buffers, outgoing-buffer delivery, partition transfer
+// and balancing-cycle application — is latch-free: its bugs are
+// interleaving bugs. Under a sanitizer (or plain stress) the interesting
+// interleavings only occur if the schedule actually varies, so this layer
+// provides *named injection points* compiled into those paths:
+//
+//   ERIS_INJECT_POINT(kIncomingReserve);        // maybe yield/backoff here
+//   if (ERIS_INJECT_SHOULD_FAIL(kRouterFlush))  // maybe fail artificially
+//     return false;
+//
+// Behaviour per point:
+//   * schedule perturbation — with a configured probability the calling
+//     thread yields or spins a short random backoff, widening CAS windows
+//     so TSan observes many distinct interleavings per run;
+//   * fault injection — points guarding a recoverable failure path (a full
+//     incoming buffer, a rejected delivery) can be told to fail with a
+//     per-point probability, driving the retry code that ordinary runs
+//     almost never exercise;
+//   * test hooks — a test can install a callback that runs synchronously
+//     when a thread passes the point, to build exact interleavings
+//     deterministically (e.g. force a CAS failure by racing a competing
+//     write between the descriptor load and the CAS).
+//
+// Randomness is deterministic per (seed, thread): every thread derives its
+// stream from the global seed and a per-thread ordinal, so a failing seed
+// reproduces the same injection decisions thread-locally. (True cross-
+// thread schedules are OS-controlled; the seed pins everything we control.)
+//
+// Cost when disarmed: one relaxed atomic load per point. Building with
+// -DERIS_FAULT_INJECTION=OFF compiles every point to nothing.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+
+namespace eris::fi {
+
+/// Named injection points on the latch-free hot paths.
+enum class Point : uint32_t {
+  kIncomingReserve = 0,  ///< between descriptor load and CAS (TryWriteGather)
+  kIncomingCopy,         ///< after reservation, before the payload memcpy
+  kIncomingRelease,      ///< after memcpy, before the writer-count release
+  kIncomingSwap,         ///< in Drain, between buffer swap and deactivation
+  kIncomingDrainWait,    ///< each iteration of Drain's writer-drain spin
+  kRouterUnicast,        ///< before appending a unicast command
+  kRouterMulticast,      ///< before appending a multicast command
+  kRouterFlush,          ///< before delivering an outgoing buffer (failable)
+  kTransferApply,        ///< partition transfer request / install handling
+  kBalanceApply,         ///< balancing-cycle application (table + commands)
+  kAeuLoop,              ///< top of the AEU loop iteration
+  kNumPoints,
+};
+
+inline constexpr uint32_t kNumPoints = static_cast<uint32_t>(Point::kNumPoints);
+
+const char* PointName(Point p);
+
+/// Per-point counters (approximate: relaxed increments).
+struct PointStats {
+  uint64_t visits = 0;    ///< times an armed thread passed the point
+  uint64_t perturbs = 0;  ///< yields/backoffs taken
+  uint64_t failures = 0;  ///< artificial failures injected
+};
+
+namespace internal {
+/// Fast-path guard; nonzero while any chaos/hook/failure config is armed.
+extern std::atomic<uint32_t> g_armed;
+}  // namespace internal
+
+/// True when some thread enabled injection; the only cost on a cold path.
+inline bool Armed() {
+  return internal::g_armed.load(std::memory_order_relaxed) != 0;
+}
+
+/// \brief Global singleton owning the injection configuration.
+///
+/// Configuration calls (EnableChaos, SetFailProbability, SetHook, Reset)
+/// must run while the instrumented threads are quiescent — typically from
+/// the test body before Engine::Start() / after Stop(). Visit/ShouldFail
+/// are called concurrently from instrumented code and are thread-safe.
+class FaultInjector {
+ public:
+  static FaultInjector& Global();
+
+  /// Arms schedule perturbation at every point with probability
+  /// `perturb_probability` per visit, deterministically derived from
+  /// `seed` per thread.
+  void EnableChaos(uint64_t seed, double perturb_probability = 0.1);
+
+  /// Arms an artificial-failure probability for one failable point.
+  void SetFailProbability(Point p, double probability);
+
+  /// Installs a synchronous test hook at `p` (replaces any existing hook).
+  /// The hook runs on the visiting thread; guard against reentrancy
+  /// yourself if the hook re-enters instrumented code.
+  void SetHook(Point p, std::function<void()> hook);
+
+  /// Disarms everything and zeroes statistics.
+  void Reset();
+
+  uint64_t seed() const { return seed_; }
+  PointStats Stats(Point p) const;
+  /// Sum of perturbs + failures over all points (harness sanity checks).
+  uint64_t TotalInjections() const;
+
+  // --- called from instrumented code via the macros (armed path only) ---
+  void Visit(Point p);
+  bool ShouldFail(Point p);
+
+ private:
+  FaultInjector() = default;
+
+  struct PointState {
+    std::atomic<uint64_t> visits{0};
+    std::atomic<uint64_t> perturbs{0};
+    std::atomic<uint64_t> failures{0};
+    std::atomic<double> fail_probability{0.0};
+  };
+
+  /// Thread-local uniform double in [0, 1) from the per-thread stream.
+  double NextDouble();
+  uint64_t NextU64();
+
+  std::atomic<bool> chaos_{false};
+  std::atomic<double> perturb_probability_{0.0};
+  uint64_t seed_ = 0;
+  /// Bumped by EnableChaos/Reset so long-lived threads re-seed their
+  /// thread-local stream.
+  std::atomic<uint64_t> epoch_{1};
+  std::atomic<uint64_t> thread_ordinal_{0};
+  PointState points_[kNumPoints];
+  /// Hooks are raw function pointers to shared state; only mutated while
+  /// quiescent (see class comment), read under g_armed.
+  std::function<void()> hooks_[kNumPoints];
+  std::atomic<bool> hook_set_[kNumPoints] = {};
+};
+
+}  // namespace eris::fi
+
+#if defined(ERIS_FAULT_INJECTION) && ERIS_FAULT_INJECTION
+/// Schedule-perturbation (and hook) point; statement.
+#define ERIS_INJECT_POINT(point)                              \
+  do {                                                        \
+    if (::eris::fi::Armed())                                  \
+      ::eris::fi::FaultInjector::Global().Visit(              \
+          ::eris::fi::Point::point);                          \
+  } while (0)
+/// Artificial-failure query; expression, false when disarmed.
+#define ERIS_INJECT_SHOULD_FAIL(point)                        \
+  (::eris::fi::Armed() &&                                     \
+   ::eris::fi::FaultInjector::Global().ShouldFail(            \
+       ::eris::fi::Point::point))
+#else
+#define ERIS_INJECT_POINT(point) \
+  do {                           \
+  } while (0)
+#define ERIS_INJECT_SHOULD_FAIL(point) false
+#endif

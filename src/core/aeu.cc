@@ -4,6 +4,7 @@
 #include <chrono>
 #include <thread>
 
+#include "common/fault_injection.h"
 #include "common/simd.h"
 #include "common/stopwatch.h"
 #include "core/engine.h"
@@ -73,6 +74,7 @@ void Aeu::AddPartition(const storage::DataObjectDesc& desc,
 // ---------------------------------------------------------------------------
 
 bool Aeu::RunLoopIteration() {
+  ERIS_INJECT_POINT(kAeuLoop);
   ++stats_.iterations;
   uint64_t processed_before = stats_.commands_processed;
 
@@ -709,6 +711,7 @@ void Aeu::ProcessFence(const routing::CommandView& cmd) {
 // ---------------------------------------------------------------------------
 
 void Aeu::HandleBalanceRange(const routing::CommandView& cmd) {
+  ERIS_INJECT_POINT(kBalanceApply);
   const uint8_t* p = cmd.payload;
   BalanceRangeHeader hdr;
   std::memcpy(&hdr, p, sizeof(hdr));
@@ -737,6 +740,7 @@ void Aeu::HandleBalanceRange(const routing::CommandView& cmd) {
 }
 
 void Aeu::HandleBalancePhysical(const routing::CommandView& cmd) {
+  ERIS_INJECT_POINT(kBalanceApply);
   const uint8_t* p = cmd.payload;
   BalancePhysicalHeader hdr;
   std::memcpy(&hdr, p, sizeof(hdr));
@@ -763,6 +767,7 @@ void Aeu::HandleBalancePhysical(const routing::CommandView& cmd) {
 }
 
 void Aeu::HandleTransferRequest(const routing::CommandView& cmd) {
+  ERIS_INJECT_POINT(kTransferApply);
   TransferRequest req;
   std::memcpy(&req, cmd.payload, sizeof(req));
   storage::ObjectId object = cmd.header.object;
@@ -878,6 +883,7 @@ void Aeu::SendCopyTransfer(storage::ObjectId object, storage::KeyRange range,
 }
 
 void Aeu::HandleInstall(const routing::CommandView& cmd) {
+  ERIS_INJECT_POINT(kTransferApply);
   InstallHeader hdr;
   std::memcpy(&hdr, cmd.payload, sizeof(hdr));
   storage::ObjectId object = cmd.header.object;

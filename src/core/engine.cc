@@ -5,6 +5,8 @@
 #include <sstream>
 #include <unordered_map>
 
+#include "common/fault_injection.h"
+
 namespace eris::core {
 
 Engine::Engine(EngineOptions options) : options_(std::move(options)) {
@@ -204,8 +206,10 @@ bool Engine::RebalanceObject(storage::ObjectId object,
 
     // Install the new routing table first; AEUs forward straggler commands
     // for ranges they no longer own and defer commands for data still in
-    // flight toward them.
+    // flight toward them. Commands routed with the old table can still be
+    // in flight here — the perturbation point stretches that window.
     table->Replace(plan.new_entries);
+    ERIS_INJECT_POINT(kBalanceApply);
     routing::AggregateSink sink;
     routing::Endpoint ep(router_.get(), routing::kInvalidAeu, 0);
     std::vector<uint8_t> payload;

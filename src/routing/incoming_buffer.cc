@@ -37,9 +37,15 @@ bool IncomingBufferPair::TryWriteGather(
   ERIS_DCHECK(total % 8 == 0);
   ERIS_CHECK_LE(total, capacity_)
       << "single delivery larger than an incoming buffer";
+  // Injected "buffer full": the caller keeps the data and retries after
+  // the owner swaps, exactly as for a genuinely full buffer.
+  if (ERIS_INJECT_SHOULD_FAIL(kIncomingReserve)) return false;
   for (;;) {
     uint32_t idx = writable_idx_.load(std::memory_order_acquire);
     uint64_t d = desc_[idx].load(std::memory_order_acquire);
+    // Widen the load->CAS window so concurrent reservations and the
+    // owner's swap/deactivate actually interleave here under stress.
+    ERIS_INJECT_POINT(kIncomingReserve);
     if (!descriptor::Active(d)) {
       // Raced with a swap; re-read the index.
       CpuRelax();
@@ -54,11 +60,15 @@ bool IncomingBufferPair::TryWriteGather(
                                           std::memory_order_acq_rel)) {
       continue;  // descriptor changed under us; retry
     }
+    // Reserved but not yet copied: the owner's Drain must wait for the
+    // writer count to drain before reading this region.
+    ERIS_INJECT_POINT(kIncomingCopy);
     uint8_t* dst = buffers_[idx] + offset;
     for (const auto& p : pieces) {
       std::memcpy(dst, p.data(), p.size());
       dst += p.size();
     }
+    ERIS_INJECT_POINT(kIncomingRelease);
     // Release the writer slot; the stores to the buffer must be visible
     // before the owner sees writers reach zero.
     desc_[idx].fetch_sub(descriptor::kWriterOne, std::memory_order_release);

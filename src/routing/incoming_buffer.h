@@ -23,6 +23,7 @@
 #include <span>
 
 #include "common/bit_util.h"
+#include "common/fault_injection.h"
 #include "common/logging.h"
 #include "common/spinlock.h"
 
@@ -80,6 +81,10 @@ class IncomingBufferPair {
     desc_[new_idx].store(descriptor::Make(true, 0, 0),
                          std::memory_order_release);
     writable_idx_.store(new_idx, std::memory_order_release);
+    // A writer that read the old index here still reserves on the old
+    // buffer until the deactivation below lands — the window the
+    // perturbation point stretches so stress runs actually exercise it.
+    ERIS_INJECT_POINT(kIncomingSwap);
     // Deactivate the filled buffer; further CAS attempts on it fail.
     uint64_t prev =
         desc_[old_idx].fetch_and(~descriptor::kActiveBit,
@@ -87,6 +92,7 @@ class IncomingBufferPair {
     // Wait until in-flight writers finished copying.
     while (descriptor::Writers(
                desc_[old_idx].load(std::memory_order_acquire)) != 0) {
+      ERIS_INJECT_POINT(kIncomingDrainWait);
       CpuRelax();
     }
     size_t filled = std::min<size_t>(descriptor::Offset(prev), capacity_);

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "common/fault_injection.h"
 #include "common/rng.h"
 
 namespace eris::routing {
@@ -106,6 +107,7 @@ Endpoint::Endpoint(Router* router, AeuId source, numa::NodeId node)
 
 void Endpoint::Unicast(AeuId target, const CommandHeader& header,
                        std::span<const uint8_t> payload) {
+  ERIS_INJECT_POINT(kRouterUnicast);
   outgoing_.AppendUnicast(target, header, payload);
   ++stats_.commands_routed;
   if (outgoing_.PendingBytes(target) >=
@@ -117,6 +119,7 @@ void Endpoint::Unicast(AeuId target, const CommandHeader& header,
 void Endpoint::Multicast(std::span<const AeuId> targets,
                          const CommandHeader& header,
                          std::span<const uint8_t> payload) {
+  ERIS_INJECT_POINT(kRouterMulticast);
   outgoing_.AppendMulticast(targets, header, payload);
   stats_.commands_routed += targets.size();
   for (AeuId t : targets) {
@@ -127,6 +130,13 @@ void Endpoint::Multicast(std::span<const AeuId> targets,
 }
 
 bool Endpoint::FlushTarget(AeuId target) {
+  // Injected rejected delivery: identical to the target's incoming buffer
+  // being full — the commands stay buffered and the caller retries.
+  if (ERIS_INJECT_SHOULD_FAIL(kRouterFlush)) {
+    ++stats_.flush_retries;
+    return false;
+  }
+  ERIS_INJECT_POINT(kRouterFlush);
   IncomingBufferPair& mailbox = router_->mailbox(target);
   while (outgoing_.HasPending(target)) {
     OutgoingSet::Consumption consumed =

@@ -1,0 +1,228 @@
+// Shared machinery for the concurrency-correctness harness.
+//
+// The harness generates a *command log*: per writer, an ordered list of
+// operation batches (insert/upsert/erase/lookup against a range-partitioned
+// index, appends against a physically partitioned column). Each writer owns
+// a disjoint key slice and column value tag, so the final engine state is a
+// pure function of the log — independent of how the writers' batches
+// interleave. That makes a differential oracle possible: the same log
+// replayed sequentially on a single-threaded kSimulated engine must produce
+// exactly the same digest as N writer threads racing M AEUs in kThreads
+// mode with schedule perturbation and fault injection armed.
+//
+// On a mismatch, gtest's SCOPED_TRACE carries the seed; re-run with
+// ERIS_HARNESS_SEED=<seed> to replay exactly that configuration.
+#pragma once
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <optional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/rng.h"
+#include "core/engine.h"
+
+namespace eris::harness {
+
+/// One routed operation batch, applied through a Session.
+struct OpBatch {
+  enum class Kind : uint8_t { kInsert, kUpsert, kErase, kLookup, kAppend };
+  Kind kind;
+  std::vector<routing::KeyValue> kvs;   // insert / upsert
+  std::vector<storage::Key> keys;       // erase / lookup
+  std::vector<storage::Value> values;   // append
+};
+
+/// The ordered batches of one writer.
+struct WriterScript {
+  std::vector<OpBatch> batches;
+};
+
+struct HarnessConfig {
+  uint32_t writers = 4;
+  uint32_t batches_per_writer = 40;
+  uint32_t max_batch = 24;
+  /// Size of each writer's private key slice; writer w owns
+  /// [w * keys_per_writer, (w + 1) * keys_per_writer).
+  storage::Key keys_per_writer = 1u << 11;
+
+  storage::Key domain_hi() const {
+    return static_cast<storage::Key>(writers) * keys_per_writer;
+  }
+};
+
+/// Deterministic per-seed command log. Writers touch only their own slice,
+/// so any interleaving of whole batches yields the same final state.
+inline std::vector<WriterScript> GenerateScripts(uint64_t seed,
+                                                 const HarnessConfig& cfg) {
+  std::vector<WriterScript> scripts(cfg.writers);
+  for (uint32_t w = 0; w < cfg.writers; ++w) {
+    Xoshiro256 rng(Mix64(seed) ^ Mix64(w + 1));
+    storage::Key base = static_cast<storage::Key>(w) * cfg.keys_per_writer;
+    WriterScript& script = scripts[w];
+    script.batches.reserve(cfg.batches_per_writer);
+    for (uint32_t b = 0; b < cfg.batches_per_writer; ++b) {
+      OpBatch batch;
+      uint64_t pick = rng.NextBounded(100);
+      size_t n = 1 + rng.NextBounded(cfg.max_batch);
+      if (pick < 35) {
+        batch.kind = OpBatch::Kind::kInsert;
+      } else if (pick < 60) {
+        batch.kind = OpBatch::Kind::kUpsert;
+      } else if (pick < 72) {
+        batch.kind = OpBatch::Kind::kErase;
+      } else if (pick < 87) {
+        batch.kind = OpBatch::Kind::kLookup;
+      } else {
+        batch.kind = OpBatch::Kind::kAppend;
+      }
+      for (size_t i = 0; i < n; ++i) {
+        storage::Key k = base + rng.NextBounded(cfg.keys_per_writer);
+        switch (batch.kind) {
+          case OpBatch::Kind::kInsert:
+          case OpBatch::Kind::kUpsert:
+            batch.kvs.push_back({k, rng.Next() >> 1});
+            break;
+          case OpBatch::Kind::kErase:
+          case OpBatch::Kind::kLookup:
+            batch.keys.push_back(k);
+            break;
+          case OpBatch::Kind::kAppend:
+            // Tag appended values with the writer so digests distinguish
+            // which writer's values survived.
+            batch.values.push_back((static_cast<storage::Value>(w) << 32) |
+                                   rng.NextBounded(1u << 20));
+            break;
+        }
+      }
+      script.batches.push_back(std::move(batch));
+    }
+  }
+  return scripts;
+}
+
+/// Applies one writer's script in order through one session.
+inline void ApplyScript(core::Engine& engine, storage::ObjectId idx,
+                        storage::ObjectId col, const WriterScript& script) {
+  auto session = engine.CreateSession();
+  for (const OpBatch& batch : script.batches) {
+    switch (batch.kind) {
+      case OpBatch::Kind::kInsert:
+        session->Insert(idx, batch.kvs);
+        break;
+      case OpBatch::Kind::kUpsert:
+        session->Upsert(idx, batch.kvs);
+        break;
+      case OpBatch::Kind::kErase:
+        session->Erase(idx, batch.keys);
+        break;
+      case OpBatch::Kind::kLookup:
+        session->Lookup(idx, batch.keys);
+        break;
+      case OpBatch::Kind::kAppend:
+        session->Append(col, batch.values);
+        break;
+    }
+  }
+}
+
+/// Runs every script on its own client thread (engine in kThreads mode).
+inline void RunScriptsThreaded(core::Engine& engine, storage::ObjectId idx,
+                               storage::ObjectId col,
+                               const std::vector<WriterScript>& scripts) {
+  std::vector<std::thread> writers;
+  writers.reserve(scripts.size());
+  for (const WriterScript& script : scripts) {
+    writers.emplace_back(
+        [&engine, idx, col, &script] { ApplyScript(engine, idx, col, script); });
+  }
+  for (std::thread& t : writers) t.join();
+}
+
+/// Replays the scripts one after another on the calling thread — the
+/// single-threaded oracle order (batch interleaving is irrelevant because
+/// writers own disjoint slices).
+inline void RunScriptsSequential(core::Engine& engine, storage::ObjectId idx,
+                                 storage::ObjectId col,
+                                 const std::vector<WriterScript>& scripts) {
+  for (const WriterScript& script : scripts) {
+    ApplyScript(engine, idx, col, script);
+  }
+}
+
+/// Observable final state: every key of the domain plus column aggregates.
+struct EngineDigest {
+  std::vector<std::optional<storage::Value>> index_values;
+  uint64_t col_rows = 0;
+  uint64_t col_sum = 0;
+  storage::Value col_min = ~storage::Value{0};
+  storage::Value col_max = 0;
+
+  bool operator==(const EngineDigest&) const = default;
+};
+
+inline EngineDigest CaptureDigest(core::Engine& engine, storage::ObjectId idx,
+                                  storage::ObjectId col,
+                                  const HarnessConfig& cfg) {
+  EngineDigest digest;
+  auto session = engine.CreateSession();
+  std::vector<storage::Key> keys;
+  keys.reserve(cfg.domain_hi());
+  for (storage::Key k = 0; k < cfg.domain_hi(); ++k) keys.push_back(k);
+  digest.index_values = session->LookupValues(idx, keys);
+  core::Engine::Session::ColumnStats stats = session->ScanStats(col);
+  digest.col_rows = stats.rows;
+  digest.col_sum = stats.sum;
+  digest.col_min = stats.min;
+  digest.col_max = stats.max;
+  return digest;
+}
+
+/// Reports up to `max_reported` differences as gtest failures.
+inline void ExpectDigestsEqual(const EngineDigest& threaded,
+                               const EngineDigest& oracle,
+                               size_t max_reported = 5) {
+  EXPECT_EQ(threaded.col_rows, oracle.col_rows);
+  EXPECT_EQ(threaded.col_sum, oracle.col_sum);
+  EXPECT_EQ(threaded.col_min, oracle.col_min);
+  EXPECT_EQ(threaded.col_max, oracle.col_max);
+  ASSERT_EQ(threaded.index_values.size(), oracle.index_values.size());
+  size_t mismatches = 0;
+  for (size_t k = 0; k < threaded.index_values.size(); ++k) {
+    if (threaded.index_values[k] == oracle.index_values[k]) continue;
+    if (++mismatches <= max_reported) {
+      ADD_FAILURE() << "key " << k << ": threaded="
+                    << (threaded.index_values[k]
+                            ? std::to_string(*threaded.index_values[k])
+                            : std::string("absent"))
+                    << " oracle="
+                    << (oracle.index_values[k]
+                            ? std::to_string(*oracle.index_values[k])
+                            : std::string("absent"));
+    }
+  }
+  EXPECT_EQ(mismatches, 0u) << "total mismatching keys";
+}
+
+/// Seed sweep selection: ERIS_HARNESS_SEED pins a single seed for replay,
+/// ERIS_HARNESS_SEEDS overrides the sweep length (tier1's TSan stage runs a
+/// shorter sweep; TSan costs ~10x).
+inline std::vector<uint64_t> SweepSeeds(uint64_t base, size_t default_count) {
+  if (const char* pinned = std::getenv("ERIS_HARNESS_SEED")) {
+    return {static_cast<uint64_t>(std::strtoull(pinned, nullptr, 0))};
+  }
+  size_t count = default_count;
+  if (const char* n = std::getenv("ERIS_HARNESS_SEEDS")) {
+    count = static_cast<size_t>(std::strtoull(n, nullptr, 0));
+    if (count == 0) count = 1;
+  }
+  std::vector<uint64_t> seeds;
+  seeds.reserve(count);
+  for (size_t i = 0; i < count; ++i) seeds.push_back(base + i);
+  return seeds;
+}
+
+}  // namespace eris::harness

@@ -2,10 +2,12 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
 #include <cstring>
 #include <thread>
 #include <vector>
 
+#include "common/fault_injection.h"
 #include "routing/incoming_buffer.h"
 
 namespace eris::routing {
@@ -152,6 +154,116 @@ TEST(IncomingBufferTest, CapacityRoundedUp) {
   EXPECT_GE(buf.capacity(), 100u);
   EXPECT_EQ(buf.capacity() % 8, 0u);
 }
+
+TEST(IncomingBufferTest, OffsetSaturatesExactlyAtCapacity) {
+  // The offset field must admit reservations that land exactly on the
+  // capacity boundary and reject the first byte beyond it — off-by-one
+  // here either wastes the last slot or corrupts the neighbor buffer.
+  IncomingBufferPair buf(128);
+  ASSERT_EQ(buf.capacity(), 128u);
+  EXPECT_TRUE(buf.TryWrite(Record(1, 112)));
+  EXPECT_FALSE(buf.TryWrite(Record(2, 24)));  // 112 + 24 > 128
+  EXPECT_TRUE(buf.TryWrite(Record(3, 16)));   // lands exactly at capacity
+  EXPECT_FALSE(buf.TryWrite(Record(4, 8)));   // saturated
+  size_t drained = buf.Drain([&](std::span<const uint8_t> region) {
+    EXPECT_EQ(region.size(), 128u);
+  });
+  EXPECT_EQ(drained, 128u);
+  // A single whole-capacity reservation on the fresh buffer also fits.
+  EXPECT_TRUE(buf.TryWrite(Record(5, 128)));
+  EXPECT_FALSE(buf.TryWrite(Record(6, 8)));
+}
+
+#if defined(ERIS_FAULT_INJECTION) && ERIS_FAULT_INJECTION
+
+TEST(IncomingBufferTest, DrainWaitsForWriterOnDeactivatedBuffer) {
+  // A writer that reserved before the swap but has not finished copying
+  // holds a writer-count slot on the deactivated buffer; Drain must spin
+  // until it releases, never expose a half-copied region. The hook parks
+  // the writer between its CAS and its memcpy.
+  IncomingBufferPair buf(1024);
+  std::atomic<bool> writer_parked{false};
+  std::atomic<bool> release_writer{false};
+  std::atomic<bool> one_shot{true};
+  fi::FaultInjector::Global().Reset();
+  fi::FaultInjector::Global().SetHook(fi::Point::kIncomingCopy, [&] {
+    if (!one_shot.exchange(false)) return;
+    writer_parked.store(true);
+    while (!release_writer.load()) std::this_thread::yield();
+  });
+
+  std::thread writer([&] { EXPECT_TRUE(buf.TryWrite(Record(0xFEED, 64))); });
+  while (!writer_parked.load()) std::this_thread::yield();
+
+  std::atomic<bool> drained{false};
+  uint64_t got = 0;
+  std::thread owner([&] {
+    buf.Drain([&](std::span<const uint8_t> region) {
+      ASSERT_EQ(region.size(), 64u);
+      std::memcpy(&got, region.data(), 8);
+    });
+    drained.store(true);
+  });
+  // The owner has deactivated the buffer but the parked writer still holds
+  // its slot: Drain may not complete.
+  for (int i = 0; i < 50 && !drained.load(); ++i) {
+    std::this_thread::sleep_for(std::chrono::microseconds(200));
+  }
+  EXPECT_FALSE(drained.load()) << "Drain returned with a writer in flight";
+  release_writer.store(true);
+  writer.join();
+  owner.join();
+  EXPECT_TRUE(drained.load());
+  EXPECT_EQ(got, 0xFEEDu) << "drained region missed the in-flight copy";
+  EXPECT_GT(fi::FaultInjector::Global()
+                .Stats(fi::Point::kIncomingDrainWait)
+                .visits,
+            0u)
+      << "owner never entered the writer-drain spin";
+  fi::FaultInjector::Global().Reset();
+}
+
+TEST(IncomingBufferTest, CasFailureRetryPreservesBothWrites) {
+  // Force the descriptor CAS to fail deterministically: the hook fires
+  // between the outer writer's descriptor load and its CAS and performs a
+  // complete competing write, so the outer CAS sees a changed descriptor
+  // and must take the retry path. Both records must survive, competing
+  // write first.
+  IncomingBufferPair buf(1024);
+  std::atomic<int> competing_writes{0};
+  std::atomic<bool> one_shot{true};
+  fi::FaultInjector::Global().Reset();
+  fi::FaultInjector::Global().SetHook(fi::Point::kIncomingReserve, [&] {
+    // One-shot doubles as the reentrancy guard: the competing TryWrite
+    // below passes this point again.
+    if (!one_shot.exchange(false)) return;
+    auto rec = Record(0xB0B, 64);
+    EXPECT_TRUE(buf.TryWrite(rec));
+    competing_writes.fetch_add(1);
+  });
+
+  EXPECT_TRUE(buf.TryWrite(Record(0xA11CE, 64)));
+  uint64_t reserve_visits =
+      fi::FaultInjector::Global().Stats(fi::Point::kIncomingReserve).visits;
+  fi::FaultInjector::Global().Reset();
+  EXPECT_EQ(competing_writes.load(), 1);
+  // Outer first attempt + hooked competing write + outer retry.
+  EXPECT_GE(reserve_visits, 3u) << "outer writer never retried its CAS";
+
+  std::vector<uint64_t> tags;
+  buf.Drain([&](std::span<const uint8_t> region) {
+    for (size_t pos = 0; pos < region.size(); pos += 64) {
+      uint64_t tag;
+      std::memcpy(&tag, region.data() + pos, 8);
+      tags.push_back(tag);
+    }
+  });
+  ASSERT_EQ(tags.size(), 2u);
+  EXPECT_EQ(tags[0], 0xB0Bu);    // competing write reserved first
+  EXPECT_EQ(tags[1], 0xA11CEu);  // retried write landed after it
+}
+
+#endif  // ERIS_FAULT_INJECTION
 
 }  // namespace
 }  // namespace eris::routing

@@ -1,0 +1,185 @@
+// Property-based differential fuzzing of the index structures against
+// std::map: random insert/upsert/erase/lookup/range-scan sequences, with the
+// model and the structure checked after every batch. PrefixTree is fuzzed
+// under both kernel configurations the engine uses; CsbTree (static, built
+// once) is checked against binary search on the sorted key set.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <vector>
+
+#include "common/rng.h"
+#include "numa/memory_manager.h"
+#include "storage/bplus_tree.h"
+#include "storage/csb_tree.h"
+#include "storage/prefix_tree.h"
+
+namespace eris::storage {
+namespace {
+
+/// Adapter so one fuzz loop drives both dynamic index types.
+template <typename Tree>
+void FuzzAgainstMap(Tree& tree, uint64_t seed, Key domain, int rounds,
+                    int ops_per_round) {
+  SCOPED_TRACE(::testing::Message() << "seed=" << seed);
+  Xoshiro256 rng(seed);
+  std::map<Key, Value> model;
+  for (int round = 0; round < rounds; ++round) {
+    for (int i = 0; i < ops_per_round; ++i) {
+      Key k = rng.NextBounded(domain);
+      uint64_t pick = rng.NextBounded(100);
+      if (pick < 40) {
+        Value v = rng.Next() >> 1;
+        bool was_new = tree.Insert(k, v);
+        EXPECT_EQ(was_new, model.find(k) == model.end());
+        model.try_emplace(k, v);  // Insert does not overwrite
+      } else if (pick < 65) {
+        Value v = rng.Next() >> 1;
+        bool was_new = tree.Upsert(k, v);
+        EXPECT_EQ(was_new, model.find(k) == model.end());
+        model[k] = v;
+      } else if (pick < 85) {
+        bool existed = tree.Erase(k);
+        EXPECT_EQ(existed, model.erase(k) == 1);
+      } else {
+        auto got = tree.Lookup(k);
+        auto it = model.find(k);
+        if (it == model.end()) {
+          EXPECT_FALSE(got.has_value()) << "key " << k;
+        } else {
+          ASSERT_TRUE(got.has_value()) << "key " << k;
+          EXPECT_EQ(*got, it->second) << "key " << k;
+        }
+      }
+    }
+    // After each round: a random range scan must visit exactly the model's
+    // entries of that range, in ascending order.
+    Key lo = rng.NextBounded(domain);
+    Key hi = lo + rng.NextBounded(domain - lo) + 1;
+    std::vector<std::pair<Key, Value>> scanned;
+    uint64_t visited =
+        tree.RangeScan(lo, hi, [&](Key k, Value v) { scanned.emplace_back(k, v); });
+    std::vector<std::pair<Key, Value>> expect(model.lower_bound(lo),
+                                              model.lower_bound(hi));
+    EXPECT_EQ(visited, expect.size()) << "range [" << lo << ", " << hi << ")";
+    EXPECT_EQ(scanned, expect) << "range [" << lo << ", " << hi << ")";
+  }
+  // Final sweep: every model key present with the right value, and the
+  // structure holds nothing beyond the model.
+  for (const auto& [k, v] : model) {
+    auto got = tree.Lookup(k);
+    ASSERT_TRUE(got.has_value()) << "key " << k;
+    EXPECT_EQ(*got, v) << "key " << k;
+  }
+  uint64_t total = tree.RangeScan(0, domain, [](Key, Value) {});
+  EXPECT_EQ(total, model.size());
+}
+
+TEST(IndexFuzzTest, PrefixTreeEngineKernelConfig) {
+  // {8,16} is the kernel config the engine's CreateIndex defaults use in
+  // the tests: one 8-bit root fanout level over a 16-bit key space.
+  for (uint64_t seed : {1u, 2u, 3u, 4u}) {
+    numa::NodeMemoryManager mm(0);
+    PrefixTree tree(&mm, {.prefix_bits = 8, .key_bits = 16});
+    FuzzAgainstMap(tree, seed, Key{1} << 16, /*rounds=*/20,
+                   /*ops_per_round=*/400);
+  }
+}
+
+TEST(IndexFuzzTest, PrefixTreeNarrowPrefixConfig) {
+  // {4,16}: deeper tree (more levels), exercising multi-level descent and
+  // node splits/compactions along longer paths.
+  for (uint64_t seed : {11u, 12u, 13u, 14u}) {
+    numa::NodeMemoryManager mm(0);
+    PrefixTree tree(&mm, {.prefix_bits = 4, .key_bits = 16});
+    FuzzAgainstMap(tree, seed, Key{1} << 16, /*rounds=*/20,
+                   /*ops_per_round=*/400);
+  }
+}
+
+TEST(IndexFuzzTest, PrefixTreeDenseSmallDomain) {
+  // Tiny domain → heavy key reuse: insert-over-existing, erase-reinsert
+  // cycles, and ranges that cover most of the tree.
+  numa::NodeMemoryManager mm(0);
+  PrefixTree tree(&mm, {.prefix_bits = 8, .key_bits = 16});
+  FuzzAgainstMap(tree, /*seed=*/99, Key{512}, /*rounds=*/30,
+                 /*ops_per_round=*/300);
+}
+
+TEST(IndexFuzzTest, BPlusTreeDifferential) {
+  for (uint64_t seed : {21u, 22u, 23u, 24u}) {
+    numa::NodeMemoryManager mm(0);
+    BPlusTree tree(&mm);
+    FuzzAgainstMap(tree, seed, Key{1} << 20, /*rounds=*/20,
+                   /*ops_per_round=*/400);
+  }
+}
+
+TEST(IndexFuzzTest, BPlusTreeDenseSmallDomain) {
+  numa::NodeMemoryManager mm(0);
+  BPlusTree tree(&mm);
+  // Domain barely above one leaf: constant splits and lazy-erase underflow.
+  FuzzAgainstMap(tree, /*seed=*/77, Key{3 * BPlusTree::kLeafKeys},
+                 /*rounds=*/30, /*ops_per_round=*/300);
+}
+
+TEST(IndexFuzzTest, CsbTreeBoundsMatchBinarySearch) {
+  // CsbTree is static: build from random sorted keys, then check
+  // UpperBound/LowerBound against std::upper_bound/std::lower_bound for
+  // probes around every key and random probes in between.
+  for (uint64_t seed : {5u, 6u, 7u}) {
+    SCOPED_TRACE(::testing::Message() << "seed=" << seed);
+    Xoshiro256 rng(seed);
+    size_t n = 1 + rng.NextBounded(4000);
+    std::vector<uint64_t> keys;
+    uint64_t next = 0;
+    for (size_t i = 0; i < n; ++i) {
+      next += 1 + rng.NextBounded(1000);
+      keys.push_back(next);
+    }
+    std::vector<uint32_t> payloads(n);
+    for (size_t i = 0; i < n; ++i) payloads[i] = static_cast<uint32_t>(i);
+    CsbTree tree(keys, payloads);
+    ASSERT_EQ(tree.size(), n);
+
+    auto check = [&](uint64_t probe) {
+      size_t ub = static_cast<size_t>(
+          std::upper_bound(keys.begin(), keys.end(), probe) - keys.begin());
+      size_t lb = static_cast<size_t>(
+          std::lower_bound(keys.begin(), keys.end(), probe) - keys.begin());
+      ASSERT_EQ(tree.UpperBound(probe), ub) << "probe " << probe;
+      ASSERT_EQ(tree.LowerBound(probe), lb) << "probe " << probe;
+      if (ub < n) EXPECT_EQ(tree.payload(ub), ub);
+    };
+
+    check(0);
+    check(~uint64_t{0});
+    for (size_t i = 0; i < n; ++i) {
+      check(keys[i]);
+      check(keys[i] - 1);
+      check(keys[i] + 1);
+    }
+    for (int i = 0; i < 2000; ++i) check(rng.NextBounded(next + 1000));
+  }
+}
+
+TEST(IndexFuzzTest, CsbTreeSingleEntryAndEmptyProbes) {
+  std::vector<uint64_t> keys = {42};
+  std::vector<uint32_t> payloads = {7};
+  CsbTree tree(keys, payloads);
+  EXPECT_EQ(tree.UpperBound(0), 0u);
+  EXPECT_EQ(tree.UpperBound(41), 0u);
+  EXPECT_EQ(tree.UpperBound(42), 1u);
+  EXPECT_EQ(tree.LowerBound(42), 0u);
+  EXPECT_EQ(tree.LowerBound(43), 1u);
+  EXPECT_EQ(tree.payload(0), 7u);
+
+  CsbTree empty;
+  EXPECT_TRUE(empty.empty());
+  EXPECT_EQ(empty.UpperBound(0), 0u);
+  EXPECT_EQ(empty.LowerBound(0), 0u);
+}
+
+}  // namespace
+}  // namespace eris::storage

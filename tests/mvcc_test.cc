@@ -1,6 +1,11 @@
 // Tests for the MVCC layer: snapshot visibility, undo chains, GC.
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "core/engine.h"
 #include "numa/memory_manager.h"
 #include "storage/mvcc.h"
 
@@ -103,6 +108,109 @@ TEST_F(MvccTest, AbsorbColumnMakesTuplesVisibleAtTs) {
   EXPECT_EQ(a.VisibleSize(6), 1u);
   EXPECT_EQ(a.VisibleSize(7), 101u);
   EXPECT_EQ(a.size(), 101u);
+}
+
+TEST_F(MvccTest, SnapshotTakenMidBatchIgnoresLaterVersions) {
+  // A snapshot pinned between the two halves of a logical update batch
+  // must keep reading the first half's state — repeatably — while the
+  // second half and further appends land at later timestamps.
+  TimestampOracle oracle;
+  MvccColumn col(&mm_);
+  uint64_t ts1 = oracle.NextWriteTs();
+  for (Value v = 0; v < 100; ++v) col.Append(v, ts1);
+  uint64_t ts2 = oracle.NextWriteTs();
+  for (TupleId t = 0; t < 50; ++t) col.Update(t, 1000 + t, ts2);
+
+  uint64_t snapshot = oracle.ReadTs();  // sees ts1 + ts2, nothing later
+  ASSERT_EQ(snapshot, ts2);
+  uint64_t sum_at_snapshot = col.ScanSum(snapshot, 0, ~Value{0});
+
+  uint64_t ts3 = oracle.NextWriteTs();
+  for (TupleId t = 50; t < 100; ++t) col.Update(t, 5000 + t, ts3);
+  for (Value v = 0; v < 40; ++v) col.Append(9999, ts3);
+
+  // Still exactly the pre-ts3 state: updated tuples read through their
+  // undo entries, appended tuples stay beyond the visible frontier.
+  EXPECT_EQ(col.VisibleSize(snapshot), 100u);
+  EXPECT_EQ(col.ScanSum(snapshot, 0, ~Value{0}), sum_at_snapshot);
+  EXPECT_EQ(col.Read(10, snapshot), 1010u);  // first half: updated
+  EXPECT_EQ(col.Read(60, snapshot), 60u);    // second half: original
+  // And the later snapshot sees everything.
+  uint64_t now = oracle.ReadTs();
+  EXPECT_EQ(col.VisibleSize(now), 140u);
+  EXPECT_EQ(col.Read(60, now), 5060u);
+}
+
+TEST_F(MvccTest, DeepUndoChainTraversalWithPartialGc) {
+  // Chains longer than one undo entry: every historical snapshot must
+  // land on its own version, and a partial GC may only drop versions no
+  // surviving snapshot can reach.
+  MvccColumn col(&mm_);
+  TupleId tid = col.Append(0, 1);
+  // Versions: 0@1, 100@11, 200@21, ... 600@61 — chain length 6.
+  for (uint64_t i = 1; i <= 6; ++i) col.Update(tid, i * 100, 1 + i * 10);
+  EXPECT_EQ(col.undo_chains(), 1u);
+  for (uint64_t i = 0; i <= 6; ++i) {
+    uint64_t ts = 1 + i * 10;
+    EXPECT_EQ(col.Read(tid, ts), i * 100) << "snapshot " << ts;
+    EXPECT_EQ(col.Read(tid, ts + 9), i * 100) << "snapshot " << ts + 9;
+  }
+  col.GarbageCollect(31);  // oldest surviving snapshot is 31
+  for (uint64_t i = 3; i <= 6; ++i) {
+    EXPECT_EQ(col.Read(tid, 1 + i * 10), i * 100) << "after GC";
+  }
+  col.GarbageCollect(62);  // nothing historical reachable anymore
+  EXPECT_EQ(col.undo_chains(), 0u);
+  EXPECT_EQ(col.Read(tid, 100), 600u);
+}
+
+TEST_F(MvccTest, ConcurrentAppendsNeverExposePartialBatches) {
+  // Engine-level visibility under concurrent snapshot acquisition and
+  // appends: with max_batch_elements == B and clients appending exactly
+  // B values per call, every append is one command → one AEU → one
+  // commit timestamp, so a concurrent scan must always observe a whole
+  // number of batches (rows % B == 0) with the matching aggregate.
+  constexpr uint64_t B = 16;
+  constexpr int kWriters = 2;
+  constexpr int kBatches = 200;
+  core::EngineOptions opts;
+  opts.topology = numa::Topology::Flat(1, 2);
+  opts.mode = core::ExecutionMode::kThreads;
+  opts.router.max_batch_elements = B;
+  core::Engine engine(opts);
+  ObjectId col = engine.CreateColumn("facts");
+  engine.Start();
+
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> writers;
+  for (int w = 0; w < kWriters; ++w) {
+    writers.emplace_back([&engine, col] {
+      auto session = engine.CreateSession();
+      std::vector<Value> batch(B, 7);
+      for (int i = 0; i < kBatches; ++i) session->Append(col, batch);
+    });
+  }
+  std::thread reader([&engine, col, &stop] {
+    auto session = engine.CreateSession();
+    while (!stop.load()) {
+      auto stats = session->ScanStats(col);
+      EXPECT_EQ(stats.rows % B, 0u) << "partial append batch visible";
+      EXPECT_EQ(stats.sum, stats.rows * 7);
+      if (stats.rows != 0) {
+        EXPECT_EQ(stats.min, 7u);
+        EXPECT_EQ(stats.max, 7u);
+      }
+    }
+  });
+  for (auto& t : writers) t.join();
+  stop.store(true);
+  reader.join();
+
+  auto session = engine.CreateSession();
+  auto stats = session->ScanStats(col);
+  EXPECT_EQ(stats.rows, static_cast<uint64_t>(kWriters) * kBatches * B);
+  EXPECT_EQ(stats.sum, stats.rows * 7);
+  engine.Stop();
 }
 
 TEST_F(MvccTest, VisibleSizeClampedAfterSplit) {
