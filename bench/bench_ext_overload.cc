@@ -1,0 +1,176 @@
+// Extension bench (overload control): goodput and p99 submit latency versus
+// offered load, with and without admission control.
+//
+// A kThreads 1x4 engine is hammered by an increasing number of client
+// threads that all write into a hot key range (concentrated on one AEU, the
+// paper's worst-case skew for the routing layer). Every submit carries a
+// 5 ms deadline, so an overloaded engine answers with typed rejections
+// instead of unbounded queueing. The experiment contrasts:
+//   admission=off  (budget 0)  — overload is absorbed by deadlines alone;
+//   admission=on   (budget N)  — excess work is rejected at the door before
+//                                it can queue, protecting tail latency.
+// Results go to BENCH_overload.json for cross-PR tracking.
+#include <algorithm>
+#include <atomic>
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "bench_util/report.h"
+#include "common/histogram.h"
+#include "common/stopwatch.h"
+#include "core/engine.h"
+
+using namespace eris;
+using namespace eris::bench;
+using core::Engine;
+using core::EngineOptions;
+using routing::KeyValue;
+using storage::Key;
+
+namespace {
+
+constexpr uint64_t kDomain = 1u << 16;
+constexpr Key kHotRange = 1u << 12;  // lands on one AEU of four
+constexpr uint64_t kAdmissionBudget = 256;
+constexpr uint64_t kDeadlineNs = 5'000'000;  // 5 ms
+// Big enough that the top of the client sweep (8 x 64 = 512 units possibly
+// in flight) exceeds the admission budget, so the gate actually engages.
+constexpr uint32_t kBatch = 64;
+
+struct LoadPoint {
+  uint32_t clients = 0;
+  bool admission = false;
+  uint64_t offered_units = 0;
+  uint64_t accepted_units = 0;
+  uint64_t rejected_submits = 0;
+  double goodput_units_per_s = 0;
+  double p99_submit_ms = 0;
+  double secs = 0;
+};
+
+LoadPoint RunLoad(uint32_t clients, bool admission, uint32_t batches) {
+  EngineOptions opts;
+  opts.topology = numa::Topology::Flat(1, 4);
+  opts.mode = core::ExecutionMode::kThreads;
+  opts.pin_threads = false;  // clients + AEUs oversubscribe small hosts
+  opts.router.incoming_capacity_bytes = 1u << 14;  // overload is reachable
+  opts.router.flush_threshold_bytes = 1u << 10;
+  opts.overload.max_inflight_units = admission ? kAdmissionBudget : 0;
+  opts.overload.default_deadline_ns = kDeadlineNs;
+  Engine engine(opts);
+  storage::ObjectId idx =
+      engine.CreateIndex("kv", kDomain, {.prefix_bits = 8, .key_bits = 16});
+  engine.Start();
+
+  // Latency in microseconds; 20 ms ceiling (deadline + slack) is plenty.
+  Histogram latency(0, 20'000, 2000);
+  std::mutex merge_lock;
+  std::atomic<uint64_t> accepted{0};
+  std::atomic<uint64_t> rejected{0};
+
+  Stopwatch wall;
+  std::vector<std::thread> workers;
+  for (uint32_t c = 0; c < clients; ++c) {
+    workers.emplace_back([&, c] {
+      auto session = engine.CreateSession();
+      Histogram local(0, 20'000, 2000);
+      std::vector<KeyValue> kvs(kBatch);
+      for (uint32_t b = 0; b < batches; ++b) {
+        for (uint32_t i = 0; i < kBatch; ++i) {
+          // Hot range: every client fights over the same AEU's keys.
+          kvs[i] = {(c * 131 + b * kBatch + i) % kHotRange, b};
+        }
+        Engine::Session::SubmitOutcome out;
+        Stopwatch watch;
+        Status st = session->SubmitUpsert(idx, kvs, &out);
+        local.Add(static_cast<double>(watch.ElapsedNanos()) / 1000.0);
+        if (st.ok()) {
+          accepted.fetch_add(out.units, std::memory_order_relaxed);
+        } else {
+          rejected.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+      std::lock_guard<std::mutex> guard(merge_lock);
+      latency.Merge(local);
+    });
+  }
+  for (std::thread& t : workers) t.join();
+  double secs = wall.ElapsedSeconds();
+  engine.Stop();
+
+  LoadPoint p;
+  p.clients = clients;
+  p.admission = admission;
+  p.offered_units = static_cast<uint64_t>(clients) * batches * kBatch;
+  p.accepted_units = accepted.load();
+  p.rejected_submits = rejected.load();
+  p.goodput_units_per_s = secs > 0 ? p.accepted_units / secs : 0;
+  p.p99_submit_ms = latency.Quantile(0.99) / 1000.0;
+  p.secs = secs;
+  return p;
+}
+
+void WriteJson(const std::vector<LoadPoint>& points) {
+  std::FILE* f = std::fopen("BENCH_overload.json", "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot open BENCH_overload.json for writing\n");
+    return;
+  }
+  std::fprintf(f, "{\n  \"bench\": \"ext_overload\",\n");
+  std::fprintf(f, "  \"admission_budget\": %llu,\n",
+               static_cast<unsigned long long>(kAdmissionBudget));
+  std::fprintf(f, "  \"deadline_ms\": %.1f,\n", kDeadlineNs / 1e6);
+  std::fprintf(f, "  \"points\": [\n");
+  for (size_t i = 0; i < points.size(); ++i) {
+    const LoadPoint& p = points[i];
+    std::fprintf(f,
+                 "    {\"clients\": %u, \"admission\": %s, "
+                 "\"offered_units\": %llu, \"accepted_units\": %llu, "
+                 "\"rejected_submits\": %llu, "
+                 "\"goodput_units_per_s\": %.3e, \"p99_submit_ms\": %.3f}%s\n",
+                 p.clients, p.admission ? "true" : "false",
+                 static_cast<unsigned long long>(p.offered_units),
+                 static_cast<unsigned long long>(p.accepted_units),
+                 static_cast<unsigned long long>(p.rejected_submits),
+                 p.goodput_units_per_s, p.p99_submit_ms,
+                 i + 1 < points.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+  std::printf("\nWrote BENCH_overload.json.\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool quick = argc > 1 && std::strcmp(argv[1], "--quick") == 0;
+  Banner("Ext overload",
+         "Goodput and p99 Submit Latency vs Offered Load",
+         "1x4 kThreads engine, hot-range upserts, 5 ms deadlines; "
+         "admission budget 256 units vs unlimited.");
+
+  const uint32_t batches = quick ? 200 : 1000;
+  std::vector<uint32_t> client_sweep =
+      quick ? std::vector<uint32_t>{1, 4} : std::vector<uint32_t>{1, 2, 4, 8};
+
+  std::vector<LoadPoint> points;
+  Table table({"clients", "admission", "offered", "accepted", "rejected",
+               "goodput units/s", "p99 submit ms", "secs"});
+  for (bool admission : {false, true}) {
+    for (uint32_t clients : client_sweep) {
+      LoadPoint p = RunLoad(clients, admission, batches);
+      points.push_back(p);
+      table.Row({FmtU(p.clients), p.admission ? "on" : "off",
+                 FmtU(p.offered_units), FmtU(p.accepted_units),
+                 FmtU(p.rejected_submits), Fmt("%.3e", p.goodput_units_per_s),
+                 Fmt("%.3f", p.p99_submit_ms), Fmt("%.2f", p.secs)});
+    }
+  }
+  table.Print();
+  WriteJson(points);
+  return 0;
+}

@@ -37,11 +37,18 @@ cmake -B build-tsan -S . -DERIS_SANITIZE=thread \
 cmake --build build-tsan -j"$JOBS" --target \
       mvcc_test incoming_buffer_test partition_table_test router_test \
       engine_test rebalance_test aeu_test outgoing_test stress_test \
-      concurrency_harness_test
+      concurrency_harness_test overload_test
 # tsan.supp is applied through each test's TSAN_OPTIONS ctest property
 # (set by tests/CMakeLists.txt when ERIS_SANITIZE=thread).
 ERIS_HARNESS_SEEDS="${ERIS_HARNESS_SEEDS:-6}" \
   ctest --test-dir build-tsan -L tsan --output-on-failure -j"$JOBS"
+
+echo "=== tier-1: overload stage (stalled-AEU scenario under TSan) ==="
+# Tiny buffers + one wedged AEU: submits must stay bounded (OK or typed
+# rejection), the watchdog must report the stall, and the differential
+# oracle must still match on the accepted set.
+ERIS_HARNESS_SEEDS="${ERIS_HARNESS_SEEDS:-6}" \
+  ctest --test-dir build-tsan -L overload --output-on-failure -j"$JOBS"
 
 if [[ "${ERIS_TIER1_ASAN:-0}" == "1" ]]; then
   echo "=== tier-1: ASan+UBSan build (-DERIS_SANITIZE=address) ==="

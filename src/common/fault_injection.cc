@@ -24,6 +24,7 @@ const char* PointName(Point p) {
     case Point::kTransferApply:     return "transfer.apply";
     case Point::kBalanceApply:      return "balance.apply";
     case Point::kAeuLoop:           return "aeu.loop";
+    case Point::kAeuProcess:        return "aeu.process";
     case Point::kNumPoints:         break;
   }
   return "?";

@@ -52,6 +52,8 @@ enum class Point : uint32_t {
   kTransferApply,        ///< partition transfer request / install handling
   kBalanceApply,         ///< balancing-cycle application (table + commands)
   kAeuLoop,              ///< top of the AEU loop iteration
+  kAeuProcess,           ///< before dispatching one dequeued command; a
+                         ///< throwing hook marks the command as poison
   kNumPoints,
 };
 

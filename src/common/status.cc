@@ -14,6 +14,20 @@ std::string_view StatusCodeName(StatusCode code) {
     case StatusCode::kUnimplemented: return "unimplemented";
     case StatusCode::kInternal: return "internal";
     case StatusCode::kIoError: return "io-error";
+    case StatusCode::kDeadlineExceeded: return "deadline-exceeded";
+    case StatusCode::kUnavailable: return "unavailable";
+  }
+  return "unknown";
+}
+
+std::string_view StatusDetailName(StatusDetail detail) {
+  switch (detail) {
+    case StatusDetail::kNone: return "none";
+    case StatusDetail::kAdmissionRejected: return "admission-rejected";
+    case StatusDetail::kBufferFull: return "buffer-full";
+    case StatusDetail::kDeadlineExpired: return "deadline-expired";
+    case StatusDetail::kAeuStalled: return "aeu-stalled";
+    case StatusDetail::kCommandQuarantined: return "command-quarantined";
   }
   return "unknown";
 }
@@ -23,7 +37,70 @@ std::string Status::ToString() const {
   std::string out(StatusCodeName(code()));
   out += ": ";
   out += rep_->message;
+  if (rep_->detail != StatusDetail::kNone) {
+    out += " [";
+    out += StatusDetailName(rep_->detail);
+    if (!rep_->detail_message.empty()) {
+      out += ": ";
+      out += rep_->detail_message;
+    }
+    out += "]";
+  }
   return out;
+}
+
+namespace {
+
+// Wire format: "<code>;<detail>;<msg-len>;<detail-msg-len>;<msg><detail-msg>"
+// Length prefixes (not delimiters) guard the payloads, which may contain
+// arbitrary bytes including ';'.
+bool ParseU64(std::string_view* in, uint64_t* out) {
+  size_t sep = in->find(';');
+  if (sep == std::string_view::npos || sep == 0) return false;
+  uint64_t value = 0;
+  for (char c : in->substr(0, sep)) {
+    if (c < '0' || c > '9') return false;
+    value = value * 10 + static_cast<uint64_t>(c - '0');
+  }
+  in->remove_prefix(sep + 1);
+  *out = value;
+  return true;
+}
+
+}  // namespace
+
+std::string Status::Serialize() const {
+  std::string out;
+  std::string_view msg = message();
+  std::string_view dmsg = detail_message();
+  out += std::to_string(static_cast<unsigned>(code()));
+  out += ';';
+  out += std::to_string(static_cast<unsigned>(detail()));
+  out += ';';
+  out += std::to_string(msg.size());
+  out += ';';
+  out += std::to_string(dmsg.size());
+  out += ';';
+  out.append(msg);
+  out.append(dmsg);
+  return out;
+}
+
+Status Status::Deserialize(std::string_view wire) {
+  uint64_t code = 0, detail = 0, msg_len = 0, dmsg_len = 0;
+  if (!ParseU64(&wire, &code) || !ParseU64(&wire, &detail) ||
+      !ParseU64(&wire, &msg_len) || !ParseU64(&wire, &dmsg_len) ||
+      wire.size() != msg_len + dmsg_len ||
+      code > static_cast<uint64_t>(StatusCode::kUnavailable) ||
+      detail > static_cast<uint64_t>(StatusDetail::kCommandQuarantined)) {
+    return Status::Internal("malformed serialized Status");
+  }
+  Status st(static_cast<StatusCode>(code), std::string(wire.substr(0, msg_len)));
+  if (detail != 0) {
+    st.WithDetail(static_cast<StatusDetail>(detail),
+                  std::string(wire.substr(msg_len)));
+  }
+  return st;
 }
 
 }  // namespace eris

@@ -28,11 +28,29 @@ enum class StatusCode : uint8_t {
   kUnimplemented,
   kInternal,
   kIoError,
+  kDeadlineExceeded,
+  kUnavailable,
 };
 
 /// \brief Returns the canonical lower-case name of a status code
 ///        (e.g. "invalid-argument").
 std::string_view StatusCodeName(StatusCode code);
+
+/// Machine-readable detail payload attached to a Status by the overload
+/// control layer, so callers can distinguish *why* a command was rejected
+/// without parsing the human-readable message.
+enum class StatusDetail : uint8_t {
+  kNone = 0,
+  kAdmissionRejected,   ///< shed at submit time by the in-flight budget
+  kBufferFull,          ///< shed after the bounded delivery-retry cap
+  kDeadlineExpired,     ///< dropped at dequeue (or timed out waiting)
+  kAeuStalled,          ///< target AEU quarantined by the watchdog
+  kCommandQuarantined,  ///< poison command moved to the dead-letter log
+};
+
+/// \brief Returns the canonical lower-case name of a status detail
+///        (e.g. "admission-rejected").
+std::string_view StatusDetailName(StatusDetail detail);
 
 /// \brief Outcome of an operation: OK, or a code plus human-readable message.
 ///
@@ -46,7 +64,8 @@ class Status {
   Status(StatusCode code, std::string message)
       : rep_(code == StatusCode::kOk
                  ? nullptr
-                 : new Rep{code, std::move(message)}) {}
+                 : new Rep{code, std::move(message), StatusDetail::kNone, {}}) {
+  }
 
   Status(const Status& other) : rep_(other.rep_ ? new Rep(*other.rep_) : nullptr) {}
   Status& operator=(const Status& other) {
@@ -95,6 +114,12 @@ class Status {
   static Status IoError(std::string msg) {
     return Status(StatusCode::kIoError, std::move(msg));
   }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+  }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
+  }
 
   bool ok() const noexcept { return rep_ == nullptr; }
   StatusCode code() const noexcept {
@@ -117,18 +142,60 @@ class Status {
   }
   bool IsUnimplemented() const { return code() == StatusCode::kUnimplemented; }
   bool IsInternal() const { return code() == StatusCode::kInternal; }
+  bool IsDeadlineExceeded() const {
+    return code() == StatusCode::kDeadlineExceeded;
+  }
+  bool IsUnavailable() const { return code() == StatusCode::kUnavailable; }
 
-  /// "OK" or "<code-name>: <message>".
+  /// Attaches a typed detail payload (no-op on an OK status). Chainable:
+  ///   return Status::ResourceExhausted("buffer full")
+  ///       .WithDetail(StatusDetail::kBufferFull, "aeu 3");
+  Status&& WithDetail(StatusDetail detail, std::string detail_message = {}) && {
+    if (rep_ != nullptr) {
+      rep_->detail = detail;
+      rep_->detail_message = std::move(detail_message);
+    }
+    return std::move(*this);
+  }
+  Status& WithDetail(StatusDetail detail, std::string detail_message = {}) & {
+    if (rep_ != nullptr) {
+      rep_->detail = detail;
+      rep_->detail_message = std::move(detail_message);
+    }
+    return *this;
+  }
+
+  StatusDetail detail() const noexcept {
+    return rep_ ? rep_->detail : StatusDetail::kNone;
+  }
+  std::string_view detail_message() const noexcept {
+    return rep_ ? std::string_view(rep_->detail_message) : std::string_view();
+  }
+  bool has_detail() const noexcept { return detail() != StatusDetail::kNone; }
+
+  /// "OK" or "<code-name>: <message>", with " [<detail-name>: <detail>]"
+  /// appended when a detail payload is attached.
   std::string ToString() const;
 
+  /// Wire form that survives a round trip through Deserialize, including the
+  /// detail payload. Messages may contain arbitrary bytes (length-prefixed).
+  std::string Serialize() const;
+  /// Parses a string produced by Serialize; malformed input yields an
+  /// Internal status describing the parse failure.
+  static Status Deserialize(std::string_view wire);
+
   bool operator==(const Status& other) const {
-    return code() == other.code() && message() == other.message();
+    return code() == other.code() && message() == other.message() &&
+           detail() == other.detail() &&
+           detail_message() == other.detail_message();
   }
 
  private:
   struct Rep {
     StatusCode code;
     std::string message;
+    StatusDetail detail = StatusDetail::kNone;
+    std::string detail_message;
   };
   Rep* rep_ = nullptr;  // nullptr means OK.
 };

@@ -28,4 +28,13 @@ class Stopwatch {
   Clock::time_point start_;
 };
 
+/// Monotonic clock reading in nanoseconds. Deadlines on routed commands are
+/// absolute values of this clock, so they can be compared across threads.
+inline uint64_t MonotonicNanos() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
 }  // namespace eris

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cstring>
 #include <thread>
 
 #include "common/fault_injection.h"
@@ -26,6 +27,12 @@ bool IsControlCommand(routing::CommandType t) {
       return false;
   }
 }
+
+/// The AEU whose RunLoopIteration is executing on this thread. Set before
+/// the kAeuLoop injection point so hooks (e.g. stall injectors) can gate on
+/// Aeu::Current()->id() — and so a hook that blocks there keeps the
+/// heartbeat static, which is what the watchdog detects.
+thread_local Aeu* t_current_aeu = nullptr;
 
 sim::TreeShape ShapeOf(const storage::Partition& part) {
   sim::TreeShape shape;
@@ -73,8 +80,14 @@ void Aeu::AddPartition(const storage::DataObjectDesc& desc,
 // Loop
 // ---------------------------------------------------------------------------
 
+Aeu* Aeu::Current() { return t_current_aeu; }
+
 bool Aeu::RunLoopIteration() {
+  t_current_aeu = this;
   ERIS_INJECT_POINT(kAeuLoop);
+  // The heartbeat advances only past the injection point: a hook that
+  // blocks the loop leaves the epoch static for the watchdog to see.
+  heartbeat_.fetch_add(1, std::memory_order_relaxed);
   ++stats_.iterations;
   uint64_t processed_before = stats_.commands_processed;
 
@@ -125,6 +138,7 @@ void Aeu::GroupRecords(std::span<const uint8_t> region) {
   groups_.clear();
   control_.clear();
   size_t pos = 0;
+  uint64_t now = 0;  // lazily sampled: at most one clock read per drain
   while (pos + sizeof(routing::CommandHeader) <= region.size()) {
     routing::CommandView view = routing::DecodeCommand(region.data() + pos);
     pos += view.record_bytes();
@@ -132,6 +146,13 @@ void Aeu::GroupRecords(std::span<const uint8_t> region) {
     if (IsControlCommand(view.header.type)) {
       control_.push_back(view);
       continue;
+    }
+    if (view.header.deadline_ns != 0) {
+      if (now == 0) now = MonotonicNanos();
+      if (now > view.header.deadline_ns) {
+        ExpireCommand(view);
+        continue;
+      }
     }
     // Group by (object, type): linear scan — the number of distinct groups
     // per drain is tiny.
@@ -151,7 +172,9 @@ void Aeu::GroupRecords(std::span<const uint8_t> region) {
 }
 
 void Aeu::ProcessGroups() {
-  for (const Group& g : groups_) {
+  for (Group& g : groups_) {
+    if (fi::Armed()) FilterPoisoned(&g);
+    if (g.commands.empty()) continue;
     Stopwatch watch;
     group_ops_ = 0;
     group_modeled_ns_ = 0;
@@ -223,8 +246,16 @@ void Aeu::ProcessGroups() {
 void Aeu::RetryDeferred() {
   std::vector<std::vector<uint8_t>> pending;
   pending.swap(deferred_);
+  uint64_t now = 0;
   for (const std::vector<uint8_t>& record : pending) {
     routing::CommandView view = routing::DecodeCommand(record.data());
+    if (!IsControlCommand(view.header.type) && view.header.deadline_ns != 0) {
+      if (now == 0) now = MonotonicNanos();
+      if (now > view.header.deadline_ns) {
+        ExpireCommand(view);
+        continue;
+      }
+    }
     Group g{view.header.object, view.header.type, {view}};
     groups_.clear();
     control_.clear();
@@ -235,6 +266,79 @@ void Aeu::RetryDeferred() {
     }
     ProcessGroups();
   }
+}
+
+void Aeu::ExpireCommand(const routing::CommandView& cmd) {
+  uint64_t units = routing::CommandUnits(cmd);
+  ++stats_.commands_expired;
+  stats_.units_expired += units;
+  if (cmd.header.sink != nullptr) {
+    cmd.header.sink->OnCommandDropped(units, routing::DropReason::kExpired);
+  }
+}
+
+void Aeu::FilterPoisoned(Group* g) {
+  size_t kept = 0;
+  for (size_t i = 0; i < g->commands.size(); ++i) {
+    const routing::CommandView& cmd = g->commands[i];
+    current_command_ = &cmd;
+    bool poisoned = false;
+    try {
+      ERIS_INJECT_POINT(kAeuProcess);
+    } catch (...) {
+      poisoned = true;
+    }
+    current_command_ = nullptr;
+    if (poisoned) {
+      HandlePoisoned(cmd);
+    } else {
+      g->commands[kept++] = cmd;
+    }
+  }
+  g->commands.resize(kept);
+}
+
+void Aeu::HandlePoisoned(const routing::CommandView& cmd) {
+  // Bounded dead-letter log: quarantine keeps the header + payload copy of
+  // the first kMaxDeadLetters poison commands for post-mortem inspection.
+  constexpr size_t kMaxDeadLetters = 1024;
+  uint64_t key = PoisonKey(cmd);
+  uint32_t attempts = ++poison_attempts_[key];
+  if (attempts <= engine_->options().overload.max_command_retries) {
+    DeferCommand(cmd.header, {cmd.payload, cmd.header.payload_bytes});
+    return;
+  }
+  poison_attempts_.erase(key);
+  ++stats_.commands_quarantined;
+  if (dead_letters_.size() < kMaxDeadLetters) {
+    dead_letters_.push_back(DeadLetter{
+        cmd.header, std::vector<uint8_t>(
+                        cmd.payload, cmd.payload + cmd.header.payload_bytes)});
+  }
+  uint64_t units = routing::CommandUnits(cmd);
+  if (cmd.header.sink != nullptr) {
+    cmd.header.sink->OnCommandDropped(units,
+                                      routing::DropReason::kQuarantined);
+  }
+}
+
+uint64_t Aeu::PoisonKey(const routing::CommandView& cmd) {
+  uint64_t h = Mix64((static_cast<uint64_t>(cmd.header.object) << 8) |
+                     static_cast<uint64_t>(cmd.header.type));
+  h = Mix64(h ^ cmd.header.payload_bytes);
+  h = Mix64(h ^ reinterpret_cast<uintptr_t>(cmd.header.sink));
+  size_t i = 0;
+  for (; i + 8 <= cmd.header.payload_bytes; i += 8) {
+    uint64_t w;
+    std::memcpy(&w, cmd.payload + i, 8);
+    h = Mix64(h ^ w);
+  }
+  if (i < cmd.header.payload_bytes) {
+    uint64_t tail = 0;
+    std::memcpy(&tail, cmd.payload + i, cmd.header.payload_bytes - i);
+    h = Mix64(h ^ tail);
+  }
+  return h;
 }
 
 // ---------------------------------------------------------------------------
@@ -319,8 +423,11 @@ void Aeu::ProcessLookupGroup(const Group& g) {
     }
     if (!foreign_keys.empty()) {
       // The partitioning moved under this command: forward to the current
-      // owners (completion units travel with the forwarded keys).
+      // owners (completion units travel with the forwarded keys, and the
+      // forwarded record inherits the original deadline).
+      endpoint_.set_deadline_ns(cmd.header.deadline_ns);
       endpoint_.SendLookupBatch(g.object, foreign_keys, sink);
+      endpoint_.set_deadline_ns(0);
       ++stats_.commands_forwarded;
     }
     if (!pending_keys.empty()) {
@@ -362,7 +469,9 @@ void Aeu::ProcessWriteGroup(const Group& g) {
     }
     group_ops_ += mine;
     if (!scratch_kvs_.empty()) {
+      endpoint_.set_deadline_ns(cmd.header.deadline_ns);
       endpoint_.SendWriteBatch(g.type, g.object, scratch_kvs_, sink);
+      endpoint_.set_deadline_ns(0);
       ++stats_.commands_forwarded;
     }
     if (!pending_kvs.empty()) {
@@ -400,7 +509,9 @@ void Aeu::ProcessEraseGroup(const Group& g) {
     }
     group_ops_ += mine;
     if (!scratch_keys_.empty()) {
+      endpoint_.set_deadline_ns(cmd.header.deadline_ns);
       endpoint_.SendEraseBatch(g.object, scratch_keys_, sink);
+      endpoint_.set_deadline_ns(0);
       ++stats_.commands_forwarded;
     }
     if (!pending_keys.empty()) {
@@ -452,7 +563,18 @@ void Aeu::ProcessScanColumnGroup(const Group& g) {
   };
   static thread_local std::vector<Job> jobs;
   jobs.clear();
+  uint64_t now = 0;
   for (const routing::CommandView& cmd : g.commands) {
+    // Re-checked at coalescing time: an expired member is dropped here so
+    // the shared pass extent (max visible prefix) honors the earliest
+    // deadline among the surviving jobs.
+    if (cmd.header.deadline_ns != 0) {
+      if (now == 0) now = MonotonicNanos();
+      if (now > cmd.header.deadline_ns) {
+        ExpireCommand(cmd);
+        continue;
+      }
+    }
     routing::ScanParams p = cmd.PayloadAs<routing::ScanParams>()[0];
     Job job;
     job.params = p;

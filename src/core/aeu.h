@@ -10,9 +10,11 @@
 // commands, then flush its outgoing buffers.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
 #include <optional>
+#include <unordered_map>
 #include <vector>
 
 #include "core/balance_messages.h"
@@ -38,6 +40,9 @@ struct AeuLoopStats {
   uint64_t bytes_copied = 0;     ///< copy-transfer payload bytes sent
   uint64_t maintenance_runs = 0; ///< idle-time MVCC GC passes
   uint64_t versions_reclaimed = 0;
+  uint64_t commands_expired = 0;   ///< dropped at dequeue: deadline passed
+  uint64_t units_expired = 0;      ///< completion units of expired commands
+  uint64_t commands_quarantined = 0;  ///< poison commands dead-lettered
 };
 
 /// \brief One worker, pinned to one core, owning its partitions.
@@ -72,6 +77,28 @@ class Aeu {
 
   const AeuLoopStats& loop_stats() const { return stats_; }
   routing::Endpoint& endpoint() { return endpoint_; }
+
+  /// Loop epoch, bumped once per RunLoopIteration. Read by the watchdog.
+  uint64_t heartbeat() const {
+    return heartbeat_.load(std::memory_order_relaxed);
+  }
+
+  /// The AEU whose loop is executing on this thread (nullptr outside an
+  /// AEU loop). Lets fault-injection hooks target one worker.
+  static Aeu* Current();
+
+  /// While a data command is being processed (or probed at the
+  /// `kAeuProcess` injection point), the command under execution.
+  const routing::CommandView* current_command() const {
+    return current_command_;
+  }
+
+  /// A quarantined poison command: header plus a copy of its payload.
+  struct DeadLetter {
+    routing::CommandHeader header;
+    std::vector<uint8_t> payload;
+  };
+  const std::vector<DeadLetter>& dead_letters() const { return dead_letters_; }
 
   /// Advisory: no undelivered outgoing commands and no deferred records.
   /// Racy against a running loop; Engine::Quiesce() samples it stably.
@@ -120,6 +147,17 @@ class Aeu {
   void DeferCommand(const routing::CommandHeader& header,
                     std::span<const uint8_t> payload);
 
+  /// Drops a command whose deadline has passed: reports the drop to its
+  /// sink (same completion units as processing) and counts it.
+  void ExpireCommand(const routing::CommandView& cmd);
+
+  /// Runs each command of `g` through the `kAeuProcess` injection point;
+  /// a throwing hook marks the command poison. Poison commands are removed
+  /// from the group and either deferred for retry or quarantined.
+  void FilterPoisoned(Group* g);
+  void HandlePoisoned(const routing::CommandView& cmd);
+  static uint64_t PoisonKey(const routing::CommandView& cmd);
+
   /// Sends the copy-transfer chunk stream for a flattened partition.
   void SendCopyTransfer(storage::ObjectId object, storage::KeyRange range,
                         routing::AeuId requester, bool is_physical,
@@ -164,6 +202,12 @@ class Aeu {
   std::vector<uint8_t> scratch_payload_;
 
   AeuLoopStats stats_;
+  std::atomic<uint64_t> heartbeat_{0};
+  const routing::CommandView* current_command_ = nullptr;
+  /// Retry counts of commands whose processing hook threw, keyed by a hash
+  /// of the command's identity (header fields + payload).
+  std::unordered_map<uint64_t, uint32_t> poison_attempts_;
+  std::vector<DeadLetter> dead_letters_;
   uint64_t last_bytes_flushed_ = 0;
   uint32_t idle_iterations_ = 0;
   uint64_t last_flushes_ = 0;

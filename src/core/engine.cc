@@ -6,12 +6,18 @@
 #include <unordered_map>
 
 #include "common/fault_injection.h"
+#include "common/stopwatch.h"
 
 namespace eris::core {
 
 Engine::Engine(EngineOptions options) : options_(std::move(options)) {
   num_aeus_ = options_.num_aeus != 0 ? options_.num_aeus
                                      : options_.topology.total_cores();
+  // Wall-clock pacing of delivery backoff only makes sense with real AEU
+  // threads; a simulated engine pumps the loops inline and must never gate
+  // progress on elapsed time.
+  options_.router.retry.pace_with_time =
+      options_.mode == ExecutionMode::kThreads;
   memory_ = std::make_unique<numa::MemoryPool>(options_.topology.num_nodes());
   std::vector<numa::NodeId> aeu_nodes(num_aeus_);
   for (routing::AeuId a = 0; a < num_aeus_; ++a) aeu_nodes[a] = NodeOfAeu(a);
@@ -35,6 +41,10 @@ Engine::Engine(EngineOptions options) : options_(std::move(options)) {
   for (routing::AeuId a = 0; a < num_aeus_; ++a) {
     aeus_.push_back(std::make_unique<Aeu>(a, this));
   }
+  admission_ = std::make_unique<AdmissionController>(
+      options_.overload.max_inflight_units);
+  watchdog_ = std::make_unique<AeuWatchdog>(num_aeus_,
+                                            options_.overload.watchdog_strikes);
 }
 
 Engine::~Engine() { Stop(); }
@@ -116,6 +126,9 @@ void Engine::Start() {
     if (options_.balancer_background) {
       balancer_thread_ = std::thread([this] { BalancerThreadMain(); });
     }
+    if (options_.overload.watchdog) {
+      watchdog_thread_ = std::thread([this] { WatchdogThreadMain(); });
+    }
   }
 }
 
@@ -127,6 +140,7 @@ void Engine::Stop() {
   }
   threads_.clear();
   if (balancer_thread_.joinable()) balancer_thread_.join();
+  if (watchdog_thread_.joinable()) watchdog_thread_.join();
   started_ = false;
 }
 
@@ -145,9 +159,42 @@ void Engine::BalancerThreadMain() {
   }
 }
 
+void Engine::WatchdogThreadMain() {
+  while (!stop_.load(std::memory_order_acquire)) {
+    std::this_thread::sleep_for(
+        std::chrono::milliseconds(options_.overload.watchdog_interval_ms));
+    if (stop_.load(std::memory_order_acquire)) break;
+    CheckAeuHealth();
+  }
+}
+
+void Engine::CheckAeuHealth() {
+  for (routing::AeuId a = 0; a < num_aeus_; ++a) {
+    bool pending = router_->mailbox(a).PendingBytes() > 0 ||
+                   !aeus_[a]->IsQuiescent();
+    AeuWatchdog::Observation obs =
+        watchdog_->Observe(a, aeus_[a]->heartbeat(), pending);
+    if (obs.newly_stalled) {
+      router_->SetAeuStalled(a, true);
+      ERIS_DLOG(Warning) << "watchdog: AEU " << a
+                         << " stalled (heartbeat static with pending work); "
+                            "partitions flagged, routed commands fail fast";
+    } else if (obs.newly_recovered) {
+      router_->SetAeuStalled(a, false);
+      ERIS_DLOG(Info) << "watchdog: AEU " << a << " recovered";
+    }
+  }
+}
+
+void Engine::RetireSink(std::unique_ptr<routing::AggregateSink> sink) {
+  std::lock_guard<SpinLock> guard(retired_lock_);
+  retired_sinks_.push_back(std::move(sink));
+}
+
 void Engine::Quiesce() {
   auto all_idle = [&] {
     for (routing::AeuId a = 0; a < num_aeus_; ++a) {
+      if (router_->IsAeuStalled(a)) continue;
       if (router_->mailbox(a).PendingBytes() > 0) return false;
       if (!aeus_[a]->IsQuiescent()) return false;
     }
@@ -310,6 +357,8 @@ std::string Engine::StatsReport() {
   uint64_t coalesced = 0;
   uint64_t links = 0;
   uint64_t copies = 0;
+  uint64_t expired = 0;
+  uint64_t quarantined = 0;
   for (routing::AeuId a = 0; a < num_aeus_; ++a) {
     const AeuLoopStats& st = aeus_[a]->loop_stats();
     commands += st.commands_processed;
@@ -318,11 +367,19 @@ std::string Engine::StatsReport() {
     coalesced += st.scans_coalesced;
     links += st.link_transfers;
     copies += st.copy_transfers;
+    expired += st.commands_expired;
+    quarantined += st.commands_quarantined;
   }
   os << "  AEUs: " << commands << " commands processed, " << forwarded
      << " forwarded, " << deferred << " deferred, " << coalesced
      << " scans coalesced, " << links << " link / " << copies
      << " copy transfers\n";
+  os << "  overload: " << admission_->inflight() << "/"
+     << admission_->budget() << " units in flight, "
+     << admission_->rejections() << " admission rejections, " << expired
+     << " commands expired, " << quarantined << " quarantined, "
+     << watchdog_->stalled_count() << " AEUs stalled ("
+     << watchdog_->stall_events() << " stall events)\n";
   return os.str();
 }
 
@@ -499,6 +556,186 @@ void Engine::Session::Fence() {
                                       &sink_);
   }
   Wait(expected);
+}
+
+// ---------------------------------------------------------------------------
+// Overload-aware submits
+// ---------------------------------------------------------------------------
+
+bool Engine::Session::WaitForUnits(routing::AggregateSink* sink,
+                                   uint64_t expected, uint64_t deadline_abs) {
+  // Grace past the deadline: an expired command is only counted when the
+  // target AEU dequeues it, so the wait extends slightly beyond the
+  // deadline to observe the drop before bailing.
+  constexpr uint64_t kGraceNs = 2'000'000;
+  endpoint_.FlushAll();
+  uint64_t idle = 0;
+  while (sink->completed() < expected) {
+    if (endpoint_.HasPending()) endpoint_.FlushAll();
+    bool progress = false;
+    if (engine_->options().mode == ExecutionMode::kSimulated ||
+        !engine_->started()) {
+      progress = engine_->PumpAll();
+    } else {
+      std::this_thread::yield();
+    }
+    if (deadline_abs != 0) {
+      if (MonotonicNanos() > deadline_abs + kGraceNs) {
+        return sink->completed() >= expected;
+      }
+    } else {
+      // No deadline: keep the quiesced-engine abort of DriveUntil so a
+      // submit that can never complete fails loudly instead of hanging.
+      if (engine_->options().mode == ExecutionMode::kSimulated ||
+          !engine_->started()) {
+        idle = progress ? 0 : idle + 1;
+        ERIS_CHECK_LT(idle, 1u << 22)
+            << "engine quiesced without completing the submit";
+      }
+    }
+  }
+  return true;
+}
+
+Status Engine::Session::SubmitCommon(
+    uint64_t admission_units,
+    const std::function<size_t(routing::AggregateSink*)>& send,
+    SubmitOutcome* out,
+    const std::function<void(const routing::AggregateSink&)>& observe) {
+  AdmissionController& adm = engine_->admission();
+  if (!adm.TryAcquire(admission_units)) {
+    if (out != nullptr) *out = SubmitOutcome{};
+    return Status::ResourceExhausted("in-flight unit budget exhausted")
+        .WithDetail(StatusDetail::kAdmissionRejected,
+                    "admission controller rejected the submit");
+  }
+  uint64_t timeout_ns =
+      op_timeout_ns_ != 0 ? op_timeout_ns_
+                          : engine_->options().overload.default_deadline_ns;
+  uint64_t deadline_abs = timeout_ns != 0 ? MonotonicNanos() + timeout_ns : 0;
+  // Heap sink: if the wait bails on its deadline with units still in
+  // flight, the sink is retired to the engine instead of destroyed under
+  // late completions.
+  auto sink = std::make_unique<routing::AggregateSink>();
+  endpoint_.set_deadline_ns(deadline_abs);
+  uint64_t expected = send(sink.get());
+  endpoint_.set_deadline_ns(0);
+  bool complete = WaitForUnits(sink.get(), expected, deadline_abs);
+
+  uint64_t shed = sink->dropped(routing::DropReason::kRetryExhausted);
+  uint64_t stalled = sink->dropped(routing::DropReason::kTargetStalled);
+  uint64_t expired = sink->dropped(routing::DropReason::kExpired);
+  uint64_t quarantined = sink->dropped(routing::DropReason::kQuarantined);
+  if (out != nullptr) {
+    out->units = expected;
+    out->hits = sink->hits();
+    out->shed = shed;
+    out->stalled = stalled;
+    out->expired = expired;
+    out->quarantined = quarantined;
+  }
+  // Release the full grant even when units are still in flight after a
+  // bail-out: admission bounds concurrent submits, not mailbox residency,
+  // and a stuck grant would leak budget forever.
+  adm.Release(admission_units);
+  if (!complete) {
+    engine_->RetireSink(std::move(sink));
+    return Status::DeadlineExceeded("submit timed out")
+        .WithDetail(StatusDetail::kDeadlineExpired,
+                    "completion units still in flight at the deadline");
+  }
+  if (complete && observe) observe(*sink);
+  if (quarantined > 0) {
+    return Status::Internal("poison command quarantined")
+        .WithDetail(StatusDetail::kCommandQuarantined,
+                    "command dead-lettered after repeated handler crashes");
+  }
+  if (stalled > 0) {
+    return Status::Unavailable("target AEU stalled")
+        .WithDetail(StatusDetail::kAeuStalled,
+                    "commands shed fail-fast for a quarantined AEU");
+  }
+  if (shed > 0) {
+    return Status::ResourceExhausted("delivery retries exhausted")
+        .WithDetail(StatusDetail::kBufferFull,
+                    "target incoming buffer stayed full past the retry cap");
+  }
+  if (expired > 0) {
+    return Status::DeadlineExceeded("command deadline expired")
+        .WithDetail(StatusDetail::kDeadlineExpired,
+                    "dropped at dequeue after the deadline passed");
+  }
+  return Status::Ok();
+}
+
+Status Engine::Session::SubmitInsert(storage::ObjectId object,
+                                     std::span<const routing::KeyValue> kvs,
+                                     SubmitOutcome* out) {
+  return SubmitCommon(kvs.size(), [&](routing::AggregateSink* sink) {
+    return endpoint_.SendWriteBatch(routing::CommandType::kInsertBatch,
+                                    object, kvs, sink);
+  }, out);
+}
+
+Status Engine::Session::SubmitUpsert(storage::ObjectId object,
+                                     std::span<const routing::KeyValue> kvs,
+                                     SubmitOutcome* out) {
+  return SubmitCommon(kvs.size(), [&](routing::AggregateSink* sink) {
+    return endpoint_.SendWriteBatch(routing::CommandType::kUpsertBatch,
+                                    object, kvs, sink);
+  }, out);
+}
+
+Status Engine::Session::SubmitErase(storage::ObjectId object,
+                                    std::span<const storage::Key> keys,
+                                    SubmitOutcome* out) {
+  return SubmitCommon(keys.size(), [&](routing::AggregateSink* sink) {
+    return endpoint_.SendEraseBatch(object, keys, sink);
+  }, out);
+}
+
+Status Engine::Session::SubmitLookup(storage::ObjectId object,
+                                     std::span<const storage::Key> keys,
+                                     SubmitOutcome* out) {
+  return SubmitCommon(keys.size(), [&](routing::AggregateSink* sink) {
+    return endpoint_.SendLookupBatch(object, keys, sink);
+  }, out);
+}
+
+Status Engine::Session::SubmitAppend(storage::ObjectId object,
+                                     std::span<const storage::Value> values,
+                                     SubmitOutcome* out) {
+  return SubmitCommon(values.size(), [&](routing::AggregateSink* sink) {
+    return endpoint_.SendAppendBatch(object, values, sink);
+  }, out);
+}
+
+Status Engine::Session::SubmitScanStats(storage::ObjectId object,
+                                        storage::Value lo, storage::Value hi,
+                                        ColumnStats* stats,
+                                        SubmitOutcome* out) {
+  routing::ScanParams params;
+  params.lo = lo;
+  params.hi = hi;
+  params.snapshot_ts = engine_->oracle().ReadTs();
+  SnapshotTracker::Pin pin(&engine_->snapshots(), params.snapshot_ts);
+  return SubmitCommon(
+      1,
+      [&](routing::AggregateSink* sink) {
+        return endpoint_.SendScanStats(object, params, sink);
+      },
+      out,
+      [&](const routing::AggregateSink& sink) {
+        if (stats == nullptr) return;
+        stats->rows = sink.hits();
+        stats->sum = sink.sum();
+        stats->min = sink.min();
+        stats->max = sink.max();
+        stats->avg = stats->rows > 0
+                         ? static_cast<double>(stats->sum) /
+                               static_cast<double>(stats->rows)
+                         : 0.0;
+      });
 }
 
 }  // namespace eris::core

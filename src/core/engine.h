@@ -13,12 +13,14 @@
 #pragma once
 
 #include <atomic>
+#include <functional>
 #include <memory>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "common/spinlock.h"
+#include "common/status.h"
 #include "core/aeu.h"
 #include "core/load_balancer.h"
 #include "core/monitor.h"
@@ -37,6 +39,47 @@ namespace eris::core {
 struct ScanResult {
   uint64_t rows = 0;
   uint64_t sum = 0;
+};
+
+/// \brief Token-based admission control over in-flight completion units.
+///
+/// The fast path is a relaxed CAS loop on one counter; a submit that would
+/// exceed the budget is rejected with a typed Status instead of queueing
+/// onto already-full buffers. Budget 0 disables admission (every acquire
+/// succeeds without touching the counter).
+class AdmissionController {
+ public:
+  explicit AdmissionController(uint64_t budget) : budget_(budget) {}
+
+  bool TryAcquire(uint64_t units) {
+    if (budget_ == 0) return true;
+    uint64_t cur = inflight_.load(std::memory_order_relaxed);
+    while (cur + units <= budget_) {
+      if (inflight_.compare_exchange_weak(cur, cur + units,
+                                          std::memory_order_relaxed)) {
+        return true;
+      }
+    }
+    rejections_.fetch_add(1, std::memory_order_relaxed);
+    return false;
+  }
+  void Release(uint64_t units) {
+    if (budget_ == 0) return;
+    inflight_.fetch_sub(units, std::memory_order_relaxed);
+  }
+
+  uint64_t budget() const { return budget_; }
+  uint64_t inflight() const {
+    return inflight_.load(std::memory_order_relaxed);
+  }
+  uint64_t rejections() const {
+    return rejections_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  uint64_t budget_;
+  std::atomic<uint64_t> inflight_{0};
+  std::atomic<uint64_t> rejections_{0};
 };
 
 /// \brief The ERIS storage engine.
@@ -79,6 +122,8 @@ class Engine {
   Monitor& monitor() { return *monitor_; }
   storage::TimestampOracle& oracle() { return oracle_; }
   SnapshotTracker& snapshots() { return snapshots_; }
+  AdmissionController& admission() { return *admission_; }
+  AeuWatchdog& watchdog() { return *watchdog_; }
   uint32_t num_aeus() const { return num_aeus_; }
   Aeu& aeu(routing::AeuId a) { return *aeus_[a]; }
   const storage::DataObjectDesc& object(storage::ObjectId id) const {
@@ -134,8 +179,15 @@ class Engine {
   /// Advisory barrier: returns once every AEU mailbox is empty and no AEU
   /// holds undelivered or deferred commands, observed stably over several
   /// passes. The query layer uses it after operators whose AEUs fan out
-  /// follow-up commands (materializing scans, join probes).
+  /// follow-up commands (materializing scans, join probes). AEUs the
+  /// watchdog marked stalled are excluded (their mailboxes never drain).
   void Quiesce();
+
+  /// One watchdog pass: observes every AEU's heartbeat and flags/unflags
+  /// stalled AEUs at the router. Runs periodically on the watchdog thread
+  /// in kThreads mode (OverloadOptions::watchdog); simulated engines and
+  /// tests call it explicitly.
+  void CheckAeuHealth();
 
   // --- Sessions -------------------------------------------------------------
   /// \brief Client-side handle for issuing storage operations.
@@ -186,6 +238,50 @@ class Engine {
     /// sent before the fence.
     void Fence();
 
+    // --- Overload-aware submits -----------------------------------------
+    // Unlike the blocking operations above, Submit* go through admission
+    // control, stamp the session's op timeout as a command deadline, and
+    // return a typed Status instead of blocking indefinitely: OK,
+    // ResourceExhausted (admission / shed), DeadlineExceeded (expired or
+    // timed out), Unavailable (target AEU stalled), Internal (poison
+    // command quarantined).
+
+    /// Per-unit breakdown of one submit (all counts in completion units).
+    struct SubmitOutcome {
+      uint64_t units = 0;        ///< completion units the submit expected
+      uint64_t hits = 0;         ///< found / newly-inserted / applied
+      uint64_t shed = 0;         ///< dropped: delivery retries exhausted
+      uint64_t stalled = 0;      ///< dropped: target AEU quarantined
+      uint64_t expired = 0;      ///< dropped: deadline passed at dequeue
+      uint64_t quarantined = 0;  ///< dropped: poison command dead-lettered
+    };
+
+    /// Relative deadline stamped on Submit* commands; 0 falls back to
+    /// OverloadOptions::default_deadline_ns (0 = no deadline).
+    void set_op_timeout_ns(uint64_t timeout_ns) {
+      op_timeout_ns_ = timeout_ns;
+    }
+    uint64_t op_timeout_ns() const { return op_timeout_ns_; }
+
+    Status SubmitInsert(storage::ObjectId object,
+                        std::span<const routing::KeyValue> kvs,
+                        SubmitOutcome* out = nullptr);
+    Status SubmitUpsert(storage::ObjectId object,
+                        std::span<const routing::KeyValue> kvs,
+                        SubmitOutcome* out = nullptr);
+    Status SubmitErase(storage::ObjectId object,
+                       std::span<const storage::Key> keys,
+                       SubmitOutcome* out = nullptr);
+    Status SubmitLookup(storage::ObjectId object,
+                        std::span<const storage::Key> keys,
+                        SubmitOutcome* out = nullptr);
+    Status SubmitAppend(storage::ObjectId object,
+                        std::span<const storage::Value> values,
+                        SubmitOutcome* out = nullptr);
+    Status SubmitScanStats(storage::ObjectId object, storage::Value lo,
+                           storage::Value hi, ColumnStats* stats,
+                           SubmitOutcome* out = nullptr);
+
     routing::Endpoint& endpoint() { return endpoint_; }
     routing::AggregateSink& sink() { return sink_; }
     /// Flushes and blocks until `expected` completion units arrived for
@@ -193,9 +289,26 @@ class Engine {
     void Wait(uint64_t expected);
 
    private:
+    /// Shared submit path: admission, deadline stamping, bounded wait,
+    /// drop accounting, and the Status mapping. `send` issues the commands
+    /// and returns the expected completion units; `observe` (optional)
+    /// reads aggregate results off the sink after a complete wait.
+    Status SubmitCommon(
+        uint64_t admission_units,
+        const std::function<size_t(routing::AggregateSink*)>& send,
+        SubmitOutcome* out,
+        const std::function<void(const routing::AggregateSink&)>& observe =
+            {});
+    /// Waits for `expected` units with an absolute wall-clock bail-out
+    /// (deadline_abs + grace; 0 = wait for quiescence). Returns whether
+    /// every unit arrived.
+    bool WaitForUnits(routing::AggregateSink* sink, uint64_t expected,
+                      uint64_t deadline_abs);
+
     Engine* engine_;
     routing::Endpoint endpoint_;
     routing::AggregateSink sink_;
+    uint64_t op_timeout_ns_ = 0;
   };
 
   std::unique_ptr<Session> CreateSession();
@@ -213,6 +326,12 @@ class Engine {
   storage::ObjectId RegisterObject(storage::DataObjectDesc desc,
                                    storage::Key domain_hi);
   void BalancerThreadMain();
+  void WatchdogThreadMain();
+
+  /// Parks a sink whose submit bailed on its deadline while completion
+  /// units were still in flight: late completions write into the retired
+  /// sink instead of freed memory. Freed when the engine is destroyed.
+  void RetireSink(std::unique_ptr<routing::AggregateSink> sink);
 
   EngineOptions options_;
   uint32_t num_aeus_ = 0;
@@ -227,8 +346,13 @@ class Engine {
 
   std::vector<std::unique_ptr<storage::DataObjectDesc>> objects_;
   std::vector<std::unique_ptr<Aeu>> aeus_;
+  std::unique_ptr<AdmissionController> admission_;
+  std::unique_ptr<AeuWatchdog> watchdog_;
+  SpinLock retired_lock_;
+  std::vector<std::unique_ptr<routing::AggregateSink>> retired_sinks_;
   std::vector<std::thread> threads_;
   std::thread balancer_thread_;
+  std::thread watchdog_thread_;
   std::atomic<bool> stop_{false};
   std::atomic<uint64_t> session_counter_{0};
   bool started_ = false;

@@ -1,5 +1,7 @@
 #include "core/monitor.h"
 
+#include <algorithm>
+
 namespace eris::core {
 
 Monitor::Monitor(uint32_t num_aeus, uint32_t num_objects)
@@ -48,6 +50,38 @@ std::vector<PartitionMetrics> Monitor::Snapshot(
     out[a].bytes = c.bytes.load(std::memory_order_relaxed);
   }
   return out;
+}
+
+AeuWatchdog::AeuWatchdog(uint32_t num_aeus, uint32_t strike_threshold)
+    : strike_threshold_(std::max(strike_threshold, 1u)), states_(num_aeus) {}
+
+AeuWatchdog::Observation AeuWatchdog::Observe(routing::AeuId a,
+                                              uint64_t heartbeat,
+                                              bool has_pending_work) {
+  Observation obs;
+  State& s = states_[a];
+  bool advanced = !s.seen || heartbeat != s.last_heartbeat;
+  s.last_heartbeat = heartbeat;
+  s.seen = true;
+  if (advanced || !has_pending_work) {
+    // Progressing, or legitimately idle: clear strikes, maybe recover.
+    s.strikes = 0;
+    if (advanced && s.stalled.load(std::memory_order_relaxed)) {
+      s.stalled.store(false, std::memory_order_release);
+      stalled_count_.fetch_sub(1, std::memory_order_acq_rel);
+      obs.newly_recovered = true;
+    }
+    return obs;
+  }
+  // Static heartbeat with work queued: strike.
+  if (++s.strikes >= strike_threshold_ &&
+      !s.stalled.load(std::memory_order_relaxed)) {
+    s.stalled.store(true, std::memory_order_release);
+    stalled_count_.fetch_add(1, std::memory_order_acq_rel);
+    stall_events_.fetch_add(1, std::memory_order_relaxed);
+    obs.newly_stalled = true;
+  }
+  return obs;
 }
 
 }  // namespace eris::core

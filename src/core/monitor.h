@@ -72,4 +72,59 @@ class Monitor {
   std::vector<Cell> cells_;
 };
 
+/// \brief Heartbeat watchdog over the AEU worker loops.
+///
+/// Every AEU bumps an epoch counter once per loop iteration. The watchdog
+/// (a background thread in kThreads engines, or an explicit
+/// Engine::CheckAeuHealth() call) periodically observes each AEU's counter:
+/// a counter that stays static across `strike_threshold` consecutive
+/// observations *while the AEU has pending work* marks the AEU stalled. A
+/// stalled AEU's partitions are flagged at the router (fail-fast shedding)
+/// until its heartbeat advances again.
+///
+/// Observe() must be called from one thread at a time (the watchdog);
+/// stalled() is readable concurrently from any thread.
+class AeuWatchdog {
+ public:
+  AeuWatchdog(uint32_t num_aeus, uint32_t strike_threshold);
+
+  struct Observation {
+    bool newly_stalled = false;
+    bool newly_recovered = false;
+  };
+
+  /// One observation of AEU `a`: `heartbeat` is its current loop epoch,
+  /// `has_pending_work` whether its mailbox (or deferred queue) holds
+  /// commands. Idle AEUs are never declared stalled.
+  Observation Observe(routing::AeuId a, uint64_t heartbeat,
+                      bool has_pending_work);
+
+  bool stalled(routing::AeuId a) const {
+    return states_[a].stalled.load(std::memory_order_acquire);
+  }
+  uint32_t stalled_count() const {
+    return stalled_count_.load(std::memory_order_acquire);
+  }
+  /// Total stall transitions observed (monotone; recoveries don't subtract).
+  uint64_t stall_events() const {
+    return stall_events_.load(std::memory_order_relaxed);
+  }
+  uint32_t num_aeus() const {
+    return static_cast<uint32_t>(states_.size());
+  }
+
+ private:
+  struct State {
+    uint64_t last_heartbeat = 0;
+    bool seen = false;  ///< last_heartbeat holds a real observation
+    uint32_t strikes = 0;
+    std::atomic<bool> stalled{false};
+  };
+
+  uint32_t strike_threshold_;
+  std::vector<State> states_;
+  std::atomic<uint32_t> stalled_count_{0};
+  std::atomic<uint64_t> stall_events_{0};
+};
+
 }  // namespace eris::core

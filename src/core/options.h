@@ -31,6 +31,26 @@ struct SimOptions {
   double llc_bytes_per_node = 12.0 * 1024 * 1024;
 };
 
+/// Overload-control knobs: admission, deadlines, watchdog, quarantine.
+struct OverloadOptions {
+  /// In-flight completion-unit budget enforced at submit time by the
+  /// engine's admission controller; 0 disables admission control.
+  uint64_t max_inflight_units = 0;
+  /// Relative deadline stamped on Submit* commands when the session sets
+  /// none; 0 means no default deadline.
+  uint64_t default_deadline_ns = 0;
+  /// Run the AEU heartbeat watchdog on a background thread (kThreads mode;
+  /// simulated engines call Engine::CheckAeuHealth() explicitly).
+  bool watchdog = false;
+  uint32_t watchdog_interval_ms = 50;
+  /// Consecutive observations with a static heartbeat and pending work
+  /// before an AEU is declared stalled.
+  uint32_t watchdog_strikes = 3;
+  /// Processing attempts before a poison command (one that repeatedly
+  /// crashes its handler) is quarantined to the dead-letter log.
+  uint32_t max_command_retries = 3;
+};
+
 struct EngineOptions {
   numa::Topology topology = numa::Topology::DetectHost();
   /// 0 = one AEU per core of the topology.
@@ -44,6 +64,7 @@ struct EngineOptions {
   /// Run the periodic balancing loop on a background thread (thread mode).
   bool balancer_background = false;
   SimOptions sim;
+  OverloadOptions overload;
 };
 
 }  // namespace eris::core

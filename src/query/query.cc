@@ -23,6 +23,25 @@ AggregateResult QueryRunner::Aggregate(storage::ObjectId column,
   return result;
 }
 
+Result<AggregateResult> QueryRunner::AggregateWithin(storage::ObjectId column,
+                                                     Filter filter,
+                                                     uint64_t timeout_ns) {
+  uint64_t saved = session_->op_timeout_ns();
+  session_->set_op_timeout_ns(timeout_ns);
+  Engine::Session::ColumnStats stats;
+  Status status =
+      session_->SubmitScanStats(column, filter.lo, filter.hi, &stats);
+  session_->set_op_timeout_ns(saved);
+  if (!status.ok()) return status;
+  AggregateResult result;
+  result.rows = stats.rows;
+  result.sum = stats.sum;
+  result.min = stats.min;
+  result.max = stats.max;
+  result.avg = stats.avg;
+  return result;
+}
+
 Result<MaterializeResult> QueryRunner::MaterializeFilter(
     storage::ObjectId column, Filter filter, std::string result_name) {
   if (engine_->object(column).container != storage::ContainerKind::kColumn) {

@@ -70,6 +70,14 @@ class QueryRunner {
   /// partition, merged at the sink.
   AggregateResult Aggregate(storage::ObjectId column, Filter filter = {});
 
+  /// As Aggregate, but overload-aware: the scan goes through admission
+  /// control, carries `timeout_ns` as its command deadline, and returns a
+  /// typed error (DeadlineExceeded, Unavailable, ResourceExhausted,
+  /// Internal) instead of blocking past the deadline. timeout_ns = 0 falls
+  /// back to the engine's default deadline.
+  Result<AggregateResult> AggregateWithin(storage::ObjectId column,
+                                          Filter filter, uint64_t timeout_ns);
+
   /// SELECT v INTO <name> FROM column WHERE v BETWEEN lo AND hi — every
   /// owner filters its partition and routes the matches as appends into a
   /// newly created column (NUMA-local intermediate materialization).

@@ -23,6 +23,29 @@ const char* CommandTypeName(CommandType t) {
   return "unknown";
 }
 
+const char* DropReasonName(DropReason r) {
+  switch (r) {
+    case DropReason::kRetryExhausted: return "retry-exhausted";
+    case DropReason::kTargetStalled: return "target-stalled";
+    case DropReason::kExpired: return "expired";
+    case DropReason::kQuarantined: return "quarantined";
+  }
+  return "unknown";
+}
+
+uint64_t CommandUnits(const CommandView& v) {
+  switch (v.header.type) {
+    case CommandType::kLookupBatch:
+    case CommandType::kEraseBatch:
+      return v.header.payload_bytes / sizeof(storage::Key);
+    case CommandType::kInsertBatch:
+    case CommandType::kUpsertBatch:
+      return v.header.payload_bytes / sizeof(KeyValue);
+    default:
+      return 1;
+  }
+}
+
 void EncodeCommand(CommandHeader header, std::span<const uint8_t> payload,
                    std::vector<uint8_t>* out) {
   header.payload_bytes = static_cast<uint32_t>(payload.size());

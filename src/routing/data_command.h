@@ -47,6 +47,17 @@ enum class CommandType : uint8_t {
 
 const char* CommandTypeName(CommandType t);
 
+/// Why a command was dropped instead of processed (overload control).
+enum class DropReason : uint8_t {
+  kRetryExhausted = 0,  ///< bounded delivery retry gave up (buffer full)
+  kTargetStalled,       ///< target AEU quarantined by the watchdog
+  kExpired,             ///< deadline passed before dequeue
+  kQuarantined,         ///< poison command moved to the dead-letter log
+};
+inline constexpr size_t kNumDropReasons = 4;
+
+const char* DropReasonName(DropReason r);
+
 struct KeyValue {
   storage::Key key;
   storage::Value value;
@@ -131,6 +142,15 @@ class ResultSink {
   /// command. The units delivered for a query sum to the value the Send*
   /// call returned.
   virtual void OnCommandComplete(uint64_t units) = 0;
+
+  /// Command dropped by overload control (shed, expired, or quarantined)
+  /// instead of processed. The default forwards to OnCommandComplete so the
+  /// completion-unit accounting — and every existing Wait(expected) loop —
+  /// still terminates; sinks that care about the distinction override this.
+  virtual void OnCommandDropped(uint64_t units, DropReason reason) {
+    (void)reason;
+    OnCommandComplete(units);
+  }
 };
 
 /// Aggregate sink: counts rows/hits/sums and completion. The standard sink
@@ -178,14 +198,30 @@ class AggregateSink : public ResultSink {
   void OnCommandComplete(uint64_t units) override {
     completed_.fetch_add(units, std::memory_order_release);
   }
+  void OnCommandDropped(uint64_t units, DropReason reason) override {
+    dropped_[static_cast<size_t>(reason)].fetch_add(units,
+                                                    std::memory_order_relaxed);
+    completed_.fetch_add(units, std::memory_order_release);
+  }
 
-  /// Completion units delivered so far.
+  /// Completion units delivered so far (processed + dropped).
   uint64_t completed() const {
     return completed_.load(std::memory_order_acquire);
   }
   uint64_t hits() const { return hits_.load(std::memory_order_relaxed); }
   uint64_t sum() const { return sum_.load(std::memory_order_relaxed); }
   uint64_t probes() const { return probes_.load(std::memory_order_relaxed); }
+
+  /// Units dropped for `reason` (subset of completed()).
+  uint64_t dropped(DropReason reason) const {
+    return dropped_[static_cast<size_t>(reason)].load(
+        std::memory_order_relaxed);
+  }
+  uint64_t dropped_total() const {
+    uint64_t total = 0;
+    for (const auto& d : dropped_) total += d.load(std::memory_order_relaxed);
+    return total;
+  }
 
   storage::Value min() const { return min_.load(std::memory_order_relaxed); }
   storage::Value max() const { return max_.load(std::memory_order_relaxed); }
@@ -197,6 +233,7 @@ class AggregateSink : public ResultSink {
     probes_ = 0;
     min_ = ~storage::Value{0};
     max_ = 0;
+    for (auto& d : dropped_) d = 0;
   }
 
  private:
@@ -206,6 +243,7 @@ class AggregateSink : public ResultSink {
   std::atomic<uint64_t> probes_{0};
   std::atomic<storage::Value> min_{~storage::Value{0}};
   std::atomic<storage::Value> max_{0};
+  std::atomic<uint64_t> dropped_[kNumDropReasons] = {};
 };
 
 /// Fixed-size command header preceding the payload in every record.
@@ -216,11 +254,14 @@ struct CommandHeader {
   AeuId source = kInvalidAeu;
   uint32_t payload_bytes = 0;
   uint32_t pad = 0;
+  /// Absolute deadline (MonotonicNanos clock); 0 means none. Expired
+  /// commands are dropped at dequeue instead of processed.
+  uint64_t deadline_ns = 0;
   /// In-process reference to the result sink (the paper's "reference to a
   /// callback function"); null for engine-internal commands.
   ResultSink* sink = nullptr;
 };
-static_assert(sizeof(CommandHeader) == 24);
+static_assert(sizeof(CommandHeader) == 32);
 static_assert(std::is_trivially_copyable_v<CommandHeader>);
 
 /// Decoded command record: header by value, payload in place.
@@ -241,6 +282,11 @@ struct CommandView {
     return sizeof(CommandHeader) + AlignUp(header.payload_bytes, 8);
   }
 };
+
+/// Completion units a command is worth: keyed batches count elements,
+/// everything else counts one per command. Matches what processing would
+/// deliver, so dropping a command can complete the same number of units.
+uint64_t CommandUnits(const CommandView& v);
 
 /// Serializes header+payload into `out` (appending), padding to 8 bytes.
 void EncodeCommand(CommandHeader header, std::span<const uint8_t> payload,

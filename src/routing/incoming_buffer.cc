@@ -34,6 +34,9 @@ bool IncomingBufferPair::TryWriteGather(
   size_t total = 0;
   for (const auto& p : pieces) total += p.size();
   if (total == 0) return true;
+  // A sealed mailbox (stalled AEU quarantined by the watchdog) behaves like
+  // a permanently full buffer; producers shed via the bounded retry policy.
+  if (sealed()) return false;
   ERIS_DCHECK(total % 8 == 0);
   ERIS_CHECK_LE(total, capacity_)
       << "single delivery larger than an incoming buffer";

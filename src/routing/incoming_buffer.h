@@ -107,6 +107,14 @@ class IncomingBufferPair {
 
   size_t capacity() const { return capacity_; }
 
+  /// Seals the mailbox: every TryWrite/TryWriteGather fails immediately, as
+  /// if the buffer were permanently full. The watchdog seals the mailbox of
+  /// a quarantined AEU so producers shed instead of queueing into it; Drain
+  /// by the (possibly recovered) owner still works.
+  void Seal() { sealed_.store(true, std::memory_order_release); }
+  void Unseal() { sealed_.store(false, std::memory_order_release); }
+  bool sealed() const { return sealed_.load(std::memory_order_acquire); }
+
   /// Bytes currently queued in the writable buffer (approximate).
   size_t PendingBytes() const {
     uint32_t idx = writable_idx_.load(std::memory_order_acquire);
@@ -120,6 +128,7 @@ class IncomingBufferPair {
   uint8_t* buffers_[2];
   std::atomic<uint64_t> desc_[2];
   std::atomic<uint32_t> writable_idx_{0};
+  std::atomic<bool> sealed_{false};
 };
 
 }  // namespace eris::routing

@@ -136,6 +136,32 @@ class OutgoingSet {
     }
   }
 
+  /// Drops every record pending for `target`, invoking `fn(CommandView)`
+  /// for each dropped record so the caller can notify result sinks. Used by
+  /// the router to shed undeliverable commands (retry cap reached, or the
+  /// target AEU quarantined). Returns the number of records dropped.
+  template <typename Fn>
+  size_t DropPending(AeuId target,
+                     std::vector<std::span<const uint8_t>>* scratch,
+                     Fn&& fn) {
+    size_t dropped = 0;
+    while (HasPending(target)) {
+      Consumption consumed = GatherUpTo(target, ~size_t{0}, scratch);
+      if (consumed.total_bytes == 0) break;
+      for (const auto& piece : *scratch) {
+        size_t pos = 0;
+        while (pos < piece.size()) {
+          CommandView v = DecodeCommand(piece.data() + pos);
+          pos += v.record_bytes();
+          fn(v);
+          ++dropped;
+        }
+      }
+      Consume(target, consumed);
+    }
+    return dropped;
+  }
+
   /// Total bytes buffered across targets (multicast counted once).
   size_t TotalBufferedBytes() const {
     size_t bytes = multicast_data_.size();

@@ -4,8 +4,22 @@
 
 #include "common/fault_injection.h"
 #include "common/rng.h"
+#include "common/stopwatch.h"
 
 namespace eris::routing {
+
+uint64_t JitteredBackoffNs(const DeliveryRetryPolicy& policy, uint32_t attempt,
+                           Xoshiro256& rng) {
+  if (policy.backoff_base_ns == 0) return 0;
+  uint32_t shift = attempt > 0 ? attempt - 1 : 0;
+  // Beyond ~2^40x the clamp below always wins; avoid shift overflow.
+  uint64_t exp = shift >= 40 ? policy.backoff_max_ns
+                             : policy.backoff_base_ns << shift;
+  exp = std::min(std::max(exp, policy.backoff_base_ns), policy.backoff_max_ns);
+  double factor = 1.0 + policy.jitter * (2.0 * rng.NextDouble() - 1.0);
+  if (factor < 0.0) factor = 0.0;
+  return static_cast<uint64_t>(static_cast<double>(exp) * factor);
+}
 
 Router::Router(std::vector<numa::NodeId> aeu_nodes, RouterConfig config)
     : aeu_nodes_(std::move(aeu_nodes)), config_(config) {
@@ -15,9 +29,11 @@ Router::Router(std::vector<numa::NodeId> aeu_nodes, RouterConfig config)
   // reallocation.
   objects_.reserve(kMaxObjects);
   mailboxes_.reserve(aeu_nodes_.size());
+  stalled_ = std::make_unique<std::atomic<uint8_t>[]>(aeu_nodes_.size());
   for (size_t i = 0; i < aeu_nodes_.size(); ++i) {
     mailboxes_.push_back(
         std::make_unique<IncomingBufferPair>(config_.incoming_capacity_bytes));
+    stalled_[i].store(0, std::memory_order_relaxed);
   }
 }
 
@@ -103,12 +119,20 @@ Endpoint::Endpoint(Router* router, AeuId source, numa::NodeId node)
     : router_(router),
       source_(source),
       node_(node),
-      outgoing_(router->num_aeus()) {}
+      outgoing_(router->num_aeus()),
+      retry_(router->num_aeus()),
+      flush_retry_hist_(0.0, static_cast<double>(router->num_aeus()),
+                        router->num_aeus()),
+      backoff_rng_(router->config().retry.seed ^ Mix64(source + 1)) {}
 
 void Endpoint::Unicast(AeuId target, const CommandHeader& header,
                        std::span<const uint8_t> payload) {
   ERIS_INJECT_POINT(kRouterUnicast);
-  outgoing_.AppendUnicast(target, header, payload);
+  CommandHeader h = header;
+  // Stamp the endpoint deadline unless the command carries its own (a
+  // forwarded command keeps the deadline of the original submit).
+  if (h.deadline_ns == 0) h.deadline_ns = deadline_ns_;
+  outgoing_.AppendUnicast(target, h, payload);
   ++stats_.commands_routed;
   if (outgoing_.PendingBytes(target) >=
       router_->config().flush_threshold_bytes) {
@@ -120,7 +144,9 @@ void Endpoint::Multicast(std::span<const AeuId> targets,
                          const CommandHeader& header,
                          std::span<const uint8_t> payload) {
   ERIS_INJECT_POINT(kRouterMulticast);
-  outgoing_.AppendMulticast(targets, header, payload);
+  CommandHeader h = header;
+  if (h.deadline_ns == 0) h.deadline_ns = deadline_ns_;
+  outgoing_.AppendMulticast(targets, h, payload);
   stats_.commands_routed += targets.size();
   for (AeuId t : targets) {
     if (outgoing_.PendingBytes(t) >= router_->config().flush_threshold_bytes) {
@@ -129,23 +155,62 @@ void Endpoint::Multicast(std::span<const AeuId> targets,
   }
 }
 
+void Endpoint::ShedTarget(AeuId target, DropReason reason) {
+  size_t records = outgoing_.DropPending(target, &pieces_, [&](
+                                             const CommandView& v) {
+    uint64_t units = CommandUnits(v);
+    stats_.units_shed += units;
+    if (v.header.sink != nullptr) v.header.sink->OnCommandDropped(units, reason);
+  });
+  stats_.commands_shed += records;
+}
+
+bool Endpoint::RecordFlushFailure(AeuId target) {
+  flush_retry_hist_.Add(static_cast<double>(target));
+  const DeliveryRetryPolicy& rp = router_->config().retry;
+  TargetRetry& rs = retry_[target];
+  ++rs.attempts;
+  if (rp.max_attempts != 0 && rs.attempts >= rp.max_attempts) {
+    // Bounded retry exhausted: shed instead of spinning forever.
+    rs.attempts = 0;
+    ShedTarget(target, DropReason::kRetryExhausted);
+    return true;  // backlog cleared (by shedding)
+  }
+  if (rp.pace_with_time) {
+    rs.next_attempt_ns =
+        MonotonicNanos() + JitteredBackoffNs(rp, rs.attempts, backoff_rng_);
+  }
+  return false;
+}
+
 bool Endpoint::FlushTarget(AeuId target) {
-  // Injected rejected delivery: identical to the target's incoming buffer
-  // being full — the commands stay buffered and the caller retries.
-  if (ERIS_INJECT_SHOULD_FAIL(kRouterFlush)) {
-    ++stats_.flush_retries;
+  // Fail fast on a quarantined target: commands routed to a stalled AEU
+  // are shed immediately so producers (and Drain barriers) never block on
+  // a mailbox nobody drains.
+  if (router_->IsAeuStalled(target)) {
+    ShedTarget(target, DropReason::kTargetStalled);
+    retry_[target].attempts = 0;
+    return true;
+  }
+  TargetRetry& rs = retry_[target];
+  const DeliveryRetryPolicy& rp = router_->config().retry;
+  // Backoff gate: after a failed delivery, wait out the jittered delay
+  // before touching the mailbox again (kThreads engines only).
+  if (rp.pace_with_time && rs.attempts > 0 &&
+      MonotonicNanos() < rs.next_attempt_ns) {
     return false;
   }
+  // Injected rejected delivery: identical to the target's incoming buffer
+  // being full — the commands stay buffered and the caller retries.
+  if (ERIS_INJECT_SHOULD_FAIL(kRouterFlush)) return RecordFlushFailure(target);
   ERIS_INJECT_POINT(kRouterFlush);
   IncomingBufferPair& mailbox = router_->mailbox(target);
   while (outgoing_.HasPending(target)) {
     OutgoingSet::Consumption consumed =
         outgoing_.GatherUpTo(target, mailbox.capacity(), &pieces_);
     if (consumed.total_bytes == 0) return true;  // nothing deliverable
-    if (!mailbox.TryWriteGather(pieces_)) {
-      ++stats_.flush_retries;
-      return false;
-    }
+    if (!mailbox.TryWriteGather(pieces_)) return RecordFlushFailure(target);
+    rs.attempts = 0;  // consecutive-failure cap: any success resets
     ++stats_.flushes;
     stats_.bytes_flushed += consumed.total_bytes;
     if (sim::ResourceUsage* usage = router_->resource_usage()) {

@@ -19,6 +19,8 @@
 #include <span>
 #include <vector>
 
+#include "common/histogram.h"
+#include "common/rng.h"
 #include "numa/topology.h"
 #include "routing/data_command.h"
 #include "routing/incoming_buffer.h"
@@ -29,6 +31,37 @@
 
 namespace eris::routing {
 
+/// Bounded-retry policy for outgoing-buffer delivery. A full (or sealed)
+/// incoming buffer no longer spins forever: after `max_attempts`
+/// *consecutive* failed deliveries to one target, that target's pending
+/// commands are shed and their sinks notified with
+/// DropReason::kRetryExhausted. Between attempts the endpoint backs off
+/// with jittered exponential delays (deterministic per source, seeded via
+/// common/rng.h) when `pace_with_time` is set — the engine enables pacing
+/// only in kThreads mode, since simulated engines pump cooperatively and
+/// must not wait on the wall clock.
+struct DeliveryRetryPolicy {
+  /// Consecutive delivery failures per target before shedding; 0 disables
+  /// the cap. The default is effectively "never" for healthy targets (any
+  /// successful delivery resets the count) while still bounding a stall.
+  uint32_t max_attempts = 1u << 20;
+  uint64_t backoff_base_ns = 2'000;
+  uint64_t backoff_max_ns = 1'000'000;
+  /// Multiplicative jitter: each delay is scaled by a uniform factor in
+  /// [1 - jitter, 1 + jitter].
+  double jitter = 0.5;
+  /// Seed of the per-endpoint jitter streams (deterministic replay).
+  uint64_t seed = 0x9e3779b97f4a7c15ull;
+  /// Gate retries on the wall clock (kThreads engines only).
+  bool pace_with_time = false;
+};
+
+/// Jittered exponential backoff delay for the `attempt`-th consecutive
+/// failure (attempt >= 1). Pure function of the policy and the rng state,
+/// so a seeded replay reproduces the exact delay sequence.
+uint64_t JitteredBackoffNs(const DeliveryRetryPolicy& policy, uint32_t attempt,
+                           Xoshiro256& rng);
+
 struct RouterConfig {
   /// Flush an outgoing buffer to its target once it holds this many bytes.
   /// This is the paper's "outgoing buffer size" knob (Figure 5).
@@ -38,6 +71,8 @@ struct RouterConfig {
   /// Keyed batches are split into per-target chunks of at most this many
   /// elements before encoding.
   size_t max_batch_elements = 1024;
+  /// Bounded delivery retry (overload control).
+  DeliveryRetryPolicy retry;
 };
 
 /// Statistics of one endpoint (private, unsynchronized).
@@ -45,7 +80,9 @@ struct EndpointStats {
   uint64_t commands_routed = 0;
   uint64_t bytes_flushed = 0;
   uint64_t flushes = 0;
-  uint64_t flush_retries = 0;  ///< deliveries rejected by a full incoming buffer
+  uint64_t commands_shed = 0;  ///< records dropped undelivered (retry cap
+                               ///< reached or target stalled)
+  uint64_t units_shed = 0;     ///< completion units of the shed records
 };
 
 class Router;
@@ -109,13 +146,23 @@ class Endpoint {
                      std::span<const uint8_t> payload, ResultSink* sink);
 
   /// Delivers every pending outgoing buffer whose target accepts it.
-  /// Returns true when everything was delivered.
+  /// Returns true when everything was delivered (or shed).
   bool FlushAll();
 
   /// True when some outgoing buffer still holds undelivered commands.
   bool HasPending() const { return outgoing_.HasAnyPending(); }
 
+  /// Absolute deadline (MonotonicNanos) stamped on every subsequently
+  /// routed command whose header carries none; 0 disables stamping.
+  void set_deadline_ns(uint64_t abs_ns) { deadline_ns_ = abs_ns; }
+  uint64_t deadline_ns() const { return deadline_ns_; }
+
   const EndpointStats& stats() const { return stats_; }
+  /// Delivery failures per target AEU (one bucket per target): which
+  /// mailboxes reject deliveries and how often.
+  const Histogram& flush_retry_histogram() const {
+    return flush_retry_hist_;
+  }
   AeuId source() const { return source_; }
 
  private:
@@ -131,12 +178,28 @@ class Endpoint {
                    std::span<const E> elements, ResultSink* sink);
 
   bool FlushTarget(AeuId target);
+  /// Records one failed delivery to `target`; sheds its pending commands
+  /// when the consecutive-failure cap is reached. Returns the new
+  /// FlushTarget result (true when shedding cleared the backlog).
+  bool RecordFlushFailure(AeuId target);
+  /// Drops everything pending for `target`, notifying sinks with `reason`.
+  void ShedTarget(AeuId target, DropReason reason);
+
+  /// Per-target consecutive-failure state of the bounded retry policy.
+  struct TargetRetry {
+    uint32_t attempts = 0;
+    uint64_t next_attempt_ns = 0;
+  };
 
   Router* router_;
   AeuId source_;
   numa::NodeId node_;
   OutgoingSet outgoing_;
   EndpointStats stats_;
+  std::vector<TargetRetry> retry_;
+  Histogram flush_retry_hist_;
+  Xoshiro256 backoff_rng_;
+  uint64_t deadline_ns_ = 0;
   // Scratch (reused across calls to avoid allocation in the hot path).
   std::vector<AeuId> owners_;
   std::vector<std::span<const uint8_t>> pieces_;
@@ -160,6 +223,27 @@ class Router {
   const RouterConfig& config() const { return config_; }
 
   IncomingBufferPair& mailbox(AeuId a) { return *mailboxes_[a]; }
+
+  /// Marks AEU `a` stalled (watchdog quarantine): its mailbox is sealed and
+  /// every endpoint fails fast — pending and future commands routed to it
+  /// are shed with DropReason::kTargetStalled instead of blocking. Clearing
+  /// the flag unseals the mailbox.
+  void SetAeuStalled(AeuId a, bool stalled) {
+    stalled_[a].store(stalled ? 1 : 0, std::memory_order_release);
+    if (stalled) {
+      mailboxes_[a]->Seal();
+    } else {
+      mailboxes_[a]->Unseal();
+    }
+  }
+  bool IsAeuStalled(AeuId a) const {
+    return stalled_[a].load(std::memory_order_acquire) != 0;
+  }
+  uint32_t StalledCount() const {
+    uint32_t n = 0;
+    for (AeuId a = 0; a < num_aeus(); ++a) n += IsAeuStalled(a) ? 1 : 0;
+    return n;
+  }
 
   /// Registers a data object's routing. Range-partitioned objects start
   /// with a uniform partitioning of [0, domain_hi) over all AEUs.
@@ -215,6 +299,8 @@ class Router {
   RouterConfig config_;
   std::vector<std::unique_ptr<IncomingBufferPair>> mailboxes_;
   std::vector<std::unique_ptr<ObjectRouting>> objects_;
+  /// Per-AEU watchdog quarantine flags (read on every flush).
+  std::unique_ptr<std::atomic<uint8_t>[]> stalled_;
   sim::ResourceUsage* usage_ = nullptr;
 };
 

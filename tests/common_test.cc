@@ -49,6 +49,55 @@ TEST(StatusTest, AllConstructorsProduceMatchingPredicates) {
   EXPECT_TRUE(Status::Unimplemented("x").IsUnimplemented());
 }
 
+TEST(StatusTest, NewCodesProduceMatchingPredicates) {
+  EXPECT_TRUE(Status::DeadlineExceeded("x").IsDeadlineExceeded());
+  EXPECT_TRUE(Status::Unavailable("x").IsUnavailable());
+}
+
+TEST(StatusTest, DetailPayloadRoundTrips) {
+  Status s = Status::ResourceExhausted("buffers full")
+                 .WithDetail(StatusDetail::kAdmissionRejected, "budget 128");
+  EXPECT_TRUE(s.has_detail());
+  EXPECT_EQ(s.detail(), StatusDetail::kAdmissionRejected);
+  EXPECT_EQ(s.detail_message(), "budget 128");
+  EXPECT_EQ(s.ToString(),
+            "resource-exhausted: buffers full [admission-rejected: "
+            "budget 128]");
+  // Copies carry the payload; OK statuses ignore WithDetail.
+  Status copy = s;
+  EXPECT_EQ(copy, s);
+  Status ok = Status::Ok().WithDetail(StatusDetail::kBufferFull, "ignored");
+  EXPECT_TRUE(ok.ok());
+  EXPECT_FALSE(ok.has_detail());
+}
+
+TEST(StatusTest, SerializeRoundTripsAllFields) {
+  Status statuses[] = {
+      Status::Ok(),
+      Status::NotFound("key 42"),
+      Status::DeadlineExceeded("late")
+          .WithDetail(StatusDetail::kDeadlineExpired, "dropped at dequeue"),
+      Status::Unavailable("")
+          .WithDetail(StatusDetail::kAeuStalled, ""),
+      Status::Internal("poison; cmd")  // separator chars in the message
+          .WithDetail(StatusDetail::kCommandQuarantined, "a;b;c"),
+  };
+  for (const Status& s : statuses) {
+    Status back = Status::Deserialize(s.Serialize());
+    EXPECT_EQ(back, s) << s.ToString();
+    EXPECT_EQ(back.detail(), s.detail());
+    EXPECT_EQ(back.detail_message(), s.detail_message());
+  }
+}
+
+TEST(StatusTest, DeserializeRejectsMalformedInput) {
+  EXPECT_TRUE(Status::Deserialize("").IsInternal());
+  EXPECT_TRUE(Status::Deserialize("nonsense").IsInternal());
+  EXPECT_TRUE(Status::Deserialize("99;0;0;0;").IsInternal());   // bad code
+  EXPECT_TRUE(Status::Deserialize("3;99;0;0;").IsInternal());   // bad detail
+  EXPECT_TRUE(Status::Deserialize("3;0;5;0;ab").IsInternal());  // short body
+}
+
 TEST(ResultTest, HoldsValue) {
   Result<int> r = 42;
   ASSERT_TRUE(r.ok());

@@ -15,9 +15,13 @@
 // uses a small n because TSan slows execution ~10x).
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <chrono>
 #include <cstdio>
+#include <thread>
 
 #include "common/fault_injection.h"
+#include "common/stopwatch.h"
 #include "core/engine.h"
 #include "harness_util.h"
 
@@ -212,6 +216,140 @@ TEST(ConcurrencyHarness, RebalanceDuringChaosSweep) {
         harness::RunScriptsSequential(engine, idx, col, scripts);
       });
   harness::ExpectDigestsEqual(threaded, oracle);
+}
+
+// ---------------------------------------------------------------------------
+// Overload scenario: tiny buffers + one stalled AEU.
+// ---------------------------------------------------------------------------
+
+/// One overload seed: AEU 0 is wedged via a blocking kAeuLoop hook while a
+/// victim session keeps submitting deadline-bounded work into its key range.
+/// Checks the tentpole guarantees end to end: no submit blocks indefinitely
+/// (OK or a typed rejection within a wall-clock bound), the watchdog reports
+/// the stall, and — after recovery — a differential sweep on a separate
+/// index still matches the single-threaded oracle exactly.
+void RunOverloadSeed(uint64_t seed) {
+  const EngineShape& shape = kShapes[3];  // flat-1x4-tiny-buffers
+  SCOPED_TRACE(::testing::Message()
+               << "overload shape=" << shape.name << " seed=" << seed
+               << " (replay: ERIS_HARNESS_SEED=" << seed << ")");
+
+  harness::HarnessConfig cfg;
+  cfg.writers = 3;
+  cfg.batches_per_writer = 16;
+  auto scripts = harness::GenerateScripts(seed, cfg);
+
+  EngineOptions opts = MakeOptions(shape, ExecutionMode::kThreads);
+  // Health checks are driven manually below, not by the background
+  // watchdog thread: an interval-based watchdog on an oversubscribed CI
+  // host (parallel ctest under TSan) can false-positive on a merely
+  // descheduled AEU during the differential phase, shedding clean writes
+  // and breaking the oracle comparison. The background thread has its own
+  // non-differential coverage in overload_test.
+  opts.overload.watchdog_strikes = 3;
+  Engine engine(opts);
+  // The harness objects carry the differential digest; victim traffic runs
+  // against its own index so partially-applied writes from the stall phase
+  // cannot perturb the oracle comparison.
+  ObjectId idx = engine.CreateIndex("kv", cfg.domain_hi(),
+                                    {.prefix_bits = 8, .key_bits = 16});
+  ObjectId victim_idx = engine.CreateIndex("victim", cfg.domain_hi(),
+                                           {.prefix_bits = 8, .key_bits = 16});
+  ObjectId col = engine.CreateColumn("facts");
+  engine.Start();
+
+  // Wedge AEU 0: the hook runs before the heartbeat tick, so the watchdog
+  // sees a static epoch while the victim's commands pile up in the mailbox.
+  std::atomic<bool> stall{true};
+  fi::FaultInjector::Global().Reset();
+  fi::FaultInjector::Global().SetHook(fi::Point::kAeuLoop, [&stall] {
+    const Aeu* aeu = Aeu::Current();
+    if (aeu == nullptr || aeu->id() != 0) return;
+    while (stall.load(std::memory_order_acquire)) {
+      std::this_thread::sleep_for(std::chrono::microseconds(200));
+    }
+  });
+
+  // Victim: deadline-bounded submits into AEU 0's key range. Every call
+  // must return quickly — OK is impossible while the AEU is wedged, so each
+  // outcome is a typed rejection (deadline, stalled, shed, or admission).
+  const storage::Key aeu0_hi = cfg.domain_hi() / 4;  // 4 AEUs, range-split
+  auto session = engine.CreateSession();
+  session->set_op_timeout_ns(30'000'000);  // 30 ms
+  size_t rejected = 0;
+  double worst_seconds = 0;
+  auto victim_submit = [&](uint32_t b) {
+    std::vector<routing::KeyValue> kvs;
+    for (uint32_t i = 0; i < 8; ++i) {
+      kvs.push_back({(b * 8 + i) % aeu0_hi, b});
+    }
+    Stopwatch watch;
+    Status st = session->SubmitUpsert(victim_idx, kvs);
+    worst_seconds = std::max(worst_seconds, watch.ElapsedSeconds());
+    if (!st.ok()) {
+      ++rejected;
+      EXPECT_TRUE(st.IsDeadlineExceeded() || st.IsUnavailable() ||
+                  st.IsResourceExhausted() || st.IsInternal())
+          << st;
+      EXPECT_TRUE(st.has_detail()) << st;
+    }
+  };
+
+  // Park work in the wedged AEU's mailbox, then run health checks until
+  // the watchdog flags it.
+  victim_submit(0);
+  Stopwatch detect;
+  while (!engine.watchdog().stalled(0) && detect.ElapsedSeconds() < 10.0) {
+    engine.CheckAeuHealth();
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  EXPECT_TRUE(engine.watchdog().stalled(0));
+  EXPECT_GE(engine.watchdog().stall_events(), 1u);
+  EXPECT_TRUE(engine.router().IsAeuStalled(0));
+
+  // More victim traffic against the flagged AEU: now shed fail-fast.
+  for (uint32_t b = 1; b < 12; ++b) victim_submit(b);
+  // Bounded submit latency: the 30 ms deadline plus scheduling slack —
+  // far below the stall duration — and nothing ever deadlocked.
+  EXPECT_LT(worst_seconds, 10.0);
+  EXPECT_GT(rejected, 0u);
+
+  // Recovery: release the loop; the heartbeat advances and the next health
+  // checks unflag the AEU (unsealing its mailbox).
+  stall.store(false, std::memory_order_release);
+  Stopwatch recover;
+  while (engine.watchdog().stalled(0) && recover.ElapsedSeconds() < 10.0) {
+    engine.CheckAeuHealth();
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  ASSERT_FALSE(engine.watchdog().stalled(0));
+
+  // Differential phase on the recovered engine: the accepted (clean) write
+  // set must match the single-threaded oracle bit for bit. The hook stays
+  // installed (it is a no-op with `stall` cleared) until the AEU threads
+  // have joined: FaultInjector config calls require quiescence, and
+  // Reset() would race the loop threads still visiting the point.
+  harness::RunScriptsThreaded(engine, idx, col, scripts);
+  harness::EngineDigest threaded =
+      harness::CaptureDigest(engine, idx, col, cfg);
+  engine.Stop();
+  fi::FaultInjector::Global().Reset();
+
+  harness::EngineDigest oracle = RunAndDigest(
+      shape, ExecutionMode::kSimulated, cfg,
+      [&](Engine& sim, ObjectId sidx, ObjectId scol) {
+        harness::RunScriptsSequential(sim, sidx, scol, scripts);
+      });
+  harness::ExpectDigestsEqual(threaded, oracle);
+}
+
+TEST(ConcurrencyHarness, OverloadStalledAeuSheds) {
+  auto seeds = harness::SweepSeeds(/*base=*/7000, /*default_count=*/6);
+  for (uint64_t seed : seeds) {
+    RunOverloadSeed(seed);
+    if (::testing::Test::HasFatalFailure()) break;
+  }
+  fi::FaultInjector::Global().Reset();
 }
 
 }  // namespace

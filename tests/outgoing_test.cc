@@ -73,16 +73,17 @@ TEST(OutgoingSetTest, MulticastStoredOnceReferencedPerTarget) {
 
 TEST(OutgoingSetTest, PartialConsumptionAtRecordBoundaries) {
   OutgoingSet set(1);
-  // Three records of (24 + 40) = 64 bytes each.
+  // Three records of (sizeof(CommandHeader) + 40) bytes each.
+  const size_t record = sizeof(CommandHeader) + 40;
   for (int i = 0; i < 3; ++i) set.AppendUnicast(0, Header(i), Payload(40));
   std::vector<std::span<const uint8_t>> pieces;
   // Budget for exactly two records.
-  auto first = set.GatherUpTo(0, 128, &pieces);
-  EXPECT_EQ(first.total_bytes, 128u);
+  auto first = set.GatherUpTo(0, 2 * record, &pieces);
+  EXPECT_EQ(first.total_bytes, 2 * record);
   set.Consume(0, first);
   EXPECT_TRUE(set.HasPending(0));
-  auto second = set.GatherUpTo(0, 128, &pieces);
-  EXPECT_EQ(second.total_bytes, 64u);
+  auto second = set.GatherUpTo(0, 2 * record, &pieces);
+  EXPECT_EQ(second.total_bytes, record);
   CommandView v = DecodeCommand(pieces[0].data());
   EXPECT_EQ(v.header.object, 2);  // the third record survived in order
   set.Consume(0, second);
@@ -91,17 +92,17 @@ TEST(OutgoingSetTest, PartialConsumptionAtRecordBoundaries) {
 
 TEST(OutgoingSetTest, BudgetSmallerThanRecordDeliversRefsOnly) {
   OutgoingSet set(2);
-  set.AppendUnicast(0, Header(1), Payload(200));  // 224-byte record
+  set.AppendUnicast(0, Header(1), Payload(200));
   std::vector<AeuId> targets{0};
-  set.AppendMulticast(targets, Header(2), Payload(8));  // 32-byte record
+  set.AppendMulticast(targets, Header(2), Payload(8));
   std::vector<std::span<const uint8_t>> pieces;
-  // 100-byte budget: the unicast record does not fit, but gathering must
+  // Budget below the unicast record: it does not fit, but gathering must
   // not return zero while something deliverable exists... the unicast
   // blocks the queue head; only the multicast ref fits the budget.
-  auto consumed = set.GatherUpTo(0, 100, &pieces);
+  auto consumed = set.GatherUpTo(0, sizeof(CommandHeader) + 72, &pieces);
   EXPECT_EQ(consumed.unicast_bytes, 0u);
   EXPECT_EQ(consumed.refs, 1u);
-  EXPECT_EQ(consumed.total_bytes, 32u);
+  EXPECT_EQ(consumed.total_bytes, sizeof(CommandHeader) + 8);
   set.Consume(0, consumed);
   // The big record still pending; with a big budget it now delivers.
   auto rest = set.GatherUpTo(0, 1 << 20, &pieces);

@@ -1,0 +1,570 @@
+// Overload-control tests: jittered-backoff determinism, bounded retry with
+// shedding, deadline expiry at dequeue, admission control, stalled-AEU
+// fail-fast, poison-command quarantine, and the heartbeat watchdog.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "common/fault_injection.h"
+#include "common/rng.h"
+#include "common/stopwatch.h"
+#include "core/aeu.h"
+#include "core/engine.h"
+#include "core/monitor.h"
+#include "query/query.h"
+#include "routing/router.h"
+
+namespace eris {
+namespace {
+
+using core::AdmissionController;
+using core::AeuWatchdog;
+using core::Engine;
+using core::EngineOptions;
+using core::ExecutionMode;
+using routing::AggregateSink;
+using routing::CommandType;
+using routing::DeliveryRetryPolicy;
+using routing::DropReason;
+using routing::Endpoint;
+using routing::JitteredBackoffNs;
+using routing::kInvalidAeu;
+using routing::Router;
+using routing::RouterConfig;
+using storage::Key;
+
+storage::DataObjectDesc IndexDesc(storage::ObjectId id) {
+  return storage::DataObjectDesc::Index(id, "idx");
+}
+
+// ---------------------------------------------------------------------------
+// Backoff
+// ---------------------------------------------------------------------------
+
+TEST(BackoffTest, SameSeedProducesIdenticalDelaySequences) {
+  DeliveryRetryPolicy policy;
+  policy.backoff_base_ns = 1'000;
+  policy.backoff_max_ns = 64'000;
+  policy.jitter = 0.5;
+  Xoshiro256 a(42), b(42);
+  for (uint32_t attempt = 1; attempt <= 20; ++attempt) {
+    EXPECT_EQ(JitteredBackoffNs(policy, attempt, a),
+              JitteredBackoffNs(policy, attempt, b))
+        << "attempt " << attempt;
+  }
+}
+
+TEST(BackoffTest, DelaysStayWithinJitteredExponentialBounds) {
+  DeliveryRetryPolicy policy;
+  policy.backoff_base_ns = 1'000;
+  policy.backoff_max_ns = 64'000;
+  policy.jitter = 0.5;
+  Xoshiro256 rng(7);
+  for (uint32_t attempt = 1; attempt <= 40; ++attempt) {
+    uint64_t exp = policy.backoff_base_ns
+                   << std::min<uint32_t>(attempt - 1, 30);
+    exp = std::min(exp, policy.backoff_max_ns);
+    uint64_t delay = JitteredBackoffNs(policy, attempt, rng);
+    EXPECT_GE(delay, exp / 2) << "attempt " << attempt;
+    EXPECT_LE(delay, exp + exp / 2) << "attempt " << attempt;
+  }
+}
+
+TEST(BackoffTest, ZeroBaseDisablesBackoff) {
+  DeliveryRetryPolicy policy;
+  policy.backoff_base_ns = 0;
+  Xoshiro256 rng(1);
+  EXPECT_EQ(JitteredBackoffNs(policy, 5, rng), 0u);
+}
+
+TEST(BackoffTest, HugeAttemptClampsToMaxWithoutOverflow) {
+  DeliveryRetryPolicy policy;
+  policy.backoff_base_ns = 1'000;
+  policy.backoff_max_ns = 1'000'000;
+  policy.jitter = 0.0;  // exact comparison
+  Xoshiro256 rng(1);
+  EXPECT_EQ(JitteredBackoffNs(policy, 200, rng), policy.backoff_max_ns);
+}
+
+// ---------------------------------------------------------------------------
+// Bounded retry & shedding (router level)
+// ---------------------------------------------------------------------------
+
+TEST(BoundedRetryTest, RetryCapShedsInsteadOfSpinning) {
+  RouterConfig cfg;
+  cfg.incoming_capacity_bytes = 256;  // tiny mailbox, nobody drains it
+  cfg.flush_threshold_bytes = 64;
+  cfg.retry.max_attempts = 4;
+  cfg.retry.pace_with_time = false;
+  Router router({0}, cfg);
+  router.RegisterRangeObject(IndexDesc(0), 1000);
+  Endpoint ep(&router, kInvalidAeu, 0);
+  AggregateSink sink;
+  uint64_t expected = 0;
+  for (int i = 0; i < 64; ++i) {
+    std::vector<Key> keys(4, 1);
+    expected += ep.SendLookupBatch(0, keys, &sink);
+  }
+  // With nobody draining AEU 0, flushes fail until the consecutive-failure
+  // cap trips and the backlog is shed with typed drops.
+  for (int i = 0; i < 1000 && ep.HasPending(); ++i) ep.FlushAll();
+  EXPECT_FALSE(ep.HasPending());
+  EXPECT_GT(ep.stats().commands_shed, 0u);
+  EXPECT_GT(sink.dropped(DropReason::kRetryExhausted), 0u);
+  // Shed units still count as completions, so waiters never hang. The units
+  // that made it into the (undrained) mailbox are in flight, not completed:
+  // every completion here came from a typed drop.
+  EXPECT_EQ(sink.completed(), sink.dropped_total());
+  EXPECT_LT(sink.completed(), expected);
+  // Per-target failure accounting landed in the histogram.
+  EXPECT_GT(ep.flush_retry_histogram().total_count(), 0u);
+}
+
+TEST(BoundedRetryTest, SuccessfulDeliveryResetsTheConsecutiveFailureCount) {
+  RouterConfig cfg;
+  cfg.incoming_capacity_bytes = 256;  // two 96-byte records do not both fit
+  cfg.flush_threshold_bytes = 1 << 14;
+  cfg.retry.max_attempts = 3;
+  cfg.retry.pace_with_time = false;
+  Router router({0}, cfg);
+  router.RegisterRangeObject(IndexDesc(0), 1000);
+  Endpoint ep(&router, kInvalidAeu, 0);
+  AggregateSink sink;
+  // Fill-drain cycles: within each round some flushes fail (the mailbox is
+  // too small for the whole backlog) but every record is eventually
+  // delivered, so the consecutive-failure count keeps resetting and nothing
+  // is ever shed despite far more than max_attempts total failures.
+  for (int round = 0; round < 20; ++round) {
+    for (int b = 0; b < 3; ++b) {
+      std::vector<Key> keys(8, 1);
+      ep.SendLookupBatch(0, keys, &sink);
+    }
+    while (ep.HasPending()) {
+      ep.FlushAll();
+      router.mailbox(0).Drain([](std::span<const uint8_t>) {});
+    }
+  }
+  EXPECT_EQ(ep.stats().commands_shed, 0u);
+  EXPECT_EQ(sink.dropped_total(), 0u);
+  // The interleaved failures were still recorded for observability.
+  EXPECT_GT(ep.flush_retry_histogram().total_count(), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Stalled-target fail-fast & mailbox sealing (router level)
+// ---------------------------------------------------------------------------
+
+TEST(StalledAeuTest, FlushToStalledTargetShedsFailFast) {
+  RouterConfig cfg;
+  Router router({0, 1}, cfg);
+  router.RegisterRangeObject(IndexDesc(0), 1000);
+  router.SetAeuStalled(1, true);
+  EXPECT_TRUE(router.IsAeuStalled(1));
+  EXPECT_EQ(router.StalledCount(), 1u);
+
+  Endpoint ep(&router, kInvalidAeu, 0);
+  AggregateSink sink;
+  // Key 999 routes to AEU 1 (upper half of [0, 1000)).
+  std::vector<Key> keys{999};
+  uint64_t expected = ep.SendLookupBatch(0, keys, &sink);
+  ep.FlushAll();
+  EXPECT_FALSE(ep.HasPending());
+  EXPECT_EQ(sink.dropped(DropReason::kTargetStalled), expected);
+  EXPECT_EQ(sink.completed(), expected);
+  // The stalled AEU's sealed mailbox refused direct writes too.
+  EXPECT_EQ(router.mailbox(1).PendingBytes(), 0u);
+
+  // Recovery: unflagging unseals and delivery works again.
+  router.SetAeuStalled(1, false);
+  sink.Reset();
+  ep.SendLookupBatch(0, keys, &sink);
+  ep.FlushAll();
+  EXPECT_GT(router.mailbox(1).PendingBytes(), 0u);
+}
+
+TEST(StalledAeuTest, SealedMailboxRejectsWritesUntilUnsealed) {
+  RouterConfig cfg;
+  Router router({0}, cfg);
+  router.RegisterRangeObject(IndexDesc(0), 1000);
+  Endpoint ep(&router, kInvalidAeu, 0);
+  std::vector<Key> keys{1};
+  ep.SendLookupBatch(0, keys, nullptr);
+  router.mailbox(0).Seal();
+  EXPECT_FALSE(ep.FlushAll());
+  EXPECT_TRUE(ep.HasPending());
+  router.mailbox(0).Unseal();
+  EXPECT_TRUE(ep.FlushAll());
+  EXPECT_GT(router.mailbox(0).PendingBytes(), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Admission control
+// ---------------------------------------------------------------------------
+
+TEST(AdmissionTest, ControllerEnforcesBudget) {
+  AdmissionController adm(10);
+  EXPECT_TRUE(adm.TryAcquire(6));
+  EXPECT_TRUE(adm.TryAcquire(4));
+  EXPECT_FALSE(adm.TryAcquire(1));
+  EXPECT_EQ(adm.inflight(), 10u);
+  EXPECT_EQ(adm.rejections(), 1u);
+  adm.Release(4);
+  EXPECT_TRUE(adm.TryAcquire(3));
+  // Budget 0 = unlimited, counter untouched.
+  AdmissionController open(0);
+  EXPECT_TRUE(open.TryAcquire(~uint64_t{0}));
+  EXPECT_EQ(open.inflight(), 0u);
+}
+
+TEST(AdmissionTest, OversizedSubmitIsRejectedWithTypedStatus) {
+  EngineOptions opts;
+  opts.topology = numa::Topology::Flat(1, 2);
+  opts.mode = ExecutionMode::kSimulated;
+  opts.overload.max_inflight_units = 8;
+  Engine engine(opts);
+  storage::ObjectId idx = engine.CreateIndex("kv", 1 << 12);
+  engine.Start();
+  auto session = engine.CreateSession();
+
+  std::vector<routing::KeyValue> big(16);
+  for (size_t i = 0; i < big.size(); ++i) big[i] = {Key(i), i};
+  Engine::Session::SubmitOutcome out;
+  Status st = session->SubmitInsert(idx, big, &out);
+  EXPECT_TRUE(st.IsResourceExhausted()) << st;
+  EXPECT_EQ(st.detail(), StatusDetail::kAdmissionRejected);
+  EXPECT_EQ(engine.admission().rejections(), 1u);
+  EXPECT_EQ(out.units, 0u);
+
+  // Within budget: admitted, processed, and the grant released after.
+  std::vector<routing::KeyValue> small(8);
+  for (size_t i = 0; i < small.size(); ++i) small[i] = {Key(i), i};
+  st = session->SubmitInsert(idx, small, &out);
+  EXPECT_TRUE(st.ok()) << st;
+  EXPECT_EQ(out.hits, small.size());
+  EXPECT_EQ(engine.admission().inflight(), 0u);
+  st = session->SubmitUpsert(idx, small, &out);
+  EXPECT_TRUE(st.ok()) << st;
+  engine.Stop();
+}
+
+// ---------------------------------------------------------------------------
+// Deadlines
+// ---------------------------------------------------------------------------
+
+TEST(DeadlineTest, ExpiredCommandsAreDroppedAtDequeue) {
+  EngineOptions opts;
+  opts.topology = numa::Topology::Flat(1, 2);
+  opts.mode = ExecutionMode::kSimulated;
+  Engine engine(opts);
+  storage::ObjectId idx = engine.CreateIndex("kv", 1 << 12);
+  engine.Start();
+  auto session = engine.CreateSession();
+
+  // A 1 ns deadline is in the past by the time any AEU dequeues.
+  session->set_op_timeout_ns(1);
+  std::vector<routing::KeyValue> kvs{{7, 70}, {4000, 40}};
+  Engine::Session::SubmitOutcome out;
+  Status st = session->SubmitInsert(idx, kvs, &out);
+  EXPECT_TRUE(st.IsDeadlineExceeded()) << st;
+  EXPECT_EQ(st.detail(), StatusDetail::kDeadlineExpired);
+  EXPECT_EQ(out.expired, kvs.size());
+  uint64_t expired = 0;
+  for (uint32_t a = 0; a < engine.num_aeus(); ++a) {
+    expired += engine.aeu(a).loop_stats().commands_expired;
+  }
+  EXPECT_GT(expired, 0u);
+
+  // Nothing was applied; without a deadline the same batch lands.
+  session->set_op_timeout_ns(0);
+  std::vector<Key> keys{7, 4000};
+  EXPECT_EQ(session->Lookup(idx, keys), 0u);
+  st = session->SubmitInsert(idx, kvs, &out);
+  EXPECT_TRUE(st.ok()) << st;
+  EXPECT_EQ(session->Lookup(idx, keys), 2u);
+  engine.Stop();
+}
+
+TEST(DeadlineTest, GenerousDeadlineCompletesNormally) {
+  EngineOptions opts;
+  opts.topology = numa::Topology::Flat(1, 2);
+  opts.mode = ExecutionMode::kSimulated;
+  opts.overload.default_deadline_ns = 10'000'000'000ull;  // 10 s
+  Engine engine(opts);
+  storage::ObjectId idx = engine.CreateIndex("kv", 1 << 12);
+  engine.Start();
+  auto session = engine.CreateSession();
+  std::vector<routing::KeyValue> kvs{{1, 10}, {2, 20}, {3000, 30}};
+  Engine::Session::SubmitOutcome out;
+  Status st = session->SubmitUpsert(idx, kvs, &out);
+  EXPECT_TRUE(st.ok()) << st;
+  EXPECT_EQ(out.hits, kvs.size());
+  EXPECT_EQ(out.expired, 0u);
+  engine.Stop();
+}
+
+TEST(DeadlineTest, DeadlineAwareAggregateReturnsTypedStatus) {
+  EngineOptions opts;
+  opts.topology = numa::Topology::Flat(1, 2);
+  opts.mode = ExecutionMode::kSimulated;
+  Engine engine(opts);
+  storage::ObjectId col = engine.CreateColumn("facts");
+  engine.Start();
+  {
+    auto session = engine.CreateSession();
+    std::vector<storage::Value> values{5, 10, 15, 20};
+    session->Append(col, values);
+  }
+  query::QueryRunner runner(&engine);
+  Result<query::AggregateResult> ok =
+      runner.AggregateWithin(col, {.lo = 10, .hi = 20}, /*timeout_ns=*/0);
+  ASSERT_TRUE(ok.ok()) << ok.status();
+  EXPECT_EQ(ok->rows, 3u);
+  EXPECT_EQ(ok->sum, 45u);
+  Result<query::AggregateResult> late =
+      runner.AggregateWithin(col, {}, /*timeout_ns=*/1);
+  ASSERT_FALSE(late.ok());
+  EXPECT_TRUE(late.status().IsDeadlineExceeded()) << late.status();
+  engine.Stop();
+}
+
+// ---------------------------------------------------------------------------
+// Stalled AEU via the engine (fail-fast submits)
+// ---------------------------------------------------------------------------
+
+TEST(StalledAeuTest, SubmitToFlaggedAeuReturnsUnavailable) {
+  EngineOptions opts;
+  opts.topology = numa::Topology::Flat(1, 2);
+  opts.mode = ExecutionMode::kSimulated;
+  Engine engine(opts);
+  storage::ObjectId idx = engine.CreateIndex("kv", 1 << 12);
+  engine.Start();
+  engine.router().SetAeuStalled(1, true);
+
+  auto session = engine.CreateSession();
+  // Keys in the upper half of the domain route to AEU 1.
+  std::vector<routing::KeyValue> kvs{{(1 << 12) - 1, 1}, {(1 << 12) - 2, 2}};
+  Engine::Session::SubmitOutcome out;
+  Status st = session->SubmitUpsert(idx, kvs, &out);
+  EXPECT_TRUE(st.IsUnavailable()) << st;
+  EXPECT_EQ(st.detail(), StatusDetail::kAeuStalled);
+  EXPECT_EQ(out.stalled, kvs.size());
+
+  // The healthy AEU still accepts work.
+  std::vector<routing::KeyValue> healthy{{1, 10}};
+  st = session->SubmitUpsert(idx, healthy, &out);
+  EXPECT_TRUE(st.ok()) << st;
+  engine.router().SetAeuStalled(1, false);
+  engine.Stop();
+}
+
+// ---------------------------------------------------------------------------
+// Poison quarantine
+// ---------------------------------------------------------------------------
+
+constexpr Key kPoisonMarker = 777;
+
+TEST(QuarantineTest, PoisonCommandIsRetriedThenDeadLettered) {
+  EngineOptions opts;
+  opts.topology = numa::Topology::Flat(1, 2);
+  opts.mode = ExecutionMode::kSimulated;
+  opts.overload.max_command_retries = 2;
+  Engine engine(opts);
+  storage::ObjectId idx = engine.CreateIndex("kv", 1 << 12);
+  engine.Start();
+
+  fi::FaultInjector::Global().Reset();
+  fi::FaultInjector::Global().SetHook(fi::Point::kAeuProcess, [] {
+    const core::Aeu* aeu = core::Aeu::Current();
+    if (aeu == nullptr || aeu->current_command() == nullptr) return;
+    const routing::CommandView& cmd = *aeu->current_command();
+    if (cmd.header.type != CommandType::kInsertBatch) return;
+    for (const routing::KeyValue& kv : cmd.PayloadAs<routing::KeyValue>()) {
+      if (kv.key == kPoisonMarker) throw std::runtime_error("poison");
+    }
+  });
+
+  auto session = engine.CreateSession();
+  std::vector<routing::KeyValue> poison{{kPoisonMarker, 1}};
+  Engine::Session::SubmitOutcome out;
+  Status st = session->SubmitInsert(idx, poison, &out);
+  EXPECT_TRUE(st.IsInternal()) << st;
+  EXPECT_EQ(st.detail(), StatusDetail::kCommandQuarantined);
+  EXPECT_EQ(out.quarantined, 1u);
+
+  uint64_t quarantined = 0;
+  bool dead_letter_found = false;
+  for (uint32_t a = 0; a < engine.num_aeus(); ++a) {
+    quarantined += engine.aeu(a).loop_stats().commands_quarantined;
+    for (const core::Aeu::DeadLetter& dl : engine.aeu(a).dead_letters()) {
+      if (dl.header.type == CommandType::kInsertBatch &&
+          !dl.payload.empty()) {
+        dead_letter_found = true;
+      }
+    }
+  }
+  EXPECT_EQ(quarantined, 1u);
+  EXPECT_TRUE(dead_letter_found);
+  // The poisoned key was never applied; clean traffic is unaffected.
+  std::vector<Key> probe{kPoisonMarker};
+  EXPECT_EQ(session->Lookup(idx, probe), 0u);
+  std::vector<routing::KeyValue> clean{{5, 50}};
+  st = session->SubmitInsert(idx, clean, &out);
+  EXPECT_TRUE(st.ok()) << st;
+  fi::FaultInjector::Global().Reset();
+  engine.Stop();
+}
+
+// ---------------------------------------------------------------------------
+// Watchdog
+// ---------------------------------------------------------------------------
+
+TEST(WatchdogTest, StaticHeartbeatWithPendingWorkStallsAfterStrikes) {
+  AeuWatchdog wd(2, /*strike_threshold=*/3);
+  // Idle AEUs never stall, however static their heartbeat.
+  for (int i = 0; i < 10; ++i) {
+    wd.Observe(0, /*heartbeat=*/5, /*has_pending_work=*/false);
+  }
+  EXPECT_FALSE(wd.stalled(0));
+  // Static heartbeat with work: three consecutive strikes flag the AEU
+  // (the earlier idle observations already provided the baseline).
+  AeuWatchdog::Observation obs;
+  for (int i = 0; i < 3; ++i) obs = wd.Observe(0, 5, true);
+  EXPECT_TRUE(obs.newly_stalled);
+  EXPECT_TRUE(wd.stalled(0));
+  EXPECT_EQ(wd.stalled_count(), 1u);
+  EXPECT_EQ(wd.stall_events(), 1u);
+  // An advancing heartbeat recovers it (even with work still pending).
+  obs = wd.Observe(0, 6, true);
+  EXPECT_TRUE(obs.newly_recovered);
+  EXPECT_FALSE(wd.stalled(0));
+  EXPECT_EQ(wd.stalled_count(), 0u);
+  // A drained-but-blocked AEU (no pending work, static heartbeat) stays
+  // flagged until the heartbeat actually moves. First observation of AEU 1
+  // is the baseline, so threshold + 1 observations are needed.
+  for (int i = 0; i < 4; ++i) wd.Observe(1, 9, true);
+  ASSERT_TRUE(wd.stalled(1));
+  wd.Observe(1, 9, false);
+  EXPECT_TRUE(wd.stalled(1));
+  wd.Observe(1, 10, false);
+  EXPECT_FALSE(wd.stalled(1));
+}
+
+TEST(WatchdogTest, EngineCheckAeuHealthFlagsRouterAndRecovers) {
+  EngineOptions opts;
+  opts.topology = numa::Topology::Flat(1, 2);
+  opts.mode = ExecutionMode::kSimulated;
+  opts.overload.watchdog_strikes = 1;
+  Engine engine(opts);
+  storage::ObjectId idx = engine.CreateIndex("kv", 1 << 12);
+  engine.Start();
+  auto session = engine.CreateSession();
+
+  // Park undrained work in AEU 0's mailbox: send without pumping.
+  std::vector<Key> keys{1};
+  session->endpoint().SendLookupBatch(idx, keys, &session->sink());
+  session->endpoint().FlushAll();
+  ASSERT_GT(engine.router().mailbox(0).PendingBytes(), 0u);
+
+  // Simulated engine: nobody runs the loops between health checks, so the
+  // heartbeat is static while the mailbox holds work — a stall.
+  engine.CheckAeuHealth();
+  engine.CheckAeuHealth();
+  EXPECT_TRUE(engine.watchdog().stalled(0));
+  EXPECT_TRUE(engine.router().IsAeuStalled(0));
+  EXPECT_EQ(engine.watchdog().stall_events(), 1u);
+
+  // Draining (pump) advances the heartbeat; the next check recovers it.
+  // The sealed mailbox still drains — sealing only blocks new writers.
+  engine.PumpAll();
+  engine.CheckAeuHealth();
+  EXPECT_FALSE(engine.watchdog().stalled(0));
+  EXPECT_FALSE(engine.router().IsAeuStalled(0));
+  engine.Stop();
+}
+
+TEST(WatchdogTest, BackgroundThreadDetectsWedgedAeu) {
+  EngineOptions opts;
+  opts.topology = numa::Topology::Flat(1, 2);
+  opts.mode = ExecutionMode::kThreads;
+  opts.pin_threads = false;
+  opts.overload.watchdog = true;
+  opts.overload.watchdog_interval_ms = 5;
+  opts.overload.watchdog_strikes = 3;
+  Engine engine(opts);
+  storage::ObjectId idx = engine.CreateIndex("kv", 1 << 12);
+  engine.Start();
+
+  // Wedge AEU 0's loop thread before its heartbeat tick.
+  std::atomic<bool> stall{true};
+  fi::FaultInjector::Global().Reset();
+  fi::FaultInjector::Global().SetHook(fi::Point::kAeuLoop, [&stall] {
+    const core::Aeu* aeu = core::Aeu::Current();
+    if (aeu == nullptr || aeu->id() != 0) return;
+    while (stall.load(std::memory_order_acquire)) {
+      std::this_thread::sleep_for(std::chrono::microseconds(200));
+    }
+  });
+
+  // Park undrained work in its mailbox (flush only, no wait).
+  auto session = engine.CreateSession();
+  std::vector<Key> keys{1};
+  session->endpoint().SendLookupBatch(idx, keys, &session->sink());
+  session->endpoint().FlushAll();
+
+  // The background watchdog thread must flag the AEU on its own.
+  Stopwatch detect;
+  while (!engine.watchdog().stalled(0) && detect.ElapsedSeconds() < 30.0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  EXPECT_TRUE(engine.watchdog().stalled(0));
+  EXPECT_TRUE(engine.router().IsAeuStalled(0));
+  EXPECT_GE(engine.watchdog().stall_events(), 1u);
+
+  // ...and recover it once the loop runs again.
+  stall.store(false, std::memory_order_release);
+  Stopwatch recover;
+  while (engine.watchdog().stalled(0) && recover.ElapsedSeconds() < 30.0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  EXPECT_FALSE(engine.watchdog().stalled(0));
+  EXPECT_FALSE(engine.router().IsAeuStalled(0));
+
+  // The hook must outlive the loop threads: FaultInjector config calls
+  // require quiescence, so Reset() only after Stop() has joined them.
+  engine.Stop();
+  fi::FaultInjector::Global().Reset();
+}
+
+// ---------------------------------------------------------------------------
+// Deadline stamping at the endpoint
+// ---------------------------------------------------------------------------
+
+TEST(DeadlineTest, EndpointStampsDeadlineOntoRoutedCommands) {
+  RouterConfig cfg;
+  Router router({0}, cfg);
+  router.RegisterRangeObject(IndexDesc(0), 1000);
+  Endpoint ep(&router, kInvalidAeu, 0);
+  ep.set_deadline_ns(12345);
+  std::vector<Key> keys{1};
+  ep.SendLookupBatch(0, keys, nullptr);
+  ep.set_deadline_ns(0);
+  ep.FlushAll();
+  bool seen = false;
+  router.mailbox(0).Drain([&](std::span<const uint8_t> region) {
+    size_t pos = 0;
+    while (pos + sizeof(routing::CommandHeader) <= region.size()) {
+      routing::CommandView v = routing::DecodeCommand(region.data() + pos);
+      pos += v.record_bytes();
+      EXPECT_EQ(v.header.deadline_ns, 12345u);
+      seen = true;
+    }
+  });
+  EXPECT_TRUE(seen);
+}
+
+}  // namespace
+}  // namespace eris
