@@ -1,0 +1,431 @@
+// Extension bench (lookup fast path): keys/sec through the point-lookup
+// path at every layer it crosses, pipelined fast path versus per-key
+// baseline.
+//
+//   storage   PrefixTree/HashTable BatchLookup (prefetch-pipelined, 16
+//             probes in flight) vs a scalar Lookup loop, swept over the
+//             probe batch size.
+//   routing   RangePartitionTable::BatchOwnerOf (level-synchronous CSB+
+//             descent with prefetch) vs per-key OwnerOf.
+//   endpoint  SendLookupBatch scratch state carved from the node-local
+//             arena vs the malloc fallback (steady state both are
+//             allocation-free; the row documents the warm-up difference).
+//   engine    end-to-end Session lookups, all fast-path knobs on vs all
+//             off, swept over command batch size and AEU count.
+//
+// Results go to BENCH_lookup.json for cross-PR tracking. `--smoke` runs a
+// reduced sweep and exits non-zero when the pipelined storage path or the
+// engine fast path regresses below the scalar baseline (0.95 tolerance for
+// shared-machine noise) — wired into scripts/tier1.sh.
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <vector>
+
+#include "bench_util/report.h"
+#include "common/rng.h"
+#include "common/stopwatch.h"
+#include "core/engine.h"
+#include "routing/partition_table.h"
+#include "storage/hash_table.h"
+#include "storage/prefix_tree.h"
+
+using namespace eris;
+using namespace eris::bench;
+using core::Engine;
+using core::EngineOptions;
+using routing::AeuId;
+using routing::KeyValue;
+using storage::Key;
+using storage::Value;
+
+namespace {
+
+/// Best-of-3 wall seconds of `fn` (shields the smoke gate from scheduler
+/// noise on shared machines).
+template <typename Fn>
+double BestSeconds(Fn&& fn) {
+  double best = 1e30;
+  for (int rep = 0; rep < 3; ++rep) {
+    Stopwatch watch;
+    fn();
+    best = std::min(best, watch.ElapsedSeconds());
+  }
+  return best;
+}
+
+std::vector<Key> RandomKeys(uint64_t count, uint64_t domain, uint64_t seed) {
+  Xoshiro256 rng(seed);
+  std::vector<Key> keys(count);
+  for (Key& k : keys) k = rng.NextBounded(domain);
+  return keys;
+}
+
+// --- storage layer ---------------------------------------------------------
+
+struct StoragePoint {
+  const char* structure;
+  uint64_t batch = 0;
+  double scalar_mkeys = 0;
+  double pipelined_mkeys = 0;
+  double speedup() const {
+    return scalar_mkeys > 0 ? pipelined_mkeys / scalar_mkeys : 0;
+  }
+};
+
+template <typename Index>
+StoragePoint RunStorage(const char* name, const Index& index,
+                        std::span<const Key> probes, uint64_t batch) {
+  std::vector<Value> values(batch);
+  std::vector<uint8_t> found(batch);
+  uint64_t sink = 0;
+  double scalar_secs = BestSeconds([&] {
+    for (size_t base = 0; base < probes.size(); base += batch) {
+      size_t m = std::min<size_t>(batch, probes.size() - base);
+      for (size_t i = 0; i < m; ++i) {
+        auto v = index.Lookup(probes[base + i]);
+        sink += v.has_value() ? *v : 0;
+      }
+    }
+  });
+  double piped_secs = BestSeconds([&] {
+    for (size_t base = 0; base < probes.size(); base += batch) {
+      size_t m = std::min<size_t>(batch, probes.size() - base);
+      sink += index.BatchLookup(probes.subspan(base, m), values.data(),
+                                reinterpret_cast<bool*>(found.data()));
+    }
+  });
+  if (sink == uint64_t(-1)) std::printf("impossible\n");  // defeat DCE
+  StoragePoint p;
+  p.structure = name;
+  p.batch = batch;
+  p.scalar_mkeys = probes.size() / scalar_secs / 1e6;
+  p.pipelined_mkeys = probes.size() / piped_secs / 1e6;
+  return p;
+}
+
+// --- routing layer ---------------------------------------------------------
+
+struct RoutingPoint {
+  uint32_t aeus = 0;
+  double scalar_mkeys = 0;
+  double batch_mkeys = 0;
+  double speedup() const {
+    return scalar_mkeys > 0 ? batch_mkeys / scalar_mkeys : 0;
+  }
+};
+
+RoutingPoint RunRouting(uint32_t aeus, std::span<const Key> probes) {
+  std::vector<AeuId> ids(aeus);
+  for (uint32_t a = 0; a < aeus; ++a) ids[a] = a;
+  routing::RangePartitionTable table(
+      routing::RangePartitionTable::UniformEntries(ids, uint64_t{1} << 22));
+  std::vector<AeuId> owners(probes.size());
+  double scalar_secs = BestSeconds([&] {
+    table.OwnersOf(probes, owners.data());
+  });
+  double batch_secs = BestSeconds([&] {
+    table.BatchOwnerOf(probes, owners.data());
+  });
+  RoutingPoint p;
+  p.aeus = aeus;
+  p.scalar_mkeys = probes.size() / scalar_secs / 1e6;
+  p.batch_mkeys = probes.size() / batch_secs / 1e6;
+  return p;
+}
+
+// --- endpoint scratch: arena vs malloc fallback ----------------------------
+
+struct EndpointPoint {
+  double arena_msends = 0;
+  double heap_msends = 0;
+};
+
+double RunEndpointSends(numa::NodeMemoryManager* memory, uint64_t rounds) {
+  // 16 AEUs on one node: every send fans its keys out over 16 targets.
+  std::vector<numa::NodeId> nodes(16, 0);
+  routing::RouterConfig cfg;
+  cfg.incoming_capacity_bytes = 1u << 22;  // drained once per round below
+  routing::Router router(nodes, cfg);
+  router.RegisterRangeObject(storage::DataObjectDesc::Index(0, "kv"),
+                             uint64_t{1} << 22);
+  routing::Endpoint ep(&router, routing::kInvalidAeu, 0, memory);
+  std::vector<Key> keys = RandomKeys(256, uint64_t{1} << 22, 11);
+  // Warm-up: grows the scratch state to its steady-state capacity.
+  ep.SendLookupBatch(0, keys, nullptr);
+  ep.FlushAll();
+  for (AeuId a = 0; a < 16; ++a) router.mailbox(a).Drain([](auto) {});
+  Stopwatch watch;
+  for (uint64_t r = 0; r < rounds; ++r) {
+    ep.SendLookupBatch(0, keys, nullptr);
+    ep.FlushAll();
+    for (AeuId a = 0; a < 16; ++a) router.mailbox(a).Drain([](auto) {});
+  }
+  double secs = watch.ElapsedSeconds();
+  return rounds / secs / 1e6;
+}
+
+// --- engine level -----------------------------------------------------------
+
+struct EnginePoint {
+  uint32_t aeus = 0;
+  uint64_t batch = 0;
+  double per_key_mkeys = 0;   ///< batch-1 commands, all fast-path knobs off
+  double baseline_mkeys = 0;  ///< same batch size, all fast-path knobs off
+  double fastpath_mkeys = 0;  ///< same batch size, all fast-path knobs on
+  /// The headline number: the pipelined+arena batch path against the
+  /// key-at-a-time baseline (one key per routed command, scalar descents).
+  double speedup_vs_per_key() const {
+    return per_key_mkeys > 0 ? fastpath_mkeys / per_key_mkeys : 0;
+  }
+  /// Ablation at matched batch size: isolates the pipelined descent +
+  /// coalescing + batch routing from the batching itself.
+  double speedup_same_batch() const {
+    return baseline_mkeys > 0 ? fastpath_mkeys / baseline_mkeys : 0;
+  }
+};
+
+double RunEngineLookups(uint32_t aeus, uint64_t batch, bool fast,
+                        uint64_t total_keys, uint64_t domain) {
+  EngineOptions opts;
+  opts.topology = numa::Topology::Flat(1, aeus);
+  opts.mode = core::ExecutionMode::kSimulated;
+  opts.router.batch_owner_lookup = fast;
+  opts.lookup.coalesce_commands = fast;
+  opts.lookup.pipelined_descent = fast;
+  Engine engine(opts);
+  uint32_t key_bits = 0;
+  while ((uint64_t{1} << key_bits) < domain) ++key_bits;
+  storage::ObjectId idx = engine.CreateIndex(
+      "kv", domain, {.prefix_bits = 8, .key_bits = key_bits});
+  engine.Start();
+  auto session = engine.CreateSession();
+  {
+    std::vector<KeyValue> kvs;
+    for (Key k = 0; k < domain;) {
+      kvs.clear();
+      for (int i = 0; i < 8192 && k < domain; ++i, ++k) kvs.push_back({k, k});
+      session->Insert(idx, kvs);
+    }
+  }
+  std::vector<Key> probes = RandomKeys(total_keys, domain, 23);
+  // Submit a window of commands before waiting so several lookup commands
+  // land in one dequeue group (the coalescing opportunity).
+  constexpr size_t kWindow = 64;
+  Stopwatch watch;
+  size_t pos = 0;
+  while (pos < probes.size()) {
+    session->sink().Reset();
+    uint64_t expected = 0;
+    for (size_t w = 0; w < kWindow && pos < probes.size(); ++w) {
+      size_t m = std::min<size_t>(batch, probes.size() - pos);
+      expected += session->endpoint().SendLookupBatch(
+          idx, std::span<const Key>(probes).subspan(pos, m),
+          &session->sink());
+      pos += m;
+    }
+    session->Wait(expected);
+  }
+  double secs = watch.ElapsedSeconds();
+  engine.Stop();
+  return probes.size() / secs / 1e6;
+}
+
+// --- report -----------------------------------------------------------------
+
+void WriteJson(const std::vector<StoragePoint>& storage,
+               const std::vector<RoutingPoint>& routing,
+               const EndpointPoint& endpoint,
+               const std::vector<EnginePoint>& engine) {
+  std::FILE* f = std::fopen("BENCH_lookup.json", "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot open BENCH_lookup.json for writing\n");
+    return;
+  }
+  std::fprintf(f, "{\n  \"bench\": \"ext_lookup\",\n");
+  std::fprintf(f, "  \"storage\": [\n");
+  for (size_t i = 0; i < storage.size(); ++i) {
+    const StoragePoint& p = storage[i];
+    std::fprintf(f,
+                 "    {\"structure\": \"%s\", \"batch\": %llu, "
+                 "\"scalar_mkeys\": %.2f, \"pipelined_mkeys\": %.2f, "
+                 "\"speedup\": %.2f}%s\n",
+                 p.structure, static_cast<unsigned long long>(p.batch),
+                 p.scalar_mkeys, p.pipelined_mkeys, p.speedup(),
+                 i + 1 < storage.size() ? "," : "");
+  }
+  std::fprintf(f, "  ],\n  \"routing\": [\n");
+  for (size_t i = 0; i < routing.size(); ++i) {
+    const RoutingPoint& p = routing[i];
+    std::fprintf(f,
+                 "    {\"aeus\": %u, \"scalar_mkeys\": %.2f, "
+                 "\"batch_mkeys\": %.2f, \"speedup\": %.2f}%s\n",
+                 p.aeus, p.scalar_mkeys, p.batch_mkeys, p.speedup(),
+                 i + 1 < routing.size() ? "," : "");
+  }
+  std::fprintf(f,
+               "  ],\n  \"endpoint\": {\"arena_msends\": %.3f, "
+               "\"heap_msends\": %.3f},\n",
+               endpoint.arena_msends, endpoint.heap_msends);
+  std::fprintf(f, "  \"engine\": [\n");
+  for (size_t i = 0; i < engine.size(); ++i) {
+    const EnginePoint& p = engine[i];
+    std::fprintf(f,
+                 "    {\"aeus\": %u, \"batch\": %llu, "
+                 "\"per_key_mkeys\": %.2f, \"baseline_mkeys\": %.2f, "
+                 "\"fastpath_mkeys\": %.2f, \"speedup_vs_per_key\": %.2f, "
+                 "\"speedup_same_batch\": %.2f}%s\n",
+                 p.aeus, static_cast<unsigned long long>(p.batch),
+                 p.per_key_mkeys, p.baseline_mkeys, p.fastpath_mkeys,
+                 p.speedup_vs_per_key(), p.speedup_same_batch(),
+                 i + 1 < engine.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+  std::printf("\nWrote BENCH_lookup.json.\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool quick = argc > 1 && std::strcmp(argv[1], "--quick") == 0;
+  bool smoke = argc > 1 && std::strcmp(argv[1], "--smoke") == 0;
+  Banner("Ext lookup",
+         "Point-Lookup Fast Path: Pipelined vs Per-Key at Every Layer",
+         "storage = BatchLookup vs scalar probes; routing = BatchOwnerOf vs "
+         "OwnerOf;\nendpoint = arena vs malloc scratch; engine = all "
+         "fast-path knobs on vs off.");
+  const bool small = quick || smoke;
+
+  // Storage: 8M-key prefix tree / hash table. Large enough that random
+  // probes walk distinct interior nodes (pipelining has latency to hide),
+  // small enough that one pass stays repeatable on shared machines.
+  const uint64_t domain = small ? (1u << 20) : (uint64_t{1} << 23);
+  const uint64_t probes_n = small ? (1u << 18) : (1u << 21);
+  numa::NodeMemoryManager memory(0);
+  storage::PrefixTree tree(&memory, {.prefix_bits = 8,
+                                     .key_bits = small ? 20u : 23u});
+  storage::HashTable hash(&memory, /*salt=*/77, /*initial_capacity=*/1024);
+  for (Key k = 0; k < domain; ++k) {
+    tree.Insert(k, k);
+    hash.Insert(k, k);
+  }
+  std::vector<Key> probes = RandomKeys(probes_n, domain, 5);
+
+  std::vector<StoragePoint> storage_points;
+  Table st({"structure", "batch", "scalar Mkeys/s", "pipelined Mkeys/s",
+            "speedup"});
+  std::vector<uint64_t> batches =
+      small ? std::vector<uint64_t>{64, 256}
+            : std::vector<uint64_t>{8, 16, 64, 256, 1024, 4096};
+  for (uint64_t b : batches) {
+    StoragePoint p = RunStorage("prefix_tree", tree, probes, b);
+    storage_points.push_back(p);
+    st.Row({p.structure, FmtU(p.batch), Fmt("%.1f", p.scalar_mkeys),
+            Fmt("%.1f", p.pipelined_mkeys), Fmt("%.2fx", p.speedup())});
+  }
+  for (uint64_t b : batches) {
+    StoragePoint p = RunStorage("hash", hash, probes, b);
+    storage_points.push_back(p);
+    st.Row({p.structure, FmtU(p.batch), Fmt("%.1f", p.scalar_mkeys),
+            Fmt("%.1f", p.pipelined_mkeys), Fmt("%.2fx", p.speedup())});
+  }
+  st.Print();
+
+  // Routing: owner resolution against the CSB+-tree partition table.
+  std::vector<RoutingPoint> routing_points;
+  Table rt({"AEUs", "scalar Mkeys/s", "batch Mkeys/s", "speedup"});
+  for (uint32_t aeus : small ? std::vector<uint32_t>{64}
+                             : std::vector<uint32_t>{16, 64, 256, 1024}) {
+    RoutingPoint p = RunRouting(aeus, probes);
+    routing_points.push_back(p);
+    rt.Row({FmtU(p.aeus), Fmt("%.1f", p.scalar_mkeys),
+            Fmt("%.1f", p.batch_mkeys), Fmt("%.2fx", p.speedup())});
+  }
+  rt.Print();
+
+  // Endpoint scratch: node-local arena vs malloc fallback.
+  EndpointPoint ep_point;
+  {
+    const uint64_t rounds = small ? 2000 : 20000;
+    ep_point.arena_msends = RunEndpointSends(&memory, rounds);
+    ep_point.heap_msends = RunEndpointSends(nullptr, rounds);
+    Table et({"scratch", "Msends/s"});
+    et.Row({"arena", Fmt("%.3f", ep_point.arena_msends)});
+    et.Row({"malloc", Fmt("%.3f", ep_point.heap_msends)});
+    et.Print();
+  }
+
+  // Engine: end-to-end sessions. The headline comparison is the full fast
+  // path (batched commands + batch routing + coalesced pipelined probes +
+  // arena scratch) against the key-at-a-time baseline: one key per routed
+  // command with every fast-path knob off. The same-batch column isolates
+  // the knobs from the batching itself.
+  std::vector<EnginePoint> engine_points;
+  Table et({"AEUs", "batch", "per-key Mkeys/s", "same-batch off Mkeys/s",
+            "fast Mkeys/s", "vs per-key", "vs same-batch"});
+  const uint64_t engine_domain = small ? (1u << 20) : (1u << 22);
+  const uint64_t engine_keys = small ? (1u << 16) : (1u << 19);
+  std::vector<uint32_t> aeu_sweep =
+      small ? std::vector<uint32_t>{4} : std::vector<uint32_t>{2, 4, 8};
+  std::vector<uint64_t> engine_batches =
+      small ? std::vector<uint64_t>{64} : std::vector<uint64_t>{8, 64, 256};
+  for (uint32_t aeus : aeu_sweep) {
+    // Per-key baseline: fewer keys bound the runtime (it is a rate).
+    double per_key = RunEngineLookups(aeus, 1, false, engine_keys / 8,
+                                      engine_domain);
+    for (uint64_t b : engine_batches) {
+      EnginePoint p;
+      p.aeus = aeus;
+      p.batch = b;
+      p.per_key_mkeys = per_key;
+      p.baseline_mkeys =
+          RunEngineLookups(aeus, b, false, engine_keys, engine_domain);
+      p.fastpath_mkeys =
+          RunEngineLookups(aeus, b, true, engine_keys, engine_domain);
+      engine_points.push_back(p);
+      et.Row({FmtU(p.aeus), FmtU(p.batch), Fmt("%.2f", p.per_key_mkeys),
+              Fmt("%.2f", p.baseline_mkeys), Fmt("%.2f", p.fastpath_mkeys),
+              Fmt("%.2fx", p.speedup_vs_per_key()),
+              Fmt("%.2fx", p.speedup_same_batch())});
+    }
+  }
+  et.Print();
+
+  WriteJson(storage_points, routing_points, ep_point, engine_points);
+
+  if (smoke) {
+    // Regression gate (tier-1): the pipelined path must not fall behind the
+    // scalar baseline. 0.95 tolerance absorbs shared-machine noise; the
+    // real margin is expected to be well above 1x.
+    bool ok = true;
+    for (const StoragePoint& p : storage_points) {
+      if (p.batch >= 64 && p.speedup() < 0.95) {
+        std::fprintf(stderr, "SMOKE FAIL: %s batch %llu speedup %.2f < 0.95\n",
+                     p.structure, static_cast<unsigned long long>(p.batch),
+                     p.speedup());
+        ok = false;
+      }
+    }
+    for (const EnginePoint& p : engine_points) {
+      // The headline acceptance bar: the full fast path at batch >= 64 must
+      // beat the key-at-a-time baseline by 1.5x.
+      if (p.batch >= 64 && p.speedup_vs_per_key() < 1.5) {
+        std::fprintf(stderr,
+                     "SMOKE FAIL: engine aeus=%u batch=%llu fast %.2f vs "
+                     "per-key %.2f = %.2fx < 1.5x\n",
+                     p.aeus, static_cast<unsigned long long>(p.batch),
+                     p.fastpath_mkeys, p.per_key_mkeys,
+                     p.speedup_vs_per_key());
+        ok = false;
+      }
+    }
+    std::printf(smoke && ok
+                    ? "\nSMOKE OK: pipelined >= scalar at batch >= 64 and "
+                      "engine fast path >= 1.5x per-key.\n"
+                    : "\nSMOKE: regression detected.\n");
+    return ok ? 0 : 1;
+  }
+  return 0;
+}

@@ -39,10 +39,13 @@ struct RoutingResult {
 };
 
 RoutingResult RunRouting(uint32_t buffer_commands, bool with_processing,
-                         uint64_t commands) {
+                         uint64_t commands, bool batch_owner = true) {
   MachineSpec machine = AmdMachine();
   EngineOptions opts = SimEngineOptions(machine, 512);
   opts.router.flush_threshold_bytes = buffer_commands * kRecordBytes;
+  // Ablation: resolve batch owners with per-key CSB+-tree descents instead
+  // of the prefetch-pipelined whole-batch descent.
+  opts.router.batch_owner_lookup = batch_owner;
   Engine engine(opts);
   const uint64_t n = 1u << 21;  // 2M keys scaled (1 B paper keys)
   storage::ObjectId idx =
@@ -144,12 +147,15 @@ int main(int argc, char** argv) {
          "ablation.");
   const uint64_t commands = quick ? 1u << 14 : 1u << 16;
   Table table({"buffer (cmds)", "raw Mcmds/s", "raw link GB/s",
-               "+lookups Mcmds/s"});
+               "+lookups Mcmds/s", "+lookups scalar-route Mcmds/s"});
   for (uint32_t buf : {1u, 4u, 16u, 64u, 128u, 512u, 2048u, 8192u}) {
     RoutingResult raw = RunRouting(buf, false, commands);
     RoutingResult proc = RunRouting(buf, true, commands);
+    RoutingResult scalar_route =
+        RunRouting(buf, true, commands, /*batch_owner=*/false);
     table.Row({FmtU(buf), Fmt("%.1f", raw.mcmds_per_s),
-               Fmt("%.2f", raw.link_gbps), Fmt("%.1f", proc.mcmds_per_s)});
+               Fmt("%.2f", raw.link_gbps), Fmt("%.1f", proc.mcmds_per_s),
+               Fmt("%.1f", scalar_route.mcmds_per_s)});
   }
   table.Print();
   std::printf(

@@ -24,6 +24,12 @@ cmake -B build -S .
 cmake --build build -j"$JOBS"
 ctest --test-dir build --output-on-failure -j"$JOBS"
 
+echo "=== tier-1: lookup fast-path smoke (bench_ext_lookup --smoke) ==="
+# Gates the point-lookup fast path: pipelined BatchLookup must not fall
+# behind scalar probes, and the engine-level fast path (batched commands +
+# coalescing + pipelined descent) must stay >= 1.5x the per-key baseline.
+./build/bench/bench_ext_lookup --smoke
+
 echo "=== tier-1: scalar-fallback build (-DERIS_ENABLE_AVX2=OFF) ==="
 cmake -B build-scalar -S . -DERIS_ENABLE_AVX2=OFF \
       -DERIS_BUILD_BENCHMARKS=OFF -DERIS_BUILD_EXAMPLES=OFF
@@ -35,9 +41,9 @@ cmake -B build-tsan -S . -DERIS_SANITIZE=thread \
       -DERIS_BUILD_BENCHMARKS=OFF -DERIS_BUILD_EXAMPLES=OFF
 # Only the tsan-labeled suites run here; build just their targets.
 cmake --build build-tsan -j"$JOBS" --target \
-      mvcc_test incoming_buffer_test partition_table_test router_test \
-      engine_test rebalance_test aeu_test outgoing_test stress_test \
-      concurrency_harness_test overload_test
+      common_test memory_manager_test mvcc_test incoming_buffer_test \
+      partition_table_test router_test engine_test rebalance_test aeu_test \
+      outgoing_test stress_test concurrency_harness_test overload_test
 # tsan.supp is applied through each test's TSAN_OPTIONS ctest property
 # (set by tests/CMakeLists.txt when ERIS_SANITIZE=thread).
 ERIS_HARNESS_SEEDS="${ERIS_HARNESS_SEEDS:-6}" \

@@ -25,6 +25,8 @@ const char* PointName(Point p) {
     case Point::kBalanceApply:      return "balance.apply";
     case Point::kAeuLoop:           return "aeu.loop";
     case Point::kAeuProcess:        return "aeu.process";
+    case Point::kEndpointScratchAlloc:
+      return "endpoint.scratch_alloc";
     case Point::kNumPoints:         break;
   }
   return "?";

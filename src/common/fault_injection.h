@@ -54,6 +54,8 @@ enum class Point : uint32_t {
   kAeuLoop,              ///< top of the AEU loop iteration
   kAeuProcess,           ///< before dispatching one dequeued command; a
                          ///< throwing hook marks the command as poison
+  kEndpointScratchAlloc, ///< endpoint scratch arena grows (allocation
+                         ///< counter: steady-state sends must not visit it)
   kNumPoints,
 };
 

@@ -27,13 +27,22 @@ inline void CpuRelax() {
 /// Test-and-test-and-set spinlock. Satisfies BasicLockable.
 class SpinLock {
  public:
+  /// Backoff ceiling of lock(): waits double up to this many CpuRelax
+  /// rounds per probe, so heavy contention degrades to bounded polling
+  /// instead of all waiters hammering the cache line every cycle.
+  static constexpr uint32_t kMaxBackoffSpins = 1024;
+
   SpinLock() = default;
   SpinLock(const SpinLock&) = delete;
   SpinLock& operator=(const SpinLock&) = delete;
 
   void lock() {
+    uint32_t spins = 1;
     while (flag_.exchange(true, std::memory_order_acquire)) {
-      while (flag_.load(std::memory_order_relaxed)) CpuRelax();
+      while (flag_.load(std::memory_order_relaxed)) {
+        for (uint32_t i = 0; i < spins; ++i) CpuRelax();
+        if (spins < kMaxBackoffSpins) spins <<= 1;
+      }
     }
   }
 

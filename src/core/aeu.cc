@@ -56,7 +56,8 @@ Aeu::Aeu(routing::AeuId id, Engine* engine)
     : engine_(engine),
       id_(id),
       node_(engine->NodeOfAeu(id)),
-      endpoint_(&engine->router(), id, engine->NodeOfAeu(id)) {
+      endpoint_(&engine->router(), id, engine->NodeOfAeu(id),
+                &engine->memory().manager(engine->NodeOfAeu(id))) {
   // Objects may be registered while the loop runs (query-layer
   // intermediates): reserving up front means AddPartition never
   // reallocates under a concurrently reading loop. A command can only
@@ -372,15 +373,24 @@ void Aeu::DeferCommand(const routing::CommandHeader& header,
 
 void Aeu::ProcessLookupGroup(const Group& g) {
   storage::Partition* part = partition(g.object);
+  const LookupPathOptions& lp = engine_->options().lookup;
+  // A slice of the group-wide "mine" key buffer belonging to one command.
+  struct Segment {
+    routing::ResultSink* sink;
+    uint32_t offset;
+    uint32_t len;
+  };
+  static thread_local std::vector<Segment> segments;
+  static thread_local std::vector<storage::Key> pending_keys;
+  static thread_local std::vector<storage::Key> foreign_keys;
+  segments.clear();
+  scratch_keys_.clear();  // "mine" keys of every command in the group
   for (const routing::CommandView& cmd : g.commands) {
     std::span<const storage::Key> keys = cmd.PayloadAs<storage::Key>();
-    routing::ResultSink* sink = cmd.header.sink;
-    // Classify keys: mine / in-flight (deferred) / no longer mine (forward).
-    scratch_keys_.clear();   // mine
-    static thread_local std::vector<storage::Key> pending_keys;
-    static thread_local std::vector<storage::Key> foreign_keys;
     pending_keys.clear();
     foreign_keys.clear();
+    const size_t offset = scratch_keys_.size();
+    // Classify keys: mine / in-flight (deferred) / no longer mine (forward).
     for (storage::Key k : keys) {
       // Pending check first: after a balancing command the declared range
       // already covers data that is still in flight toward this AEU.
@@ -392,51 +402,81 @@ void Aeu::ProcessLookupGroup(const Group& g) {
         foreign_keys.push_back(k);
       }
     }
-    if (!scratch_keys_.empty()) {
-      scratch_values_.resize(scratch_keys_.size());
-      // span<const bool> needs contiguous plain bools (std::vector<bool>
-      // is bit-packed), so keep a grow-only flat buffer.
-      static thread_local std::unique_ptr<bool[]> found_buf;
-      static thread_local size_t found_cap = 0;
-      if (found_cap < scratch_keys_.size()) {
-        found_cap = std::max<size_t>(scratch_keys_.size() * 2, 1024);
-        found_buf = std::make_unique<bool[]>(found_cap);
-      }
-      if (const storage::PrefixTree* tree = part->index()) {
-        // Batched probe: the group descends together with prefetching —
-        // the latency-hiding batch operation of the paper's Section 3.1.
-        tree->BatchLookup(scratch_keys_, scratch_values_.data(),
-                          found_buf.get());
-      } else {
-        for (size_t i = 0; i < scratch_keys_.size(); ++i) {
-          std::optional<storage::Value> v = part->Lookup(scratch_keys_[i]);
-          found_buf[i] = v.has_value();
-          scratch_values_[i] = v.value_or(0);
-        }
-      }
-      if (sink != nullptr) {
-        sink->OnLookupBatch(scratch_keys_, scratch_values_,
-                            {found_buf.get(), scratch_keys_.size()});
-        sink->OnCommandComplete(scratch_keys_.size());
-      }
-      group_ops_ += scratch_keys_.size();
+    if (scratch_keys_.size() > offset) {
+      segments.push_back(
+          {cmd.header.sink, static_cast<uint32_t>(offset),
+           static_cast<uint32_t>(scratch_keys_.size() - offset)});
     }
     if (!foreign_keys.empty()) {
       // The partitioning moved under this command: forward to the current
       // owners (completion units travel with the forwarded keys, and the
       // forwarded record inherits the original deadline).
       endpoint_.set_deadline_ns(cmd.header.deadline_ns);
-      endpoint_.SendLookupBatch(g.object, foreign_keys, sink);
+      endpoint_.SendLookupBatch(g.object, foreign_keys, cmd.header.sink);
       endpoint_.set_deadline_ns(0);
       ++stats_.commands_forwarded;
     }
     if (!pending_keys.empty()) {
-      routing::CommandHeader h = cmd.header;
-      DeferCommand(h, {reinterpret_cast<const uint8_t*>(pending_keys.data()),
-                       pending_keys.size() * sizeof(storage::Key)});
+      DeferCommand(cmd.header,
+                   {reinterpret_cast<const uint8_t*>(pending_keys.data()),
+                    pending_keys.size() * sizeof(storage::Key)});
     }
   }
-  ChargePointOps(g.object, group_ops_, /*is_write=*/false);
+  if (scratch_keys_.empty()) return;
+  scratch_values_.resize(scratch_keys_.size());
+  // span<const bool> needs contiguous plain bools (std::vector<bool>
+  // is bit-packed), so keep a grow-only flat buffer.
+  static thread_local std::unique_ptr<bool[]> found_buf;
+  static thread_local size_t found_cap = 0;
+  if (found_cap < scratch_keys_.size()) {
+    found_cap = std::max<size_t>(scratch_keys_.size() * 2, 1024);
+    found_buf = std::make_unique<bool[]>(found_cap);
+  }
+  storage::BatchLookupStats probe_stats;
+  auto probe = [&](std::span<const storage::Key> keys, storage::Value* out,
+                   bool* found) {
+    if (lp.pipelined_descent) {
+      // Batched probe: the probes descend together with prefetching — the
+      // latency-hiding batch operation of the paper's Section 3.1.
+      if (const storage::PrefixTree* tree = part->index()) {
+        tree->BatchLookup(keys, out, found, &probe_stats);
+        return;
+      }
+      if (const storage::HashTable* hash = part->hash()) {
+        hash->BatchLookup(keys, out, found, &probe_stats);
+        return;
+      }
+    }
+    for (size_t i = 0; i < keys.size(); ++i) {
+      std::optional<storage::Value> v = part->Lookup(keys[i]);
+      found[i] = v.has_value();
+      out[i] = v.value_or(0);
+    }
+  };
+  std::span<const storage::Key> all_keys{scratch_keys_};
+  if (lp.coalesce_commands) {
+    // One descent over the whole group's keys: commands that arrived in the
+    // same dequeue window share prefetch slots and upper-level cache lines
+    // (mirrors scan-group coalescing for point reads).
+    probe(all_keys, scratch_values_.data(), found_buf.get());
+    if (segments.size() > 1) stats_.lookups_coalesced += segments.size() - 1;
+  } else {
+    for (const Segment& s : segments) {
+      probe(all_keys.subspan(s.offset, s.len), scratch_values_.data() + s.offset,
+            found_buf.get() + s.offset);
+    }
+  }
+  for (const Segment& s : segments) {
+    if (s.sink == nullptr) continue;
+    s.sink->OnLookupBatch(
+        all_keys.subspan(s.offset, s.len),
+        std::span<const storage::Value>{scratch_values_}.subspan(s.offset,
+                                                                 s.len),
+        {found_buf.get() + s.offset, s.len});
+    s.sink->OnCommandComplete(s.len);
+  }
+  group_ops_ += scratch_keys_.size();
+  ChargeLookupOps(g.object, group_ops_, probe_stats.nodes_touched);
 }
 
 void Aeu::ProcessWriteGroup(const Group& g) {
@@ -1090,6 +1130,34 @@ void Aeu::ChargePointOps(storage::ObjectId object, uint64_t ops,
   // Routed commands pay the routing layer's CPU cost (target lookup,
   // buffer append/drain) — the overhead the shared baseline avoids.
   cost.compute_ns += static_cast<double>(ops) *
+                     engine_->cost_model().params().routing_cpu_ns;
+  sim::ResourceUsage& ru = engine_->resource_usage();
+  ru.AddComputeNs(id_, cost.compute_ns);
+  ru.AddMemoryTraffic(node_, node_, cost.dram_bytes);
+  group_modeled_ns_ += cost.compute_ns;
+}
+
+void Aeu::ChargeLookupOps(storage::ObjectId object, uint64_t keys,
+                          uint64_t nodes_touched) {
+  if (!engine_->sim_enabled() || keys == 0) return;
+  storage::Partition* part = partition(object);
+  sim::TreeShape shape = ShapeOf(*part);
+  // The analytic model prices one op as a full root-to-leaf descent
+  // (`levels` node touches). A coalesced batch that shares descent paths
+  // touches fewer unique nodes, so convert the measured node count back
+  // into effective ops; scalar probes (nodes_touched == 0) pay per key.
+  uint64_t ops = keys;
+  if (nodes_touched > 0 && shape.levels > 0) {
+    ops = std::min(keys, (nodes_touched + shape.levels - 1) / shape.levels);
+    ops = std::max<uint64_t>(ops, 1);
+  }
+  sim::PointOpCost cost = sim::BatchPointOpCost(
+      engine_->cost_model(), node_, node_, shape,
+      engine_->llc_budget_per_aeu(), ops, /*interleaved=*/false,
+      /*is_write=*/false, /*coherence_writes=*/false);
+  // Routing CPU (target lookup, buffer append/drain) is per key: every key
+  // traveled through the router regardless of descent sharing.
+  cost.compute_ns += static_cast<double>(keys) *
                      engine_->cost_model().params().routing_cpu_ns;
   sim::ResourceUsage& ru = engine_->resource_usage();
   ru.AddComputeNs(id_, cost.compute_ns);

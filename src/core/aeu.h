@@ -34,6 +34,7 @@ struct AeuLoopStats {
   uint64_t commands_forwarded = 0;
   uint64_t commands_deferred = 0;
   uint64_t scans_coalesced = 0;  ///< scan commands saved by scan sharing
+  uint64_t lookups_coalesced = 0;  ///< lookup commands merged into a shared probe
   uint64_t zone_segments_skipped = 0;  ///< per-job segment skips via zone maps
   uint64_t link_transfers = 0;
   uint64_t copy_transfers = 0;
@@ -171,6 +172,11 @@ class Aeu {
   void RecordGroupMetrics(storage::ObjectId object, uint64_t ops,
                           double exec_ns);
   void ChargePointOps(storage::ObjectId object, uint64_t ops, bool is_write);
+  /// Lookup-specific variant: memory cost is charged per unique index node
+  /// the batch touched (`nodes_touched`, 0 = fall back to per-key), while
+  /// routing CPU stays per key.
+  void ChargeLookupOps(storage::ObjectId object, uint64_t keys,
+                       uint64_t nodes_touched);
   void ChargeRoutingCosts();
 
   Engine* engine_;

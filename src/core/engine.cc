@@ -389,7 +389,8 @@ std::string Engine::StatsReport() {
 
 Engine::Session::Session(Engine* engine, numa::NodeId node)
     : engine_(engine),
-      endpoint_(&engine->router(), routing::kInvalidAeu, node) {}
+      endpoint_(&engine->router(), routing::kInvalidAeu, node,
+                &engine->memory().manager(node)) {}
 
 std::unique_ptr<Engine::Session> Engine::CreateSession() {
   numa::NodeId node = static_cast<numa::NodeId>(

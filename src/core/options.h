@@ -51,6 +51,19 @@ struct OverloadOptions {
   uint32_t max_command_retries = 3;
 };
 
+/// Point-lookup fast-path knobs (DESIGN.md §12). Both default on; turning
+/// one off selects the per-key baseline for benches (bench_ext_lookup) and
+/// the concurrency harness' shape rotation.
+struct LookupPathOptions {
+  /// Coalesce every kLookupBatch command of one dequeue group into a single
+  /// index probe over the concatenated keys (results are still delivered
+  /// per command). Off = probe each command separately.
+  bool coalesce_commands = true;
+  /// Use the software-pipelined BatchLookup descent (prefetching, several
+  /// probes in flight). Off = scalar per-key probes.
+  bool pipelined_descent = true;
+};
+
 struct EngineOptions {
   numa::Topology topology = numa::Topology::DetectHost();
   /// 0 = one AEU per core of the topology.
@@ -65,6 +78,7 @@ struct EngineOptions {
   bool balancer_background = false;
   SimOptions sim;
   OverloadOptions overload;
+  LookupPathOptions lookup;
 };
 
 }  // namespace eris::core

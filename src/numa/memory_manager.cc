@@ -66,9 +66,12 @@ void* NodeMemoryManager::Allocate(size_t bytes) {
     void* batch[kThreadCacheBatch];
     size_t got = CentralRefill(cls, batch, kThreadCacheBatch);
     list.insert(list.end(), batch, batch + got);
+    thread_cache_bytes_.fetch_add(got * ClassBytes(cls),
+                                  std::memory_order_relaxed);
   }
   void* ptr = list.back();
   list.pop_back();
+  thread_cache_bytes_.fetch_sub(ClassBytes(cls), std::memory_order_relaxed);
   return ptr;
 }
 
@@ -85,11 +88,14 @@ void NodeMemoryManager::Free(void* ptr, size_t bytes) {
   ThreadCache& cache = GetThreadCache();
   std::vector<void*>& list = cache.blocks[cls];
   list.push_back(ptr);
+  thread_cache_bytes_.fetch_add(ClassBytes(cls), std::memory_order_relaxed);
   if (list.size() > 2 * kThreadCacheBatch) {
     // Flush the older half back to the central list.
     CentralRelease(cls, list.data(), kThreadCacheBatch);
     list.erase(list.begin(),
                list.begin() + static_cast<ptrdiff_t>(kThreadCacheBatch));
+    thread_cache_bytes_.fetch_sub(kThreadCacheBatch * ClassBytes(cls),
+                                  std::memory_order_relaxed);
   }
 }
 
@@ -136,7 +142,11 @@ void NodeMemoryManager::FlushThisThreadCache() {
   if (it == caches.end()) return;
   for (int cls = 0; cls < static_cast<int>(kNumClasses); ++cls) {
     std::vector<void*>& list = it->second.blocks[cls];
-    if (!list.empty()) CentralRelease(cls, list.data(), list.size());
+    if (!list.empty()) {
+      CentralRelease(cls, list.data(), list.size());
+      thread_cache_bytes_.fetch_sub(list.size() * ClassBytes(cls),
+                                    std::memory_order_relaxed);
+    }
     list.clear();
   }
   caches.erase(it);
@@ -149,6 +159,7 @@ MemoryStats NodeMemoryManager::stats() const {
   s.bytes_freed = bytes_freed_.load(std::memory_order_relaxed);
   s.allocations = allocations_.load(std::memory_order_relaxed);
   s.central_refills = central_refills_.load(std::memory_order_relaxed);
+  s.thread_cache_bytes = thread_cache_bytes_.load(std::memory_order_relaxed);
   return s;
 }
 
@@ -168,6 +179,7 @@ MemoryStats MemoryPool::TotalStats() const {
     total.bytes_freed += s.bytes_freed;
     total.allocations += s.allocations;
     total.central_refills += s.central_refills;
+    total.thread_cache_bytes += s.thread_cache_bytes;
   }
   return total;
 }

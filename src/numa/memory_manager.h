@@ -29,6 +29,14 @@ struct MemoryStats {
   uint64_t bytes_freed = 0;      ///< cumulative bytes returned
   uint64_t allocations = 0;
   uint64_t central_refills = 0;  ///< thread-cache misses into the central lists
+  /// Class-rounded bytes currently parked in thread caches (refilled but not
+  /// handed out, or freed but not yet flushed to the central lists). Without
+  /// this term the gap between bytes_reserved and bytes_in_use() silently
+  /// mixes cache-resident blocks with genuinely unused arena space.
+  uint64_t thread_cache_bytes = 0;
+  /// Bytes held by callers. Blocks resident in thread caches are already
+  /// counted as freed (they are reusable), so they never inflate this value;
+  /// they are reported separately in thread_cache_bytes.
   uint64_t bytes_in_use() const { return bytes_allocated - bytes_freed; }
 };
 
@@ -112,6 +120,7 @@ class NodeMemoryManager {
   std::atomic<uint64_t> bytes_freed_{0};
   std::atomic<uint64_t> allocations_{0};
   std::atomic<uint64_t> central_refills_{0};
+  std::atomic<uint64_t> thread_cache_bytes_{0};
 };
 
 /// \brief One memory manager per node of a topology.

@@ -1,0 +1,130 @@
+// Arena-backed scratch vector for the routing fast path.
+//
+// Endpoint scratch state (owner arrays, split order, encode buffers, gather
+// piece lists) must satisfy two properties the standard library cannot
+// promise together: the backing memory comes from the endpoint's node-local
+// NodeMemoryManager (so an AEU's routing scratch never crosses its NUMA
+// node), and growth is observable (so tests can assert the zero-allocation
+// steady-state invariant). ArenaVec is the minimal vector covering the
+// endpoint's usage: trivially copyable elements, capacity-retaining clear(),
+// uninitialized resize(), and a fault-injection visit on every real block
+// acquisition.
+#pragma once
+
+#include <cstdlib>
+#include <cstring>
+#include <span>
+#include <type_traits>
+
+#include "common/fault_injection.h"
+#include "common/logging.h"
+#include "numa/memory_manager.h"
+
+namespace eris::routing {
+
+/// \brief Minimal reusable vector carved from a node-local memory manager.
+///
+/// Elements must be trivially copyable (growth is a memcpy and resize()
+/// leaves new elements uninitialized). Without a manager (client endpoints
+/// constructed before the engine wires one) the heap is used directly.
+/// Every capacity growth visits fi::Point::kEndpointScratchAlloc; after the
+/// first calls warm a steady workload up, the point is never visited again —
+/// that is the send path's zero-allocation invariant, and tests assert it by
+/// installing a counting hook.
+template <typename T>
+class ArenaVec {
+  static_assert(std::is_trivially_copyable_v<T>);
+
+ public:
+  ArenaVec() = default;
+  explicit ArenaVec(numa::NodeMemoryManager* memory) : memory_(memory) {}
+  ~ArenaVec() { Release(); }
+
+  ArenaVec(const ArenaVec&) = delete;
+  ArenaVec& operator=(const ArenaVec&) = delete;
+
+  T* data() { return data_; }
+  const T* data() const { return data_; }
+  size_t size() const { return size_; }
+  size_t capacity() const { return cap_; }
+  bool empty() const { return size_ == 0; }
+  T& operator[](size_t i) { return data_[i]; }
+  const T& operator[](size_t i) const { return data_[i]; }
+  T* begin() { return data_; }
+  T* end() { return data_ + size_; }
+  const T* begin() const { return data_; }
+  const T* end() const { return data_ + size_; }
+
+  /// Drops the contents, keeping the capacity (the reuse that makes the
+  /// steady state allocation-free).
+  void clear() { size_ = 0; }
+
+  void Reserve(size_t n) {
+    if (n > cap_) Grow(n);
+  }
+
+  /// Grows to `n` elements; new elements are uninitialized (every caller
+  /// overwrites before reading).
+  void resize(size_t n) {
+    Reserve(n);
+    size_ = n;
+  }
+
+  /// Resizes to `n` copies of `value` (counting-sort bucket reset).
+  void assign(size_t n, const T& value) {
+    resize(n);
+    for (size_t i = 0; i < n; ++i) data_[i] = value;
+  }
+
+  void push_back(const T& value) {
+    if (size_ == cap_) Grow(size_ + 1);
+    data_[size_++] = value;
+  }
+
+  /// Appends `n` elements from `src` (byte-encode loop).
+  void append(const T* src, size_t n) {
+    Reserve(size_ + n);
+    std::memcpy(data_ + size_, src, n * sizeof(T));
+    size_ += n;
+  }
+
+  std::span<const T> span() const { return {data_, size_}; }
+  operator std::span<const T>() const { return span(); }
+
+ private:
+  static constexpr size_t kInitialCapacity = 64;
+
+  void Grow(size_t need) {
+    size_t cap = cap_ == 0 ? kInitialCapacity : cap_;
+    while (cap < need) cap *= 2;
+    ERIS_INJECT_POINT(kEndpointScratchAlloc);
+    T* fresh = static_cast<T*>(Acquire(cap * sizeof(T)));
+    ERIS_CHECK(fresh != nullptr);
+    if (size_ > 0) std::memcpy(fresh, data_, size_ * sizeof(T));
+    Release();
+    data_ = fresh;
+    cap_ = cap;
+  }
+
+  void* Acquire(size_t bytes) {
+    return memory_ != nullptr ? memory_->Allocate(bytes) : std::malloc(bytes);
+  }
+
+  void Release() {
+    if (data_ == nullptr) return;
+    if (memory_ != nullptr) {
+      memory_->Free(data_, cap_ * sizeof(T));
+    } else {
+      std::free(data_);
+    }
+    data_ = nullptr;
+    cap_ = 0;
+  }
+
+  numa::NodeMemoryManager* memory_ = nullptr;
+  T* data_ = nullptr;
+  size_t size_ = 0;
+  size_t cap_ = 0;
+};
+
+}  // namespace eris::routing

@@ -81,9 +81,12 @@ class OutgoingSet {
   /// Gathers whole records for `target`, up to `max_bytes` in total, into
   /// `pieces` (spans valid until the next mutation). A single record larger
   /// than max_bytes is a configuration error (incoming buffers must exceed
-  /// the maximum record size).
+  /// the maximum record size). `pieces` is any clear()/push_back() container
+  /// of spans — std::vector in tests, the endpoint's arena-backed scratch on
+  /// the send path.
+  template <typename PieceVec>
   Consumption GatherUpTo(AeuId target, size_t max_bytes,
-                         std::vector<std::span<const uint8_t>>* pieces) const {
+                         PieceVec* pieces) const {
     pieces->clear();
     Consumption consumed;
     const TargetState& ts = targets_[target];
@@ -140,10 +143,8 @@ class OutgoingSet {
   /// for each dropped record so the caller can notify result sinks. Used by
   /// the router to shed undeliverable commands (retry cap reached, or the
   /// target AEU quarantined). Returns the number of records dropped.
-  template <typename Fn>
-  size_t DropPending(AeuId target,
-                     std::vector<std::span<const uint8_t>>* scratch,
-                     Fn&& fn) {
+  template <typename PieceVec, typename Fn>
+  size_t DropPending(AeuId target, PieceVec* scratch, Fn&& fn) {
     size_t dropped = 0;
     while (HasPending(target)) {
       Consumption consumed = GatherUpTo(target, ~size_t{0}, scratch);

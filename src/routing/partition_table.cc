@@ -61,6 +61,24 @@ void RangePartitionTable::OwnersOf(std::span<const storage::Key> keys,
   }
 }
 
+void RangePartitionTable::BatchOwnerOf(std::span<const storage::Key> keys,
+                                       AeuId* owners) const {
+  auto rep = Load();  // one snapshot for the whole batch
+  const size_t n = rep->tree.size();
+  uint32_t indices[storage::CsbTree::kBatchGroup];
+  for (size_t base = 0; base < keys.size();
+       base += storage::CsbTree::kBatchGroup) {
+    const size_t count = std::min<size_t>(storage::CsbTree::kBatchGroup,
+                                          keys.size() - base);
+    rep->tree.BatchUpperBound(keys.subspan(base, count), indices);
+    for (size_t i = 0; i < count; ++i) {
+      size_t idx = indices[i];
+      if (idx >= n) idx = n - 1;  // key == kMaxKey
+      owners[base + i] = rep->tree.payload(idx);
+    }
+  }
+}
+
 std::vector<AeuId> RangePartitionTable::OwnersOfRange(storage::Key lo,
                                                       storage::Key hi) const {
   auto rep = Load();

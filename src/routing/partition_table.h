@@ -45,8 +45,18 @@ class RangePartitionTable {
   /// Owner of `key`. Wait-free.
   AeuId OwnerOf(storage::Key key) const;
 
-  /// Batch variant used by the router's step-1 batch lookup.
+  /// Batch variant used by the router's step-1 batch lookup. Resolves one
+  /// key at a time (scalar CSB+-tree descent); kept as the reference path
+  /// for differential tests and ablation benches.
   void OwnersOf(std::span<const storage::Key> keys, AeuId* owners) const;
+
+  /// Prefetch-pipelined batch owner resolution. Descends the CSB+-tree for
+  /// the whole batch level-synchronously with software prefetch of each
+  /// probe's next node, so the descents of a batch overlap their cache
+  /// misses instead of serializing them. The entire batch is resolved
+  /// against a single immutable snapshot: a concurrent Replace() never
+  /// splits a batch across two table versions.
+  void BatchOwnerOf(std::span<const storage::Key> keys, AeuId* owners) const;
 
   /// Owners covering [lo, hi): ascending, deduplicated.
   std::vector<AeuId> OwnersOfRange(storage::Key lo, storage::Key hi) const;

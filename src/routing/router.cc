@@ -87,7 +87,11 @@ void Router::OwnersOfKeys(storage::ObjectId object,
     return;
   }
   ERIS_CHECK(routing.range != nullptr) << "keyed command on non-keyed object";
-  routing.range->OwnersOf(keys, owners);
+  if (config_.batch_owner_lookup) {
+    routing.range->BatchOwnerOf(keys, owners);
+  } else {
+    routing.range->OwnersOf(keys, owners);
+  }
 }
 
 std::vector<AeuId> Router::OwnersOfKeyRange(storage::ObjectId object,
@@ -115,15 +119,24 @@ AeuId Router::PickAppendTarget(storage::ObjectId object) {
   return owners[c % owners.size()];
 }
 
-Endpoint::Endpoint(Router* router, AeuId source, numa::NodeId node)
+Endpoint::Endpoint(Router* router, AeuId source, numa::NodeId node,
+                   numa::NodeMemoryManager* memory)
     : router_(router),
       source_(source),
       node_(node),
       outgoing_(router->num_aeus()),
-      retry_(router->num_aeus()),
       flush_retry_hist_(0.0, static_cast<double>(router->num_aeus()),
                         router->num_aeus()),
-      backoff_rng_(router->config().retry.seed ^ Mix64(source + 1)) {}
+      backoff_rng_(router->config().retry.seed ^ Mix64(source + 1)),
+      retry_(memory),
+      owners_(memory),
+      keys_(memory),
+      group_order_(memory),
+      bucket_count_(memory),
+      chunk_(memory),
+      pieces_(memory) {
+  retry_.assign(router->num_aeus(), TargetRetry{});
+}
 
 void Endpoint::Unicast(AeuId target, const CommandHeader& header,
                        std::span<const uint8_t> payload) {
@@ -247,22 +260,22 @@ size_t Endpoint::SendKeyed(CommandType type, storage::ObjectId object,
   if (n == 0) return 0;
 
   // Step 1: batch lookup of responsible AEUs (range table or key hash).
+  // Keys are copied out first so the partition table sees one dense array
+  // regardless of the element type (Key or KeyValue).
   owners_.resize(n);
-  static thread_local std::vector<storage::Key> keys_scratch;
-  keys_scratch.resize(n);
-  for (size_t i = 0; i < n; ++i) keys_scratch[i] = KeyOf(elements[i]);
-  router_->OwnersOfKeys(object, keys_scratch, owners_.data());
+  keys_.resize(n);
+  for (size_t i = 0; i < n; ++i) keys_[i] = KeyOf(elements[i]);
+  router_->OwnersOfKeys(object, keys_, owners_.data());
 
   // Step 2: split per target. Stable counting sort of indices by owner
   // (targets can number in the hundreds; only touched buckets are visited).
   group_order_.resize(n);
-  static thread_local std::vector<uint32_t> bucket_count;
-  bucket_count.assign(router_->num_aeus() + 1, 0);
-  for (size_t i = 0; i < n; ++i) bucket_count[owners_[i] + 1]++;
-  for (size_t a = 1; a < bucket_count.size(); ++a)
-    bucket_count[a] += bucket_count[a - 1];
+  bucket_count_.assign(router_->num_aeus() + 1, 0);
+  for (size_t i = 0; i < n; ++i) bucket_count_[owners_[i] + 1]++;
+  for (size_t a = 1; a < bucket_count_.size(); ++a)
+    bucket_count_[a] += bucket_count_[a - 1];
   for (size_t i = 0; i < n; ++i)
-    group_order_[bucket_count[owners_[i]]++] = static_cast<uint32_t>(i);
+    group_order_[bucket_count_[owners_[i]]++] = static_cast<uint32_t>(i);
 
   const size_t max_elems = router_->config().max_batch_elements;
   CommandHeader header;
@@ -272,19 +285,17 @@ size_t Endpoint::SendKeyed(CommandType type, storage::ObjectId object,
   header.sink = sink;
 
   size_t pos = 0;
-  static thread_local std::vector<uint8_t> chunk_bytes;
   while (pos < n) {
     AeuId target = owners_[group_order_[pos]];
     size_t end = pos;
-    chunk_bytes.clear();
+    chunk_.clear();
     while (end < n && owners_[group_order_[end]] == target &&
            end - pos < max_elems) {
       const E& e = elements[group_order_[end]];
-      const auto* raw = reinterpret_cast<const uint8_t*>(&e);
-      chunk_bytes.insert(chunk_bytes.end(), raw, raw + sizeof(E));
+      chunk_.append(reinterpret_cast<const uint8_t*>(&e), sizeof(E));
       ++end;
     }
-    Unicast(target, header, chunk_bytes);
+    Unicast(target, header, chunk_);
     pos = end;
   }
   // Keyed batches complete per element; the caller waits for n units.

@@ -21,7 +21,9 @@
 
 #include "common/histogram.h"
 #include "common/rng.h"
+#include "numa/memory_manager.h"
 #include "numa/topology.h"
+#include "routing/arena_vec.h"
 #include "routing/data_command.h"
 #include "routing/incoming_buffer.h"
 #include "routing/outgoing.h"
@@ -71,6 +73,10 @@ struct RouterConfig {
   /// Keyed batches are split into per-target chunks of at most this many
   /// elements before encoding.
   size_t max_batch_elements = 1024;
+  /// Resolve range-partitioned owners with the prefetch-pipelined batch
+  /// descent (RangePartitionTable::BatchOwnerOf) instead of per-key probes.
+  /// Off is the scalar reference path, kept for ablation benches.
+  bool batch_owner_lookup = true;
   /// Bounded delivery retry (overload control).
   DeliveryRetryPolicy retry;
 };
@@ -93,8 +99,13 @@ class Router;
 class Endpoint {
  public:
   /// `source` is the sending AEU (or kInvalidAeu for clients); `node` is
-  /// the NUMA node the source runs on (for traffic attribution).
-  Endpoint(Router* router, AeuId source, numa::NodeId node);
+  /// the NUMA node the source runs on (for traffic attribution). `memory`
+  /// is the source's node-local allocator backing the endpoint's reusable
+  /// scratch arena; null (stand-alone routing tests) falls back to the
+  /// heap. Either way, scratch grows to the workload's high-water mark and
+  /// is reused — steady-state sends perform zero allocations.
+  Endpoint(Router* router, AeuId source, numa::NodeId node,
+           numa::NodeMemoryManager* memory = nullptr);
 
   /// Routes a lookup batch, splitting keys by owning AEU.
   /// Returns the number of completion units (= keys.size()).
@@ -196,14 +207,20 @@ class Endpoint {
   numa::NodeId node_;
   OutgoingSet outgoing_;
   EndpointStats stats_;
-  std::vector<TargetRetry> retry_;
   Histogram flush_retry_hist_;
   Xoshiro256 backoff_rng_;
   uint64_t deadline_ns_ = 0;
-  // Scratch (reused across calls to avoid allocation in the hot path).
-  std::vector<AeuId> owners_;
-  std::vector<std::span<const uint8_t>> pieces_;
-  std::vector<uint32_t> group_order_;
+  // Reusable scratch arena carved from the source's node-local memory
+  // manager (see the constructor comment). Capacity only ever grows;
+  // clear()/resize() recycle it, so after warm-up the send path never
+  // allocates (fi::Point::kEndpointScratchAlloc counts violations).
+  ArenaVec<TargetRetry> retry_;  ///< per-target bounded-retry bookkeeping
+  ArenaVec<AeuId> owners_;
+  ArenaVec<storage::Key> keys_;
+  ArenaVec<uint32_t> group_order_;
+  ArenaVec<uint32_t> bucket_count_;
+  ArenaVec<uint8_t> chunk_;
+  ArenaVec<std::span<const uint8_t>> pieces_;
 };
 
 /// \brief Shared routing state: mailboxes + partition tables.

@@ -76,6 +76,60 @@ size_t CsbTree::UpperBound(uint64_t needle) const {
   return i;
 }
 
+void CsbTree::BatchUpperBound(std::span<const uint64_t> needles,
+                              uint32_t* out) const {
+  ERIS_DCHECK(leaf_keys_.size() < ~uint32_t{0});
+  if (leaf_keys_.empty()) {
+    for (size_t k = 0; k < needles.size(); ++k) out[k] = 0;
+    return;
+  }
+  if (levels_.empty()) {
+    // Single leaf group: no descent to pipeline.
+    for (size_t k = 0; k < needles.size(); ++k)
+      out[k] = static_cast<uint32_t>(UpperBound(needles[k]));
+    return;
+  }
+  uint32_t cursor[kBatchGroup];
+  for (size_t base = 0; base < needles.size(); base += kBatchGroup) {
+    const size_t n = std::min<size_t>(kBatchGroup, needles.size() - base);
+    // All probes start at the root (levels_[0] has a single node), which is
+    // hot; prefetching begins with the level-1 children.
+    for (size_t i = 0; i < n; ++i) cursor[i] = 0;
+    for (size_t lvl = 0; lvl < levels_.size(); ++lvl) {
+      const std::vector<Node>& level = levels_[lvl];
+      const bool last = lvl + 1 == levels_.size();
+      for (size_t i = 0; i < n; ++i) {
+        const Node& node = level[cursor[i]];
+        const uint64_t needle = needles[base + i];
+        uint32_t pos = 0;
+        while (pos + 1 < node.num_children && node.keys[pos] <= needle) ++pos;
+        cursor[i] = node.first_child + pos;
+        if (!last) {
+          __builtin_prefetch(&levels_[lvl + 1][cursor[i]], 0, 3);
+        } else {
+          // cursor[i] is now a leaf-group index; pull its key line(s) in.
+          const size_t begin = static_cast<size_t>(cursor[i]) * kNodeKeys;
+          __builtin_prefetch(&leaf_keys_[begin], 0, 3);
+          __builtin_prefetch(&leaf_keys_[begin] + kNodeKeys - 1, 0, 3);
+        }
+      }
+    }
+    for (size_t i = 0; i < n; ++i) {
+      const uint64_t needle = needles[base + i];
+      const size_t begin = static_cast<size_t>(cursor[i]) * kNodeKeys;
+      const size_t end = std::min(begin + kNodeKeys, leaf_keys_.size());
+      size_t j = begin;
+      while (j < end && leaf_keys_[j] < needle) ++j;
+      if (j == end && end < leaf_keys_.size()) {
+        out[base + i] = static_cast<uint32_t>(end);
+        continue;
+      }
+      if (j < leaf_keys_.size() && leaf_keys_[j] == needle) ++j;  // upper bound
+      out[base + i] = static_cast<uint32_t>(j);
+    }
+  }
+}
+
 size_t CsbTree::memory_bytes() const {
   size_t bytes = leaf_keys_.size() * sizeof(uint64_t) +
                  payloads_.size() * sizeof(uint32_t);

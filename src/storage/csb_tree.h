@@ -41,6 +41,18 @@ class CsbTree {
   /// Index of the first key >= `needle`, or size() when none.
   size_t LowerBound(uint64_t needle) const;
 
+  /// Batch UpperBound: out[i] = UpperBound(needles[i]) for every needle.
+  ///
+  /// Descends the tree level-synchronously for groups of kBatchGroup
+  /// needles with software prefetch of each probe's next-level node, so up
+  /// to kBatchGroup node fetches are in flight per level instead of one.
+  /// The tree must have fewer than 2^32 entries (always true for partition
+  /// tables, whose size is the number of ranges).
+  void BatchUpperBound(std::span<const uint64_t> needles, uint32_t* out) const;
+
+  /// Probes kept in flight per level by BatchUpperBound.
+  static constexpr uint32_t kBatchGroup = 16;
+
   /// Payload at entry index i.
   uint32_t payload(size_t i) const { return payloads_[i]; }
   uint64_t key(size_t i) const { return leaf_keys_[i]; }

@@ -131,6 +131,48 @@ std::optional<Value> HashTable::Lookup(Key key) const {
   return values_[i];
 }
 
+size_t HashTable::BatchLookup(std::span<const Key> keys, Value* out,
+                              bool* found, BatchLookupStats* stats) const {
+  size_t hits = 0;
+  uint64_t lines = 0;
+  size_t home[kBatchGroup];
+  size_t last_line = ~size_t{0};
+  for (size_t base = 0; base < keys.size(); base += kBatchGroup) {
+    const size_t m = std::min(kBatchGroup, keys.size() - base);
+    // Stage 1: hash every probe's home slot and start its memory fetches.
+    for (size_t i = 0; i < m; ++i) {
+      home[i] = Slot(keys[base + i]);
+      __builtin_prefetch(&states_[home[i]]);
+      __builtin_prefetch(&keys_[home[i]]);
+    }
+    // Stage 2: walk the (usually length-1) probe chains on warm lines.
+    for (size_t i = 0; i < m; ++i) {
+      // Home lines of 8-byte keys: 8 keys per 64-byte line.
+      size_t line = home[i] >> 3;
+      if (line != last_line) {
+        last_line = line;
+        ++lines;
+      }
+      size_t s = home[i];
+      bool hit = false;
+      while (states_[s] == SlotState::kFull) {
+        if (keys_[s] == keys[base + i]) {
+          hit = true;
+          break;
+        }
+        s = (s + 1) & (capacity_ - 1);
+      }
+      found[base + i] = hit;
+      if (hit) {
+        out[base + i] = values_[s];
+        ++hits;
+      }
+    }
+  }
+  if (stats != nullptr) stats->nodes_touched += lines;
+  return hits;
+}
+
 bool HashTable::Erase(Key key) {
   bool found = false;
   size_t i = FindSlot(key, &found);

@@ -159,20 +159,24 @@ std::optional<Value> PrefixTree::LookupTraced(
 }
 
 size_t PrefixTree::BatchLookup(std::span<const Key> keys, Value* out,
-                               bool* found) const {
+                               bool* found, BatchLookupStats* stats) const {
   // Software-pipelined traversal: a group of lookups descends level by
   // level together, prefetching every next child slot before any of them
   // is dereferenced — the batch operation the paper uses to hide main
   // memory latency (Section 3.1's command grouping).
-  constexpr size_t kGroup = 16;
   size_t hits = 0;
   if (root_ == nullptr) {
     std::fill(found, found + keys.size(), false);
     return 0;
   }
-  NodePtr cursor[kGroup];
-  for (size_t base = 0; base < keys.size(); base += kGroup) {
-    const size_t m = std::min(kGroup, keys.size() - base);
+  // Adjacent-deduplicated node accounting: one slot per level carries the
+  // last node seen there across groups, so a run of probes through the
+  // same subtree is charged once. levels_ <= 64 (key_bits / prefix_bits).
+  uint64_t nodes = keys.empty() ? 0 : 1;  // the root is read once per call
+  NodePtr last_seen[64] = {};
+  NodePtr cursor[kBatchGroup];
+  for (size_t base = 0; base < keys.size(); base += kBatchGroup) {
+    const size_t m = std::min(kBatchGroup, keys.size() - base);
     for (size_t i = 0; i < m; ++i) {
       cursor[i] = root_;
       if (levels_ > 1) {
@@ -184,6 +188,10 @@ size_t PrefixTree::BatchLookup(std::span<const Key> keys, Value* out,
         if (cursor[i] == nullptr) continue;
         cursor[i] = Children(cursor[i])[Digit(keys[base + i], level)];
         if (cursor[i] == nullptr) continue;
+        if (cursor[i] != last_seen[level + 1]) {
+          last_seen[level + 1] = cursor[i];
+          ++nodes;
+        }
         if (level + 2 < levels_) {
           __builtin_prefetch(
               &Children(cursor[i])[Digit(keys[base + i], level + 1)]);
@@ -209,6 +217,7 @@ size_t PrefixTree::BatchLookup(std::span<const Key> keys, Value* out,
       }
     }
   }
+  if (stats != nullptr) stats->nodes_touched += nodes;
   return hits;
 }
 

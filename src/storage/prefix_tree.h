@@ -59,8 +59,16 @@ class PrefixTree {
 
   /// Looks up a batch; out[i]/found[i] describe keys[i]. Returns #found.
   /// Batching amortizes per-call overhead and lets the AEU hide memory
-  /// latency (the paper's command-grouping optimization).
-  size_t BatchLookup(std::span<const Key> keys, Value* out, bool* found) const;
+  /// latency (the paper's command-grouping optimization): the descent is
+  /// software-pipelined with kBatchGroup probes in flight per level, each
+  /// prefetching its next child before any is dereferenced. `stats`, when
+  /// non-null, accumulates the adjacent-deduplicated count of tree nodes
+  /// the batch touched (see storage::BatchLookupStats).
+  size_t BatchLookup(std::span<const Key> keys, Value* out, bool* found,
+                     BatchLookupStats* stats = nullptr) const;
+
+  /// Probes kept in flight per level by BatchLookup.
+  static constexpr size_t kBatchGroup = 16;
 
   /// As Lookup, additionally appending the address of every visited tree
   /// node to `trace` (for the cache simulator).

@@ -42,6 +42,16 @@ enum class PartitioningKind : uint8_t {
   kHashed = 2,
 };
 
+/// Unique-node statistics of one batch index probe. `nodes_touched` counts
+/// adjacent-deduplicated node (or cache-line) visits: exact for sorted or
+/// run-clustered batches, an upper bound otherwise. The AEU uses it to
+/// charge the simulated cost model per node actually touched instead of
+/// per key, so coalesced lookups sharing a descent path get the shared
+/// cache benefit the paper's command grouping exists for.
+struct BatchLookupStats {
+  uint64_t nodes_touched = 0;
+};
+
 /// Half-open key interval [lo, hi).
 struct KeyRange {
   Key lo = kMinKey;

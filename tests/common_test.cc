@@ -238,6 +238,35 @@ TEST(SpinLockTest, MutualExclusion) {
   EXPECT_EQ(counter, 40000);
 }
 
+TEST(SpinLockTest, ContentionWithBackoffMakesProgress) {
+  // Many waiters, short critical sections: the exponential backoff in
+  // lock() must stay bounded (kMaxBackoffSpins) so every waiter keeps
+  // re-probing and the total count comes out exact.
+  SpinLock lock;
+  uint64_t counter = 0;
+  constexpr int kThreads = 8;
+  constexpr int kIters = 4000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < kIters; ++i) {
+        std::lock_guard<SpinLock> guard(lock);
+        ++counter;
+        // Hold the lock long enough that other waiters reach deep backoff.
+        if (i % 64 == 0) {
+          for (int r = 0; r < 200; ++r) CpuRelax();
+        }
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(counter, static_cast<uint64_t>(kThreads) * kIters);
+  static_assert(SpinLock::kMaxBackoffSpins > 0 &&
+                    (SpinLock::kMaxBackoffSpins &
+                     (SpinLock::kMaxBackoffSpins - 1)) == 0,
+                "backoff ceiling is a power of two");
+}
+
 TEST(SpinLockTest, TryLock) {
   SpinLock lock;
   EXPECT_TRUE(lock.try_lock());

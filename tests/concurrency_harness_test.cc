@@ -39,13 +39,16 @@ struct EngineShape {
   uint32_t incoming_capacity_bytes;
   uint32_t flush_threshold_bytes;
   uint32_t max_batch_elements;
+  bool coalesce_lookups;
+  bool pipelined_descent;
 };
 
 constexpr EngineShape kShapes[] = {
-    {"flat-1x2-default", 1, 2, 0, 0, 0},
-    {"flat-2x2-default", 2, 2, 0, 0, 0},
-    {"flat-2x2-tiny-buffers", 2, 2, 2048, 256, 16},
-    {"flat-1x4-tiny-buffers", 1, 4, 2048, 256, 16},
+    {"flat-1x2-default", 1, 2, 0, 0, 0, true, true},
+    {"flat-2x2-default", 2, 2, 0, 0, 0, true, true},
+    {"flat-2x2-tiny-buffers", 2, 2, 2048, 256, 16, true, true},
+    {"flat-1x4-tiny-buffers", 1, 4, 2048, 256, 16, true, true},
+    {"flat-2x2-scalar-lookup", 2, 2, 0, 0, 0, false, false},
 };
 
 EngineOptions MakeOptions(const EngineShape& shape, ExecutionMode mode) {
@@ -56,6 +59,16 @@ EngineOptions MakeOptions(const EngineShape& shape, ExecutionMode mode) {
     opts.router.incoming_capacity_bytes = shape.incoming_capacity_bytes;
     opts.router.flush_threshold_bytes = shape.flush_threshold_bytes;
     opts.router.max_batch_elements = shape.max_batch_elements;
+  }
+  if (mode == ExecutionMode::kSimulated) {
+    // The sequential oracle always takes the scalar per-key lookup path,
+    // so every seed differentially checks the coalesced/pipelined fast
+    // path against key-at-a-time semantics.
+    opts.lookup.coalesce_commands = false;
+    opts.lookup.pipelined_descent = false;
+  } else {
+    opts.lookup.coalesce_commands = shape.coalesce_lookups;
+    opts.lookup.pipelined_descent = shape.pipelined_descent;
   }
   return opts;
 }
@@ -129,7 +142,7 @@ void RunSeed(uint64_t seed, const EngineShape& shape) {
 }
 
 TEST(ConcurrencyHarness, SeedSweepDifferentialOracle) {
-  // 24 seeds x 4 shapes rotated = 24 runs; the acceptance floor is a
+  // 24 seeds x 5 shapes rotated = 24 runs; the acceptance floor is a
   // >= 20-seed sweep.
   auto seeds = harness::SweepSeeds(/*base=*/1000, /*default_count=*/24);
   for (size_t i = 0; i < seeds.size(); ++i) {

@@ -13,6 +13,7 @@
 #include "numa/memory_manager.h"
 #include "storage/bplus_tree.h"
 #include "storage/csb_tree.h"
+#include "storage/hash_table.h"
 #include "storage/prefix_tree.h"
 
 namespace eris::storage {
@@ -179,6 +180,132 @@ TEST(IndexFuzzTest, CsbTreeSingleEntryAndEmptyProbes) {
   EXPECT_TRUE(empty.empty());
   EXPECT_EQ(empty.UpperBound(0), 0u);
   EXPECT_EQ(empty.LowerBound(0), 0u);
+}
+
+/// Probe sets that stress the pipelined paths: random, duplicate-heavy,
+/// sorted runs (adjacent probes share descent nodes), and all-misses.
+std::vector<std::vector<Key>> AdversarialProbeSets(Key domain, uint64_t seed) {
+  Xoshiro256 rng(seed);
+  std::vector<std::vector<Key>> sets;
+  std::vector<Key> random;
+  for (int i = 0; i < 3000; ++i) random.push_back(rng.NextBounded(domain));
+  sets.push_back(std::move(random));
+  std::vector<Key> dupes;
+  Key hot = rng.NextBounded(domain);
+  for (int i = 0; i < 2000; ++i) {
+    dupes.push_back(i % 3 == 0 ? hot : rng.NextBounded(16));
+  }
+  sets.push_back(std::move(dupes));
+  std::vector<Key> runs;
+  for (int r = 0; r < 40; ++r) {
+    Key base = rng.NextBounded(domain);
+    for (int i = 0; i < 50; ++i) runs.push_back((base + i) % domain);
+  }
+  sets.push_back(std::move(runs));
+  std::vector<Key> misses;
+  for (int i = 0; i < 1000; ++i) {
+    misses.push_back(domain + rng.NextBounded(domain));  // out of key range
+  }
+  sets.push_back(std::move(misses));
+  sets.push_back({});                       // empty batch
+  sets.push_back({rng.NextBounded(domain)});  // single probe
+  // Sub-group sizes: batches that do not divide kBatchGroup evenly.
+  std::vector<Key> ragged;
+  for (int i = 0; i < 17; ++i) ragged.push_back(rng.NextBounded(domain));
+  sets.push_back(std::move(ragged));
+  return sets;
+}
+
+template <typename Index>
+void CheckBatchLookupMatchesScalar(const Index& index, Key domain,
+                                   uint64_t seed) {
+  for (const std::vector<Key>& probes : AdversarialProbeSets(domain, seed)) {
+    SCOPED_TRACE(::testing::Message()
+                 << "seed=" << seed << " probes=" << probes.size());
+    std::vector<Value> values(probes.size() + 1);
+    std::vector<uint8_t> found(probes.size() + 1);
+    BatchLookupStats stats;
+    size_t hits =
+        index.BatchLookup(probes, values.data(),
+                          reinterpret_cast<bool*>(found.data()), &stats);
+    size_t scalar_hits = 0;
+    for (size_t i = 0; i < probes.size(); ++i) {
+      auto v = index.Lookup(probes[i]);
+      ASSERT_EQ(static_cast<bool>(found[i]), v.has_value())
+          << "key " << probes[i] << " at " << i;
+      if (v.has_value()) {
+        ASSERT_EQ(values[i], *v) << "key " << probes[i] << " at " << i;
+        ++scalar_hits;
+      }
+    }
+    EXPECT_EQ(hits, scalar_hits);
+    if (!probes.empty()) EXPECT_GT(stats.nodes_touched, 0u);
+  }
+}
+
+TEST(IndexFuzzTest, PrefixTreeBatchLookupDifferential) {
+  const Key domain = Key{1} << 18;
+  for (uint64_t seed : {31u, 32u, 33u}) {
+    numa::NodeMemoryManager mm(0);
+    PrefixTree tree(&mm, {.prefix_bits = 8, .key_bits = 20});
+    Xoshiro256 rng(seed);
+    for (int i = 0; i < 20000; ++i) {
+      Key k = rng.NextBounded(domain);
+      tree.Upsert(k, k * 3 + 1);
+    }
+    CheckBatchLookupMatchesScalar(tree, domain, seed);
+  }
+}
+
+TEST(IndexFuzzTest, PrefixTreeBatchLookupOnEmptyTree) {
+  numa::NodeMemoryManager mm(0);
+  PrefixTree tree(&mm, {.prefix_bits = 8, .key_bits = 16});
+  std::vector<Key> probes{1, 2, 3};
+  std::vector<Value> values(3);
+  bool found[3];
+  EXPECT_EQ(tree.BatchLookup(probes, values.data(), found), 0u);
+  EXPECT_FALSE(found[0] || found[1] || found[2]);
+}
+
+TEST(IndexFuzzTest, HashTableBatchLookupDifferential) {
+  const Key domain = Key{1} << 18;
+  for (uint64_t seed : {41u, 42u, 43u}) {
+    numa::NodeMemoryManager mm(0);
+    HashTable table(&mm, /*salt=*/seed * 1315423911u);
+    Xoshiro256 rng(seed);
+    for (int i = 0; i < 20000; ++i) {
+      Key k = rng.NextBounded(domain);
+      table.Upsert(k, k ^ 0xABCDu);
+    }
+    // Erase a slice to create tombstone-free backward-shifted chains.
+    for (int i = 0; i < 3000; ++i) {
+      table.Erase(rng.NextBounded(domain));
+    }
+    CheckBatchLookupMatchesScalar(table, domain, seed);
+  }
+}
+
+TEST(IndexFuzzTest, BatchLookupNodeStatsAccumulate) {
+  // Sorted probes over a dense tree touch far fewer unique nodes than
+  // keys * levels; the stats field must accumulate across calls.
+  numa::NodeMemoryManager mm(0);
+  PrefixTree tree(&mm, {.prefix_bits = 8, .key_bits = 16});
+  for (Key k = 0; k < 4096; ++k) tree.Insert(k, k);
+  std::vector<Key> sorted(4096);
+  for (Key k = 0; k < 4096; ++k) sorted[k] = k;
+  std::vector<Value> values(sorted.size());
+  std::vector<uint8_t> found(sorted.size());
+  BatchLookupStats stats;
+  tree.BatchLookup(sorted, values.data(),
+                   reinterpret_cast<bool*>(found.data()), &stats);
+  uint64_t first = stats.nodes_touched;
+  EXPECT_GT(first, 0u);
+  // 4096 consecutive keys over fanout-256 leaves: ~16 leaves + shared
+  // upper levels, far below the per-key worst case.
+  EXPECT_LT(first, sorted.size() * tree.levels());
+  tree.BatchLookup(sorted, values.data(),
+                   reinterpret_cast<bool*>(found.data()), &stats);
+  EXPECT_GE(stats.nodes_touched, 2 * first - 2);  // accumulates, not resets
 }
 
 }  // namespace

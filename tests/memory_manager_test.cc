@@ -123,6 +123,46 @@ TEST(NodeMemoryManagerTest, CrossThreadFreeFlowsBack) {
   mm.FlushThisThreadCache();
 }
 
+TEST(NodeMemoryManagerTest, ThreadCacheBytesTracksResidentBlocks) {
+  NodeMemoryManager mm(0);
+  // A fresh manager has nothing cached.
+  EXPECT_EQ(mm.stats().thread_cache_bytes, 0u);
+  // The first Allocate refills the thread cache with a batch; the block
+  // handed out no longer counts as cache-resident.
+  void* p = mm.Allocate(256);
+  MemoryStats s = mm.stats();
+  EXPECT_EQ(s.thread_cache_bytes,
+            (NodeMemoryManager::kThreadCacheBatch - 1) * 256);
+  EXPECT_EQ(s.bytes_in_use(), 256u);
+  // Freeing parks the block in the cache: in_use drops, cache grows.
+  mm.Free(p, 256);
+  s = mm.stats();
+  EXPECT_EQ(s.bytes_in_use(), 0u);
+  EXPECT_EQ(s.thread_cache_bytes,
+            NodeMemoryManager::kThreadCacheBatch * 256);
+  // Flushing drains every cached block back to the central lists.
+  mm.FlushThisThreadCache();
+  EXPECT_EQ(mm.stats().thread_cache_bytes, 0u);
+}
+
+TEST(NodeMemoryManagerTest, ThreadCacheBytesAcrossThreads) {
+  NodeMemoryManager mm(0);
+  std::thread worker([&] {
+    void* p = mm.Allocate(1024);
+    mm.Free(p, 1024);
+    // This thread exits without flushing; its cache still holds the batch.
+  });
+  worker.join();
+  EXPECT_GT(mm.stats().thread_cache_bytes, 0u);
+  // Large blocks bypass the classes entirely — no cache residency.
+  NodeMemoryManager mm2(0);
+  size_t big = NodeMemoryManager::kMaxClassBytes + 1;
+  void* p = mm2.Allocate(big);
+  mm2.Free(p, big);
+  EXPECT_EQ(mm2.stats().thread_cache_bytes, 0u);
+  mm.FlushThisThreadCache();
+}
+
 TEST(MemoryPoolTest, OneManagerPerNode) {
   MemoryPool pool(4);
   EXPECT_EQ(pool.num_nodes(), 4u);

@@ -1,8 +1,10 @@
 // Tests for range and bitmap partition tables.
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <thread>
 
+#include "common/rng.h"
 #include "routing/partition_table.h"
 
 namespace eris::routing {
@@ -100,6 +102,97 @@ TEST(RangePartitionTableTest, ManyRangesUseTreeSearch) {
     EXPECT_EQ(table.OwnerOf(i * 100 + 99), i);
   }
   EXPECT_GT(table.memory_bytes(), 0u);
+}
+
+TEST(RangePartitionTableTest, BatchOwnerOfMatchesScalarRandom) {
+  // Differential: the prefetch-pipelined whole-batch descent must agree
+  // with per-key OwnerOf on random boundaries and adversarial probe sets.
+  for (uint64_t seed : {51u, 52u, 53u}) {
+    SCOPED_TRACE(::testing::Message() << "seed=" << seed);
+    Xoshiro256 rng(seed);
+    // Random strictly-increasing boundaries (sparse, as after rebalances).
+    std::vector<RangeEntry> entries;
+    Key hi = 0;
+    uint32_t n = 1 + static_cast<uint32_t>(rng.NextBounded(300));
+    for (uint32_t i = 0; i < n; ++i) {
+      hi += 1 + rng.NextBounded(1u << 20);
+      entries.push_back({hi, static_cast<AeuId>(rng.NextBounded(64))});
+    }
+    entries.back().hi = kMaxKey;
+    RangePartitionTable table(entries);
+
+    std::vector<Key> probes;
+    for (int i = 0; i < 4000; ++i) probes.push_back(rng.Next());
+    // Boundary-straddling probes: hi-1, hi, hi+1 of every range.
+    for (const RangeEntry& e : entries) {
+      if (e.hi > 0) probes.push_back(e.hi - 1);
+      probes.push_back(e.hi);
+      if (e.hi < kMaxKey) probes.push_back(e.hi + 1);
+    }
+    probes.push_back(0);
+    probes.push_back(kMaxKey);
+    // Duplicate-heavy tail.
+    for (int i = 0; i < 100; ++i) probes.push_back(probes[i % 7]);
+
+    std::vector<AeuId> batch(probes.size());
+    std::vector<AeuId> scalar(probes.size());
+    table.BatchOwnerOf(probes, batch.data());
+    table.OwnersOf(probes, scalar.data());
+    for (size_t i = 0; i < probes.size(); ++i) {
+      ASSERT_EQ(batch[i], scalar[i]) << "key " << probes[i] << " at " << i;
+      ASSERT_EQ(batch[i], table.OwnerOf(probes[i]));
+    }
+  }
+}
+
+TEST(RangePartitionTableTest, BatchOwnerOfEmptyAndSubGroupBatches) {
+  RangePartitionTable table({{100, 1}, {200, 2}, {kMaxKey, 3}});
+  table.BatchOwnerOf({}, nullptr);  // empty batch is a no-op
+  std::vector<Key> probes{99, 100, 150};  // smaller than one prefetch group
+  std::vector<AeuId> owners(probes.size());
+  table.BatchOwnerOf(probes, owners.data());
+  EXPECT_EQ(owners[0], 1u);
+  EXPECT_EQ(owners[1], 2u);
+  EXPECT_EQ(owners[2], 2u);
+}
+
+TEST(RangePartitionTableTest, BatchOwnerOfSnapshotConsistentUnderReplace) {
+  // A batch is resolved against ONE atomically-loaded snapshot: while a
+  // rebalance thread alternates the table between two layouts, every batch
+  // must match layout A entirely or layout B entirely — never a mix (the
+  // failure mode of re-loading the snapshot per key mid-Replace).
+  std::vector<RangeEntry> layout_a{{1000, 0}, {2000, 1}, {kMaxKey, 2}};
+  std::vector<RangeEntry> layout_b{{500, 3}, {1500, 4}, {kMaxKey, 5}};
+  auto owner_in = [](const std::vector<RangeEntry>& layout, Key k) {
+    for (const RangeEntry& e : layout) {
+      if (k < e.hi || e.hi == kMaxKey) return e.owner;
+    }
+    return AeuId{~0u};
+  };
+  RangePartitionTable table(layout_a);
+  std::atomic<bool> stop{false};
+  std::thread balancer([&] {
+    bool a = false;
+    while (!stop.load(std::memory_order_relaxed)) {
+      table.Replace(a ? layout_a : layout_b);
+      a = !a;
+    }
+  });
+  std::vector<Key> probes;
+  for (Key k = 0; k < 2500; k += 100) probes.push_back(k);
+  std::vector<AeuId> owners(probes.size());
+  for (int round = 0; round < 3000; ++round) {
+    table.BatchOwnerOf(probes, owners.data());
+    bool all_a = true;
+    bool all_b = true;
+    for (size_t i = 0; i < probes.size(); ++i) {
+      all_a &= owners[i] == owner_in(layout_a, probes[i]);
+      all_b &= owners[i] == owner_in(layout_b, probes[i]);
+    }
+    ASSERT_TRUE(all_a || all_b) << "batch mixed two table versions";
+  }
+  stop.store(true);
+  balancer.join();
 }
 
 TEST(BitmapPartitionTableTest, SetTestClear) {

@@ -2,8 +2,12 @@
 // command encoding.
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <map>
 
+#include "common/fault_injection.h"
+#include "common/rng.h"
+#include "numa/memory_manager.h"
 #include "routing/router.h"
 
 namespace eris::routing {
@@ -220,6 +224,49 @@ TEST_F(RouterTest, SimAccountingChargesRoutes) {
   ep.FlushAll();
   EXPECT_GT(usage.TotalLinkBytes(), 0u);
 }
+
+#if defined(ERIS_FAULT_INJECTION) && ERIS_FAULT_INJECTION
+TEST_F(RouterTest, SteadyStateSendsAreAllocationFree) {
+  // The endpoint's scratch state lives in a node-local arena that only
+  // grows through the kEndpointScratchAlloc injection point. After a
+  // warm-up send sized like the steady-state traffic, further sends must
+  // never visit the point: the lookup fast path is allocation-free.
+  numa::NodeMemoryManager mm(0);
+  Endpoint ep(&router_, kInvalidAeu, 0, &mm);
+  std::atomic<uint64_t> grows{0};
+  fi::FaultInjector::Global().Reset();
+  fi::FaultInjector::Global().SetHook(
+      fi::Point::kEndpointScratchAlloc,
+      [&] { grows.fetch_add(1, std::memory_order_relaxed); });
+
+  auto drain_all = [&] {
+    for (AeuId a = 0; a < 4; ++a) {
+      router_.mailbox(a).Drain([](std::span<const uint8_t>) {});
+    }
+  };
+  Xoshiro256 rng(3);
+  std::vector<Key> keys(512);
+  for (Key& k : keys) k = rng.NextBounded(1u << 20);
+  // Warm-up: grows the scratch arena to steady-state capacity.
+  ep.SendLookupBatch(0, keys, nullptr);
+  ep.SendEraseBatch(0, keys, nullptr);
+  ep.FlushAll();
+  drain_all();
+  const uint64_t warmup_grows = grows.load();
+  EXPECT_GT(warmup_grows, 0u);  // the warm-up itself does allocate
+
+  for (int round = 0; round < 50; ++round) {
+    for (Key& k : keys) k = rng.NextBounded(1u << 20);
+    ep.SendLookupBatch(0, keys, nullptr);
+    ep.SendEraseBatch(0, keys, nullptr);
+    ep.FlushAll();
+    drain_all();
+  }
+  EXPECT_EQ(grows.load(), warmup_grows)
+      << "steady-state SendLookupBatch/SendEraseBatch grew the scratch arena";
+  fi::FaultInjector::Global().Reset();
+}
+#endif  // ERIS_FAULT_INJECTION
 
 }  // namespace
 }  // namespace eris::routing
