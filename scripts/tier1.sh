@@ -30,6 +30,13 @@ echo "=== tier-1: lookup fast-path smoke (bench_ext_lookup --smoke) ==="
 # coalescing + pipelined descent) must stay >= 1.5x the per-key baseline.
 ./build/bench/bench_ext_lookup --smoke
 
+echo "=== tier-1: join/pipeline smoke (bench_ext_join --smoke) ==="
+# Gates the query layer (DESIGN.md §13): the fused pipeline must stay
+# >= 1.5x the operator-at-a-time baseline at selectivity <= 10%, and the
+# MPSM join must cross strictly fewer sim link bytes than the shared-hash
+# baseline. Both metrics are deterministic simulated-time counters.
+./build/bench/bench_ext_join --smoke
+
 echo "=== tier-1: scalar-fallback build (-DERIS_ENABLE_AVX2=OFF) ==="
 cmake -B build-scalar -S . -DERIS_ENABLE_AVX2=OFF \
       -DERIS_BUILD_BENCHMARKS=OFF -DERIS_BUILD_EXAMPLES=OFF
@@ -43,7 +50,8 @@ cmake -B build-tsan -S . -DERIS_SANITIZE=thread \
 cmake --build build-tsan -j"$JOBS" --target \
       common_test memory_manager_test mvcc_test incoming_buffer_test \
       partition_table_test router_test engine_test rebalance_test aeu_test \
-      outgoing_test stress_test concurrency_harness_test overload_test
+      outgoing_test stress_test concurrency_harness_test overload_test \
+      query_test join_pipeline_test
 # tsan.supp is applied through each test's TSAN_OPTIONS ctest property
 # (set by tests/CMakeLists.txt when ERIS_SANITIZE=thread).
 ERIS_HARNESS_SEEDS="${ERIS_HARNESS_SEEDS:-6}" \

@@ -27,6 +27,8 @@ const char* PointName(Point p) {
     case Point::kAeuProcess:        return "aeu.process";
     case Point::kEndpointScratchAlloc:
       return "endpoint.scratch_alloc";
+    case Point::kQueryScratchAlloc:
+      return "query.scratch_alloc";
     case Point::kNumPoints:         break;
   }
   return "?";

@@ -56,6 +56,9 @@ enum class Point : uint32_t {
                          ///< throwing hook marks the command as poison
   kEndpointScratchAlloc, ///< endpoint scratch arena grows (allocation
                          ///< counter: steady-state sends must not visit it)
+  kQueryScratchAlloc,    ///< query-pipeline/join scratch arena grows
+                         ///< (allocation counter: steady-state pipelines and
+                         ///< joins must not visit it)
   kNumPoints,
 };
 

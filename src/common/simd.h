@@ -80,6 +80,47 @@ inline uint64_t ScanCollectScalar(const uint64_t* data, size_t n, uint64_t lo,
   return count;
 }
 
+// --- Selection-vector kernels (vectorized pipeline operators) --------------
+//
+// A selection vector is a dense array of uint32_t positions into one column
+// segment (segment capacity is 64 Ki, so 32 bits suffice). Operators of a
+// fused pipeline hand selection vectors to each other instead of
+// materializing intermediate columns.
+
+/// Filter: writes the position of every element in [lo, hi] into `out`
+/// (room for n required); returns the match count.
+inline uint32_t FilterIndicesScalar(const uint64_t* data, size_t n,
+                                    uint64_t lo, uint64_t hi, uint32_t* out) {
+  uint32_t count = 0;
+  for (size_t i = 0; i < n; ++i) {
+    if (data[i] >= lo && data[i] <= hi) out[count++] = static_cast<uint32_t>(i);
+  }
+  return count;
+}
+
+/// Refining filter: keeps the selected positions whose value in `data` lies
+/// in [lo, hi]. `out` may alias `sel` (the kernel only shrinks).
+inline uint32_t FilterIndicesSelScalar(const uint64_t* data,
+                                       const uint32_t* sel, size_t m,
+                                       uint64_t lo, uint64_t hi,
+                                       uint32_t* out) {
+  uint32_t count = 0;
+  for (size_t i = 0; i < m; ++i) {
+    uint32_t pos = sel[i];
+    uint64_t v = data[pos];
+    if (v >= lo && v <= hi) out[count++] = pos;
+  }
+  return count;
+}
+
+/// Aggregate over a selection: sum of data[sel[i]].
+inline uint64_t GatherSumSelScalar(const uint64_t* data, const uint32_t* sel,
+                                   size_t m) {
+  uint64_t sum = 0;
+  for (size_t i = 0; i < m; ++i) sum += data[sel[i]];
+  return sum;
+}
+
 // ---------------------------------------------------------------------------
 // AVX2 kernels (compiled when ERIS_ENABLE_AVX2; selected at runtime)
 // ---------------------------------------------------------------------------
@@ -195,6 +236,73 @@ __attribute__((target("avx2"))) inline uint64_t ScanCollectAvx2(
   return count;
 }
 
+__attribute__((target("avx2"))) inline uint32_t FilterIndicesAvx2(
+    const uint64_t* data, size_t n, uint64_t lo, uint64_t hi, uint32_t* out) {
+  const __m256i lo_b = internal::BiasU64(_mm256_set1_epi64x(
+      static_cast<long long>(lo)));
+  const __m256i hi_b = internal::BiasU64(_mm256_set1_epi64x(
+      static_cast<long long>(hi)));
+  uint32_t count = 0;
+  size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    __m256i v = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(data + i));
+    __m256i mask = internal::RangeMaskU64(internal::BiasU64(v), lo_b, hi_b);
+    int bits = _mm256_movemask_pd(_mm256_castsi256_pd(mask));
+    while (bits != 0) {
+      int lane = __builtin_ctz(static_cast<unsigned>(bits));
+      out[count++] = static_cast<uint32_t>(i) + static_cast<uint32_t>(lane);
+      bits &= bits - 1;
+    }
+  }
+  for (; i < n; ++i) {
+    if (data[i] >= lo && data[i] <= hi) out[count++] = static_cast<uint32_t>(i);
+  }
+  return count;
+}
+
+__attribute__((target("avx2"))) inline uint32_t FilterIndicesSelAvx2(
+    const uint64_t* data, const uint32_t* sel, size_t m, uint64_t lo,
+    uint64_t hi, uint32_t* out) {
+  const __m256i lo_b = internal::BiasU64(_mm256_set1_epi64x(
+      static_cast<long long>(lo)));
+  const __m256i hi_b = internal::BiasU64(_mm256_set1_epi64x(
+      static_cast<long long>(hi)));
+  uint32_t count = 0;
+  size_t i = 0;
+  for (; i + 4 <= m; i += 4) {
+    __m128i idx = _mm_loadu_si128(reinterpret_cast<const __m128i*>(sel + i));
+    __m256i v = _mm256_i32gather_epi64(
+        reinterpret_cast<const long long*>(data), idx, 8);
+    __m256i mask = internal::RangeMaskU64(internal::BiasU64(v), lo_b, hi_b);
+    int bits = _mm256_movemask_pd(_mm256_castsi256_pd(mask));
+    while (bits != 0) {
+      int lane = __builtin_ctz(static_cast<unsigned>(bits));
+      out[count++] = sel[i + static_cast<size_t>(lane)];
+      bits &= bits - 1;
+    }
+  }
+  for (; i < m; ++i) {
+    uint64_t v = data[sel[i]];
+    if (v >= lo && v <= hi) out[count++] = sel[i];
+  }
+  return count;
+}
+
+__attribute__((target("avx2"))) inline uint64_t GatherSumSelAvx2(
+    const uint64_t* data, const uint32_t* sel, size_t m) {
+  __m256i acc = _mm256_setzero_si256();
+  size_t i = 0;
+  for (; i + 4 <= m; i += 4) {
+    __m128i idx = _mm_loadu_si128(reinterpret_cast<const __m128i*>(sel + i));
+    __m256i v = _mm256_i32gather_epi64(
+        reinterpret_cast<const long long*>(data), idx, 8);
+    acc = _mm256_add_epi64(acc, v);
+  }
+  uint64_t sum = internal::HorizontalSumU64(acc);
+  for (; i < m; ++i) sum += data[sel[i]];
+  return sum;
+}
+
 #endif  // ERIS_SIMD_AVX2
 
 // ---------------------------------------------------------------------------
@@ -256,6 +364,31 @@ inline uint64_t ScanCollect(const uint64_t* data, size_t n, uint64_t lo,
   if (HaveAvx2()) return ScanCollectAvx2(data, n, lo, hi, base, out);
 #endif
   return ScanCollectScalar(data, n, lo, hi, base, out);
+}
+
+inline uint32_t FilterIndices(const uint64_t* data, size_t n, uint64_t lo,
+                              uint64_t hi, uint32_t* out) {
+#if ERIS_SIMD_AVX2
+  if (HaveAvx2()) return FilterIndicesAvx2(data, n, lo, hi, out);
+#endif
+  return FilterIndicesScalar(data, n, lo, hi, out);
+}
+
+inline uint32_t FilterIndicesSel(const uint64_t* data, const uint32_t* sel,
+                                 size_t m, uint64_t lo, uint64_t hi,
+                                 uint32_t* out) {
+#if ERIS_SIMD_AVX2
+  if (HaveAvx2()) return FilterIndicesSelAvx2(data, sel, m, lo, hi, out);
+#endif
+  return FilterIndicesSelScalar(data, sel, m, lo, hi, out);
+}
+
+inline uint64_t GatherSumSel(const uint64_t* data, const uint32_t* sel,
+                             size_t m) {
+#if ERIS_SIMD_AVX2
+  if (HaveAvx2()) return GatherSumSelAvx2(data, sel, m);
+#endif
+  return GatherSumSelScalar(data, sel, m);
 }
 
 }  // namespace eris::simd

@@ -57,24 +57,32 @@ Aeu::Aeu(routing::AeuId id, Engine* engine)
       id_(id),
       node_(engine->NodeOfAeu(id)),
       endpoint_(&engine->router(), id, engine->NodeOfAeu(id),
-                &engine->memory().manager(engine->NodeOfAeu(id))) {
+                &engine->memory().manager(engine->NodeOfAeu(id))),
+      sel_(&engine->memory().manager(engine->NodeOfAeu(id))),
+      mat_idx_(&engine->memory().manager(engine->NodeOfAeu(id))),
+      join_run_(&engine->memory().manager(engine->NodeOfAeu(id))),
+      join_out_(&engine->memory().manager(engine->NodeOfAeu(id))),
+      join_keys_(&engine->memory().manager(engine->NodeOfAeu(id))) {
   // Objects may be registered while the loop runs (query-layer
-  // intermediates): reserving up front means AddPartition never
-  // reallocates under a concurrently reading loop. A command can only
-  // reference an object after its registration completed, so slot writes
-  // are ordered before the reads via the mailbox's release/acquire pair.
-  partitions_.reserve(routing::Router::kMaxObjects);
+  // intermediates): the slot array is sized up front so AddPartition only
+  // ever writes one slot and publishes it through num_partitions_. A
+  // command can only reference an object after its registration completed,
+  // so slot writes are also ordered before command-side reads via the
+  // mailbox's release/acquire pair.
+  partitions_.resize(routing::Router::kMaxObjects);
 }
 
 Aeu::~Aeu() = default;
 
 void Aeu::AddPartition(const storage::DataObjectDesc& desc,
                        storage::KeyRange initial_range) {
-  ERIS_CHECK_EQ(desc.id, partitions_.size());
-  ERIS_CHECK_LT(partitions_.size(), routing::Router::kMaxObjects);
+  uint32_t count = num_partitions_.load(std::memory_order_relaxed);
+  ERIS_CHECK_EQ(desc.id, count);
+  ERIS_CHECK_LT(count, routing::Router::kMaxObjects);
   uint64_t salt = Mix64((static_cast<uint64_t>(desc.id) << 32) | id_);
-  partitions_.push_back(std::make_unique<storage::Partition>(
-      desc, &engine_->memory().manager(node_), initial_range, salt));
+  partitions_[count] = std::make_unique<storage::Partition>(
+      desc, &engine_->memory().manager(node_), initial_range, salt);
+  num_partitions_.store(count + 1, std::memory_order_release);
 }
 
 // ---------------------------------------------------------------------------
@@ -106,6 +114,8 @@ bool Aeu::RunLoopIteration() {
     idle_iterations_ = 0;
     RunMaintenance();
   }
+  quiescent_.store(deferred_.empty() && !endpoint_.HasPending(),
+                   std::memory_order_release);
   return worked;
 }
 
@@ -114,7 +124,9 @@ void Aeu::RunMaintenance() {
       engine_->snapshots().MinActive(engine_->oracle().ReadTs());
   if (watermark == 0) return;
   ++stats_.maintenance_runs;
-  for (auto& part : partitions_) {
+  uint32_t n = num_partitions_.load(std::memory_order_acquire);
+  for (uint32_t i = 0; i < n; ++i) {
+    storage::Partition* part = partitions_[i].get();
     storage::MvccColumn* column = part->mvcc_column();
     if (column == nullptr || column->undo_chains() == 0) continue;
     size_t before = column->undo_chains();
@@ -207,6 +219,18 @@ void Aeu::ProcessGroups() {
         break;
       case routing::CommandType::kJoinProbe:
         ProcessJoinProbeGroup(g);
+        break;
+      case routing::CommandType::kPipeline:
+        ProcessPipelineGroup(g);
+        break;
+      case routing::CommandType::kJoinScatter:
+        ProcessJoinScatterGroup(g);
+        break;
+      case routing::CommandType::kJoinStage:
+        ProcessJoinStageGroup(g);
+        break;
+      case routing::CommandType::kJoinMerge:
+        ProcessJoinMergeGroup(g);
         break;
       case routing::CommandType::kFence:
         for (const routing::CommandView& cmd : g.commands) ProcessFence(cmd);
@@ -862,6 +886,440 @@ void Aeu::ProcessJoinProbeGroup(const Group& g) {
                                                bytes * g.commands.size());
     group_modeled_ns_ += ns;
   }
+}
+
+// ---------------------------------------------------------------------------
+// Fused query pipelines & MPSM sort-merge join (DESIGN.md §13)
+// ---------------------------------------------------------------------------
+
+void Aeu::ProcessPipelineGroup(const Group& g) {
+  // g.object is the driving filter column; every job of the group shares
+  // it (the dequeue grouping that lets pipelines scan-share the driving
+  // column like kScanColumn groups do).
+  storage::Partition* part = partition(g.object);
+  storage::MvccColumn* f1 = part->mvcc_column();
+  ERIS_CHECK(f1 != nullptr) << "pipeline on keyed object";
+  struct Job {
+    routing::PipelineParams p;
+    routing::ResultSink* sink;
+    const storage::MvccColumn* f2 = nullptr;
+    const storage::MvccColumn* agg = nullptr;
+    uint64_t visible = 0;
+    bool fast = false;
+    uint64_t rows = 0;
+    uint64_t sum = 0;
+  };
+  static thread_local std::vector<Job> jobs;
+  jobs.clear();
+  uint64_t now = 0;
+  for (const routing::CommandView& cmd : g.commands) {
+    if (cmd.header.deadline_ns != 0) {
+      if (now == 0) now = MonotonicNanos();
+      if (now > cmd.header.deadline_ns) {
+        ExpireCommand(cmd);
+        continue;
+      }
+    }
+    Job job;
+    job.p = cmd.PayloadAs<routing::PipelineParams>()[0];
+    job.sink = cmd.header.sink;
+    if (job.p.filter2_object != routing::kNoPipelineColumn) {
+      job.f2 = partition(job.p.filter2_object)->mvcc_column();
+      ERIS_CHECK(job.f2 != nullptr) << "pipeline filter on keyed object";
+    }
+    job.agg = partition(job.p.agg_object)->mvcc_column();
+    ERIS_CHECK(job.agg != nullptr) << "pipeline aggregate on keyed object";
+    // Visible prefix: the minimum over the group's member columns. The
+    // group is co-partitioned, so the members agree except for straggler
+    // rows of concurrent appends, which no snapshot of the pipeline sees.
+    auto vis = [&](const storage::MvccColumn* c) {
+      return job.p.snapshot_ts == ~uint64_t{0} ? c->size()
+                                               : c->VisibleSize(job.p.snapshot_ts);
+    };
+    job.visible = vis(f1);
+    job.visible = std::min(job.visible, vis(job.agg));
+    if (job.f2 != nullptr) job.visible = std::min(job.visible, vis(job.f2));
+    job.fast = f1->undo_chains() == 0 && job.agg->undo_chains() == 0 &&
+               (job.f2 == nullptr || job.f2->undo_chains() == 0);
+    jobs.push_back(job);
+  }
+
+  const storage::ColumnStore& c1 = f1->column();
+  constexpr uint64_t kCap = storage::ColumnStore::kSegmentCapacity;
+  uint64_t f1_bytes = 0;   // driving column, streamed once per segment
+  uint64_t f2_bytes = 0;   // refining filter gathers (per job)
+  uint64_t agg_bytes = 0;  // aggregate gathers (per job)
+
+  // --- fused, vectorized path: one pass, selection vectors in cache ---
+  static thread_local std::vector<Job*> fused;
+  fused.clear();
+  uint64_t max_visible = 0;
+  for (Job& j : jobs) {
+    if (j.fast && (j.p.flags & routing::kPipelineFused) != 0) {
+      fused.push_back(&j);
+      max_visible = std::max(max_visible, j.visible);
+      ++stats_.pipelines_fused;
+    }
+  }
+  for (size_t s = 0; s * kCap < max_visible; ++s) {
+    std::span<const storage::Value> seg1 = c1.Segment(s);
+    const storage::TupleId base = s * kCap;
+    const storage::ZoneMap& z1 = c1.zone(s);
+    uint64_t seg_streamed = 0;
+    for (Job* jp : fused) {
+      Job& j = *jp;
+      if (base >= j.visible) continue;
+      uint64_t m = std::min<uint64_t>(seg1.size(), j.visible - base);
+      // Zone-map pruning runs before the filter kernel: an excluded
+      // segment costs only its zone-map read.
+      if (z1.Excludes(j.p.lo, j.p.hi)) {
+        ++stats_.pipeline_segments_pruned;
+        continue;
+      }
+      // Operator 1 — filter: selection vector of matching positions.
+      // `full` short-circuits a fully covered segment (identity selection).
+      bool full = z1.CoveredBy(j.p.lo, j.p.hi);
+      uint32_t cnt = static_cast<uint32_t>(m);
+      if (!full) {
+        sel_.resize(m);
+        cnt = simd::FilterIndices(seg1.data(), m, j.p.lo, j.p.hi, sel_.data());
+        seg_streamed = std::max<uint64_t>(seg_streamed,
+                                          m * sizeof(storage::Value));
+      }
+      if (cnt == 0) continue;
+      // Operator 2 — refining filter over the carried selection vector.
+      if (j.f2 != nullptr) {
+        const storage::ColumnStore& c2 = j.f2->column();
+        std::span<const storage::Value> seg2 = c2.Segment(s);
+        const storage::ZoneMap& z2 = c2.zone(s);
+        if (z2.Excludes(j.p.lo2, j.p.hi2)) {
+          ++stats_.pipeline_segments_pruned;
+          continue;
+        }
+        if (!z2.CoveredBy(j.p.lo2, j.p.hi2)) {
+          if (full) {
+            sel_.resize(m);
+            cnt = simd::FilterIndices(seg2.data(), m, j.p.lo2, j.p.hi2,
+                                      sel_.data());
+            f2_bytes += m * sizeof(storage::Value);
+            full = false;
+          } else {
+            f2_bytes += cnt * sizeof(storage::Value);
+            cnt = simd::FilterIndicesSel(seg2.data(), sel_.data(), cnt,
+                                         j.p.lo2, j.p.hi2, sel_.data());
+          }
+          if (cnt == 0) continue;
+        }
+      }
+      // Operator 3 — aggregate: gather-sum through the selection vector.
+      const storage::ColumnStore& ca = j.agg->column();
+      std::span<const storage::Value> sega = ca.Segment(s);
+      if (full) {
+        j.sum += simd::SumAll(sega.data(), m);
+        j.rows += m;
+        agg_bytes += m * sizeof(storage::Value);
+      } else {
+        j.sum += simd::GatherSumSel(sega.data(), sel_.data(), cnt);
+        j.rows += cnt;
+        agg_bytes += cnt * sizeof(storage::Value);
+      }
+    }
+    f1_bytes += seg_streamed;
+  }
+
+  // --- operator-at-a-time baseline (the fusion ablation): one full pass
+  // per operator, a materialized intermediate index vector, no zone maps ---
+  for (Job& j : jobs) {
+    if (!j.fast || (j.p.flags & routing::kPipelineFused) != 0) continue;
+    ++stats_.pipelines_baseline;
+    mat_idx_.resize(j.visible);
+    uint64_t cnt = 0;
+    for (size_t s = 0; s * kCap < j.visible; ++s) {
+      std::span<const storage::Value> seg = c1.Segment(s);
+      const storage::TupleId base = s * kCap;
+      uint64_t m = std::min<uint64_t>(seg.size(), j.visible - base);
+      cnt += simd::ScanCollect(seg.data(), m, j.p.lo, j.p.hi, base,
+                               mat_idx_.data() + cnt);
+    }
+    // Full column pass + writing the materialized index vector.
+    f1_bytes += j.visible * sizeof(storage::Value) + cnt * sizeof(uint64_t);
+    if (j.f2 != nullptr) {
+      const storage::ColumnStore& c2 = j.f2->column();
+      uint64_t kept = 0;
+      f2_bytes += 2 * cnt * sizeof(uint64_t);  // reread indices + gather
+      for (uint64_t i = 0; i < cnt; ++i) {
+        uint64_t idx = mat_idx_[i];
+        storage::Value v = c2.Segment(idx / kCap)[idx % kCap];
+        if (v >= j.p.lo2 && v <= j.p.hi2) mat_idx_[kept++] = idx;
+      }
+      f2_bytes += kept * sizeof(uint64_t);  // rewrite the survivors
+      cnt = kept;
+    }
+    const storage::ColumnStore& ca = j.agg->column();
+    agg_bytes += 2 * cnt * sizeof(uint64_t);
+    for (uint64_t i = 0; i < cnt; ++i) {
+      uint64_t idx = mat_idx_[i];
+      j.sum += ca.Segment(idx / kCap)[idx % kCap];
+    }
+    j.rows = cnt;
+  }
+
+  // --- MVCC fallback: versioned member columns read tuple-at-a-time ---
+  for (Job& j : jobs) {
+    if (j.fast) continue;
+    for (storage::TupleId tid = 0; tid < j.visible; ++tid) {
+      storage::Value v1 = f1->Read(tid, j.p.snapshot_ts);
+      if (v1 < j.p.lo || v1 > j.p.hi) continue;
+      if (j.f2 != nullptr) {
+        storage::Value v2 = j.f2->Read(tid, j.p.snapshot_ts);
+        if (v2 < j.p.lo2 || v2 > j.p.hi2) continue;
+      }
+      ++j.rows;
+      j.sum += j.agg->Read(tid, j.p.snapshot_ts);
+    }
+    uint64_t cols = 2 + (j.f2 != nullptr ? 1 : 0);
+    f1_bytes += j.visible * sizeof(storage::Value) * cols;
+  }
+
+  for (Job& j : jobs) {
+    if (j.sink != nullptr) {
+      j.sink->OnScanPartial(j.rows, j.sum);
+      j.sink->OnCommandComplete(1);
+    }
+  }
+  if (fused.size() > 1) stats_.scans_coalesced += fused.size() - 1;
+  stats_.pipeline_filter_bytes += f1_bytes;
+  stats_.pipeline_filter2_bytes += f2_bytes;
+  stats_.pipeline_agg_bytes += agg_bytes;
+  group_ops_ += jobs.size();
+  if (engine_->sim_enabled()) {
+    sim::ResourceUsage& ru = engine_->resource_usage();
+    uint64_t bytes = f1_bytes + f2_bytes + agg_bytes;
+    double ns = engine_->cost_model().StreamNs(node_, node_, bytes);
+    ru.AddComputeNs(id_, ns);
+    ru.AddMemoryTraffic(node_, node_, bytes);
+    group_modeled_ns_ += ns;
+  }
+}
+
+void Aeu::BuildLocalRun(storage::ObjectId object,
+                        routing::QueryArenaVec<routing::KeyValue>* out) {
+  out->clear();
+  storage::Partition* part = partition(object);
+  const storage::KeyRange& r = part->range();
+  part->IndexRangeScan(r.lo, r.hi, [&](storage::Key k, storage::Value v) {
+    out->push_back(routing::KeyValue{k, v});
+  });
+  if (part->index() == nullptr) {
+    // Hash containers scan unordered: the MPSM in-place local sort.
+    std::sort(out->begin(), out->end(),
+              [](const routing::KeyValue& a, const routing::KeyValue& b) {
+                return a.key < b.key;
+              });
+    ++stats_.join_runs_sorted;
+  }
+}
+
+Aeu::JoinStage* Aeu::FindOrCreateStage(uint64_t join_id) {
+  JoinStage* free_slot = nullptr;
+  for (auto& s : join_stages_) {
+    if (s->active && s->join_id == join_id) return s.get();
+    if (!s->active && free_slot == nullptr) free_slot = s.get();
+  }
+  if (free_slot == nullptr) {
+    join_stages_.push_back(
+        std::make_unique<JoinStage>(&engine_->memory().manager(node_)));
+    free_slot = join_stages_.back().get();
+  }
+  free_slot->join_id = join_id;
+  free_slot->active = true;
+  free_slot->entries.clear();
+  return free_slot;
+}
+
+bool Aeu::JoinAlreadyMerged(uint64_t join_id) const {
+  if (join_id == 0) return false;
+  for (uint64_t id : merged_join_ids_) {
+    if (id == join_id) return true;
+  }
+  return false;
+}
+
+void Aeu::ProcessJoinScatterGroup(const Group& g) {
+  for (const routing::CommandView& cmd : g.commands) {
+    routing::MergeJoinParams p = cmd.PayloadAs<routing::MergeJoinParams>()[0];
+    if (p.strategy == routing::JoinStrategy::kSharedHash) {
+      // Shared-hash baseline: every local R key becomes a routed lookup
+      // into the hash-partitioned S — probe traffic crosses links
+      // uniformly, the cost MPSM's range alignment avoids.
+      BuildLocalRun(p.r_object, &join_run_);
+      join_keys_.clear();
+      for (const routing::KeyValue& kv : join_run_) {
+        join_keys_.push_back(kv.key);
+      }
+      if (!join_keys_.empty()) {
+        endpoint_.set_deadline_ns(cmd.header.deadline_ns);
+        endpoint_.SendLookupBatch(p.s_object, join_keys_, p.result_sink);
+        endpoint_.set_deadline_ns(0);
+      }
+      if (cmd.header.sink != nullptr) {
+        cmd.header.sink->OnScanPartial(join_run_.size(), 0);
+        cmd.header.sink->OnCommandComplete(1);
+      }
+    } else {
+      // MPSM scatter: sort the local S run in place, keep the key ranges
+      // this AEU also owns on the R side, exchange only the ranges that
+      // straddle R's partition boundaries.
+      BuildLocalRun(p.s_object, &join_run_);
+      storage::Partition* rpart = partition(p.r_object);
+      join_out_.clear();
+      JoinStage* stage = nullptr;
+      uint64_t kept = 0;
+      for (const routing::KeyValue& kv : join_run_) {
+        if (rpart->range().Contains(kv.key)) {
+          if (stage == nullptr) stage = FindOrCreateStage(p.join_id);
+          stage->entries.push_back(kv);
+          ++kept;
+        } else {
+          join_out_.push_back(kv);
+        }
+      }
+      stats_.join_entries_local += kept;
+      stats_.join_entries_exchanged += join_out_.size();
+      if (!join_out_.empty()) {
+        routing::JoinStageParams sp;
+        sp.join_id = p.join_id;
+        sp.result_sink = p.result_sink;
+        endpoint_.set_deadline_ns(cmd.header.deadline_ns);
+        endpoint_.SendJoinStage(p.r_object, sp, join_out_, nullptr);
+        endpoint_.set_deadline_ns(0);
+      }
+      if (cmd.header.sink != nullptr) {
+        cmd.header.sink->OnScanPartial(join_run_.size(), 0);
+        cmd.header.sink->OnCommandComplete(1);
+      }
+    }
+    if (engine_->sim_enabled()) {
+      uint64_t bytes = join_run_.size() * sizeof(routing::KeyValue);
+      sim::ResourceUsage& ru = engine_->resource_usage();
+      double ns = engine_->cost_model().StreamNs(node_, node_, bytes);
+      ru.AddComputeNs(id_, ns);
+      ru.AddMemoryTraffic(node_, node_, bytes);
+      group_modeled_ns_ += ns;
+    }
+  }
+  group_ops_ += g.commands.size();
+}
+
+void Aeu::ProcessJoinStageGroup(const Group& g) {
+  for (const routing::CommandView& cmd : g.commands) {
+    routing::JoinStageParams sp;
+    std::memcpy(&sp, cmd.payload, sizeof(sp));
+    std::span<const routing::KeyValue> entries{
+        reinterpret_cast<const routing::KeyValue*>(cmd.payload + sizeof(sp)),
+        (cmd.header.payload_bytes - sizeof(sp)) / sizeof(routing::KeyValue)};
+    storage::Partition* rpart = partition(g.object);
+    if (JoinAlreadyMerged(sp.join_id)) {
+      // The merge for this join already ran here (ownership moved under a
+      // concurrent rebalance): resolve the stragglers through the routed
+      // lookup path, which forwards/defers correctly on its own.
+      join_keys_.clear();
+      for (const routing::KeyValue& kv : entries) join_keys_.push_back(kv.key);
+      endpoint_.set_deadline_ns(cmd.header.deadline_ns);
+      endpoint_.SendLookupBatch(g.object, join_keys_, sp.result_sink);
+      endpoint_.set_deadline_ns(0);
+      stats_.join_boundary_lookups += entries.size();
+    } else {
+      JoinStage* stage = nullptr;
+      join_out_.clear();
+      for (const routing::KeyValue& kv : entries) {
+        if (rpart->range().Contains(kv.key) ||
+            InPendingRange(g.object, kv.key)) {
+          if (stage == nullptr) stage = FindOrCreateStage(sp.join_id);
+          stage->entries.push_back(kv);
+        } else {
+          join_out_.push_back(kv);
+        }
+      }
+      if (!join_out_.empty()) {
+        // Ownership moved since the scatter routed this chunk: forward to
+        // the current owners.
+        endpoint_.set_deadline_ns(cmd.header.deadline_ns);
+        endpoint_.SendJoinStage(g.object, sp, join_out_, nullptr);
+        endpoint_.set_deadline_ns(0);
+        ++stats_.commands_forwarded;
+      }
+    }
+    if (cmd.header.sink != nullptr) cmd.header.sink->OnCommandComplete(1);
+  }
+  group_ops_ += g.commands.size();
+}
+
+void Aeu::ProcessJoinMergeGroup(const Group& g) {
+  for (const routing::CommandView& cmd : g.commands) {
+    routing::MergeJoinParams p = cmd.PayloadAs<routing::MergeJoinParams>()[0];
+    // Mark merged before consuming the stage: staged entries arriving
+    // after this point resolve via routed lookups (see ProcessJoinStage).
+    merged_join_ids_[merged_join_pos_++ % kMergedRing] = p.join_id;
+    uint64_t matches = 0;
+    uint64_t key_sum = 0;
+    JoinStage* stage = nullptr;
+    for (auto& s : join_stages_) {
+      if (s->active && s->join_id == p.join_id) {
+        stage = s.get();
+        break;
+      }
+    }
+    if (stage != nullptr) {
+      // The staged run is a concatenation of per-source sorted chunks:
+      // sort it in place, then merge linearly against the local R run.
+      std::sort(stage->entries.begin(), stage->entries.end(),
+                [](const routing::KeyValue& a, const routing::KeyValue& b) {
+                  return a.key < b.key;
+                });
+      ++stats_.join_runs_sorted;
+      storage::Partition* rpart = partition(p.r_object);
+      BuildLocalRun(p.r_object, &join_run_);
+      join_keys_.clear();
+      size_t k = 0;
+      for (const routing::KeyValue& e : stage->entries) {
+        if (!rpart->range().Contains(e.key) ||
+            InPendingRange(p.r_object, e.key)) {
+          // Moved away (or still in flight) under a concurrent rebalance:
+          // the routed lookup path resolves it at the current owner.
+          join_keys_.push_back(e.key);
+          continue;
+        }
+        while (k < join_run_.size() && join_run_[k].key < e.key) ++k;
+        if (k < join_run_.size() && join_run_[k].key == e.key) {
+          ++matches;
+          key_sum += e.key;
+        }
+      }
+      if (!join_keys_.empty()) {
+        endpoint_.set_deadline_ns(cmd.header.deadline_ns);
+        endpoint_.SendLookupBatch(p.r_object, join_keys_, p.result_sink);
+        endpoint_.set_deadline_ns(0);
+        stats_.join_boundary_lookups += join_keys_.size();
+      }
+      if (engine_->sim_enabled()) {
+        uint64_t bytes = (stage->entries.size() + join_run_.size()) *
+                         sizeof(routing::KeyValue);
+        sim::ResourceUsage& ru = engine_->resource_usage();
+        double ns = engine_->cost_model().StreamNs(node_, node_, bytes);
+        ru.AddComputeNs(id_, ns);
+        ru.AddMemoryTraffic(node_, node_, bytes);
+        group_modeled_ns_ += ns;
+      }
+      stage->active = false;
+      stage->entries.clear();
+    }
+    if (p.result_sink != nullptr) {
+      p.result_sink->OnScanPartial(matches, key_sum);
+    }
+    if (cmd.header.sink != nullptr) cmd.header.sink->OnCommandComplete(1);
+  }
+  group_ops_ += g.commands.size();
 }
 
 void Aeu::ProcessFence(const routing::CommandView& cmd) {

@@ -44,6 +44,17 @@ struct AeuLoopStats {
   uint64_t commands_expired = 0;   ///< dropped at dequeue: deadline passed
   uint64_t units_expired = 0;      ///< completion units of expired commands
   uint64_t commands_quarantined = 0;  ///< poison commands dead-lettered
+  // --- query pipelines & MPSM join (DESIGN.md §13) ---
+  uint64_t pipelines_fused = 0;     ///< pipeline commands run fused
+  uint64_t pipelines_baseline = 0;  ///< pipeline commands run operator-at-a-time
+  uint64_t pipeline_segments_pruned = 0;  ///< zone-map skips before the filter
+  uint64_t pipeline_filter_bytes = 0;   ///< driving-filter bytes streamed
+  uint64_t pipeline_filter2_bytes = 0;  ///< refining-filter bytes gathered
+  uint64_t pipeline_agg_bytes = 0;      ///< aggregate bytes streamed/gathered
+  uint64_t join_runs_sorted = 0;        ///< local runs sorted in place
+  uint64_t join_entries_local = 0;      ///< staged entries that stayed on-AEU
+  uint64_t join_entries_exchanged = 0;  ///< entries routed across AEUs (boundary straddle)
+  uint64_t join_boundary_lookups = 0;   ///< merge-time strays resolved via routed lookups
 };
 
 /// \brief One worker, pinned to one core, owning its partitions.
@@ -101,10 +112,13 @@ class Aeu {
   };
   const std::vector<DeadLetter>& dead_letters() const { return dead_letters_; }
 
-  /// Advisory: no undelivered outgoing commands and no deferred records.
-  /// Racy against a running loop; Engine::Quiesce() samples it stably.
+  /// Advisory: no undelivered outgoing commands and no deferred records,
+  /// as of the end of the last loop iteration (the loop publishes the flag
+  /// each pass, so cross-thread readers — Engine::Quiesce, the watchdog —
+  /// never touch the loop-private buffers). Engine::Quiesce() samples it
+  /// stably over several passes.
   bool IsQuiescent() const {
-    return deferred_.empty() && !endpoint_.HasPending();
+    return quiescent_.load(std::memory_order_acquire);
   }
 
  private:
@@ -130,6 +144,10 @@ class Aeu {
   void ProcessScanStatsGroup(const Group& g);
   void ProcessScanMaterializeGroup(const Group& g);
   void ProcessJoinProbeGroup(const Group& g);
+  void ProcessPipelineGroup(const Group& g);
+  void ProcessJoinScatterGroup(const Group& g);
+  void ProcessJoinStageGroup(const Group& g);
+  void ProcessJoinMergeGroup(const Group& g);
   void ProcessFence(const routing::CommandView& cmd);
 
   // --- balancing handlers ---
@@ -183,7 +201,13 @@ class Aeu {
   routing::AeuId id_;
   numa::NodeId node_;
   routing::Endpoint endpoint_;
+  // Fixed-capacity slot array (sized at construction) + published count:
+  // objects may be registered while the loop runs (query-layer
+  // intermediates), so the loop must never read vector members the
+  // registering thread writes. AddPartition fills the next slot, then
+  // releases num_partitions_; loop-side iteration acquires it.
   std::vector<std::unique_ptr<storage::Partition>> partitions_;
+  std::atomic<uint32_t> num_partitions_{0};
 
   // Balancing state.
   struct PendingFetch {
@@ -207,8 +231,43 @@ class Aeu {
   std::vector<routing::KeyValue> scratch_kvs_;
   std::vector<uint8_t> scratch_payload_;
 
+  // Query-pipeline/join scratch: node-local arena buffers reused across
+  // commands. After warm-up neither pipelines nor joins allocate
+  // (fi::Point::kQueryScratchAlloc counts violations).
+  routing::QueryArenaVec<uint32_t> sel_;      ///< selection vector (per segment)
+  routing::QueryArenaVec<uint64_t> mat_idx_;  ///< baseline materialized indices
+  routing::QueryArenaVec<routing::KeyValue> join_run_;  ///< local sorted run
+  routing::QueryArenaVec<routing::KeyValue> join_out_;  ///< boundary exchange
+  routing::QueryArenaVec<storage::Key> join_keys_;      ///< stray-key lookups
+
+  /// Per-join staging buffer for the MPSM boundary-range exchange: S
+  /// entries routed here wait until the kJoinMerge command consumes them.
+  /// Slots are recycled by join id; steady-state joins reuse capacity.
+  struct JoinStage {
+    uint64_t join_id = 0;
+    bool active = false;
+    routing::QueryArenaVec<routing::KeyValue> entries;
+    explicit JoinStage(numa::NodeMemoryManager* memory) : entries(memory) {}
+  };
+  std::vector<std::unique_ptr<JoinStage>> join_stages_;
+  JoinStage* FindOrCreateStage(uint64_t join_id);
+  /// Ring of recently merged join ids: staged entries arriving after their
+  /// merge (rebalance races) are resolved via routed lookups instead of
+  /// buffered forever.
+  static constexpr size_t kMergedRing = 16;
+  uint64_t merged_join_ids_[kMergedRing] = {};
+  size_t merged_join_pos_ = 0;
+  bool JoinAlreadyMerged(uint64_t join_id) const;
+
+  /// Collects the local partition of a keyed object into `out`, sorted by
+  /// key (in place for unordered hash containers — the MPSM local sort).
+  void BuildLocalRun(storage::ObjectId object,
+                     routing::QueryArenaVec<routing::KeyValue>* out);
+
   AeuLoopStats stats_;
   std::atomic<uint64_t> heartbeat_{0};
+  /// Published by the loop at the end of every iteration; see IsQuiescent.
+  std::atomic<bool> quiescent_{true};
   const routing::CommandView* current_command_ = nullptr;
   /// Retry counts of commands whose processing hook threw, keyed by a hash
   /// of the command's identity (header fields + payload).

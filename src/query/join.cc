@@ -1,0 +1,79 @@
+#include "query/join.h"
+
+#include "common/logging.h"
+
+namespace eris::query {
+
+using core::Engine;
+using routing::AggregateSink;
+
+namespace {
+/// Join ids tag the per-AEU stage buffers; 0 is reserved (the merged-ring
+/// sentinel), so the counter starts at 1.
+std::atomic<uint64_t> g_next_join_id{1};
+}  // namespace
+
+JoinRunner::JoinRunner(Engine* engine)
+    : engine_(engine), session_(engine->CreateSession()) {
+  ERIS_CHECK(engine != nullptr);
+}
+
+MergeJoinResult JoinRunner::RunPhases(storage::ObjectId r, storage::ObjectId s,
+                                      routing::JoinStrategy strategy) {
+  ERIS_CHECK(engine_->object(r).partitioning ==
+             storage::PartitioningKind::kRange)
+      << "join build side must be range partitioned";
+
+  JoinSink join_sink;
+  routing::MergeJoinParams params;
+  params.join_id = g_next_join_id.fetch_add(1, std::memory_order_relaxed);
+  params.r_object = r;
+  params.s_object = s;
+  params.strategy = strategy;
+  params.result_sink = &join_sink;
+
+  AggregateSink& sink = session_->sink();
+  sink.Reset();
+
+  // Phase 1 — scatter: S owners sort local runs and stage/exchange entries
+  // (MPSM), or R owners route their keys as probes (shared hash).
+  size_t cmds = session_->endpoint().SendJoinPhase(
+      routing::CommandType::kJoinScatter, params, &sink);
+  session_->Wait(cmds);
+  uint64_t scanned = sink.hits();
+  // Every boundary-exchange (or probe) command is delivered and buffered
+  // before the next phase starts.
+  engine_->Quiesce();
+
+  if (strategy == routing::JoinStrategy::kMpsm) {
+    // Phase 2 — merge: every AEU consumes its stage buffer against its
+    // local sorted R run; rebalance strays drain through routed lookups,
+    // which the closing Quiesce resolves.
+    sink.Reset();
+    cmds = session_->endpoint().SendJoinPhase(routing::CommandType::kJoinMerge,
+                                              params, &sink);
+    session_->Wait(cmds);
+    engine_->Quiesce();
+  }
+
+  MergeJoinResult result;
+  result.matches = join_sink.matches();
+  result.key_sum = join_sink.key_sum();
+  result.scanned_rows = scanned;
+  return result;
+}
+
+MergeJoinResult JoinRunner::MergeJoin(storage::ObjectId r,
+                                      storage::ObjectId s) {
+  ERIS_CHECK(engine_->object(s).partitioning ==
+             storage::PartitioningKind::kRange)
+      << "MPSM probe side must be range partitioned";
+  return RunPhases(r, s, routing::JoinStrategy::kMpsm);
+}
+
+MergeJoinResult JoinRunner::SharedHashJoin(storage::ObjectId r,
+                                           storage::ObjectId s_hashed) {
+  return RunPhases(r, s_hashed, routing::JoinStrategy::kSharedHash);
+}
+
+}  // namespace eris::query

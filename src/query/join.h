@@ -1,0 +1,101 @@
+// NUMA-aware massively-parallel sort-merge join (DESIGN.md §13).
+//
+// MPSM-style (Albutiu et al., "Massively parallel sort-merge joins in main
+// memory multi-core database systems"): both join sides are range-
+// partitioned keyed objects. The client coordinates two multicast phases:
+//
+//  1. kJoinScatter — every S owner sorts its local run in place, stages the
+//     entries whose keys fall into its *own* R range locally, and routes
+//     only the boundary-straddling remainder (kJoinStage) to the R owners.
+//  2. kJoinMerge — every AEU sorts its staged run and merges it linearly
+//     against its local sorted R run. Entries whose ownership moved under a
+//     concurrent rebalance are resolved through the routed-lookup path.
+//
+// Because partitions of R and S cover the same key ranges, the bulk of the
+// join never crosses a NUMA link; the sim cost model's TotalLinkBytes
+// exposes exactly the boundary-exchange traffic. The shared-hash baseline
+// (SharedHashJoin) instead routes *every* R key as a lookup into a
+// hash-partitioned S — uniform all-to-all probe traffic.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+
+#include "core/engine.h"
+
+namespace eris::query {
+
+struct MergeJoinResult {
+  uint64_t matches = 0;       ///< keys present on both sides
+  uint64_t key_sum = 0;       ///< sum of the matched join keys
+  uint64_t scanned_rows = 0;  ///< probe-side rows scanned in the scatter
+};
+
+/// Join sink: merge-resolved and lookup-resolved matches must report the
+/// same quantity, so lookups sum the *keys* of found probes (not the
+/// values AggregateSink would sum) — identical to the merge path's key_sum.
+class JoinSink : public routing::ResultSink {
+ public:
+  void OnLookupBatch(std::span<const storage::Key> keys,
+                     std::span<const storage::Value> values,
+                     std::span<const bool> found) override {
+    (void)values;
+    uint64_t m = 0;
+    uint64_t s = 0;
+    for (size_t i = 0; i < found.size(); ++i) {
+      if (found[i]) {
+        ++m;
+        s += keys[i];
+      }
+    }
+    matches_.fetch_add(m, std::memory_order_relaxed);
+    key_sum_.fetch_add(s, std::memory_order_relaxed);
+  }
+  void OnScanPartial(uint64_t rows, uint64_t sum) override {
+    matches_.fetch_add(rows, std::memory_order_relaxed);
+    key_sum_.fetch_add(sum, std::memory_order_relaxed);
+  }
+  void OnCommandComplete(uint64_t units) override {
+    completed_.fetch_add(units, std::memory_order_release);
+  }
+
+  uint64_t matches() const { return matches_.load(std::memory_order_relaxed); }
+  uint64_t key_sum() const { return key_sum_.load(std::memory_order_relaxed); }
+  uint64_t completed() const {
+    return completed_.load(std::memory_order_acquire);
+  }
+
+ private:
+  std::atomic<uint64_t> matches_{0};
+  std::atomic<uint64_t> key_sum_{0};
+  std::atomic<uint64_t> completed_{0};
+};
+
+/// \brief Executes joins between two keyed objects of one engine.
+///
+/// Not thread-safe (owns a session); create one runner per client thread.
+class JoinRunner {
+ public:
+  explicit JoinRunner(core::Engine* engine);
+
+  /// MPSM sort-merge join: `r` and `s` must be range-partitioned keyed
+  /// objects. Returns the equi-join match count and key sum.
+  MergeJoinResult MergeJoin(storage::ObjectId r, storage::ObjectId s);
+
+  /// Shared-hash baseline: every local R key probes the hash-partitioned
+  /// keyed object `s_hashed` via routed lookups. Same result semantics.
+  MergeJoinResult SharedHashJoin(storage::ObjectId r,
+                                 storage::ObjectId s_hashed);
+
+  core::Engine::Session& session() { return *session_; }
+
+ private:
+  MergeJoinResult RunPhases(storage::ObjectId r, storage::ObjectId s,
+                            routing::JoinStrategy strategy);
+
+  core::Engine* engine_;
+  std::unique_ptr<core::Engine::Session> session_;
+};
+
+}  // namespace eris::query

@@ -1,0 +1,81 @@
+#include "query/pipeline.h"
+
+#include "common/logging.h"
+
+namespace eris::query {
+
+using core::Engine;
+using routing::AggregateSink;
+
+PipelineRunner::PipelineRunner(Engine* engine)
+    : engine_(engine), session_(engine->CreateSession()) {
+  ERIS_CHECK(engine != nullptr);
+}
+
+ColumnGroup PipelineRunner::CreateColumnGroup(const std::string& base_name,
+                                              size_t columns) {
+  ColumnGroup group;
+  group.reserve(columns);
+  for (size_t c = 0; c < columns; ++c) {
+    group.push_back(
+        engine_->CreateColumn(base_name + "." + std::to_string(c)));
+  }
+  return group;
+}
+
+void PipelineRunner::AppendRows(
+    const ColumnGroup& group,
+    std::span<const std::span<const storage::Value>> columns,
+    size_t chunk_rows) {
+  ERIS_CHECK(columns.size() == group.size());
+  if (group.empty() || columns[0].empty()) return;
+  const size_t rows = columns[0].size();
+  for (const auto& col : columns) {
+    ERIS_CHECK(col.size() == rows) << "ragged column group load";
+  }
+
+  AggregateSink& sink = session_->sink();
+  sink.Reset();
+  size_t cmds = 0;
+  const size_t num_aeus = engine_->num_aeus();
+  for (size_t off = 0; off < rows; off += chunk_rows) {
+    const size_t n = std::min(chunk_rows, rows - off);
+    // Every member's chunk goes to the same AEU: the receiving partition
+    // appends them at identical tuple ids (per-object FIFO delivery), which
+    // is the row alignment the fused pipeline's selection vectors need.
+    const routing::AeuId target =
+        static_cast<routing::AeuId>(next_chunk_++ % num_aeus);
+    for (size_t c = 0; c < group.size(); ++c) {
+      cmds += session_->endpoint().SendAppendTo(
+          target, group[c], columns[c].subspan(off, n), &sink);
+    }
+  }
+  session_->Wait(cmds);
+}
+
+PipelineResult PipelineRunner::Run(const PipelineQuery& query, bool fused) {
+  routing::PipelineParams params;
+  params.snapshot_ts = engine_->oracle().ReadTs();
+  params.filter_object = query.filter_column;
+  params.lo = query.filter.lo;
+  params.hi = query.filter.hi;
+  params.filter2_object = query.filter2_column == PipelineQuery::kNoColumn
+                              ? routing::kNoPipelineColumn
+                              : query.filter2_column;
+  params.lo2 = query.filter2.lo;
+  params.hi2 = query.filter2.hi;
+  params.agg_object = query.agg_column;
+  params.flags = fused ? routing::kPipelineFused : 0;
+
+  AggregateSink& sink = session_->sink();
+  sink.Reset();
+  size_t cmds = session_->endpoint().SendPipeline(params, &sink);
+  session_->Wait(cmds);
+
+  PipelineResult result;
+  result.rows = sink.hits();
+  result.sum = sink.sum();
+  return result;
+}
+
+}  // namespace eris::query

@@ -1,0 +1,76 @@
+// Vectorized multi-column query pipelines (DESIGN.md §13).
+//
+// A pipeline runs filter → [filter] → aggregate over a *column group*: a
+// set of co-partitioned columns loaded so that row i of every member lives
+// on the same AEU at the same tuple id. The whole pipeline executes as ONE
+// fused data command per AEU (kPipeline): each owner streams its segments
+// once, applies zone-map pruning before the filter kernel, and carries a
+// selection vector of surviving positions between the operators instead of
+// materializing intermediates. The operator-at-a-time ablation (fused =
+// false) runs the same plan as one full pass per operator with a
+// materialized index vector between them — the cost the fusion removes.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "core/engine.h"
+#include "query/query.h"
+
+namespace eris::query {
+
+/// A loaded column group: member object ids in declaration order.
+using ColumnGroup = std::vector<storage::ObjectId>;
+
+/// One fused filter→[filter]→aggregate plan over a column group.
+struct PipelineQuery {
+  storage::ObjectId filter_column = 0;  ///< driving filter (streamed)
+  Filter filter;
+  /// Optional refining filter; kNoColumn disables it.
+  static constexpr storage::ObjectId kNoColumn = ~storage::ObjectId{0};
+  storage::ObjectId filter2_column = kNoColumn;
+  Filter filter2;
+  storage::ObjectId agg_column = 0;  ///< SUM target (gathered)
+};
+
+struct PipelineResult {
+  uint64_t rows = 0;  ///< rows surviving all filters
+  uint64_t sum = 0;   ///< sum of agg_column over the survivors
+};
+
+/// \brief Creates, loads and queries column groups.
+///
+/// Not thread-safe (owns a session); create one runner per client thread.
+/// Loading must stay single-writer per group — concurrent AppendRows calls
+/// from two runners would interleave chunks and break row alignment.
+class PipelineRunner {
+ public:
+  explicit PipelineRunner(core::Engine* engine);
+
+  /// Creates `columns` co-partitioned columns named `<base>.0 .. <base>.n-1`.
+  ColumnGroup CreateColumnGroup(const std::string& base_name, size_t columns);
+
+  /// Appends `rows` rows to the group; `columns[c]` holds member c's values
+  /// (all spans the same length). Rows are chunked and every member's chunk
+  /// is routed to the *same* AEU (round-robin over AEUs), so members stay
+  /// row-aligned: the property the fused pipeline's positional selection
+  /// vectors rely on.
+  void AppendRows(const ColumnGroup& group,
+                  std::span<const std::span<const storage::Value>> columns,
+                  size_t chunk_rows = 4096);
+
+  /// Executes the pipeline; fused = false runs the operator-at-a-time
+  /// baseline (same result, one pass per operator, no zone pruning).
+  PipelineResult Run(const PipelineQuery& query, bool fused = true);
+
+  core::Engine::Session& session() { return *session_; }
+
+ private:
+  core::Engine* engine_;
+  std::unique_ptr<core::Engine::Session> session_;
+  uint64_t next_chunk_ = 0;  ///< round-robin cursor over AEUs
+};
+
+}  // namespace eris::query

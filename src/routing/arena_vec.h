@@ -27,11 +27,13 @@ namespace eris::routing {
 /// Elements must be trivially copyable (growth is a memcpy and resize()
 /// leaves new elements uninitialized). Without a manager (client endpoints
 /// constructed before the engine wires one) the heap is used directly.
-/// Every capacity growth visits fi::Point::kEndpointScratchAlloc; after the
-/// first calls warm a steady workload up, the point is never visited again —
-/// that is the send path's zero-allocation invariant, and tests assert it by
-/// installing a counting hook.
-template <typename T>
+/// Every capacity growth visits the `AllocPoint` fault-injection point
+/// (kEndpointScratchAlloc for routing scratch, kQueryScratchAlloc for the
+/// query pipeline/join scratch); after the first calls warm a steady
+/// workload up, the point is never visited again — that is the
+/// zero-allocation invariant, and tests assert it by installing a counting
+/// hook.
+template <typename T, fi::Point AllocPoint = fi::Point::kEndpointScratchAlloc>
 class ArenaVec {
   static_assert(std::is_trivially_copyable_v<T>);
 
@@ -97,7 +99,11 @@ class ArenaVec {
   void Grow(size_t need) {
     size_t cap = cap_ == 0 ? kInitialCapacity : cap_;
     while (cap < need) cap *= 2;
-    ERIS_INJECT_POINT(kEndpointScratchAlloc);
+#if defined(ERIS_FAULT_INJECTION) && ERIS_FAULT_INJECTION
+    if (::eris::fi::Armed()) {
+      ::eris::fi::FaultInjector::Global().Visit(AllocPoint);
+    }
+#endif
     T* fresh = static_cast<T*>(Acquire(cap * sizeof(T)));
     ERIS_CHECK(fresh != nullptr);
     if (size_ > 0) std::memcpy(fresh, data_, size_ * sizeof(T));
@@ -126,5 +132,11 @@ class ArenaVec {
   size_t size_ = 0;
   size_t cap_ = 0;
 };
+
+/// Query-layer scratch (selection vectors, sort runs, join stage buffers):
+/// same arena semantics, separate allocation counter so the pipeline/join
+/// zero-alloc invariant is testable independently of the send path.
+template <typename T>
+using QueryArenaVec = ArenaVec<T, fi::Point::kQueryScratchAlloc>;
 
 }  // namespace eris::routing

@@ -19,6 +19,10 @@ const char* CommandTypeName(CommandType t) {
     case CommandType::kScanStats: return "scan-stats";
     case CommandType::kScanMaterialize: return "scan-materialize";
     case CommandType::kJoinProbe: return "join-probe";
+    case CommandType::kPipeline: return "pipeline";
+    case CommandType::kJoinScatter: return "join-scatter";
+    case CommandType::kJoinStage: return "join-stage";
+    case CommandType::kJoinMerge: return "join-merge";
   }
   return "unknown";
 }

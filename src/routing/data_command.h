@@ -43,6 +43,11 @@ enum class CommandType : uint8_t {
   kScanStats,         ///< payload: ScanParams; full aggregates via OnScanStats
   kScanMaterialize,   ///< payload: MaterializeParams; routes matches onward
   kJoinProbe,         ///< payload: JoinProbeParams; routes index lookups
+  // Fused query pipelines and the MPSM sort-merge join (DESIGN.md §13):
+  kPipeline,          ///< payload: PipelineParams (multicast, fused operators)
+  kJoinScatter,       ///< payload: MergeJoinParams (multicast to S owners)
+  kJoinStage,         ///< payload: JoinStageParams + KeyValue[] (run exchange)
+  kJoinMerge,         ///< payload: MergeJoinParams (multicast to R owners)
 };
 
 const char* CommandTypeName(CommandType t);
@@ -97,6 +102,64 @@ struct JoinProbeParams {
   uint32_t index_object = 0;
   uint32_t pad = 0;
   ResultSink* lookup_sink = nullptr;
+};
+
+/// Sentinel for an unused pipeline column slot.
+inline constexpr uint32_t kNoPipelineColumn = ~uint32_t{0};
+
+/// Pipeline flag bits.
+inline constexpr uint32_t kPipelineFused = 1u << 0;
+
+/// Payload of kPipeline: a fused filter → [filter] → aggregate plan over a
+/// co-partitioned column group (row i of every member column lives at the
+/// same position of the same AEU's partition). The command is multicast; the
+/// owning AEU executes the whole pipeline segment-at-a-time, carrying
+/// selection vectors between operators, and reports (rows, sum) per
+/// partition via OnScanPartial. Without kPipelineFused the AEU runs the
+/// naive operator-at-a-time baseline: one full pass per operator with a
+/// materialized intermediate index vector and no zone-map pruning (the
+/// ablation bench_ext_join measures fusion against).
+struct PipelineParams {
+  uint64_t snapshot_ts = ~uint64_t{0};
+  uint32_t filter_object = 0;                    ///< driving filter column
+  uint32_t filter2_object = kNoPipelineColumn;   ///< optional second filter
+  storage::Value lo = 0;
+  storage::Value hi = ~storage::Value{0};
+  storage::Value lo2 = 0;
+  storage::Value hi2 = ~storage::Value{0};
+  uint32_t agg_object = 0;                       ///< aggregated column
+  uint32_t flags = kPipelineFused;
+};
+
+/// Payload of kJoinScatter / kJoinMerge: one MPSM sort-merge join round
+/// between two range-partitioned keyed objects R and S (DESIGN.md §13).
+/// Scatter is multicast to the owners of S: each sorts its local S run in
+/// place and exchanges only the key ranges that straddle R's partition
+/// boundaries (kJoinStage). Merge is multicast to the owners of R: each
+/// merges its staged S run against its local sorted R run and reports
+/// (matches, key_sum) to `result_sink` (in-process pointer, like the
+/// header's callback reference).
+/// Join execution strategy carried in MergeJoinParams.
+enum class JoinStrategy : uint32_t {
+  kMpsm = 0,        ///< sort-merge with boundary-range exchange
+  kSharedHash = 1,  ///< scatter every R key as a lookup into hashed S
+};
+
+struct MergeJoinParams {
+  uint64_t join_id = 0;
+  uint32_t r_object = 0;
+  uint32_t s_object = 0;
+  JoinStrategy strategy = JoinStrategy::kMpsm;
+  uint32_t pad = 0;
+  ResultSink* result_sink = nullptr;
+};
+
+/// Prefix of the kJoinStage payload; the staged (key, value) run follows.
+/// header.object carries r_object so rebalancing forwards staged entries
+/// like any keyed batch.
+struct JoinStageParams {
+  uint64_t join_id = 0;
+  ResultSink* result_sink = nullptr;
 };
 
 /// \brief Receives the results of data commands issued by one query.

@@ -343,6 +343,24 @@ size_t Endpoint::SendAppendBatch(storage::ObjectId object,
   return commands;
 }
 
+size_t Endpoint::SendAppendTo(AeuId target, storage::ObjectId object,
+                              std::span<const storage::Value> values,
+                              ResultSink* sink) {
+  CommandHeader header;
+  header.type = CommandType::kAppendBatch;
+  header.object = static_cast<uint16_t>(object);
+  header.source = source_;
+  header.sink = sink;
+  const size_t max_elems = router_->config().max_batch_elements;
+  size_t commands = 0;
+  for (size_t pos = 0; pos < values.size(); pos += max_elems) {
+    size_t len = std::min(max_elems, values.size() - pos);
+    Unicast(target, header, AsBytes(values.subspan(pos, len)));
+    ++commands;
+  }
+  return commands;
+}
+
 size_t Endpoint::SendScanColumn(storage::ObjectId object,
                                 const ScanParams& params, ResultSink* sink) {
   BitmapPartitionTable* bitmap = router_->bitmap_table(object);
@@ -411,6 +429,93 @@ size_t Endpoint::SendJoinProbe(storage::ObjectId object,
   header.sink = sink;
   Multicast(owners, header, OneAsBytes(params));
   return owners.size();
+}
+
+size_t Endpoint::SendPipeline(const PipelineParams& params, ResultSink* sink) {
+  BitmapPartitionTable* bitmap = router_->bitmap_table(params.filter_object);
+  ERIS_CHECK(bitmap != nullptr) << "pipeline on non-physical filter column";
+  std::vector<AeuId> owners = bitmap->Owners();
+  if (owners.empty()) return 0;
+  CommandHeader header;
+  header.type = CommandType::kPipeline;
+  header.object = static_cast<uint16_t>(params.filter_object);
+  header.source = source_;
+  header.sink = sink;
+  Multicast(owners, header, OneAsBytes(params));
+  return owners.size();
+}
+
+size_t Endpoint::SendJoinPhase(CommandType type, const MergeJoinParams& params,
+                               ResultSink* sink) {
+  ERIS_CHECK(type == CommandType::kJoinScatter ||
+             type == CommandType::kJoinMerge);
+  // Scatter visits the owners of the side being scanned: S for MPSM (its
+  // run is exchanged toward R's owners), R for the shared-hash baseline
+  // (its keys are probed into hashed S). Merge visits every AEU — staged
+  // entries may sit anywhere after a concurrent rebalance.
+  storage::ObjectId scanned = params.r_object;
+  std::vector<AeuId> owners;
+  if (type == CommandType::kJoinScatter) {
+    if (params.strategy != JoinStrategy::kSharedHash) scanned = params.s_object;
+    owners = router_->OwnersOfKeyRange(scanned, 0, ~storage::Key{0});
+  } else {
+    owners.resize(router_->num_aeus());
+    for (AeuId a = 0; a < router_->num_aeus(); ++a) owners[a] = a;
+  }
+  if (owners.empty()) return 0;
+  CommandHeader header;
+  header.type = type;
+  header.object = static_cast<uint16_t>(scanned);
+  header.source = source_;
+  header.sink = sink;
+  Multicast(owners, header, OneAsBytes(params));
+  return owners.size();
+}
+
+size_t Endpoint::SendJoinStage(storage::ObjectId r_object,
+                               const JoinStageParams& params,
+                               std::span<const KeyValue> entries,
+                               ResultSink* sink) {
+  const size_t n = entries.size();
+  if (n == 0) return 0;
+  owners_.resize(n);
+  keys_.resize(n);
+  for (size_t i = 0; i < n; ++i) keys_[i] = entries[i].key;
+  router_->OwnersOfKeys(r_object, keys_, owners_.data());
+
+  group_order_.resize(n);
+  bucket_count_.assign(router_->num_aeus() + 1, 0);
+  for (size_t i = 0; i < n; ++i) bucket_count_[owners_[i] + 1]++;
+  for (size_t a = 1; a < bucket_count_.size(); ++a)
+    bucket_count_[a] += bucket_count_[a - 1];
+  for (size_t i = 0; i < n; ++i)
+    group_order_[bucket_count_[owners_[i]]++] = static_cast<uint32_t>(i);
+
+  const size_t max_elems = router_->config().max_batch_elements;
+  CommandHeader header;
+  header.type = CommandType::kJoinStage;
+  header.object = static_cast<uint16_t>(r_object);
+  header.source = source_;
+  header.sink = sink;
+
+  size_t commands = 0;
+  size_t pos = 0;
+  while (pos < n) {
+    AeuId target = owners_[group_order_[pos]];
+    size_t end = pos;
+    chunk_.clear();
+    chunk_.append(reinterpret_cast<const uint8_t*>(&params), sizeof(params));
+    while (end < n && owners_[group_order_[end]] == target &&
+           end - pos < max_elems) {
+      const KeyValue& e = entries[group_order_[end]];
+      chunk_.append(reinterpret_cast<const uint8_t*>(&e), sizeof(KeyValue));
+      ++end;
+    }
+    Unicast(target, header, chunk_);
+    ++commands;
+    pos = end;
+  }
+  return commands;
 }
 
 size_t Endpoint::SendScanIndexRange(storage::ObjectId object, storage::Key lo,

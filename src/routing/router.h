@@ -128,6 +128,13 @@ class Endpoint {
                          std::span<const storage::Value> values,
                          ResultSink* sink);
 
+  /// Appends to one specific AEU's partition. The query layer uses this to
+  /// keep the member columns of a co-partitioned group row-aligned: every
+  /// column of one row chunk lands on the same AEU, in the same order.
+  size_t SendAppendTo(AeuId target, storage::ObjectId object,
+                      std::span<const storage::Value> values,
+                      ResultSink* sink);
+
   /// Multicasts a full-column scan to every AEU holding a partition.
   size_t SendScanColumn(storage::ObjectId object, const ScanParams& params,
                         ResultSink* sink);
@@ -146,6 +153,23 @@ class Endpoint {
   /// filtered values as lookups into `params.index_object`.
   size_t SendJoinProbe(storage::ObjectId object, const JoinProbeParams& params,
                        ResultSink* sink);
+
+  /// Multicasts a fused pipeline plan to every owner of the driving filter
+  /// column (`params.filter_object`); the group's other member columns are
+  /// co-partitioned, so the same owners hold them.
+  size_t SendPipeline(const PipelineParams& params, ResultSink* sink);
+
+  /// Multicasts one MPSM join phase. kJoinScatter goes to the owners of
+  /// `params.s_object`, kJoinMerge to the owners of `params.r_object`.
+  size_t SendJoinPhase(CommandType type, const MergeJoinParams& params,
+                       ResultSink* sink);
+
+  /// Routes a sorted (key, value) run to the owners of `r_object`'s key
+  /// ranges: per-target chunks of kJoinStage carrying a JoinStageParams
+  /// prefix. Returns the number of commands routed (1 unit each).
+  size_t SendJoinStage(storage::ObjectId r_object,
+                       const JoinStageParams& params,
+                       std::span<const KeyValue> entries, ResultSink* sink);
 
   /// Multicasts an index range scan to the AEUs owning [lo, hi).
   size_t SendScanIndexRange(storage::ObjectId object, storage::Key lo,

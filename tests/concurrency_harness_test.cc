@@ -41,6 +41,9 @@ struct EngineShape {
   uint32_t max_batch_elements;
   bool coalesce_lookups;
   bool pipelined_descent;
+  /// Runs the deterministic MPSM-join + fused-pipeline query phase after
+  /// the writer phase and folds its results into the digest.
+  bool join_pipeline = false;
 };
 
 constexpr EngineShape kShapes[] = {
@@ -49,6 +52,8 @@ constexpr EngineShape kShapes[] = {
     {"flat-2x2-tiny-buffers", 2, 2, 2048, 256, 16, true, true},
     {"flat-1x4-tiny-buffers", 1, 4, 2048, 256, 16, true, true},
     {"flat-2x2-scalar-lookup", 2, 2, 0, 0, 0, false, false},
+    {"flat-2x2-join-pipeline", 2, 2, 0, 0, 0, true, true,
+     /*join_pipeline=*/true},
 };
 
 EngineOptions MakeOptions(const EngineShape& shape, ExecutionMode mode) {
@@ -84,6 +89,11 @@ harness::EngineDigest RunAndDigest(const EngineShape& shape,
   ObjectId idx = engine.CreateIndex("kv", cfg.domain_hi(),
                                     {.prefix_bits = 8, .key_bits = 16});
   ObjectId col = engine.CreateColumn("facts");
+  ObjectId s_idx = 0;
+  if (shape.join_pipeline) {
+    s_idx = engine.CreateIndex("s_side", cfg.domain_hi(),
+                               {.prefix_bits = 8, .key_bits = 16});
+  }
   engine.Start();
   run(engine, idx, col);
   // Disarm before the digest so injected failures cannot perturb the
@@ -91,6 +101,17 @@ harness::EngineDigest RunAndDigest(const EngineShape& shape,
   // clean and fast).
   fi::FaultInjector::Global().Reset();
   harness::EngineDigest digest = harness::CaptureDigest(engine, idx, col, cfg);
+  if (shape.join_pipeline) {
+    // Deterministic S side (every third key of the domain), then the
+    // query phase whose results fold into the digest.
+    auto session = engine.CreateSession();
+    std::vector<routing::KeyValue> s_kvs;
+    for (storage::Key k = 0; k < cfg.domain_hi(); k += 3) {
+      s_kvs.push_back({k, k + 1});
+    }
+    session->Insert(s_idx, s_kvs);
+    harness::RunQueryPhase(engine, idx, s_idx, col, cfg, &digest);
+  }
   engine.Stop();
   return digest;
 }
@@ -142,7 +163,7 @@ void RunSeed(uint64_t seed, const EngineShape& shape) {
 }
 
 TEST(ConcurrencyHarness, SeedSweepDifferentialOracle) {
-  // 24 seeds x 5 shapes rotated = 24 runs; the acceptance floor is a
+  // 24 seeds x 6 shapes rotated = 24 runs; the acceptance floor is a
   // >= 20-seed sweep.
   auto seeds = harness::SweepSeeds(/*base=*/1000, /*default_count=*/24);
   for (size_t i = 0; i < seeds.size(); ++i) {

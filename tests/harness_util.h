@@ -24,6 +24,8 @@
 
 #include "common/rng.h"
 #include "core/engine.h"
+#include "query/join.h"
+#include "query/pipeline.h"
 
 namespace eris::harness {
 
@@ -154,15 +156,52 @@ inline void RunScriptsSequential(core::Engine& engine, storage::ObjectId idx,
 }
 
 /// Observable final state: every key of the domain plus column aggregates.
+/// The join_pipeline shape additionally folds in deterministic query
+/// results over the final state (MPSM join + fused/baseline pipelines).
 struct EngineDigest {
   std::vector<std::optional<storage::Value>> index_values;
   uint64_t col_rows = 0;
   uint64_t col_sum = 0;
   storage::Value col_min = ~storage::Value{0};
   storage::Value col_max = 0;
+  uint64_t join_matches = 0;
+  uint64_t join_key_sum = 0;
+  uint64_t pipeline_rows = 0;
+  uint64_t pipeline_sum = 0;
+  uint64_t pipeline_rows_baseline = 0;
+  uint64_t pipeline_sum_baseline = 0;
 
   bool operator==(const EngineDigest&) const = default;
 };
+
+/// Deterministic query phase of the `join_pipeline` shape: joins the
+/// harness index against a deterministically seeded second index and runs
+/// the same filter→aggregate pipeline fused and operator-at-a-time over
+/// the harness column. Run after the writer phase in *both* execution
+/// modes; any cross-mode divergence of the folded results means the query
+/// paths read torn or misrouted state.
+inline void RunQueryPhase(core::Engine& engine, storage::ObjectId idx,
+                          storage::ObjectId s_idx, storage::ObjectId col,
+                          const HarnessConfig& cfg, EngineDigest* digest) {
+  query::JoinRunner joins(&engine);
+  query::MergeJoinResult join = joins.MergeJoin(idx, s_idx);
+  digest->join_matches = join.matches;
+  digest->join_key_sum = join.key_sum;
+
+  query::PipelineRunner pipelines(&engine);
+  query::PipelineQuery q;
+  // Filter and aggregate the harness column against itself: a one-column
+  // group is trivially row-aligned, whatever interleaving loaded it.
+  q.filter_column = col;
+  q.filter = {0, (uint64_t{cfg.writers} << 32) / 2};  // ~half the writer tags
+  q.agg_column = col;
+  query::PipelineResult fused = pipelines.Run(q, /*fused=*/true);
+  query::PipelineResult baseline = pipelines.Run(q, /*fused=*/false);
+  digest->pipeline_rows = fused.rows;
+  digest->pipeline_sum = fused.sum;
+  digest->pipeline_rows_baseline = baseline.rows;
+  digest->pipeline_sum_baseline = baseline.sum;
+}
 
 inline EngineDigest CaptureDigest(core::Engine& engine, storage::ObjectId idx,
                                   storage::ObjectId col,
@@ -189,6 +228,12 @@ inline void ExpectDigestsEqual(const EngineDigest& threaded,
   EXPECT_EQ(threaded.col_sum, oracle.col_sum);
   EXPECT_EQ(threaded.col_min, oracle.col_min);
   EXPECT_EQ(threaded.col_max, oracle.col_max);
+  EXPECT_EQ(threaded.join_matches, oracle.join_matches);
+  EXPECT_EQ(threaded.join_key_sum, oracle.join_key_sum);
+  EXPECT_EQ(threaded.pipeline_rows, oracle.pipeline_rows);
+  EXPECT_EQ(threaded.pipeline_sum, oracle.pipeline_sum);
+  EXPECT_EQ(threaded.pipeline_rows_baseline, oracle.pipeline_rows_baseline);
+  EXPECT_EQ(threaded.pipeline_sum_baseline, oracle.pipeline_sum_baseline);
   ASSERT_EQ(threaded.index_values.size(), oracle.index_values.size());
   size_t mismatches = 0;
   for (size_t k = 0; k < threaded.index_values.size(); ++k) {

@@ -1,8 +1,12 @@
 // Tests for the query-processing layer (filtered aggregation, NUMA-local
-// materialization, index-nested-loop join) in both execution modes.
+// materialization, index-nested-loop join, fused pipelines, MPSM joins) in
+// both execution modes.
 #include <gtest/gtest.h>
 
+#include "common/fault_injection.h"
 #include "common/rng.h"
+#include "query/join.h"
+#include "query/pipeline.h"
 #include "query/query.h"
 
 namespace eris::query {
@@ -200,6 +204,224 @@ TEST_P(QueryTest, DynamicObjectCreationWhileRunning) {
   }
   engine.Stop();
 }
+
+TEST_P(QueryTest, FusedPipelineMatchesBaselineAndOracle) {
+  Engine engine(MakeOptions());
+  engine.Start();
+  PipelineRunner runner(&engine);
+  ColumnGroup group = runner.CreateColumnGroup("g", 3);
+
+  Xoshiro256 rng(11);
+  const size_t kRows = 40000;
+  std::vector<Value> c0(kRows), c1(kRows), c2(kRows);
+  for (size_t i = 0; i < kRows; ++i) {
+    c0[i] = rng.NextBounded(10000);
+    c1[i] = rng.NextBounded(1000);
+    c2[i] = rng.NextBounded(1u << 20);
+  }
+  std::vector<std::span<const Value>> cols{c0, c1, c2};
+  runner.AppendRows(group, cols);
+
+  PipelineQuery q;
+  q.filter_column = group[0];
+  q.filter = {2000, 2999};
+  q.filter2_column = group[1];
+  q.filter2 = {0, 499};
+  q.agg_column = group[2];
+
+  uint64_t oracle_rows = 0;
+  uint64_t oracle_sum = 0;
+  for (size_t i = 0; i < kRows; ++i) {
+    if (c0[i] >= 2000 && c0[i] <= 2999 && c1[i] <= 499) {
+      ++oracle_rows;
+      oracle_sum += c2[i];
+    }
+  }
+
+  PipelineResult fused = runner.Run(q, /*fused=*/true);
+  PipelineResult baseline = runner.Run(q, /*fused=*/false);
+  EXPECT_EQ(fused.rows, oracle_rows);
+  EXPECT_EQ(fused.sum, oracle_sum);
+  EXPECT_EQ(baseline.rows, oracle_rows);
+  EXPECT_EQ(baseline.sum, oracle_sum);
+
+  // Single-filter plan too (CoveredBy/full-selection path).
+  PipelineQuery q1;
+  q1.filter_column = group[0];
+  q1.filter = {0, ~Value{0}};
+  q1.agg_column = group[2];
+  uint64_t all_sum = 0;
+  for (Value v : c2) all_sum += v;
+  PipelineResult whole = runner.Run(q1, /*fused=*/true);
+  EXPECT_EQ(whole.rows, kRows);
+  EXPECT_EQ(whole.sum, all_sum);
+  engine.Stop();
+}
+
+TEST_P(QueryTest, PipelineZoneMapsPruneClusteredSegments) {
+  Engine engine(MakeOptions());
+  engine.Start();
+  PipelineRunner runner(&engine);
+  ColumnGroup group = runner.CreateColumnGroup("clustered", 2);
+  // Clustered values: long runs of one residue, so most segments' zones
+  // exclude a narrow filter and the fused pipeline skips them outright.
+  const size_t kRows = 200000;
+  std::vector<Value> key(kRows), val(kRows);
+  for (size_t i = 0; i < kRows; ++i) {
+    key[i] = i / 1000;  // 0..199, clustered
+    val[i] = i;
+  }
+  std::vector<std::span<const Value>> cols{key, val};
+  runner.AppendRows(group, cols);
+
+  PipelineQuery q;
+  q.filter_column = group[0];
+  q.filter = {10, 11};
+  q.agg_column = group[1];
+  PipelineResult r = runner.Run(q, /*fused=*/true);
+  EXPECT_EQ(r.rows, 2000u);
+  uint64_t pruned = 0;
+  for (routing::AeuId a = 0; a < engine.num_aeus(); ++a) {
+    pruned += engine.aeu(a).loop_stats().pipeline_segments_pruned;
+  }
+  EXPECT_GT(pruned, 0u);
+  engine.Stop();
+}
+
+TEST_P(QueryTest, MergeJoinMatchesSharedHashAndOracle) {
+  Engine engine(MakeOptions());
+  ObjectId r = engine.CreateIndex("r", 1u << 16,
+                                  {.prefix_bits = 8, .key_bits = 16});
+  ObjectId s = engine.CreateIndex("s", 1u << 16,
+                                  {.prefix_bits = 8, .key_bits = 16});
+  ObjectId s_hashed = engine.CreateHashedIndex(
+      "s_hashed", 1u << 16, {.prefix_bits = 8, .key_bits = 16});
+  engine.Start();
+  JoinRunner runner(&engine);
+  core::Engine::Session& session = runner.session();
+
+  // R: keys 0..9999 step 3; S: keys 0..9999 step 2. Matches: multiples
+  // of 6 below 10000.
+  std::vector<KeyValue> r_kvs;
+  std::vector<KeyValue> s_kvs;
+  for (Key k = 0; k < 10000; k += 3) r_kvs.push_back({k, k + 1});
+  for (Key k = 0; k < 10000; k += 2) s_kvs.push_back({k, k + 2});
+  session.Insert(r, r_kvs);
+  session.Insert(s, s_kvs);
+  session.Insert(s_hashed, s_kvs);
+
+  uint64_t oracle_matches = 0;
+  uint64_t oracle_key_sum = 0;
+  for (Key k = 0; k < 10000; k += 6) {
+    ++oracle_matches;
+    oracle_key_sum += k;
+  }
+
+  MergeJoinResult mpsm = runner.MergeJoin(r, s);
+  EXPECT_EQ(mpsm.matches, oracle_matches);
+  EXPECT_EQ(mpsm.key_sum, oracle_key_sum);
+
+  // For the MPSM path, the bulk of S must have stayed NUMA-local.
+  uint64_t local = 0;
+  uint64_t exchanged = 0;
+  for (routing::AeuId a = 0; a < engine.num_aeus(); ++a) {
+    local += engine.aeu(a).loop_stats().join_entries_local;
+    exchanged += engine.aeu(a).loop_stats().join_entries_exchanged;
+  }
+  EXPECT_EQ(local + exchanged, s_kvs.size());
+  EXPECT_GT(local, exchanged);
+
+  MergeJoinResult shared = runner.SharedHashJoin(r, s_hashed);
+  EXPECT_EQ(shared.matches, oracle_matches);
+  EXPECT_EQ(shared.key_sum, oracle_key_sum);
+  engine.Stop();
+}
+
+TEST_P(QueryTest, MergeJoinEmptySides) {
+  Engine engine(MakeOptions());
+  ObjectId r = engine.CreateIndex("r", 1u << 12,
+                                  {.prefix_bits = 6, .key_bits = 12});
+  ObjectId s = engine.CreateIndex("s", 1u << 12,
+                                  {.prefix_bits = 6, .key_bits = 12});
+  engine.Start();
+  JoinRunner runner(&engine);
+  // Both empty.
+  MergeJoinResult none = runner.MergeJoin(r, s);
+  EXPECT_EQ(none.matches, 0u);
+  EXPECT_EQ(none.key_sum, 0u);
+  // One side empty.
+  std::vector<KeyValue> kvs{{1, 1}, {2, 2}, {3, 3}};
+  runner.session().Insert(r, kvs);
+  MergeJoinResult half = runner.MergeJoin(r, s);
+  EXPECT_EQ(half.matches, 0u);
+  engine.Stop();
+}
+
+#if defined(ERIS_FAULT_INJECTION) && ERIS_FAULT_INJECTION
+TEST(QueryScratchTest, SteadyStatePipelinesAndJoinsAreAllocationFree) {
+  // Pipeline and join scratch (selection vectors, sort runs, stage
+  // buffers) lives in node-local arenas that grow only through the
+  // kQueryScratchAlloc injection point. After one warm-up query of each
+  // shape, repeated queries must never visit the point again.
+  std::atomic<uint64_t> grows{0};
+  fi::FaultInjector::Global().Reset();
+  fi::FaultInjector::Global().SetHook(
+      fi::Point::kQueryScratchAlloc,
+      [&] { grows.fetch_add(1, std::memory_order_relaxed); });
+
+  EngineOptions opts;
+  opts.topology = numa::Topology::Flat(2, 2);
+  opts.mode = ExecutionMode::kSimulated;
+  Engine engine(opts);
+  ObjectId r = engine.CreateIndex("r", 1u << 14,
+                                  {.prefix_bits = 7, .key_bits = 14});
+  ObjectId s = engine.CreateIndex("s", 1u << 14,
+                                  {.prefix_bits = 7, .key_bits = 14});
+  engine.Start();
+  PipelineRunner pipelines(&engine);
+  JoinRunner joins(&engine);
+  ColumnGroup group = pipelines.CreateColumnGroup("g", 2);
+
+  Xoshiro256 rng(7);
+  const size_t kRows = 20000;
+  std::vector<Value> c0(kRows), c1(kRows);
+  for (size_t i = 0; i < kRows; ++i) {
+    c0[i] = rng.NextBounded(1u << 14);
+    c1[i] = rng.NextBounded(1u << 14);
+  }
+  std::vector<std::span<const Value>> cols{c0, c1};
+  pipelines.AppendRows(group, cols);
+  std::vector<KeyValue> r_kvs, s_kvs;
+  for (Key k = 0; k < (1u << 14); k += 3) r_kvs.push_back({k, k});
+  for (Key k = 0; k < (1u << 14); k += 2) s_kvs.push_back({k, k});
+  joins.session().Insert(r, r_kvs);
+  joins.session().Insert(s, s_kvs);
+
+  PipelineQuery q;
+  q.filter_column = group[0];
+  q.filter = {100, 8000};
+  q.agg_column = group[1];
+
+  // Warm-up: one query of each shape grows the arenas to capacity.
+  (void)pipelines.Run(q, /*fused=*/true);
+  (void)pipelines.Run(q, /*fused=*/false);
+  (void)joins.MergeJoin(r, s);
+  const uint64_t warmup = grows.load();
+  EXPECT_GT(warmup, 0u);  // the warm-up itself does allocate
+
+  for (int round = 0; round < 10; ++round) {
+    PipelineResult fused = pipelines.Run(q, /*fused=*/true);
+    PipelineResult base = pipelines.Run(q, /*fused=*/false);
+    EXPECT_EQ(fused.rows, base.rows);
+    MergeJoinResult join = joins.MergeJoin(r, s);
+    EXPECT_GT(join.matches, 0u);
+  }
+  EXPECT_EQ(grows.load(), warmup)
+      << "steady-state pipelines/joins grew the query scratch arenas";
+  fi::FaultInjector::Global().Reset();
+  engine.Stop();
+}
+#endif  // ERIS_FAULT_INJECTION
 
 INSTANTIATE_TEST_SUITE_P(Modes, QueryTest,
                          ::testing::Values(ExecutionMode::kSimulated,
