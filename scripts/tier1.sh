@@ -6,6 +6,8 @@
 #   build/         default config (ERIS_ENABLE_AVX2=ON, runtime-dispatched)
 #   build-scalar/  forced scalar kernels (-DERIS_ENABLE_AVX2=OFF)
 #   build-tsan/    -DERIS_SANITIZE=thread, tests labeled `tsan` only
+#   build-asan/    -DERIS_SANITIZE=address; full suite with ERIS_TIER1_ASAN=1,
+#                  always at least the recovery suite (byte-level WAL replay)
 #
 # Environment knobs:
 #   JOBS=N                parallelism (default: nproc)
@@ -37,6 +39,12 @@ echo "=== tier-1: join/pipeline smoke (bench_ext_join --smoke) ==="
 # baseline. Both metrics are deterministic simulated-time counters.
 ./build/bench/bench_ext_join --smoke
 
+echo "=== tier-1: durability smoke (bench_ext_wal --smoke) ==="
+# Gates the WAL (DESIGN.md §14): group commit must beat per-record fsync by
+# >= 4x in acked write throughput at 8 writers; also emits the commit-window
+# latency sweep to BENCH_wal.json.
+./build/bench/bench_ext_wal --smoke
+
 echo "=== tier-1: scalar-fallback build (-DERIS_ENABLE_AVX2=OFF) ==="
 cmake -B build-scalar -S . -DERIS_ENABLE_AVX2=OFF \
       -DERIS_BUILD_BENCHMARKS=OFF -DERIS_BUILD_EXAMPLES=OFF
@@ -51,7 +59,7 @@ cmake --build build-tsan -j"$JOBS" --target \
       common_test memory_manager_test mvcc_test incoming_buffer_test \
       partition_table_test router_test engine_test rebalance_test aeu_test \
       outgoing_test stress_test concurrency_harness_test overload_test \
-      query_test join_pipeline_test
+      query_test join_pipeline_test recovery_test
 # tsan.supp is applied through each test's TSAN_OPTIONS ctest property
 # (set by tests/CMakeLists.txt when ERIS_SANITIZE=thread).
 ERIS_HARNESS_SEEDS="${ERIS_HARNESS_SEEDS:-6}" \
@@ -64,12 +72,28 @@ echo "=== tier-1: overload stage (stalled-AEU scenario under TSan) ==="
 ERIS_HARNESS_SEEDS="${ERIS_HARNESS_SEEDS:-6}" \
   ctest --test-dir build-tsan -L overload --output-on-failure -j"$JOBS"
 
+echo "=== tier-1: recovery stage (WAL/snapshot/crash-matrix under TSan) ==="
+# Durability tier (DESIGN.md §14): the WAL/torn-tail/crash-matrix suite plus
+# the durable shape of the differential harness (threaded chaos run ->
+# restart -> digest vs oracle), both under TSan to cover the group-commit
+# drain against the AEU loop threads.
+ERIS_HARNESS_SEEDS="${ERIS_HARNESS_SEEDS:-6}" \
+  ctest --test-dir build-tsan -L recovery --output-on-failure -j"$JOBS"
+
 if [[ "${ERIS_TIER1_ASAN:-0}" == "1" ]]; then
   echo "=== tier-1: ASan+UBSan build (-DERIS_SANITIZE=address) ==="
   cmake -B build-asan -S . -DERIS_SANITIZE=address \
         -DERIS_BUILD_BENCHMARKS=OFF -DERIS_BUILD_EXAMPLES=OFF
   cmake --build build-asan -j"$JOBS"
   ctest --test-dir build-asan --output-on-failure -j"$JOBS"
+else
+  echo "=== tier-1: ASan pass over recovery replay (recovery_test) ==="
+  # Replay parses raw bytes from disk; always run at least the recovery
+  # suite under ASan+UBSan even when the full ASan sweep is off.
+  cmake -B build-asan -S . -DERIS_SANITIZE=address \
+        -DERIS_BUILD_BENCHMARKS=OFF -DERIS_BUILD_EXAMPLES=OFF
+  cmake --build build-asan -j"$JOBS" --target recovery_test
+  ctest --test-dir build-asan -R '^recovery_test$' --output-on-failure
 fi
 
 echo "=== tier-1: all configurations green ==="

@@ -29,6 +29,14 @@ const char* PointName(Point p) {
       return "endpoint.scratch_alloc";
     case Point::kQueryScratchAlloc:
       return "query.scratch_alloc";
+    case Point::kWalAppend:         return "wal.append";
+    case Point::kWalCommit:         return "wal.commit";
+    case Point::kWalFsync:          return "wal.fsync";
+    case Point::kWalRotate:         return "wal.rotate";
+    case Point::kSnapshotWrite:     return "snapshot.write";
+    case Point::kSnapshotFsync:     return "snapshot.fsync";
+    case Point::kSnapshotRename:    return "snapshot.rename";
+    case Point::kCurrentWrite:      return "current.write";
     case Point::kNumPoints:         break;
   }
   return "?";

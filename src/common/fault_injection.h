@@ -59,6 +59,17 @@ enum class Point : uint32_t {
   kQueryScratchAlloc,    ///< query-pipeline/join scratch arena grows
                          ///< (allocation counter: steady-state pipelines and
                          ///< joins must not visit it)
+  // Durability kill points (DESIGN.md §14): one at every write/fsync/
+  // rename boundary of the WAL and snapshot paths, so the crash-recovery
+  // matrix (tests/recovery_test.cc) can kill the process at each.
+  kWalAppend,            ///< WAL record framed into the group buffer
+  kWalCommit,            ///< group sealed, before the write() of the group
+  kWalFsync,             ///< group written, before its fsync
+  kWalRotate,            ///< before truncating the log after a snapshot
+  kSnapshotWrite,        ///< snapshot file created, before its write()
+  kSnapshotFsync,        ///< snapshot file written, before its fsync
+  kSnapshotRename,       ///< before renaming snap-<e>.tmp into place
+  kCurrentWrite,         ///< before writing/publishing the CURRENT manifest
   kNumPoints,
 };
 

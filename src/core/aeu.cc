@@ -9,6 +9,7 @@
 #include "common/simd.h"
 #include "common/stopwatch.h"
 #include "core/engine.h"
+#include "durability/wal.h"
 #include "numa/pinning.h"
 #include "sim/index_model.h"
 
@@ -104,6 +105,9 @@ bool Aeu::RunLoopIteration() {
   bool drained = ProcessIncoming();
   // Loop wrap-around: push out whatever the processing stage produced.
   endpoint_.FlushAll();
+  // Group commit: every effect record logged this iteration reaches stable
+  // storage before its write acknowledgement is delivered (DESIGN.md §14).
+  if (wal_ != nullptr) CommitWalAndAck();
   ChargeRoutingCosts();
 
   bool worked = drained || stats_.commands_processed != processed_before;
@@ -512,25 +516,34 @@ void Aeu::ProcessWriteGroup(const Group& g) {
     routing::ResultSink* sink = cmd.header.sink;
     scratch_kvs_.clear();  // foreign
     static thread_local std::vector<routing::KeyValue> pending_kvs;
+    static thread_local std::vector<routing::KeyValue> mine_kvs;
     pending_kvs.clear();
-    uint64_t mine = 0;
-    uint64_t applied = 0;
+    mine_kvs.clear();
     for (const routing::KeyValue& kv : kvs) {
       if (InPendingRange(g.object, kv.key)) {
         pending_kvs.push_back(kv);
       } else if (part->range().Contains(kv.key)) {
-        ++mine;
-        bool was_new = overwrite ? part->Upsert(kv.key, kv.value)
-                                 : part->Insert(kv.key, kv.value);
-        applied += was_new ? 1 : 0;
+        mine_kvs.push_back(kv);
       } else {
         scratch_kvs_.push_back(kv);
       }
     }
-    if (mine > 0 && sink != nullptr) {
-      sink->OnWriteBatch(applied);
-      sink->OnCommandComplete(mine);
+    // Write-ahead: the locally applied subset is logged before it touches
+    // the partition (foreign/pending keys are logged by their eventual
+    // applier, so each AEU's log replays independently).
+    if (wal_ != nullptr && !mine_kvs.empty()) {
+      WalLogEffect(g.type, g.object,
+                   {reinterpret_cast<const uint8_t*>(mine_kvs.data()),
+                    mine_kvs.size() * sizeof(routing::KeyValue)});
     }
+    uint64_t applied = 0;
+    for (const routing::KeyValue& kv : mine_kvs) {
+      bool was_new = overwrite ? part->Upsert(kv.key, kv.value)
+                               : part->Insert(kv.key, kv.value);
+      applied += was_new ? 1 : 0;
+    }
+    uint64_t mine = mine_kvs.size();
+    if (mine > 0 && sink != nullptr) AckWrite(sink, applied, mine);
     group_ops_ += mine;
     if (!scratch_kvs_.empty()) {
       endpoint_.set_deadline_ns(cmd.header.deadline_ns);
@@ -554,23 +567,27 @@ void Aeu::ProcessEraseGroup(const Group& g) {
     routing::ResultSink* sink = cmd.header.sink;
     scratch_keys_.clear();
     static thread_local std::vector<storage::Key> pending_keys;
+    static thread_local std::vector<storage::Key> mine_keys;
     pending_keys.clear();
-    uint64_t mine = 0;
-    uint64_t applied = 0;
+    mine_keys.clear();
     for (storage::Key k : keys) {
       if (InPendingRange(g.object, k)) {
         pending_keys.push_back(k);
       } else if (part->range().Contains(k)) {
-        ++mine;
-        applied += part->Erase(k) ? 1 : 0;
+        mine_keys.push_back(k);
       } else {
         scratch_keys_.push_back(k);
       }
     }
-    if (mine > 0 && sink != nullptr) {
-      sink->OnWriteBatch(applied);
-      sink->OnCommandComplete(mine);
+    if (wal_ != nullptr && !mine_keys.empty()) {
+      WalLogEffect(g.type, g.object,
+                   {reinterpret_cast<const uint8_t*>(mine_keys.data()),
+                    mine_keys.size() * sizeof(storage::Key)});
     }
+    uint64_t applied = 0;
+    for (storage::Key k : mine_keys) applied += part->Erase(k) ? 1 : 0;
+    uint64_t mine = mine_keys.size();
+    if (mine > 0 && sink != nullptr) AckWrite(sink, applied, mine);
     group_ops_ += mine;
     if (!scratch_keys_.empty()) {
       endpoint_.set_deadline_ns(cmd.header.deadline_ns);
@@ -593,12 +610,16 @@ void Aeu::ProcessAppendGroup(const Group& g) {
   for (const routing::CommandView& cmd : g.commands) {
     std::span<const storage::Value> values =
         cmd.PayloadAs<storage::Value>();
+    if (wal_ != nullptr && !values.empty()) {
+      WalLogEffect(routing::CommandType::kAppendBatch, g.object,
+                   {reinterpret_cast<const uint8_t*>(values.data()),
+                    values.size() * sizeof(storage::Value)});
+    }
     uint64_t ts = engine_->oracle().NextWriteTs();
     for (storage::Value v : values) part->ColumnAppend(v, ts);
     total_values += values.size();
     if (cmd.header.sink != nullptr) {
-      cmd.header.sink->OnWriteBatch(values.size());
-      cmd.header.sink->OnCommandComplete(1);
+      AckWrite(cmd.header.sink, values.size(), 1);
     }
   }
   group_ops_ += total_values;
@@ -1336,6 +1357,11 @@ void Aeu::HandleBalanceRange(const routing::CommandView& cmd) {
   BalanceRangeHeader hdr;
   std::memcpy(&hdr, p, sizeof(hdr));
   storage::ObjectId object = cmd.header.object;
+  if (wal_ != nullptr) {
+    WalLogEffect(routing::CommandType::kWalSetRange, object,
+                 {reinterpret_cast<const uint8_t*>(&hdr.new_range),
+                  sizeof(hdr.new_range)});
+  }
   partition(object)->set_range(hdr.new_range);
   if (hdr.num_fetches == 0) {
     if (cmd.header.sink != nullptr) cmd.header.sink->OnCommandComplete(1);
@@ -1392,6 +1418,20 @@ void Aeu::HandleTransferRequest(const routing::CommandView& cmd) {
   std::memcpy(&req, cmd.payload, sizeof(req));
   storage::ObjectId object = cmd.header.object;
   storage::Partition* part = partition(object);
+  // Log the donor-side effect before mutating: the moved piece is logged
+  // again (as plain writes) by the receiving AEU when it installs it.
+  if (wal_ != nullptr) {
+    if (req.is_physical) {
+      uint64_t tuples = std::min<uint64_t>(req.tuples, part->tuple_count());
+      WalLogEffect(routing::CommandType::kWalSplitTail, object,
+                   {reinterpret_cast<const uint8_t*>(&tuples),
+                    sizeof(tuples)});
+    } else {
+      WalLogEffect(routing::CommandType::kWalExtractRange, object,
+                   {reinterpret_cast<const uint8_t*>(&req.range),
+                    sizeof(req.range)});
+    }
+  }
   storage::Partition moved =
       req.is_physical
           ? part->SplitOffTail(std::min<uint64_t>(req.tuples,
@@ -1408,7 +1448,14 @@ void Aeu::HandleTransferRequest(const routing::CommandView& cmd) {
     } else if (req.range.hi >= declared.hi && req.range.lo < declared.hi) {
       declared.hi = req.range.lo;
     }
-    if (declared.lo <= declared.hi) part->set_range(declared);
+    if (declared.lo <= declared.hi) {
+      if (wal_ != nullptr) {
+        WalLogEffect(routing::CommandType::kWalSetRange, object,
+                     {reinterpret_cast<const uint8_t*>(&declared),
+                      sizeof(declared)});
+      }
+      part->set_range(declared);
+    }
   }
   engine_->monitor().RecordSize(id_, object, part->tuple_count(),
                                 part->memory_bytes());
@@ -1510,6 +1557,9 @@ void Aeu::HandleInstall(const routing::CommandView& cmd) {
   storage::Partition* part = partition(object);
   if (hdr.is_link) {
     auto* linked = static_cast<storage::Partition*>(hdr.linked);
+    // Link transfers never flatten, so the receiver logs the absorbed
+    // contents as ordinary write effects before splicing them in.
+    if (wal_ != nullptr) WalLogPartitionContents(object, *linked);
     storage::KeyRange keep = part->range();
     part->Absorb(std::move(*linked), engine_->oracle().NextWriteTs());
     part->set_range(keep);  // declared range was set by the balance command
@@ -1518,6 +1568,11 @@ void Aeu::HandleInstall(const routing::CommandView& cmd) {
   } else {
     std::span<const uint8_t> entries(cmd.payload + sizeof(hdr),
                                      cmd.header.payload_bytes - sizeof(hdr));
+    if (wal_ != nullptr && !entries.empty()) {
+      WalLogEffect(hdr.is_physical ? routing::CommandType::kAppendBatch
+                                   : routing::CommandType::kUpsertBatch,
+                   object, entries);
+    }
     if (hdr.is_physical) {
       uint64_t ts = engine_->oracle().NextWriteTs();
       size_t n = entries.size() / sizeof(storage::Value);
@@ -1648,6 +1703,17 @@ void Aeu::ThreadMain() {
   }
   uint32_t idle = 0;
   while (!engine_->stop_.load(std::memory_order_acquire)) {
+    if (engine_->pause_.load(std::memory_order_acquire)) {
+      // Snapshot parking: the engine needs every loop off its partitions
+      // (and off its WAL) while it flattens a consistent image.
+      engine_->paused_count_.fetch_add(1, std::memory_order_acq_rel);
+      while (engine_->pause_.load(std::memory_order_acquire) &&
+             !engine_->stop_.load(std::memory_order_acquire)) {
+        std::this_thread::yield();
+      }
+      engine_->paused_count_.fetch_sub(1, std::memory_order_acq_rel);
+      continue;
+    }
     if (RunLoopIteration()) {
       idle = 0;
       continue;
@@ -1658,9 +1724,108 @@ void Aeu::ThreadMain() {
       CpuRelax();
     }
   }
-  // Final drain so shutdown leaves no queued commands behind.
+  // Final drain so shutdown leaves no queued commands behind (with a WAL
+  // attached this also commits and delivers the last deferred acks).
   RunLoopIteration();
   engine_->memory().manager(node_).FlushThisThreadCache();
+}
+
+// ---------------------------------------------------------------------------
+// Durability (DESIGN.md §14)
+// ---------------------------------------------------------------------------
+
+void Aeu::ReplacePartition(storage::ObjectId object,
+                           storage::Partition&& part) {
+  ERIS_CHECK_LT(object, num_partitions_.load(std::memory_order_acquire));
+  partitions_[object] =
+      std::make_unique<storage::Partition>(std::move(part));
+}
+
+void Aeu::WalLogEffect(routing::CommandType type, storage::ObjectId object,
+                       std::span<const uint8_t> payload) {
+  routing::CommandHeader h;
+  h.type = type;
+  h.object = static_cast<uint16_t>(object);
+  h.source = id_;
+  // Never persisted as meaningful state: replay ignores both.
+  h.deadline_ns = 0;
+  h.sink = nullptr;
+  wal_scratch_.clear();
+  routing::EncodeCommand(h, payload, &wal_scratch_);
+  wal_->Append(wal_scratch_);
+  ++stats_.wal_records;
+}
+
+void Aeu::WalLogPartitionContents(storage::ObjectId object,
+                                  const storage::Partition& part) {
+  // Bound each record so a huge absorbed partition cannot blow the group
+  // buffer (backpressure may inline-commit between chunks, which is fine:
+  // the chunks are idempotent upserts/appends).
+  constexpr size_t kChunk = 4096;
+  if (const storage::MvccColumn* column = part.mvcc_column()) {
+    static thread_local std::vector<storage::Value> vals;
+    vals.clear();
+    auto flush = [&] {
+      if (vals.empty()) return;
+      WalLogEffect(routing::CommandType::kAppendBatch, object,
+                   {reinterpret_cast<const uint8_t*>(vals.data()),
+                    vals.size() * sizeof(storage::Value)});
+      vals.clear();
+    };
+    column->column().ForEach([&](storage::TupleId, storage::Value v) {
+      vals.push_back(v);
+      if (vals.size() >= kChunk) flush();
+    });
+    flush();
+    return;
+  }
+  static thread_local std::vector<routing::KeyValue> kvs;
+  kvs.clear();
+  auto flush = [&] {
+    if (kvs.empty()) return;
+    WalLogEffect(routing::CommandType::kUpsertBatch, object,
+                 {reinterpret_cast<const uint8_t*>(kvs.data()),
+                  kvs.size() * sizeof(routing::KeyValue)});
+    kvs.clear();
+  };
+  auto collect = [&](storage::Key k, storage::Value v) {
+    kvs.push_back(routing::KeyValue{k, v});
+    if (kvs.size() >= kChunk) flush();
+  };
+  if (part.index() != nullptr) {
+    part.index()->ForEach(collect);
+  } else if (part.hash() != nullptr) {
+    part.hash()->ForEach(collect);
+  }
+  flush();
+}
+
+void Aeu::CommitWalAndAck() {
+  if (wal_->Commit() > 0) ++stats_.wal_commits;
+  stats_.wal_stalls = wal_->stats().stalls;
+  // Acks are delivered even when this commit was a no-op: a mid-iteration
+  // backpressure commit may already have made their records durable.
+  for (const PendingAck& ack : pending_acks_) {
+    ack.sink->OnWriteBatch(ack.applied);
+    ack.sink->OnCommandComplete(ack.units);
+  }
+  pending_acks_.clear();
+}
+
+void Aeu::AckWrite(routing::ResultSink* sink, uint64_t applied,
+                   uint64_t units) {
+  if (wal_ != nullptr) {
+    // Held until the iteration-end group commit: acknowledged ⇒ durable.
+    pending_acks_.push_back(PendingAck{sink, applied, units});
+  } else {
+    sink->OnWriteBatch(applied);
+    sink->OnCommandComplete(units);
+  }
+}
+
+void Aeu::FlushWal() {
+  if (wal_ == nullptr) return;
+  CommitWalAndAck();
 }
 
 }  // namespace eris::core

@@ -21,6 +21,10 @@
 #include "routing/router.h"
 #include "storage/partition.h"
 
+namespace eris::durability {
+class WalWriter;
+}  // namespace eris::durability
+
 namespace eris::core {
 
 class Engine;
@@ -55,6 +59,10 @@ struct AeuLoopStats {
   uint64_t join_entries_local = 0;      ///< staged entries that stayed on-AEU
   uint64_t join_entries_exchanged = 0;  ///< entries routed across AEUs (boundary straddle)
   uint64_t join_boundary_lookups = 0;   ///< merge-time strays resolved via routed lookups
+  // --- durability (DESIGN.md §14) ---
+  uint64_t wal_records = 0;  ///< effect records logged ahead of apply
+  uint64_t wal_commits = 0;  ///< iteration-end group commits that flushed
+  uint64_t wal_stalls = 0;   ///< inline commits forced by backpressure
 };
 
 /// \brief One worker, pinned to one core, owning its partitions.
@@ -73,6 +81,21 @@ class Aeu {
   /// before the loop runs).
   void AddPartition(const storage::DataObjectDesc& desc,
                     storage::KeyRange initial_range);
+
+  /// Swaps in a partition rebuilt from a snapshot stream (recovery only,
+  /// before the loop runs).
+  void ReplacePartition(storage::ObjectId object, storage::Partition&& part);
+
+  /// Attaches the AEU's write-ahead log. With a log attached the loop logs
+  /// the locally applied effect of every data command before applying it,
+  /// group-commits once per iteration and defers write acknowledgements to
+  /// that commit (DESIGN.md §14). nullptr detaches (in-memory mode).
+  void set_wal(durability::WalWriter* wal) { wal_ = wal; }
+
+  /// Commits any buffered log records and delivers deferred write
+  /// acknowledgements. Called by the engine after the loop stopped
+  /// (shutdown residue) — not thread safe against a running loop.
+  void FlushWal();
 
   storage::Partition* partition(storage::ObjectId object) {
     return partitions_[object].get();
@@ -186,6 +209,22 @@ class Aeu {
   /// versions no active snapshot can read.
   void RunMaintenance();
 
+  // --- durability (DESIGN.md §14) ---
+  /// Appends one effect record (CommandHeader + payload, the on-wire
+  /// serialization) to the attached WAL. Only the locally applied subset
+  /// of a command is ever logged, so per-AEU replay is a pure function of
+  /// that AEU's own log.
+  void WalLogEffect(routing::CommandType type, storage::ObjectId object,
+                    std::span<const uint8_t> payload);
+  /// Logs a partition's full contents as kUpsertBatch/kAppendBatch chunks
+  /// (link-transfer install: the absorbed partition was never flattened).
+  void WalLogPartitionContents(storage::ObjectId object,
+                               const storage::Partition& part);
+  /// Group commit at iteration end + deferred-ack delivery.
+  void CommitWalAndAck();
+  /// Acks a write: immediately without a WAL, else after the group commit.
+  void AckWrite(routing::ResultSink* sink, uint64_t applied, uint64_t units);
+
   // --- monitoring & sim accounting ---
   void RecordGroupMetrics(storage::ObjectId object, uint64_t ops,
                           double exec_ns);
@@ -222,6 +261,18 @@ class Aeu {
   std::vector<PendingFetch> pending_fetches_;
   std::vector<BalanceTicket> balance_tickets_;
   std::vector<std::vector<uint8_t>> deferred_;
+
+  // Durability state (null/empty when the engine runs in-memory).
+  durability::WalWriter* wal_ = nullptr;
+  struct PendingAck {
+    routing::ResultSink* sink;
+    uint64_t applied;
+    uint64_t units;
+  };
+  /// Write acknowledgements held back until the iteration-end group commit
+  /// (acknowledged implies durable).
+  std::vector<PendingAck> pending_acks_;
+  std::vector<uint8_t> wal_scratch_;
 
   // Scratch.
   std::vector<Group> groups_;

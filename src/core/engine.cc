@@ -6,7 +6,9 @@
 #include <unordered_map>
 
 #include "common/fault_injection.h"
+#include "common/rng.h"
 #include "common/stopwatch.h"
+#include "durability/wal.h"
 
 namespace eris::core {
 
@@ -45,6 +47,12 @@ Engine::Engine(EngineOptions options) : options_(std::move(options)) {
       options_.overload.max_inflight_units);
   watchdog_ = std::make_unique<AeuWatchdog>(num_aeus_,
                                             options_.overload.watchdog_strikes);
+  if (options_.durability.enabled) {
+    ERIS_CHECK(!options_.durability.dir.empty())
+        << "durability enabled without a directory";
+    durability_ = std::make_unique<durability::DurabilityManager>(
+        options_.durability, num_aeus_);
+  }
 }
 
 Engine::~Engine() { Stop(); }
@@ -116,6 +124,10 @@ storage::ObjectId Engine::CreateHashTable(std::string name,
 
 void Engine::Start() {
   ERIS_CHECK(!started_);
+  if (durability_ != nullptr && !recovered_) {
+    Status st = Recover();
+    ERIS_CHECK(st.ok()) << "recovery failed: " << st.message();
+  }
   started_ = true;
   stop_.store(false, std::memory_order_release);
   if (options_.mode == ExecutionMode::kThreads) {
@@ -133,15 +145,26 @@ void Engine::Start() {
 }
 
 void Engine::Stop() {
-  if (!started_) return;
-  stop_.store(true, std::memory_order_release);
-  for (std::thread& t : threads_) {
-    if (t.joinable()) t.join();
+  if (started_) {
+    // Drain phase (DESIGN.md §14): give in-flight work a bounded window to
+    // complete — and with a WAL attached, to group-commit — before the
+    // threads are signalled. A wedged engine just times out here; shutdown
+    // never blocks indefinitely.
+    TryQuiesce(options_.stop_drain_ms);
+    stop_.store(true, std::memory_order_release);
+    for (std::thread& t : threads_) {
+      if (t.joinable()) t.join();
+    }
+    threads_.clear();
+    if (balancer_thread_.joinable()) balancer_thread_.join();
+    if (watchdog_thread_.joinable()) watchdog_thread_.join();
+    started_ = false;
   }
-  threads_.clear();
-  if (balancer_thread_.joinable()) balancer_thread_.join();
-  if (watchdog_thread_.joinable()) watchdog_thread_.join();
-  started_ = false;
+  if (durability_ != nullptr && recovered_) {
+    // Commit any residue (simulated engines never spawned threads, and a
+    // thread's final iteration may still have raced a late submit).
+    for (auto& aeu : aeus_) aeu->FlushWal();
+  }
 }
 
 bool Engine::PumpAll() {
@@ -212,6 +235,41 @@ void Engine::Quiesce() {
     }
     return stable >= 4;
   });
+}
+
+bool Engine::TryQuiesce(uint64_t timeout_ms) {
+  auto all_idle = [&] {
+    for (routing::AeuId a = 0; a < num_aeus_; ++a) {
+      if (router_->IsAeuStalled(a)) continue;
+      if (router_->mailbox(a).PendingBytes() > 0) return false;
+      if (!aeus_[a]->IsQuiescent()) return false;
+    }
+    return true;
+  };
+  const bool inline_pump =
+      options_.mode == ExecutionMode::kSimulated || !started_;
+  const uint64_t deadline = MonotonicNanos() + timeout_ms * 1'000'000ull;
+  uint64_t idle_passes = 0;
+  int stable = 0;
+  while (stable < 4) {
+    if (all_idle()) {
+      ++stable;
+    } else {
+      stable = 0;
+    }
+    if (inline_pump) {
+      // A simulated engine makes all its progress here, so a no-progress
+      // pass budget replaces the wall clock.
+      idle_passes = PumpAll() ? 0 : idle_passes + 1;
+      if (stable == 0 && idle_passes > (1u << 16)) return false;
+    } else {
+      std::this_thread::yield();
+      // Only give up while work is actually outstanding: once the engine
+      // is idle, let the stability count finish.
+      if (stable == 0 && MonotonicNanos() > deadline) return false;
+    }
+  }
+  return true;
 }
 
 bool Engine::RebalanceAll() {
@@ -318,6 +376,266 @@ bool Engine::RebalanceObject(storage::ObjectId object,
     return sink.completed() >= expected;
   });
   return true;
+}
+
+// ---------------------------------------------------------------------------
+// Durability (DESIGN.md §14)
+// ---------------------------------------------------------------------------
+
+Status Engine::Recover() {
+  if (durability_ == nullptr) {
+    return Status::FailedPrecondition("durability is not enabled");
+  }
+  if (recovered_) return Status::Ok();
+  ERIS_CHECK(!started_) << "Recover() must run before Start()";
+  Status st = durability_->EnsureDir();
+  if (!st.ok()) return st;
+  uint64_t epoch = 0;
+  st = durability_->ReadCurrentEpoch(&epoch);
+  if (!st.ok()) return st;
+  std::vector<uint64_t> watermark(num_aeus_, 0);
+  std::vector<uint64_t> next_lsn(num_aeus_, 1);
+
+  if (epoch != 0) {
+    durability::SnapshotMeta meta;
+    st = durability_->ReadSnapshotMeta(epoch, &meta);
+    if (!st.ok()) return st;
+    // The caller re-registers the schema before recovering; refuse to
+    // restore a snapshot into a differently-shaped engine.
+    if (meta.num_aeus != num_aeus_ ||
+        meta.objects.size() != objects_.size()) {
+      return Status::FailedPrecondition(
+          "snapshot topology/schema does not match this engine");
+    }
+    for (size_t o = 0; o < objects_.size(); ++o) {
+      const storage::DataObjectDesc& d = *objects_[o];
+      if (meta.objects[o].container != static_cast<uint32_t>(d.container) ||
+          meta.objects[o].partitioning !=
+              static_cast<uint32_t>(d.partitioning)) {
+        return Status::FailedPrecondition(
+            "snapshot schema mismatch for object '" + d.name + "'");
+      }
+    }
+    watermark = meta.wal_watermark;
+    next_lsn = meta.wal_next_lsn;
+    std::vector<uint8_t> payload;
+    for (const durability::PartitionMeta& pm : meta.partitions) {
+      if (pm.object >= objects_.size() || pm.aeu >= num_aeus_) {
+        return Status::IoError("snapshot references an unknown partition");
+      }
+      st = durability_->ReadPartitionFile(epoch, pm, &payload);
+      if (!st.ok()) return st;
+      const storage::DataObjectDesc& d = *objects_[pm.object];
+      numa::NodeId node = NodeOfAeu(pm.aeu);
+      uint64_t salt = Mix64((static_cast<uint64_t>(d.id) << 32) | pm.aeu);
+      Result<storage::Partition> rebuilt = storage::Partition::Rebuild(
+          d, &memory_->manager(node), pm.range, salt, payload);
+      if (!rebuilt.ok()) return rebuilt.status();
+      aeus_[pm.aeu]->ReplacePartition(pm.object,
+                                      std::move(rebuilt).value());
+      // Rebuild refills the raw column without MVCC frontier entries;
+      // publish the restored tuples at a fresh timestamp so scans see them.
+      aeus_[pm.aeu]->partition(pm.object)->ColumnPublish(
+          oracle_.NextWriteTs());
+    }
+  }
+
+  // Replay each AEU's log tail. Only the locally applied ("mine") effect
+  // of every command was logged, so per-AEU replay is a pure function of
+  // that AEU's own log — cross-AEU ordering cannot matter.
+  for (routing::AeuId a = 0; a < num_aeus_; ++a) {
+    durability::WalReplayResult rr;
+    st = durability::ReplayWal(
+        durability_->WalPath(a), watermark[a],
+        [&](uint64_t, std::span<const uint8_t> body) {
+          ApplyWalRecord(a, body);
+        },
+        &rr);
+    if (!st.ok()) return st;
+    next_lsn[a] = std::max(next_lsn[a], rr.next_lsn);
+    st = durability_->OpenWal(a, next_lsn[a], rr.valid_end);
+    if (!st.ok()) return st;
+    aeus_[a]->set_wal(durability_->wal(a));
+  }
+
+  st = RebuildRangeTables();
+  if (!st.ok()) return st;
+
+  // Seed the monitor so the balancer restarts from real partition sizes.
+  for (routing::AeuId a = 0; a < num_aeus_; ++a) {
+    for (storage::ObjectId o = 0; o < objects_.size(); ++o) {
+      storage::Partition* part = aeus_[a]->partition(o);
+      monitor_->RecordSize(a, o, part->tuple_count(), part->memory_bytes());
+    }
+  }
+  snapshot_epoch_ = epoch;
+  recovered_ = true;
+  return Status::Ok();
+}
+
+void Engine::ApplyWalRecord(routing::AeuId a, std::span<const uint8_t> body) {
+  if (body.size() < sizeof(routing::CommandHeader)) return;
+  routing::CommandView cmd = routing::DecodeCommand(body.data());
+  if (body.size() < sizeof(routing::CommandHeader) + cmd.header.payload_bytes) {
+    return;  // cannot happen behind an intact CRC; never read past the body
+  }
+  // Objects beyond the re-registered schema are query-layer intermediates:
+  // transient by design, their effects are dropped.
+  if (cmd.header.object >= objects_.size()) return;
+  storage::Partition* part = aeus_[a]->partition(cmd.header.object);
+  switch (cmd.header.type) {
+    case routing::CommandType::kInsertBatch:
+      for (const routing::KeyValue& kv : cmd.PayloadAs<routing::KeyValue>()) {
+        part->Insert(kv.key, kv.value);
+      }
+      break;
+    case routing::CommandType::kUpsertBatch:
+      for (const routing::KeyValue& kv : cmd.PayloadAs<routing::KeyValue>()) {
+        part->Upsert(kv.key, kv.value);
+      }
+      break;
+    case routing::CommandType::kEraseBatch:
+      for (storage::Key k : cmd.PayloadAs<storage::Key>()) part->Erase(k);
+      break;
+    case routing::CommandType::kAppendBatch: {
+      uint64_t ts = oracle_.NextWriteTs();
+      for (storage::Value v : cmd.PayloadAs<storage::Value>()) {
+        part->ColumnAppend(v, ts);
+      }
+      break;
+    }
+    case routing::CommandType::kWalExtractRange: {
+      storage::KeyRange r = cmd.PayloadAs<storage::KeyRange>()[0];
+      // Donor-side balance effect; the moved piece replays as plain writes
+      // from the receiving AEU's own log.
+      (void)part->ExtractRange(r.lo, r.hi);
+      break;
+    }
+    case routing::CommandType::kWalSplitTail: {
+      uint64_t tuples = cmd.PayloadAs<uint64_t>()[0];
+      (void)part->SplitOffTail(std::min(tuples, part->tuple_count()));
+      break;
+    }
+    case routing::CommandType::kWalSetRange:
+      part->set_range(cmd.PayloadAs<storage::KeyRange>()[0]);
+      break;
+    default:
+      break;  // reads and control commands are never logged
+  }
+}
+
+Status Engine::RebuildRangeTables() {
+  for (storage::ObjectId o = 0; o < objects_.size(); ++o) {
+    const storage::DataObjectDesc& d = *objects_[o];
+    if (d.partitioning != storage::PartitioningKind::kRange) continue;
+    struct Owned {
+      storage::KeyRange range;
+      routing::AeuId owner;
+    };
+    std::vector<Owned> owned;
+    for (routing::AeuId a = 0; a < num_aeus_; ++a) {
+      storage::KeyRange r = aeus_[a]->partition(o)->range();
+      if (r.Empty()) continue;  // fully drained by balancing
+      owned.push_back(Owned{r, a});
+    }
+    if (owned.empty()) {
+      return Status::Internal("no recovered ranges for object '" + d.name +
+                              "'");
+    }
+    std::sort(owned.begin(), owned.end(),
+              [](const Owned& x, const Owned& y) {
+                return x.range.lo < y.range.lo;
+              });
+    if (owned.front().range.lo != storage::kMinKey ||
+        owned.back().range.hi != storage::kMaxKey) {
+      return Status::Internal("recovered ranges do not cover the domain of '" +
+                              d.name + "'");
+    }
+    std::vector<routing::RangeEntry> entries;
+    entries.reserve(owned.size());
+    for (size_t i = 0; i < owned.size(); ++i) {
+      if (i + 1 < owned.size() &&
+          owned[i].range.hi != owned[i + 1].range.lo) {
+        return Status::Internal("recovered ranges of '" + d.name +
+                                "' are not contiguous");
+      }
+      entries.push_back(routing::RangeEntry{owned[i].range.hi,
+                                            owned[i].owner});
+    }
+    router_->range_table(o)->Replace(entries);
+  }
+  return Status::Ok();
+}
+
+Status Engine::Snapshot() {
+  if (durability_ == nullptr) {
+    return Status::FailedPrecondition("durability is not enabled");
+  }
+  ERIS_CHECK(recovered_) << "Snapshot() before Recover()";
+  // Reach a consistent point: no in-flight commands, no balancing residue.
+  Quiesce();
+  bool paused = false;
+  if (options_.mode == ExecutionMode::kThreads && started_) {
+    pause_.store(true, std::memory_order_release);
+    while (paused_count_.load(std::memory_order_acquire) <
+           static_cast<uint32_t>(threads_.size())) {
+      std::this_thread::yield();
+    }
+    paused = true;
+  }
+  Status st = WriteSnapshotFiles();
+  if (paused) pause_.store(false, std::memory_order_release);
+  return st;
+}
+
+Status Engine::WriteSnapshotFiles() {
+  const uint64_t epoch = snapshot_epoch_ + 1;
+  durability::SnapshotMeta meta;
+  meta.epoch = epoch;
+  meta.num_aeus = num_aeus_;
+  meta.objects.reserve(objects_.size());
+  for (const auto& obj : objects_) {
+    meta.objects.push_back(durability::ObjectMeta{
+        static_cast<uint32_t>(obj->container),
+        static_cast<uint32_t>(obj->partitioning)});
+  }
+  meta.wal_watermark.resize(num_aeus_);
+  meta.wal_next_lsn.resize(num_aeus_);
+  for (routing::AeuId a = 0; a < num_aeus_; ++a) {
+    // Quiesced + paused: safe to commit residue from this thread.
+    aeus_[a]->FlushWal();
+    durability::WalWriter* wal = durability_->wal(a);
+    meta.wal_watermark[a] = wal->next_lsn() - 1;
+    meta.wal_next_lsn[a] = wal->next_lsn();
+  }
+  // Pre-flatten so the metadata carries exact byte counts; the write path
+  // then just hands the streams over.
+  std::vector<std::vector<uint8_t>> streams;
+  streams.reserve(objects_.size() * num_aeus_);
+  for (routing::AeuId a = 0; a < num_aeus_; ++a) {
+    for (storage::ObjectId o = 0; o < objects_.size(); ++o) {
+      storage::Partition* part = aeus_[a]->partition(o);
+      streams.push_back(part->Flatten());
+      meta.partitions.push_back(durability::PartitionMeta{
+          o, a, part->range(), streams.back().size()});
+    }
+  }
+  Status st = durability_->WriteSnapshot(
+      meta, [&](size_t i) { return std::move(streams[i]); });
+  if (!st.ok()) return st;
+  // Publication point: after this rename+fsync the new snapshot is the
+  // recovery base; before it, the old one. Never a mix.
+  st = durability_->WriteCurrent(epoch);
+  if (!st.ok()) return st;
+  snapshot_epoch_ = epoch;
+  // The log contents are redundant now. A crash before a Rotate() is
+  // harmless: replay skips records at or below the watermark.
+  for (routing::AeuId a = 0; a < num_aeus_; ++a) {
+    st = durability_->wal(a)->Rotate();
+    if (!st.ok()) return st;
+  }
+  durability_->RemoveOldSnapshots(epoch);
+  return Status::Ok();
 }
 
 std::string Engine::StatsReport() {

@@ -26,6 +26,7 @@
 #include "core/monitor.h"
 #include "core/options.h"
 #include "core/snapshot_tracker.h"
+#include "durability/manager.h"
 #include "numa/memory_manager.h"
 #include "routing/router.h"
 #include "sim/cost_model.h"
@@ -108,11 +109,45 @@ class Engine {
                                       storage::Key domain_hi,
                                       storage::PrefixTreeConfig config = {});
 
-  /// Starts the AEUs (spawns threads in kThreads mode).
+  /// Starts the AEUs (spawns threads in kThreads mode). With durability
+  /// enabled, runs Recover() first if the caller has not done so.
   void Start();
   /// Stops and joins all engine threads. Idempotent.
+  ///
+  /// Drain-then-quiesce contract (DESIGN.md §14): Stop() first gives
+  /// in-flight work a bounded window (`stop_drain_ms`) to quiesce, then
+  /// signals the AEU threads, whose final loop iteration commits any
+  /// remaining WAL group before joining. Every operation acknowledged
+  /// before Stop() returns is durable; operations still in flight when the
+  /// drain window closes may be dropped, exactly as a crash would.
   void Stop();
   bool started() const { return started_; }
+
+  // --- Durability (DESIGN.md §14) ----------------------------------------
+  /// Restores the engine from its durability directory: rebuilds every
+  /// partition from the live snapshot (if any), replays each AEU's WAL
+  /// tail, rebuilds the range partition tables from the recovered ranges,
+  /// and opens the WALs (truncating torn tails). Must run after schema
+  /// registration and before Start(); the schema must match the snapshot.
+  /// A fresh (or absent) directory recovers to the empty state and simply
+  /// arms the WALs. Idempotent once recovered.
+  Status Recover();
+
+  /// Takes a consistent snapshot: quiesces, pauses the AEU threads,
+  /// flattens every partition into snap-<epoch>, publishes it via CURRENT
+  /// and truncates the WALs. Crash-atomic at every boundary — recovery
+  /// always sees either the previous or the new snapshot, never a mix.
+  /// Requires durability enabled and no concurrent client writes.
+  Status Snapshot();
+
+  /// Bounded Quiesce: returns true when every non-stalled AEU went idle
+  /// (stably over several passes) within `timeout_ms`, false otherwise.
+  /// Never CHECK-fails on a wedged engine — Stop() uses it as the drain
+  /// phase of shutdown.
+  bool TryQuiesce(uint64_t timeout_ms);
+
+  durability::DurabilityManager* durability() { return durability_.get(); }
+  bool recovered() const { return recovered_; }
 
   // --- Component access ---------------------------------------------------
   const EngineOptions& options() const { return options_; }
@@ -328,6 +363,18 @@ class Engine {
   void BalancerThreadMain();
   void WatchdogThreadMain();
 
+  /// Applies one WAL effect record to AEU `a`'s partitions (recovery
+  /// replay). Records for objects not re-registered before Recover() —
+  /// query-layer intermediates — are skipped.
+  void ApplyWalRecord(routing::AeuId a, std::span<const uint8_t> body);
+  /// Rebuilds every range object's routing table from the recovered
+  /// per-AEU partition ranges (they already include replayed balance
+  /// effects); validates the ranges tile the key domain.
+  Status RebuildRangeTables();
+  /// Snapshot() body once the engine is quiesced and (in thread mode)
+  /// every AEU thread is parked.
+  Status WriteSnapshotFiles();
+
   /// Parks a sink whose submit bailed on its deadline while completion
   /// units were still in flight: late completions write into the retired
   /// sink instead of freed memory. Freed when the engine is destroyed.
@@ -356,6 +403,17 @@ class Engine {
   std::atomic<bool> stop_{false};
   std::atomic<uint64_t> session_counter_{0};
   bool started_ = false;
+
+  // --- durability state (DESIGN.md §14) ---
+  std::unique_ptr<durability::DurabilityManager> durability_;
+  bool recovered_ = false;
+  uint64_t snapshot_epoch_ = 0;
+  /// Snapshot() parks the AEU threads here while it flattens partitions,
+  /// so no loop (idle maintenance included) runs concurrently with the
+  /// reads. ThreadMain checks pause_ each iteration and acknowledges via
+  /// paused_count_.
+  std::atomic<bool> pause_{false};
+  std::atomic<uint32_t> paused_count_{0};
 };
 
 }  // namespace eris::core

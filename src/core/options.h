@@ -4,6 +4,7 @@
 #include <cstdint>
 
 #include "core/load_balancer.h"
+#include "durability/wal.h"
 #include "numa/topology.h"
 #include "routing/router.h"
 #include "sim/cost_model.h"
@@ -79,6 +80,13 @@ struct EngineOptions {
   SimOptions sim;
   OverloadOptions overload;
   LookupPathOptions lookup;
+  /// Durability tier (DESIGN.md §14): per-AEU group-commit WAL, engine
+  /// snapshots and recovery-on-start. Disabled = purely in-memory.
+  durability::DurabilityOptions durability;
+  /// Shutdown drain window: Stop() gives in-flight work this long to
+  /// quiesce (so outstanding group commits reach the log and their
+  /// deferred acknowledgements are delivered) before AEU threads join.
+  uint32_t stop_drain_ms = 250;
 };
 
 }  // namespace eris::core

@@ -1,0 +1,384 @@
+#include "durability/manager.h"
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <filesystem>
+
+#include "common/fault_injection.h"
+#include "common/logging.h"
+
+namespace eris::durability {
+
+namespace fs = std::filesystem;
+
+namespace {
+
+constexpr uint32_t kMetaMagic = 0x4154454D;     // "META"
+constexpr uint32_t kCurrentMagic = 0x4E525543;  // "CURN"
+constexpr uint32_t kPartMagic = 0x54524150;     // "PART"
+
+void Put32(std::vector<uint8_t>* out, uint32_t v) {
+  const auto* p = reinterpret_cast<const uint8_t*>(&v);
+  out->insert(out->end(), p, p + sizeof(v));
+}
+
+void Put64(std::vector<uint8_t>* out, uint64_t v) {
+  const auto* p = reinterpret_cast<const uint8_t*>(&v);
+  out->insert(out->end(), p, p + sizeof(v));
+}
+
+/// Bounds-checked little-endian reader over a byte buffer.
+struct Reader {
+  const uint8_t* p;
+  size_t left;
+  bool ok = true;
+
+  uint32_t Get32() {
+    uint32_t v = 0;
+    if (left < sizeof(v)) {
+      ok = false;
+      return 0;
+    }
+    std::memcpy(&v, p, sizeof(v));
+    p += sizeof(v);
+    left -= sizeof(v);
+    return v;
+  }
+  uint64_t Get64() {
+    uint64_t v = 0;
+    if (left < sizeof(v)) {
+      ok = false;
+      return 0;
+    }
+    std::memcpy(&v, p, sizeof(v));
+    p += sizeof(v);
+    left -= sizeof(v);
+    return v;
+  }
+};
+
+Status ReadFileBytes(const std::string& path, std::vector<uint8_t>* out) {
+  int fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
+  if (fd < 0) {
+    return Status::IoError("cannot open " + path + ": " +
+                           std::strerror(errno));
+  }
+  struct stat st;
+  if (::fstat(fd, &st) != 0) {
+    ::close(fd);
+    return Status::IoError("cannot stat " + path + ": " +
+                           std::strerror(errno));
+  }
+  out->resize(static_cast<size_t>(st.st_size));
+  size_t off = 0;
+  while (off < out->size()) {
+    ssize_t r = ::read(fd, out->data() + off, out->size() - off);
+    if (r < 0) {
+      if (errno == EINTR) continue;
+      ::close(fd);
+      return Status::IoError("cannot read " + path + ": " +
+                             std::strerror(errno));
+    }
+    if (r == 0) break;
+    off += static_cast<size_t>(r);
+  }
+  ::close(fd);
+  out->resize(off);
+  return Status::Ok();
+}
+
+/// Writes `bytes` to `path` and fsyncs it, visiting the snapshot fault
+/// points at the write and fsync boundaries.
+Status WriteFileDurable(const std::string& path,
+                        std::span<const uint8_t> bytes) {
+  int fd = ::open(path.c_str(), O_WRONLY | O_CREAT | O_TRUNC | O_CLOEXEC,
+                  0644);
+  if (fd < 0) {
+    return Status::IoError("cannot create " + path + ": " +
+                           std::strerror(errno));
+  }
+  ERIS_INJECT_POINT(kSnapshotWrite);
+  const uint8_t* p = bytes.data();
+  size_t n = bytes.size();
+  while (n > 0) {
+    ssize_t w = ::write(fd, p, n);
+    if (w < 0) {
+      if (errno == EINTR) continue;
+      ::close(fd);
+      return Status::IoError("cannot write " + path + ": " +
+                             std::strerror(errno));
+    }
+    p += w;
+    n -= static_cast<size_t>(w);
+  }
+  ERIS_INJECT_POINT(kSnapshotFsync);
+  if (::fsync(fd) != 0) {
+    ::close(fd);
+    return Status::IoError("cannot fsync " + path + ": " +
+                           std::strerror(errno));
+  }
+  ::close(fd);
+  return Status::Ok();
+}
+
+/// fsync on a directory so renames/creations inside it are durable.
+Status FsyncDir(const std::string& path) {
+  int fd = ::open(path.c_str(), O_RDONLY | O_DIRECTORY | O_CLOEXEC);
+  if (fd < 0) {
+    return Status::IoError("cannot open dir " + path + ": " +
+                           std::strerror(errno));
+  }
+  if (::fsync(fd) != 0) {
+    ::close(fd);
+    return Status::IoError("cannot fsync dir " + path + ": " +
+                           std::strerror(errno));
+  }
+  ::close(fd);
+  return Status::Ok();
+}
+
+std::vector<uint8_t> EncodeMeta(const SnapshotMeta& meta) {
+  std::vector<uint8_t> body;
+  Put64(&body, meta.epoch);
+  Put32(&body, meta.num_aeus);
+  Put32(&body, static_cast<uint32_t>(meta.objects.size()));
+  for (const ObjectMeta& o : meta.objects) {
+    Put32(&body, o.container);
+    Put32(&body, o.partitioning);
+  }
+  for (uint32_t a = 0; a < meta.num_aeus; ++a) {
+    Put64(&body, meta.wal_watermark[a]);
+    Put64(&body, meta.wal_next_lsn[a]);
+  }
+  Put64(&body, meta.partitions.size());
+  for (const PartitionMeta& pm : meta.partitions) {
+    Put32(&body, pm.object);
+    Put32(&body, pm.aeu);
+    Put64(&body, pm.range.lo);
+    Put64(&body, pm.range.hi);
+    Put64(&body, pm.bytes);
+  }
+  std::vector<uint8_t> out;
+  Put32(&out, kMetaMagic);
+  Put32(&out, Crc32(body.data(), body.size()));
+  out.insert(out.end(), body.begin(), body.end());
+  return out;
+}
+
+Status DecodeMeta(const std::vector<uint8_t>& bytes, SnapshotMeta* out) {
+  if (bytes.size() < 8) return Status::IoError("snapshot meta truncated");
+  uint32_t magic = 0;
+  uint32_t crc = 0;
+  std::memcpy(&magic, bytes.data(), 4);
+  std::memcpy(&crc, bytes.data() + 4, 4);
+  if (magic != kMetaMagic) return Status::IoError("snapshot meta bad magic");
+  if (crc != Crc32(bytes.data() + 8, bytes.size() - 8)) {
+    return Status::IoError("snapshot meta CRC mismatch");
+  }
+  Reader r{bytes.data() + 8, bytes.size() - 8};
+  out->epoch = r.Get64();
+  out->num_aeus = r.Get32();
+  uint32_t num_objects = r.Get32();
+  out->objects.resize(num_objects);
+  for (ObjectMeta& o : out->objects) {
+    o.container = r.Get32();
+    o.partitioning = r.Get32();
+  }
+  out->wal_watermark.resize(out->num_aeus);
+  out->wal_next_lsn.resize(out->num_aeus);
+  for (uint32_t a = 0; r.ok && a < out->num_aeus; ++a) {
+    out->wal_watermark[a] = r.Get64();
+    out->wal_next_lsn[a] = r.Get64();
+  }
+  uint64_t num_partitions = r.Get64();
+  if (!r.ok || num_partitions > r.left / 32) {
+    return Status::IoError("snapshot meta truncated");
+  }
+  out->partitions.resize(num_partitions);
+  for (PartitionMeta& pm : out->partitions) {
+    pm.object = r.Get32();
+    pm.aeu = r.Get32();
+    pm.range.lo = r.Get64();
+    pm.range.hi = r.Get64();
+    pm.bytes = r.Get64();
+  }
+  if (!r.ok) return Status::IoError("snapshot meta truncated");
+  return Status::Ok();
+}
+
+std::string PartFileName(uint32_t object, uint32_t aeu) {
+  return "part-" + std::to_string(object) + "-" + std::to_string(aeu) +
+         ".bin";
+}
+
+}  // namespace
+
+DurabilityManager::DurabilityManager(DurabilityOptions options,
+                                     uint32_t num_aeus)
+    : options_(std::move(options)), num_aeus_(num_aeus) {
+  wals_.resize(num_aeus_);
+  for (uint32_t a = 0; a < num_aeus_; ++a) {
+    wals_[a] = std::make_unique<WalWriter>();
+  }
+}
+
+Status DurabilityManager::EnsureDir() {
+  std::error_code ec;
+  fs::create_directories(options_.dir, ec);
+  if (ec) {
+    return Status::IoError("cannot create durability dir " + options_.dir +
+                           ": " + ec.message());
+  }
+  return Status::Ok();
+}
+
+// ---------------------------------------------------------------------------
+// Manifest
+// ---------------------------------------------------------------------------
+
+Status DurabilityManager::ReadCurrentEpoch(uint64_t* epoch) {
+  *epoch = 0;
+  std::string path = options_.dir + "/CURRENT";
+  if (!fs::exists(path)) return Status::Ok();
+  std::vector<uint8_t> bytes;
+  Status st = ReadFileBytes(path, &bytes);
+  if (!st.ok()) return st;
+  if (bytes.size() != 16) return Status::IoError("CURRENT truncated");
+  uint32_t magic = 0;
+  uint32_t crc = 0;
+  std::memcpy(&magic, bytes.data(), 4);
+  std::memcpy(&crc, bytes.data() + 4, 4);
+  if (magic != kCurrentMagic || crc != Crc32(bytes.data() + 8, 8)) {
+    return Status::IoError("CURRENT corrupt");
+  }
+  std::memcpy(epoch, bytes.data() + 8, 8);
+  return Status::Ok();
+}
+
+Status DurabilityManager::WriteCurrent(uint64_t epoch) {
+  std::vector<uint8_t> bytes;
+  Put32(&bytes, kCurrentMagic);
+  std::vector<uint8_t> body;
+  Put64(&body, epoch);
+  Put32(&bytes, Crc32(body.data(), body.size()));
+  bytes.insert(bytes.end(), body.begin(), body.end());
+  std::string tmp = options_.dir + "/CURRENT.tmp";
+  std::string final_path = options_.dir + "/CURRENT";
+  ERIS_INJECT_POINT(kCurrentWrite);
+  Status st = WriteFileDurable(tmp, bytes);
+  if (!st.ok()) return st;
+  if (::rename(tmp.c_str(), final_path.c_str()) != 0) {
+    return Status::IoError("cannot publish CURRENT: " +
+                           std::string(std::strerror(errno)));
+  }
+  return FsyncDir(options_.dir);
+}
+
+// ---------------------------------------------------------------------------
+// Snapshots
+// ---------------------------------------------------------------------------
+
+std::string DurabilityManager::SnapshotDir(uint64_t epoch) const {
+  return options_.dir + "/snap-" + std::to_string(epoch);
+}
+
+Status DurabilityManager::WriteSnapshot(
+    const SnapshotMeta& meta,
+    const std::function<std::vector<uint8_t>(size_t part_index)>& flatten) {
+  std::string final_dir = SnapshotDir(meta.epoch);
+  std::string tmp_dir = final_dir + ".tmp";
+  std::error_code ec;
+  fs::remove_all(tmp_dir, ec);  // stale attempt from a crashed snapshot
+  fs::create_directories(tmp_dir, ec);
+  if (ec) {
+    return Status::IoError("cannot create " + tmp_dir + ": " + ec.message());
+  }
+  for (size_t i = 0; i < meta.partitions.size(); ++i) {
+    const PartitionMeta& pm = meta.partitions[i];
+    std::vector<uint8_t> payload = flatten(i);
+    ERIS_CHECK_EQ(payload.size(), pm.bytes)
+        << "flatten size changed under the snapshot";
+    std::vector<uint8_t> file;
+    file.reserve(16 + payload.size());
+    Put32(&file, kPartMagic);
+    Put32(&file, Crc32(payload.data(), payload.size()));
+    Put64(&file, payload.size());
+    file.insert(file.end(), payload.begin(), payload.end());
+    Status st = WriteFileDurable(
+        tmp_dir + "/" + PartFileName(pm.object, pm.aeu), file);
+    if (!st.ok()) return st;
+  }
+  Status st = WriteFileDurable(tmp_dir + "/meta.bin", EncodeMeta(meta));
+  if (!st.ok()) return st;
+  st = FsyncDir(tmp_dir);
+  if (!st.ok()) return st;
+  ERIS_INJECT_POINT(kSnapshotRename);
+  if (::rename(tmp_dir.c_str(), final_dir.c_str()) != 0) {
+    return Status::IoError("cannot publish snapshot " + final_dir + ": " +
+                           std::strerror(errno));
+  }
+  return FsyncDir(options_.dir);
+}
+
+Status DurabilityManager::ReadSnapshotMeta(uint64_t epoch,
+                                           SnapshotMeta* out) {
+  std::vector<uint8_t> bytes;
+  Status st = ReadFileBytes(SnapshotDir(epoch) + "/meta.bin", &bytes);
+  if (!st.ok()) return st;
+  return DecodeMeta(bytes, out);
+}
+
+Status DurabilityManager::ReadPartitionFile(uint64_t epoch,
+                                            const PartitionMeta& pm,
+                                            std::vector<uint8_t>* out) {
+  std::string path =
+      SnapshotDir(epoch) + "/" + PartFileName(pm.object, pm.aeu);
+  std::vector<uint8_t> bytes;
+  Status st = ReadFileBytes(path, &bytes);
+  if (!st.ok()) return st;
+  if (bytes.size() < 16) return Status::IoError(path + " truncated");
+  uint32_t magic = 0;
+  uint32_t crc = 0;
+  uint64_t payload_bytes = 0;
+  std::memcpy(&magic, bytes.data(), 4);
+  std::memcpy(&crc, bytes.data() + 4, 4);
+  std::memcpy(&payload_bytes, bytes.data() + 8, 8);
+  if (magic != kPartMagic || payload_bytes != bytes.size() - 16 ||
+      payload_bytes != pm.bytes) {
+    return Status::IoError(path + " inconsistent with snapshot meta");
+  }
+  if (crc != Crc32(bytes.data() + 16, bytes.size() - 16)) {
+    return Status::IoError(path + " CRC mismatch");
+  }
+  out->assign(bytes.begin() + 16, bytes.end());
+  return Status::Ok();
+}
+
+void DurabilityManager::RemoveOldSnapshots(uint64_t keep_epoch) {
+  std::error_code ec;
+  std::string keep = "snap-" + std::to_string(keep_epoch);
+  for (const auto& entry : fs::directory_iterator(options_.dir, ec)) {
+    std::string name = entry.path().filename().string();
+    if (name.rfind("snap-", 0) != 0 || name == keep) continue;
+    fs::remove_all(entry.path(), ec);  // best effort
+  }
+}
+
+// ---------------------------------------------------------------------------
+// WALs
+// ---------------------------------------------------------------------------
+
+std::string DurabilityManager::WalPath(uint32_t aeu) const {
+  return options_.dir + "/wal-" + std::to_string(aeu) + ".log";
+}
+
+Status DurabilityManager::OpenWal(uint32_t aeu, uint64_t next_lsn,
+                                  uint64_t valid_end) {
+  return wals_[aeu]->Open(WalPath(aeu), options_, next_lsn, valid_end);
+}
+
+}  // namespace eris::durability

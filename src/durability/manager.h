@@ -1,0 +1,113 @@
+// Durability directory layout, snapshot files and the CURRENT manifest.
+//
+// Layout under DurabilityOptions::dir:
+//   wal-<aeu>.log      per-AEU write-ahead log (see wal.h)
+//   snap-<epoch>/      one consistent engine snapshot
+//     meta.bin         CRC-checked snapshot metadata (schema, per-AEU WAL
+//                      watermarks, partition directory)
+//     part-<o>-<a>.bin CRC-framed Partition::Flatten() stream of object o's
+//                      partition on AEU a
+//   CURRENT            CRC-checked pointer to the live snapshot epoch
+//
+// Snapshot atomicity: files are written into snap-<epoch>.tmp, fsynced,
+// and the directory is renamed into place before CURRENT is swapped (also
+// via tmp + rename). A crash at any boundary leaves either the old or the
+// new snapshot fully intact — never a half-visible one. The fault points
+// kSnapshotWrite/kSnapshotFsync/kSnapshotRename/kCurrentWrite sit at every
+// write/fsync/rename so the recovery test matrix can kill the process at
+// each boundary.
+//
+// The manager owns primitives (files, manifest, WAL handles); the Engine
+// drives the flatten → write and read → rebuild → replay sequences
+// (engine.cc, DESIGN.md §14).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "durability/wal.h"
+#include "storage/types.h"
+
+namespace eris::durability {
+
+/// Schema fingerprint of one data object (recovery refuses to restore a
+/// snapshot into a differently-shaped engine).
+struct ObjectMeta {
+  uint32_t container = 0;     ///< storage::ContainerKind
+  uint32_t partitioning = 0;  ///< storage::PartitioningKind
+};
+
+/// Directory entry of one flattened partition.
+struct PartitionMeta {
+  uint32_t object = 0;
+  uint32_t aeu = 0;
+  storage::KeyRange range;
+  uint64_t bytes = 0;  ///< flatten-stream payload bytes
+};
+
+struct SnapshotMeta {
+  uint64_t epoch = 0;
+  uint32_t num_aeus = 0;
+  std::vector<ObjectMeta> objects;
+  /// Per AEU: highest LSN durable when the snapshot was taken. Replay
+  /// skips records at or below it (appends are not idempotent).
+  std::vector<uint64_t> wal_watermark;
+  /// Per AEU: the LSN the writer continues from (monotonic across
+  /// rotations).
+  std::vector<uint64_t> wal_next_lsn;
+  std::vector<PartitionMeta> partitions;
+};
+
+/// \brief Owns the durability directory: WAL handles, snapshot files and
+/// the CURRENT manifest.
+class DurabilityManager {
+ public:
+  DurabilityManager(DurabilityOptions options, uint32_t num_aeus);
+
+  const DurabilityOptions& options() const { return options_; }
+
+  /// Creates the directory if missing.
+  Status EnsureDir();
+
+  // --- manifest ---------------------------------------------------------
+  /// Epoch of the live snapshot; 0 (and OK) when none exists yet.
+  Status ReadCurrentEpoch(uint64_t* epoch);
+  /// Atomically points CURRENT at `epoch` (tmp + fsync + rename).
+  Status WriteCurrent(uint64_t epoch);
+
+  // --- snapshots --------------------------------------------------------
+  std::string SnapshotDir(uint64_t epoch) const;
+
+  /// Writes a complete snapshot: every meta.partitions[i] gets the bytes
+  /// `flatten(i)` returns, then meta.bin, all fsynced in a tmp directory
+  /// that is renamed into place. Does NOT update CURRENT.
+  Status WriteSnapshot(
+      const SnapshotMeta& meta,
+      const std::function<std::vector<uint8_t>(size_t part_index)>& flatten);
+
+  Status ReadSnapshotMeta(uint64_t epoch, SnapshotMeta* out);
+  /// Reads + CRC-checks one flattened partition stream.
+  Status ReadPartitionFile(uint64_t epoch, const PartitionMeta& pm,
+                           std::vector<uint8_t>* out);
+
+  /// Best-effort removal of snapshots other than `keep_epoch` and of stale
+  /// .tmp directories left by crashed snapshot attempts.
+  void RemoveOldSnapshots(uint64_t keep_epoch);
+
+  // --- WALs -------------------------------------------------------------
+  std::string WalPath(uint32_t aeu) const;
+  /// Opens AEU `aeu`'s log, truncating the torn tail recovery found.
+  Status OpenWal(uint32_t aeu, uint64_t next_lsn, uint64_t valid_end);
+  WalWriter* wal(uint32_t aeu) { return wals_[aeu].get(); }
+  uint32_t num_aeus() const { return num_aeus_; }
+
+ private:
+  DurabilityOptions options_;
+  uint32_t num_aeus_;
+  std::vector<std::unique_ptr<WalWriter>> wals_;
+};
+
+}  // namespace eris::durability

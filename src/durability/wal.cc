@@ -1,0 +1,279 @@
+#include "durability/wal.h"
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "common/bit_util.h"
+#include "common/fault_injection.h"
+#include "common/logging.h"
+
+namespace eris::durability {
+
+namespace {
+
+struct Crc32Table {
+  uint32_t entries[256];
+  Crc32Table() {
+    for (uint32_t i = 0; i < 256; ++i) {
+      uint32_t c = i;
+      for (int k = 0; k < 8; ++k) {
+        c = (c & 1) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+      }
+      entries[i] = c;
+    }
+  }
+};
+
+/// Writes the full span, retrying short writes / EINTR. The log device
+/// failing mid-run is not a recoverable engine state, so errors are fatal.
+void WriteFully(int fd, const uint8_t* data, size_t n, const char* what) {
+  while (n > 0) {
+    ssize_t w = ::write(fd, data, n);
+    if (w < 0) {
+      if (errno == EINTR) continue;
+      ERIS_CHECK(false) << what << ": write failed: " << std::strerror(errno);
+    }
+    data += w;
+    n -= static_cast<size_t>(w);
+  }
+}
+
+}  // namespace
+
+uint32_t Crc32(const void* data, size_t n, uint32_t seed) {
+  static const Crc32Table table;
+  const uint8_t* p = static_cast<const uint8_t*>(data);
+  uint32_t c = seed ^ 0xFFFFFFFFu;
+  for (size_t i = 0; i < n; ++i) {
+    c = table.entries[(c ^ p[i]) & 0xFF] ^ (c >> 8);
+  }
+  return c ^ 0xFFFFFFFFu;
+}
+
+namespace {
+
+/// CRC of one frame: header fields after the crc word, then the body.
+uint32_t FrameCrc(const WalFrame& f, std::span<const uint8_t> body) {
+  uint32_t c = Crc32(&f.lsn, sizeof(f.lsn));
+  c = Crc32(&f.body_bytes, sizeof(f.body_bytes), c);
+  c = Crc32(&f.flags, sizeof(f.flags), c);
+  if (!body.empty()) c = Crc32(body.data(), body.size(), c);
+  return c;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// WalWriter
+// ---------------------------------------------------------------------------
+
+WalWriter::~WalWriter() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+Status WalWriter::Open(const std::string& path,
+                       const DurabilityOptions& options, uint64_t next_lsn,
+                       uint64_t valid_end) {
+  ERIS_CHECK(fd_ < 0) << "WAL already open: " << path_;
+  int fd = ::open(path.c_str(), O_RDWR | O_CREAT | O_CLOEXEC, 0644);
+  if (fd < 0) {
+    return Status::IoError("cannot open WAL " + path + ": " +
+                           std::strerror(errno));
+  }
+  // Discard the torn tail replay found (crash mid-write leaves a partial
+  // frame or an uncommitted group behind); new records must start exactly
+  // where the committed prefix ends.
+  if (::ftruncate(fd, static_cast<off_t>(valid_end)) != 0) {
+    ::close(fd);
+    return Status::IoError("cannot truncate WAL " + path + ": " +
+                           std::strerror(errno));
+  }
+  if (::lseek(fd, 0, SEEK_END) < 0) {
+    ::close(fd);
+    return Status::IoError("cannot seek WAL " + path + ": " +
+                           std::strerror(errno));
+  }
+  fd_ = fd;
+  path_ = path;
+  mode_ = options.mode;
+  max_unsynced_bytes_ = options.max_unsynced_bytes;
+  next_lsn_ = next_lsn;
+  buf_.clear();
+  buffered_records_ = 0;
+  return Status::Ok();
+}
+
+void WalWriter::AppendFrame(std::span<const uint8_t> body, uint32_t flags) {
+  WalFrame f;
+  f.lsn = next_lsn_++;
+  f.body_bytes = static_cast<uint32_t>(body.size());
+  f.flags = flags;
+  f.crc = FrameCrc(f, body);
+  size_t pos = buf_.size();
+  size_t padded = AlignUp(body.size(), 8);
+  buf_.resize(pos + sizeof(WalFrame) + padded);
+  std::memcpy(buf_.data() + pos, &f, sizeof(WalFrame));
+  if (!body.empty()) {
+    std::memcpy(buf_.data() + pos + sizeof(WalFrame), body.data(),
+                body.size());
+  }
+  if (padded != body.size()) {
+    std::memset(buf_.data() + pos + sizeof(WalFrame) + body.size(), 0,
+                padded - body.size());
+  }
+}
+
+uint64_t WalWriter::Append(std::span<const uint8_t> body) {
+  ERIS_DCHECK(fd_ >= 0) << "append on closed WAL";
+  ERIS_INJECT_POINT(kWalAppend);
+  AppendFrame(body, 0);
+  ++buffered_records_;
+  ++stats_.records;
+  uint64_t lsn = next_lsn_ - 1;
+  if (mode_ == WalMode::kPerRecordFsync) {
+    Commit();
+  } else if (buf_.size() > max_unsynced_bytes_) {
+    // Backpressure: the iteration buffered more than the cap, stall the
+    // AEU on an inline commit before it takes on more work.
+    ++stats_.stalls;
+    Commit();
+  }
+  return lsn;
+}
+
+uint64_t WalWriter::Commit() {
+  if (buffered_records_ == 0) return 0;  // idle iterations stay file-free
+  ERIS_INJECT_POINT(kWalCommit);
+  // Seal the group: replay applies the buffered records only if this frame
+  // survives to disk intact.
+  AppendFrame({}, kWalFlagCommit);
+  WriteFully(fd_, buf_.data(), buf_.size(), path_.c_str());
+  stats_.bytes_written += buf_.size();
+  ERIS_INJECT_POINT(kWalFsync);
+  ERIS_CHECK(::fsync(fd_) == 0)
+      << path_ << ": fsync failed: " << std::strerror(errno);
+  ++stats_.fsyncs;
+  ++stats_.groups;
+  uint64_t committed = buffered_records_;
+  buf_.clear();
+  buffered_records_ = 0;
+  return committed;
+}
+
+Status WalWriter::Rotate() {
+  ERIS_CHECK(fd_ >= 0) << "rotate on closed WAL";
+  ERIS_CHECK_EQ(buffered_records_, 0u)
+      << "rotate with uncommitted records buffered";
+  ERIS_INJECT_POINT(kWalRotate);
+  if (::ftruncate(fd_, 0) != 0) {
+    return Status::IoError(path_ + ": rotate truncate failed: " +
+                           std::strerror(errno));
+  }
+  if (::lseek(fd_, 0, SEEK_SET) < 0) {
+    return Status::IoError(path_ + ": rotate seek failed: " +
+                           std::strerror(errno));
+  }
+  if (::fsync(fd_) != 0) {
+    return Status::IoError(path_ + ": rotate fsync failed: " +
+                           std::strerror(errno));
+  }
+  ++stats_.fsyncs;
+  return Status::Ok();
+}
+
+// ---------------------------------------------------------------------------
+// Replay
+// ---------------------------------------------------------------------------
+
+Status ReplayWal(
+    const std::string& path, uint64_t watermark,
+    const std::function<void(uint64_t lsn, std::span<const uint8_t> body)>&
+        apply,
+    WalReplayResult* result) {
+  *result = WalReplayResult{};
+  int fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
+  if (fd < 0) {
+    if (errno == ENOENT) return Status::Ok();  // no log yet = empty log
+    return Status::IoError("cannot open WAL " + path + ": " +
+                           std::strerror(errno));
+  }
+  struct stat st;
+  if (::fstat(fd, &st) != 0) {
+    ::close(fd);
+    return Status::IoError("cannot stat WAL " + path + ": " +
+                           std::strerror(errno));
+  }
+  std::vector<uint8_t> data(static_cast<size_t>(st.st_size));
+  size_t off = 0;
+  while (off < data.size()) {
+    ssize_t r = ::read(fd, data.data() + off, data.size() - off);
+    if (r < 0) {
+      if (errno == EINTR) continue;
+      ::close(fd);
+      return Status::IoError("cannot read WAL " + path + ": " +
+                             std::strerror(errno));
+    }
+    if (r == 0) break;
+    off += static_cast<size_t>(r);
+  }
+  ::close(fd);
+  data.resize(off);
+
+  // Parse frames; records accumulate per group and are applied only when
+  // the group's commit frame checks out. Any inconsistency ends the scan:
+  // everything from the current (incomplete) group on is a torn tail.
+  struct PendingRecord {
+    uint64_t lsn;
+    size_t body_off;
+    uint32_t body_bytes;
+  };
+  std::vector<PendingRecord> group;
+  size_t pos = 0;
+  uint64_t prev_lsn = 0;
+  while (true) {
+    if (data.size() - pos < sizeof(WalFrame)) {
+      result->torn = result->torn || pos != data.size() || !group.empty();
+      break;
+    }
+    WalFrame f;
+    std::memcpy(&f, data.data() + pos, sizeof(WalFrame));
+    size_t padded = AlignUp(static_cast<size_t>(f.body_bytes), 8);
+    if (f.magic != kWalMagic || f.lsn <= prev_lsn ||
+        data.size() - pos - sizeof(WalFrame) < padded) {
+      result->torn = true;
+      break;
+    }
+    std::span<const uint8_t> body(data.data() + pos + sizeof(WalFrame),
+                                  f.body_bytes);
+    if (f.crc != FrameCrc(f, body)) {
+      result->torn = true;
+      break;
+    }
+    prev_lsn = f.lsn;
+    pos += sizeof(WalFrame) + padded;
+    if (f.flags & kWalFlagCommit) {
+      for (const PendingRecord& r : group) {
+        if (r.lsn <= watermark) {
+          ++result->records_skipped;
+          continue;
+        }
+        apply(r.lsn, {data.data() + r.body_off, r.body_bytes});
+        ++result->records_applied;
+      }
+      group.clear();
+      result->last_lsn = f.lsn;
+      result->valid_end = pos;
+    } else {
+      // The body starts right after the frame header.
+      group.push_back(PendingRecord{f.lsn, pos - padded, f.body_bytes});
+    }
+  }
+  result->next_lsn = std::max<uint64_t>(result->last_lsn + 1, 1);
+  return Status::Ok();
+}
+
+}  // namespace eris::durability

@@ -1,0 +1,159 @@
+// Per-AEU write-ahead log with group commit (DESIGN.md §14).
+//
+// Every AEU owns one append-only log file. Data commands are logged as
+// *effect records* — the CommandHeader-framed subset of a command the AEU
+// applied locally — before they touch a partition, so per-AEU replay is a
+// pure function of that AEU's own log, independent of cross-AEU delivery
+// order and rebalancing.
+//
+// Records are buffered in memory and made durable in groups: one write()
+// plus one fsync() per AEU loop iteration covers every command the
+// iteration processed (the paper-adjacent push-based-logging point that a
+// per-record fsync would serialize the whole engine on the log device).
+// A group is terminated by a zero-body *commit frame*; replay applies a
+// record only once its group's commit frame has been seen and CRC-checked,
+// so a torn or bit-flipped tail discards the incomplete final group and
+// never surfaces a partial group commit.
+//
+// Frame layout (24-byte header, body padded to 8 bytes):
+//   u32 magic | u32 crc | u64 lsn | u32 body_bytes | u32 flags | body...
+// The CRC covers (lsn, body_bytes, flags, body). LSNs are per-AEU and
+// strictly monotonic, surviving log rotation: a snapshot records the
+// durable-LSN watermark per AEU and replay skips records at or below it.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace eris::durability {
+
+/// CRC-32 (reflected, poly 0xEDB88320) over `n` bytes; chainable via `seed`
+/// (pass a previous return value to continue a running checksum).
+uint32_t Crc32(const void* data, size_t n, uint32_t seed = 0);
+
+/// When records reach the disk.
+enum class WalMode : uint8_t {
+  /// Buffer records and commit once per AEU loop iteration (one write +
+  /// one fsync covering the whole group). The engine default.
+  kGroupCommit = 0,
+  /// write() + fsync() every record — the ablation baseline bench_ext_wal
+  /// measures group commit against.
+  kPerRecordFsync = 1,
+};
+
+/// Durability configuration, embedded in EngineOptions.
+struct DurabilityOptions {
+  /// Master switch. Off = the engine is purely in-memory (no WAL handles,
+  /// no behavior change anywhere).
+  bool enabled = false;
+  /// Directory holding wal-<aeu>.log files, snap-<epoch>/ snapshot
+  /// directories and the CURRENT manifest. Created if missing.
+  std::string dir;
+  WalMode mode = WalMode::kGroupCommit;
+  /// Group-commit backpressure: when an iteration buffers more than this
+  /// many bytes, the AEU stalls on an inline commit before accepting more
+  /// work (bounds both memory and the unacknowledged window).
+  size_t max_unsynced_bytes = 1u << 20;
+};
+
+inline constexpr uint32_t kWalMagic = 0x4C415745;  // "EWAL"
+inline constexpr uint32_t kWalFlagCommit = 1u << 0;
+
+/// On-disk frame header; body (padded to 8 bytes) follows.
+struct WalFrame {
+  uint32_t magic = kWalMagic;
+  uint32_t crc = 0;
+  uint64_t lsn = 0;
+  uint32_t body_bytes = 0;
+  uint32_t flags = 0;
+};
+static_assert(sizeof(WalFrame) == 24);
+
+struct WalWriterStats {
+  uint64_t records = 0;  ///< data records appended
+  uint64_t groups = 0;   ///< commits that flushed >= 1 record
+  uint64_t fsyncs = 0;
+  uint64_t bytes_written = 0;
+  uint64_t stalls = 0;   ///< inline commits forced by the backpressure cap
+};
+
+/// \brief Single-writer append/commit handle for one AEU's log.
+///
+/// Not thread-safe: exactly one thread (the owning AEU's loop, or the
+/// engine during recovery/shutdown) uses a writer at a time.
+class WalWriter {
+ public:
+  WalWriter() = default;
+  ~WalWriter();
+  WalWriter(const WalWriter&) = delete;
+  WalWriter& operator=(const WalWriter&) = delete;
+
+  /// Opens (creating if missing) the log at `path`, truncates it to
+  /// `valid_end` (discarding a torn tail found by replay) and positions
+  /// the writer after it. `next_lsn` continues the per-AEU LSN sequence.
+  Status Open(const std::string& path, const DurabilityOptions& options,
+              uint64_t next_lsn, uint64_t valid_end);
+
+  /// Appends one record body and returns its LSN. kPerRecordFsync commits
+  /// immediately; kGroupCommit buffers until Commit() — or inline when the
+  /// buffered bytes exceed the backpressure cap (counted as a stall).
+  uint64_t Append(std::span<const uint8_t> body);
+
+  /// Seals the buffered group with a commit frame and makes it durable
+  /// (one write + one fsync). No-op when nothing is buffered — idle AEU
+  /// loop iterations never touch the file. Returns the number of data
+  /// records committed.
+  uint64_t Commit();
+
+  /// Truncates the log after a snapshot made its contents redundant. The
+  /// LSN sequence keeps counting (watermark-based replay dedup relies on
+  /// monotonic LSNs across rotations). Requires an empty buffer.
+  Status Rotate();
+
+  bool is_open() const { return fd_ >= 0; }
+  uint64_t next_lsn() const { return next_lsn_; }
+  size_t buffered_bytes() const { return buf_.size(); }
+  const WalWriterStats& stats() const { return stats_; }
+
+ private:
+  void AppendFrame(std::span<const uint8_t> body, uint32_t flags);
+
+  int fd_ = -1;
+  std::string path_;
+  WalMode mode_ = WalMode::kGroupCommit;
+  size_t max_unsynced_bytes_ = 1u << 20;
+  uint64_t next_lsn_ = 1;
+  std::vector<uint8_t> buf_;
+  uint64_t buffered_records_ = 0;
+  WalWriterStats stats_;
+};
+
+/// Outcome of scanning one log file.
+struct WalReplayResult {
+  uint64_t last_lsn = 0;         ///< highest LSN inside a committed group
+  uint64_t next_lsn = 1;         ///< LSN the writer should continue from
+  uint64_t valid_end = 0;        ///< file offset after the last committed group
+  uint64_t records_applied = 0;  ///< records delivered to the callback
+  uint64_t records_skipped = 0;  ///< committed records at/below the watermark
+  bool torn = false;             ///< trailing bytes past valid_end discarded
+};
+
+/// Scans the log at `path`, invoking `apply(lsn, body)` for every record of
+/// every *committed* group whose LSN exceeds `watermark`, in log order.
+/// Scanning stops at the first bad magic, CRC mismatch, truncated frame, or
+/// uncommitted trailing group; everything past that point is reported as a
+/// torn tail (valid_end marks where the writer must truncate). A missing
+/// file is an empty log, not an error.
+Status ReplayWal(
+    const std::string& path, uint64_t watermark,
+    const std::function<void(uint64_t lsn, std::span<const uint8_t> body)>&
+        apply,
+    WalReplayResult* result);
+
+}  // namespace eris::durability

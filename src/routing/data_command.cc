@@ -23,6 +23,9 @@ const char* CommandTypeName(CommandType t) {
     case CommandType::kJoinScatter: return "join-scatter";
     case CommandType::kJoinStage: return "join-stage";
     case CommandType::kJoinMerge: return "join-merge";
+    case CommandType::kWalExtractRange: return "wal-extract-range";
+    case CommandType::kWalSplitTail: return "wal-split-tail";
+    case CommandType::kWalSetRange: return "wal-set-range";
   }
   return "unknown";
 }

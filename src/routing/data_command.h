@@ -48,6 +48,13 @@ enum class CommandType : uint8_t {
   kJoinScatter,       ///< payload: MergeJoinParams (multicast to S owners)
   kJoinStage,         ///< payload: JoinStageParams + KeyValue[] (run exchange)
   kJoinMerge,         ///< payload: MergeJoinParams (multicast to R owners)
+  // WAL-only effect records (never routed; see src/durability/wal.h):
+  // rebalancing side effects an AEU applies to its own partition are logged
+  // with these types so per-AEU replay reproduces transfers without any
+  // cross-AEU coordination.
+  kWalExtractRange,   ///< payload: KeyRange extracted out of the partition
+  kWalSplitTail,      ///< payload: u64 trailing tuples split off (column)
+  kWalSetRange,       ///< payload: KeyRange newly declared for the partition
 };
 
 const char* CommandTypeName(CommandType t);

@@ -47,6 +47,16 @@ uint64_t MvccColumn::VisibleSize(uint64_t snapshot_ts) const {
   return std::min(std::prev(it)->second, column_.size());
 }
 
+void MvccColumn::PublishAt(uint64_t ts) {
+  if (column_.size() == 0) return;
+  last_ts_ = std::max(last_ts_, ts);
+  if (!frontier_.empty() && frontier_.back().first >= ts) {
+    frontier_.back().second = column_.size();
+  } else {
+    frontier_.emplace_back(ts, column_.size());
+  }
+}
+
 void MvccColumn::AbsorbColumn(ColumnStore&& other, uint64_t ts) {
   if (other.size() == 0) return;
   last_ts_ = std::max(last_ts_, ts);

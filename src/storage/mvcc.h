@@ -65,6 +65,12 @@ class MvccColumn {
   /// transfers, which move raw column segments without version metadata).
   void AbsorbColumn(ColumnStore&& other, uint64_t ts);
 
+  /// Publishes every physically present tuple as one commit at `ts`.
+  /// Recovery uses this after Partition::Rebuild, which refills the raw
+  /// ColumnStore without frontier entries — without a checkpoint the
+  /// rebuilt tuples would be invisible to every snapshot.
+  void PublishAt(uint64_t ts);
+
   /// Applies fn(tid, value) over the snapshot.
   template <typename Fn>
   void ScanSnapshot(uint64_t snapshot_ts, Fn&& fn) const {

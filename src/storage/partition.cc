@@ -57,6 +57,10 @@ void Partition::ColumnUpdate(TupleId tid, Value v, uint64_t ts) {
   mvcc_->Update(tid, v, ts);
 }
 
+void Partition::ColumnPublish(uint64_t ts) {
+  if (mvcc_ != nullptr) mvcc_->PublishAt(ts);
+}
+
 uint64_t Partition::ColumnScanSum(uint64_t snapshot_ts, Value lo,
                                   Value hi) const {
   ERIS_CHECK(mvcc_ != nullptr);

@@ -69,6 +69,10 @@ class Partition {
   // --- Column operations (kColumn) --------------------------------------
   TupleId ColumnAppend(Value v, uint64_t ts);
   void ColumnUpdate(TupleId tid, Value v, uint64_t ts);
+  /// Publishes every physically present tuple at `ts` (recovery: Rebuild
+  /// refills the raw column without MVCC frontier entries). No-op for
+  /// keyed containers.
+  void ColumnPublish(uint64_t ts);
   uint64_t ColumnScanSum(uint64_t snapshot_ts, Value lo, Value hi) const;
 
   // --- Size & stats ------------------------------------------------------

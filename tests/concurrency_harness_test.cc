@@ -15,9 +15,14 @@
 // uses a small n because TSan slows execution ~10x).
 #include <gtest/gtest.h>
 
+#include <unistd.h>
+
 #include <atomic>
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
 #include <thread>
 
 #include "common/fault_injection.h"
@@ -44,6 +49,9 @@ struct EngineShape {
   /// Runs the deterministic MPSM-join + fused-pipeline query phase after
   /// the writer phase and folds its results into the digest.
   bool join_pipeline = false;
+  /// Threaded run writes a WAL; after the differential check the seed also
+  /// restarts from the durability directory and re-checks the digest.
+  bool durable = false;
 };
 
 constexpr EngineShape kShapes[] = {
@@ -54,6 +62,27 @@ constexpr EngineShape kShapes[] = {
     {"flat-2x2-scalar-lookup", 2, 2, 0, 0, 0, false, false},
     {"flat-2x2-join-pipeline", 2, 2, 0, 0, 0, true, true,
      /*join_pipeline=*/true},
+    {"flat-2x2-recovery", 2, 2, 0, 0, 0, true, true,
+     /*join_pipeline=*/false, /*durable=*/true},
+};
+
+/// mkdtemp under $TMPDIR (or /tmp), removed on destruction.
+struct ScratchDir {
+  std::string path;
+  ScratchDir() {
+    const char* base = std::getenv("TMPDIR");
+    std::string tmpl = std::string(base != nullptr ? base : "/tmp") +
+                       "/eris-harness-XXXXXX";
+    std::vector<char> buf(tmpl.begin(), tmpl.end());
+    buf.push_back('\0');
+    char* dir = ::mkdtemp(buf.data());
+    EXPECT_NE(dir, nullptr) << std::strerror(errno);
+    if (dir != nullptr) path = dir;
+  }
+  ~ScratchDir() {
+    std::error_code ec;
+    if (!path.empty()) std::filesystem::remove_all(path, ec);
+  }
 };
 
 EngineOptions MakeOptions(const EngineShape& shape, ExecutionMode mode) {
@@ -84,8 +113,14 @@ template <typename RunFn>
 harness::EngineDigest RunAndDigest(const EngineShape& shape,
                                    ExecutionMode mode,
                                    const harness::HarnessConfig& cfg,
-                                   RunFn&& run) {
-  Engine engine(MakeOptions(shape, mode));
+                                   RunFn&& run,
+                                   const std::string* durable_dir = nullptr) {
+  EngineOptions opts = MakeOptions(shape, mode);
+  if (durable_dir != nullptr) {
+    opts.durability.enabled = true;
+    opts.durability.dir = *durable_dir;
+  }
+  Engine engine(opts);
   ObjectId idx = engine.CreateIndex("kv", cfg.domain_hi(),
                                     {.prefix_bits = 8, .key_bits = 16});
   ObjectId col = engine.CreateColumn("facts");
@@ -137,14 +172,18 @@ void RunSeed(uint64_t seed, const EngineShape& shape) {
     fi::FaultInjector::Global().SetFailProbability(fi::Point::kRouterFlush,
                                                    0.02);
   }
+  ScratchDir scratch;
+  const std::string* durable_dir = shape.durable ? &scratch.path : nullptr;
   harness::EngineDigest threaded = RunAndDigest(
       shape, ExecutionMode::kThreads, cfg,
       [&](Engine& engine, ObjectId idx, ObjectId col) {
         harness::RunScriptsThreaded(engine, idx, col, scripts);
-      });
+      },
+      durable_dir);
 
   // Oracle: identical log, sequential, single-threaded simulated engine,
-  // no injection.
+  // no injection, no durability — differentially checking that WAL logging
+  // and deferred acks change no observable semantics.
   harness::EngineDigest oracle = RunAndDigest(
       shape, ExecutionMode::kSimulated, cfg,
       [&](Engine& engine, ObjectId idx, ObjectId col) {
@@ -152,6 +191,24 @@ void RunSeed(uint64_t seed, const EngineShape& shape) {
       });
 
   harness::ExpectDigestsEqual(threaded, oracle);
+
+  if (shape.durable) {
+    // Restart leg: a fresh engine recovered from the WAL the threaded run
+    // left behind must reproduce the oracle digest exactly.
+    EngineOptions ropts = MakeOptions(shape, ExecutionMode::kSimulated);
+    ropts.durability.enabled = true;
+    ropts.durability.dir = scratch.path;
+    Engine recovered(ropts);
+    ObjectId idx = recovered.CreateIndex("kv", cfg.domain_hi(),
+                                         {.prefix_bits = 8, .key_bits = 16});
+    ObjectId col = recovered.CreateColumn("facts");
+    Status st = recovered.Recover();
+    ASSERT_TRUE(st.ok()) << st.message();
+    harness::EngineDigest restart =
+        harness::CaptureDigest(recovered, idx, col, cfg);
+    recovered.Stop();
+    harness::ExpectDigestsEqual(restart, oracle);
+  }
   if (::testing::Test::HasFailure()) {
     // Belt and braces: make the seed impossible to miss in CI logs.
     std::fprintf(stderr,
@@ -163,11 +220,27 @@ void RunSeed(uint64_t seed, const EngineShape& shape) {
 }
 
 TEST(ConcurrencyHarness, SeedSweepDifferentialOracle) {
-  // 24 seeds x 6 shapes rotated = 24 runs; the acceptance floor is a
-  // >= 20-seed sweep.
+  // 24 seeds x 7 shapes rotated = 24 runs; the acceptance floor is a
+  // >= 20-seed sweep. The recovery shape adds a restart leg: recover from
+  // the threaded run's WAL and re-check the digest.
   auto seeds = harness::SweepSeeds(/*base=*/1000, /*default_count=*/24);
   for (size_t i = 0; i < seeds.size(); ++i) {
     RunSeed(seeds[i], kShapes[i % std::size(kShapes)]);
+    if (::testing::Test::HasFatalFailure()) return;
+  }
+  fi::FaultInjector::Global().Reset();
+}
+
+TEST(ConcurrencyHarness, RecoveryDurableSweep) {
+  // Focused sweep on the durable shape (also rotated through the main
+  // sweep above): threaded chaos run with a WAL, then restart + digest
+  // comparison per seed. The recovery_scenario ctest entry selects this
+  // test by name.
+  auto seeds = harness::SweepSeeds(/*base=*/5000, /*default_count=*/4);
+  const EngineShape& durable_shape = kShapes[std::size(kShapes) - 1];
+  ASSERT_TRUE(durable_shape.durable);
+  for (uint64_t seed : seeds) {
+    RunSeed(seed, durable_shape);
     if (::testing::Test::HasFatalFailure()) return;
   }
   fi::FaultInjector::Global().Reset();
