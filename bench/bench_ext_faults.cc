@@ -1,0 +1,357 @@
+// Extension bench (storage faults): goodput under injected I/O errors and
+// degraded-mode serving (DESIGN.md §15).
+//
+// Three phases on one durable kThreads 1x2 engine, 4 client threads:
+//
+//   clean       — blocking upserts with the injector disarmed: the goodput
+//     and ack-latency baseline.
+//   short-write — every durability write() has a 20% chance of persisting
+//     only part of its chunk: the resume loop must keep the WAL byte-exact,
+//     so goodput dips but every submit still acks.
+//   degraded    — a probability-1.0 fsync failure seals AEU 0's WAL
+//     fail-stop; the engine flips to degraded read-only. Writes must fail
+//     fast with a typed status (zero acks after the seal) while lookups on
+//     the healthy AEU keep serving — that read goodput is the number the
+//     paper's availability story rests on.
+//
+// Results go to BENCH_faults.json for cross-PR tracking. `--smoke` runs a
+// reduced sweep and exits non-zero when degraded-mode read goodput is zero
+// or any write acks after the seal — wired into scripts/tier1.sh.
+#include <unistd.h>
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_util/report.h"
+#include "common/fault_injection.h"
+#include "common/histogram.h"
+#include "common/rng.h"
+#include "common/stopwatch.h"
+#include "core/engine.h"
+
+using namespace eris;
+using namespace eris::bench;
+using core::Engine;
+using core::EngineOptions;
+using routing::KeyValue;
+using storage::Key;
+
+namespace {
+
+constexpr uint64_t kDomain = 1u << 16;
+constexpr uint32_t kClients = 4;
+constexpr uint32_t kBatch = 32;
+
+std::string MakeScratchDir() {
+  const char* base = std::getenv("TMPDIR");
+  std::string tmpl =
+      std::string(base != nullptr ? base : "/tmp") + "/eris-faults-XXXXXX";
+  std::vector<char> buf(tmpl.begin(), tmpl.end());
+  buf.push_back('\0');
+  char* dir = ::mkdtemp(buf.data());
+  if (dir == nullptr) {
+    std::fprintf(stderr, "mkdtemp failed: %s\n", std::strerror(errno));
+    std::exit(1);
+  }
+  return dir;
+}
+
+struct WritePoint {
+  const char* label = "";
+  uint64_t issued_units = 0;
+  uint64_t acked_units = 0;
+  uint64_t typed_failures = 0;   ///< non-OK submits (all must be typed)
+  uint64_t untyped_failures = 0; ///< non-OK without a Status code we expect
+  double units_per_s = 0;
+  double p99_ack_ms = 0;
+  double secs = 0;
+};
+
+/// One write phase: `kClients` threads issuing blocking batched upserts of
+/// random keys over the whole domain; an ack means the covering WAL group
+/// commit hit the disk.
+WritePoint RunWritePhase(Engine& engine, storage::ObjectId idx,
+                         const char* label, uint32_t batches_per_client) {
+  Histogram latency(0, 100'000, 2000);  // ack latency in microseconds
+  std::mutex merge_lock;
+  std::atomic<uint64_t> acked{0};
+  std::atomic<uint64_t> typed{0};
+  std::atomic<uint64_t> untyped{0};
+  Stopwatch wall;
+  std::vector<std::thread> workers;
+  for (uint32_t c = 0; c < kClients; ++c) {
+    workers.emplace_back([&, c] {
+      auto session = engine.CreateSession();
+      session->set_op_timeout_ns(5'000'000'000);  // 5 s: bounded, generous
+      Xoshiro256 rng(Mix64(c * 6271 + 31));
+      Histogram local(0, 100'000, 2000);
+      std::vector<KeyValue> kvs(kBatch);
+      for (uint32_t b = 0; b < batches_per_client; ++b) {
+        for (uint32_t i = 0; i < kBatch; ++i) {
+          kvs[i] = {rng.NextBounded(kDomain), b + 1};
+        }
+        Stopwatch watch;
+        Status st = session->SubmitUpsert(idx, kvs);
+        local.Add(static_cast<double>(watch.ElapsedNanos()) / 1000.0);
+        if (st.ok()) {
+          acked.fetch_add(kBatch, std::memory_order_relaxed);
+        } else if (st.IsUnavailable() || st.IsDeadlineExceeded() ||
+                   st.IsResourceExhausted() || st.IsIoError() ||
+                   st.IsInternal()) {
+          typed.fetch_add(1, std::memory_order_relaxed);
+        } else {
+          untyped.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+      std::lock_guard<std::mutex> guard(merge_lock);
+      latency.Merge(local);
+    });
+  }
+  for (std::thread& t : workers) t.join();
+  double secs = wall.ElapsedSeconds();
+
+  WritePoint p;
+  p.label = label;
+  p.issued_units = uint64_t{kClients} * batches_per_client * kBatch;
+  p.acked_units = acked.load();
+  p.typed_failures = typed.load();
+  p.untyped_failures = untyped.load();
+  p.units_per_s = secs > 0 ? p.acked_units / secs : 0;
+  p.p99_ack_ms = latency.Quantile(0.99) / 1000.0;
+  p.secs = secs;
+  return p;
+}
+
+struct DegradedPoint {
+  bool degraded = false;
+  uint64_t writes_attempted = 0;
+  uint64_t writes_acked = 0;   ///< must be zero after the seal
+  uint64_t write_rejections_typed = 0;
+  uint64_t reads_issued = 0;
+  uint64_t read_hits = 0;
+  double reads_per_s = 0;      ///< degraded-mode read goodput
+  double p99_read_ms = 0;
+  double secs = 0;
+};
+
+/// Seals AEU 0's WAL via a probability-1.0 fsync failure, then measures
+/// degraded-mode serving: writes must fail fast (typed, zero acks), reads
+/// on the healthy AEU's key range must keep flowing.
+DegradedPoint RunDegradedPhase(Engine& engine, storage::ObjectId idx,
+                               uint32_t read_batches_per_client) {
+  DegradedPoint p;
+  auto seal_session = engine.CreateSession();
+  seal_session->set_op_timeout_ns(2'000'000'000);
+
+  // Healthy-side working set: keys in AEU 1's half of the domain, acked
+  // before any fault is armed.
+  std::vector<Key> hot;
+  {
+    std::vector<KeyValue> kvs;
+    for (Key k = kDomain / 2; k < kDomain / 2 + 1024; ++k) {
+      kvs.push_back({k, k});
+      hot.push_back(k);
+    }
+    Status st = seal_session->SubmitUpsert(idx, kvs);
+    if (!st.ok()) {
+      std::fprintf(stderr, "seeding healthy AEU failed: %s\n",
+                   st.ToString().c_str());
+      return p;
+    }
+  }
+
+  // Fail every fsync, then write into AEU 0's range until its group commit
+  // hits the failure and seals the log (the submit comes back typed).
+  fi::FaultInjector::Global().SetFailProbability(fi::Point::kIoFsyncError,
+                                                 1.0);
+  for (int attempt = 0; attempt < 50 && !engine.degraded(); ++attempt) {
+    std::vector<KeyValue> kvs{{static_cast<Key>(attempt), 1}};
+    (void)seal_session->SubmitUpsert(idx, kvs);
+  }
+  fi::FaultInjector::Global().SetFailProbability(fi::Point::kIoFsyncError,
+                                                 0.0);
+  p.degraded = engine.degraded();
+  if (!p.degraded) return p;
+
+  // Write side: every submit must be rejected before admission — the disk
+  // is "healthy" again, but fsyncgate forbids trusting the sealed log.
+  for (uint32_t i = 0; i < 200; ++i) {
+    std::vector<KeyValue> kvs{{static_cast<Key>(i % (kDomain / 2)), 7}};
+    Status st = seal_session->SubmitUpsert(idx, kvs);
+    ++p.writes_attempted;
+    if (st.ok()) {
+      ++p.writes_acked;
+    } else if (st.IsUnavailable()) {
+      ++p.write_rejections_typed;
+    }
+  }
+
+  // Read side: concurrent lookups against the healthy AEU's working set.
+  Histogram latency(0, 100'000, 2000);
+  std::mutex merge_lock;
+  std::atomic<uint64_t> issued{0};
+  std::atomic<uint64_t> hits{0};
+  Stopwatch wall;
+  std::vector<std::thread> readers;
+  for (uint32_t c = 0; c < kClients; ++c) {
+    readers.emplace_back([&, c] {
+      auto session = engine.CreateSession();
+      session->set_op_timeout_ns(5'000'000'000);
+      Xoshiro256 rng(Mix64(c * 9109 + 7));
+      Histogram local(0, 100'000, 2000);
+      std::vector<Key> keys(kBatch);
+      for (uint32_t b = 0; b < read_batches_per_client; ++b) {
+        for (uint32_t i = 0; i < kBatch; ++i) {
+          keys[i] = hot[rng.NextBounded(hot.size())];
+        }
+        Engine::Session::SubmitOutcome out;
+        Stopwatch watch;
+        Status st = session->SubmitLookup(idx, keys, &out);
+        local.Add(static_cast<double>(watch.ElapsedNanos()) / 1000.0);
+        issued.fetch_add(kBatch, std::memory_order_relaxed);
+        if (st.ok()) hits.fetch_add(out.hits, std::memory_order_relaxed);
+      }
+      std::lock_guard<std::mutex> guard(merge_lock);
+      latency.Merge(local);
+    });
+  }
+  for (std::thread& t : readers) t.join();
+  p.secs = wall.ElapsedSeconds();
+  p.reads_issued = issued.load();
+  p.read_hits = hits.load();
+  p.reads_per_s = p.secs > 0 ? p.read_hits / p.secs : 0;
+  p.p99_read_ms = latency.Quantile(0.99) / 1000.0;
+  return p;
+}
+
+void WriteJson(const std::vector<WritePoint>& writes,
+               const DegradedPoint& deg) {
+  std::FILE* f = std::fopen("BENCH_faults.json", "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot open BENCH_faults.json for writing\n");
+    return;
+  }
+  std::fprintf(f, "{\n  \"bench\": \"ext_faults\",\n");
+  std::fprintf(f, "  \"clients\": %u,\n", kClients);
+  std::fprintf(f, "  \"write_phases\": [\n");
+  for (size_t i = 0; i < writes.size(); ++i) {
+    const WritePoint& p = writes[i];
+    std::fprintf(f,
+                 "    {\"phase\": \"%s\", \"issued_units\": %llu, "
+                 "\"acked_units\": %llu, \"units_per_s\": %.3e, "
+                 "\"p99_ack_ms\": %.3f, \"typed_failures\": %llu, "
+                 "\"untyped_failures\": %llu}%s\n",
+                 p.label, static_cast<unsigned long long>(p.issued_units),
+                 static_cast<unsigned long long>(p.acked_units),
+                 p.units_per_s, p.p99_ack_ms,
+                 static_cast<unsigned long long>(p.typed_failures),
+                 static_cast<unsigned long long>(p.untyped_failures),
+                 i + 1 < writes.size() ? "," : "");
+  }
+  std::fprintf(f, "  ],\n  \"degraded\": {\n");
+  std::fprintf(f, "    \"degraded\": %s,\n", deg.degraded ? "true" : "false");
+  std::fprintf(f, "    \"writes_attempted\": %llu,\n",
+               static_cast<unsigned long long>(deg.writes_attempted));
+  std::fprintf(f, "    \"writes_acked\": %llu,\n",
+               static_cast<unsigned long long>(deg.writes_acked));
+  std::fprintf(f, "    \"write_rejections_typed\": %llu,\n",
+               static_cast<unsigned long long>(deg.write_rejections_typed));
+  std::fprintf(f, "    \"reads_issued\": %llu,\n",
+               static_cast<unsigned long long>(deg.reads_issued));
+  std::fprintf(f, "    \"read_hits\": %llu,\n",
+               static_cast<unsigned long long>(deg.read_hits));
+  std::fprintf(f, "    \"reads_per_s\": %.3e,\n", deg.reads_per_s);
+  std::fprintf(f, "    \"p99_read_ms\": %.3f\n  }\n}\n", deg.p99_read_ms);
+  std::fclose(f);
+  std::printf("\nWrote BENCH_faults.json.\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool quick = argc > 1 && std::strcmp(argv[1], "--quick") == 0;
+  bool smoke = argc > 1 && std::strcmp(argv[1], "--smoke") == 0;
+  Banner("Ext faults",
+         "Goodput Under Injected Storage Faults + Degraded-Mode Serving",
+         "durable 1x2 kThreads engine, 4 clients; injected short writes,\n"
+         "then a probability-1.0 fsync failure sealing AEU 0's WAL.");
+  const bool small = quick || smoke;
+  const uint32_t write_batches = small ? 60 : 300;
+  const uint32_t read_batches = small ? 200 : 1000;
+
+  std::string dir = MakeScratchDir();
+  EngineOptions opts;
+  opts.topology = numa::Topology::Flat(1, 2);
+  opts.mode = core::ExecutionMode::kThreads;
+  opts.pin_threads = false;
+  opts.durability.enabled = true;
+  opts.durability.dir = dir;
+  Engine engine(opts);
+  storage::ObjectId idx =
+      engine.CreateIndex("kv", kDomain, {.prefix_bits = 8, .key_bits = 16});
+  fi::FaultInjector::Global().Reset();
+  engine.Start();
+
+  std::vector<WritePoint> writes;
+  Table wtable({"phase", "issued", "acked", "units/s", "p99 ack ms",
+                "typed fails", "untyped fails", "secs"});
+  writes.push_back(RunWritePhase(engine, idx, "clean", write_batches));
+  fi::FaultInjector::Global().SetFailProbability(fi::Point::kIoShortWrite,
+                                                 0.2);
+  writes.push_back(RunWritePhase(engine, idx, "short-write", write_batches));
+  fi::FaultInjector::Global().SetFailProbability(fi::Point::kIoShortWrite,
+                                                 0.0);
+  for (const WritePoint& p : writes) {
+    wtable.Row({p.label, FmtU(p.issued_units), FmtU(p.acked_units),
+                Fmt("%.3e", p.units_per_s), Fmt("%.3f", p.p99_ack_ms),
+                FmtU(p.typed_failures), FmtU(p.untyped_failures),
+                Fmt("%.2f", p.secs)});
+  }
+  wtable.Print();
+
+  DegradedPoint deg = RunDegradedPhase(engine, idx, read_batches);
+  std::printf("\n  degraded: %s — writes %llu attempted / %llu acked / "
+              "%llu typed rejections; reads %.3e hits/s (p99 %.3f ms)\n",
+              deg.degraded ? "yes" : "NO",
+              static_cast<unsigned long long>(deg.writes_attempted),
+              static_cast<unsigned long long>(deg.writes_acked),
+              static_cast<unsigned long long>(deg.write_rejections_typed),
+              deg.reads_per_s, deg.p99_read_ms);
+  engine.Stop();
+  fi::FaultInjector::Global().Reset();
+  std::error_code ec;
+  std::filesystem::remove_all(dir, ec);
+
+  WriteJson(writes, deg);
+
+  if (smoke) {
+    bool short_writes_transparent =
+        writes[1].acked_units + writes[1].typed_failures * kBatch ==
+        writes[1].issued_units && writes[1].untyped_failures == 0;
+    bool ok = deg.degraded && deg.writes_acked == 0 && deg.reads_per_s > 0 &&
+              deg.write_rejections_typed == deg.writes_attempted &&
+              short_writes_transparent;
+    if (ok) {
+      std::printf("\nSMOKE OK: degraded read goodput %.3e hits/s, "
+                  "0 acks after seal\n",
+                  deg.reads_per_s);
+    } else {
+      std::printf("\nSMOKE FAIL: degraded=%d writes_acked=%llu "
+                  "reads_per_s=%.3e typed=%llu/%llu\n",
+                  deg.degraded ? 1 : 0,
+                  static_cast<unsigned long long>(deg.writes_acked),
+                  deg.reads_per_s,
+                  static_cast<unsigned long long>(deg.write_rejections_typed),
+                  static_cast<unsigned long long>(deg.writes_attempted));
+    }
+    return ok ? 0 : 1;
+  }
+  return 0;
+}

@@ -7,7 +7,8 @@
 #   build-scalar/  forced scalar kernels (-DERIS_ENABLE_AVX2=OFF)
 #   build-tsan/    -DERIS_SANITIZE=thread, tests labeled `tsan` only
 #   build-asan/    -DERIS_SANITIZE=address; full suite with ERIS_TIER1_ASAN=1,
-#                  always at least the recovery suite (byte-level WAL replay)
+#                  always at least the byte-parsing suites (recovery replay +
+#                  storage-fault fuzzers)
 #
 # Environment knobs:
 #   JOBS=N                parallelism (default: nproc)
@@ -45,6 +46,14 @@ echo "=== tier-1: durability smoke (bench_ext_wal --smoke) ==="
 # latency sweep to BENCH_wal.json.
 ./build/bench/bench_ext_wal --smoke
 
+echo "=== tier-1: storage-fault smoke (bench_ext_faults --smoke) ==="
+# Gates the storage-fault tier (DESIGN.md §15): injected short writes must
+# stay transparent (every submit acked or typed), a probability-1.0 fsync
+# failure must seal the WAL and degrade the engine, and degraded mode must
+# keep non-zero read goodput with zero write acks after the seal. Emits
+# BENCH_faults.json.
+./build/bench/bench_ext_faults --smoke
+
 echo "=== tier-1: scalar-fallback build (-DERIS_ENABLE_AVX2=OFF) ==="
 cmake -B build-scalar -S . -DERIS_ENABLE_AVX2=OFF \
       -DERIS_BUILD_BENCHMARKS=OFF -DERIS_BUILD_EXAMPLES=OFF
@@ -59,7 +68,7 @@ cmake --build build-tsan -j"$JOBS" --target \
       common_test memory_manager_test mvcc_test incoming_buffer_test \
       partition_table_test router_test engine_test rebalance_test aeu_test \
       outgoing_test stress_test concurrency_harness_test overload_test \
-      query_test join_pipeline_test recovery_test
+      query_test join_pipeline_test recovery_test storage_fault_test
 # tsan.supp is applied through each test's TSAN_OPTIONS ctest property
 # (set by tests/CMakeLists.txt when ERIS_SANITIZE=thread).
 ERIS_HARNESS_SEEDS="${ERIS_HARNESS_SEEDS:-6}" \
@@ -80,6 +89,15 @@ echo "=== tier-1: recovery stage (WAL/snapshot/crash-matrix under TSan) ==="
 ERIS_HARNESS_SEEDS="${ERIS_HARNESS_SEEDS:-6}" \
   ctest --test-dir build-tsan -L recovery --output-on-failure -j"$JOBS"
 
+echo "=== tier-1: durability stage (storage-fault suite under TSan) ==="
+# Storage-fault tier (DESIGN.md §15): injected I/O errors at every
+# durability syscall — fsync fail-stop seal, degraded read-only serving,
+# scrubber quarantine, frame-parser fuzz — plus the io-chaos shape of the
+# differential harness (writers racing injected faults, then restart +
+# replay asserting acked <= recovered <= issued).
+ERIS_HARNESS_SEEDS="${ERIS_HARNESS_SEEDS:-6}" \
+  ctest --test-dir build-tsan -L durability --output-on-failure -j"$JOBS"
+
 if [[ "${ERIS_TIER1_ASAN:-0}" == "1" ]]; then
   echo "=== tier-1: ASan+UBSan build (-DERIS_SANITIZE=address) ==="
   cmake -B build-asan -S . -DERIS_SANITIZE=address \
@@ -87,13 +105,14 @@ if [[ "${ERIS_TIER1_ASAN:-0}" == "1" ]]; then
   cmake --build build-asan -j"$JOBS"
   ctest --test-dir build-asan --output-on-failure -j"$JOBS"
 else
-  echo "=== tier-1: ASan pass over recovery replay (recovery_test) ==="
-  # Replay parses raw bytes from disk; always run at least the recovery
-  # suite under ASan+UBSan even when the full ASan sweep is off.
+  echo "=== tier-1: ASan pass over byte-parsing suites ==="
+  # Replay and the storage-fault fuzzers parse raw (and hostile) bytes from
+  # disk; always run both under ASan+UBSan even when the full sweep is off.
   cmake -B build-asan -S . -DERIS_SANITIZE=address \
         -DERIS_BUILD_BENCHMARKS=OFF -DERIS_BUILD_EXAMPLES=OFF
-  cmake --build build-asan -j"$JOBS" --target recovery_test
-  ctest --test-dir build-asan -R '^recovery_test$' --output-on-failure
+  cmake --build build-asan -j"$JOBS" --target recovery_test storage_fault_test
+  ctest --test-dir build-asan -R '^(recovery_test|storage_fault_test)$' \
+        --output-on-failure
 fi
 
 echo "=== tier-1: all configurations green ==="

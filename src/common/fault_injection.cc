@@ -37,6 +37,15 @@ const char* PointName(Point p) {
     case Point::kSnapshotFsync:     return "snapshot.fsync";
     case Point::kSnapshotRename:    return "snapshot.rename";
     case Point::kCurrentWrite:      return "current.write";
+    case Point::kIoOpen:            return "io.open";
+    case Point::kIoWriteError:      return "io.write.error";
+    case Point::kIoNoSpace:         return "io.write.nospace";
+    case Point::kIoShortWrite:      return "io.write.short";
+    case Point::kIoFsyncError:      return "io.fsync.error";
+    case Point::kIoRename:          return "io.rename";
+    case Point::kIoTruncate:        return "io.truncate";
+    case Point::kIoReadError:       return "io.read.error";
+    case Point::kIoReadFlip:        return "io.read.flip";
     case Point::kNumPoints:         break;
   }
   return "?";

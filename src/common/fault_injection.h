@@ -70,6 +70,18 @@ enum class Point : uint32_t {
   kSnapshotFsync,        ///< snapshot file written, before its fsync
   kSnapshotRename,       ///< before renaming snap-<e>.tmp into place
   kCurrentWrite,         ///< before writing/publishing the CURRENT manifest
+  // Storage-fault tier (DESIGN.md §15): error-injection points inside the
+  // durability I/O shim (src/durability/io.h). Each failure mode gets its
+  // own point so tests can dial per-syscall probabilities independently.
+  kIoOpen,               ///< open() returns EIO
+  kIoWriteError,         ///< write() returns EIO
+  kIoNoSpace,            ///< write() returns ENOSPC
+  kIoShortWrite,         ///< write() persists only part of the chunk
+  kIoFsyncError,         ///< fsync() returns EIO (fail-stop: never retried)
+  kIoRename,             ///< rename() returns EIO
+  kIoTruncate,           ///< ftruncate() returns EIO
+  kIoReadError,          ///< read() returns EIO
+  kIoReadFlip,           ///< read succeeds but one byte is flipped
   kNumPoints,
 };
 

@@ -28,6 +28,8 @@ std::string_view StatusDetailName(StatusDetail detail) {
     case StatusDetail::kDeadlineExpired: return "deadline-expired";
     case StatusDetail::kAeuStalled: return "aeu-stalled";
     case StatusDetail::kCommandQuarantined: return "command-quarantined";
+    case StatusDetail::kWalSealed: return "wal-sealed";
+    case StatusDetail::kReadOnly: return "read-only";
   }
   return "unknown";
 }
@@ -92,7 +94,7 @@ Status Status::Deserialize(std::string_view wire) {
       !ParseU64(&wire, &msg_len) || !ParseU64(&wire, &dmsg_len) ||
       wire.size() != msg_len + dmsg_len ||
       code > static_cast<uint64_t>(StatusCode::kUnavailable) ||
-      detail > static_cast<uint64_t>(StatusDetail::kCommandQuarantined)) {
+      detail > static_cast<uint64_t>(StatusDetail::kReadOnly)) {
     return Status::Internal("malformed serialized Status");
   }
   Status st(static_cast<StatusCode>(code), std::string(wire.substr(0, msg_len)));

@@ -46,6 +46,8 @@ enum class StatusDetail : uint8_t {
   kDeadlineExpired,     ///< dropped at dequeue (or timed out waiting)
   kAeuStalled,          ///< target AEU quarantined by the watchdog
   kCommandQuarantined,  ///< poison command moved to the dead-letter log
+  kWalSealed,           ///< write lost: the target AEU's WAL sealed fail-stop
+  kReadOnly,            ///< engine degraded to read-only (storage fault)
 };
 
 /// \brief Returns the canonical lower-case name of a status detail
@@ -142,6 +144,7 @@ class Status {
   }
   bool IsUnimplemented() const { return code() == StatusCode::kUnimplemented; }
   bool IsInternal() const { return code() == StatusCode::kInternal; }
+  bool IsIoError() const { return code() == StatusCode::kIoError; }
   bool IsDeadlineExceeded() const {
     return code() == StatusCode::kDeadlineExceeded;
   }

@@ -514,6 +514,16 @@ void Aeu::ProcessWriteGroup(const Group& g) {
     std::span<const routing::KeyValue> kvs =
         cmd.PayloadAs<routing::KeyValue>();
     routing::ResultSink* sink = cmd.header.sink;
+    if (wal_ != nullptr && wal_->sealed()) {
+      // Fail-stop: the log can never make this write durable. Drop the
+      // whole command (nothing applied, nothing forwarded) with a typed
+      // reason covering all of its units so the waiter completes.
+      if (sink != nullptr) {
+        sink->OnCommandDropped(kvs.size(), routing::DropReason::kWalSealed);
+      }
+      stats_.wal_drops += kvs.size();
+      continue;
+    }
     scratch_kvs_.clear();  // foreign
     static thread_local std::vector<routing::KeyValue> pending_kvs;
     static thread_local std::vector<routing::KeyValue> mine_kvs;
@@ -565,6 +575,13 @@ void Aeu::ProcessEraseGroup(const Group& g) {
   for (const routing::CommandView& cmd : g.commands) {
     std::span<const storage::Key> keys = cmd.PayloadAs<storage::Key>();
     routing::ResultSink* sink = cmd.header.sink;
+    if (wal_ != nullptr && wal_->sealed()) {
+      if (sink != nullptr) {
+        sink->OnCommandDropped(keys.size(), routing::DropReason::kWalSealed);
+      }
+      stats_.wal_drops += keys.size();
+      continue;
+    }
     scratch_keys_.clear();
     static thread_local std::vector<storage::Key> pending_keys;
     static thread_local std::vector<storage::Key> mine_keys;
@@ -610,6 +627,13 @@ void Aeu::ProcessAppendGroup(const Group& g) {
   for (const routing::CommandView& cmd : g.commands) {
     std::span<const storage::Value> values =
         cmd.PayloadAs<storage::Value>();
+    if (wal_ != nullptr && wal_->sealed()) {
+      if (cmd.header.sink != nullptr) {
+        cmd.header.sink->OnCommandDropped(1, routing::DropReason::kWalSealed);
+      }
+      ++stats_.wal_drops;
+      continue;
+    }
     if (wal_ != nullptr && !values.empty()) {
       WalLogEffect(routing::CommandType::kAppendBatch, g.object,
                    {reinterpret_cast<const uint8_t*>(values.data()),
@@ -1752,8 +1776,12 @@ void Aeu::WalLogEffect(routing::CommandType type, storage::ObjectId object,
   h.sink = nullptr;
   wal_scratch_.clear();
   routing::EncodeCommand(h, payload, &wal_scratch_);
-  wal_->Append(wal_scratch_);
-  ++stats_.wal_records;
+  // An Append failure means the log just sealed (possibly via an inline
+  // backpressure commit). Nothing to handle here: the command that hit it
+  // is applied-but-unlogged — crash-equivalent, its ack is shed with
+  // kWalSealed at CommitWalAndAck — and every later command is dropped up
+  // front by the sealed() guards in the write handlers.
+  if (wal_->Append(wal_scratch_).ok()) ++stats_.wal_records;
 }
 
 void Aeu::WalLogPartitionContents(storage::ObjectId object,
@@ -1801,8 +1829,24 @@ void Aeu::WalLogPartitionContents(storage::ObjectId object,
 }
 
 void Aeu::CommitWalAndAck() {
-  if (wal_->Commit() > 0) ++stats_.wal_commits;
+  uint64_t committed = 0;
+  Status st = wal_->Commit(&committed);
+  if (committed > 0) ++stats_.wal_commits;
   stats_.wal_stalls = wal_->stats().stalls;
+  if (!st.ok()) {
+    // The group never became durable (the log just sealed, or was already
+    // sealed when this iteration's records were appended). Acknowledging
+    // would break acknowledged ⇒ durable, so shed every pending ack with a
+    // typed drop reason — waiters complete with kWalSealed instead of
+    // hanging — and hand the fail-stop to the engine for quarantine.
+    for (const PendingAck& ack : pending_acks_) {
+      ack.sink->OnCommandDropped(ack.units, routing::DropReason::kWalSealed);
+      stats_.wal_drops += ack.units;
+    }
+    pending_acks_.clear();
+    engine_->OnWalSealed(id_, st);
+    return;
+  }
   // Acks are delivered even when this commit was a no-op: a mid-iteration
   // backpressure commit may already have made their records durable.
   for (const PendingAck& ack : pending_acks_) {

@@ -63,6 +63,7 @@ struct AeuLoopStats {
   uint64_t wal_records = 0;  ///< effect records logged ahead of apply
   uint64_t wal_commits = 0;  ///< iteration-end group commits that flushed
   uint64_t wal_stalls = 0;   ///< inline commits forced by backpressure
+  uint64_t wal_drops = 0;    ///< write units shed because the WAL sealed
 };
 
 /// \brief One worker, pinned to one core, owning its partitions.

@@ -47,6 +47,10 @@ Engine::Engine(EngineOptions options) : options_(std::move(options)) {
       options_.overload.max_inflight_units);
   watchdog_ = std::make_unique<AeuWatchdog>(num_aeus_,
                                             options_.overload.watchdog_strikes);
+  wal_sealed_flags_ = std::make_unique<std::atomic<bool>[]>(num_aeus_);
+  for (routing::AeuId a = 0; a < num_aeus_; ++a) {
+    wal_sealed_flags_[a].store(false, std::memory_order_relaxed);
+  }
   if (options_.durability.enabled) {
     ERIS_CHECK(!options_.durability.dir.empty())
         << "durability enabled without a directory";
@@ -141,6 +145,10 @@ void Engine::Start() {
     if (options_.overload.watchdog) {
       watchdog_thread_ = std::thread([this] { WatchdogThreadMain(); });
     }
+    if (durability_ != nullptr &&
+        options_.durability.scrub_interval_ms > 0) {
+      scrubber_thread_ = std::thread([this] { ScrubberThreadMain(); });
+    }
   }
 }
 
@@ -158,6 +166,7 @@ void Engine::Stop() {
     threads_.clear();
     if (balancer_thread_.joinable()) balancer_thread_.join();
     if (watchdog_thread_.joinable()) watchdog_thread_.join();
+    if (scrubber_thread_.joinable()) scrubber_thread_.join();
     started_ = false;
   }
   if (durability_ != nullptr && recovered_) {
@@ -191,6 +200,25 @@ void Engine::WatchdogThreadMain() {
   }
 }
 
+void Engine::ScrubberThreadMain() {
+  // Cold-state scrubber (DESIGN.md §15): periodically CRC-verify snapshot
+  // files and sealed/cold WAL segments so bit rot is found — and corrupt
+  // cold snapshots quarantined — before recovery ever depends on them.
+  while (!stop_.load(std::memory_order_acquire)) {
+    std::this_thread::sleep_for(
+        std::chrono::milliseconds(options_.durability.scrub_interval_ms));
+    if (stop_.load(std::memory_order_acquire)) break;
+    ScrubReport report;
+    Status st = ScrubStorage(&report);
+    if (!st.ok() || !report.clean()) {
+      ERIS_DLOG(Warning) << "storage scrub: " << report.corrupt_files
+                         << " corrupt files, " << report.snapshots_quarantined
+                         << " snapshots quarantined, " << report.wal_torn_tails
+                         << " torn WAL tails: " << st.message();
+    }
+  }
+}
+
 void Engine::CheckAeuHealth() {
   for (routing::AeuId a = 0; a < num_aeus_; ++a) {
     bool pending = router_->mailbox(a).PendingBytes() > 0 ||
@@ -203,10 +231,104 @@ void Engine::CheckAeuHealth() {
                          << " stalled (heartbeat static with pending work); "
                             "partitions flagged, routed commands fail fast";
     } else if (obs.newly_recovered) {
-      router_->SetAeuStalled(a, false);
-      ERIS_DLOG(Info) << "watchdog: AEU " << a << " recovered";
+      // Sticky fail-stop: an AEU whose WAL sealed must never be unsealed,
+      // however lively its heartbeat looks (the watchdog's forced-stall bit
+      // already suppresses this, but the flag here guards the router seal
+      // independently).
+      if (!WalSealed(a)) {
+        router_->SetAeuStalled(a, false);
+        ERIS_DLOG(Info) << "watchdog: AEU " << a << " recovered";
+      }
     }
   }
+}
+
+void Engine::OnWalSealed(routing::AeuId a, const Status& cause) {
+  if (wal_sealed_flags_[a].exchange(true, std::memory_order_acq_rel)) {
+    return;  // already quarantined
+  }
+  // Quarantine through the existing stall machinery: the router seals the
+  // mailbox (routed commands fail fast, Quiesce skips the AEU) and the
+  // watchdog pins the stall so no health pass ever reports recovery.
+  router_->SetAeuStalled(a, true);
+  watchdog_->ForceStall(a);
+  ERIS_DLOG(Warning) << "AEU " << a
+                     << " WAL sealed fail-stop: " << cause.message();
+  EnterDegradedMode("AEU " + std::to_string(a) +
+                    " WAL sealed: " + std::string(cause.message()));
+}
+
+bool Engine::AnyWalSealed() const {
+  for (routing::AeuId a = 0; a < num_aeus_; ++a) {
+    if (WalSealed(a)) return true;
+  }
+  return false;
+}
+
+std::string Engine::degraded_reason() const {
+  std::lock_guard<SpinLock> guard(degraded_lock_);
+  return degraded_reason_;
+}
+
+void Engine::EnterDegradedMode(std::string reason) {
+  {
+    std::lock_guard<SpinLock> guard(degraded_lock_);
+    if (degraded_.load(std::memory_order_relaxed)) return;  // keep 1st cause
+    degraded_reason_ = std::move(reason);
+    degraded_.store(true, std::memory_order_release);
+  }
+  ERIS_DLOG(Warning) << "engine degraded to read-only: " << degraded_reason();
+}
+
+Status Engine::ScrubStorage(ScrubReport* report) {
+  *report = ScrubReport{};
+  if (durability_ == nullptr) return Status::Ok();
+  Status first_bad = Status::Ok();
+  uint64_t live_epoch = 0;
+  Status st = durability_->ReadCurrentEpoch(&live_epoch);
+  if (!st.ok()) {
+    // An unreadable manifest is itself a scrub finding, not a crash.
+    first_bad = std::move(st);
+    live_epoch = 0;
+  }
+  for (uint64_t epoch : durability_->ListSnapshotEpochs()) {
+    ++report->snapshots_checked;
+    uint64_t files = 0;
+    uint64_t corrupt = 0;
+    st = durability_->VerifySnapshot(epoch, &files, &corrupt);
+    report->files_checked += files;
+    report->corrupt_files += corrupt;
+    if (st.ok()) continue;
+    if (first_bad.ok()) first_bad = st;
+    if (epoch != live_epoch) {
+      // Cold (non-live) snapshot: move it aside so recovery and
+      // RemoveOldSnapshots never touch it again.
+      if (durability_->QuarantineSnapshot(epoch).ok()) {
+        ++report->snapshots_quarantined;
+      }
+    }
+    // The live snapshot stays in place even when corrupt: it is the only
+    // full copy, and recovery will surface the CRC failure typed.
+  }
+  // WAL files are scanned only while cold: before Start() armed the
+  // writers, or after the writer sealed (both leave the file static).
+  // A torn tail on a *sealed* log is expected — it is the partially
+  // written group the seal discarded — so only unsealed logs count.
+  for (routing::AeuId a = 0; a < num_aeus_; ++a) {
+    bool cold = !started_ || WalSealed(a);
+    if (!cold) continue;
+    ++report->wals_checked;
+    durability::WalReplayResult replay;
+    st = durability::ReplayWal(
+        durability_->WalPath(a), ~0ull,
+        [](uint64_t, std::span<const uint8_t>) {}, &replay);
+    if (!st.ok()) {
+      if (first_bad.ok()) first_bad = st;
+      continue;
+    }
+    if (replay.torn && !WalSealed(a)) ++report->wal_torn_tails;
+  }
+  return first_bad;
 }
 
 void Engine::RetireSink(std::unique_ptr<routing::AggregateSink> sink) {
@@ -283,6 +405,9 @@ bool Engine::RebalanceAll() {
 bool Engine::RebalanceObject(storage::ObjectId object,
                              const LoadBalancerConfig& config) {
   if (config.algorithm == BalanceAlgorithm::kNone) return false;
+  // A degraded engine stops moving partitions: transfers would target
+  // quarantined AEUs and generate WAL effects a sealed log cannot persist.
+  if (degraded()) return false;
   const storage::DataObjectDesc& desc = *objects_[object];
   std::vector<PartitionMetrics> metrics = monitor_->SnapshotAndReset(object);
 
@@ -572,6 +697,14 @@ Status Engine::Snapshot() {
     return Status::FailedPrecondition("durability is not enabled");
   }
   ERIS_CHECK(recovered_) << "Snapshot() before Recover()";
+  if (AnyWalSealed()) {
+    // The sealed AEU's recent effects never reached its log, so the
+    // in-memory state is ahead of anything provably durable; flattening it
+    // would publish unlogged (possibly un-acknowledged) writes. The engine
+    // must restart and recover before it snapshots again.
+    return Status::Unavailable("cannot snapshot: a WAL sealed fail-stop")
+        .WithDetail(StatusDetail::kWalSealed, degraded_reason());
+  }
   // Reach a consistent point: no in-flight commands, no balancing residue.
   Quiesce();
   bool paused = false;
@@ -585,6 +718,23 @@ Status Engine::Snapshot() {
   }
   Status st = WriteSnapshotFiles();
   if (paused) pause_.store(false, std::memory_order_release);
+  if (!st.ok()) {
+    // A failed snapshot (ENOSPC, EIO) leaves the previous epoch intact but
+    // means the disk can no longer be trusted to absorb writes: degrade.
+    // The condition is retryable — freeing space and snapshotting again
+    // clears it below.
+    EnterDegradedMode("snapshot failed: " + std::string(st.message()));
+    return st;
+  }
+  if (degraded() && !AnyWalSealed()) {
+    // Space-only degradation heals once a full snapshot round-trips.
+    {
+      std::lock_guard<SpinLock> guard(degraded_lock_);
+      degraded_reason_.clear();
+      degraded_.store(false, std::memory_order_release);
+    }
+    ERIS_DLOG(Info) << "engine left degraded mode after a clean snapshot";
+  }
   return st;
 }
 
@@ -605,6 +755,12 @@ Status Engine::WriteSnapshotFiles() {
     // Quiesced + paused: safe to commit residue from this thread.
     aeus_[a]->FlushWal();
     durability::WalWriter* wal = durability_->wal(a);
+    if (wal->sealed()) {
+      // The residue commit itself just failed: the in-memory state now
+      // holds effects that never reached the log, so this snapshot would
+      // publish unlogged writes. Abort before any file is created.
+      return wal->seal_status();
+    }
     meta.wal_watermark[a] = wal->next_lsn() - 1;
     meta.wal_next_lsn[a] = wal->next_lsn();
   }
@@ -945,6 +1101,7 @@ Status Engine::Session::SubmitCommon(
   uint64_t stalled = sink->dropped(routing::DropReason::kTargetStalled);
   uint64_t expired = sink->dropped(routing::DropReason::kExpired);
   uint64_t quarantined = sink->dropped(routing::DropReason::kQuarantined);
+  uint64_t wal_sealed = sink->dropped(routing::DropReason::kWalSealed);
   if (out != nullptr) {
     out->units = expected;
     out->hits = sink->hits();
@@ -952,6 +1109,7 @@ Status Engine::Session::SubmitCommon(
     out->stalled = stalled;
     out->expired = expired;
     out->quarantined = quarantined;
+    out->wal_sealed = wal_sealed;
   }
   // Release the full grant even when units are still in flight after a
   // bail-out: admission bounds concurrent submits, not mailbox residency,
@@ -974,6 +1132,11 @@ Status Engine::Session::SubmitCommon(
         .WithDetail(StatusDetail::kAeuStalled,
                     "commands shed fail-fast for a quarantined AEU");
   }
+  if (wal_sealed > 0) {
+    return Status::Unavailable("write lost: WAL sealed")
+        .WithDetail(StatusDetail::kWalSealed,
+                    "target AEU's log sealed fail-stop on an I/O error");
+  }
   if (shed > 0) {
     return Status::ResourceExhausted("delivery retries exhausted")
         .WithDetail(StatusDetail::kBufferFull,
@@ -987,9 +1150,22 @@ Status Engine::Session::SubmitCommon(
   return Status::Ok();
 }
 
+Status Engine::Session::CheckWritable(SubmitOutcome* out) {
+  if (!engine_->degraded()) return Status::Ok();
+  // Degraded read-only mode (DESIGN.md §15): shed writes at the session
+  // boundary, before they acquire admission units or touch any mailbox.
+  // Reads (SubmitLookup/SubmitScanStats and the query layer) keep serving.
+  engine_->admission().RecordRejection();
+  if (out != nullptr) *out = SubmitOutcome{};
+  std::string reason = engine_->degraded_reason();
+  return Status::Unavailable("engine degraded read-only: " + reason)
+      .WithDetail(StatusDetail::kReadOnly, reason);
+}
+
 Status Engine::Session::SubmitInsert(storage::ObjectId object,
                                      std::span<const routing::KeyValue> kvs,
                                      SubmitOutcome* out) {
+  ERIS_RETURN_NOT_OK(CheckWritable(out));
   return SubmitCommon(kvs.size(), [&](routing::AggregateSink* sink) {
     return endpoint_.SendWriteBatch(routing::CommandType::kInsertBatch,
                                     object, kvs, sink);
@@ -999,6 +1175,7 @@ Status Engine::Session::SubmitInsert(storage::ObjectId object,
 Status Engine::Session::SubmitUpsert(storage::ObjectId object,
                                      std::span<const routing::KeyValue> kvs,
                                      SubmitOutcome* out) {
+  ERIS_RETURN_NOT_OK(CheckWritable(out));
   return SubmitCommon(kvs.size(), [&](routing::AggregateSink* sink) {
     return endpoint_.SendWriteBatch(routing::CommandType::kUpsertBatch,
                                     object, kvs, sink);
@@ -1008,6 +1185,7 @@ Status Engine::Session::SubmitUpsert(storage::ObjectId object,
 Status Engine::Session::SubmitErase(storage::ObjectId object,
                                     std::span<const storage::Key> keys,
                                     SubmitOutcome* out) {
+  ERIS_RETURN_NOT_OK(CheckWritable(out));
   return SubmitCommon(keys.size(), [&](routing::AggregateSink* sink) {
     return endpoint_.SendEraseBatch(object, keys, sink);
   }, out);
@@ -1024,6 +1202,7 @@ Status Engine::Session::SubmitLookup(storage::ObjectId object,
 Status Engine::Session::SubmitAppend(storage::ObjectId object,
                                      std::span<const storage::Value> values,
                                      SubmitOutcome* out) {
+  ERIS_RETURN_NOT_OK(CheckWritable(out));
   return SubmitCommon(values.size(), [&](routing::AggregateSink* sink) {
     return endpoint_.SendAppendBatch(object, values, sink);
   }, out);

@@ -76,6 +76,12 @@ class AdmissionController {
   uint64_t rejections() const {
     return rejections_.load(std::memory_order_relaxed);
   }
+  /// Counts a submit rejected before it acquired units (degraded-mode
+  /// fail-fast), so storage-fault shedding shows up in the same place
+  /// admission shedding does.
+  void RecordRejection() {
+    rejections_.fetch_add(1, std::memory_order_relaxed);
+  }
 
  private:
   uint64_t budget_;
@@ -148,6 +154,50 @@ class Engine {
 
   durability::DurabilityManager* durability() { return durability_.get(); }
   bool recovered() const { return recovered_; }
+
+  // --- Storage-fault tolerance (DESIGN.md §15) ---------------------------
+  /// Fail-stop handler invoked (by the owning AEU thread) when AEU `a`'s
+  /// WAL seals on a commit-path I/O error: seals the AEU's mailbox at the
+  /// router, force-stalls it at the watchdog (sticky — CheckAeuHealth never
+  /// unseals it), and flips the engine into degraded read-only mode.
+  /// Idempotent and thread-safe.
+  void OnWalSealed(routing::AeuId a, const Status& cause);
+
+  /// True once AEU `a`'s WAL sealed fail-stop.
+  bool WalSealed(routing::AeuId a) const {
+    return wal_sealed_flags_[a].load(std::memory_order_acquire);
+  }
+  bool AnyWalSealed() const;
+
+  /// Degraded read-only mode: reads/scans/joins keep serving, Submit-path
+  /// writes fail fast with Status::Unavailable (detail kReadOnly) before
+  /// admission, and rebalancing is suspended. Entered on a sealed WAL or a
+  /// failed snapshot (e.g. ENOSPC); a later successful Snapshot() clears it
+  /// unless a WAL is sealed (that engine must restart to write again).
+  bool degraded() const { return degraded_.load(std::memory_order_acquire); }
+  std::string degraded_reason() const;
+  void EnterDegradedMode(std::string reason);
+
+  /// One storage-scrub pass over cold durable state (DESIGN.md §15).
+  struct ScrubReport {
+    uint64_t snapshots_checked = 0;
+    uint64_t files_checked = 0;
+    uint64_t corrupt_files = 0;
+    uint64_t snapshots_quarantined = 0;
+    uint64_t wals_checked = 0;
+    uint64_t wal_torn_tails = 0;
+    bool clean() const {
+      return corrupt_files == 0 && wal_torn_tails == 0;
+    }
+  };
+
+  /// CRC-verifies every on-disk snapshot and every cold WAL segment.
+  /// Corrupt non-live snapshots are quarantined (renamed aside) so recovery
+  /// can never pick them up; corruption in the live snapshot is reported
+  /// but left in place (quarantining it would discard the only full copy).
+  /// Runs periodically on a background thread when
+  /// DurabilityOptions::scrub_interval_ms > 0; tests call it directly.
+  Status ScrubStorage(ScrubReport* report);
 
   // --- Component access ---------------------------------------------------
   const EngineOptions& options() const { return options_; }
@@ -289,6 +339,7 @@ class Engine {
       uint64_t stalled = 0;      ///< dropped: target AEU quarantined
       uint64_t expired = 0;      ///< dropped: deadline passed at dequeue
       uint64_t quarantined = 0;  ///< dropped: poison command dead-lettered
+      uint64_t wal_sealed = 0;   ///< dropped: target AEU's WAL sealed
     };
 
     /// Relative deadline stamped on Submit* commands; 0 falls back to
@@ -339,6 +390,10 @@ class Engine {
     /// every unit arrived.
     bool WaitForUnits(routing::AggregateSink* sink, uint64_t expected,
                       uint64_t deadline_abs);
+    /// Degraded-mode gate for Submit-path writes: fails fast with
+    /// Status::Unavailable (detail kReadOnly) before admission, counting
+    /// the rejection at the AdmissionController. OK when not degraded.
+    Status CheckWritable(SubmitOutcome* out);
 
     Engine* engine_;
     routing::Endpoint endpoint_;
@@ -362,6 +417,7 @@ class Engine {
                                    storage::Key domain_hi);
   void BalancerThreadMain();
   void WatchdogThreadMain();
+  void ScrubberThreadMain();
 
   /// Applies one WAL effect record to AEU `a`'s partitions (recovery
   /// replay). Records for objects not re-registered before Recover() —
@@ -408,6 +464,14 @@ class Engine {
   std::unique_ptr<durability::DurabilityManager> durability_;
   bool recovered_ = false;
   uint64_t snapshot_epoch_ = 0;
+  // --- storage-fault state (DESIGN.md §15) ---
+  /// Per-AEU sticky "WAL sealed fail-stop" flags; once set, CheckAeuHealth
+  /// never unseals the AEU's mailbox again.
+  std::unique_ptr<std::atomic<bool>[]> wal_sealed_flags_;
+  std::atomic<bool> degraded_{false};
+  mutable SpinLock degraded_lock_;  ///< guards degraded_reason_
+  std::string degraded_reason_;
+  std::thread scrubber_thread_;
   /// Snapshot() parks the AEU threads here while it flattens partitions,
   /// so no loop (idle maintenance included) runs concurrently with the
   /// reads. ThreadMain checks pause_ each iteration and acknowledges via

@@ -63,6 +63,11 @@ AeuWatchdog::Observation AeuWatchdog::Observe(routing::AeuId a,
   bool advanced = !s.seen || heartbeat != s.last_heartbeat;
   s.last_heartbeat = heartbeat;
   s.seen = true;
+  if (s.forced.load(std::memory_order_acquire)) {
+    // Fail-stop quarantine (e.g. sealed WAL): progress is irrelevant, the
+    // AEU must never be reported as recovered.
+    return obs;
+  }
   if (advanced || !has_pending_work) {
     // Progressing, or legitimately idle: clear strikes, maybe recover.
     s.strikes = 0;
@@ -82,6 +87,15 @@ AeuWatchdog::Observation AeuWatchdog::Observe(routing::AeuId a,
     obs.newly_stalled = true;
   }
   return obs;
+}
+
+void AeuWatchdog::ForceStall(routing::AeuId a) {
+  State& s = states_[a];
+  s.forced.store(true, std::memory_order_release);
+  if (!s.stalled.exchange(true, std::memory_order_acq_rel)) {
+    stalled_count_.fetch_add(1, std::memory_order_acq_rel);
+    stall_events_.fetch_add(1, std::memory_order_relaxed);
+  }
 }
 
 }  // namespace eris::core

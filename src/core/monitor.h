@@ -99,8 +99,18 @@ class AeuWatchdog {
   Observation Observe(routing::AeuId a, uint64_t heartbeat,
                       bool has_pending_work);
 
+  /// Marks AEU `a` stalled *permanently*: Observe() never reports it as
+  /// newly_recovered again, no matter how its heartbeat advances. Used for
+  /// fail-stop conditions (a sealed WAL, DESIGN.md §15) where the AEU loop
+  /// keeps running but the AEU must stay quarantined. Safe to call from any
+  /// thread.
+  void ForceStall(routing::AeuId a);
+
   bool stalled(routing::AeuId a) const {
     return states_[a].stalled.load(std::memory_order_acquire);
+  }
+  bool force_stalled(routing::AeuId a) const {
+    return states_[a].forced.load(std::memory_order_acquire);
   }
   uint32_t stalled_count() const {
     return stalled_count_.load(std::memory_order_acquire);
@@ -119,6 +129,7 @@ class AeuWatchdog {
     bool seen = false;  ///< last_heartbeat holds a real observation
     uint32_t strikes = 0;
     std::atomic<bool> stalled{false};
+    std::atomic<bool> forced{false};  ///< sticky: never auto-recovers
   };
 
   uint32_t strike_threshold_;

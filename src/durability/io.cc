@@ -1,0 +1,135 @@
+#include "durability/io.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "common/fault_injection.h"
+
+namespace eris::durability::io {
+
+namespace {
+
+Status Errno(const char* op, const std::string& what) {
+  return Status::IoError(std::string(op) + " " + what + ": " +
+                         std::strerror(errno));
+}
+
+}  // namespace
+
+Status Open(const std::string& path, int flags, mode_t mode, int* fd) {
+  *fd = -1;
+  if (ERIS_INJECT_SHOULD_FAIL(kIoOpen)) {
+    errno = EIO;
+    return Errno("open", path);
+  }
+  int f = ::open(path.c_str(), flags, mode);
+  if (f < 0) {
+    if (errno == ENOENT) {
+      return Status::NotFound("open " + path + ": " + std::strerror(errno));
+    }
+    return Errno("open", path);
+  }
+  *fd = f;
+  return Status::Ok();
+}
+
+Status WriteFully(int fd, std::span<const uint8_t> data,
+                  const std::string& what) {
+  size_t off = 0;
+  while (off < data.size()) {
+    size_t n = data.size() - off;
+    if (ERIS_INJECT_SHOULD_FAIL(kIoWriteError)) {
+      errno = EIO;
+      return Errno("write", what);
+    }
+    if (ERIS_INJECT_SHOULD_FAIL(kIoNoSpace)) {
+      errno = ENOSPC;
+      return Errno("write", what);
+    }
+    // Injected short write: genuinely persist only part of the chunk so the
+    // resume loop below is exercised against real file contents.
+    if (n > 1 && ERIS_INJECT_SHOULD_FAIL(kIoShortWrite)) {
+      n = (n + 1) / 2;
+    }
+    ssize_t w = ::write(fd, data.data() + off, n);
+    if (w < 0) {
+      if (errno == EINTR) continue;
+      return Errno("write", what);
+    }
+    off += static_cast<size_t>(w);
+  }
+  return Status::Ok();
+}
+
+Status Fsync(int fd, const std::string& what) {
+  if (ERIS_INJECT_SHOULD_FAIL(kIoFsyncError)) {
+    errno = EIO;
+    return Errno("fsync", what);
+  }
+  if (::fsync(fd) != 0) return Errno("fsync", what);
+  return Status::Ok();
+}
+
+Status FsyncDir(const std::string& path) {
+  int fd = -1;
+  ERIS_RETURN_NOT_OK(Open(path, O_RDONLY | O_DIRECTORY, 0, &fd));
+  Status st = Fsync(fd, path);
+  ::close(fd);
+  return st;
+}
+
+Status Rename(const std::string& from, const std::string& to) {
+  if (ERIS_INJECT_SHOULD_FAIL(kIoRename)) {
+    errno = EIO;
+    return Errno("rename", from + " -> " + to);
+  }
+  if (::rename(from.c_str(), to.c_str()) != 0) {
+    return Errno("rename", from + " -> " + to);
+  }
+  return Status::Ok();
+}
+
+Status Truncate(int fd, uint64_t size, const std::string& what) {
+  if (ERIS_INJECT_SHOULD_FAIL(kIoTruncate)) {
+    errno = EIO;
+    return Errno("ftruncate", what);
+  }
+  if (::ftruncate(fd, static_cast<off_t>(size)) != 0) {
+    return Errno("ftruncate", what);
+  }
+  return Status::Ok();
+}
+
+Status ReadAll(const std::string& path, std::vector<uint8_t>* out) {
+  out->clear();
+  int fd = -1;
+  ERIS_RETURN_NOT_OK(Open(path, O_RDONLY, 0, &fd));
+  uint8_t buf[1u << 16];
+  for (;;) {
+    if (ERIS_INJECT_SHOULD_FAIL(kIoReadError)) {
+      errno = EIO;
+      Status st = Errno("read", path);
+      ::close(fd);
+      return st;
+    }
+    ssize_t r = ::read(fd, buf, sizeof buf);
+    if (r < 0) {
+      if (errno == EINTR) continue;
+      Status st = Errno("read", path);
+      ::close(fd);
+      return st;
+    }
+    if (r == 0) break;
+    out->insert(out->end(), buf, buf + r);
+  }
+  ::close(fd);
+  if (!out->empty() && ERIS_INJECT_SHOULD_FAIL(kIoReadFlip)) {
+    (*out)[out->size() / 2] ^= 0x40;
+  }
+  return Status::Ok();
+}
+
+}  // namespace eris::durability::io

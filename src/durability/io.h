@@ -1,0 +1,56 @@
+// Error-returning I/O shim for the durability tier (DESIGN.md §15).
+//
+// Every syscall the WAL and snapshot paths make goes through these wrappers
+// instead of calling open/write/fsync/rename/read directly. Each wrapper:
+//
+//   * returns a typed Status carrying strerror(errno) detail instead of
+//     aborting (the pre-§15 code ERIS_CHECKed most of these), and
+//   * is wired into the fault-injection layer (fi::Point::kIo*) so tests can
+//     inject EIO, ENOSPC, short writes, fsync failure, and read-side bit
+//     flips at every durability I/O boundary with independent probabilities.
+//
+// WriteFully transparently resumes after short writes (injected or real);
+// everything else surfaces the first error to the caller, which decides the
+// policy (fail-stop seal for the WAL, degrade for snapshots — see engine.cc).
+#pragma once
+
+#include <sys/types.h>
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace eris::durability::io {
+
+/// open(2). ENOENT maps to Status::NotFound so callers can distinguish
+/// "no file yet" (fine on first boot) from real I/O errors.
+Status Open(const std::string& path, int flags, mode_t mode, int* fd);
+
+/// write(2) until every byte of `data` is on the descriptor, resuming after
+/// short writes and EINTR. `what` names the file for error messages.
+Status WriteFully(int fd, std::span<const uint8_t> data,
+                  const std::string& what);
+
+/// fsync(2). A failure here must be treated as fail-stop by WAL callers:
+/// after a failed fsync the kernel may have dropped the dirty pages, so
+/// retrying and assuming durability is unsound (the "fsyncgate" semantics).
+Status Fsync(int fd, const std::string& what);
+
+/// fsync(2) on a directory, for durable renames/creates.
+Status FsyncDir(const std::string& path);
+
+/// rename(2).
+Status Rename(const std::string& from, const std::string& to);
+
+/// ftruncate(2).
+Status Truncate(int fd, uint64_t size, const std::string& what);
+
+/// Read the whole file into `out`. ENOENT maps to Status::NotFound.
+/// kIoReadFlip corrupts one byte of a successful read so the CRC layers
+/// above (frame CRCs, partition CRCs, meta CRCs) must catch it.
+Status ReadAll(const std::string& path, std::vector<uint8_t>* out);
+
+}  // namespace eris::durability::io

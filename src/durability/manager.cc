@@ -8,8 +8,11 @@
 #include <cstring>
 #include <filesystem>
 
+#include <algorithm>
+
 #include "common/fault_injection.h"
 #include "common/logging.h"
+#include "durability/io.h"
 
 namespace eris::durability {
 
@@ -61,84 +64,33 @@ struct Reader {
   }
 };
 
+/// Whole-file read through the error-injecting I/O shim. A missing file
+/// surfaces as Status::NotFound.
 Status ReadFileBytes(const std::string& path, std::vector<uint8_t>* out) {
-  int fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
-  if (fd < 0) {
-    return Status::IoError("cannot open " + path + ": " +
-                           std::strerror(errno));
-  }
-  struct stat st;
-  if (::fstat(fd, &st) != 0) {
-    ::close(fd);
-    return Status::IoError("cannot stat " + path + ": " +
-                           std::strerror(errno));
-  }
-  out->resize(static_cast<size_t>(st.st_size));
-  size_t off = 0;
-  while (off < out->size()) {
-    ssize_t r = ::read(fd, out->data() + off, out->size() - off);
-    if (r < 0) {
-      if (errno == EINTR) continue;
-      ::close(fd);
-      return Status::IoError("cannot read " + path + ": " +
-                             std::strerror(errno));
-    }
-    if (r == 0) break;
-    off += static_cast<size_t>(r);
-  }
-  ::close(fd);
-  out->resize(off);
-  return Status::Ok();
+  return io::ReadAll(path, out);
 }
 
 /// Writes `bytes` to `path` and fsyncs it, visiting the snapshot fault
-/// points at the write and fsync boundaries.
+/// points at the write and fsync boundaries (crash-matrix kill points) on
+/// top of the shim's own error-injection points.
 Status WriteFileDurable(const std::string& path,
                         std::span<const uint8_t> bytes) {
-  int fd = ::open(path.c_str(), O_WRONLY | O_CREAT | O_TRUNC | O_CLOEXEC,
-                  0644);
-  if (fd < 0) {
-    return Status::IoError("cannot create " + path + ": " +
-                           std::strerror(errno));
+  int fd = -1;
+  Status st =
+      io::Open(path, O_WRONLY | O_CREAT | O_TRUNC | O_CLOEXEC, 0644, &fd);
+  if (!st.ok()) {
+    return st.IsNotFound() ? Status::IoError(std::string(st.message())) : st;
   }
   ERIS_INJECT_POINT(kSnapshotWrite);
-  const uint8_t* p = bytes.data();
-  size_t n = bytes.size();
-  while (n > 0) {
-    ssize_t w = ::write(fd, p, n);
-    if (w < 0) {
-      if (errno == EINTR) continue;
-      ::close(fd);
-      return Status::IoError("cannot write " + path + ": " +
-                             std::strerror(errno));
-    }
-    p += w;
-    n -= static_cast<size_t>(w);
+  st = io::WriteFully(fd, bytes, path);
+  if (!st.ok()) {
+    ::close(fd);
+    return st;
   }
   ERIS_INJECT_POINT(kSnapshotFsync);
-  if (::fsync(fd) != 0) {
-    ::close(fd);
-    return Status::IoError("cannot fsync " + path + ": " +
-                           std::strerror(errno));
-  }
+  st = io::Fsync(fd, path);
   ::close(fd);
-  return Status::Ok();
-}
-
-/// fsync on a directory so renames/creations inside it are durable.
-Status FsyncDir(const std::string& path) {
-  int fd = ::open(path.c_str(), O_RDONLY | O_DIRECTORY | O_CLOEXEC);
-  if (fd < 0) {
-    return Status::IoError("cannot open dir " + path + ": " +
-                           std::strerror(errno));
-  }
-  if (::fsync(fd) != 0) {
-    ::close(fd);
-    return Status::IoError("cannot fsync dir " + path + ": " +
-                           std::strerror(errno));
-  }
-  ::close(fd);
-  return Status::Ok();
+  return st;
 }
 
 std::vector<uint8_t> EncodeMeta(const SnapshotMeta& meta) {
@@ -271,11 +223,8 @@ Status DurabilityManager::WriteCurrent(uint64_t epoch) {
   ERIS_INJECT_POINT(kCurrentWrite);
   Status st = WriteFileDurable(tmp, bytes);
   if (!st.ok()) return st;
-  if (::rename(tmp.c_str(), final_path.c_str()) != 0) {
-    return Status::IoError("cannot publish CURRENT: " +
-                           std::string(std::strerror(errno)));
-  }
-  return FsyncDir(options_.dir);
+  ERIS_RETURN_NOT_OK(io::Rename(tmp, final_path));
+  return io::FsyncDir(options_.dir);
 }
 
 // ---------------------------------------------------------------------------
@@ -314,14 +263,11 @@ Status DurabilityManager::WriteSnapshot(
   }
   Status st = WriteFileDurable(tmp_dir + "/meta.bin", EncodeMeta(meta));
   if (!st.ok()) return st;
-  st = FsyncDir(tmp_dir);
+  st = io::FsyncDir(tmp_dir);
   if (!st.ok()) return st;
   ERIS_INJECT_POINT(kSnapshotRename);
-  if (::rename(tmp_dir.c_str(), final_dir.c_str()) != 0) {
-    return Status::IoError("cannot publish snapshot " + final_dir + ": " +
-                           std::strerror(errno));
-  }
-  return FsyncDir(options_.dir);
+  ERIS_RETURN_NOT_OK(io::Rename(tmp_dir, final_dir));
+  return io::FsyncDir(options_.dir);
 }
 
 Status DurabilityManager::ReadSnapshotMeta(uint64_t epoch,
@@ -366,6 +312,65 @@ void DurabilityManager::RemoveOldSnapshots(uint64_t keep_epoch) {
     if (name.rfind("snap-", 0) != 0 || name == keep) continue;
     fs::remove_all(entry.path(), ec);  // best effort
   }
+}
+
+// ---------------------------------------------------------------------------
+// Scrubbing (DESIGN.md §15)
+// ---------------------------------------------------------------------------
+
+std::vector<uint64_t> DurabilityManager::ListSnapshotEpochs() const {
+  std::vector<uint64_t> epochs;
+  std::error_code ec;
+  for (const auto& entry : fs::directory_iterator(options_.dir, ec)) {
+    std::string name = entry.path().filename().string();
+    // Only fully-published directories: "snap-<digits>", no ".tmp" suffix.
+    if (name.rfind("snap-", 0) != 0) continue;
+    std::string digits = name.substr(5);
+    if (digits.empty() ||
+        digits.find_first_not_of("0123456789") != std::string::npos) {
+      continue;
+    }
+    epochs.push_back(std::strtoull(digits.c_str(), nullptr, 10));
+  }
+  std::sort(epochs.begin(), epochs.end());
+  return epochs;
+}
+
+Status DurabilityManager::VerifySnapshot(uint64_t epoch,
+                                         uint64_t* files_checked,
+                                         uint64_t* corrupt_files) {
+  *files_checked = 0;
+  *corrupt_files = 0;
+  Status first_bad = Status::Ok();
+  SnapshotMeta meta;
+  ++*files_checked;
+  Status st = ReadSnapshotMeta(epoch, &meta);
+  if (!st.ok()) {
+    // Without a readable meta.bin there is no directory of partition files
+    // to check against; the whole snapshot is unusable.
+    ++*corrupt_files;
+    return st;
+  }
+  std::vector<uint8_t> scratch;
+  for (const PartitionMeta& pm : meta.partitions) {
+    ++*files_checked;
+    st = ReadPartitionFile(epoch, pm, &scratch);
+    if (!st.ok()) {
+      ++*corrupt_files;
+      if (first_bad.ok()) first_bad = std::move(st);
+    }
+  }
+  return first_bad;
+}
+
+Status DurabilityManager::QuarantineSnapshot(uint64_t epoch) {
+  std::string from = SnapshotDir(epoch);
+  std::string to =
+      options_.dir + "/quarantine-snap-" + std::to_string(epoch);
+  std::error_code ec;
+  fs::remove_all(to, ec);  // stale quarantine of the same epoch
+  ERIS_RETURN_NOT_OK(io::Rename(from, to));
+  return io::FsyncDir(options_.dir);
 }
 
 // ---------------------------------------------------------------------------

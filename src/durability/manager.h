@@ -97,6 +97,20 @@ class DurabilityManager {
   /// .tmp directories left by crashed snapshot attempts.
   void RemoveOldSnapshots(uint64_t keep_epoch);
 
+  // --- scrubbing (DESIGN.md §15) ----------------------------------------
+  /// Epochs of every fully-published snap-<e> directory, ascending.
+  std::vector<uint64_t> ListSnapshotEpochs() const;
+
+  /// CRC-verifies every file of snapshot `epoch` (meta.bin + each partition
+  /// stream). Returns the first corruption as a non-OK status; counts every
+  /// file checked and every corrupt one.
+  Status VerifySnapshot(uint64_t epoch, uint64_t* files_checked,
+                        uint64_t* corrupt_files);
+
+  /// Moves snap-<epoch> aside as quarantine-snap-<epoch> so recovery can
+  /// never pick it up (RemoveOldSnapshots ignores non-"snap-" names too).
+  Status QuarantineSnapshot(uint64_t epoch);
+
   // --- WALs -------------------------------------------------------------
   std::string WalPath(uint32_t aeu) const;
   /// Opens AEU `aeu`'s log, truncating the torn tail recovery found.

@@ -10,6 +10,7 @@
 #include "common/bit_util.h"
 #include "common/fault_injection.h"
 #include "common/logging.h"
+#include "durability/io.h"
 
 namespace eris::durability {
 
@@ -27,20 +28,6 @@ struct Crc32Table {
     }
   }
 };
-
-/// Writes the full span, retrying short writes / EINTR. The log device
-/// failing mid-run is not a recoverable engine state, so errors are fatal.
-void WriteFully(int fd, const uint8_t* data, size_t n, const char* what) {
-  while (n > 0) {
-    ssize_t w = ::write(fd, data, n);
-    if (w < 0) {
-      if (errno == EINTR) continue;
-      ERIS_CHECK(false) << what << ": write failed: " << std::strerror(errno);
-    }
-    data += w;
-    n -= static_cast<size_t>(w);
-  }
-}
 
 }  // namespace
 
@@ -79,18 +66,20 @@ Status WalWriter::Open(const std::string& path,
                        const DurabilityOptions& options, uint64_t next_lsn,
                        uint64_t valid_end) {
   ERIS_CHECK(fd_ < 0) << "WAL already open: " << path_;
-  int fd = ::open(path.c_str(), O_RDWR | O_CREAT | O_CLOEXEC, 0644);
-  if (fd < 0) {
-    return Status::IoError("cannot open WAL " + path + ": " +
-                           std::strerror(errno));
+  int fd = -1;
+  Status st = io::Open(path, O_RDWR | O_CREAT | O_CLOEXEC, 0644, &fd);
+  if (!st.ok()) {
+    // ENOENT with O_CREAT means a missing parent directory — still an
+    // I/O error from the WAL's point of view, not "no log yet".
+    return st.IsNotFound() ? Status::IoError(std::string(st.message())) : st;
   }
   // Discard the torn tail replay found (crash mid-write leaves a partial
   // frame or an uncommitted group behind); new records must start exactly
   // where the committed prefix ends.
-  if (::ftruncate(fd, static_cast<off_t>(valid_end)) != 0) {
+  st = io::Truncate(fd, valid_end, path);
+  if (!st.ok()) {
     ::close(fd);
-    return Status::IoError("cannot truncate WAL " + path + ": " +
-                           std::strerror(errno));
+    return st;
   }
   if (::lseek(fd, 0, SEEK_END) < 0) {
     ::close(fd);
@@ -104,6 +93,8 @@ Status WalWriter::Open(const std::string& path,
   next_lsn_ = next_lsn;
   buf_.clear();
   buffered_records_ = 0;
+  sealed_ = false;
+  seal_status_ = Status::Ok();
   return Status::Ok();
 }
 
@@ -127,60 +118,82 @@ void WalWriter::AppendFrame(std::span<const uint8_t> body, uint32_t flags) {
   }
 }
 
-uint64_t WalWriter::Append(std::span<const uint8_t> body) {
+Status WalWriter::Seal(Status cause) {
+  ++stats_.io_errors;
+  // The buffered group never became durable; whatever prefix of it reached
+  // the file is an uncommitted (commit-frame-less or torn) tail that replay
+  // discards, exactly like a crash mid-group.
+  buf_.clear();
+  buffered_records_ = 0;
+  sealed_ = true;
+  seal_status_ =
+      std::move(cause).WithDetail(StatusDetail::kWalSealed, path_);
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+  return seal_status_;
+}
+
+Status WalWriter::Append(std::span<const uint8_t> body, uint64_t* lsn) {
+  if (sealed_) return seal_status_;
   ERIS_DCHECK(fd_ >= 0) << "append on closed WAL";
   ERIS_INJECT_POINT(kWalAppend);
   AppendFrame(body, 0);
   ++buffered_records_;
   ++stats_.records;
-  uint64_t lsn = next_lsn_ - 1;
+  if (lsn != nullptr) *lsn = next_lsn_ - 1;
   if (mode_ == WalMode::kPerRecordFsync) {
-    Commit();
-  } else if (buf_.size() > max_unsynced_bytes_) {
+    return Commit();
+  }
+  if (buf_.size() > max_unsynced_bytes_) {
     // Backpressure: the iteration buffered more than the cap, stall the
     // AEU on an inline commit before it takes on more work.
     ++stats_.stalls;
-    Commit();
+    return Commit();
   }
-  return lsn;
+  return Status::Ok();
 }
 
-uint64_t WalWriter::Commit() {
-  if (buffered_records_ == 0) return 0;  // idle iterations stay file-free
+Status WalWriter::Commit(uint64_t* committed) {
+  if (committed != nullptr) *committed = 0;
+  if (sealed_) return seal_status_;
+  if (buffered_records_ == 0) return Status::Ok();  // idle = file-free
   ERIS_INJECT_POINT(kWalCommit);
   // Seal the group: replay applies the buffered records only if this frame
   // survives to disk intact.
   AppendFrame({}, kWalFlagCommit);
-  WriteFully(fd_, buf_.data(), buf_.size(), path_.c_str());
+  Status st = io::WriteFully(fd_, buf_, path_);
+  if (!st.ok()) return Seal(std::move(st));
   stats_.bytes_written += buf_.size();
   ERIS_INJECT_POINT(kWalFsync);
-  ERIS_CHECK(::fsync(fd_) == 0)
-      << path_ << ": fsync failed: " << std::strerror(errno);
+  // fsyncgate: a failed fsync is fail-stop. The kernel may have already
+  // dropped the dirty pages, so retrying the fsync (even successfully)
+  // proves nothing about this group — the only sound move is to seal.
+  st = io::Fsync(fd_, path_);
+  if (!st.ok()) return Seal(std::move(st));
   ++stats_.fsyncs;
   ++stats_.groups;
-  uint64_t committed = buffered_records_;
+  if (committed != nullptr) *committed = buffered_records_;
   buf_.clear();
   buffered_records_ = 0;
-  return committed;
+  return Status::Ok();
 }
 
 Status WalWriter::Rotate() {
+  if (sealed_) return seal_status_;
   ERIS_CHECK(fd_ >= 0) << "rotate on closed WAL";
   ERIS_CHECK_EQ(buffered_records_, 0u)
       << "rotate with uncommitted records buffered";
   ERIS_INJECT_POINT(kWalRotate);
-  if (::ftruncate(fd_, 0) != 0) {
-    return Status::IoError(path_ + ": rotate truncate failed: " +
-                           std::strerror(errno));
-  }
+  Status st = io::Truncate(fd_, 0, path_);
+  if (!st.ok()) return Seal(std::move(st));
   if (::lseek(fd_, 0, SEEK_SET) < 0) {
-    return Status::IoError(path_ + ": rotate seek failed: " +
-                           std::strerror(errno));
+    return Seal(Status::IoError(path_ + ": rotate seek failed: " +
+                                std::strerror(errno)));
   }
-  if (::fsync(fd_) != 0) {
-    return Status::IoError(path_ + ": rotate fsync failed: " +
-                           std::strerror(errno));
-  }
+  st = io::Fsync(fd_, path_);
+  if (!st.ok()) return Seal(std::move(st));
   ++stats_.fsyncs;
   return Status::Ok();
 }
@@ -195,33 +208,10 @@ Status ReplayWal(
         apply,
     WalReplayResult* result) {
   *result = WalReplayResult{};
-  int fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
-  if (fd < 0) {
-    if (errno == ENOENT) return Status::Ok();  // no log yet = empty log
-    return Status::IoError("cannot open WAL " + path + ": " +
-                           std::strerror(errno));
-  }
-  struct stat st;
-  if (::fstat(fd, &st) != 0) {
-    ::close(fd);
-    return Status::IoError("cannot stat WAL " + path + ": " +
-                           std::strerror(errno));
-  }
-  std::vector<uint8_t> data(static_cast<size_t>(st.st_size));
-  size_t off = 0;
-  while (off < data.size()) {
-    ssize_t r = ::read(fd, data.data() + off, data.size() - off);
-    if (r < 0) {
-      if (errno == EINTR) continue;
-      ::close(fd);
-      return Status::IoError("cannot read WAL " + path + ": " +
-                             std::strerror(errno));
-    }
-    if (r == 0) break;
-    off += static_cast<size_t>(r);
-  }
-  ::close(fd);
-  data.resize(off);
+  std::vector<uint8_t> data;
+  Status read_st = io::ReadAll(path, &data);
+  if (read_st.IsNotFound()) return Status::Ok();  // no log yet = empty log
+  ERIS_RETURN_NOT_OK(read_st);
 
   // Parse frames; records accumulate per group and are applied only when
   // the group's commit frame checks out. Any inconsistency ends the scan:

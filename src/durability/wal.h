@@ -60,6 +60,9 @@ struct DurabilityOptions {
   /// many bytes, the AEU stalls on an inline commit before accepting more
   /// work (bounds both memory and the unacknowledged window).
   size_t max_unsynced_bytes = 1u << 20;
+  /// Background storage scrubber period (DESIGN.md §15). 0 disables the
+  /// thread; Engine::ScrubStorage() can always be called directly.
+  uint32_t scrub_interval_ms = 0;
 };
 
 inline constexpr uint32_t kWalMagic = 0x4C415745;  // "EWAL"
@@ -81,6 +84,7 @@ struct WalWriterStats {
   uint64_t fsyncs = 0;
   uint64_t bytes_written = 0;
   uint64_t stalls = 0;   ///< inline commits forced by the backpressure cap
+  uint64_t io_errors = 0;  ///< I/O failures (the first one seals the log)
 };
 
 /// \brief Single-writer append/commit handle for one AEU's log.
@@ -100,29 +104,44 @@ class WalWriter {
   Status Open(const std::string& path, const DurabilityOptions& options,
               uint64_t next_lsn, uint64_t valid_end);
 
-  /// Appends one record body and returns its LSN. kPerRecordFsync commits
-  /// immediately; kGroupCommit buffers until Commit() — or inline when the
-  /// buffered bytes exceed the backpressure cap (counted as a stall).
-  uint64_t Append(std::span<const uint8_t> body);
+  /// Appends one record body; `*lsn` (optional) receives its LSN.
+  /// kPerRecordFsync commits immediately; kGroupCommit buffers until
+  /// Commit() — or inline when the buffered bytes exceed the backpressure
+  /// cap (counted as a stall). Fails without side effects once sealed.
+  Status Append(std::span<const uint8_t> body, uint64_t* lsn = nullptr);
 
   /// Seals the buffered group with a commit frame and makes it durable
   /// (one write + one fsync). No-op when nothing is buffered — idle AEU
-  /// loop iterations never touch the file. Returns the number of data
-  /// records committed.
-  uint64_t Commit();
+  /// loop iterations never touch the file. `*committed` (optional)
+  /// receives the number of data records committed.
+  ///
+  /// Any I/O failure here — write error, ENOSPC, failed fsync — seals the
+  /// log permanently (fsyncgate semantics: after a failed fsync the kernel
+  /// may have dropped the dirty pages, so a retry that then succeeds proves
+  /// nothing about the earlier data). The buffered group is discarded; the
+  /// caller must shed its unacknowledged commands with a typed drop reason.
+  Status Commit(uint64_t* committed = nullptr);
 
   /// Truncates the log after a snapshot made its contents redundant. The
   /// LSN sequence keeps counting (watermark-based replay dedup relies on
-  /// monotonic LSNs across rotations). Requires an empty buffer.
+  /// monotonic LSNs across rotations). Requires an empty buffer. I/O
+  /// failures seal the log (the on-disk state is no longer trustworthy).
   Status Rotate();
 
   bool is_open() const { return fd_ >= 0; }
+  /// True once a commit-path I/O failure permanently sealed this log.
+  /// A sealed writer rejects every Append/Commit/Rotate with seal_status()
+  /// and never touches the file again.
+  bool sealed() const { return sealed_; }
+  const Status& seal_status() const { return seal_status_; }
   uint64_t next_lsn() const { return next_lsn_; }
   size_t buffered_bytes() const { return buf_.size(); }
   const WalWriterStats& stats() const { return stats_; }
 
  private:
   void AppendFrame(std::span<const uint8_t> body, uint32_t flags);
+  /// Fail-stop: records `cause`, drops the buffered group, closes the fd.
+  Status Seal(Status cause);
 
   int fd_ = -1;
   std::string path_;
@@ -131,6 +150,8 @@ class WalWriter {
   uint64_t next_lsn_ = 1;
   std::vector<uint8_t> buf_;
   uint64_t buffered_records_ = 0;
+  bool sealed_ = false;
+  Status seal_status_;
   WalWriterStats stats_;
 };
 

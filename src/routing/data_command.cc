@@ -36,6 +36,7 @@ const char* DropReasonName(DropReason r) {
     case DropReason::kTargetStalled: return "target-stalled";
     case DropReason::kExpired: return "expired";
     case DropReason::kQuarantined: return "quarantined";
+    case DropReason::kWalSealed: return "wal-sealed";
   }
   return "unknown";
 }

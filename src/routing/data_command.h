@@ -65,8 +65,9 @@ enum class DropReason : uint8_t {
   kTargetStalled,       ///< target AEU quarantined by the watchdog
   kExpired,             ///< deadline passed before dequeue
   kQuarantined,         ///< poison command moved to the dead-letter log
+  kWalSealed,           ///< target AEU's WAL sealed fail-stop (storage fault)
 };
-inline constexpr size_t kNumDropReasons = 4;
+inline constexpr size_t kNumDropReasons = 5;
 
 const char* DropReasonName(DropReason r);
 

@@ -459,5 +459,149 @@ TEST(ConcurrencyHarness, OverloadStalledAeuSheds) {
   fi::FaultInjector::Global().Reset();
 }
 
+// ---------------------------------------------------------------------------
+// I/O-chaos scenario: writers race injected storage faults (DESIGN.md §15).
+// ---------------------------------------------------------------------------
+
+/// One io-chaos seed: a durable threaded engine under low-probability
+/// injected storage faults at every durability syscall — short writes,
+/// EIO, ENOSPC, failed fsyncs — while writers track which keys they issued
+/// and which the engine acknowledged. The storage-fault shape of the sweep
+/// oracle is set inclusion, not digest equality (faults legitimately shed
+/// work): after restart and replay,
+///     acked ⊆ recovered ⊆ issued
+/// — an acked write may never be lost (acknowledged means group-committed
+/// before the fault), and replay may never invent a write nobody issued.
+/// Every submit failure along the way must be typed, and no injected fault
+/// may abort the process.
+std::atomic<uint64_t> g_io_chaos_injections{0};
+
+void RunIoChaosSeed(uint64_t seed) {
+  const EngineShape& shape = kShapes[std::size(kShapes) - 1];  // durable 2x2
+  SCOPED_TRACE(::testing::Message()
+               << "io-chaos shape=" << shape.name << " seed=" << seed
+               << " (replay: ERIS_HARNESS_SEED=" << seed << ")");
+  constexpr uint32_t kWriters = 3;
+  constexpr uint32_t kBatches = 24;
+  constexpr uint32_t kPerBatch = 8;
+  const storage::Key domain_hi = storage::Key{1} << 16;
+  const storage::Key slice = domain_hi / kWriters;
+
+  ScratchDir scratch;
+  EngineOptions opts = MakeOptions(shape, ExecutionMode::kThreads);
+  opts.durability.enabled = true;
+  opts.durability.dir = scratch.path;
+
+  // Arm before Start() (injector config requires quiescence). Short writes
+  // are common — the resume path must be routine; hard errors are rare but
+  // across 24 seeds every failure mode fires many times.
+  fi::FaultInjector::Global().Reset();
+  fi::FaultInjector::Global().EnableChaos(seed, /*perturb_probability=*/0.02);
+  fi::FaultInjector::Global().SetFailProbability(fi::Point::kIoShortWrite,
+                                                 0.05);
+  fi::FaultInjector::Global().SetFailProbability(fi::Point::kIoWriteError,
+                                                 0.005);
+  fi::FaultInjector::Global().SetFailProbability(fi::Point::kIoFsyncError,
+                                                 0.002);
+  fi::FaultInjector::Global().SetFailProbability(fi::Point::kIoNoSpace,
+                                                 0.002);
+
+  std::vector<std::vector<storage::Key>> acked(kWriters);
+  std::atomic<uint32_t> untyped_failures{0};
+  std::atomic<uint32_t> read_failures_untyped{0};
+  {
+    Engine engine(opts);
+    ObjectId idx = engine.CreateIndex("kv", domain_hi,
+                                      {.prefix_bits = 8, .key_bits = 16});
+    engine.Start();
+    std::vector<std::thread> writers;
+    for (uint32_t w = 0; w < kWriters; ++w) {
+      writers.emplace_back([&, w] {
+        auto session = engine.CreateSession();
+        session->set_op_timeout_ns(500'000'000);  // 500 ms, never hangs
+        for (uint32_t b = 0; b < kBatches; ++b) {
+          std::vector<routing::KeyValue> kvs;
+          for (uint32_t i = 0; i < kPerBatch; ++i) {
+            storage::Key k = w * slice + b * kPerBatch + i;
+            kvs.push_back({k, k + 1});
+          }
+          Status st = session->SubmitUpsert(idx, kvs);
+          if (st.ok()) {
+            // Acknowledged = durably group-committed before any fault.
+            for (const auto& kv : kvs) acked[w].push_back(kv.key);
+          } else if (!(st.IsUnavailable() || st.IsDeadlineExceeded() ||
+                       st.IsResourceExhausted() || st.IsIoError() ||
+                       st.IsInternal())) {
+            untyped_failures.fetch_add(1, std::memory_order_relaxed);
+          }
+          if (b % 6 == 5) {
+            // Reads must keep serving (OK, or typed when the target AEU
+            // was quarantined by a sealed WAL) — never crash or hang.
+            std::vector<storage::Key> probe{w * slice};
+            Status rs = session->SubmitLookup(idx, probe);
+            if (!rs.ok() && !(rs.IsUnavailable() || rs.IsDeadlineExceeded() ||
+                              rs.IsResourceExhausted())) {
+              read_failures_untyped.fetch_add(1, std::memory_order_relaxed);
+            }
+          }
+        }
+      });
+    }
+    for (auto& t : writers) t.join();
+    engine.Stop();  // must survive sealed WALs / degraded mode
+  }
+  EXPECT_EQ(untyped_failures.load(), 0u);
+  EXPECT_EQ(read_failures_untyped.load(), 0u);
+  g_io_chaos_injections.fetch_add(
+      fi::FaultInjector::Global().TotalInjections(),
+      std::memory_order_relaxed);
+
+  // Restart with the injector disarmed: replay what the faulted run left.
+  fi::FaultInjector::Global().Reset();
+  EngineOptions ropts = MakeOptions(shape, ExecutionMode::kSimulated);
+  ropts.durability.enabled = true;
+  ropts.durability.dir = scratch.path;
+  Engine recovered(ropts);
+  ObjectId idx = recovered.CreateIndex("kv", domain_hi,
+                                       {.prefix_bits = 8, .key_bits = 16});
+  Status st = recovered.Recover();
+  ASSERT_TRUE(st.ok()) << st.message();
+  auto session = recovered.CreateSession();
+  for (uint32_t w = 0; w < kWriters; ++w) {
+    // acked ⊆ recovered: every acknowledged key must be present with the
+    // value the writer acked.
+    auto values = session->LookupValues(idx, acked[w]);
+    ASSERT_EQ(values.size(), acked[w].size());
+    for (size_t i = 0; i < values.size(); ++i) {
+      ASSERT_TRUE(values[i].has_value())
+          << "acked key " << acked[w][i] << " lost (writer " << w << ")";
+      EXPECT_EQ(*values[i], acked[w][i] + 1);
+    }
+    // recovered ⊆ issued: keys in the writer's slice that were never
+    // issued must not exist after replay.
+    std::vector<storage::Key> never_issued;
+    for (uint32_t i = 0; i < 16; ++i) {
+      never_issued.push_back(w * slice + kBatches * kPerBatch + 1 + i);
+    }
+    auto ghosts = session->LookupValues(idx, never_issued);
+    for (size_t i = 0; i < ghosts.size(); ++i) {
+      EXPECT_FALSE(ghosts[i].has_value())
+          << "replay invented key " << never_issued[i];
+    }
+  }
+  recovered.Stop();
+}
+
+TEST(ConcurrencyHarness, IoChaosAckedSubsetRecovered) {
+  auto seeds = harness::SweepSeeds(/*base=*/9000, /*default_count=*/24);
+  for (uint64_t seed : seeds) {
+    RunIoChaosSeed(seed);
+    if (::testing::Test::HasFatalFailure()) break;
+  }
+  // The sweep must have actually exercised the injected-fault machinery.
+  EXPECT_GT(g_io_chaos_injections.load(), 0u);
+  fi::FaultInjector::Global().Reset();
+}
+
 }  // namespace
 }  // namespace eris::core

@@ -125,17 +125,25 @@ TEST(Wal, RoundTripGroupCommit) {
   {
     durability::WalWriter w;
     ASSERT_TRUE(w.Open(path, opts, /*next_lsn=*/1, /*valid_end=*/0).ok());
-    EXPECT_EQ(w.Append(Body({1, 2, 3})), 1u);
-    EXPECT_EQ(w.Append(Body({4})), 2u);
+    uint64_t lsn = 0;
+    uint64_t committed = 0;
+    ASSERT_TRUE(w.Append(Body({1, 2, 3}), &lsn).ok());
+    EXPECT_EQ(lsn, 1u);
+    ASSERT_TRUE(w.Append(Body({4}), &lsn).ok());
+    EXPECT_EQ(lsn, 2u);
     // Nothing durable before the commit frame seals the group.
     EXPECT_GT(w.buffered_bytes(), 0u);
-    EXPECT_EQ(w.Commit(), 2u);
+    ASSERT_TRUE(w.Commit(&committed).ok());
+    EXPECT_EQ(committed, 2u);
     EXPECT_EQ(w.buffered_bytes(), 0u);
-    EXPECT_EQ(w.Commit(), 0u);  // idle commit never touches the file
+    ASSERT_TRUE(w.Commit(&committed).ok());
+    EXPECT_EQ(committed, 0u);  // idle commit never touches the file
     // The commit frame consumed LSN 3 (replay checks strict monotonicity
     // across every frame), so the next record gets 4.
-    EXPECT_EQ(w.Append(Body({5, 6})), 4u);
-    EXPECT_EQ(w.Commit(), 1u);
+    ASSERT_TRUE(w.Append(Body({5, 6}), &lsn).ok());
+    EXPECT_EQ(lsn, 4u);
+    ASSERT_TRUE(w.Commit(&committed).ok());
+    EXPECT_EQ(committed, 1u);
     EXPECT_EQ(w.stats().records, 3u);
     EXPECT_EQ(w.stats().groups, 2u);
     EXPECT_EQ(w.stats().fsyncs, 2u);
@@ -204,7 +212,9 @@ TEST(Wal, RotateKeepsLsnSequence) {
   w.Commit();
   ASSERT_TRUE(w.Rotate().ok());
   EXPECT_EQ(std::filesystem::file_size(path), 0u);
-  EXPECT_EQ(w.Append(Body({2})), 3u);  // the sequence keeps counting
+  uint64_t lsn = 0;
+  ASSERT_TRUE(w.Append(Body({2}), &lsn).ok());
+  EXPECT_EQ(lsn, 3u);  // the sequence keeps counting
   w.Commit();
   durability::WalReplayResult rr;
   ASSERT_TRUE(durability::ReplayWal(
@@ -834,6 +844,128 @@ TEST(Recovery, TryQuiesceBoundedOnIdleAndBusyEngines) {
   stall.store(false, std::memory_order_release);
   engine.Stop();  // drain succeeds now; hook is a no-op until threads join
   fi::FaultInjector::Global().Reset();
+}
+
+// ---------------------------------------------------------------------------
+// Manifest damage (DESIGN.md §15): a broken CURRENT or a missing snapshot
+// directory must yield a typed recovery failure (or a WAL-only recovery),
+// never a crash.
+// ---------------------------------------------------------------------------
+
+/// Builds a durable directory holding one snapshot + CURRENT.
+void BuildSnapshotDir(const std::string& dir,
+                      const harness::HarnessConfig& cfg,
+                      const std::vector<harness::WriterScript>& scripts) {
+  Engine engine(DurableOptions(dir, ExecutionMode::kSimulated));
+  ObjectId idx = 0;
+  ObjectId col = 0;
+  RegisterHarnessSchema(engine, cfg, &idx, &col);
+  engine.Start();
+  harness::RunScriptsSequential(engine, idx, col, scripts);
+  ASSERT_TRUE(engine.Snapshot().ok());
+  engine.Stop();
+}
+
+/// Attempts recovery from `dir`; returns the status (test must not crash).
+Status TryRecover(const std::string& dir, const harness::HarnessConfig& cfg) {
+  Engine engine(DurableOptions(dir, ExecutionMode::kSimulated));
+  ObjectId idx = 0;
+  ObjectId col = 0;
+  RegisterHarnessSchema(engine, cfg, &idx, &col);
+  return engine.Recover();
+}
+
+TEST(Recovery, TruncatedCurrentFailsTyped) {
+  TempDir tmp;
+  harness::HarnessConfig cfg;
+  cfg.writers = 1;
+  cfg.batches_per_writer = 4;
+  cfg.keys_per_writer = 1u << 7;
+  auto scripts = harness::GenerateScripts(/*seed=*/61, cfg);
+  BuildSnapshotDir(tmp.path, cfg, scripts);
+
+  // Chop CURRENT below its fixed 16-byte frame.
+  std::string current = tmp.path + "/CURRENT";
+  ASSERT_TRUE(std::filesystem::exists(current));
+  ASSERT_EQ(::truncate(current.c_str(), 7), 0);
+
+  Status st = TryRecover(tmp.path, cfg);
+  EXPECT_FALSE(st.ok());
+  EXPECT_TRUE(st.IsIoError()) << st.ToString();
+  EXPECT_NE(st.message().find("truncated"), std::string_view::npos)
+      << st.ToString();
+}
+
+TEST(Recovery, GarbageCurrentFailsTyped) {
+  TempDir tmp;
+  harness::HarnessConfig cfg;
+  cfg.writers = 1;
+  cfg.batches_per_writer = 4;
+  cfg.keys_per_writer = 1u << 7;
+  auto scripts = harness::GenerateScripts(/*seed=*/62, cfg);
+  BuildSnapshotDir(tmp.path, cfg, scripts);
+
+  // Overwrite CURRENT with 16 bytes of junk: right size, wrong magic/CRC.
+  std::string current = tmp.path + "/CURRENT";
+  {
+    std::FILE* f = std::fopen(current.c_str(), "wb");
+    ASSERT_NE(f, nullptr);
+    const uint8_t junk[16] = {0xDE, 0xAD, 0xBE, 0xEF, 0x01, 0x02, 0x03, 0x04,
+                              0x05, 0x06, 0x07, 0x08, 0x09, 0x0A, 0x0B, 0x0C};
+    ASSERT_EQ(std::fwrite(junk, 1, sizeof junk, f), sizeof junk);
+    std::fclose(f);
+  }
+
+  Status st = TryRecover(tmp.path, cfg);
+  EXPECT_FALSE(st.ok());
+  EXPECT_TRUE(st.IsIoError()) << st.ToString();
+  EXPECT_NE(st.message().find("corrupt"), std::string_view::npos)
+      << st.ToString();
+}
+
+TEST(Recovery, MissingSnapshotDirFailsTyped) {
+  TempDir tmp;
+  harness::HarnessConfig cfg;
+  cfg.writers = 1;
+  cfg.batches_per_writer = 4;
+  cfg.keys_per_writer = 1u << 7;
+  auto scripts = harness::GenerateScripts(/*seed=*/63, cfg);
+  BuildSnapshotDir(tmp.path, cfg, scripts);
+
+  // CURRENT still points at snap-1, which no longer exists.
+  std::error_code ec;
+  std::filesystem::remove_all(tmp.path + "/snap-1", ec);
+  ASSERT_FALSE(ec);
+
+  Status st = TryRecover(tmp.path, cfg);
+  EXPECT_FALSE(st.ok()) << "recovery must not silently lose the snapshot";
+  EXPECT_TRUE(st.IsNotFound() || st.IsIoError()) << st.ToString();
+}
+
+TEST(Recovery, RemovedManifestRecoversViaWalOnlyReplay) {
+  TempDir tmp;
+  harness::HarnessConfig cfg;
+  cfg.writers = 2;
+  cfg.batches_per_writer = 8;
+  cfg.keys_per_writer = 1u << 8;
+  auto scripts = harness::GenerateScripts(/*seed=*/64, cfg);
+
+  // Durable run WITHOUT a snapshot: the workload lives only in the WALs.
+  {
+    Engine engine(DurableOptions(tmp.path, ExecutionMode::kSimulated));
+    ObjectId idx = 0;
+    ObjectId col = 0;
+    RegisterHarnessSchema(engine, cfg, &idx, &col);
+    engine.Start();
+    harness::RunScriptsSequential(engine, idx, col, scripts);
+    engine.Stop();
+  }
+  ASSERT_FALSE(std::filesystem::exists(tmp.path + "/CURRENT"));
+
+  // No CURRENT at all: recovery replays the WALs from scratch and the
+  // digest still matches the oracle.
+  harness::EngineDigest recovered = RecoverAndDigest(tmp.path, cfg);
+  harness::ExpectDigestsEqual(recovered, OracleDigest(cfg, scripts));
 }
 
 }  // namespace
