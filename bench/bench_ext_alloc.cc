@@ -1,0 +1,358 @@
+// Extension bench (allocation profile): steady-state allocation counts on
+// every arena-converted hot path, THP coverage and fragmentation of the
+// node-local managers (DESIGN.md §16).
+//
+// Every hot path that was converted to arena/pooled allocation grows its
+// buffers only through a named fault-injection point, so "how often does
+// this path allocate" is directly countable with an injection hook:
+//
+//   kAeuScratchAlloc     — AEU dequeue/batch scratch
+//   kMvccVersionAlloc    — MVCC version pool + chain table
+//   kWalBufferAlloc      — WAL group-commit buffer
+//   kExchangeStreamAlloc — router exchange/transfer streams
+//   kEndpointScratchAlloc, kQueryScratchAlloc — earlier conversions,
+//                          reported for completeness
+//
+// One durable kSimulated engine (deterministic stepping, so idle-time MVCC
+// GC runs on a fixed cadence): a warm-up phase sizes every buffer, then
+// each path runs alone and its per-point allocation deltas are recorded —
+// the contract is an exact zero on every converted point. Also reports the
+// memory-manager tallies: reserved/in-use/thread-cache/fragmentation
+// bytes, central-refill counts and transparent-huge-page coverage.
+//
+// Results go to BENCH_alloc.json for cross-PR tracking. `--smoke` runs a
+// reduced sweep and exits non-zero when any converted path allocates in
+// steady state — wired into scripts/tier1.sh as the alloc gate.
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "bench_util/report.h"
+#include "common/fault_injection.h"
+#include "common/stopwatch.h"
+#include "core/engine.h"
+#include "numa/memory_manager.h"
+#include "storage/partition.h"
+
+using namespace eris;
+using namespace eris::bench;
+using core::Engine;
+using core::EngineOptions;
+using routing::KeyValue;
+using storage::Key;
+using storage::Value;
+
+namespace {
+
+constexpr uint64_t kDomain = 1u << 16;
+constexpr size_t kBatch = 256;
+
+struct PointCounter {
+  fi::Point point;
+  const char* name;
+  bool gated;  ///< steady-state visits must be exactly zero (smoke gate)
+};
+
+PointCounter kPoints[] = {
+    {fi::Point::kAeuScratchAlloc, "aeu_scratch", true},
+    {fi::Point::kMvccVersionAlloc, "mvcc_version", true},
+    {fi::Point::kWalBufferAlloc, "wal_buffer", true},
+    {fi::Point::kExchangeStreamAlloc, "exchange_stream", true},
+    {fi::Point::kEndpointScratchAlloc, "endpoint_scratch", false},
+    {fi::Point::kQueryScratchAlloc, "query_scratch", false},
+};
+constexpr size_t kNumPoints = std::size(kPoints);
+
+#if defined(ERIS_FAULT_INJECTION) && ERIS_FAULT_INJECTION
+
+std::atomic<uint64_t> g_grows[kNumPoints];
+
+void InstallHooks() {
+  fi::FaultInjector::Global().Reset();
+  for (size_t i = 0; i < kNumPoints; ++i) {
+    fi::FaultInjector::Global().SetHook(kPoints[i].point, [i] {
+      g_grows[i].fetch_add(1, std::memory_order_relaxed);
+    });
+  }
+}
+
+void Snapshot(uint64_t out[kNumPoints]) {
+  for (size_t i = 0; i < kNumPoints; ++i) out[i] = g_grows[i].load();
+}
+
+std::string MakeScratchDir() {
+  const char* base = std::getenv("TMPDIR");
+  std::string tmpl =
+      std::string(base != nullptr ? base : "/tmp") + "/eris-alloc-XXXXXX";
+  std::vector<char> buf(tmpl.begin(), tmpl.end());
+  buf.push_back('\0');
+  char* dir = ::mkdtemp(buf.data());
+  if (dir == nullptr) {
+    std::fprintf(stderr, "mkdtemp failed: %s\n", std::strerror(errno));
+    std::exit(1);
+  }
+  return dir;
+}
+
+/// One measured path: ops executed, wall seconds, and the per-point
+/// allocation deltas it caused.
+struct PathPoint {
+  const char* label = "";
+  uint64_t ops = 0;
+  double secs = 0;
+  uint64_t grows[kNumPoints] = {};
+  uint64_t total_gated_grows() const {
+    uint64_t n = 0;
+    for (size_t i = 0; i < kNumPoints; ++i) {
+      if (kPoints[i].gated) n += grows[i];
+    }
+    return n;
+  }
+};
+
+struct Workload {
+  Engine* engine;
+  core::Engine::Session* session;
+  storage::ObjectId idx;
+  storage::ObjectId col;
+  std::vector<Key> keys;
+  std::vector<KeyValue> kvs;
+  std::vector<Value> appends;
+  uint64_t round_no = 0;
+
+  void Lookups() { session->Lookup(idx, keys); }
+  void Upserts() {
+    ++round_no;
+    for (size_t i = 0; i < kvs.size(); ++i) kvs[i] = {keys[i], round_no};
+    session->Upsert(idx, kvs);
+  }
+  void Appends() { session->Append(col, appends); }
+  void Scan() { (void)session->ScanStats(col); }
+  /// Single-writer MVCC updates directly on each AEU's column partition
+  /// (engine data commands do not version tuples; this is the path the
+  /// maintenance GC reclaims), then enough idle pumps that every AEU runs
+  /// its maintenance pass and refills the version free lists. A fixed
+  /// tuple prefix keeps the per-round version churn constant even as
+  /// appends keep growing the column.
+  void MvccUpdates() {
+    constexpr uint64_t kUpdatedPrefix = 64;
+    for (uint32_t a = 0; a < engine->num_aeus(); ++a) {
+      storage::Partition* part = engine->aeu(a).partition(col);
+      if (part == nullptr) continue;
+      uint64_t tuples = std::min<uint64_t>(part->tuple_count(),
+                                           kUpdatedPrefix);
+      for (storage::TupleId tid = 0; tid < tuples; ++tid) {
+        part->ColumnUpdate(tid, round_no, engine->oracle().NextWriteTs());
+      }
+    }
+    Pump();
+  }
+  void Pump() {
+    for (int i = 0; i < 300; ++i) engine->PumpAll();
+  }
+};
+
+PathPoint RunPath(const char* label, Workload& w, uint32_t rounds,
+                  void (Workload::*step)(), uint64_t ops_per_round) {
+  uint64_t before[kNumPoints];
+  Snapshot(before);
+  Stopwatch wall;
+  for (uint32_t r = 0; r < rounds; ++r) (w.*step)();
+  PathPoint p;
+  p.label = label;
+  p.secs = wall.ElapsedSeconds();
+  p.ops = uint64_t{rounds} * ops_per_round;
+  uint64_t after[kNumPoints];
+  Snapshot(after);
+  for (size_t i = 0; i < kNumPoints; ++i) p.grows[i] = after[i] - before[i];
+  return p;
+}
+
+void WriteJson(const uint64_t warmup[kNumPoints],
+               const std::vector<PathPoint>& paths,
+               const numa::MemoryStats& mem, uint64_t steady_refills) {
+  std::FILE* f = std::fopen("BENCH_alloc.json", "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot open BENCH_alloc.json for writing\n");
+    return;
+  }
+  std::fprintf(f, "{\n  \"bench\": \"ext_alloc\",\n");
+  std::fprintf(f, "  \"warmup_grows\": {");
+  for (size_t i = 0; i < kNumPoints; ++i) {
+    std::fprintf(f, "\"%s\": %llu%s", kPoints[i].name,
+                 static_cast<unsigned long long>(warmup[i]),
+                 i + 1 < kNumPoints ? ", " : "");
+  }
+  std::fprintf(f, "},\n  \"steady_paths\": [\n");
+  for (size_t pi = 0; pi < paths.size(); ++pi) {
+    const PathPoint& p = paths[pi];
+    std::fprintf(f, "    {\"path\": \"%s\", \"ops\": %llu, \"secs\": %.4f",
+                 p.label, static_cast<unsigned long long>(p.ops), p.secs);
+    for (size_t i = 0; i < kNumPoints; ++i) {
+      std::fprintf(f, ", \"%s\": %llu", kPoints[i].name,
+                   static_cast<unsigned long long>(p.grows[i]));
+    }
+    std::fprintf(f, "}%s\n", pi + 1 < paths.size() ? "," : "");
+  }
+  double coverage =
+      mem.bytes_reserved > 0
+          ? static_cast<double>(mem.huge_page_bytes) / mem.bytes_reserved
+          : 0.0;
+  std::fprintf(f, "  ],\n  \"memory\": {\n");
+  std::fprintf(f, "    \"bytes_reserved\": %llu,\n",
+               static_cast<unsigned long long>(mem.bytes_reserved));
+  std::fprintf(f, "    \"bytes_in_use\": %llu,\n",
+               static_cast<unsigned long long>(mem.bytes_in_use()));
+  std::fprintf(f, "    \"thread_cache_bytes\": %llu,\n",
+               static_cast<unsigned long long>(mem.thread_cache_bytes));
+  std::fprintf(f, "    \"fragmentation_bytes\": %llu,\n",
+               static_cast<unsigned long long>(mem.fragmentation_bytes()));
+  std::fprintf(f, "    \"central_refills\": %llu,\n",
+               static_cast<unsigned long long>(mem.central_refills));
+  std::fprintf(f, "    \"steady_central_refills\": %llu,\n",
+               static_cast<unsigned long long>(steady_refills));
+  std::fprintf(f, "    \"huge_page_bytes\": %llu,\n",
+               static_cast<unsigned long long>(mem.huge_page_bytes));
+  std::fprintf(f, "    \"thp_failures\": %llu,\n",
+               static_cast<unsigned long long>(mem.thp_failures));
+  std::fprintf(f, "    \"thp_coverage\": %.4f\n  }\n}\n", coverage);
+  std::fclose(f);
+  std::printf("\nWrote BENCH_alloc.json.\n");
+}
+
+int Run(bool smoke, bool quick) {
+  const bool small = smoke || quick;
+  const uint32_t warmup_rounds = small ? 6 : 12;
+  const uint32_t steady_rounds = small ? 8 : 40;
+
+  InstallHooks();
+
+  std::string dir = MakeScratchDir();
+  EngineOptions opts;
+  opts.topology = numa::Topology::Flat(2, 2);
+  opts.mode = core::ExecutionMode::kSimulated;
+  opts.durability.enabled = true;
+  opts.durability.dir = dir;
+  Engine engine(opts);
+  storage::ObjectId idx =
+      engine.CreateIndex("kv", kDomain, {.prefix_bits = 8, .key_bits = 16});
+  storage::ObjectId col = engine.CreateColumn("facts");
+  engine.Start();
+  auto session = engine.CreateSession();
+
+  Workload w;
+  w.engine = &engine;
+  w.session = session.get();
+  w.idx = idx;
+  w.col = col;
+  w.keys.resize(kBatch);
+  w.kvs.resize(kBatch);
+  for (size_t i = 0; i < kBatch; ++i) w.keys[i] = i * 181 % kDomain;
+  w.appends.assign(64, 7);
+
+  // Warm-up: every path once per round, sizing all scratch arenas, the WAL
+  // group buffer, the exchange streams and the MVCC version pool.
+  for (uint32_t r = 0; r < warmup_rounds; ++r) {
+    w.Upserts();
+    w.Lookups();
+    w.Appends();
+    w.Scan();
+    w.MvccUpdates();
+  }
+  uint64_t warmup[kNumPoints];
+  Snapshot(warmup);
+  uint64_t refills_after_warmup = engine.memory().TotalStats().central_refills;
+
+  // Steady state: each path alone; the contract is zero growth on every
+  // gated point.
+  std::vector<PathPoint> paths;
+  paths.push_back(RunPath("lookup", w, steady_rounds, &Workload::Lookups,
+                          kBatch));
+  paths.push_back(RunPath("upsert_wal", w, steady_rounds, &Workload::Upserts,
+                          kBatch));
+  paths.push_back(RunPath("append_wal", w, steady_rounds, &Workload::Appends,
+                          64));
+  paths.push_back(RunPath("scan", w, steady_rounds, &Workload::Scan, 1));
+  paths.push_back(RunPath("mvcc_update", w, steady_rounds,
+                          &Workload::MvccUpdates, 256));
+
+  numa::MemoryStats mem = engine.memory().TotalStats();
+  uint64_t steady_refills = mem.central_refills - refills_after_warmup;
+  engine.Stop();
+  fi::FaultInjector::Global().Reset();
+  std::error_code ec;
+  std::filesystem::remove_all(dir, ec);
+
+  std::vector<std::string> headers{"path", "ops", "secs"};
+  for (const PointCounter& pc : kPoints) headers.push_back(pc.name);
+  Table table(headers);
+  for (const PathPoint& p : paths) {
+    std::vector<std::string> row{p.label, FmtU(p.ops), Fmt("%.3f", p.secs)};
+    for (size_t i = 0; i < kNumPoints; ++i) row.push_back(FmtU(p.grows[i]));
+    table.Row(row);
+  }
+  table.Print();
+  double coverage =
+      mem.bytes_reserved > 0
+          ? static_cast<double>(mem.huge_page_bytes) / mem.bytes_reserved
+          : 0.0;
+  std::printf(
+      "\n  memory: %.1f MiB reserved, %.1f MiB in use, %.1f MiB cached, "
+      "%.1f MiB fragmentation\n  THP coverage %.1f%% (%llu fallback chunks); "
+      "%llu central refills in steady state\n",
+      mem.bytes_reserved / 1048576.0, mem.bytes_in_use() / 1048576.0,
+      mem.thread_cache_bytes / 1048576.0,
+      mem.fragmentation_bytes() / 1048576.0, coverage * 100.0,
+      static_cast<unsigned long long>(mem.thp_failures),
+      static_cast<unsigned long long>(steady_refills));
+
+  WriteJson(warmup, paths, mem, steady_refills);
+
+  uint64_t warmup_total = 0;
+  for (size_t i = 0; i < kNumPoints; ++i) warmup_total += warmup[i];
+  uint64_t steady_gated = 0;
+  for (const PathPoint& p : paths) steady_gated += p.total_gated_grows();
+
+  if (smoke) {
+    bool ok = warmup_total > 0 && steady_gated == 0;
+    if (ok) {
+      std::printf("\nSMOKE OK: zero steady-state allocations on every "
+                  "converted path (%llu warm-up grows)\n",
+                  static_cast<unsigned long long>(warmup_total));
+    } else {
+      std::printf("\nSMOKE FAIL: warmup_grows=%llu steady_gated_grows=%llu "
+                  "(see table above for the offending path)\n",
+                  static_cast<unsigned long long>(warmup_total),
+                  static_cast<unsigned long long>(steady_gated));
+    }
+    return ok ? 0 : 1;
+  }
+  return 0;
+}
+
+#endif  // ERIS_FAULT_INJECTION
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool quick = argc > 1 && std::strcmp(argv[1], "--quick") == 0;
+  bool smoke = argc > 1 && std::strcmp(argv[1], "--smoke") == 0;
+  Banner("Ext alloc",
+         "Steady-State Allocation Profile + THP Coverage",
+         "durable 2x2 kSimulated engine; per-path allocation counts via the\n"
+         "named injection points; the gate is an exact zero on every\n"
+         "arena-converted path after warm-up.");
+#if defined(ERIS_FAULT_INJECTION) && ERIS_FAULT_INJECTION
+  return Run(smoke, quick);
+#else
+  (void)quick;
+  (void)smoke;
+  std::printf("\nfault-injection points compiled out "
+              "(-DERIS_FAULT_INJECTION=OFF); nothing to count.\n");
+  return 0;
+#endif
+}

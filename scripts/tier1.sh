@@ -54,6 +54,14 @@ echo "=== tier-1: storage-fault smoke (bench_ext_faults --smoke) ==="
 # BENCH_faults.json.
 ./build/bench/bench_ext_faults --smoke
 
+echo "=== tier-1: allocation-profile smoke (bench_ext_alloc --smoke) ==="
+# Gates the memory-manager tier (DESIGN.md §16): after warm-up, the
+# arena-converted hot paths (AEU scratch, MVCC version pool, WAL group
+# buffer, exchange streams) must allocate exactly zero times in steady
+# state, counted through their named injection points. Emits
+# BENCH_alloc.json with the per-path profile and THP coverage.
+./build/bench/bench_ext_alloc --smoke
+
 echo "=== tier-1: scalar-fallback build (-DERIS_ENABLE_AVX2=OFF) ==="
 cmake -B build-scalar -S . -DERIS_ENABLE_AVX2=OFF \
       -DERIS_BUILD_BENCHMARKS=OFF -DERIS_BUILD_EXAMPLES=OFF
@@ -68,7 +76,8 @@ cmake --build build-tsan -j"$JOBS" --target \
       common_test memory_manager_test mvcc_test incoming_buffer_test \
       partition_table_test router_test engine_test rebalance_test aeu_test \
       outgoing_test stress_test concurrency_harness_test overload_test \
-      query_test join_pipeline_test recovery_test storage_fault_test
+      query_test join_pipeline_test recovery_test storage_fault_test \
+      alloc_test
 # tsan.supp is applied through each test's TSAN_OPTIONS ctest property
 # (set by tests/CMakeLists.txt when ERIS_SANITIZE=thread).
 ERIS_HARNESS_SEEDS="${ERIS_HARNESS_SEEDS:-6}" \

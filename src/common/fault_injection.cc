@@ -29,6 +29,14 @@ const char* PointName(Point p) {
       return "endpoint.scratch_alloc";
     case Point::kQueryScratchAlloc:
       return "query.scratch_alloc";
+    case Point::kAeuScratchAlloc:
+      return "aeu.scratch_alloc";
+    case Point::kMvccVersionAlloc:
+      return "mvcc.version_alloc";
+    case Point::kWalBufferAlloc:
+      return "wal.buffer_alloc";
+    case Point::kExchangeStreamAlloc:
+      return "exchange.stream_alloc";
     case Point::kWalAppend:         return "wal.append";
     case Point::kWalCommit:         return "wal.commit";
     case Point::kWalFsync:          return "wal.fsync";

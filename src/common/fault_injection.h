@@ -59,6 +59,15 @@ enum class Point : uint32_t {
   kQueryScratchAlloc,    ///< query-pipeline/join scratch arena grows
                          ///< (allocation counter: steady-state pipelines and
                          ///< joins must not visit it)
+  // Engine-wide allocation counters (DESIGN.md §16): each hot path that was
+  // converted to arena/pooled allocation visits its point on every real
+  // allocation, so "zero steady-state allocations" is assertable. Each is
+  // also failable: ShouldFail at these points models allocation failure and
+  // must degrade to a typed Status::ResourceExhausted, never a crash.
+  kAeuScratchAlloc,      ///< AEU dequeue/batch scratch arena grows
+  kMvccVersionAlloc,     ///< MVCC version-chain pool grows (new node batch)
+  kWalBufferAlloc,       ///< WAL group-commit buffer grows
+  kExchangeStreamAlloc,  ///< router exchange/transfer stream buffer grows
   // Durability kill points (DESIGN.md §14): one at every write/fsync/
   // rename boundary of the WAL and snapshot paths, so the crash-recovery
   // matrix (tests/recovery_test.cc) can kill the process at each.

@@ -30,6 +30,7 @@ std::string_view StatusDetailName(StatusDetail detail) {
     case StatusDetail::kCommandQuarantined: return "command-quarantined";
     case StatusDetail::kWalSealed: return "wal-sealed";
     case StatusDetail::kReadOnly: return "read-only";
+    case StatusDetail::kAllocFailed: return "alloc-failed";
   }
   return "unknown";
 }

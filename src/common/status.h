@@ -48,6 +48,7 @@ enum class StatusDetail : uint8_t {
   kCommandQuarantined,  ///< poison command moved to the dead-letter log
   kWalSealed,           ///< write lost: the target AEU's WAL sealed fail-stop
   kReadOnly,            ///< engine degraded to read-only (storage fault)
+  kAllocFailed,         ///< arena/pool allocation failed under memory pressure
 };
 
 /// \brief Returns the canonical lower-case name of a status detail

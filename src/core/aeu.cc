@@ -71,9 +71,37 @@ Aeu::Aeu(routing::AeuId id, Engine* engine)
   // so slot writes are also ordered before command-side reads via the
   // mailbox's release/acquire pair.
   partitions_.resize(routing::Router::kMaxObjects);
+  // Dequeue/dispatch scratch carves from the AEU's node-local manager.
+  numa::NodeMemoryManager* memory = &engine->memory().manager(node_);
+  control_.set_memory(memory);
+  scratch_keys_.set_memory(memory);
+  scratch_values_.set_memory(memory);
+  scratch_kvs_.set_memory(memory);
+  scratch_payload_.set_memory(memory);
+  transfer_payload_.set_memory(memory);
+  wal_scratch_.set_memory(memory);
+  lookup_segments_.set_memory(memory);
+  pending_keys_.set_memory(memory);
+  foreign_keys_.set_memory(memory);
+  mine_keys_.set_memory(memory);
+  found_.set_memory(memory);
+  pending_kvs_.set_memory(memory);
+  mine_kvs_.set_memory(memory);
+  scan_jobs_.set_memory(memory);
+  pipeline_jobs_.set_memory(memory);
+  pipeline_fused_.set_memory(memory);
 }
 
 Aeu::~Aeu() = default;
+
+void Aeu::set_wal(durability::WalWriter* wal) {
+  wal_ = wal;
+  // The group-commit buffer lives behind the AEU's node-local manager, so
+  // steady-state logging reuses arena capacity (DESIGN.md §16).
+  if (wal_ != nullptr) {
+    wal_->set_memory(&engine_->memory().manager(node_));
+  }
+}
 
 void Aeu::AddPartition(const storage::DataObjectDesc& desc,
                        storage::KeyRange initial_range) {
@@ -151,8 +179,21 @@ bool Aeu::ProcessIncoming() {
   return filled > 0;
 }
 
+Aeu::Group* Aeu::AppendGroup(storage::ObjectId object,
+                             routing::CommandType type) {
+  if (groups_used_ == groups_.size()) {
+    groups_.emplace_back();
+    groups_.back().commands.set_memory(&engine_->memory().manager(node_));
+  }
+  Group& g = groups_[groups_used_++];
+  g.object = object;
+  g.type = type;
+  g.commands.clear();
+  return &g;
+}
+
 void Aeu::GroupRecords(std::span<const uint8_t> region) {
-  groups_.clear();
+  groups_used_ = 0;
   control_.clear();
   size_t pos = 0;
   uint64_t now = 0;  // lazily sampled: at most one clock read per drain
@@ -171,25 +212,37 @@ void Aeu::GroupRecords(std::span<const uint8_t> region) {
         continue;
       }
     }
+    // Injected dequeue-scratch allocation failure: shed the command up
+    // front with a typed reason (the waiter's session surfaces it as
+    // ResourceExhausted) instead of letting the arena growth abort.
+    if (ERIS_INJECT_SHOULD_FAIL(kAeuScratchAlloc)) {
+      uint64_t units = routing::CommandUnits(view);
+      if (view.header.sink != nullptr) {
+        view.header.sink->OnCommandDropped(units,
+                                           routing::DropReason::kAllocFailed);
+      }
+      continue;
+    }
     // Group by (object, type): linear scan — the number of distinct groups
     // per drain is tiny.
     Group* group = nullptr;
-    for (Group& g : groups_) {
+    for (size_t i = 0; i < groups_used_; ++i) {
+      Group& g = groups_[i];
       if (g.object == view.header.object && g.type == view.header.type) {
         group = &g;
         break;
       }
     }
     if (group == nullptr) {
-      groups_.push_back(Group{view.header.object, view.header.type, {}});
-      group = &groups_.back();
+      group = AppendGroup(view.header.object, view.header.type);
     }
     group->commands.push_back(view);
   }
 }
 
 void Aeu::ProcessGroups() {
-  for (Group& g : groups_) {
+  for (size_t gi = 0; gi < groups_used_; ++gi) {
+    Group& g = groups_[gi];
     if (fi::Armed()) FilterPoisoned(&g);
     if (g.commands.empty()) continue;
     Stopwatch watch;
@@ -285,13 +338,13 @@ void Aeu::RetryDeferred() {
         continue;
       }
     }
-    Group g{view.header.object, view.header.type, {view}};
-    groups_.clear();
+    groups_used_ = 0;
     control_.clear();
     if (IsControlCommand(view.header.type)) {
       control_.push_back(view);
     } else {
-      groups_.push_back(std::move(g));
+      AppendGroup(view.header.object, view.header.type)
+          ->commands.push_back(view);
     }
     ProcessGroups();
   }
@@ -402,64 +455,48 @@ void Aeu::DeferCommand(const routing::CommandHeader& header,
 void Aeu::ProcessLookupGroup(const Group& g) {
   storage::Partition* part = partition(g.object);
   const LookupPathOptions& lp = engine_->options().lookup;
-  // A slice of the group-wide "mine" key buffer belonging to one command.
-  struct Segment {
-    routing::ResultSink* sink;
-    uint32_t offset;
-    uint32_t len;
-  };
-  static thread_local std::vector<Segment> segments;
-  static thread_local std::vector<storage::Key> pending_keys;
-  static thread_local std::vector<storage::Key> foreign_keys;
-  segments.clear();
+  lookup_segments_.clear();
   scratch_keys_.clear();  // "mine" keys of every command in the group
   for (const routing::CommandView& cmd : g.commands) {
     std::span<const storage::Key> keys = cmd.PayloadAs<storage::Key>();
-    pending_keys.clear();
-    foreign_keys.clear();
+    pending_keys_.clear();
+    foreign_keys_.clear();
     const size_t offset = scratch_keys_.size();
     // Classify keys: mine / in-flight (deferred) / no longer mine (forward).
     for (storage::Key k : keys) {
       // Pending check first: after a balancing command the declared range
       // already covers data that is still in flight toward this AEU.
       if (InPendingRange(g.object, k)) {
-        pending_keys.push_back(k);
+        pending_keys_.push_back(k);
       } else if (part->range().Contains(k)) {
         scratch_keys_.push_back(k);
       } else {
-        foreign_keys.push_back(k);
+        foreign_keys_.push_back(k);
       }
     }
     if (scratch_keys_.size() > offset) {
-      segments.push_back(
+      lookup_segments_.push_back(
           {cmd.header.sink, static_cast<uint32_t>(offset),
            static_cast<uint32_t>(scratch_keys_.size() - offset)});
     }
-    if (!foreign_keys.empty()) {
+    if (!foreign_keys_.empty()) {
       // The partitioning moved under this command: forward to the current
       // owners (completion units travel with the forwarded keys, and the
       // forwarded record inherits the original deadline).
       endpoint_.set_deadline_ns(cmd.header.deadline_ns);
-      endpoint_.SendLookupBatch(g.object, foreign_keys, cmd.header.sink);
+      endpoint_.SendLookupBatch(g.object, foreign_keys_, cmd.header.sink);
       endpoint_.set_deadline_ns(0);
       ++stats_.commands_forwarded;
     }
-    if (!pending_keys.empty()) {
+    if (!pending_keys_.empty()) {
       DeferCommand(cmd.header,
-                   {reinterpret_cast<const uint8_t*>(pending_keys.data()),
-                    pending_keys.size() * sizeof(storage::Key)});
+                   {reinterpret_cast<const uint8_t*>(pending_keys_.data()),
+                    pending_keys_.size() * sizeof(storage::Key)});
     }
   }
   if (scratch_keys_.empty()) return;
   scratch_values_.resize(scratch_keys_.size());
-  // span<const bool> needs contiguous plain bools (std::vector<bool>
-  // is bit-packed), so keep a grow-only flat buffer.
-  static thread_local std::unique_ptr<bool[]> found_buf;
-  static thread_local size_t found_cap = 0;
-  if (found_cap < scratch_keys_.size()) {
-    found_cap = std::max<size_t>(scratch_keys_.size() * 2, 1024);
-    found_buf = std::make_unique<bool[]>(found_cap);
-  }
+  found_.resize(scratch_keys_.size());
   storage::BatchLookupStats probe_stats;
   auto probe = [&](std::span<const storage::Key> keys, storage::Value* out,
                    bool* found) {
@@ -486,21 +523,23 @@ void Aeu::ProcessLookupGroup(const Group& g) {
     // One descent over the whole group's keys: commands that arrived in the
     // same dequeue window share prefetch slots and upper-level cache lines
     // (mirrors scan-group coalescing for point reads).
-    probe(all_keys, scratch_values_.data(), found_buf.get());
-    if (segments.size() > 1) stats_.lookups_coalesced += segments.size() - 1;
+    probe(all_keys, scratch_values_.data(), found_.data());
+    if (lookup_segments_.size() > 1) {
+      stats_.lookups_coalesced += lookup_segments_.size() - 1;
+    }
   } else {
-    for (const Segment& s : segments) {
-      probe(all_keys.subspan(s.offset, s.len), scratch_values_.data() + s.offset,
-            found_buf.get() + s.offset);
+    for (const LookupSegment& s : lookup_segments_) {
+      probe(all_keys.subspan(s.offset, s.len),
+            scratch_values_.data() + s.offset, found_.data() + s.offset);
     }
   }
-  for (const Segment& s : segments) {
+  for (const LookupSegment& s : lookup_segments_) {
     if (s.sink == nullptr) continue;
     s.sink->OnLookupBatch(
         all_keys.subspan(s.offset, s.len),
         std::span<const storage::Value>{scratch_values_}.subspan(s.offset,
                                                                  s.len),
-        {found_buf.get() + s.offset, s.len});
+        {found_.data() + s.offset, s.len});
     s.sink->OnCommandComplete(s.len);
   }
   group_ops_ += scratch_keys_.size();
@@ -524,16 +563,23 @@ void Aeu::ProcessWriteGroup(const Group& g) {
       stats_.wal_drops += kvs.size();
       continue;
     }
+    // Injected version/pool allocation failure: shed the whole command
+    // before anything is logged or applied (recoverable — the waiter's
+    // session surfaces a typed ResourceExhausted).
+    if (ERIS_INJECT_SHOULD_FAIL(kMvccVersionAlloc)) {
+      if (sink != nullptr) {
+        sink->OnCommandDropped(kvs.size(), routing::DropReason::kAllocFailed);
+      }
+      continue;
+    }
     scratch_kvs_.clear();  // foreign
-    static thread_local std::vector<routing::KeyValue> pending_kvs;
-    static thread_local std::vector<routing::KeyValue> mine_kvs;
-    pending_kvs.clear();
-    mine_kvs.clear();
+    pending_kvs_.clear();
+    mine_kvs_.clear();
     for (const routing::KeyValue& kv : kvs) {
       if (InPendingRange(g.object, kv.key)) {
-        pending_kvs.push_back(kv);
+        pending_kvs_.push_back(kv);
       } else if (part->range().Contains(kv.key)) {
-        mine_kvs.push_back(kv);
+        mine_kvs_.push_back(kv);
       } else {
         scratch_kvs_.push_back(kv);
       }
@@ -541,18 +587,29 @@ void Aeu::ProcessWriteGroup(const Group& g) {
     // Write-ahead: the locally applied subset is logged before it touches
     // the partition (foreign/pending keys are logged by their eventual
     // applier, so each AEU's log replays independently).
-    if (wal_ != nullptr && !mine_kvs.empty()) {
-      WalLogEffect(g.type, g.object,
-                   {reinterpret_cast<const uint8_t*>(mine_kvs.data()),
-                    mine_kvs.size() * sizeof(routing::KeyValue)});
+    if (wal_ != nullptr && !mine_kvs_.empty()) {
+      Status st = WalLogEffect(
+          g.type, g.object,
+          {reinterpret_cast<const uint8_t*>(mine_kvs_.data()),
+           mine_kvs_.size() * sizeof(routing::KeyValue)});
+      if (st.IsResourceExhausted()) {
+        // Group-buffer allocation failed (injected): nothing was logged,
+        // the log is not sealed — shed the local subset so nothing is
+        // applied-but-unlogged. Foreign/pending splits still travel.
+        if (sink != nullptr) {
+          sink->OnCommandDropped(mine_kvs_.size(),
+                                 routing::DropReason::kAllocFailed);
+        }
+        mine_kvs_.clear();
+      }
     }
     uint64_t applied = 0;
-    for (const routing::KeyValue& kv : mine_kvs) {
+    for (const routing::KeyValue& kv : mine_kvs_) {
       bool was_new = overwrite ? part->Upsert(kv.key, kv.value)
                                : part->Insert(kv.key, kv.value);
       applied += was_new ? 1 : 0;
     }
-    uint64_t mine = mine_kvs.size();
+    uint64_t mine = mine_kvs_.size();
     if (mine > 0 && sink != nullptr) AckWrite(sink, applied, mine);
     group_ops_ += mine;
     if (!scratch_kvs_.empty()) {
@@ -561,10 +618,10 @@ void Aeu::ProcessWriteGroup(const Group& g) {
       endpoint_.set_deadline_ns(0);
       ++stats_.commands_forwarded;
     }
-    if (!pending_kvs.empty()) {
+    if (!pending_kvs_.empty()) {
       DeferCommand(cmd.header,
-                   {reinterpret_cast<const uint8_t*>(pending_kvs.data()),
-                    pending_kvs.size() * sizeof(routing::KeyValue)});
+                   {reinterpret_cast<const uint8_t*>(pending_kvs_.data()),
+                    pending_kvs_.size() * sizeof(routing::KeyValue)});
     }
   }
   ChargePointOps(g.object, group_ops_, /*is_write=*/true);
@@ -583,27 +640,33 @@ void Aeu::ProcessEraseGroup(const Group& g) {
       continue;
     }
     scratch_keys_.clear();
-    static thread_local std::vector<storage::Key> pending_keys;
-    static thread_local std::vector<storage::Key> mine_keys;
-    pending_keys.clear();
-    mine_keys.clear();
+    pending_keys_.clear();
+    mine_keys_.clear();
     for (storage::Key k : keys) {
       if (InPendingRange(g.object, k)) {
-        pending_keys.push_back(k);
+        pending_keys_.push_back(k);
       } else if (part->range().Contains(k)) {
-        mine_keys.push_back(k);
+        mine_keys_.push_back(k);
       } else {
         scratch_keys_.push_back(k);
       }
     }
-    if (wal_ != nullptr && !mine_keys.empty()) {
-      WalLogEffect(g.type, g.object,
-                   {reinterpret_cast<const uint8_t*>(mine_keys.data()),
-                    mine_keys.size() * sizeof(storage::Key)});
+    if (wal_ != nullptr && !mine_keys_.empty()) {
+      Status st = WalLogEffect(
+          g.type, g.object,
+          {reinterpret_cast<const uint8_t*>(mine_keys_.data()),
+           mine_keys_.size() * sizeof(storage::Key)});
+      if (st.IsResourceExhausted()) {
+        if (sink != nullptr) {
+          sink->OnCommandDropped(mine_keys_.size(),
+                                 routing::DropReason::kAllocFailed);
+        }
+        mine_keys_.clear();
+      }
     }
     uint64_t applied = 0;
-    for (storage::Key k : mine_keys) applied += part->Erase(k) ? 1 : 0;
-    uint64_t mine = mine_keys.size();
+    for (storage::Key k : mine_keys_) applied += part->Erase(k) ? 1 : 0;
+    uint64_t mine = mine_keys_.size();
     if (mine > 0 && sink != nullptr) AckWrite(sink, applied, mine);
     group_ops_ += mine;
     if (!scratch_keys_.empty()) {
@@ -612,10 +675,10 @@ void Aeu::ProcessEraseGroup(const Group& g) {
       endpoint_.set_deadline_ns(0);
       ++stats_.commands_forwarded;
     }
-    if (!pending_keys.empty()) {
+    if (!pending_keys_.empty()) {
       DeferCommand(cmd.header,
-                   {reinterpret_cast<const uint8_t*>(pending_keys.data()),
-                    pending_keys.size() * sizeof(storage::Key)});
+                   {reinterpret_cast<const uint8_t*>(pending_keys_.data()),
+                    pending_keys_.size() * sizeof(storage::Key)});
     }
   }
   ChargePointOps(g.object, group_ops_, /*is_write=*/true);
@@ -634,10 +697,27 @@ void Aeu::ProcessAppendGroup(const Group& g) {
       ++stats_.wal_drops;
       continue;
     }
+    // Injected MVCC version-pool allocation failure: shed before logging
+    // or appending (recoverable, typed).
+    if (ERIS_INJECT_SHOULD_FAIL(kMvccVersionAlloc)) {
+      if (cmd.header.sink != nullptr) {
+        cmd.header.sink->OnCommandDropped(1,
+                                          routing::DropReason::kAllocFailed);
+      }
+      continue;
+    }
     if (wal_ != nullptr && !values.empty()) {
-      WalLogEffect(routing::CommandType::kAppendBatch, g.object,
-                   {reinterpret_cast<const uint8_t*>(values.data()),
-                    values.size() * sizeof(storage::Value)});
+      Status st = WalLogEffect(
+          routing::CommandType::kAppendBatch, g.object,
+          {reinterpret_cast<const uint8_t*>(values.data()),
+           values.size() * sizeof(storage::Value)});
+      if (st.IsResourceExhausted()) {
+        if (cmd.header.sink != nullptr) {
+          cmd.header.sink->OnCommandDropped(
+              1, routing::DropReason::kAllocFailed);
+        }
+        continue;
+      }
     }
     uint64_t ts = engine_->oracle().NextWriteTs();
     for (storage::Value v : values) part->ColumnAppend(v, ts);
@@ -663,15 +743,7 @@ void Aeu::ProcessScanColumnGroup(const Group& g) {
   storage::Partition* part = partition(g.object);
   storage::MvccColumn* column = part->mvcc_column();
   ERIS_CHECK(column != nullptr) << "column scan on keyed object";
-  struct Job {
-    routing::ScanParams params;
-    routing::ResultSink* sink;
-    uint64_t visible;
-    uint64_t rows = 0;
-    uint64_t sum = 0;
-  };
-  static thread_local std::vector<Job> jobs;
-  jobs.clear();
+  scan_jobs_.clear();
   uint64_t now = 0;
   for (const routing::CommandView& cmd : g.commands) {
     // Re-checked at coalescing time: an expired member is dropped here so
@@ -685,19 +757,19 @@ void Aeu::ProcessScanColumnGroup(const Group& g) {
       }
     }
     routing::ScanParams p = cmd.PayloadAs<routing::ScanParams>()[0];
-    Job job;
+    ScanJob job;
     job.params = p;
     job.sink = cmd.header.sink;
     job.visible = p.snapshot_ts == ~uint64_t{0}
                       ? column->size()
                       : column->VisibleSize(p.snapshot_ts);
-    jobs.push_back(job);
+    scan_jobs_.push_back(job);
   }
   // Scan sharing: one physical pass answers every coalesced command, with
   // MVCC snapshots preserving each command's isolation.
   const bool fast = column->undo_chains() == 0;
   uint64_t max_visible = 0;
-  for (const Job& j : jobs) max_visible = std::max(max_visible, j.visible);
+  for (const ScanJob& j : scan_jobs_) max_visible = std::max(max_visible, j.visible);
   uint64_t streamed_bytes = 0;
   if (fast) {
     // Segment-at-a-time: each 512 KiB segment is streamed once and every
@@ -711,7 +783,7 @@ void Aeu::ProcessScanColumnGroup(const Group& g) {
       const storage::TupleId base = s * kCap;
       const storage::ZoneMap& z = col.zone(s);
       uint64_t seg_streamed = 0;
-      for (Job& j : jobs) {
+      for (ScanJob& j : scan_jobs_) {
         if (base >= j.visible) continue;
         uint64_t m = std::min<uint64_t>(seg.size(), j.visible - base);
         if (z.Excludes(j.params.lo, j.params.hi)) {
@@ -736,7 +808,7 @@ void Aeu::ProcessScanColumnGroup(const Group& g) {
   } else {
     // Versioned columns keep the tuple-at-a-time undo-chain path.
     for (storage::TupleId tid = 0; tid < max_visible; ++tid) {
-      for (Job& j : jobs) {
+      for (ScanJob& j : scan_jobs_) {
         if (tid >= j.visible) continue;
         storage::Value v = column->Read(tid, j.params.snapshot_ts);
         if (v >= j.params.lo && v <= j.params.hi) {
@@ -747,14 +819,14 @@ void Aeu::ProcessScanColumnGroup(const Group& g) {
     }
     streamed_bytes = max_visible * sizeof(storage::Value);
   }
-  for (Job& j : jobs) {
+  for (ScanJob& j : scan_jobs_) {
     if (j.sink != nullptr) {
       j.sink->OnScanPartial(j.rows, j.sum);
       j.sink->OnCommandComplete(1);
     }
   }
-  if (jobs.size() > 1) stats_.scans_coalesced += jobs.size() - 1;
-  group_ops_ += jobs.size();
+  if (scan_jobs_.size() > 1) stats_.scans_coalesced += scan_jobs_.size() - 1;
+  group_ops_ += scan_jobs_.size();
   engine_->monitor().RecordSize(id_, g.object, part->tuple_count(),
                                 part->memory_bytes());
   if (engine_->sim_enabled()) {
@@ -767,7 +839,7 @@ void Aeu::ProcessScanColumnGroup(const Group& g) {
     // cost a little CPU each.
     double ns = engine_->cost_model().StreamNs(node_, node_, bytes) +
                 0.25 * static_cast<double>(bytes / 8) *
-                    static_cast<double>(jobs.size() - 1);
+                    static_cast<double>(scan_jobs_.size() - 1);
     ru.AddComputeNs(id_, ns);
     ru.AddMemoryTraffic(node_, node_, bytes);
     group_modeled_ns_ += ns;
@@ -858,26 +930,25 @@ void Aeu::ProcessScanMaterializeGroup(const Group& g) {
   storage::Partition* part = partition(g.object);
   storage::MvccColumn* column = part->mvcc_column();
   ERIS_CHECK(column != nullptr) << "materialize scan on keyed object";
-  static thread_local std::vector<storage::Value> matches;
   for (const routing::CommandView& cmd : g.commands) {
     routing::MaterializeParams p =
         cmd.PayloadAs<routing::MaterializeParams>()[0];
     uint64_t snapshot = p.scan.snapshot_ts == ~uint64_t{0}
                             ? engine_->oracle().ReadTs()
                             : p.scan.snapshot_ts;
-    matches.clear();
+    scratch_values_.clear();
     column->ScanSnapshot(snapshot, [&](storage::TupleId, storage::Value v) {
-      if (v >= p.scan.lo && v <= p.scan.hi) matches.push_back(v);
+      if (v >= p.scan.lo && v <= p.scan.hi) scratch_values_.push_back(v);
     });
     // Route the intermediate result onward: appends land in the
     // destination owners' local memory (NUMA-local materialization). No
     // sink: the caller synchronizes on Engine::Quiesce(), and the scan's
     // own sink already reports the matched row count.
-    if (!matches.empty()) {
-      endpoint_.SendAppendBatch(p.dest_object, matches, nullptr);
+    if (!scratch_values_.empty()) {
+      endpoint_.SendAppendBatch(p.dest_object, scratch_values_, nullptr);
     }
     if (cmd.header.sink != nullptr) {
-      cmd.header.sink->OnScanPartial(matches.size(), 0);
+      cmd.header.sink->OnScanPartial(scratch_values_.size(), 0);
       cmd.header.sink->OnCommandComplete(1);
     }
   }
@@ -897,27 +968,27 @@ void Aeu::ProcessJoinProbeGroup(const Group& g) {
   storage::Partition* part = partition(g.object);
   storage::MvccColumn* column = part->mvcc_column();
   ERIS_CHECK(column != nullptr) << "join probe on keyed object";
-  static thread_local std::vector<storage::Key> probe_keys;
   for (const routing::CommandView& cmd : g.commands) {
     routing::JoinProbeParams p =
         cmd.PayloadAs<routing::JoinProbeParams>()[0];
     uint64_t snapshot = p.filter.snapshot_ts == ~uint64_t{0}
                             ? engine_->oracle().ReadTs()
                             : p.filter.snapshot_ts;
-    probe_keys.clear();
+    scratch_keys_.clear();
     column->ScanSnapshot(snapshot, [&](storage::TupleId, storage::Value v) {
-      if (v >= p.filter.lo && v <= p.filter.hi) probe_keys.push_back(v);
+      if (v >= p.filter.lo && v <= p.filter.hi) scratch_keys_.push_back(v);
     });
     // Index-nested-loop join, data-oriented: the probe values become
     // routed lookup batches against the index; results flow to the
     // query's lookup sink.
-    if (!probe_keys.empty()) {
-      endpoint_.SendLookupBatch(p.index_object, probe_keys, p.lookup_sink);
+    if (!scratch_keys_.empty()) {
+      endpoint_.SendLookupBatch(p.index_object, scratch_keys_,
+                                p.lookup_sink);
     }
     if (cmd.header.sink != nullptr) {
       // Report how many probes were issued so the caller can wait for the
       // matching number of lookup completion units.
-      cmd.header.sink->OnScanPartial(probe_keys.size(), 0);
+      cmd.header.sink->OnScanPartial(scratch_keys_.size(), 0);
       cmd.header.sink->OnCommandComplete(1);
     }
   }
@@ -944,18 +1015,7 @@ void Aeu::ProcessPipelineGroup(const Group& g) {
   storage::Partition* part = partition(g.object);
   storage::MvccColumn* f1 = part->mvcc_column();
   ERIS_CHECK(f1 != nullptr) << "pipeline on keyed object";
-  struct Job {
-    routing::PipelineParams p;
-    routing::ResultSink* sink;
-    const storage::MvccColumn* f2 = nullptr;
-    const storage::MvccColumn* agg = nullptr;
-    uint64_t visible = 0;
-    bool fast = false;
-    uint64_t rows = 0;
-    uint64_t sum = 0;
-  };
-  static thread_local std::vector<Job> jobs;
-  jobs.clear();
+  pipeline_jobs_.clear();
   uint64_t now = 0;
   for (const routing::CommandView& cmd : g.commands) {
     if (cmd.header.deadline_ns != 0) {
@@ -965,7 +1025,7 @@ void Aeu::ProcessPipelineGroup(const Group& g) {
         continue;
       }
     }
-    Job job;
+    PipelineJob job;
     job.p = cmd.PayloadAs<routing::PipelineParams>()[0];
     job.sink = cmd.header.sink;
     if (job.p.filter2_object != routing::kNoPipelineColumn) {
@@ -986,7 +1046,7 @@ void Aeu::ProcessPipelineGroup(const Group& g) {
     if (job.f2 != nullptr) job.visible = std::min(job.visible, vis(job.f2));
     job.fast = f1->undo_chains() == 0 && job.agg->undo_chains() == 0 &&
                (job.f2 == nullptr || job.f2->undo_chains() == 0);
-    jobs.push_back(job);
+    pipeline_jobs_.push_back(job);
   }
 
   const storage::ColumnStore& c1 = f1->column();
@@ -996,12 +1056,11 @@ void Aeu::ProcessPipelineGroup(const Group& g) {
   uint64_t agg_bytes = 0;  // aggregate gathers (per job)
 
   // --- fused, vectorized path: one pass, selection vectors in cache ---
-  static thread_local std::vector<Job*> fused;
-  fused.clear();
+  pipeline_fused_.clear();
   uint64_t max_visible = 0;
-  for (Job& j : jobs) {
+  for (PipelineJob& j : pipeline_jobs_) {
     if (j.fast && (j.p.flags & routing::kPipelineFused) != 0) {
-      fused.push_back(&j);
+      pipeline_fused_.push_back(&j);
       max_visible = std::max(max_visible, j.visible);
       ++stats_.pipelines_fused;
     }
@@ -1011,8 +1070,8 @@ void Aeu::ProcessPipelineGroup(const Group& g) {
     const storage::TupleId base = s * kCap;
     const storage::ZoneMap& z1 = c1.zone(s);
     uint64_t seg_streamed = 0;
-    for (Job* jp : fused) {
-      Job& j = *jp;
+    for (PipelineJob* jp : pipeline_fused_) {
+      PipelineJob& j = *jp;
       if (base >= j.visible) continue;
       uint64_t m = std::min<uint64_t>(seg1.size(), j.visible - base);
       // Zone-map pruning runs before the filter kernel: an excluded
@@ -1074,7 +1133,7 @@ void Aeu::ProcessPipelineGroup(const Group& g) {
 
   // --- operator-at-a-time baseline (the fusion ablation): one full pass
   // per operator, a materialized intermediate index vector, no zone maps ---
-  for (Job& j : jobs) {
+  for (PipelineJob& j : pipeline_jobs_) {
     if (!j.fast || (j.p.flags & routing::kPipelineFused) != 0) continue;
     ++stats_.pipelines_baseline;
     mat_idx_.resize(j.visible);
@@ -1110,7 +1169,7 @@ void Aeu::ProcessPipelineGroup(const Group& g) {
   }
 
   // --- MVCC fallback: versioned member columns read tuple-at-a-time ---
-  for (Job& j : jobs) {
+  for (PipelineJob& j : pipeline_jobs_) {
     if (j.fast) continue;
     for (storage::TupleId tid = 0; tid < j.visible; ++tid) {
       storage::Value v1 = f1->Read(tid, j.p.snapshot_ts);
@@ -1126,17 +1185,17 @@ void Aeu::ProcessPipelineGroup(const Group& g) {
     f1_bytes += j.visible * sizeof(storage::Value) * cols;
   }
 
-  for (Job& j : jobs) {
+  for (PipelineJob& j : pipeline_jobs_) {
     if (j.sink != nullptr) {
       j.sink->OnScanPartial(j.rows, j.sum);
       j.sink->OnCommandComplete(1);
     }
   }
-  if (fused.size() > 1) stats_.scans_coalesced += fused.size() - 1;
+  if (pipeline_fused_.size() > 1) stats_.scans_coalesced += pipeline_fused_.size() - 1;
   stats_.pipeline_filter_bytes += f1_bytes;
   stats_.pipeline_filter2_bytes += f2_bytes;
   stats_.pipeline_agg_bytes += agg_bytes;
-  group_ops_ += jobs.size();
+  group_ops_ += pipeline_jobs_.size();
   if (engine_->sim_enabled()) {
     sim::ResourceUsage& ru = engine_->resource_usage();
     uint64_t bytes = f1_bytes + f2_bytes + agg_bytes;
@@ -1525,14 +1584,16 @@ void Aeu::SendCopyTransfer(storage::ObjectId object, storage::KeyRange range,
   scratch_payload_.clear();
   auto flush_chunk = [&](bool final) {
     hdr.is_final = final ? 1 : 0;
-    std::vector<uint8_t> payload(sizeof(hdr) + scratch_payload_.size());
-    std::memcpy(payload.data(), &hdr, sizeof(hdr));
-    std::memcpy(payload.data() + sizeof(hdr), scratch_payload_.data(),
-                scratch_payload_.size());
+    transfer_payload_.resize(sizeof(hdr) + scratch_payload_.size());
+    std::memcpy(transfer_payload_.data(), &hdr, sizeof(hdr));
+    if (!scratch_payload_.empty()) {
+      std::memcpy(transfer_payload_.data() + sizeof(hdr),
+                  scratch_payload_.data(), scratch_payload_.size());
+    }
     endpoint_.SendControl(requester,
                           routing::CommandType::kInstallPartition, object,
-                          payload, nullptr);
-    stats_.bytes_copied += payload.size();
+                          transfer_payload_, nullptr);
+    stats_.bytes_copied += transfer_payload_.size();
     scratch_payload_.clear();
   };
 
@@ -1541,8 +1602,8 @@ void Aeu::SendCopyTransfer(storage::ObjectId object, storage::KeyRange range,
     uint64_t n = column->size();
     uint64_t i = 0;
     column->column().ForEach([&](storage::TupleId, storage::Value v) {
-      const auto* raw = reinterpret_cast<const uint8_t*>(&v);
-      scratch_payload_.insert(scratch_payload_.end(), raw, raw + sizeof(v));
+      scratch_payload_.append(reinterpret_cast<const uint8_t*>(&v),
+                              sizeof(v));
       ++i;
       if (scratch_payload_.size() >= kChunkEntries * sizeof(v) && i < n) {
         flush_chunk(false);
@@ -1553,8 +1614,8 @@ void Aeu::SendCopyTransfer(storage::ObjectId object, storage::KeyRange range,
     uint64_t i = 0;
     part.index()->ForEach([&](storage::Key k, storage::Value v) {
       routing::KeyValue kv{k, v};
-      const auto* raw = reinterpret_cast<const uint8_t*>(&kv);
-      scratch_payload_.insert(scratch_payload_.end(), raw, raw + sizeof(kv));
+      scratch_payload_.append(reinterpret_cast<const uint8_t*>(&kv),
+                              sizeof(kv));
       ++i;
       if (scratch_payload_.size() >= kChunkEntries * sizeof(kv) && i < n) {
         flush_chunk(false);
@@ -1563,8 +1624,8 @@ void Aeu::SendCopyTransfer(storage::ObjectId object, storage::KeyRange range,
   } else {
     part.hash()->ForEach([&](storage::Key k, storage::Value v) {
       routing::KeyValue kv{k, v};
-      const auto* raw = reinterpret_cast<const uint8_t*>(&kv);
-      scratch_payload_.insert(scratch_payload_.end(), raw, raw + sizeof(kv));
+      scratch_payload_.append(reinterpret_cast<const uint8_t*>(&kv),
+                              sizeof(kv));
       if (scratch_payload_.size() >= kChunkEntries * sizeof(kv)) {
         flush_chunk(false);
       }
@@ -1765,8 +1826,8 @@ void Aeu::ReplacePartition(storage::ObjectId object,
       std::make_unique<storage::Partition>(std::move(part));
 }
 
-void Aeu::WalLogEffect(routing::CommandType type, storage::ObjectId object,
-                       std::span<const uint8_t> payload) {
+Status Aeu::WalLogEffect(routing::CommandType type, storage::ObjectId object,
+                         std::span<const uint8_t> payload) {
   routing::CommandHeader h;
   h.type = type;
   h.object = static_cast<uint16_t>(object);
@@ -1776,12 +1837,16 @@ void Aeu::WalLogEffect(routing::CommandType type, storage::ObjectId object,
   h.sink = nullptr;
   wal_scratch_.clear();
   routing::EncodeCommand(h, payload, &wal_scratch_);
-  // An Append failure means the log just sealed (possibly via an inline
-  // backpressure commit). Nothing to handle here: the command that hit it
+  // A sealed-log failure (the log just sealed, possibly via an inline
+  // backpressure commit) needs no handling here: the command that hit it
   // is applied-but-unlogged — crash-equivalent, its ack is shed with
   // kWalSealed at CommitWalAndAck — and every later command is dropped up
-  // front by the sealed() guards in the write handlers.
-  if (wal_->Append(wal_scratch_).ok()) ++stats_.wal_records;
+  // front by the sealed() guards in the write handlers. A ResourceExhausted
+  // failure (injected group-buffer allocation) is recoverable and the data
+  // handlers shed the effect instead of applying it.
+  Status st = wal_->Append(wal_scratch_);
+  if (st.ok()) ++stats_.wal_records;
+  return st;
 }
 
 void Aeu::WalLogPartitionContents(storage::ObjectId object,
@@ -1791,34 +1856,32 @@ void Aeu::WalLogPartitionContents(storage::ObjectId object,
   // the chunks are idempotent upserts/appends).
   constexpr size_t kChunk = 4096;
   if (const storage::MvccColumn* column = part.mvcc_column()) {
-    static thread_local std::vector<storage::Value> vals;
-    vals.clear();
+    scratch_values_.clear();
     auto flush = [&] {
-      if (vals.empty()) return;
+      if (scratch_values_.empty()) return;
       WalLogEffect(routing::CommandType::kAppendBatch, object,
-                   {reinterpret_cast<const uint8_t*>(vals.data()),
-                    vals.size() * sizeof(storage::Value)});
-      vals.clear();
+                   {reinterpret_cast<const uint8_t*>(scratch_values_.data()),
+                    scratch_values_.size() * sizeof(storage::Value)});
+      scratch_values_.clear();
     };
     column->column().ForEach([&](storage::TupleId, storage::Value v) {
-      vals.push_back(v);
-      if (vals.size() >= kChunk) flush();
+      scratch_values_.push_back(v);
+      if (scratch_values_.size() >= kChunk) flush();
     });
     flush();
     return;
   }
-  static thread_local std::vector<routing::KeyValue> kvs;
-  kvs.clear();
+  scratch_kvs_.clear();
   auto flush = [&] {
-    if (kvs.empty()) return;
+    if (scratch_kvs_.empty()) return;
     WalLogEffect(routing::CommandType::kUpsertBatch, object,
-                 {reinterpret_cast<const uint8_t*>(kvs.data()),
-                  kvs.size() * sizeof(routing::KeyValue)});
-    kvs.clear();
+                 {reinterpret_cast<const uint8_t*>(scratch_kvs_.data()),
+                  scratch_kvs_.size() * sizeof(routing::KeyValue)});
+    scratch_kvs_.clear();
   };
   auto collect = [&](storage::Key k, storage::Value v) {
-    kvs.push_back(routing::KeyValue{k, v});
-    if (kvs.size() >= kChunk) flush();
+    scratch_kvs_.push_back(routing::KeyValue{k, v});
+    if (scratch_kvs_.size() >= kChunk) flush();
   };
   if (part.index() != nullptr) {
     part.index()->ForEach(collect);

@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "core/balance_messages.h"
+#include "routing/arena_vec.h"
 #include "routing/router.h"
 #include "storage/partition.h"
 
@@ -90,8 +91,9 @@ class Aeu {
   /// Attaches the AEU's write-ahead log. With a log attached the loop logs
   /// the locally applied effect of every data command before applying it,
   /// group-commits once per iteration and defers write acknowledgements to
-  /// that commit (DESIGN.md §14). nullptr detaches (in-memory mode).
-  void set_wal(durability::WalWriter* wal) { wal_ = wal; }
+  /// that commit (DESIGN.md §14). The writer's group buffer is wired to the
+  /// AEU's node-local memory manager. nullptr detaches (in-memory mode).
+  void set_wal(durability::WalWriter* wal);
 
   /// Commits any buffered log records and delivers deferred write
   /// acknowledgements. Called by the engine after the loop stopped
@@ -149,7 +151,7 @@ class Aeu {
   struct Group {
     storage::ObjectId object;
     routing::CommandType type;
-    std::vector<routing::CommandView> commands;
+    routing::AeuArenaVec<routing::CommandView> commands;
   };
 
   /// Drains the mailbox, groups records, processes them.
@@ -157,6 +159,9 @@ class Aeu {
   void GroupRecords(std::span<const uint8_t> region);
   void ProcessGroups();
   void RetryDeferred();
+  /// Claims the next group slot (reusing retained command capacity; a new
+  /// slot's command vector is wired to the node-local manager).
+  Group* AppendGroup(storage::ObjectId object, routing::CommandType type);
 
   // --- data command handlers (one per group) ---
   void ProcessLookupGroup(const Group& g);
@@ -214,9 +219,12 @@ class Aeu {
   /// Appends one effect record (CommandHeader + payload, the on-wire
   /// serialization) to the attached WAL. Only the locally applied subset
   /// of a command is ever logged, so per-AEU replay is a pure function of
-  /// that AEU's own log.
-  void WalLogEffect(routing::CommandType type, storage::ObjectId object,
-                    std::span<const uint8_t> payload);
+  /// that AEU's own log. Returns the append status: ResourceExhausted
+  /// means a (injected) group-buffer allocation failure — nothing was
+  /// logged, the log is NOT sealed, and the caller must shed the effect
+  /// instead of applying it.
+  Status WalLogEffect(routing::CommandType type, storage::ObjectId object,
+                      std::span<const uint8_t> payload);
   /// Logs a partition's full contents as kUpsertBatch/kAppendBatch chunks
   /// (link-transfer install: the absorbed partition was never flattened).
   void WalLogPartitionContents(storage::ObjectId object,
@@ -273,15 +281,63 @@ class Aeu {
   /// Write acknowledgements held back until the iteration-end group commit
   /// (acknowledged implies durable).
   std::vector<PendingAck> pending_acks_;
-  std::vector<uint8_t> wal_scratch_;
 
-  // Scratch.
+  // Scratch. Everything the dequeue/dispatch path touches per iteration is
+  // arena-backed (AeuArenaVec carving from the AEU's node-local manager):
+  // buffers grow to the workload's high-water mark, then are reused, so
+  // steady-state command processing never allocates —
+  // fi::Point::kAeuScratchAlloc counts violations (DESIGN.md §16).
+  //
+  // The group table is slot-reused across drains (a plain clear() would
+  // destroy the per-group command vectors): only the first groups_used_
+  // entries are live, and a slot keeps its command capacity when recycled.
   std::vector<Group> groups_;
-  std::vector<routing::CommandView> control_;
-  std::vector<storage::Key> scratch_keys_;
-  std::vector<storage::Value> scratch_values_;
-  std::vector<routing::KeyValue> scratch_kvs_;
-  std::vector<uint8_t> scratch_payload_;
+  size_t groups_used_ = 0;
+  routing::AeuArenaVec<routing::CommandView> control_;
+  routing::AeuArenaVec<storage::Key> scratch_keys_;
+  routing::AeuArenaVec<storage::Value> scratch_values_;
+  routing::AeuArenaVec<routing::KeyValue> scratch_kvs_;
+  routing::AeuArenaVec<uint8_t> scratch_payload_;
+  routing::AeuArenaVec<uint8_t> transfer_payload_;  ///< copy-transfer chunks
+  routing::AeuArenaVec<uint8_t> wal_scratch_;       ///< WAL effect encoding
+
+  // Handler staging (formerly function-local thread_local vectors; members
+  // so the buffers are node-local and their growth is observable).
+  /// A slice of the group-wide "mine" key buffer belonging to one command.
+  struct LookupSegment {
+    routing::ResultSink* sink;
+    uint32_t offset;
+    uint32_t len;
+  };
+  routing::AeuArenaVec<LookupSegment> lookup_segments_;
+  routing::AeuArenaVec<storage::Key> pending_keys_;
+  routing::AeuArenaVec<storage::Key> foreign_keys_;
+  routing::AeuArenaVec<storage::Key> mine_keys_;
+  /// span<const bool> needs contiguous plain bools (std::vector<bool> is
+  /// bit-packed), so lookups keep a flat found-flag buffer.
+  routing::AeuArenaVec<bool> found_;
+  routing::AeuArenaVec<routing::KeyValue> pending_kvs_;
+  routing::AeuArenaVec<routing::KeyValue> mine_kvs_;
+  struct ScanJob {
+    routing::ScanParams params;
+    routing::ResultSink* sink;
+    uint64_t visible = 0;
+    uint64_t rows = 0;
+    uint64_t sum = 0;
+  };
+  routing::AeuArenaVec<ScanJob> scan_jobs_;
+  struct PipelineJob {
+    routing::PipelineParams p;
+    routing::ResultSink* sink;
+    const storage::MvccColumn* f2 = nullptr;
+    const storage::MvccColumn* agg = nullptr;
+    uint64_t visible = 0;
+    bool fast = false;
+    uint64_t rows = 0;
+    uint64_t sum = 0;
+  };
+  routing::AeuArenaVec<PipelineJob> pipeline_jobs_;
+  routing::AeuArenaVec<PipelineJob*> pipeline_fused_;
 
   // Query-pipeline/join scratch: node-local arena buffers reused across
   // commands. After warm-up neither pipelines nor joins allocate

@@ -1102,6 +1102,7 @@ Status Engine::Session::SubmitCommon(
   uint64_t expired = sink->dropped(routing::DropReason::kExpired);
   uint64_t quarantined = sink->dropped(routing::DropReason::kQuarantined);
   uint64_t wal_sealed = sink->dropped(routing::DropReason::kWalSealed);
+  uint64_t alloc_failed = sink->dropped(routing::DropReason::kAllocFailed);
   if (out != nullptr) {
     out->units = expected;
     out->hits = sink->hits();
@@ -1110,6 +1111,7 @@ Status Engine::Session::SubmitCommon(
     out->expired = expired;
     out->quarantined = quarantined;
     out->wal_sealed = wal_sealed;
+    out->alloc_failed = alloc_failed;
   }
   // Release the full grant even when units are still in flight after a
   // bail-out: admission bounds concurrent submits, not mailbox residency,
@@ -1136,6 +1138,11 @@ Status Engine::Session::SubmitCommon(
     return Status::Unavailable("write lost: WAL sealed")
         .WithDetail(StatusDetail::kWalSealed,
                     "target AEU's log sealed fail-stop on an I/O error");
+  }
+  if (alloc_failed > 0) {
+    return Status::ResourceExhausted("arena allocation failed")
+        .WithDetail(StatusDetail::kAllocFailed,
+                    "hot-path arena/pool could not grow; command shed");
   }
   if (shed > 0) {
     return Status::ResourceExhausted("delivery retries exhausted")

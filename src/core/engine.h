@@ -340,6 +340,7 @@ class Engine {
       uint64_t expired = 0;      ///< dropped: deadline passed at dequeue
       uint64_t quarantined = 0;  ///< dropped: poison command dead-lettered
       uint64_t wal_sealed = 0;   ///< dropped: target AEU's WAL sealed
+      uint64_t alloc_failed = 0; ///< dropped: arena/pool allocation failed
     };
 
     /// Relative deadline stamped on Submit* commands; 0 falls back to

@@ -139,6 +139,13 @@ Status WalWriter::Append(std::span<const uint8_t> body, uint64_t* lsn) {
   if (sealed_) return seal_status_;
   ERIS_DCHECK(fd_ >= 0) << "append on closed WAL";
   ERIS_INJECT_POINT(kWalAppend);
+  // Injected group-buffer allocation failure: recoverable (nothing was
+  // framed, no LSN consumed, the log is NOT sealed) — the caller sheds the
+  // record with a typed ResourceExhausted instead of logging it.
+  if (ERIS_INJECT_SHOULD_FAIL(kWalBufferAlloc)) {
+    return Status::ResourceExhausted("WAL group buffer allocation failed")
+        .WithDetail(StatusDetail::kAllocFailed, path_);
+  }
   AppendFrame(body, 0);
   ++buffered_records_;
   ++stats_.records;

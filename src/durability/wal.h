@@ -30,8 +30,15 @@
 #include <vector>
 
 #include "common/status.h"
+#include "routing/arena_vec.h"
 
 namespace eris::durability {
+
+/// Group-commit buffer: arena-backed so steady-state logging reuses the
+/// group's high-water-mark capacity instead of growing the heap; every real
+/// growth visits fi::Point::kWalBufferAlloc.
+using WalGroupBuffer =
+    routing::ArenaVec<uint8_t, fi::Point::kWalBufferAlloc>;
 
 /// CRC-32 (reflected, poly 0xEDB88320) over `n` bytes; chainable via `seed`
 /// (pass a previous return value to continue a running checksum).
@@ -128,6 +135,13 @@ class WalWriter {
   /// failures seal the log (the on-disk state is no longer trustworthy).
   Status Rotate();
 
+  /// Wires the owning AEU's node-local allocator behind the group buffer
+  /// (call before the first Append; the engine does it when attaching the
+  /// writer to its AEU). Null keeps the heap fallback.
+  void set_memory(numa::NodeMemoryManager* memory) {
+    buf_.set_memory(memory);
+  }
+
   bool is_open() const { return fd_ >= 0; }
   /// True once a commit-path I/O failure permanently sealed this log.
   /// A sealed writer rejects every Append/Commit/Rotate with seal_status()
@@ -148,7 +162,7 @@ class WalWriter {
   WalMode mode_ = WalMode::kGroupCommit;
   size_t max_unsynced_bytes_ = 1u << 20;
   uint64_t next_lsn_ = 1;
-  std::vector<uint8_t> buf_;
+  WalGroupBuffer buf_;
   uint64_t buffered_records_ = 0;
   bool sealed_ = false;
   Status seal_status_;

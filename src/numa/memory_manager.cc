@@ -4,6 +4,10 @@
 #include <mutex>
 #include <unordered_map>
 
+#if defined(__linux__)
+#include <sys/mman.h>
+#endif
+
 #include "common/bit_util.h"
 #include "common/logging.h"
 
@@ -78,7 +82,9 @@ void* NodeMemoryManager::Allocate(size_t bytes) {
 void NodeMemoryManager::Free(void* ptr, size_t bytes) {
   if (ptr == nullptr) return;
   if (bytes == 0) bytes = 1;
-  bytes_freed_.fetch_add(bytes, std::memory_order_relaxed);
+  // Release pairs with the acquire load in stats(): a snapshot that sees this
+  // increment also sees the matching Allocate increment (see MemoryStats).
+  bytes_freed_.fetch_add(bytes, std::memory_order_release);
   int cls = SizeClassOf(bytes);
   if (cls < 0) {
     bytes_reserved_.fetch_sub(bytes, std::memory_order_relaxed);
@@ -116,8 +122,7 @@ size_t NodeMemoryManager::CentralRefill(int cls, void** out, size_t count) {
   std::lock_guard<SpinLock> guard(arena_lock_);
   while (got < count) {
     if (arena_pos_ + block_bytes > arena_end_) {
-      void* chunk = std::malloc(kArenaChunkBytes);
-      ERIS_CHECK(chunk != nullptr) << "arena chunk allocation failed";
+      void* chunk = AllocateArenaChunk();
       arena_chunks_.push_back(chunk);
       arena_pos_ = static_cast<char*>(chunk);
       arena_end_ = arena_pos_ + kArenaChunkBytes;
@@ -127,6 +132,33 @@ size_t NodeMemoryManager::CentralRefill(int cls, void** out, size_t count) {
     arena_pos_ += block_bytes;
   }
   return got;
+}
+
+void* NodeMemoryManager::AllocateArenaChunk() {
+  // A 2 MiB-aligned reservation lets the kernel back the whole chunk with one
+  // transparent huge page; an unaligned chunk spans three page-table regions
+  // and THP coverage becomes probabilistic. aligned_alloc memory is freed
+  // with std::free, same as the fallback path.
+  constexpr size_t kHugePageBytes = 2 * 1024 * 1024;
+  static_assert(kArenaChunkBytes % kHugePageBytes == 0,
+                "arena chunks must be a multiple of the huge-page size");
+  void* chunk = std::aligned_alloc(kHugePageBytes, kArenaChunkBytes);
+  bool thp = false;
+  if (chunk != nullptr) {
+#if defined(__linux__) && defined(MADV_HUGEPAGE)
+    thp = madvise(chunk, kArenaChunkBytes, MADV_HUGEPAGE) == 0;
+#endif
+  } else {
+    // Graceful fallback: plain allocation, no THP, chunk still usable.
+    chunk = std::malloc(kArenaChunkBytes);
+  }
+  ERIS_CHECK(chunk != nullptr) << "arena chunk allocation failed";
+  if (thp) {
+    huge_page_bytes_.fetch_add(kArenaChunkBytes, std::memory_order_relaxed);
+  } else {
+    thp_failures_.fetch_add(1, std::memory_order_relaxed);
+  }
+  return chunk;
 }
 
 void NodeMemoryManager::CentralRelease(int cls, void** blocks, size_t count) {
@@ -154,12 +186,20 @@ void NodeMemoryManager::FlushThisThreadCache() {
 
 MemoryStats NodeMemoryManager::stats() const {
   MemoryStats s;
-  s.bytes_reserved = bytes_reserved_.load(std::memory_order_relaxed);
+  // Read bytes_freed FIRST with acquire: every free that this snapshot
+  // counts had its matching allocate increment sequenced before the
+  // release-RMW in Free (the block's pointer handoff is a happens-before
+  // edge), so reading allocated afterwards can only see a value >= the sum
+  // of those matching allocations. bytes_in_use() therefore never
+  // underflows, even mid thread-cache flush. See MemoryStats.
+  s.bytes_freed = bytes_freed_.load(std::memory_order_acquire);
   s.bytes_allocated = bytes_allocated_.load(std::memory_order_relaxed);
-  s.bytes_freed = bytes_freed_.load(std::memory_order_relaxed);
+  s.bytes_reserved = bytes_reserved_.load(std::memory_order_relaxed);
   s.allocations = allocations_.load(std::memory_order_relaxed);
   s.central_refills = central_refills_.load(std::memory_order_relaxed);
   s.thread_cache_bytes = thread_cache_bytes_.load(std::memory_order_relaxed);
+  s.huge_page_bytes = huge_page_bytes_.load(std::memory_order_relaxed);
+  s.thp_failures = thp_failures_.load(std::memory_order_relaxed);
   return s;
 }
 
@@ -180,6 +220,8 @@ MemoryStats MemoryPool::TotalStats() const {
     total.allocations += s.allocations;
     total.central_refills += s.central_refills;
     total.thread_cache_bytes += s.thread_cache_bytes;
+    total.huge_page_bytes += s.huge_page_bytes;
+    total.thp_failures += s.thp_failures;
   }
   return total;
 }

@@ -23,6 +23,16 @@
 namespace eris::numa {
 
 /// Allocation statistics of one node-local manager.
+///
+/// Consistency story: every counter is an independent atomic, but stats()
+/// snapshots them in a fixed order — bytes_freed first with acquire, then
+/// bytes_allocated — and Free publishes its increment with release. Since a
+/// block must be allocated before it can be freed (the pointer handoff is a
+/// happens-before edge), any freed-bytes increment observed by the snapshot
+/// implies its matching allocated-bytes increment is also visible, so
+/// bytes_in_use() can never transiently underflow even when the reader races
+/// a thread-cache flush on another core. The remaining counters are
+/// monotonic diagnostics and stay relaxed.
 struct MemoryStats {
   uint64_t bytes_reserved = 0;   ///< arena bytes obtained from the OS
   uint64_t bytes_allocated = 0;  ///< cumulative bytes handed to callers
@@ -34,10 +44,22 @@ struct MemoryStats {
   /// this term the gap between bytes_reserved and bytes_in_use() silently
   /// mixes cache-resident blocks with genuinely unused arena space.
   uint64_t thread_cache_bytes = 0;
+  /// Arena bytes whose 2 MiB chunks were successfully marked for transparent
+  /// huge pages (MADV_HUGEPAGE on an aligned reservation).
+  uint64_t huge_page_bytes = 0;
+  /// Chunks that fell back to the plain allocator (aligned reservation or
+  /// madvise failed). The chunk is still usable, just not THP-backed.
+  uint64_t thp_failures = 0;
   /// Bytes held by callers. Blocks resident in thread caches are already
   /// counted as freed (they are reusable), so they never inflate this value;
   /// they are reported separately in thread_cache_bytes.
   uint64_t bytes_in_use() const { return bytes_allocated - bytes_freed; }
+  /// Arena bytes reserved but neither handed to callers nor parked in a
+  /// thread cache: unfilled bump space plus central free-list residency.
+  uint64_t fragmentation_bytes() const {
+    uint64_t used = bytes_in_use() + thread_cache_bytes;
+    return bytes_reserved > used ? bytes_reserved - used : 0;
+  }
 };
 
 /// \brief Node-local size-class allocator with per-thread caches.
@@ -115,12 +137,19 @@ class NodeMemoryManager {
   char* arena_pos_ = nullptr;
   char* arena_end_ = nullptr;
 
+  /// Allocates one kArenaChunkBytes chunk, 2 MiB-aligned and madvised for
+  /// transparent huge pages when the platform supports it; falls back to a
+  /// plain allocation (and counts a thp_failure) otherwise.
+  void* AllocateArenaChunk();
+
   std::atomic<uint64_t> bytes_reserved_{0};
   std::atomic<uint64_t> bytes_allocated_{0};
   std::atomic<uint64_t> bytes_freed_{0};
   std::atomic<uint64_t> allocations_{0};
   std::atomic<uint64_t> central_refills_{0};
   std::atomic<uint64_t> thread_cache_bytes_{0};
+  std::atomic<uint64_t> huge_page_bytes_{0};
+  std::atomic<uint64_t> thp_failures_{0};
 };
 
 /// \brief One memory manager per node of a topology.

@@ -45,6 +45,40 @@ class ArenaVec {
   ArenaVec(const ArenaVec&) = delete;
   ArenaVec& operator=(const ArenaVec&) = delete;
 
+  ArenaVec(ArenaVec&& other) noexcept
+      : memory_(other.memory_),
+        data_(other.data_),
+        size_(other.size_),
+        cap_(other.cap_) {
+    other.data_ = nullptr;
+    other.size_ = 0;
+    other.cap_ = 0;
+  }
+  ArenaVec& operator=(ArenaVec&& other) noexcept {
+    if (this != &other) {
+      Release();
+      memory_ = other.memory_;
+      data_ = other.data_;
+      size_ = other.size_;
+      cap_ = other.cap_;
+      other.data_ = nullptr;
+      other.size_ = 0;
+      other.cap_ = 0;
+    }
+    return *this;
+  }
+
+  /// Wires a node-local manager after construction (members built before the
+  /// engine hands one out). Releases any heap-backed buffer first so every
+  /// later growth is served node-locally.
+  void set_memory(numa::NodeMemoryManager* memory) {
+    if (memory == memory_) return;
+    Release();
+    size_ = 0;
+    memory_ = memory;
+  }
+  numa::NodeMemoryManager* memory() const { return memory_; }
+
   T* data() { return data_; }
   const T* data() const { return data_; }
   size_t size() const { return size_; }
@@ -138,5 +172,15 @@ class ArenaVec {
 /// zero-alloc invariant is testable independently of the send path.
 template <typename T>
 using QueryArenaVec = ArenaVec<T, fi::Point::kQueryScratchAlloc>;
+
+/// AEU command dequeue/batch scratch: group tables, handler key/value
+/// staging, WAL effect staging, transfer payload assembly.
+template <typename T>
+using AeuArenaVec = ArenaVec<T, fi::Point::kAeuScratchAlloc>;
+
+/// Router exchange/transfer stream buffers (OutgoingSet unicast streams,
+/// multicast blocks, gather piece lists).
+template <typename T>
+using ExchangeArenaVec = ArenaVec<T, fi::Point::kExchangeStreamAlloc>;
 
 }  // namespace eris::routing

@@ -37,6 +37,7 @@ const char* DropReasonName(DropReason r) {
     case DropReason::kExpired: return "expired";
     case DropReason::kQuarantined: return "quarantined";
     case DropReason::kWalSealed: return "wal-sealed";
+    case DropReason::kAllocFailed: return "alloc-failed";
   }
   return "unknown";
 }
@@ -54,23 +55,5 @@ uint64_t CommandUnits(const CommandView& v) {
   }
 }
 
-void EncodeCommand(CommandHeader header, std::span<const uint8_t> payload,
-                   std::vector<uint8_t>* out) {
-  header.payload_bytes = static_cast<uint32_t>(payload.size());
-  size_t padded = AlignUp(payload.size(), 8);
-  size_t pos = out->size();
-  ERIS_DCHECK(pos % 8 == 0) << "records must stay 8-byte aligned";
-  out->resize(pos + sizeof(CommandHeader) + padded);
-  std::memcpy(out->data() + pos, &header, sizeof(CommandHeader));
-  if (!payload.empty()) {
-    std::memcpy(out->data() + pos + sizeof(CommandHeader), payload.data(),
-                payload.size());
-  }
-  // Zero the pad bytes for determinism.
-  if (padded != payload.size()) {
-    std::memset(out->data() + pos + sizeof(CommandHeader) + payload.size(), 0,
-                padded - payload.size());
-  }
-}
 
 }  // namespace eris::routing

@@ -66,8 +66,9 @@ enum class DropReason : uint8_t {
   kExpired,             ///< deadline passed before dequeue
   kQuarantined,         ///< poison command moved to the dead-letter log
   kWalSealed,           ///< target AEU's WAL sealed fail-stop (storage fault)
+  kAllocFailed,         ///< arena/pool allocation failed (memory pressure)
 };
-inline constexpr size_t kNumDropReasons = 5;
+inline constexpr size_t kNumDropReasons = 6;
 
 const char* DropReasonName(DropReason r);
 
@@ -360,8 +361,28 @@ struct CommandView {
 uint64_t CommandUnits(const CommandView& v);
 
 /// Serializes header+payload into `out` (appending), padding to 8 bytes.
+/// `out` is any byte container with size()/resize()/data() — std::vector or
+/// an arena-backed ArenaVec<uint8_t> on the zero-allocation send paths
+/// (resize may leave new bytes uninitialized; every byte is overwritten).
+template <typename ByteVec>
 void EncodeCommand(CommandHeader header, std::span<const uint8_t> payload,
-                   std::vector<uint8_t>* out);
+                   ByteVec* out) {
+  header.payload_bytes = static_cast<uint32_t>(payload.size());
+  size_t padded = AlignUp(payload.size(), 8);
+  size_t pos = out->size();
+  ERIS_DCHECK(pos % 8 == 0) << "records must stay 8-byte aligned";
+  out->resize(pos + sizeof(CommandHeader) + padded);
+  std::memcpy(out->data() + pos, &header, sizeof(CommandHeader));
+  if (!payload.empty()) {
+    std::memcpy(out->data() + pos + sizeof(CommandHeader), payload.data(),
+                payload.size());
+  }
+  // Zero the pad bytes for determinism.
+  if (padded != payload.size()) {
+    std::memset(out->data() + pos + sizeof(CommandHeader) + payload.size(), 0,
+                padded - payload.size());
+  }
+}
 
 /// Parses one record at `data` (which must hold a full record).
 inline CommandView DecodeCommand(const uint8_t* data) {

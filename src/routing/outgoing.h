@@ -17,14 +17,37 @@
 #include <span>
 #include <vector>
 
+#include "routing/arena_vec.h"
 #include "routing/data_command.h"
 
 namespace eris::routing {
 
 /// \brief Outgoing buffer set of one command source.
+///
+/// The exchange streams (per-target unicast byte streams, the shared
+/// multicast block, and the per-target reference lists) are arena-backed:
+/// carved from the source's node-local NodeMemoryManager when one is wired,
+/// growing to the workload's high-water mark and then reused. Every real
+/// growth visits fi::Point::kExchangeStreamAlloc, so "steady-state exchange
+/// never allocates" is an assertable invariant.
 class OutgoingSet {
  public:
-  explicit OutgoingSet(uint32_t num_targets) : targets_(num_targets) {}
+  explicit OutgoingSet(uint32_t num_targets,
+                       numa::NodeMemoryManager* memory = nullptr)
+      : targets_(num_targets) {
+    if (memory != nullptr) set_memory(memory);
+  }
+
+  /// Wires the source's node-local allocator behind every stream buffer
+  /// (used when the set is built before the engine hands a manager out).
+  /// Must be called while no commands are buffered.
+  void set_memory(numa::NodeMemoryManager* memory) {
+    for (TargetState& ts : targets_) {
+      ts.unicast.set_memory(memory);
+      ts.refs.set_memory(memory);
+    }
+    multicast_data_.set_memory(memory);
+  }
 
   uint32_t num_targets() const {
     return static_cast<uint32_t>(targets_.size());
@@ -177,14 +200,14 @@ class OutgoingSet {
     uint32_t len;
   };
   struct TargetState {
-    std::vector<uint8_t> unicast;
+    ExchangeArenaVec<uint8_t> unicast;
     size_t unicast_head = 0;
-    std::vector<Ref> refs;
+    ExchangeArenaVec<Ref> refs;
     size_t refs_head = 0;
   };
 
   std::vector<TargetState> targets_;
-  std::vector<uint8_t> multicast_data_;
+  ExchangeArenaVec<uint8_t> multicast_data_;
   size_t live_refs_ = 0;
 };
 

@@ -124,7 +124,7 @@ Endpoint::Endpoint(Router* router, AeuId source, numa::NodeId node,
     : router_(router),
       source_(source),
       node_(node),
-      outgoing_(router->num_aeus()),
+      outgoing_(router->num_aeus(), memory),
       flush_retry_hist_(0.0, static_cast<double>(router->num_aeus()),
                         router->num_aeus()),
       backoff_rng_(router->config().retry.seed ^ Mix64(source + 1)),
@@ -145,6 +145,17 @@ void Endpoint::Unicast(AeuId target, const CommandHeader& header,
   // Stamp the endpoint deadline unless the command carries its own (a
   // forwarded command keeps the deadline of the original submit).
   if (h.deadline_ns == 0) h.deadline_ns = deadline_ns_;
+  // Injected exchange-stream allocation failure: shed the command with a
+  // typed drop (ResourceExhausted at the session) instead of growing.
+  if (ERIS_INJECT_SHOULD_FAIL(kExchangeStreamAlloc)) {
+    h.payload_bytes = static_cast<uint32_t>(payload.size());
+    uint64_t units = CommandUnits(CommandView{h, payload.data()});
+    stats_.units_shed += units;
+    ++stats_.commands_shed;
+    if (h.sink != nullptr)
+      h.sink->OnCommandDropped(units, DropReason::kAllocFailed);
+    return;
+  }
   outgoing_.AppendUnicast(target, h, payload);
   ++stats_.commands_routed;
   if (outgoing_.PendingBytes(target) >=
@@ -159,6 +170,18 @@ void Endpoint::Multicast(std::span<const AeuId> targets,
   ERIS_INJECT_POINT(kRouterMulticast);
   CommandHeader h = header;
   if (h.deadline_ns == 0) h.deadline_ns = deadline_ns_;
+  if (ERIS_INJECT_SHOULD_FAIL(kExchangeStreamAlloc)) {
+    h.payload_bytes = static_cast<uint32_t>(payload.size());
+    uint64_t units = CommandUnits(CommandView{h, payload.data()});
+    for (AeuId t : targets) {
+      (void)t;
+      stats_.units_shed += units;
+      ++stats_.commands_shed;
+      if (h.sink != nullptr)
+        h.sink->OnCommandDropped(units, DropReason::kAllocFailed);
+    }
+    return;
+  }
   outgoing_.AppendMulticast(targets, h, payload);
   stats_.commands_routed += targets.size();
   for (AeuId t : targets) {

@@ -3,8 +3,13 @@
 #include <algorithm>
 
 #include "common/logging.h"
+#include "common/rng.h"
 
 namespace eris::storage {
+
+namespace {
+constexpr size_t kInitialChainSlots = 64;
+}  // namespace
 
 TupleId MvccColumn::Append(Value v, uint64_t ts) {
   ERIS_DCHECK(ts >= last_ts_) << "single-writer commits must be monotonic";
@@ -18,21 +23,94 @@ TupleId MvccColumn::Append(Value v, uint64_t ts) {
   return tid;
 }
 
+uint32_t MvccColumn::AllocVersion(uint64_t overwritten_at, Value old_value) {
+  uint32_t idx;
+  if (free_versions_ != kNilVersion) {
+    idx = free_versions_;
+    free_versions_ = versions_[idx].next;
+  } else {
+    ERIS_CHECK_LT(versions_.size(), kNilVersion);
+    idx = static_cast<uint32_t>(versions_.size());
+    versions_.resize(versions_.size() + 1);
+  }
+  versions_[idx] = VersionNode{overwritten_at, old_value, kNilVersion};
+  return idx;
+}
+
+size_t MvccColumn::free_versions() const {
+  size_t n = 0;
+  for (uint32_t i = free_versions_; i != kNilVersion; i = versions_[i].next) {
+    ++n;
+  }
+  return n;
+}
+
+const MvccColumn::Chain* MvccColumn::FindChain(TupleId tid) const {
+  if (chain_count_ == 0) return nullptr;
+  size_t mask = chains_.size() - 1;
+  size_t i = Mix64(tid) & mask;
+  while (chains_[i].tid != kEmptyChainSlot) {
+    if (chains_[i].tid == tid) return &chains_[i];
+    i = (i + 1) & mask;
+  }
+  return nullptr;
+}
+
+void MvccColumn::RehashChains(size_t slots) {
+  chain_scratch_.clear();
+  for (const Chain& c : chains_) {
+    if (c.tid != kEmptyChainSlot) chain_scratch_.push_back(c);
+  }
+  chains_.assign(slots, Chain{kEmptyChainSlot, kNilVersion, kNilVersion});
+  size_t mask = slots - 1;
+  for (const Chain& c : chain_scratch_) {
+    size_t i = Mix64(c.tid) & mask;
+    while (chains_[i].tid != kEmptyChainSlot) i = (i + 1) & mask;
+    chains_[i] = c;
+  }
+}
+
+MvccColumn::Chain* MvccColumn::ChainSlotFor(TupleId tid) {
+  if (chains_.empty()) {
+    RehashChains(kInitialChainSlots);
+  } else if ((chain_count_ + 1) * 4 > chains_.size() * 3) {
+    RehashChains(chains_.size() * 2);
+  }
+  size_t mask = chains_.size() - 1;
+  size_t i = Mix64(tid) & mask;
+  while (chains_[i].tid != kEmptyChainSlot && chains_[i].tid != tid) {
+    i = (i + 1) & mask;
+  }
+  if (chains_[i].tid == kEmptyChainSlot) {
+    chains_[i] = Chain{tid, kNilVersion, kNilVersion};
+    ++chain_count_;
+  }
+  return &chains_[i];
+}
+
 void MvccColumn::Update(TupleId tid, Value v, uint64_t ts) {
   ERIS_DCHECK(ts >= last_ts_);
   last_ts_ = ts;
   Value old = column_.Get(tid);
-  undo_[tid].push_back(UndoEntry{ts, old});
+  uint32_t node = AllocVersion(ts, old);
+  Chain* c = ChainSlotFor(tid);
+  if (c->tail == kNilVersion) {
+    c->head = node;
+  } else {
+    versions_[c->tail].next = node;
+  }
+  c->tail = node;
   column_.Set(tid, v);
 }
 
 Value MvccColumn::Read(TupleId tid, uint64_t snapshot_ts) const {
-  auto it = undo_.find(tid);
-  if (it != undo_.end()) {
-    // Chains are oldest-overwrite first: the first entry whose overwrite
+  if (const Chain* c = FindChain(tid)) {
+    // Chains are oldest-overwrite first: the first version whose overwrite
     // happened *after* the snapshot still holds the visible value.
-    for (const UndoEntry& e : it->second) {
-      if (e.overwritten_at > snapshot_ts) return e.old_value;
+    for (uint32_t i = c->head; i != kNilVersion; i = versions_[i].next) {
+      if (versions_[i].overwritten_at > snapshot_ts) {
+        return versions_[i].old_value;
+      }
     }
   }
   return column_.Get(tid);
@@ -79,7 +157,7 @@ uint64_t MvccColumn::ScanSum(uint64_t snapshot_ts, Value lo, Value hi) const {
 void MvccColumn::ScanSumCount(uint64_t snapshot_ts, Value lo, Value hi,
                               uint64_t* sum, uint64_t* rows) const {
   uint64_t n = VisibleSize(snapshot_ts);
-  if (undo_.empty()) {
+  if (chain_count_ == 0) {
     // No versioned tuples: the visible prefix of the raw column is exactly
     // the snapshot, so the vectorized segment kernels apply.
     column_.ScanSumCountPrefix(lo, hi, n, sum, rows);
@@ -99,18 +177,41 @@ void MvccColumn::ScanSumCount(uint64_t snapshot_ts, Value lo, Value hi,
 }
 
 void MvccColumn::GarbageCollect(uint64_t watermark) {
-  for (auto it = undo_.begin(); it != undo_.end();) {
-    std::vector<UndoEntry>& chain = it->second;
-    // An entry overwritten at ts <= watermark is invisible to every snapshot
-    // >= watermark.
-    auto keep_from = std::find_if(
-        chain.begin(), chain.end(),
-        [&](const UndoEntry& e) { return e.overwritten_at > watermark; });
-    chain.erase(chain.begin(), keep_from);
-    if (chain.empty()) {
-      it = undo_.erase(it);
-    } else {
-      ++it;
+  if (chain_count_ > 0) {
+    // Rebuild the table from its survivors. A version overwritten at
+    // ts <= watermark is invisible to every snapshot >= watermark; chains
+    // are ordered oldest first, so the dead part is a prefix and goes back
+    // to the free list with one splice. Tuples whose whole chain died
+    // leave the table.
+    chain_scratch_.clear();
+    for (const Chain& c : chains_) {
+      if (c.tid != kEmptyChainSlot) chain_scratch_.push_back(c);
+    }
+    size_t slots = chains_.size();
+    chains_.assign(slots, Chain{kEmptyChainSlot, kNilVersion, kNilVersion});
+    chain_count_ = 0;
+    size_t mask = slots - 1;
+    for (const Chain& survivor : chain_scratch_) {
+      Chain c = survivor;
+      uint32_t dead_head = c.head;
+      uint32_t dead_tail = kNilVersion;
+      uint32_t cur = c.head;
+      while (cur != kNilVersion &&
+             versions_[cur].overwritten_at <= watermark) {
+        dead_tail = cur;
+        cur = versions_[cur].next;
+      }
+      if (dead_tail != kNilVersion) {
+        versions_[dead_tail].next = free_versions_;
+        free_versions_ = dead_head;
+        c.head = cur;
+        if (cur == kNilVersion) c.tail = kNilVersion;
+      }
+      if (c.head == kNilVersion) continue;
+      size_t i = Mix64(c.tid) & mask;
+      while (chains_[i].tid != kEmptyChainSlot) i = (i + 1) & mask;
+      chains_[i] = c;
+      ++chain_count_;
     }
   }
   // Compact the frontier: checkpoints below the watermark collapse into one.

@@ -13,9 +13,9 @@
 
 #include <atomic>
 #include <cstdint>
-#include <unordered_map>
 #include <vector>
 
+#include "routing/arena_vec.h"
 #include "storage/column_store.h"
 #include "storage/types.h"
 
@@ -44,7 +44,11 @@ class TimestampOracle {
 /// because the partition has a single writer).
 class MvccColumn {
  public:
-  explicit MvccColumn(numa::NodeMemoryManager* memory) : column_(memory) {}
+  explicit MvccColumn(numa::NodeMemoryManager* memory)
+      : column_(memory),
+        versions_(memory),
+        chains_(memory),
+        chain_scratch_(memory) {}
 
   /// Appends a tuple committed at `ts`; `ts` must be >= every prior ts.
   TupleId Append(Value v, uint64_t ts);
@@ -75,7 +79,7 @@ class MvccColumn {
   template <typename Fn>
   void ScanSnapshot(uint64_t snapshot_ts, Fn&& fn) const {
     uint64_t n = VisibleSize(snapshot_ts);
-    if (undo_.empty()) {
+    if (chain_count_ == 0) {
       // Fast path: no updated tuples, scan the raw column.
       for (TupleId tid = 0; tid < n; ++tid) fn(tid, column_.Get(tid));
       return;
@@ -100,19 +104,51 @@ class MvccColumn {
   const ColumnStore& column() const { return column_; }
   ColumnStore& column() { return column_; }
   uint64_t size() const { return column_.size(); }
-  size_t undo_chains() const { return undo_.size(); }
+  size_t undo_chains() const { return chain_count_; }
+  /// Pooled version nodes currently on the free list (reuse capacity).
+  size_t free_versions() const;
 
  private:
-  struct UndoEntry {
+  /// One overwritten version. Versions are pooled (DESIGN.md §16): nodes
+  /// live in a slab vector carved from the partition's node-local manager
+  /// and are recycled through an intrusive free list, so a steady update
+  /// workload allocates nothing after warm-up — every real slab growth
+  /// visits fi::Point::kMvccVersionAlloc. GarbageCollect returns each dead
+  /// chain prefix to the free list with a single splice (epoch-batched
+  /// free), never a per-version delete.
+  struct VersionNode {
     uint64_t overwritten_at;  ///< commit ts of the write that replaced it
     Value old_value;
+    uint32_t next;  ///< pool index of the next-newer version
   };
+  static constexpr uint32_t kNilVersion = ~uint32_t{0};
+
+  /// Open-addressing slot (linear probing, power-of-two table) mapping a
+  /// tuple to its version chain, oldest overwrite at `head`.
+  struct Chain {
+    TupleId tid;
+    uint32_t head;
+    uint32_t tail;
+  };
+  static constexpr TupleId kEmptyChainSlot = ~TupleId{0};
+
+  uint32_t AllocVersion(uint64_t overwritten_at, Value old_value);
+  const Chain* FindChain(TupleId tid) const;
+  /// Find-or-insert; grows the table at 3/4 load.
+  Chain* ChainSlotFor(TupleId tid);
+  void RehashChains(size_t slots);
 
   ColumnStore column_;
   /// (commit ts, column size after that commit); ascending in both fields.
   std::vector<std::pair<uint64_t, uint64_t>> frontier_;
-  /// Undo chains, oldest overwrite first.
-  std::unordered_map<TupleId, std::vector<UndoEntry>> undo_;
+  /// Version-node pool; freed nodes are chained through `next`.
+  routing::ArenaVec<VersionNode, fi::Point::kMvccVersionAlloc> versions_;
+  uint32_t free_versions_ = kNilVersion;
+  /// Chain table (open addressing) + occupied-slot count.
+  routing::ArenaVec<Chain, fi::Point::kMvccVersionAlloc> chains_;
+  size_t chain_count_ = 0;
+  /// Survivor staging for rehash and garbage collection.
+  routing::ArenaVec<Chain, fi::Point::kMvccVersionAlloc> chain_scratch_;
   uint64_t last_ts_ = 0;
 };
 

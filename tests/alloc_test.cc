@@ -1,0 +1,228 @@
+// Engine-wide allocation-profile tests (DESIGN.md §16).
+//
+// Every hot path converted to arena/pooled allocation grows its buffers
+// only through a named fault-injection point:
+//
+//   kAeuScratchAlloc     — AEU dequeue/batch scratch (groups, key/value/
+//                          payload staging, scan/pipeline job tables)
+//   kMvccVersionAlloc    — MVCC version-chain pool + chain table
+//   kWalBufferAlloc      — WAL group-commit buffer
+//   kExchangeStreamAlloc — router exchange/transfer stream buffers
+//
+// Two invariants are checked here:
+//   1. Zero steady-state allocations: after a warm-up has sized every
+//      buffer, repeating the identical workload must never visit any of
+//      the points again (the capacity is retained across clears and the
+//      MVCC free list is refilled by idle-time GC).
+//   2. Typed degradation: with artificial failures armed at those points,
+//      the engine sheds the affected work with Status::ResourceExhausted
+//      (or another typed status) — it never crashes, hangs, or returns an
+//      untyped error — and each point actually fires across a seed sweep.
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/fault_injection.h"
+#include "core/engine.h"
+#include "harness_util.h"
+
+namespace eris::core {
+namespace {
+
+#if defined(ERIS_FAULT_INJECTION) && ERIS_FAULT_INJECTION
+
+using storage::ObjectId;
+
+constexpr fi::Point kAllocPoints[] = {
+    fi::Point::kAeuScratchAlloc,
+    fi::Point::kMvccVersionAlloc,
+    fi::Point::kWalBufferAlloc,
+    fi::Point::kExchangeStreamAlloc,
+};
+constexpr size_t kNumAllocPoints = std::size(kAllocPoints);
+
+/// mkdtemp under $TMPDIR (or /tmp), removed on destruction.
+struct ScratchDir {
+  std::string path;
+  ScratchDir() {
+    const char* base = std::getenv("TMPDIR");
+    std::string tmpl =
+        std::string(base != nullptr ? base : "/tmp") + "/eris-alloc-XXXXXX";
+    std::vector<char> buf(tmpl.begin(), tmpl.end());
+    buf.push_back('\0');
+    char* dir = ::mkdtemp(buf.data());
+    EXPECT_NE(dir, nullptr) << std::strerror(errno);
+    if (dir != nullptr) path = dir;
+  }
+  ~ScratchDir() {
+    std::error_code ec;
+    if (!path.empty()) std::filesystem::remove_all(path, ec);
+  }
+};
+
+TEST(AllocProfileTest, SteadyStateHotPathsAllocationFree) {
+  std::atomic<uint64_t> grows[kNumAllocPoints] = {};
+  fi::FaultInjector::Global().Reset();
+  for (size_t i = 0; i < kNumAllocPoints; ++i) {
+    fi::FaultInjector::Global().SetHook(
+        kAllocPoints[i],
+        [&grows, i] { grows[i].fetch_add(1, std::memory_order_relaxed); });
+  }
+
+  ScratchDir scratch;
+  EngineOptions opts;
+  opts.topology = numa::Topology::Flat(2, 2);
+  opts.mode = ExecutionMode::kSimulated;  // deterministic stepping and GC
+  opts.durability.enabled = true;         // WAL on: kWalBufferAlloc is live
+  opts.durability.dir = scratch.path;
+  Engine engine(opts);
+  ObjectId idx = engine.CreateIndex("kv", 1u << 16,
+                                    {.prefix_bits = 8, .key_bits = 16});
+  ObjectId col = engine.CreateColumn("facts");
+  engine.Start();
+  auto session = engine.CreateSession();
+
+  // One round of the steady-state workload: upserts over a fixed key set
+  // (MVCC updates + WAL records + exchange streams), lookups, appends and
+  // an aggregate scan; then enough idle pumps that every AEU runs its
+  // maintenance pass (64 idle iterations each) and refills the MVCC
+  // version free lists.
+  std::vector<routing::KeyValue> kvs(256);
+  std::vector<storage::Key> keys(256);
+  for (size_t i = 0; i < kvs.size(); ++i) keys[i] = i * 181 % (1u << 16);
+  std::vector<storage::Value> appends(64, 7);
+  uint64_t round_no = 0;
+  auto round = [&] {
+    ++round_no;
+    for (size_t i = 0; i < kvs.size(); ++i) kvs[i] = {keys[i], round_no};
+    session->Upsert(idx, kvs);
+    session->Lookup(idx, keys);
+    session->Append(col, appends);
+    (void)session->ScanStats(col);
+    for (int p = 0; p < 300; ++p) engine.PumpAll();
+  };
+
+  for (int r = 0; r < 8; ++r) round();  // warm-up sizes every buffer
+  uint64_t warmup[kNumAllocPoints];
+  uint64_t warmup_total = 0;
+  for (size_t i = 0; i < kNumAllocPoints; ++i) {
+    warmup[i] = grows[i].load();
+    warmup_total += warmup[i];
+  }
+  EXPECT_GT(warmup_total, 0u);  // the warm-up itself does allocate
+
+  for (int r = 0; r < 10; ++r) round();
+  for (size_t i = 0; i < kNumAllocPoints; ++i) {
+    EXPECT_EQ(grows[i].load(), warmup[i])
+        << "steady-state workload grew " << fi::PointName(kAllocPoints[i]);
+  }
+
+  fi::FaultInjector::Global().Reset();
+  engine.Stop();
+}
+
+/// One seed of the alloc-fault sweep: a durable threaded engine with
+/// artificial failures armed on every allocation point while harness
+/// writers submit their scripts. Submits may fail — but only with a typed
+/// status — and the engine must survive to a clean Stop().
+void RunAllocFaultSeed(uint64_t seed, uint64_t* fired) {
+  SCOPED_TRACE(::testing::Message() << "alloc-fault seed=" << seed);
+  harness::HarnessConfig cfg;
+  cfg.writers = 3;
+  cfg.batches_per_writer = 24;
+  auto scripts = harness::GenerateScripts(seed, cfg);
+
+  fi::FaultInjector::Global().Reset();
+  fi::FaultInjector::Global().EnableChaos(seed, /*perturb_probability=*/0.02);
+  for (fi::Point p : kAllocPoints) {
+    fi::FaultInjector::Global().SetFailProbability(p, 0.05);
+  }
+
+  ScratchDir scratch;
+  EngineOptions opts;
+  opts.topology = numa::Topology::Flat(2, 2);
+  opts.mode = ExecutionMode::kThreads;
+  opts.durability.enabled = true;
+  opts.durability.dir = scratch.path;
+  Engine engine(opts);
+  ObjectId idx = engine.CreateIndex("kv", cfg.domain_hi(),
+                                    {.prefix_bits = 8, .key_bits = 16});
+  ObjectId col = engine.CreateColumn("facts");
+  engine.Start();
+
+  std::atomic<uint32_t> untyped{0};
+  std::atomic<uint64_t> resource_exhausted{0};
+  std::vector<std::thread> writers;
+  for (size_t w = 0; w < scripts.size(); ++w) {
+    const harness::WriterScript* script = &scripts[w];
+    writers.emplace_back([&, script] {
+      auto session = engine.CreateSession();
+      session->set_op_timeout_ns(500'000'000);  // bounded: a hang fails here
+      for (const harness::OpBatch& batch : script->batches) {
+        Status st;
+        switch (batch.kind) {
+          case harness::OpBatch::Kind::kInsert:
+            st = session->SubmitInsert(idx, batch.kvs);
+            break;
+          case harness::OpBatch::Kind::kUpsert:
+            st = session->SubmitUpsert(idx, batch.kvs);
+            break;
+          case harness::OpBatch::Kind::kErase:
+            st = session->SubmitErase(idx, batch.keys);
+            break;
+          case harness::OpBatch::Kind::kLookup:
+            st = session->SubmitLookup(idx, batch.keys);
+            break;
+          case harness::OpBatch::Kind::kAppend:
+            st = session->SubmitAppend(col, batch.values);
+            break;
+        }
+        if (st.ok()) continue;
+        if (st.IsResourceExhausted()) {
+          resource_exhausted.fetch_add(1, std::memory_order_relaxed);
+        } else if (!(st.IsUnavailable() || st.IsDeadlineExceeded() ||
+                     st.IsIoError() || st.IsInternal())) {
+          untyped.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+    });
+  }
+  for (std::thread& t : writers) t.join();
+  EXPECT_EQ(untyped.load(), 0u) << "alloc failure surfaced untyped";
+
+  for (size_t i = 0; i < kNumAllocPoints; ++i) {
+    fired[i] += fi::FaultInjector::Global().Stats(kAllocPoints[i]).failures;
+  }
+  engine.Stop();  // must survive shed work and keep shutting down cleanly
+  fi::FaultInjector::Global().Reset();
+  (void)resource_exhausted;
+}
+
+TEST(AllocProfileTest, AllocFaultSweepDegradesTyped) {
+  uint64_t fired[kNumAllocPoints] = {};
+  auto seeds = harness::SweepSeeds(/*base=*/11000, /*default_count=*/6);
+  for (uint64_t seed : seeds) {
+    RunAllocFaultSeed(seed, fired);
+    if (::testing::Test::HasFatalFailure()) break;
+  }
+  // Each instrumented point must actually have injected failures somewhere
+  // in the sweep — otherwise the typed-degradation check above is vacuous.
+  for (size_t i = 0; i < kNumAllocPoints; ++i) {
+    EXPECT_GT(fired[i], 0u)
+        << fi::PointName(kAllocPoints[i]) << " never fired across the sweep";
+  }
+  fi::FaultInjector::Global().Reset();
+}
+
+#endif  // ERIS_FAULT_INJECTION
+
+}  // namespace
+}  // namespace eris::core

@@ -1,6 +1,7 @@
 // Tests for the per-node memory managers with thread-local caching.
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <cstring>
 #include <set>
 #include <thread>
@@ -187,6 +188,80 @@ TEST(MemoryPoolTest, TotalStatsAggregate) {
   pool.manager(1).FlushThisThreadCache();
 }
 
+TEST(NodeMemoryManagerTest, ThpStatsAccountEveryArenaChunk) {
+  // Every carved 2 MiB chunk lands in exactly one of the two THP counters:
+  // huge_page_bytes (aligned reservation + madvise succeeded) or
+  // thp_failures (graceful fallback). Force several chunks by draining
+  // whole thread-cache batches of the largest class.
+  NodeMemoryManager mm(0);
+  std::vector<void*> blocks;
+  for (int i = 0; i < 128; ++i) {
+    blocks.push_back(mm.Allocate(NodeMemoryManager::kMaxClassBytes));
+  }
+  MemoryStats s = mm.stats();
+  ASSERT_GE(s.bytes_reserved, NodeMemoryManager::kArenaChunkBytes);
+  uint64_t chunks = s.bytes_reserved / NodeMemoryManager::kArenaChunkBytes;
+  EXPECT_EQ(s.bytes_reserved % NodeMemoryManager::kArenaChunkBytes, 0u);
+  EXPECT_EQ(s.huge_page_bytes % NodeMemoryManager::kArenaChunkBytes, 0u);
+  EXPECT_LE(s.huge_page_bytes, s.bytes_reserved);
+  EXPECT_EQ(s.huge_page_bytes / NodeMemoryManager::kArenaChunkBytes +
+                s.thp_failures,
+            chunks);
+  for (void* p : blocks) mm.Free(p, NodeMemoryManager::kMaxClassBytes);
+  mm.FlushThisThreadCache();
+}
+
+TEST(NodeMemoryManagerTest, LargeBlockFreeRoundTrip) {
+  // Blocks above kMaxClassBytes bypass the classes; Free must return them
+  // to the system and unwind every stat, round after round.
+  NodeMemoryManager mm(0);
+  size_t big = NodeMemoryManager::kMaxClassBytes * 4 + 17;
+  for (int round = 0; round < 3; ++round) {
+    void* p = mm.Allocate(big);
+    ASSERT_NE(p, nullptr);
+    std::memset(p, 0xC3, big);
+    EXPECT_EQ(mm.stats().bytes_in_use(), big);
+    mm.Free(p, big);
+    EXPECT_EQ(mm.stats().bytes_in_use(), 0u);
+  }
+  MemoryStats s = mm.stats();
+  EXPECT_EQ(s.allocations, 3u);
+  EXPECT_EQ(s.bytes_freed, 3 * big);
+  EXPECT_EQ(s.thread_cache_bytes, 0u);  // large blocks are never cached
+}
+
+TEST(NodeMemoryManagerTest, BytesInUseNeverUnderflowsUnderChurn) {
+  // Regression: bytes_in_use() = bytes_allocated - bytes_freed read from
+  // two atomics. A reader racing a cross-thread free must never observe
+  // the freed increment without the matching allocated increment (freed is
+  // published with release and snapshotted first with acquire); a stale
+  // ordering shows up here as a value near 2^64.
+  NodeMemoryManager mm(0);
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> churners;
+  for (int t = 0; t < 3; ++t) {
+    churners.emplace_back([&] {
+      std::vector<void*> mine;
+      while (!stop.load(std::memory_order_relaxed)) {
+        for (int i = 0; i < 64; ++i) mine.push_back(mm.Allocate(256));
+        for (void* p : mine) mm.Free(p, 256);
+        mine.clear();
+        mm.FlushThisThreadCache();
+      }
+      mm.FlushThisThreadCache();
+    });
+  }
+  for (int i = 0; i < 20000; ++i) {
+    MemoryStats s = mm.stats();
+    ASSERT_LT(s.bytes_in_use(), uint64_t{1} << 48) << "bytes_in_use underflow";
+    ASSERT_LT(s.fragmentation_bytes(), uint64_t{1} << 48);
+    ASSERT_GE(s.bytes_allocated, s.bytes_freed);
+  }
+  stop.store(true);
+  for (auto& t : churners) t.join();
+  EXPECT_EQ(mm.stats().bytes_in_use(), 0u);
+}
+
 class SizeClassTest : public ::testing::TestWithParam<size_t> {};
 
 TEST_P(SizeClassTest, RoundTripAtEverySize) {
@@ -206,6 +281,24 @@ TEST_P(SizeClassTest, RoundTripAtEverySize) {
 INSTANTIATE_TEST_SUITE_P(AllClasses, SizeClassTest,
                          ::testing::Values(1, 15, 16, 17, 31, 64, 100, 1024,
                                            4096, 65536, 65537, 1 << 20));
+
+/// Every size-class boundary +/- 1 byte, 16 B through 64 KiB, plus the
+/// first large size past the classes (64 KiB + 1 is in AllClasses already;
+/// this sweeps all the interior edges including the rounding at each
+/// power of two).
+std::vector<size_t> ClassBoundarySizes() {
+  std::vector<size_t> sizes;
+  for (size_t c = NodeMemoryManager::kMinClassBytes;
+       c <= NodeMemoryManager::kMaxClassBytes; c *= 2) {
+    sizes.push_back(c - 1);
+    sizes.push_back(c);
+    sizes.push_back(c + 1);
+  }
+  return sizes;
+}
+
+INSTANTIATE_TEST_SUITE_P(ClassBoundaries, SizeClassTest,
+                         ::testing::ValuesIn(ClassBoundarySizes()));
 
 }  // namespace
 }  // namespace eris::numa
